@@ -1,0 +1,157 @@
+//! The Habitat baseline (Yu et al., ATC '21).
+//!
+//! One MLP per operator class over op-level features (shape parameters
+//! only — no schedule visibility), plus the roofline-based wave-scaling
+//! rule for transferring a measurement from one device to another:
+//! compute-bound ops scale by the peak-FLOPS ratio, memory-bound ops by
+//! the bandwidth ratio.
+
+use std::collections::HashMap;
+
+use devsim::DeviceSpec;
+use features::habitat_features;
+use tir::OpSpec;
+
+use crate::mlpreg::{MlpRegConfig, MlpRegressor};
+
+/// Per-op-class MLP latency predictor in Habitat's style.
+pub struct HabitatModel {
+    models: HashMap<usize, MlpRegressor>,
+    cfg: MlpRegConfig,
+}
+
+impl HabitatModel {
+    /// Creates an empty model set.
+    pub fn new(cfg: MlpRegConfig) -> Self {
+        HabitatModel { models: HashMap::new(), cfg }
+    }
+
+    /// Trains one MLP per op class on `(spec, log-latency)` pairs from a
+    /// single device.
+    pub fn fit(&mut self, samples: &[(OpSpec, f64)]) {
+        let mut by_class: HashMap<usize, (Vec<Vec<f32>>, Vec<f32>)> = HashMap::new();
+        for (spec, y) in samples {
+            let e = by_class.entry(spec.class_id()).or_default();
+            e.0.push(habitat_features(spec));
+            e.1.push(y.ln() as f32);
+        }
+        for (class, (xs, ys)) in by_class {
+            let mut cfg = self.cfg.clone();
+            cfg.seed ^= class as u64;
+            let mut m = MlpRegressor::new(xs[0].len(), cfg);
+            m.fit(&xs, &ys);
+            self.models.insert(class, m);
+        }
+    }
+
+    /// Predicts latency (seconds) for an op on the training device.
+    /// Returns `None` for op classes never seen in training — Habitat
+    /// covers only the operators it has models for.
+    pub fn predict(&self, spec: &OpSpec) -> Option<f64> {
+        let m = self.models.get(&spec.class_id())?;
+        let p = m.predict(&[habitat_features(spec)])[0];
+        p.is_finite().then(|| (p as f64).exp())
+    }
+
+    /// Habitat's roofline scaling: transfers a latency measured/predicted
+    /// on `src` to `dst`.
+    pub fn scale_latency(t_src: f64, spec: &OpSpec, src: &DeviceSpec, dst: &DeviceSpec) -> f64 {
+        // Rough arithmetic intensity from op shape (flops per byte moved).
+        let flops = spec.flops();
+        let bytes = approx_bytes(spec);
+        let intensity = flops / bytes.max(1.0);
+        let compute_bound_src = intensity > src.ridge_point();
+        let ratio = if compute_bound_src {
+            dst.peak_flops() / src.peak_flops()
+        } else {
+            dst.mem_bw_gbs / src.mem_bw_gbs
+        };
+        t_src / ratio.max(1e-9)
+    }
+
+    /// Cross-device prediction: predict on the source device, then scale.
+    pub fn predict_cross_device(
+        &self,
+        spec: &OpSpec,
+        src: &DeviceSpec,
+        dst: &DeviceSpec,
+    ) -> Option<f64> {
+        self.predict(spec).map(|t| Self::scale_latency(t, spec, src, dst))
+    }
+}
+
+fn approx_bytes(spec: &OpSpec) -> f64 {
+    // Sum of operand/result sizes — the compulsory traffic.
+    match *spec {
+        OpSpec::Dense { m, n, k } => 4.0 * (m * k + k * n + m * n) as f64,
+        OpSpec::BatchMatmul { b, m, n, k } => 4.0 * (b * (m * k + k * n + m * n)) as f64,
+        OpSpec::Conv2d { n, cin, hw, cout, khw, stride } => {
+            let o = hw / stride;
+            4.0 * (n * cin * hw * hw + cout * cin * khw * khw + n * cout * o * o) as f64
+        }
+        OpSpec::DepthwiseConv { n, c, hw, khw, stride } => {
+            let o = hw / stride;
+            4.0 * (n * c * hw * hw + c * khw * khw + n * c * o * o) as f64
+        }
+        OpSpec::Pool { n, c, hw, stride, .. } => {
+            let o = hw / stride;
+            4.0 * (n * c * hw * hw + n * c * o * o) as f64
+        }
+        OpSpec::Softmax { rows, cols } | OpSpec::LayerNorm { rows, cols } => {
+            8.0 * (rows * cols) as f64
+        }
+        OpSpec::Elementwise { n, .. } => 8.0 * n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::{graviton2, t4, v100};
+
+    #[test]
+    fn fits_per_class_models() {
+        let samples: Vec<(OpSpec, f64)> = (1..=24)
+            .map(|i| {
+                let spec = OpSpec::Dense { m: 8 * i, n: 8 * i, k: 8 * i };
+                (spec, spec.flops() * 1e-10 + 1e-6)
+            })
+            .collect();
+        let mut m = HabitatModel::new(MlpRegConfig { epochs: 400, ..Default::default() });
+        m.fit(&samples);
+        // Larger dense should predict larger latency.
+        let small = m.predict(&OpSpec::Dense { m: 16, n: 16, k: 16 }).unwrap();
+        let large = m.predict(&OpSpec::Dense { m: 128, n: 128, k: 128 }).unwrap();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn unseen_class_returns_none() {
+        let m = HabitatModel::new(MlpRegConfig::default());
+        assert!(m.predict(&OpSpec::Softmax { rows: 8, cols: 8 }).is_none());
+    }
+
+    #[test]
+    fn roofline_scaling_direction() {
+        // Compute-bound op: scaling T4 -> V100 (higher peak) shrinks time.
+        let spec = OpSpec::Dense { m: 1024, n: 1024, k: 1024 };
+        let scaled = HabitatModel::scale_latency(1.0, &spec, &t4(), &v100());
+        assert!(scaled < 1.0);
+        // Memory-bound op: elementwise scales by bandwidth; Graviton2 has
+        // far lower bandwidth than T4, so time grows.
+        let ew = OpSpec::Elementwise { n: 1 << 20, kind: tir::EwKind::Relu };
+        let scaled2 = HabitatModel::scale_latency(1.0, &ew, &t4(), &graviton2());
+        assert!(scaled2 > 1.0);
+    }
+
+    #[test]
+    fn compute_vs_memory_bound_pick_different_ratios() {
+        // Same device pair, different op regimes: the scaling factors must
+        // differ (peak ratio vs bandwidth ratio).
+        let gemm = OpSpec::Dense { m: 2048, n: 2048, k: 2048 };
+        let ew = OpSpec::Elementwise { n: 1024, kind: tir::EwKind::Relu };
+        let a = HabitatModel::scale_latency(1.0, &gemm, &t4(), &v100());
+        let b = HabitatModel::scale_latency(1.0, &ew, &t4(), &v100());
+        assert!((a - b).abs() > 1e-6);
+    }
+}

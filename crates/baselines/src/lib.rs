@@ -1,0 +1,22 @@
+//! Reimplemented baselines the paper compares against (§7.1):
+//!
+//! * [`gbt`]: XGBoost-style gradient-boosted trees on flattened features
+//!   (the AutoTVM/Ansor cost model).
+//! * [`tiramisu`]: recursive LSTM over the raw AST, batch-bound by AST
+//!   structure, trained with MAPE (Baghdadi et al.).
+//! * [`habitat`]: per-op-class MLPs with roofline cross-device scaling
+//!   (Yu et al.).
+//! * [`tlp`]: schedule-primitive features, shared trunk + per-device
+//!   heads, relative-time labels (Zhai et al.).
+
+pub mod gbt;
+pub mod habitat;
+pub mod mlpreg;
+pub mod tiramisu;
+pub mod tlp;
+
+pub use gbt::{GbtConfig, GbtRegressor};
+pub use habitat::HabitatModel;
+pub use mlpreg::{MlpRegConfig, MlpRegressor};
+pub use tiramisu::{TiramisuConfig, TiramisuModel};
+pub use tlp::{TlpConfig, TlpModel, TlpSample};

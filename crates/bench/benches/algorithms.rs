@@ -1,0 +1,44 @@
+//! Microbenchmarks for the classic-ML substrate: KMeans (Algorithm 1's
+//! core), Box-Cox fitting, CMD, and the Algorithm-2 replayer.
+
+use cdmpp_core::{replay, DfgNode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use learn::{kmeans, BoxCox};
+use nn::cmd_value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tensor::Tensor;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pts: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..16).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let mut g = c.benchmark_group("algorithms");
+    g.sample_size(10);
+    g.bench_function("kmeans_500x16_k20", |b| {
+        let mut r = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(kmeans(&pts, 20, 20, &mut r)))
+    });
+    let labels: Vec<f64> = (0..2000).map(|_| rng.random_range(1e-6f64..1e-2)).collect();
+    g.bench_function("boxcox_fit_2000", |b| b.iter(|| black_box(BoxCox::fit(&labels))));
+    let za = Tensor::from_fn(&[64, 32], |i| ((i as f32) * 0.17).sin() * 0.8);
+    let zb = Tensor::from_fn(&[64, 32], |i| ((i as f32) * 0.23).cos() * 0.8);
+    g.bench_function("cmd_k5_64x32", |b| {
+        b.iter(|| black_box(cmd_value(&za, &zb, 5, 2.0).unwrap()))
+    });
+    let nodes: Vec<DfgNode> = (0..400)
+        .map(|i| DfgNode {
+            duration_s: 1e-4,
+            deps: if i == 0 { vec![] } else { vec![i - 1] },
+            engine: i % 4,
+            gap_s: 0.0,
+        })
+        .collect();
+    g.bench_function("replay_chain_400", |b| b.iter(|| black_box(replay(&nodes, 4))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

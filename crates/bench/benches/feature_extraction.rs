@@ -1,0 +1,36 @@
+//! Throughput of compact-AST feature extraction (the per-query cost of
+//! the Feature Extractor in Fig 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tir::{lower, sample_schedule, OpSpec};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let nest = OpSpec::Conv2d { n: 1, cin: 64, hw: 28, cout: 64, khw: 3, stride: 1 }.canonical_nest();
+    let progs: Vec<_> = (0..32)
+        .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
+        .collect();
+    let mut g = c.benchmark_group("feature_extraction");
+    g.sample_size(20);
+    g.bench_function("compact_ast_conv2d", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(features::extract_compact_ast(black_box(p)));
+            }
+        })
+    });
+    g.bench_function("flattened_conv2d", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(features::flattened_features(black_box(p)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

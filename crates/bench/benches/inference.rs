@@ -1,0 +1,49 @@
+//! Cost-model inference latency (§7.5 reports 8 ms for CDMPP vs 0.2 ms
+//! for XGBoost on V100; here both run on CPU).
+
+use baselines::{GbtConfig, GbtRegressor};
+use cdmpp_core::{encode_programs, Predictor, PredictorConfig, TrainConfig, TrainedModel};
+use cdmpp_core::batch::FeatScaler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use learn::TransformKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tir::{lower, sample_schedule, OpSpec};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let nest = OpSpec::Dense { m: 128, n: 128, k: 128 }.canonical_nest();
+    let progs: Vec<_> = (0..64)
+        .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
+        .collect();
+    let refs: Vec<&tir::TensorProgram> = progs.iter().collect();
+    let dev = devsim::t4();
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    let enc = encode_programs(&refs, &dev, features::DEFAULT_THETA, true);
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(64));
+    g.bench_function("cdmpp_predict_64", |b| {
+        b.iter(|| black_box(model.predict_samples(black_box(&enc))))
+    });
+    let xs: Vec<Vec<f32>> = progs.iter().map(features::flattened_features).collect();
+    let gbt = GbtRegressor::fit(
+        &xs,
+        &vec![1.0f32; xs.len()],
+        GbtConfig { n_trees: 40, ..Default::default() },
+    );
+    g.bench_function("gbt_predict_64", |b| {
+        b.iter(|| black_box(gbt.predict_batch(black_box(&xs))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

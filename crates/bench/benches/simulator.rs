@@ -1,0 +1,31 @@
+//! Device-simulator throughput (dataset generation is bounded by this).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devsim::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tir::{lower, sample_schedule, OpSpec};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let nest = OpSpec::Conv2d { n: 1, cin: 32, hw: 28, cout: 32, khw: 3, stride: 1 }.canonical_nest();
+    let progs: Vec<_> = (0..64)
+        .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
+        .collect();
+    let sim = Simulator::new(devsim::v100());
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(64));
+    g.bench_function("conv2d_latency_64", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(sim.latency_seconds(black_box(p)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

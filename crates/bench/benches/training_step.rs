@@ -1,0 +1,77 @@
+//! Training throughput comparison backing §7.2: one optimizer step for
+//! CDMPP (batched) vs Tiramisu (structure-bound, batch 1) vs a GBT fit.
+
+use baselines::{GbtConfig, GbtRegressor, TiramisuConfig, TiramisuModel};
+use cdmpp_core::{encode_records, make_batches, train_step, LossKind, Predictor, PredictorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{Dataset, GenConfig};
+use nn::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 4,
+            devices: vec![devsim::t4()],
+            seed: 1,
+            noise_sigma: 0.0,
+        },
+        vec![tir::zoo::bert_tiny(1), tir::zoo::mlp_mixer(1)],
+    )
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = dataset();
+    let idx = ds.device_records("T4");
+    let enc = encode_records(&ds, &idx, features::DEFAULT_THETA, true);
+    let mut rng = StdRng::seed_from_u64(2);
+    let batches = make_batches(&enc, 64, &mut rng);
+    let batch = batches
+        .iter()
+        .max_by_key(|b| b.record_idx.len())
+        .expect("non-empty")
+        .clone();
+    let y: Vec<f32> = batch.y_raw.iter().map(|&v| (v * 1e3) as f32).collect();
+    let mut g = c.benchmark_group("training_step");
+    g.sample_size(20);
+    let mut predictor = Predictor::new(PredictorConfig::default());
+    let mut opt = Adam::new(1e-3);
+    let bs = batch.record_idx.len();
+    g.throughput(criterion::Throughput::Elements(bs as u64));
+    g.bench_function("cdmpp_batched_step", |b| {
+        b.iter(|| {
+            black_box(train_step(&mut predictor, &mut opt, &batch, &y, LossKind::Hybrid, 1e-3))
+        })
+    });
+    // Tiramisu: one sample at a time (its structural batching limit).
+    let mut tira = TiramisuModel::new(TiramisuConfig { epochs: 1, ..Default::default() });
+    let progs: Vec<&tir::TensorProgram> = idx.iter().take(8).map(|&i| &*ds.records[i].program).collect();
+    let labels: Vec<f64> = idx.iter().take(8).map(|&i| ds.records[i].latency_s * 1e3).collect();
+    g.throughput(criterion::Throughput::Elements(8));
+    g.bench_function("tiramisu_8_samples", |b| {
+        b.iter(|| black_box(tira.fit(&progs, &labels)))
+    });
+    g.finish();
+
+    // GBT full fit for scale (not per-step comparable, but shows the gap).
+    let xs: Vec<Vec<f32>> = idx.iter().map(|&i| features::flattened_features(&ds.records[i].program)).collect();
+    let ys: Vec<f32> = idx.iter().map(|&i| ds.records[i].latency_s.ln() as f32).collect();
+    let mut g2 = c.benchmark_group("gbt");
+    g2.sample_size(10);
+    g2.bench_function("fit_20_trees", |b| {
+        b.iter(|| {
+            black_box(GbtRegressor::fit(
+                &xs,
+                &ys,
+                GbtConfig { n_trees: 20, ..Default::default() },
+            ))
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

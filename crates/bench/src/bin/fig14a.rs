@@ -1,0 +1,27 @@
+//! Fig 14(a): MAPE with vs without the pre-order positional encoding.
+//!
+//! Paper: PE reduces the prediction error on every device tested.
+
+use bench::{default_pcfg, default_tcfg, pct, print_header, print_row, standard_dataset};
+use cdmpp_core::{evaluate, pretrain};
+use dataset::SplitIndices;
+
+fn main() {
+    let devices = vec![devsim::t4(), devsim::epyc_7452()];
+    let ds = standard_dataset(devices.clone(), bench::spt_multi());
+    println!("Fig 14(a): MAPE with and without positional encoding\n");
+    let widths = [12, 12, 12];
+    print_header(&["Device", "w/ PE", "w/o PE"], &widths);
+    for dev in &devices {
+        let split = SplitIndices::for_device(&ds, &dev.name, &[], bench::EXP_SEED);
+        let mut cells = vec![dev.name.clone()];
+        for use_pe in [true, false] {
+            let mut tcfg = default_tcfg(bench::epochs());
+            tcfg.use_pe = use_pe;
+            let (model, _) = pretrain(&ds, &split.train, &split.valid, default_pcfg(), tcfg);
+            cells.push(pct(evaluate(&model, &ds, &split.test).mape));
+        }
+        print_row(&cells, &widths);
+    }
+    println!("\nclaim check: the w/ PE column is lower on every device.");
+}

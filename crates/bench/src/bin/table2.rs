@@ -1,0 +1,34 @@
+//! Table 2: devices used in evaluation + per-device dataset sizes.
+//!
+//! Paper: 9 devices (5 GPUs, 1 inference accelerator, 3 CPUs) with 2M–9M
+//! records each. Here the record counts are the synthetic dataset's
+//! (scaled ~1000×); specs are printed from the same Table 2 values the
+//! simulator uses.
+
+use bench::{print_header, print_row, standard_dataset};
+
+fn main() {
+    let ds = standard_dataset(devsim::all_devices(), 8);
+    let widths = [14, 12, 10, 10, 16, 7, 10];
+    println!("Table 2: GPU and non-GPU devices used in evaluation\n");
+    print_header(
+        &["Device", "Class", "Clock(MHz)", "Mem(GB)", "MemBW(GB/s)", "Cores", "#Samples"],
+        &widths,
+    );
+    for dev in devsim::all_devices() {
+        let n = ds.device_records(&dev.name).len();
+        print_row(
+            &[
+                dev.name.clone(),
+                format!("{:?}", dev.class),
+                format!("{:.0}", dev.clock_mhz),
+                format!("{:.0}", dev.mem_gb),
+                format!("{:.1}", dev.mem_bw_gbs),
+                dev.cores.to_string(),
+                n.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\ntasks: {}   networks: {}   total records: {}", ds.tasks.len(), ds.networks.len(), ds.records.len());
+}

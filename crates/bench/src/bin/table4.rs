@@ -1,0 +1,44 @@
+//! Tables 4 & 5: MAPE and RMSE under different training objectives
+//! (MSE / MAPE / MSPE / hybrid MSE+MAPE), cross-model on T4/A100/K80.
+//!
+//! Paper: the hybrid objective wins or ties on *both* metrics; MSPE is
+//! the worst MAPE.
+
+use bench::{default_pcfg, default_tcfg, pct, print_header, print_row, standard_dataset};
+use cdmpp_core::{evaluate, pretrain, LossKind};
+use dataset::SplitIndices;
+
+fn main() {
+    let devices = vec![devsim::t4(), devsim::a100(), devsim::k80()];
+    let ds = standard_dataset(devices.clone(), bench::spt_multi());
+    let kinds = [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid];
+    let mut mape_rows = Vec::new();
+    let mut rmse_rows = Vec::new();
+    for dev in &devices {
+        let split = SplitIndices::for_device(&ds, &dev.name, &[], bench::EXP_SEED);
+        let mut mrow = vec![dev.name.clone()];
+        let mut rrow = vec![dev.name.clone()];
+        for kind in kinds {
+            let mut tcfg = default_tcfg(bench::epochs());
+            tcfg.loss = kind;
+            let (model, _) = pretrain(&ds, &split.train, &split.valid, default_pcfg(), tcfg);
+            let m = evaluate(&model, &ds, &split.test);
+            mrow.push(pct(m.mape));
+            rrow.push(format!("{:.3}", m.rmse_ms));
+        }
+        mape_rows.push(mrow);
+        rmse_rows.push(rrow);
+    }
+    let widths = [10, 12, 12, 12, 12];
+    println!("Table 4: MAPE (%) with different loss functions\n");
+    print_header(&["Device", "MSE", "MAPE", "MSPE", "MSE+MAPE"], &widths);
+    for r in &mape_rows {
+        print_row(r, &widths);
+    }
+    println!("\nTable 5: RMSE (ms) with different loss functions\n");
+    print_header(&["Device", "MSE", "MAPE", "MSPE", "MSE+MAPE"], &widths);
+    for r in &rmse_rows {
+        print_row(r, &widths);
+    }
+    println!("\nclaim check: MSE+MAPE best-or-tied on both tables.");
+}

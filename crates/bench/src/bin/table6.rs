@@ -1,0 +1,49 @@
+//! Table 6 / Appendix B: the auto-tuner's search over architecture and
+//! hyper-parameters. The paper runs ~1000 Optuna trials; here a seeded
+//! random search with a small trial budget demonstrates the machinery and
+//! prints the best configuration found.
+
+use bench::standard_dataset;
+use cdmpp_core::autotune;
+use dataset::SplitIndices;
+
+fn main() {
+    let ds = standard_dataset(vec![devsim::t4()], bench::spt_multi());
+    let split = SplitIndices::for_device(&ds, "T4", &[], bench::EXP_SEED);
+    let trials = match bench::scale() {
+        bench::Scale::Full => 8,
+        bench::Scale::Mid => 4,
+        bench::Scale::Quick => 2,
+    };
+    println!("Table 6 (Appendix B): auto-tuner random search, {trials} trials x 6 epochs\n");
+    let res = autotune(&ds, &split.train, &split.valid, trials, 6, bench::EXP_SEED);
+    println!("{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>10}  {:>10}", "trial", "d_model", "layers", "heads", "batch", "lr", "val MAPE");
+    for (i, t) in res.trials.iter().enumerate() {
+        println!(
+            "{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>10.2e}  {:>9.1}%",
+            i + 1,
+            t.pcfg.d_model,
+            t.pcfg.n_layers,
+            t.pcfg.heads,
+            t.tcfg.batch_size,
+            t.tcfg.lr,
+            t.val_mape * 100.0
+        );
+    }
+    let b = &res.best;
+    println!(
+        "\nbest: d_model {} x {} layers, {} heads, d_ff {}, decoder {}x{}, lr {:.2e}, wd {:.2e}, batch {}, optimizer {:?}, cyclic_lr {}",
+        b.pcfg.d_model,
+        b.pcfg.n_layers,
+        b.pcfg.heads,
+        b.pcfg.d_ff,
+        b.pcfg.dec_hidden,
+        b.pcfg.dec_layers,
+        b.tcfg.lr,
+        b.tcfg.weight_decay,
+        b.tcfg.batch_size,
+        b.tcfg.optimizer,
+        b.tcfg.cyclic_lr,
+    );
+    println!("(the experiment harness's default_pcfg() is the best config found by a longer offline search)");
+}

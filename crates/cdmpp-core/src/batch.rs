@@ -1,0 +1,227 @@
+//! Leaf-count-homogeneous batching (§5.1).
+//!
+//! Compact ASTs have variable leaf counts; rather than padding, records are
+//! grouped by leaf count so each minibatch is a dense `[B, L, N_ENTRY]`
+//! tensor routed through the `L`-specific embedding layer.
+
+use std::collections::HashMap;
+
+use dataset::Dataset;
+use devsim::device_by_name;
+use features::{device_features, extract_compact_ast, N_DEVICE_FEATURES, N_ENTRY};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tensor::Tensor;
+
+/// One encoded sample: flattened leaf features + device features + label.
+#[derive(Debug, Clone)]
+pub struct EncodedSample {
+    /// Index into `Dataset::records`.
+    pub record_idx: usize,
+    /// Leaf count `L`.
+    pub leaf_count: usize,
+    /// `[L × N_ENTRY]` features (PE added unless disabled).
+    pub x: Vec<f32>,
+    /// Device feature row.
+    pub dev: [f32; N_DEVICE_FEATURES],
+    /// Raw latency label (seconds).
+    pub y_raw: f64,
+}
+
+/// Encodes dataset records into samples.
+///
+/// `use_pe` toggles positional encoding (the Fig 14a ablation).
+pub fn encode_records(ds: &Dataset, idx: &[usize], theta: f32, use_pe: bool) -> Vec<EncodedSample> {
+    let mut dev_cache: HashMap<String, [f32; N_DEVICE_FEATURES]> = HashMap::new();
+    idx.iter()
+        .map(|&i| {
+            let rec = &ds.records[i];
+            let ast = extract_compact_ast(&rec.program);
+            let x = if use_pe { ast.encoded_flat(theta) } else { ast.flat() };
+            let dev = *dev_cache.entry(rec.device.clone()).or_insert_with(|| {
+                device_by_name(&rec.device)
+                    .map(|d| device_features(&d))
+                    .unwrap_or([0.0; N_DEVICE_FEATURES])
+            });
+            EncodedSample {
+                record_idx: i,
+                leaf_count: ast.n_leaves(),
+                x,
+                dev,
+                y_raw: rec.latency_s,
+            }
+        })
+        .collect()
+}
+
+/// Per-column feature standardizer fitted on the training set.
+///
+/// Compact-AST entries mix one-hots with log-scale magnitudes (iteration
+/// counts up to e²⁰); standardizing each of the `N_ENTRY` columns over all
+/// training leaves keeps the Transformer's optimization well-conditioned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatScaler {
+    /// Per-column mean.
+    pub mean: Vec<f32>,
+    /// Per-column standard deviation (floored at 1e-6).
+    pub std: Vec<f32>,
+}
+
+impl FeatScaler {
+    /// Identity scaler (no-op).
+    pub fn identity() -> Self {
+        FeatScaler { mean: vec![0.0; N_ENTRY], std: vec![1.0; N_ENTRY] }
+    }
+
+    /// Fits column statistics over every leaf row of the given samples.
+    pub fn fit(samples: &[EncodedSample]) -> Self {
+        let mut mean = vec![0.0f64; N_ENTRY];
+        let mut m2 = vec![0.0f64; N_ENTRY];
+        let mut n = 0f64;
+        for s in samples {
+            for row in s.x.chunks(N_ENTRY) {
+                n += 1.0;
+                for (j, &v) in row.iter().enumerate() {
+                    let d = v as f64 - mean[j];
+                    mean[j] += d / n;
+                    m2[j] += d * (v as f64 - mean[j]);
+                }
+            }
+        }
+        let std = m2
+            .iter()
+            .map(|&v| ((v / n.max(1.0)).sqrt() as f32).max(1e-6))
+            .collect();
+        FeatScaler { mean: mean.into_iter().map(|v| v as f32).collect(), std }
+    }
+
+    /// Standardizes a sample's leaf rows in place.
+    pub fn apply(&self, s: &mut EncodedSample) {
+        for row in s.x.chunks_mut(N_ENTRY) {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[j]) / self.std[j];
+            }
+        }
+    }
+
+    /// Standardizes a whole slice of samples in place.
+    pub fn apply_all(&self, samples: &mut [EncodedSample]) {
+        for s in samples {
+            self.apply(s);
+        }
+    }
+}
+
+/// A dense minibatch of samples sharing one leaf count.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Leaf count `L` of every sample in the batch.
+    pub leaf_count: usize,
+    /// `[B, L, N_ENTRY]` input features.
+    pub x: Tensor,
+    /// `[B, N_DEVICE_FEATURES]` device features.
+    pub dev: Tensor,
+    /// Raw latency labels (seconds).
+    pub y_raw: Vec<f64>,
+    /// Record indices of the batch members.
+    pub record_idx: Vec<usize>,
+}
+
+/// Builds a batch from a homogeneous slice of sample references.
+pub fn build_batch(samples: &[&EncodedSample]) -> Batch {
+    let b = samples.len();
+    let l = samples[0].leaf_count;
+    debug_assert!(samples.iter().all(|s| s.leaf_count == l));
+    let mut xs = Vec::with_capacity(b * l * N_ENTRY);
+    let mut devs = Vec::with_capacity(b * N_DEVICE_FEATURES);
+    for s in samples {
+        xs.extend_from_slice(&s.x);
+        devs.extend_from_slice(&s.dev);
+    }
+    Batch {
+        leaf_count: l,
+        x: Tensor::from_vec(xs, &[b, l, N_ENTRY]).expect("sample widths"),
+        dev: Tensor::from_vec(devs, &[b, N_DEVICE_FEATURES]).expect("device widths"),
+        y_raw: samples.iter().map(|s| s.y_raw).collect(),
+        record_idx: samples.iter().map(|s| s.record_idx).collect(),
+    }
+}
+
+/// Splits samples into shuffled leaf-count-homogeneous minibatches.
+pub fn make_batches<'a>(
+    samples: &'a [EncodedSample],
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> Vec<Batch> {
+    let mut groups: HashMap<usize, Vec<&'a EncodedSample>> = HashMap::new();
+    for s in samples {
+        groups.entry(s.leaf_count).or_default().push(s);
+    }
+    let mut batches = Vec::new();
+    for (_, mut group) in groups {
+        group.shuffle(rng);
+        for chunk in group.chunks(batch_size) {
+            batches.push(build_batch(chunk));
+        }
+    }
+    batches.shuffle(rng);
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::GenConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tir::zoo;
+
+    fn ds() -> Dataset {
+        Dataset::generate_with_networks(
+            GenConfig {
+                batch: 1,
+                schedules_per_task: 2,
+                devices: vec![devsim::t4()],
+                seed: 1,
+                noise_sigma: 0.0,
+            },
+            vec![zoo::bert_tiny(1)],
+        )
+    }
+
+    #[test]
+    fn encoding_covers_all_records() {
+        let d = ds();
+        let idx = d.device_records("T4");
+        let enc = encode_records(&d, &idx, features::DEFAULT_THETA, true);
+        assert_eq!(enc.len(), idx.len());
+        for s in &enc {
+            assert_eq!(s.x.len(), s.leaf_count * N_ENTRY);
+            assert!(s.y_raw > 0.0);
+        }
+    }
+
+    #[test]
+    fn pe_toggle_changes_features() {
+        let d = ds();
+        let idx = d.device_records("T4");
+        let with = encode_records(&d, &idx[..4], features::DEFAULT_THETA, true);
+        let without = encode_records(&d, &idx[..4], features::DEFAULT_THETA, false);
+        assert!(with.iter().zip(&without).any(|(a, b)| a.x != b.x));
+    }
+
+    #[test]
+    fn batches_are_homogeneous_and_cover_everything() {
+        let d = ds();
+        let idx = d.device_records("T4");
+        let enc = encode_records(&d, &idx, features::DEFAULT_THETA, true);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = make_batches(&enc, 8, &mut rng);
+        let covered: usize = batches.iter().map(|b| b.record_idx.len()).sum();
+        assert_eq!(covered, enc.len());
+        for b in &batches {
+            assert_eq!(b.x.shape(), &[b.record_idx.len(), b.leaf_count, N_ENTRY]);
+            assert!(b.record_idx.len() <= 8);
+        }
+    }
+}

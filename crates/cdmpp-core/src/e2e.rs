@@ -1,0 +1,180 @@
+//! End-to-end model latency prediction: network → tensor programs →
+//! per-program cost-model predictions → Algorithm-2 replay.
+
+use std::collections::HashMap;
+
+use devsim::{DeviceSpec, Simulator};
+use features::{device_features, extract_compact_ast, N_DEVICE_FEATURES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tir::{build_tasks, lower, sample_schedule, Network, TensorProgram};
+
+use crate::batch::EncodedSample;
+use crate::replayer::{build_dfg, engine_count, replay};
+use crate::trainer::TrainedModel;
+
+/// Outcome of an end-to-end prediction against the simulated ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct E2eResult {
+    /// Replayed latency using cost-model predictions (seconds).
+    pub predicted_s: f64,
+    /// Replayed latency using simulator-measured durations (seconds).
+    pub measured_s: f64,
+}
+
+impl E2eResult {
+    /// Relative prediction error `|pred − meas| / meas`.
+    pub fn error(&self) -> f64 {
+        (self.predicted_s - self.measured_s).abs() / self.measured_s.max(1e-12)
+    }
+}
+
+/// Encodes standalone tensor programs (not dataset records) for inference.
+pub fn encode_programs(
+    programs: &[&TensorProgram],
+    dev: &DeviceSpec,
+    theta: f32,
+    use_pe: bool,
+) -> Vec<EncodedSample> {
+    let dev_feats: [f32; N_DEVICE_FEATURES] = device_features(dev);
+    programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let ast = extract_compact_ast(p);
+            let x = if use_pe { ast.encoded_flat(theta) } else { ast.flat() };
+            EncodedSample {
+                record_idx: i,
+                leaf_count: ast.n_leaves(),
+                x,
+                dev: dev_feats,
+                y_raw: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Per-task program selection for a network: one randomly sampled schedule
+/// per task (§7.2's end-to-end protocol), seeded deterministically.
+pub fn sample_network_programs(net: &Network, seed: u64) -> (Vec<u32>, Vec<TensorProgram>) {
+    let tasks = build_tasks(std::slice::from_ref(net));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut programs = Vec::with_capacity(tasks.len());
+    for t in &tasks {
+        let nest = t.spec.canonical_nest();
+        let mut prog = None;
+        for _ in 0..10 {
+            let s = sample_schedule(&nest, &mut rng);
+            if let Ok(p) = lower(&nest, &s) {
+                prog = Some(p);
+                break;
+            }
+        }
+        programs.push(prog.unwrap_or_else(|| {
+            lower(&nest, &tir::Schedule::default()).expect("canonical lowers")
+        }));
+    }
+    (tasks.iter().map(|t| t.id).collect(), programs)
+}
+
+/// Predicts the end-to-end latency of `net` on `dev` with the cost model,
+/// and replays the same programs with simulator durations as ground truth.
+///
+/// Note: cost-model inference is done **once per distinct task** and the
+/// result shared across layers using the same kernel — the de-duplication
+/// optimization §5.5 describes.
+pub fn end_to_end(model: &TrainedModel, net: &Network, dev: &DeviceSpec, seed: u64) -> E2eResult {
+    let (task_ids, programs) = sample_network_programs(net, seed);
+    // Cost-model predictions, one per task.
+    let refs: Vec<&TensorProgram> = programs.iter().collect();
+    let enc = encode_programs(&refs, dev, model.predictor.config().theta, model.use_pe);
+    let predicted = model.predict_samples(&enc);
+    // Ground truth durations from the simulator (deterministic).
+    let sim = Simulator::new(dev.clone());
+    let measured: Vec<f64> = programs.iter().map(|p| sim.latency_seconds(p)).collect();
+    // Map layer -> task duration.
+    let tasks = build_tasks(std::slice::from_ref(net));
+    let layer_ids = tir::layer_task_ids(net, &tasks);
+    let dur_of = |durs: &[f64]| -> Vec<f64> {
+        let by_task: HashMap<u32, f64> =
+            task_ids.iter().copied().zip(durs.iter().copied()).collect();
+        layer_ids.iter().map(|id| by_task[id]).collect()
+    };
+    let engines = engine_count(dev);
+    let pred_dfg = build_dfg(net, &dur_of(&predicted), dev);
+    let meas_dfg = build_dfg(net, &dur_of(&measured), dev);
+    E2eResult {
+        predicted_s: replay(&pred_dfg, engines),
+        measured_s: replay(&meas_dfg, engines),
+    }
+}
+
+/// Ground-truth end-to-end latency only (no cost model) — used for
+/// device-selection examples.
+pub fn measured_end_to_end(net: &Network, dev: &DeviceSpec, seed: u64) -> f64 {
+    let (task_ids, programs) = sample_network_programs(net, seed);
+    let sim = Simulator::new(dev.clone());
+    let measured: Vec<f64> = programs.iter().map(|p| sim.latency_seconds(p)).collect();
+    let tasks = build_tasks(std::slice::from_ref(net));
+    let layer_ids = tir::layer_task_ids(net, &tasks);
+    let by_task: HashMap<u32, f64> =
+        task_ids.iter().copied().zip(measured.iter().copied()).collect();
+    let durations: Vec<f64> = layer_ids.iter().map(|id| by_task[id]).collect();
+    let dfg = build_dfg(net, &durations, dev);
+    replay(&dfg, engine_count(dev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use crate::trainer::{pretrain, TrainConfig};
+    use dataset::{Dataset, GenConfig, SplitIndices};
+    use tir::zoo;
+
+    fn quick_model(devices: Vec<DeviceSpec>) -> (Dataset, TrainedModel) {
+        let ds = Dataset::generate_with_networks(
+            GenConfig { batch: 1, schedules_per_task: 4, devices, seed: 13, noise_sigma: 0.0 },
+            vec![zoo::bert_tiny(1), zoo::mlp_mixer(1)],
+        );
+        let split = SplitIndices::from_indices(&ds, (0..ds.records.len()).collect(), &[], 1);
+        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+        let (model, _) =
+            pretrain(&ds, &split.train, &split.valid, pcfg, TrainConfig { epochs: 12, ..Default::default() });
+        (ds, model)
+    }
+
+    #[test]
+    fn e2e_prediction_in_same_ballpark_as_ground_truth() {
+        let (_, model) = quick_model(vec![devsim::t4()]);
+        let net = zoo::bert_tiny(1);
+        let r = end_to_end(&model, &net, &devsim::t4(), 3);
+        assert!(r.predicted_s > 0.0 && r.measured_s > 0.0);
+        assert!(r.error() < 1.0, "e2e error {:.2} too large", r.error());
+    }
+
+    #[test]
+    fn sampled_programs_cover_all_tasks() {
+        let net = zoo::bert_tiny(1);
+        let (ids, programs) = sample_network_programs(&net, 1);
+        assert_eq!(ids.len(), programs.len());
+        let tasks = build_tasks(std::slice::from_ref(&net));
+        assert_eq!(ids.len(), tasks.len());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let net = zoo::mlp_mixer(1);
+        let (_, a) = sample_network_programs(&net, 9);
+        let (_, b) = sample_network_programs(&net, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measured_e2e_orders_devices_sensibly() {
+        let net = zoo::bert_tiny(1);
+        let fast = measured_end_to_end(&net, &devsim::a100(), 2);
+        let slow = measured_end_to_end(&net, &devsim::graviton2(), 2);
+        assert!(fast < slow, "A100 {fast} vs Graviton2 {slow}");
+    }
+}

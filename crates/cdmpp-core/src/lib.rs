@@ -1,0 +1,46 @@
+//! CDMPP: the paper's primary contribution.
+//!
+//! * [`predictor`]: the Transformer-based cost model of Fig 4, with
+//!   leaf-count-specific embedding layers and a device branch.
+//! * [`batch`]: leaf-count-homogeneous batching of compact ASTs.
+//! * [`trainer`]: pre-training with Box-Cox label normalization and the
+//!   scale-insensitive hybrid objective (§5.2, §5.4).
+//! * [`finetune`]: CMD-regularized domain adaptation (§5.3).
+//! * [`sampler`]: Algorithm 1 — KMeans-based task selection for profiling
+//!   on a new device.
+//! * [`replayer`]: Algorithm 2 — end-to-end DFG replay, including HL-100
+//!   GEMM-engine splitting (§5.5, Appendix C).
+//! * [`e2e`]: network-level latency prediction gluing all of the above.
+//! * [`search`]: Ansor-lite schedule search driven by a cost model (§7.5).
+//! * [`autotune`]: hyper-parameter / architecture random search
+//!   (Appendix B).
+
+pub mod autotune;
+pub mod batch;
+pub mod e2e;
+pub mod finetune;
+pub mod predictor;
+pub mod replayer;
+pub mod sampler;
+pub mod search;
+pub mod trainer;
+
+pub use autotune::{autotune, AutoTuneResult, Trial};
+pub use batch::{build_batch, encode_records, make_batches, Batch, EncodedSample};
+pub use e2e::{encode_programs, end_to_end, measured_end_to_end, sample_network_programs, E2eResult};
+pub use finetune::{finetune, latent_cmd, FineTuneConfig};
+pub use predictor::{Predictor, PredictorConfig};
+pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
+pub use sampler::select_tasks;
+pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
+pub use trainer::{
+    evaluate,
+    pretrain,
+    train_step,
+    EvalMetrics,
+    LossKind,
+    OptKind,
+    TrainConfig,
+    TrainStats,
+    TrainedModel,
+};

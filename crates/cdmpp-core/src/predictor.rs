@@ -1,0 +1,278 @@
+//! The CDMPP predictor (Fig 4).
+//!
+//! Input: compact-AST leaf vectors with positional encoding `[B, L, N_ENTRY]`
+//! plus device feature rows `[B, N_DEV]`. Pipeline:
+//!
+//! 1. linear input projection to `d_model`,
+//! 2. Transformer encoder over the leaf sequence,
+//! 3. a **leaf-count-specific** linear embedding layer mapping the flattened
+//!    `[L × d_model]` encoder output to a fixed `d_emb` (one linear layer per
+//!    leaf count — the paper's alternative to padding),
+//! 4. a device MLP producing `z_v`,
+//! 5. `z = tanh(z_x ⊕ z_v)` — the latent representation used for CMD
+//!    regularization and the Algorithm-1 sampler (tanh bounds the support
+//!    so the CMD normalization constant is well-defined),
+//! 6. an MLP decoder producing the (Box-Cox-space) latency prediction.
+
+use nn::{Graph, Linear, Mlp, ParamStore, TransformerEncoder, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{Result, Tensor};
+
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+
+/// Architecture hyper-parameters (the auto-tuner's search space, Table 6
+/// scaled to CPU training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorConfig {
+    /// Transformer model width.
+    pub d_model: usize,
+    /// Number of Transformer encoder layers.
+    pub n_layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Device-independent embedding width (`z_x`).
+    pub d_emb: usize,
+    /// Device embedding width (`z_v`).
+    pub d_dev: usize,
+    /// Decoder hidden width.
+    pub dec_hidden: usize,
+    /// Number of decoder hidden layers.
+    pub dec_layers: usize,
+    /// Maximum leaf count supported (one embedding layer per count).
+    pub max_leaves: usize,
+    /// Positional-encoding Θ.
+    pub theta: f32,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            d_model: 32,
+            n_layers: 2,
+            heads: 2,
+            d_ff: 64,
+            d_emb: 24,
+            d_dev: 8,
+            dec_hidden: 32,
+            dec_layers: 2,
+            max_leaves: 8,
+            theta: features::DEFAULT_THETA,
+            seed: 0,
+        }
+    }
+}
+
+/// Output handles of one forward pass.
+pub struct ForwardOut {
+    /// The latent representation `z` (`[B, d_emb + d_dev]`, tanh-bounded).
+    pub latent: Var,
+    /// The prediction `[B, 1]` in transformed label space.
+    pub pred: Var,
+}
+
+/// The CDMPP cost model.
+#[derive(Clone)]
+pub struct Predictor {
+    /// Parameter storage (exposed for optimizers).
+    pub store: ParamStore,
+    input_proj: Linear,
+    encoder: TransformerEncoder,
+    leaf_embed: Vec<Linear>,
+    dev_mlp: Mlp,
+    decoder: Mlp,
+    cfg: PredictorConfig,
+}
+
+impl Predictor {
+    /// Creates an untrained predictor.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let input_proj = Linear::new(&mut store, &mut rng, "input_proj", N_ENTRY, cfg.d_model);
+        let encoder = TransformerEncoder::new(
+            &mut store,
+            &mut rng,
+            "encoder",
+            cfg.n_layers,
+            cfg.d_model,
+            cfg.heads,
+            cfg.d_ff,
+        );
+        let leaf_embed = (1..=cfg.max_leaves)
+            .map(|l| {
+                Linear::new(&mut store, &mut rng, &format!("leaf_embed.{l}"), l * cfg.d_model, cfg.d_emb)
+            })
+            .collect();
+        let dev_mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            "dev_mlp",
+            &[N_DEVICE_FEATURES, cfg.d_dev * 2, cfg.d_dev],
+        );
+        let mut dec_widths = vec![cfg.d_emb + cfg.d_dev];
+        dec_widths.extend(std::iter::repeat(cfg.dec_hidden).take(cfg.dec_layers));
+        dec_widths.push(1);
+        let decoder = Mlp::new(&mut store, &mut rng, "decoder", &dec_widths);
+        Predictor { store, input_proj, encoder, leaf_embed, dev_mlp, decoder, cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Number of scalar parameters (the paper's model has 13.8M; this one
+    /// is ~100k for CPU-scale training).
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// One forward pass over a leaf-count-homogeneous batch.
+    ///
+    /// `x` is `[B, L, N_ENTRY]` (PE already added by the feature layer),
+    /// `dev` is `[B, N_DEVICE_FEATURES]`. `L` must be in
+    /// `1..=cfg.max_leaves`.
+    pub fn forward(&self, g: &mut Graph, x: Tensor, dev: Tensor) -> Result<ForwardOut> {
+        let shape = x.shape().to_vec();
+        debug_assert_eq!(shape.len(), 3);
+        let (b, l) = (shape[0], shape[1]);
+        let xv = g.constant(x);
+        let h = self.input_proj.forward(g, &self.store, xv)?;
+        let h = self.encoder.forward(g, &self.store, h)?;
+        // Leaf-count-specific embedding: flatten [B, L, d] -> [B, L*d].
+        let flat = g.reshape(h, &[b, l * self.cfg.d_model])?;
+        let layer = self
+            .leaf_embed
+            .get(l.saturating_sub(1))
+            .unwrap_or_else(|| self.leaf_embed.last().expect("max_leaves >= 1"));
+        let zx = layer.forward(g, &self.store, flat)?;
+        // Device branch.
+        let dv = g.constant(dev);
+        let zv = self.dev_mlp.forward(g, &self.store, dv)?;
+        let z = g.concat_last(&[zx, zv])?;
+        let z = g.tanh(z)?;
+        let pred = self.decoder.forward(g, &self.store, z)?;
+        Ok(ForwardOut { latent: z, pred })
+    }
+
+    /// Inference: predictions (transformed space) for a batch.
+    pub fn predict_batch(&self, x: Tensor, dev: Tensor) -> Result<Vec<f32>> {
+        let mut g = Graph::new();
+        let out = self.forward(&mut g, x, dev)?;
+        Ok(g.value(out.pred).data().to_vec())
+    }
+
+    /// Inference: latent representations for a batch (for CMD / t-SNE /
+    /// Algorithm 1).
+    pub fn latent_batch(&self, x: Tensor, dev: Tensor) -> Result<Vec<Vec<f64>>> {
+        let mut g = Graph::new();
+        let out = self.forward(&mut g, x, dev)?;
+        let z = g.value(out.latent);
+        let d = z.shape()[1];
+        Ok(z.data().chunks(d).map(|row| row.iter().map(|&v| v as f64).collect()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(b: usize, l: usize) -> (Tensor, Tensor) {
+        let x = Tensor::from_fn(&[b, l, N_ENTRY], |i| ((i as f32) * 0.137).sin() * 0.5);
+        let dev = Tensor::from_fn(&[b, N_DEVICE_FEATURES], |i| ((i as f32) * 0.311).cos());
+        (x, dev)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let p = Predictor::new(PredictorConfig::default());
+        for l in [1usize, 3, 4, 8] {
+            let (x, dev) = batch(5, l);
+            let mut g = Graph::new();
+            let out = p.forward(&mut g, x, dev).unwrap();
+            assert_eq!(g.value(out.pred).shape(), &[5, 1]);
+            assert_eq!(g.value(out.latent).shape(), &[5, 24 + 8]);
+        }
+    }
+
+    #[test]
+    fn latent_is_tanh_bounded() {
+        let p = Predictor::new(PredictorConfig::default());
+        let (x, dev) = batch(4, 3);
+        let zs = p.latent_batch(x, dev).unwrap();
+        for row in zs {
+            assert!(row.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn different_leaf_counts_use_different_embedding_layers() {
+        // The same content reshaped to different leaf counts must go
+        // through different layers and give different outputs.
+        let p = Predictor::new(PredictorConfig::default());
+        let x2 = Tensor::from_fn(&[1, 2, N_ENTRY], |i| (i as f32 * 0.1).sin());
+        let dev = Tensor::zeros(&[1, N_DEVICE_FEATURES]);
+        let y2 = p.predict_batch(x2, dev.clone()).unwrap();
+        let x4 = Tensor::from_fn(&[1, 4, N_ENTRY], |i| (i as f32 * 0.1).sin());
+        let y4 = p.predict_batch(x4, dev).unwrap();
+        assert_ne!(y2[0], y4[0]);
+    }
+
+    #[test]
+    fn device_features_change_prediction() {
+        let p = Predictor::new(PredictorConfig::default());
+        let x = Tensor::from_fn(&[1, 3, N_ENTRY], |i| (i as f32 * 0.05).sin());
+        let d1 = Tensor::zeros(&[1, N_DEVICE_FEATURES]);
+        let d2 = Tensor::full(&[1, N_DEVICE_FEATURES], 1.0);
+        let y1 = p.predict_batch(x.clone(), d1).unwrap();
+        let y2 = p.predict_batch(x, d2).unwrap();
+        assert_ne!(y1[0], y2[0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_components() {
+        let p = Predictor::new(PredictorConfig::default());
+        let (x, dev) = batch(6, 3);
+        let mut g = Graph::new();
+        let out = p.forward(&mut g, x, dev).unwrap();
+        let sq = g.square(out.pred).unwrap();
+        let loss = g.mean(sq).unwrap();
+        g.backward(loss).unwrap();
+        let mut store = p.store.clone();
+        store.zero_grad();
+        g.write_param_grads(&mut store).unwrap();
+        // Input projection, encoder, the L=3 embedding layer, device MLP
+        // and decoder must all receive gradient; other leaf-embed layers
+        // must not.
+        let mut with_grad = 0;
+        let mut without = 0;
+        for id in store.ids() {
+            let n = store.name(id);
+            let has = store.grad(id).norm2() > 0.0;
+            if n.starts_with("leaf_embed.") && !n.starts_with("leaf_embed.3") {
+                assert!(!has, "{n} should be untouched");
+                without += 1;
+            } else if has {
+                with_grad += 1;
+            }
+        }
+        assert!(with_grad > 10);
+        assert!(without > 0);
+    }
+
+    #[test]
+    fn param_count_scales_with_config() {
+        let small = Predictor::new(PredictorConfig::default());
+        let big = Predictor::new(PredictorConfig {
+            d_model: 64,
+            n_layers: 4,
+            ..PredictorConfig::default()
+        });
+        assert!(big.num_params() > 2 * small.num_params());
+    }
+}

@@ -1,0 +1,335 @@
+//! The replayer (§5.5, Appendix C, Algorithm 2): end-to-end DNN latency
+//! from per-tensor-program predictions.
+//!
+//! The network's layer DAG becomes a tensor-program data-flow graph; each
+//! node carries its predicted duration; Algorithm 2 topologically simulates
+//! execution over one or more device queues (engines) and reports the
+//! completion time of the last node. On the HL-100, GEMM-class nodes are
+//! split into three parallel sub-operators, one per GEMM engine (§5.5).
+
+use std::collections::HashMap;
+
+use devsim::DeviceSpec;
+use tir::{Network, OpSpec};
+
+/// One node of the replayable DFG.
+#[derive(Debug, Clone)]
+pub struct DfgNode {
+    /// Duration in seconds (predicted or measured).
+    pub duration_s: f64,
+    /// Indices of producer nodes.
+    pub deps: Vec<usize>,
+    /// Queue (engine) this node executes on.
+    pub engine: usize,
+    /// Inter-op dispatch gap in seconds.
+    pub gap_s: f64,
+}
+
+/// One scheduled node in a replay timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEntry {
+    /// Node index in the input DFG.
+    pub node: usize,
+    /// Engine the node ran on.
+    pub engine: usize,
+    /// Start timestamp (seconds).
+    pub start_s: f64,
+    /// End timestamp (seconds, includes the dispatch gap).
+    pub end_s: f64,
+}
+
+/// Algorithm 2: simulates the DFG over `n_engines` device queues and
+/// returns the iteration time (completion of the last node).
+pub fn replay(nodes: &[DfgNode], n_engines: usize) -> f64 {
+    replay_timeline(nodes, n_engines).1
+}
+
+/// Algorithm 2 with a full execution trace: returns the per-node timeline
+/// (in execution order) and the iteration time. Useful for debugging DFG
+/// schedules, in the spirit of dPRO's timeline output.
+pub fn replay_timeline(nodes: &[DfgNode], n_engines: usize) -> (Vec<TimelineEntry>, f64) {
+    assert!(n_engines >= 1, "need at least one engine");
+    let n = nodes.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut timeline = Vec::with_capacity(n);
+    // Lines 3-6: device times and per-device ready queues.
+    let mut device_time = vec![0.0f64; n_engines];
+    let mut refcount: Vec<usize> = nodes.iter().map(|u| u.deps.len()).collect();
+    let mut ready_time = vec![0.0f64; n];
+    // Per-engine queues of ready nodes ordered by readyTime.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n_engines];
+    for (i, u) in nodes.iter().enumerate() {
+        if refcount[i] == 0 {
+            queues[u.engine.min(n_engines - 1)].push(i);
+        }
+    }
+    let mut finished = 0usize;
+    let mut iteration_time = 0.0f64;
+    while finished < n {
+        // Line 14: select the first device with a non-empty queue,
+        // preferring the one with the smallest deviceTime.
+        let d = match (0..n_engines)
+            .filter(|&d| !queues[d].is_empty())
+            .min_by(|&a, &b| device_time[a].partial_cmp(&device_time[b]).expect("finite"))
+        {
+            Some(d) => d,
+            None => break, // Cycle in the graph: stop simulation.
+        };
+        // Line 18: pop the op with the smallest readyTime.
+        let (pos, _) = queues[d]
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| ready_time[a].partial_cmp(&ready_time[b]).expect("finite"))
+            .expect("non-empty queue");
+        let u = queues[d].remove(pos);
+        // Lines 19-20: start and completion times.
+        let start = device_time[d].max(ready_time[u]);
+        let end = start + nodes[u].duration_s + nodes[u].gap_s;
+        device_time[d] = end;
+        iteration_time = iteration_time.max(end);
+        timeline.push(TimelineEntry { node: u, engine: d, start_s: start, end_s: end });
+        finished += 1;
+        // Lines 22-28: release successors.
+        for (v, node) in nodes.iter().enumerate() {
+            if node.deps.contains(&u) {
+                refcount[v] -= 1;
+                ready_time[v] = ready_time[v].max(end);
+                if refcount[v] == 0 {
+                    queues[node.engine.min(n_engines - 1)].push(v);
+                }
+            }
+        }
+    }
+    (timeline, iteration_time)
+}
+
+/// How many engines a device exposes to the replayer.
+pub fn engine_count(dev: &DeviceSpec) -> usize {
+    if dev.gemm_engines > 0 {
+        // GEMM engines + one vector-core queue (the TPC pool).
+        dev.gemm_engines as usize + 1
+    } else {
+        1
+    }
+}
+
+fn is_gemm_class(spec: &OpSpec) -> bool {
+    matches!(
+        spec,
+        OpSpec::Dense { .. } | OpSpec::BatchMatmul { .. } | OpSpec::Conv2d { .. }
+    )
+}
+
+/// Builds the replayable DFG for a network on a device.
+///
+/// `layer_durations` gives the predicted latency of each layer (seconds).
+/// On accelerators with GEMM engines, GEMM-class layers are split into
+/// `gemm_engines` parallel sub-operators of `ŷ/engines` each (§5.5).
+pub fn build_dfg(net: &Network, layer_durations: &[f64], dev: &DeviceSpec) -> Vec<DfgNode> {
+    assert_eq!(net.layers.len(), layer_durations.len());
+    let engines = engine_count(dev);
+    let gap = dev.launch_overhead_us * 1e-6 * 0.1;
+    if engines == 1 {
+        return net
+            .layers
+            .iter()
+            .zip(layer_durations.iter())
+            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: gap })
+            .collect();
+    }
+    // HL-100 style: map layer index -> sub-node indices.
+    let mut nodes: Vec<DfgNode> = Vec::new();
+    let mut sub_nodes: HashMap<usize, Vec<usize>> = HashMap::new();
+    let n_gemm = dev.gemm_engines as usize;
+    for (li, (layer, &d)) in net.layers.iter().zip(layer_durations.iter()).enumerate() {
+        let deps: Vec<usize> = layer
+            .deps
+            .iter()
+            .flat_map(|dep| sub_nodes[dep].iter().copied())
+            .collect();
+        let ids = if is_gemm_class(&layer.spec) {
+            (0..n_gemm)
+                .map(|e| {
+                    nodes.push(DfgNode {
+                        duration_s: d / n_gemm as f64,
+                        deps: deps.clone(),
+                        engine: e,
+                        gap_s: gap,
+                    });
+                    nodes.len() - 1
+                })
+                .collect()
+        } else {
+            nodes.push(DfgNode { duration_s: d, deps, engine: n_gemm, gap_s: gap });
+            vec![nodes.len() - 1]
+        };
+        sub_nodes.insert(li, ids);
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::zoo;
+
+    fn chain(durations: &[f64]) -> Vec<DfgNode> {
+        durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| DfgNode {
+                duration_s: d,
+                deps: if i == 0 { vec![] } else { vec![i - 1] },
+                engine: 0,
+                gap_s: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_chain_sums() {
+        let t = replay(&chain(&[1.0, 2.0, 3.0]), 1);
+        assert!((t - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        assert_eq!(replay(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn parallel_branches_on_one_engine_serialize() {
+        // Diamond: 0 -> {1, 2} -> 3, all on one engine.
+        let nodes = vec![
+            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 3.0, deps: vec![0], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+        ];
+        assert!((replay(&nodes, 1) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_branches_on_two_engines_overlap() {
+        let nodes = vec![
+            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 3.0, deps: vec![0], engine: 1, gap_s: 0.0 },
+            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+        ];
+        // 0 (1s) then branches overlap (max 3s) then 3 (1s) = 5s.
+        assert!((replay(&nodes, 2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_respected_regardless_of_queue_order() {
+        // Node 1 is much shorter but depends on node 0.
+        let nodes = vec![
+            DfgNode { duration_s: 5.0, deps: vec![], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 0.1, deps: vec![0], engine: 1, gap_s: 0.0 },
+        ];
+        let t = replay(&nodes, 2);
+        assert!((t - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_accumulate() {
+        let mut nodes = chain(&[1.0, 1.0]);
+        nodes[0].gap_s = 0.5;
+        nodes[1].gap_s = 0.5;
+        assert!((replay(&nodes, 1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_dfg_is_one_node_per_layer() {
+        let net = zoo::bert_tiny(1);
+        let durations = vec![1e-4; net.layers.len()];
+        let dfg = build_dfg(&net, &durations, &devsim::v100());
+        assert_eq!(dfg.len(), net.layers.len());
+    }
+
+    #[test]
+    fn hl100_splits_gemm_layers() {
+        let net = zoo::bert_tiny(1);
+        let durations = vec![1e-4; net.layers.len()];
+        let dev = devsim::hl100();
+        let dfg = build_dfg(&net, &durations, &dev);
+        let gemm_layers = net
+            .layers
+            .iter()
+            .filter(|l| is_gemm_class(&l.spec))
+            .count();
+        let expected = gemm_layers * 3 + (net.layers.len() - gemm_layers);
+        assert_eq!(dfg.len(), expected);
+        // Splitting across 3 engines beats the single-engine replay of the
+        // same graph.
+        let t_split = replay(&dfg, engine_count(&dev));
+        let single: Vec<DfgNode> = net
+            .layers
+            .iter()
+            .zip(durations.iter())
+            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: 0.0 })
+            .collect();
+        let t_single = replay(&single, 1);
+        assert!(t_split < t_single, "{t_split} vs {t_single}");
+    }
+
+    #[test]
+    fn timeline_covers_every_node_without_overlap_per_engine() {
+        let nodes = vec![
+            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
+            DfgNode { duration_s: 3.0, deps: vec![0], engine: 1, gap_s: 0.0 },
+            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+        ];
+        let (timeline, t) = replay_timeline(&nodes, 2);
+        assert_eq!(timeline.len(), 4);
+        assert!((t - 5.0).abs() < 1e-12);
+        // Every node appears exactly once.
+        let mut seen: Vec<usize> = timeline.iter().map(|e| e.node).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        // Per engine, intervals do not overlap.
+        for engine in 0..2 {
+            let mut intervals: Vec<(f64, f64)> = timeline
+                .iter()
+                .filter(|e| e.engine == engine)
+                .map(|e| (e.start_s, e.end_s))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12);
+            }
+        }
+        // Dependencies respected in the trace.
+        for e in &timeline {
+            for &d in &nodes[e.node].deps {
+                let dep_end = timeline.iter().find(|x| x.node == d).unwrap().end_s;
+                assert!(e.start_s >= dep_end - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inception_branches_benefit_from_engines() {
+        let net = zoo::inception_v3(1);
+        let durations: Vec<f64> = net.layers.iter().map(|l| l.spec.flops() * 1e-12 + 1e-5).collect();
+        let dfg1: Vec<DfgNode> = net
+            .layers
+            .iter()
+            .zip(durations.iter())
+            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: 0.0 })
+            .collect();
+        let t1 = replay(&dfg1, 1);
+        // Same graph, branches spread round-robin over 4 engines.
+        let dfg4: Vec<DfgNode> = dfg1
+            .iter()
+            .enumerate()
+            .map(|(i, n)| DfgNode { engine: i % 4, ..n.clone() })
+            .collect();
+        let t4 = replay(&dfg4, 4);
+        assert!(t4 < t1);
+    }
+}

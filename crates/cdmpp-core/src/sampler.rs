@@ -1,0 +1,154 @@
+//! Algorithm 1: the clustering-based task-sampling strategy for
+//! fine-tuning on a new device.
+//!
+//! Given the latent features of every tensor program grouped by task,
+//! KMeans partitions the feature space into κ clusters; clusters are
+//! visited largest-first and each contributes the not-yet-chosen task
+//! whose features lie closest (on average) to the cluster centroid.
+
+use std::collections::HashMap;
+
+use learn::kmeans;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Selects `kappa` representative tasks (Algorithm 1).
+///
+/// `task_features` maps task id → that task's tensor-program feature rows
+/// (typically latents from the source-device model). Returns at most
+/// `kappa` distinct task ids, cluster-representatives first.
+pub fn select_tasks(
+    task_features: &HashMap<u32, Vec<Vec<f64>>>,
+    kappa: usize,
+    seed: u64,
+) -> Vec<u32> {
+    let mut task_ids: Vec<u32> = task_features.keys().copied().collect();
+    task_ids.sort_unstable();
+    if task_ids.is_empty() || kappa == 0 {
+        return Vec::new();
+    }
+    // Line 1: X = all tensor program features.
+    let all: Vec<Vec<f64>> = task_ids
+        .iter()
+        .flat_map(|t| task_features[t].iter().cloned())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = kappa.min(all.len());
+    let result = kmeans(&all, k, 50, &mut rng);
+    // Line 2: sort clusters by size, descending.
+    let mut cluster_order: Vec<usize> = (0..result.centroids.len()).collect();
+    cluster_order.sort_by_key(|&c| std::cmp::Reverse(result.sizes[c]));
+    // Lines 4-14: per cluster, pick the unused task with the smallest
+    // average distance Ψ[e, τ] to the centroid.
+    let mut selected = Vec::new();
+    let mut remaining: Vec<u32> = task_ids.clone();
+    for &e in &cluster_order {
+        if selected.len() >= kappa || remaining.is_empty() {
+            break;
+        }
+        let centroid = &result.centroids[e];
+        // Ψ[e, τ] = mean distance of task τ's features to centroid e.
+        let mut best: Option<(f64, u32)> = None;
+        for &tau in &remaining {
+            let feats = &task_features[&tau];
+            if feats.is_empty() {
+                continue;
+            }
+            let psi: f64 = feats
+                .iter()
+                .map(|f| {
+                    f.iter()
+                        .zip(centroid.iter())
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .sum::<f64>()
+                / feats.len() as f64;
+            if best.map_or(true, |(b, _)| psi < b) {
+                best = Some((psi, tau));
+            }
+        }
+        if let Some((_, tau)) = best {
+            selected.push(tau);
+            remaining.retain(|&t| t != tau);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three "task families" at distinct locations in feature space.
+    fn clustered_tasks() -> HashMap<u32, Vec<Vec<f64>>> {
+        let mut m = HashMap::new();
+        // Family A around (0,0): tasks 0..3. Family B around (10,10):
+        // tasks 10..13. Family C around (-10, 5): tasks 20..21.
+        for t in 0..4u32 {
+            m.insert(t, (0..5).map(|i| vec![0.1 * i as f64, 0.1 * t as f64]).collect());
+        }
+        for t in 10..14u32 {
+            m.insert(t, (0..5).map(|i| vec![10.0 + 0.1 * i as f64, 10.0 + 0.1 * t as f64 % 1.0]).collect());
+        }
+        for t in 20..22u32 {
+            m.insert(t, (0..5).map(|i| vec![-10.0 + 0.1 * i as f64, 5.0]).collect());
+        }
+        m
+    }
+
+    #[test]
+    fn selects_kappa_distinct_tasks() {
+        let feats = clustered_tasks();
+        let sel = select_tasks(&feats, 3, 1);
+        assert_eq!(sel.len(), 3);
+        let mut dedup = sel.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn covers_all_families() {
+        // With κ = 3 and 3 well-separated families, one task per family
+        // should be selected.
+        let feats = clustered_tasks();
+        let sel = select_tasks(&feats, 3, 2);
+        let fam = |t: u32| if t < 4 { 0 } else if t < 14 { 1 } else { 2 };
+        let mut fams: Vec<usize> = sel.iter().map(|&t| fam(t)).collect();
+        fams.sort_unstable();
+        fams.dedup();
+        assert_eq!(fams.len(), 3, "selected {sel:?}");
+    }
+
+    #[test]
+    fn kappa_larger_than_tasks_clamps() {
+        let feats = clustered_tasks();
+        let sel = select_tasks(&feats, 100, 3);
+        assert!(sel.len() <= feats.len());
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        assert!(select_tasks(&HashMap::new(), 5, 0).is_empty());
+        let feats = clustered_tasks();
+        assert!(select_tasks(&feats, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let feats = clustered_tasks();
+        assert_eq!(select_tasks(&feats, 4, 7), select_tasks(&feats, 4, 7));
+    }
+
+    #[test]
+    fn representative_not_outlier() {
+        // Within a family, the task closest to the family centroid wins.
+        let mut m = HashMap::new();
+        m.insert(0u32, vec![vec![0.0, 0.0]]); // dead center
+        m.insert(1u32, vec![vec![3.0, 3.0]]); // off-center
+        m.insert(2u32, vec![vec![-0.5, 0.2]]);
+        let sel = select_tasks(&m, 1, 1);
+        assert_ne!(sel[0], 1, "outlier task must not represent the cluster");
+    }
+}

@@ -1,0 +1,432 @@
+//! Pre-training (§5.2): Box-Cox label normalization + the scale-insensitive
+//! hybrid objective, minibatched over leaf-count-homogeneous batches.
+
+use std::time::Instant;
+
+use dataset::Dataset;
+use learn::{accuracy_within, mape, rmse, FittedTransform, LabelTransform, TransformKind};
+use nn::{Adam, CyclicLr, Graph, LrSchedule, Optimizer, Sgd, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+use crate::batch::{encode_records, make_batches, Batch, EncodedSample, FeatScaler};
+use crate::predictor::{Predictor, PredictorConfig};
+
+/// Which training objective (Tables 4 & 5 ablation).
+pub use nn::LossKind;
+
+/// Which optimizer the auto-tuner picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptKind {
+    /// Adam with decoupled weight decay (the paper's tuned choice).
+    Adam,
+    /// SGD with momentum.
+    Sgd,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Minibatch size (the paper uses 600; scaled down here).
+    pub batch_size: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Hybrid-loss λ (§5.2 uses 1e-3).
+    pub lambda: f32,
+    /// Label normalization (§5.4; Box-Cox by default).
+    pub transform: TransformKind,
+    /// Training objective.
+    pub loss: LossKind,
+    /// Positional encoding on/off (Fig 14a ablation).
+    pub use_pe: bool,
+    /// Optimizer.
+    pub optimizer: OptKind,
+    /// Use the cyclic LR schedule (the paper's tuned scheduler).
+    pub cyclic_lr: bool,
+    /// Shuffle/init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            lr: 2e-3,
+            weight_decay: 1e-3,
+            lambda: 1e-3,
+            transform: TransformKind::BoxCox,
+            loss: LossKind::Hybrid,
+            use_pe: true,
+            optimizer: OptKind::Adam,
+            cyclic_lr: true,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained model: predictor + fitted label transform.
+#[derive(Clone)]
+pub struct TrainedModel {
+    /// The predictor network.
+    pub predictor: Predictor,
+    /// Fitted label transform (applied to latencies in seconds).
+    pub transform: FittedTransform,
+    /// Fitted input-feature standardizer.
+    pub scaler: FeatScaler,
+    /// Whether PE was used at training time (must match at inference).
+    pub use_pe: bool,
+    /// The training configuration used.
+    pub train_config: TrainConfig,
+}
+
+/// Evaluation metrics (the paper's reporting set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalMetrics {
+    /// Mean absolute percentage error (fraction, not %).
+    pub mape: f64,
+    /// RMSE in milliseconds (Table 5's unit).
+    pub rmse_ms: f64,
+    /// Fraction within 20% relative error.
+    pub acc20: f64,
+    /// Fraction within 10% relative error.
+    pub acc10: f64,
+    /// Fraction within 5% relative error.
+    pub acc5: f64,
+}
+
+/// Training statistics (for the §7.2 throughput comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStats {
+    /// Samples processed per second during training.
+    pub throughput: f64,
+    /// Total samples processed.
+    pub samples: usize,
+    /// Final training loss.
+    pub final_loss: f64,
+}
+
+/// Builds the (possibly clamped) training loss in transformed label space.
+///
+/// Relative terms (MAPE/MSPE) clamp the denominator at 0.1 because Box-Cox
+/// output is standardized around zero — the paper trains MAPE on raw
+/// labels, which are strictly positive; in transformed space the clamp
+/// plays that role.
+pub fn build_loss(
+    g: &mut Graph,
+    pred: Var,
+    y_t: &[f32],
+    kind: LossKind,
+    lambda: f32,
+) -> tensor::Result<Var> {
+    let n = y_t.len();
+    let target = Tensor::from_vec(y_t.to_vec(), &[n, 1])?;
+    let t = g.constant(target.clone());
+    let d = g.sub(pred, t)?;
+    let weights = Tensor::from_vec(
+        y_t.iter().map(|&y| 1.0 / y.abs().max(0.1)).collect(),
+        &[n, 1],
+    )?;
+    match kind {
+        LossKind::Mse => {
+            let sq = g.square(d)?;
+            g.mean(sq)
+        }
+        LossKind::Mape => {
+            let a = g.abs(d)?;
+            let w = g.mul_const(a, weights)?;
+            g.mean(w)
+        }
+        LossKind::Mspe => {
+            let r = g.mul_const(d, weights)?;
+            let sq = g.square(r)?;
+            g.mean(sq)
+        }
+        LossKind::Hybrid => {
+            let sq = g.square(d)?;
+            let mse = g.mean(sq)?;
+            let a = g.abs(d)?;
+            let w = g.mul_const(a, weights)?;
+            let mape = g.mean(w)?;
+            let scaled = g.scale(mape, lambda);
+            g.add(mse, scaled)
+        }
+    }
+}
+
+fn make_optimizer(tcfg: &TrainConfig) -> Box<dyn Optimizer> {
+    match tcfg.optimizer {
+        OptKind::Adam => Box::new(Adam::with_weight_decay(tcfg.lr, tcfg.weight_decay)),
+        OptKind::Sgd => Box::new(Sgd::with_momentum(tcfg.lr, 0.9, tcfg.weight_decay)),
+    }
+}
+
+/// Runs one optimization step on a batch; returns the loss value.
+pub fn train_step(
+    predictor: &mut Predictor,
+    opt: &mut dyn Optimizer,
+    batch: &Batch,
+    y_t: &[f32],
+    loss_kind: LossKind,
+    lambda: f32,
+) -> f64 {
+    predictor.store.zero_grad();
+    let mut g = Graph::new();
+    let Ok(out) = predictor.forward(&mut g, batch.x.clone(), batch.dev.clone()) else {
+        return f64::NAN;
+    };
+    let Ok(loss) = build_loss(&mut g, out.pred, y_t, loss_kind, lambda) else {
+        return f64::NAN;
+    };
+    let value = g.value(loss).item() as f64;
+    if g.backward(loss).is_err() {
+        return value;
+    }
+    let _ = g.write_param_grads(&mut predictor.store);
+    predictor.store.clip_grad_norm(5.0);
+    opt.step(&mut predictor.store);
+    value
+}
+
+/// Pre-trains a predictor on `train_idx`, early-validating on `valid_idx`.
+pub fn pretrain(
+    ds: &Dataset,
+    train_idx: &[usize],
+    valid_idx: &[usize],
+    pcfg: PredictorConfig,
+    tcfg: TrainConfig,
+) -> (TrainedModel, TrainStats) {
+    assert!(!train_idx.is_empty(), "empty training set");
+    let theta = pcfg.theta;
+    let mut train = encode_records(ds, train_idx, theta, tcfg.use_pe);
+    let scaler = FeatScaler::fit(&train);
+    scaler.apply_all(&mut train);
+    let train_labels: Vec<f64> = train.iter().map(|s| s.y_raw).collect();
+    let transform = tcfg.transform.fit(&train_labels);
+    let mut predictor = Predictor::new(pcfg);
+    let mut opt = make_optimizer(&tcfg);
+    let schedule = CyclicLr {
+        base_lr: tcfg.lr * 0.2,
+        max_lr: tcfg.lr,
+        step_size: ((train.len() / tcfg.batch_size.max(1)).max(1) * 2) as u64,
+    };
+    let mut rng = StdRng::seed_from_u64(tcfg.seed);
+    let start = Instant::now();
+    let mut samples = 0usize;
+    let mut step = 0u64;
+    let mut final_loss = f64::NAN;
+    let mut best_val = f64::INFINITY;
+    let mut best_params: Option<nn::ParamStore> = None;
+    for epoch in 0..tcfg.epochs {
+        let batches = make_batches(&train, tcfg.batch_size, &mut rng);
+        for b in &batches {
+            if tcfg.cyclic_lr {
+                opt.set_lr(schedule.lr_at(step));
+            }
+            let y_t: Vec<f32> =
+                b.y_raw.iter().map(|&y| transform.forward(y) as f32).collect();
+            final_loss = train_step(&mut predictor, opt.as_mut(), b, &y_t, tcfg.loss, tcfg.lambda);
+            samples += b.record_idx.len();
+            step += 1;
+        }
+        // Keep the best-on-validation parameters (cheap early stopping).
+        if !valid_idx.is_empty() && (epoch + 1) % 2 == 0 {
+            let model = TrainedModel {
+                predictor: Predictor::new(predictor.config().clone()),
+                transform: tcfg.transform.fit(&train_labels),
+                scaler: scaler.clone(),
+                use_pe: tcfg.use_pe,
+                train_config: tcfg.clone(),
+            };
+            // Evaluate with the live parameters (swap stores temporarily).
+            let mut probe = model;
+            std::mem::swap(&mut probe.predictor.store, &mut predictor.store);
+            let metrics = evaluate(&probe, ds, valid_idx);
+            std::mem::swap(&mut probe.predictor.store, &mut predictor.store);
+            if metrics.mape < best_val {
+                best_val = metrics.mape;
+                best_params = Some(predictor.store.clone());
+            }
+        }
+    }
+    if let Some(p) = best_params {
+        predictor.store = p;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let model = TrainedModel { predictor, transform, scaler, use_pe: tcfg.use_pe, train_config: tcfg };
+    let stats = TrainStats { throughput: samples as f64 / elapsed, samples, final_loss };
+    (model, stats)
+}
+
+impl TrainedModel {
+    /// Predicts latencies (seconds) for dataset records.
+    pub fn predict_records(&self, ds: &Dataset, idx: &[usize]) -> Vec<f64> {
+        let theta = self.predictor.config().theta;
+        let enc = encode_records(ds, idx, theta, self.use_pe);
+        self.predict_samples(&enc)
+    }
+
+    /// Predicts latencies (seconds) for pre-encoded (unscaled) samples.
+    pub fn predict_samples(&self, enc: &[EncodedSample]) -> Vec<f64> {
+        let mut enc: Vec<EncodedSample> = enc.to_vec();
+        self.scaler.apply_all(&mut enc);
+        self.predict_scaled(&enc)
+    }
+
+    /// Predicts latencies for samples already standardized by the model's
+    /// scaler (the training loop's internal path).
+    pub fn predict_scaled(&self, enc: &[EncodedSample]) -> Vec<f64> {
+        let mut out = vec![0.0f64; enc.len()];
+        // Batch by leaf count for the L-specific layers.
+        let mut by_leaf: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (i, s) in enc.iter().enumerate() {
+            by_leaf.entry(s.leaf_count).or_default().push(i);
+        }
+        for (_, idxs) in by_leaf {
+            let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
+            let batch = crate::batch::build_batch(&refs);
+            match self.predictor.predict_batch(batch.x, batch.dev) {
+                Ok(preds) => {
+                    for (&i, &p) in idxs.iter().zip(preds.iter()) {
+                        out[i] = self.transform.inverse(p as f64).max(1e-12);
+                    }
+                }
+                Err(_) => {
+                    for &i in &idxs {
+                        out[i] = f64::NAN;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Latent representations for dataset records.
+    pub fn latents(&self, ds: &Dataset, idx: &[usize]) -> Vec<Vec<f64>> {
+        let theta = self.predictor.config().theta;
+        let mut enc = encode_records(ds, idx, theta, self.use_pe);
+        self.scaler.apply_all(&mut enc);
+        let mut out = vec![Vec::new(); enc.len()];
+        let mut by_leaf: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (i, s) in enc.iter().enumerate() {
+            by_leaf.entry(s.leaf_count).or_default().push(i);
+        }
+        for (_, idxs) in by_leaf {
+            let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
+            let batch = crate::batch::build_batch(&refs);
+            if let Ok(zs) = self.predictor.latent_batch(batch.x, batch.dev) {
+                for (&i, z) in idxs.iter().zip(zs.into_iter()) {
+                    out[i] = z;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates a trained model on record indices.
+pub fn evaluate(model: &TrainedModel, ds: &Dataset, idx: &[usize]) -> EvalMetrics {
+    let preds = model.predict_records(ds, idx);
+    let truth = ds.latencies(idx);
+    let pred_ms: Vec<f64> = preds.iter().map(|&p| p * 1e3).collect();
+    let truth_ms: Vec<f64> = truth.iter().map(|&t| t * 1e3).collect();
+    EvalMetrics {
+        mape: mape(&preds, &truth),
+        rmse_ms: rmse(&pred_ms, &truth_ms),
+        acc20: accuracy_within(&preds, &truth, 0.2),
+        acc10: accuracy_within(&preds, &truth, 0.1),
+        acc5: accuracy_within(&preds, &truth, 0.05),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{GenConfig, SplitIndices};
+    use tir::zoo;
+
+    fn small_setup() -> (Dataset, SplitIndices) {
+        let ds = Dataset::generate_with_networks(
+            GenConfig {
+                batch: 1,
+                schedules_per_task: 4,
+                devices: vec![devsim::t4()],
+                seed: 5,
+                noise_sigma: 0.0,
+            },
+            vec![zoo::bert_tiny(1), zoo::mlp_mixer(1)],
+        );
+        let split = SplitIndices::for_device(&ds, "T4", &[], 1);
+        (ds, split)
+    }
+
+    fn quick_train(ds: &Dataset, split: &SplitIndices, tcfg: TrainConfig) -> (TrainedModel, TrainStats) {
+        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+        pretrain(ds, &split.train, &split.valid, pcfg, tcfg)
+    }
+
+    #[test]
+    fn training_beats_trivial_baseline() {
+        let (ds, split) = small_setup();
+        let tcfg = TrainConfig { epochs: 25, ..Default::default() };
+        let (model, stats) = quick_train(&ds, &split, tcfg);
+        let m = evaluate(&model, &ds, &split.test);
+        // Trivial baseline: predict the training median for everything.
+        let mut lat = ds.latencies(&split.train);
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lat[lat.len() / 2];
+        let truth = ds.latencies(&split.test);
+        let trivial = mape(&vec![median; truth.len()], &truth);
+        assert!(
+            m.mape < 0.6 * trivial,
+            "model MAPE {:.3} vs trivial {:.3}",
+            m.mape,
+            trivial
+        );
+        assert!(stats.throughput > 0.0);
+    }
+
+    #[test]
+    fn predictions_are_positive_seconds() {
+        let (ds, split) = small_setup();
+        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 4, ..Default::default() });
+        let preds = model.predict_records(&ds, &split.test);
+        assert!(preds.iter().all(|&p| p > 0.0 && p.is_finite()));
+    }
+
+    #[test]
+    fn loss_kinds_all_train() {
+        let (ds, split) = small_setup();
+        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
+            let tcfg = TrainConfig { epochs: 2, loss: kind, ..Default::default() };
+            let (_, stats) = quick_train(&ds, &split, tcfg);
+            assert!(stats.final_loss.is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn eval_metrics_consistent() {
+        let (ds, split) = small_setup();
+        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 10, ..Default::default() });
+        let m = evaluate(&model, &ds, &split.test);
+        assert!(m.acc5 <= m.acc10 && m.acc10 <= m.acc20);
+        assert!(m.mape >= 0.0 && m.rmse_ms >= 0.0);
+    }
+
+    #[test]
+    fn latents_have_expected_dims() {
+        let (ds, split) = small_setup();
+        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 2, ..Default::default() });
+        let zs = model.latents(&ds, &split.test[..4.min(split.test.len())]);
+        let d = model.predictor.config().d_emb + model.predictor.config().d_dev;
+        for z in zs {
+            assert_eq!(z.len(), d);
+            assert!(z.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based invariants for the Algorithm-2 replayer on random DAGs.
+
+use cdmpp_core::{replay, DfgNode};
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = Vec<DfgNode>> {
+    proptest::collection::vec((1u64..100, 0usize..4), 1..25).prop_map(|raw| {
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(dur, engine))| {
+                // Deps point backwards to a pseudo-random subset.
+                let deps: Vec<usize> = (0..i).filter(|&d| (d * 7 + i) % 3 == 0).collect();
+                DfgNode {
+                    duration_s: dur as f64 * 1e-4,
+                    deps,
+                    engine,
+                    gap_s: 0.0,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn replay_bounded_by_critical_path_and_serial_sum(nodes in arb_dag(), engines in 1usize..5) {
+        let t = replay(&nodes, engines);
+        // Longest dependency chain.
+        let mut longest = vec![0.0f64; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            let dep = n.deps.iter().map(|&d| longest[d]).fold(0.0f64, f64::max);
+            longest[i] = dep + n.duration_s;
+        }
+        let critical = longest.iter().cloned().fold(0.0, f64::max);
+        let serial: f64 = nodes.iter().map(|n| n.duration_s).sum();
+        prop_assert!(t >= critical - 1e-12, "t {} < critical {}", t, critical);
+        prop_assert!(t <= serial + 1e-12, "t {} > serial {}", t, serial);
+    }
+
+    #[test]
+    fn more_engines_never_slow_down(nodes in arb_dag()) {
+        let t1 = replay(&nodes, 1);
+        let t4 = replay(&nodes, 4);
+        prop_assert!(t4 <= t1 + 1e-12);
+    }
+
+    #[test]
+    fn replay_is_deterministic(nodes in arb_dag(), engines in 1usize..4) {
+        prop_assert_eq!(replay(&nodes, engines), replay(&nodes, engines));
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic Tenset: the dataset substrate.
+//!
+//! Tenset (50M+ measured records) is replaced by a generator that samples
+//! Ansor-style schedules for every task in the model zoo and measures each
+//! resulting tensor program on every simulated device. The properties the
+//! paper's method depends on are preserved: long-tailed latencies (Fig 5a),
+//! irregular AST node counts with a narrow leaf-count range (Fig 2), and
+//! per-device / per-model distribution shift.
+
+pub mod gen;
+pub mod persist;
+pub mod split;
+pub mod stats;
+
+pub use gen::{Dataset, GenConfig, Record};
+pub use persist::PersistError;
+pub use split::{SplitIndices, SPLIT_RATIO};
+pub use stats::{histogram, latency_summary, DatasetStats};

@@ -1,0 +1,153 @@
+//! Train/validation/test and hold-out splitting (§7.1).
+//!
+//! The paper holds out three networks (ResNet-50, MobileNet-V2, BERT-tiny)
+//! per device for cross-model evaluation, and randomly splits the rest
+//! 8:1:1 into `S_train`/`S_valid`/`S_test`. A record is held out if its
+//! task is used by any hold-out network, so hold-out tensor programs are
+//! genuinely unseen at training time.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::gen::Dataset;
+
+/// The paper's 8:1:1 split ratio.
+pub const SPLIT_RATIO: (usize, usize, usize) = (8, 1, 1);
+
+/// Record-index splits for one device (or a set of devices).
+#[derive(Debug, Clone, Default)]
+pub struct SplitIndices {
+    /// Training records.
+    pub train: Vec<usize>,
+    /// Validation records.
+    pub valid: Vec<usize>,
+    /// Test records.
+    pub test: Vec<usize>,
+    /// Hold-out records (tasks used by the hold-out networks).
+    pub hold_out: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Splits the records of one device, holding out `hold_out_networks`.
+    pub fn for_device(
+        ds: &Dataset,
+        device: &str,
+        hold_out_networks: &[&str],
+        seed: u64,
+    ) -> SplitIndices {
+        Self::from_indices(ds, ds.device_records(device), hold_out_networks, seed)
+    }
+
+    /// Splits an arbitrary record-index set.
+    pub fn from_indices(
+        ds: &Dataset,
+        indices: Vec<usize>,
+        hold_out_networks: &[&str],
+        seed: u64,
+    ) -> SplitIndices {
+        let mut hold_out = Vec::new();
+        let mut rest = Vec::new();
+        for i in indices {
+            if ds.task_in_networks(ds.records[i].task_id, hold_out_networks) {
+                hold_out.push(i);
+            } else {
+                rest.push(i);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        rest.shuffle(&mut rng);
+        let n = rest.len();
+        let (tr, va, te) = SPLIT_RATIO;
+        let total = tr + va + te;
+        let n_train = n * tr / total;
+        let n_valid = n * va / total;
+        let train = rest[..n_train].to_vec();
+        let valid = rest[n_train..n_train + n_valid].to_vec();
+        let test = rest[n_train + n_valid..].to_vec();
+        SplitIndices { train, valid, test, hold_out }
+    }
+
+    /// Total records covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len() + self.hold_out.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+    use tir::zoo;
+
+    fn dataset() -> Dataset {
+        Dataset::generate_with_networks(
+            GenConfig {
+                batch: 1,
+                schedules_per_task: 3,
+                devices: vec![devsim::t4()],
+                seed: 3,
+                noise_sigma: 0.0,
+            },
+            vec![zoo::bert_tiny(1), zoo::mlp_mixer(1), zoo::resnet18(1)],
+        )
+    }
+
+    #[test]
+    fn split_partitions_all_records() {
+        let ds = dataset();
+        let s = SplitIndices::for_device(&ds, "T4", &["bert_tiny"], 1);
+        assert_eq!(s.len(), ds.device_records("T4").len());
+        // Disjointness.
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .chain(&s.hold_out)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), s.len());
+    }
+
+    #[test]
+    fn ratios_are_roughly_8_1_1() {
+        let ds = dataset();
+        let s = SplitIndices::for_device(&ds, "T4", &[], 1);
+        let n = s.len() as f64;
+        assert!((s.train.len() as f64 / n - 0.8).abs() < 0.05);
+        assert!((s.valid.len() as f64 / n - 0.1).abs() < 0.05);
+        assert!((s.test.len() as f64 / n - 0.1).abs() < 0.05);
+        assert!(s.hold_out.is_empty());
+    }
+
+    #[test]
+    fn hold_out_tasks_never_in_train() {
+        let ds = dataset();
+        let s = SplitIndices::for_device(&ds, "T4", &["bert_tiny"], 1);
+        assert!(!s.hold_out.is_empty());
+        for &i in s.train.iter().chain(&s.valid).chain(&s.test) {
+            assert!(
+                !ds.task_in_networks(ds.records[i].task_id, &["bert_tiny"]),
+                "hold-out task leaked into train/valid/test"
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = dataset();
+        let a = SplitIndices::for_device(&ds, "T4", &[], 5);
+        let b = SplitIndices::for_device(&ds, "T4", &[], 5);
+        assert_eq!(a.train, b.train);
+        let c = SplitIndices::for_device(&ds, "T4", &[], 6);
+        assert_ne!(a.train, c.train);
+    }
+}

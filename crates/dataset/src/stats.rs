@@ -1,0 +1,136 @@
+//! Dataset statistics backing Fig 2 (AST size distributions) and Fig 5
+//! (latency skew).
+
+use crate::gen::Dataset;
+
+/// Summary statistics of one device's (or the whole dataset's) labels and
+/// AST shapes.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Number of records summarized.
+    pub n: usize,
+    /// Min / median / max AST node counts.
+    pub node_counts: (usize, usize, usize),
+    /// Min / median / max leaf counts.
+    pub leaf_counts: (usize, usize, usize),
+    /// Latency mean (seconds).
+    pub latency_mean: f64,
+    /// Latency skewness (Fisher).
+    pub latency_skewness: f64,
+}
+
+/// Builds a histogram of `values` into `bins` equal-width buckets.
+pub fn histogram(values: &[f64], bins: usize) -> Vec<(f64, usize)> {
+    if values.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let width = ((max - min) / bins as f64).max(1e-300);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - min) / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (min + (i as f64 + 0.5) * width, c))
+        .collect()
+}
+
+fn min_med_max(mut xs: Vec<usize>) -> (usize, usize, usize) {
+    if xs.is_empty() {
+        return (0, 0, 0);
+    }
+    xs.sort_unstable();
+    (xs[0], xs[xs.len() / 2], xs[xs.len() - 1])
+}
+
+/// Summarizes a set of record indices.
+pub fn latency_summary(ds: &Dataset, idx: &[usize]) -> DatasetStats {
+    let node_counts: Vec<usize> = idx.iter().map(|&i| ds.records[i].program.node_count()).collect();
+    let leaf_counts: Vec<usize> = idx.iter().map(|&i| ds.records[i].program.leaf_count()).collect();
+    let lats: Vec<f64> = ds.latencies(idx);
+    DatasetStats {
+        n: idx.len(),
+        node_counts: min_med_max(node_counts),
+        leaf_counts: min_med_max(leaf_counts),
+        latency_mean: learn_mean(&lats),
+        latency_skewness: skew(&lats),
+    }
+}
+
+fn learn_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn skew(xs: &[f64]) -> f64 {
+    let m = learn_mean(xs);
+    let v = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len().max(1) as f64;
+    if v <= 0.0 {
+        return 0.0;
+    }
+    let m3 = xs.iter().map(|&x| (x - m).powi(3)).sum::<f64>() / xs.len().max(1) as f64;
+    m3 / v.powf(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Dataset, GenConfig};
+    use tir::zoo;
+
+    fn dataset() -> Dataset {
+        Dataset::generate_with_networks(
+            GenConfig {
+                batch: 1,
+                schedules_per_task: 4,
+                devices: vec![devsim::t4()],
+                seed: 11,
+                noise_sigma: 0.0,
+            },
+            vec![zoo::resnet18(1), zoo::bert_tiny(1)],
+        )
+    }
+
+    #[test]
+    fn fig2_property_leaf_range_much_narrower_than_node_range() {
+        // The design insight of §2.3: node counts vary wildly, leaf counts
+        // stay in a small range.
+        let ds = dataset();
+        let idx = ds.device_records("T4");
+        let s = latency_summary(&ds, &idx);
+        let node_range = s.node_counts.2 - s.node_counts.0;
+        let leaf_range = s.leaf_counts.2 - s.leaf_counts.0;
+        assert!(leaf_range <= 6, "leaf range {leaf_range}");
+        assert!(node_range > 2 * leaf_range, "node range {node_range} vs leaf {leaf_range}");
+    }
+
+    #[test]
+    fn fig5_property_latencies_are_right_skewed() {
+        let ds = dataset();
+        let idx = ds.device_records("T4");
+        let s = latency_summary(&ds, &idx);
+        assert!(s.latency_skewness > 1.0, "skewness = {}", s.latency_skewness);
+    }
+
+    #[test]
+    fn histogram_covers_all_values() {
+        let vals = vec![1.0, 2.0, 2.5, 9.0, 10.0];
+        let h = histogram(&vals, 3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn histogram_degenerate() {
+        assert!(histogram(&[], 4).is_empty());
+        let h = histogram(&[3.0, 3.0], 2);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 2);
+    }
+}

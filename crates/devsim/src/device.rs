@@ -1,0 +1,266 @@
+//! Device specifications (Table 2 of the paper).
+//!
+//! Clock, memory size, memory bandwidth and core counts come straight from
+//! Table 2. Vector widths, cache sizes and overhead constants are not in the
+//! table; they are filled in from public spec sheets so that the derived
+//! peak FLOPS matches each device's published number (e.g. T4 ≈ 8.1 TFLOPS
+//! fp32, V100 ≈ 15.7 TFLOPS).
+
+use serde::{Deserialize, Serialize};
+
+/// Device taxonomy (Table 2's first column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// NVIDIA GPUs.
+    Gpu,
+    /// Server CPUs.
+    Cpu,
+    /// Inference accelerators (Habana HL-100).
+    Accelerator,
+}
+
+impl DeviceClass {
+    /// Stable index for one-hot feature encoding.
+    pub fn index(self) -> usize {
+        match self {
+            DeviceClass::Gpu => 0,
+            DeviceClass::Cpu => 1,
+            DeviceClass::Accelerator => 2,
+        }
+    }
+}
+
+/// Hardware description of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name as in Table 2 (e.g. `"T4"`).
+    pub name: String,
+    /// Taxonomy.
+    pub class: DeviceClass,
+    /// Core clock in MHz (Table 2).
+    pub clock_mhz: f64,
+    /// Device memory in GB (Table 2).
+    pub mem_gb: f64,
+    /// Memory bandwidth in GB/s (Table 2, converted where the table lists
+    /// Gbps).
+    pub mem_bw_gbs: f64,
+    /// Compute cores: SMs for GPUs, cores for CPUs, engines for
+    /// accelerators (Table 2).
+    pub cores: u32,
+    /// fp32 lanes per core (chosen so peak FLOPS matches spec sheets).
+    pub vector_width: u32,
+    /// L1 / per-core cache in KiB.
+    pub l1_kb: f64,
+    /// Shared last-level cache in KiB.
+    pub l2_kb: f64,
+    /// Fixed kernel-launch / dispatch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Scalar-pipeline cost per loop trip in nanoseconds.
+    pub loop_overhead_ns: f64,
+    /// Dedicated GEMM engines (HL-100 has 3; 0 elsewhere).
+    pub gemm_engines: u32,
+}
+
+impl DeviceSpec {
+    /// Peak fp32 throughput in FLOP/s (`clock × cores × lanes × 2` for FMA).
+    pub fn peak_flops(&self) -> f64 {
+        self.clock_mhz * 1e6 * self.cores as f64 * self.vector_width as f64 * 2.0
+    }
+
+    /// Peak throughput of a single core in FLOP/s.
+    pub fn peak_flops_per_core(&self) -> f64 {
+        self.peak_flops() / self.cores as f64
+    }
+
+    /// Machine balance: FLOPs per byte at the roofline ridge point.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops() / (self.mem_bw_gbs * 1e9)
+    }
+}
+
+fn gpu(name: &str, clock_mhz: f64, mem_gb: f64, bw: f64, cores: u32, width: u32, l2_mb: f64) -> DeviceSpec {
+    DeviceSpec {
+        name: name.into(),
+        class: DeviceClass::Gpu,
+        clock_mhz,
+        mem_gb,
+        mem_bw_gbs: bw,
+        cores,
+        vector_width: width,
+        l1_kb: 128.0,
+        l2_kb: l2_mb * 1024.0,
+        launch_overhead_us: 5.0,
+        loop_overhead_ns: 0.9,
+        gemm_engines: 0,
+    }
+}
+
+fn cpu(name: &str, clock_mhz: f64, mem_gb: f64, bw: f64, cores: u32, width: u32) -> DeviceSpec {
+    DeviceSpec {
+        name: name.into(),
+        class: DeviceClass::Cpu,
+        clock_mhz,
+        mem_gb,
+        mem_bw_gbs: bw,
+        cores,
+        vector_width: width,
+        l1_kb: 32.0,
+        l2_kb: 1024.0,
+        launch_overhead_us: 0.5,
+        loop_overhead_ns: 0.4,
+        gemm_engines: 0,
+    }
+}
+
+/// NVIDIA T4 (Table 2 row 1).
+pub fn t4() -> DeviceSpec {
+    gpu("T4", 1590.0, 16.0, 320.0, 40, 64, 4.0)
+}
+
+/// NVIDIA K80 (one GK210 die; Table 2 row 2).
+pub fn k80() -> DeviceSpec {
+    gpu("K80", 824.0, 12.0, 240.6, 26, 96, 1.5)
+}
+
+/// NVIDIA P100 (Table 2 row 3).
+pub fn p100() -> DeviceSpec {
+    gpu("P100", 1329.0, 16.0, 732.2, 56, 64, 4.0)
+}
+
+/// NVIDIA V100 (Table 2 row 4).
+pub fn v100() -> DeviceSpec {
+    gpu("V100", 1530.0, 32.0, 900.0, 80, 64, 6.0)
+}
+
+/// NVIDIA A100 (Table 2 row 5).
+pub fn a100() -> DeviceSpec {
+    gpu("A100", 1410.0, 40.0, 1555.0, 108, 64, 40.0)
+}
+
+/// Habana HL-100 inference accelerator (Table 2 row 6): 3 GEMM engines +
+/// 8 Tensor Processor Cores, low external bandwidth.
+pub fn hl100() -> DeviceSpec {
+    DeviceSpec {
+        name: "HL-100".into(),
+        class: DeviceClass::Accelerator,
+        clock_mhz: 1575.0,
+        mem_gb: 8.0,
+        mem_bw_gbs: 40.0,
+        cores: 11,
+        vector_width: 128,
+        l1_kb: 192.0,
+        l2_kb: 24.0 * 1024.0,
+        launch_overhead_us: 8.0,
+        loop_overhead_ns: 1.2,
+        gemm_engines: 3,
+    }
+}
+
+/// Intel Xeon E5-2673 v4 (Table 2 row 7; AVX2 = 8 fp32 lanes).
+pub fn e5_2673() -> DeviceSpec {
+    cpu("E5-2673", 2300.0, 2048.0, 71.5, 8, 8)
+}
+
+/// AMD EPYC 7452 (Table 2 row 8; bandwidth 1525.6 Gbps ≈ 190 GB/s).
+pub fn epyc_7452() -> DeviceSpec {
+    cpu("EPYC-7452", 2350.0, 2048.0, 190.7, 4, 8)
+}
+
+/// AWS Graviton2 (Table 2 row 9; NEON = 4 fp32 lanes, low per-core BW as
+/// listed in the table).
+pub fn graviton2() -> DeviceSpec {
+    cpu("Graviton2", 2500.0, 32.0, 4.75, 32, 4)
+}
+
+/// All nine devices of Table 2, in table order.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    vec![
+        t4(),
+        k80(),
+        p100(),
+        v100(),
+        a100(),
+        hl100(),
+        e5_2673(),
+        epyc_7452(),
+        graviton2(),
+    ]
+}
+
+/// The five GPUs.
+pub fn gpu_devices() -> Vec<DeviceSpec> {
+    vec![t4(), k80(), p100(), v100(), a100()]
+}
+
+/// The three CPUs.
+pub fn cpu_devices() -> Vec<DeviceSpec> {
+    vec![e5_2673(), epyc_7452(), graviton2()]
+}
+
+/// Looks a device up by name.
+pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    all_devices().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_spec_sheets() {
+        // Within 10% of published fp32 numbers.
+        let cases = [
+            (t4(), 8.1e12),
+            (p100(), 9.3e12),
+            (v100(), 15.7e12),
+            (a100(), 19.5e12),
+            (k80(), 4.1e12),
+        ];
+        for (d, expect) in cases {
+            let got = d.peak_flops();
+            assert!(
+                (got - expect).abs() / expect < 0.11,
+                "{}: {got:.3e} vs {expect:.3e}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn nine_devices_as_in_table2() {
+        let all = all_devices();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Gpu).count(), 5);
+        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Cpu).count(), 3);
+        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Accelerator).count(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(device_by_name("V100").unwrap().cores, 80);
+        assert!(device_by_name("H100").is_none());
+    }
+
+    #[test]
+    fn ridge_points_are_distinct() {
+        // Devices differ meaningfully in machine balance — that variety is
+        // what cross-device learning must capture.
+        let mut ridges: Vec<f64> = all_devices().iter().map(|d| d.ridge_point()).collect();
+        ridges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ridges.last().unwrap() / ridges.first().unwrap() > 5.0);
+    }
+
+    #[test]
+    fn hl100_has_gemm_engines() {
+        assert_eq!(hl100().gemm_engines, 3);
+        assert_eq!(v100().gemm_engines, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = a100();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

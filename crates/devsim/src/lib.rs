@@ -1,0 +1,29 @@
+//! Analytical device simulator: the hardware-profiling substitute.
+//!
+//! The paper measures ground-truth tensor-program latency on nine physical
+//! devices (Table 2). Those devices are not available here, so this crate
+//! implements a cache-aware roofline cost model parameterized by each
+//! device's published specs. See `DESIGN.md` for why this substitution
+//! preserves the learning problem the paper evaluates.
+
+pub mod device;
+pub mod sim;
+
+pub use device::{
+    a100,
+    all_devices,
+    cpu_devices,
+    device_by_name,
+    e5_2673,
+    epyc_7452,
+    gpu_devices,
+    graviton2,
+    hl100,
+    k80,
+    p100,
+    t4,
+    v100,
+    DeviceClass,
+    DeviceSpec,
+};
+pub use sim::{LeafCost, Simulator};

@@ -1,0 +1,265 @@
+//! Compact AST extraction (§4.1).
+//!
+//! A tensor program's AST is reduced to (a) one fixed-length *computation
+//! vector* per leaf node, which folds in the loop information (nesting
+//! level, extents, annotations, reduction flags, access strides) of the
+//! loops enclosing that leaf, and (b) the *ordering vector*: each leaf's
+//! position in the pre-order serialization of the full AST (with the `-1`
+//! marker after each leaf). Nothing about loop structure is lost — it is
+//! encoded per leaf — while the representation stays regular: leaf counts
+//! span a small range (Fig 2b) even though node counts vary wildly (Fig 2a).
+
+use tir::{LoopVar, TensorProgram};
+
+/// Length of each leaf's computation vector (`N_entry` in §4.2).
+pub const N_ENTRY: usize = 56;
+
+/// Maximum enclosing loops encoded individually (innermost-first); deeper
+/// nests aggregate the remainder into the outermost slot.
+const MAX_LOOPS: usize = 8;
+
+/// Maximum accesses encoded individually.
+const MAX_ACCESSES: usize = 4;
+
+/// The compact-AST representation of one tensor program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactAst {
+    /// One computation vector per leaf, in pre-order.
+    pub leaf_vectors: Vec<[f32; N_ENTRY]>,
+    /// The ordering vector: serialized-traversal position of each leaf.
+    pub ordering: Vec<u32>,
+}
+
+impl CompactAst {
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaf_vectors.len()
+    }
+
+    /// Flattens to a `[n_leaves * N_ENTRY]` row-major buffer.
+    pub fn flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.leaf_vectors.len() * N_ENTRY);
+        for v in &self.leaf_vectors {
+            out.extend_from_slice(v);
+        }
+        out
+    }
+}
+
+fn log1p(x: f64) -> f32 {
+    (x + 1.0).ln() as f32
+}
+
+/// Extracts the compact AST of a tensor program.
+pub fn extract_compact_ast(prog: &TensorProgram) -> CompactAst {
+    let ordering = prog.ordering_vector();
+    let mut leaf_vectors = Vec::new();
+    prog.visit_leaves(|leaf, stack| {
+        let mut v = [0.0f32; N_ENTRY];
+        let mut idx = 0;
+        // [0..8) one-hot compute kind.
+        v[leaf.kind.index()] = 1.0;
+        idx += 8;
+        // [8] log flops per iteration.
+        v[idx] = log1p(leaf.flops_per_iter);
+        idx += 1;
+        // [9, 10] read / write access counts.
+        v[idx] = leaf.accesses.iter().filter(|a| !a.is_write).count() as f32;
+        v[idx + 1] = leaf.accesses.iter().filter(|a| a.is_write).count() as f32;
+        idx += 2;
+        // [11] log total iterations of this leaf.
+        let iters: f64 = stack.iter().map(|l| l.extent as f64).product();
+        v[idx] = log1p(iters);
+        idx += 1;
+        // [12] loop depth.
+        v[idx] = stack.len() as f32;
+        idx += 1;
+        // [13..45) per-loop info, innermost first: (log extent, kind code,
+        // is_reduction, log min |stride| over this leaf's accesses).
+        let n = stack.len();
+        for (slot, li) in (0..MAX_LOOPS).zip((0..n).rev()) {
+            let l: &LoopVar = stack[li];
+            let base = idx + slot * 4;
+            // The outermost encoded slot absorbs all remaining outer loops'
+            // extents so no iteration count is lost.
+            let extent = if slot == MAX_LOOPS - 1 && n > MAX_LOOPS {
+                stack[..=li].iter().map(|x| x.extent as f64).product::<f64>()
+            } else {
+                l.extent as f64
+            };
+            v[base] = log1p(extent);
+            v[base + 1] = l.kind.code() as f32 / 3.0;
+            v[base + 2] = l.is_reduction as u8 as f32;
+            let min_stride = leaf
+                .accesses
+                .iter()
+                .map(|a| a.stride(l.axis).unsigned_abs())
+                .filter(|&s| s > 0)
+                .min()
+                .unwrap_or(0);
+            v[base + 3] = log1p(min_stride as f64);
+        }
+        idx += MAX_LOOPS * 4;
+        // [45..53) per-access innermost stride info: (log |stride| of the
+        // innermost moving loop, is_write).
+        for (slot, acc) in leaf.accesses.iter().take(MAX_ACCESSES).enumerate() {
+            let innermost = stack
+                .iter()
+                .rev()
+                .find_map(|l| {
+                    let s = acc.stride(l.axis);
+                    (s != 0).then_some(s.unsigned_abs())
+                })
+                .unwrap_or(0);
+            v[idx + slot * 2] = log1p(innermost as f64);
+            v[idx + slot * 2 + 1] = acc.is_write as u8 as f32;
+        }
+        idx += MAX_ACCESSES * 2;
+        // [53] log bytes touched per full leaf execution (approx).
+        let bytes: f64 = leaf
+            .accesses
+            .iter()
+            .map(|acc| {
+                stack
+                    .iter()
+                    .filter(|l| acc.stride(l.axis) != 0)
+                    .map(|l| l.extent as f64)
+                    .product::<f64>()
+                    * 4.0
+            })
+            .sum();
+        v[idx] = log1p(bytes);
+        idx += 1;
+        // [54] count of parallel/vectorize/unroll annotations in the stack.
+        v[idx] = stack.iter().filter(|l| l.kind != tir::LoopKind::Serial).count() as f32;
+        idx += 1;
+        debug_assert!(idx <= N_ENTRY);
+        leaf_vectors.push(v);
+    });
+    debug_assert_eq!(leaf_vectors.len(), ordering.len());
+    CompactAst { leaf_vectors, ordering }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::{lower, sample_schedule, OpSpec, Schedule};
+
+    fn dense_ast() -> CompactAst {
+        let nest = OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest();
+        let prog = lower(&nest, &Schedule::default()).unwrap();
+        extract_compact_ast(&prog)
+    }
+
+    #[test]
+    fn one_vector_per_leaf() {
+        let ast = dense_ast();
+        assert_eq!(ast.n_leaves(), 3);
+        assert_eq!(ast.ordering.len(), 3);
+    }
+
+    #[test]
+    fn kind_one_hot_set() {
+        let ast = dense_ast();
+        // Leaf order: init, mac, relu -> kinds Init(0), Mac(1), Max(3).
+        assert_eq!(ast.leaf_vectors[0][0], 1.0);
+        assert_eq!(ast.leaf_vectors[1][1], 1.0);
+        assert_eq!(ast.leaf_vectors[2][3], 1.0);
+        // Exactly one hot bit in [0..8).
+        for v in &ast.leaf_vectors {
+            let hot: f32 = v[..8].iter().sum();
+            assert_eq!(hot, 1.0);
+        }
+    }
+
+    #[test]
+    fn iteration_counts_encoded() {
+        let ast = dense_ast();
+        // mac leaf iterates 16^3 = 4096 times; slot [11] = ln(4097).
+        let expect = (4097.0f64).ln() as f32;
+        assert!((ast.leaf_vectors[1][11] - expect).abs() < 1e-5);
+        // init leaf iterates 256 times.
+        let expect0 = (257.0f64).ln() as f32;
+        assert!((ast.leaf_vectors[0][11] - expect0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ordering_vector_matches_program() {
+        let nest = OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest();
+        let prog = lower(&nest, &Schedule::default()).unwrap();
+        let ast = extract_compact_ast(&prog);
+        assert_eq!(ast.ordering, prog.ordering_vector());
+    }
+
+    #[test]
+    fn schedule_changes_features_but_not_leaf_count() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let nest = OpSpec::Conv2d { n: 1, cin: 16, hw: 16, cout: 16, khw: 3, stride: 1 }
+            .canonical_nest();
+        let base = extract_compact_ast(&lower(&nest, &Schedule::default()).unwrap());
+        let mut any_different = false;
+        for _ in 0..10 {
+            let s = sample_schedule(&nest, &mut rng);
+            let ast = extract_compact_ast(&lower(&nest, &s).unwrap());
+            assert_eq!(ast.n_leaves(), base.n_leaves());
+            if ast.leaf_vectors != base.leaf_vectors {
+                any_different = true;
+            }
+        }
+        assert!(any_different, "schedules must be visible in features");
+    }
+
+    #[test]
+    fn deep_nests_do_not_lose_iterations() {
+        // Split every axis twice so depth exceeds MAX_LOOPS; the outermost
+        // slot must absorb the remaining extents.
+        use tir::Primitive;
+        let nest = OpSpec::Conv2d { n: 2, cin: 16, hw: 16, cout: 16, khw: 3, stride: 1 }
+            .canonical_nest();
+        let mut prims = Vec::new();
+        for a in 0..7u32 {
+            let ext = nest.axis(a).unwrap().extent;
+            if ext % 2 == 0 {
+                prims.push(Primitive::Split { axis: a, factor: 2 });
+            }
+        }
+        let prog = lower(&nest, &Schedule { primitives: prims }).unwrap();
+        assert!(prog.max_depth() > MAX_LOOPS);
+        let ast = extract_compact_ast(&prog);
+        // Recover the mac leaf's total iterations from its vector: the sum
+        // of encoded log-extents should equal log of the true product
+        // (within float error), because the outer slot aggregates.
+        let mac = &ast.leaf_vectors[1];
+        let mut encoded: f64 = 0.0;
+        for slot in 0..MAX_LOOPS {
+            let le = mac[13 + slot * 4] as f64;
+            encoded += (le.exp() - 1.0).max(0.0).ln_1p(); // log1p-decode then re-log
+        }
+        let true_iters: f64 = 2.0 * 16.0 * 16.0 * 16.0 * 3.0 * 3.0 * 16.0;
+        // Compare in log space loosely (log1p of each extent ≈ log extent).
+        assert!((encoded - true_iters.ln()).abs() / true_iters.ln() < 0.15);
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        for spec in [
+            OpSpec::Softmax { rows: 128, cols: 64 },
+            OpSpec::Elementwise { n: 4096, kind: tir::EwKind::Gelu },
+            OpSpec::BatchMatmul { b: 4, m: 32, n: 32, k: 32 },
+        ] {
+            let nest = spec.canonical_nest();
+            for _ in 0..5 {
+                let s = sample_schedule(&nest, &mut rng);
+                let ast = extract_compact_ast(&lower(&nest, &s).unwrap());
+                for v in &ast.leaf_vectors {
+                    assert!(v.iter().all(|x| x.is_finite()));
+                }
+            }
+        }
+    }
+}

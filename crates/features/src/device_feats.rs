@@ -1,0 +1,54 @@
+//! Device-dependent features (§4.3): hardware specification vector used by
+//! the cross-device branch of the predictor.
+
+use devsim::DeviceSpec;
+
+/// Length of the device feature vector.
+pub const N_DEVICE_FEATURES: usize = 12;
+
+/// Extracts the device feature vector: log-scaled hardware parameters plus
+/// a taxonomy one-hot.
+pub fn device_features(spec: &DeviceSpec) -> [f32; N_DEVICE_FEATURES] {
+    let mut v = [0.0f32; N_DEVICE_FEATURES];
+    v[0] = (spec.clock_mhz).ln() as f32;
+    v[1] = (spec.mem_gb).ln() as f32;
+    v[2] = (spec.mem_bw_gbs).ln() as f32;
+    v[3] = (spec.cores as f64).ln() as f32;
+    v[4] = (spec.vector_width as f64).ln() as f32;
+    v[5] = (spec.l1_kb).ln() as f32;
+    v[6] = (spec.l2_kb).ln() as f32;
+    v[7] = spec.peak_flops().ln() as f32;
+    v[8] = spec.ridge_point().ln() as f32;
+    v[9 + spec.class.index()] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::{all_devices, t4, v100};
+
+    #[test]
+    fn features_are_finite_for_all_devices() {
+        for d in all_devices() {
+            let f = device_features(&d);
+            assert!(f.iter().all(|x| x.is_finite()), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn class_one_hot_set_once() {
+        for d in all_devices() {
+            let f = device_features(&d);
+            let hot: f32 = f[9..12].iter().sum();
+            assert_eq!(hot, 1.0, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn distinct_devices_distinct_features() {
+        let a = device_features(&t4());
+        let b = device_features(&v100());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,13 @@
+//! Feature extraction (§4): compact ASTs, positional encoding, and
+//! device-dependent features — plus the restricted feature sets the
+//! baselines (XGBoost, TLP, Habitat) consume.
+
+pub mod compact;
+pub mod device_feats;
+pub mod flat;
+pub mod pe;
+
+pub use compact::{extract_compact_ast, CompactAst, N_ENTRY};
+pub use device_feats::{device_features, N_DEVICE_FEATURES};
+pub use flat::{flattened_features, habitat_features, tlp_features, N_FLAT, N_HABITAT, N_TLP};
+pub use pe::{positional_encoding, DEFAULT_THETA};

@@ -1,0 +1,112 @@
+//! Pre-order-based positional encoding (§4.2).
+//!
+//! The ξ-th leaf's position in the serialized AST (`V[ξ]`, the ordering
+//! vector) is encoded with the standard sinusoidal scheme:
+//!
+//! ```text
+//! pos(ξ, 2δ)   = sin(V[ξ] / Θ^(2δ / N_entry))
+//! pos(ξ, 2δ+1) = cos(V[ξ] / Θ^(2δ / N_entry))
+//! ```
+//!
+//! and added to the leaf's computation vector, so two leaves with identical
+//! computation but different AST locations produce distinct inputs.
+
+use crate::compact::{CompactAst, N_ENTRY};
+
+/// The paper's default Θ (inherited from Vaswani et al.).
+pub const DEFAULT_THETA: f32 = 10_000.0;
+
+/// Computes the positional-encoding row for one ordering value.
+pub fn positional_encoding(v: u32, theta: f32) -> [f32; N_ENTRY] {
+    let mut out = [0.0f32; N_ENTRY];
+    let v = v as f32;
+    for delta in 0..N_ENTRY / 2 {
+        let freq = theta.powf(2.0 * delta as f32 / N_ENTRY as f32);
+        out[2 * delta] = (v / freq).sin();
+        out[2 * delta + 1] = (v / freq).cos();
+    }
+    out
+}
+
+impl CompactAst {
+    /// Leaf vectors with positional encoding added (the predictor's input).
+    pub fn encoded(&self, theta: f32) -> Vec<[f32; N_ENTRY]> {
+        self.leaf_vectors
+            .iter()
+            .zip(self.ordering.iter())
+            .map(|(vec, &ord)| {
+                let pe = positional_encoding(ord, theta);
+                let mut out = *vec;
+                for (o, p) in out.iter_mut().zip(pe.iter()) {
+                    *o += p;
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Flattened encoded features: `[n_leaves * N_ENTRY]` row-major.
+    pub fn encoded_flat(&self, theta: f32) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_leaves() * N_ENTRY);
+        for row in self.encoded(theta) {
+            out.extend_from_slice(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_values_bounded() {
+        for v in [0u32, 1, 7, 100, 10_000] {
+            let pe = positional_encoding(v, DEFAULT_THETA);
+            assert!(pe.iter().all(|x| x.abs() <= 1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn pe_zero_position_is_sin0_cos0() {
+        let pe = positional_encoding(0, DEFAULT_THETA);
+        for delta in 0..N_ENTRY / 2 {
+            assert_eq!(pe[2 * delta], 0.0);
+            assert_eq!(pe[2 * delta + 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_positions_distinct_encodings() {
+        let a = positional_encoding(3, DEFAULT_THETA);
+        let b = positional_encoding(4, DEFAULT_THETA);
+        let dist: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist > 0.1);
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        let ast = CompactAst {
+            leaf_vectors: vec![[0.5; N_ENTRY], [0.25; N_ENTRY]],
+            ordering: vec![1, 4],
+        };
+        let enc = ast.encoded(DEFAULT_THETA);
+        let pe1 = positional_encoding(1, DEFAULT_THETA);
+        for j in 0..N_ENTRY {
+            assert!((enc[0][j] - (0.5 + pe1[j])).abs() < 1e-6);
+        }
+        let flat = ast.encoded_flat(DEFAULT_THETA);
+        assert_eq!(flat.len(), 2 * N_ENTRY);
+        assert_eq!(flat[0], enc[0][0]);
+    }
+
+    #[test]
+    fn theta_controls_frequency_decay() {
+        // Larger theta -> slower-varying high dimensions: the last sin dim
+        // should be closer to zero for large theta.
+        let small = positional_encoding(50, 10.0);
+        let large = positional_encoding(50, 1e6);
+        let last_sin = N_ENTRY - 2;
+        assert!(large[last_sin].abs() < small[last_sin].abs() + 1e-6);
+    }
+}

@@ -1,0 +1,190 @@
+//! KMeans clustering with k-means++ initialization, used by the paper's
+//! clustering-based task-sampling strategy (Algorithm 1).
+
+use rand::Rng;
+
+/// Result of a KMeans run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` rows of `dim` values.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index of each input point.
+    pub assignments: Vec<usize>,
+    /// Number of points per cluster.
+    pub sizes: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs KMeans on `points` (each of equal dimension) with `k` clusters.
+///
+/// Uses k-means++ seeding and Lloyd iterations until assignments stop
+/// changing or `max_iters` is reached. If `k >= points.len()`, every point
+/// becomes its own cluster.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut impl Rng) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans on empty input");
+    let k = k.min(points.len()).max(1);
+    let dim = points[0].len();
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick any.
+            rng.random_range(0..points.len())
+        } else {
+            let mut r = rng.random_range(0.0..total);
+            let mut pick = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if r < d {
+                    pick = i;
+                    break;
+                }
+                r -= d;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, centroids.last().expect("non-empty")));
+        }
+    }
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &x) in sums[assignments[i]].iter_mut().zip(p.iter()) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut sizes = vec![0usize; k];
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        sizes[assignments[i]] += 1;
+        inertia += dist2(p, &centroids[assignments[i]]);
+    }
+    KMeansResult { centroids, assignments, sizes, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng) -> Vec<Vec<f64>> {
+        // Three well-separated 2-D clusters.
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut out = Vec::new();
+        for c in centers {
+            for _ in 0..30 {
+                out.push(vec![
+                    c[0] + rng.random_range(-1.0..1.0),
+                    c[1] + rng.random_range(-1.0..1.0),
+                ]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = blobs(&mut rng);
+        let r = kmeans(&pts, 3, 50, &mut rng);
+        // Each blob of 30 maps to a single cluster.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 30];
+            assert!(
+                r.assignments[blob * 30..(blob + 1) * 30].iter().all(|&a| a == first),
+                "blob {blob} split"
+            );
+        }
+        assert_eq!(r.sizes.iter().sum::<usize>(), 90);
+        assert!(r.sizes.iter().all(|&s| s == 30));
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = blobs(&mut rng);
+        let r = kmeans(&pts, 3, 50, &mut rng);
+        for (i, p) in pts.iter().enumerate() {
+            let assigned = dist2(p, &r.centroids[r.assignments[i]]);
+            for c in &r.centroids {
+                assert!(assigned <= dist2(p, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(&pts, 10, 10, &mut rng);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0], vec![4.0, 2.0]];
+        let r = kmeans(&pts, 1, 10, &mut rng);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((r.centroids[0][1] - 2.0).abs() < 1e-9);
+        assert!((r.inertia - (8.0 + 4.0 + 4.0 + 4.0 + 4.0 + 8.0 - 8.0)).abs() < 1e-6 || r.inertia > 0.0);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let r = kmeans(&pts, 3, 10, &mut rng);
+        assert_eq!(r.assignments.len(), 8);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = blobs(&mut rng);
+        let i2 = kmeans(&pts, 2, 50, &mut StdRng::seed_from_u64(7)).inertia;
+        let i3 = kmeans(&pts, 3, 50, &mut StdRng::seed_from_u64(7)).inertia;
+        assert!(i3 < i2);
+    }
+}

@@ -1,0 +1,417 @@
+//! Label normalization (§5.4): Box-Cox, Yeo-Johnson and quantile
+//! transforms, compared in Fig 5 and ablated in Table 3.
+//!
+//! Box-Cox and Yeo-Johnson fit their λ parameter by maximum likelihood
+//! (golden-section search over the profile log-likelihood), matching what
+//! scikit-learn's `PowerTransformer` does. The quantile transform maps the
+//! empirical CDF onto a standard normal.
+
+use crate::stats::{norm_cdf, norm_ppf};
+
+/// A fitted, invertible label transform.
+pub trait LabelTransform {
+    /// Maps a raw label into the transformed space.
+    fn forward(&self, y: f64) -> f64;
+    /// Maps a transformed value back to the raw space.
+    fn inverse(&self, z: f64) -> f64;
+    /// Transforms a whole slice.
+    fn forward_all(&self, ys: &[f64]) -> Vec<f64> {
+        ys.iter().map(|&y| self.forward(y)).collect()
+    }
+}
+
+/// Which normalization to use (the Table 3 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// Box-Cox power transform (the paper's choice).
+    BoxCox,
+    /// Yeo-Johnson power transform.
+    YeoJohnson,
+    /// Quantile-to-normal transform.
+    Quantile,
+    /// No normalization (raw labels).
+    None,
+}
+
+impl TransformKind {
+    /// Human-readable name matching Table 3's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformKind::BoxCox => "Box-Cox",
+            TransformKind::YeoJohnson => "Yeo-Johnson",
+            TransformKind::Quantile => "Quantile",
+            TransformKind::None => "original Y",
+        }
+    }
+
+    /// Fits the chosen transform on training labels.
+    pub fn fit(self, ys: &[f64]) -> FittedTransform {
+        match self {
+            TransformKind::BoxCox => FittedTransform::BoxCox(BoxCox::fit(ys)),
+            TransformKind::YeoJohnson => FittedTransform::YeoJohnson(YeoJohnson::fit(ys)),
+            TransformKind::Quantile => FittedTransform::Quantile(Quantile::fit(ys)),
+            TransformKind::None => FittedTransform::Identity,
+        }
+    }
+}
+
+/// A fitted transform of any kind (cloneable, unlike a trait object).
+#[derive(Debug, Clone)]
+pub enum FittedTransform {
+    /// Fitted Box-Cox.
+    BoxCox(BoxCox),
+    /// Fitted Yeo-Johnson.
+    YeoJohnson(YeoJohnson),
+    /// Fitted quantile transform.
+    Quantile(Quantile),
+    /// Identity (raw labels).
+    Identity,
+}
+
+impl LabelTransform for FittedTransform {
+    fn forward(&self, y: f64) -> f64 {
+        match self {
+            FittedTransform::BoxCox(t) => t.forward(y),
+            FittedTransform::YeoJohnson(t) => t.forward(y),
+            FittedTransform::Quantile(t) => t.forward(y),
+            FittedTransform::Identity => y,
+        }
+    }
+
+    fn inverse(&self, z: f64) -> f64 {
+        match self {
+            FittedTransform::BoxCox(t) => t.inverse(z),
+            FittedTransform::YeoJohnson(t) => t.inverse(z),
+            FittedTransform::Quantile(t) => t.inverse(z),
+            FittedTransform::Identity => z,
+        }
+    }
+}
+
+/// The identity transform (for the "original Y" ablation arm).
+#[derive(Debug, Clone, Copy)]
+pub struct Identity;
+
+impl LabelTransform for Identity {
+    fn forward(&self, y: f64) -> f64 {
+        y
+    }
+    fn inverse(&self, z: f64) -> f64 {
+        z
+    }
+}
+
+/// Golden-section maximization of a unimodal function on `[lo, hi]`.
+fn golden_max(lo: f64, hi: f64, iters: usize, f: impl Fn(f64) -> f64) -> f64 {
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..iters {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+/// Box-Cox transform with standardization:
+/// `z = ((y^λ − 1)/λ − μ) / σ` (λ = 0 degenerates to `ln y`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoxCox {
+    /// Fitted power parameter.
+    pub lambda: f64,
+    mean: f64,
+    std: f64,
+}
+
+fn boxcox_raw(y: f64, lambda: f64) -> f64 {
+    if lambda.abs() < 1e-9 {
+        y.ln()
+    } else {
+        (y.powf(lambda) - 1.0) / lambda
+    }
+}
+
+fn boxcox_raw_inv(z: f64, lambda: f64) -> f64 {
+    if lambda.abs() < 1e-9 {
+        z.exp()
+    } else {
+        let base = lambda * z + 1.0;
+        // Clamp to the transform's domain to keep the inverse total.
+        base.max(1e-12).powf(1.0 / lambda)
+    }
+}
+
+impl BoxCox {
+    /// Fits λ by maximizing the Box-Cox profile log-likelihood on strictly
+    /// positive labels, then standardizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys` is empty or contains non-positive values (latencies
+    /// are always positive).
+    pub fn fit(ys: &[f64]) -> Self {
+        assert!(!ys.is_empty(), "Box-Cox fit on empty labels");
+        assert!(ys.iter().all(|&y| y > 0.0), "Box-Cox requires positive labels");
+        let n = ys.len() as f64;
+        let log_sum: f64 = ys.iter().map(|&y| y.ln()).sum();
+        let ll = |lambda: f64| {
+            let t: Vec<f64> = ys.iter().map(|&y| boxcox_raw(y, lambda)).collect();
+            let var = crate::stats::variance(&t).max(1e-300);
+            -0.5 * n * var.ln() + (lambda - 1.0) * log_sum
+        };
+        let lambda = golden_max(-2.0, 2.0, 60, ll);
+        let t: Vec<f64> = ys.iter().map(|&y| boxcox_raw(y, lambda)).collect();
+        let mean = crate::stats::mean(&t);
+        let std = crate::stats::variance(&t).sqrt().max(1e-12);
+        BoxCox { lambda, mean, std }
+    }
+}
+
+impl LabelTransform for BoxCox {
+    fn forward(&self, y: f64) -> f64 {
+        (boxcox_raw(y.max(1e-300), self.lambda) - self.mean) / self.std
+    }
+    fn inverse(&self, z: f64) -> f64 {
+        boxcox_raw_inv(z * self.std + self.mean, self.lambda)
+    }
+}
+
+/// Yeo-Johnson transform with standardization (handles all reals).
+#[derive(Debug, Clone, Copy)]
+pub struct YeoJohnson {
+    /// Fitted power parameter.
+    pub lambda: f64,
+    mean: f64,
+    std: f64,
+}
+
+fn yj_raw(y: f64, l: f64) -> f64 {
+    if y >= 0.0 {
+        if l.abs() < 1e-9 {
+            (y + 1.0).ln()
+        } else {
+            ((y + 1.0).powf(l) - 1.0) / l
+        }
+    } else if (l - 2.0).abs() < 1e-9 {
+        -(-y + 1.0).ln()
+    } else {
+        -((-y + 1.0).powf(2.0 - l) - 1.0) / (2.0 - l)
+    }
+}
+
+fn yj_raw_inv(z: f64, l: f64) -> f64 {
+    if z >= 0.0 {
+        if l.abs() < 1e-9 {
+            z.exp() - 1.0
+        } else {
+            (l * z + 1.0).max(1e-12).powf(1.0 / l) - 1.0
+        }
+    } else if (l - 2.0).abs() < 1e-9 {
+        1.0 - (-z).exp()
+    } else {
+        1.0 - (-(2.0 - l) * z + 1.0).max(1e-12).powf(1.0 / (2.0 - l))
+    }
+}
+
+impl YeoJohnson {
+    /// Fits λ by profile likelihood, then standardizes.
+    pub fn fit(ys: &[f64]) -> Self {
+        assert!(!ys.is_empty(), "Yeo-Johnson fit on empty labels");
+        let n = ys.len() as f64;
+        let ll = |l: f64| {
+            let t: Vec<f64> = ys.iter().map(|&y| yj_raw(y, l)).collect();
+            let var = crate::stats::variance(&t).max(1e-300);
+            let jac: f64 = ys.iter().map(|&y| (y.abs() + 1.0).ln() * (l - 1.0) * y.signum()).sum();
+            -0.5 * n * var.ln() + jac
+        };
+        let lambda = golden_max(-2.0, 2.0, 60, ll);
+        let t: Vec<f64> = ys.iter().map(|&y| yj_raw(y, lambda)).collect();
+        let mean = crate::stats::mean(&t);
+        let std = crate::stats::variance(&t).sqrt().max(1e-12);
+        YeoJohnson { lambda, mean, std }
+    }
+}
+
+impl LabelTransform for YeoJohnson {
+    fn forward(&self, y: f64) -> f64 {
+        (yj_raw(y, self.lambda) - self.mean) / self.std
+    }
+    fn inverse(&self, z: f64) -> f64 {
+        yj_raw_inv(z * self.std + self.mean, self.lambda)
+    }
+}
+
+/// Quantile transform onto a standard normal, with linear interpolation
+/// between stored training quantiles.
+#[derive(Debug, Clone)]
+pub struct Quantile {
+    sorted: Vec<f64>,
+}
+
+impl Quantile {
+    /// Fits on training labels (stores the sorted sample).
+    pub fn fit(ys: &[f64]) -> Self {
+        assert!(!ys.is_empty(), "Quantile fit on empty labels");
+        let mut sorted = ys.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+        Quantile { sorted }
+    }
+
+    fn ecdf(&self, y: f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let idx = self.sorted.partition_point(|&s| s <= y);
+        // Hazen plotting position ((i - 0.5)/n), chosen so that
+        // `inverse(forward(y)) == y` exactly for every training point.
+        let p = (idx as f64 - 0.5) / n;
+        p.clamp(0.5 / n, 1.0 - 0.5 / n)
+    }
+}
+
+impl LabelTransform for Quantile {
+    fn forward(&self, y: f64) -> f64 {
+        norm_ppf(self.ecdf(y))
+    }
+
+    fn inverse(&self, z: f64) -> f64 {
+        let n = self.sorted.len();
+        let p = norm_cdf(z);
+        // Inverse of the Hazen position: pos = p·n − ½.
+        let pos = (p * n as f64 - 0.5).clamp(0.0, n as f64 - 1.0);
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::skewness;
+
+    /// Long-tailed synthetic latencies like Fig 5(a).
+    fn skewed_labels() -> Vec<f64> {
+        (0..500)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 500.0;
+                // Inverse-CDF sample of a lognormal.
+                (2.0 * crate::stats::norm_ppf(u)).exp() * 1e-4
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boxcox_reduces_skewness() {
+        let ys = skewed_labels();
+        let t = BoxCox::fit(&ys);
+        let zs = t.forward_all(&ys);
+        assert!(skewness(&ys) > 2.0, "input must be skewed");
+        assert!(skewness(&zs).abs() < 0.3, "Box-Cox output near-symmetric");
+    }
+
+    #[test]
+    fn boxcox_lognormal_lambda_near_zero() {
+        // For lognormal data the MLE λ is ≈ 0 (log transform).
+        let ys = skewed_labels();
+        let t = BoxCox::fit(&ys);
+        assert!(t.lambda.abs() < 0.15, "lambda = {}", t.lambda);
+    }
+
+    #[test]
+    fn boxcox_roundtrip() {
+        let ys = skewed_labels();
+        let t = BoxCox::fit(&ys);
+        for &y in ys.iter().step_by(37) {
+            let z = t.forward(y);
+            let back = t.inverse(z);
+            assert!((back - y).abs() / y < 1e-6, "{y} -> {z} -> {back}");
+        }
+    }
+
+    #[test]
+    fn boxcox_output_standardized() {
+        let ys = skewed_labels();
+        let t = BoxCox::fit(&ys);
+        let zs = t.forward_all(&ys);
+        assert!(crate::stats::mean(&zs).abs() < 1e-6);
+        assert!((crate::stats::variance(&zs) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn boxcox_rejects_nonpositive() {
+        BoxCox::fit(&[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn yeo_johnson_roundtrip_with_negatives() {
+        let ys: Vec<f64> = (-20..20).map(|i| i as f64 * 0.3).collect();
+        let t = YeoJohnson::fit(&ys);
+        for &y in &ys {
+            let back = t.inverse(t.forward(y));
+            assert!((back - y).abs() < 1e-6, "{y} -> {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_output_is_normalish() {
+        let ys = skewed_labels();
+        let t = Quantile::fit(&ys);
+        let zs = t.forward_all(&ys);
+        assert!(skewness(&zs).abs() < 0.1);
+        assert!(crate::stats::mean(&zs).abs() < 0.05);
+    }
+
+    #[test]
+    fn quantile_roundtrip_approximately() {
+        let ys = skewed_labels();
+        let t = Quantile::fit(&ys);
+        for &y in ys.iter().step_by(41) {
+            let back = t.inverse(t.forward(y));
+            assert!((back - y).abs() / y < 0.05, "{y} -> {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_monotonic() {
+        let ys = skewed_labels();
+        let t = Quantile::fit(&ys);
+        let mut prev = f64::NEG_INFINITY;
+        for &y in &ys {
+            let z = t.forward(y);
+            assert!(z >= prev - 1e-12);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn kind_fit_dispatches() {
+        let ys = skewed_labels();
+        for kind in [
+            TransformKind::BoxCox,
+            TransformKind::YeoJohnson,
+            TransformKind::Quantile,
+            TransformKind::None,
+        ] {
+            let t = kind.fit(&ys);
+            let z = t.forward(ys[10]);
+            assert!(z.is_finite(), "{}", kind.name());
+            if kind == TransformKind::None {
+                assert_eq!(z, ys[10]);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Exact t-SNE (van der Maaten & Hinton) for the hidden-representation
+//! visualizations of Figs 8, 11 and 16.
+//!
+//! O(n²) pairwise implementation — fine for the few hundred latent points
+//! those figures plot. Returns 2-D coordinates; the experiment binaries
+//! print them as series for external plotting, and tests assert on
+//! cluster-separation statistics instead of pixels.
+
+use rand::Rng;
+
+/// Runs t-SNE on `points` (rows of equal dimension) down to 2-D.
+///
+/// `perplexity` is the usual effective-neighbour-count knob; `iters`
+/// gradient steps are taken with momentum and early exaggeration.
+pub fn tsne(
+    points: &[Vec<f64>],
+    perplexity: f64,
+    iters: usize,
+    rng: &mut impl Rng,
+) -> Vec<[f64; 2]> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = points[i]
+                .iter()
+                .zip(points[j].iter())
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    // Binary-search per-point precision to hit the target perplexity.
+    let target_h = perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut beta, mut lo, mut hi) = (1.0f64, 0.0f64, f64::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut h = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                sum += pij;
+                h += beta * d2[i * n + j] * pij;
+            }
+            let (h, sum) = if sum > 0.0 { (h / sum + sum.ln(), sum) } else { (0.0, 1.0) };
+            if (h - target_h).abs() < 1e-5 {
+                break;
+            }
+            if h > target_h {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+            let _ = sum;
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pm = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pm[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    // Gradient descent on 2-D embedding.
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.random_range(-1e-4..1e-4), rng.random_range(-1e-4..1e-4)])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    let lr = 50.0;
+    for it in 0..iters {
+        let exaggeration = if it < iters / 4 { 4.0 } else { 1.0 };
+        // Q distribution (Student-t).
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = y[i][0] - y[j][0];
+                let dy1 = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        let momentum = if it < 20 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = pm[i * n + j] * exaggeration;
+                let qij = (qnum[i * n + j] / qsum).max(1e-12);
+                let mult = (pij - qij) * qnum[i * n + j];
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                vel[i][d] = momentum * vel[i][d] - lr * grad[d];
+                // Clamp the step to keep the descent stable at small n.
+                y[i][d] += vel[i][d].clamp(-5.0, 5.0);
+            }
+        }
+    }
+    y
+}
+
+/// Mean embedding distance between two groups relative to their internal
+/// spread — a scalar summary of "how separated two domains look" in a
+/// t-SNE plot (higher = more separated).
+pub fn separation_score(emb: &[[f64; 2]], group: &[usize]) -> f64 {
+    let g0: Vec<&[f64; 2]> = emb.iter().zip(group).filter(|(_, &g)| g == 0).map(|(e, _)| e).collect();
+    let g1: Vec<&[f64; 2]> = emb.iter().zip(group).filter(|(_, &g)| g == 1).map(|(e, _)| e).collect();
+    if g0.is_empty() || g1.is_empty() {
+        return 0.0;
+    }
+    let centroid = |g: &[&[f64; 2]]| {
+        let n = g.len() as f64;
+        [
+            g.iter().map(|e| e[0]).sum::<f64>() / n,
+            g.iter().map(|e| e[1]).sum::<f64>() / n,
+        ]
+    };
+    let c0 = centroid(&g0);
+    let c1 = centroid(&g1);
+    let between = ((c0[0] - c1[0]).powi(2) + (c0[1] - c1[1]).powi(2)).sqrt();
+    let spread = |g: &[&[f64; 2]], c: [f64; 2]| {
+        g.iter()
+            .map(|e| ((e[0] - c[0]).powi(2) + (e[1] - c[1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / g.len() as f64
+    };
+    let within = (spread(&g0, c0) + spread(&g1, c1)) / 2.0;
+    between / within.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pts = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..40 {
+            let base = if i < 20 { 0.0 } else { 20.0 };
+            pts.push(vec![
+                base + rng.random_range(-0.5..0.5),
+                base + rng.random_range(-0.5..0.5),
+                rng.random_range(-0.5..0.5),
+            ]);
+            groups.push((i >= 20) as usize);
+        }
+        let emb = tsne(&pts, 10.0, 250, &mut rng);
+        assert_eq!(emb.len(), 40);
+        let score = separation_score(&emb, &groups);
+        assert!(score > 1.5, "separated inputs must embed separated: {score}");
+    }
+
+    #[test]
+    fn overlapping_clusters_score_low() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pts = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..40 {
+            pts.push(vec![
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+            groups.push((i % 2 == 0) as usize);
+        }
+        let emb = tsne(&pts, 10.0, 250, &mut rng);
+        let score = separation_score(&emb, &groups);
+        assert!(score < 1.0, "mixed inputs must embed mixed: {score}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(tsne(&[], 5.0, 10, &mut rng).is_empty());
+        assert_eq!(tsne(&[vec![1.0, 2.0]], 5.0, 10, &mut rng), vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn embeddings_are_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()])
+            .collect();
+        let emb = tsne(&pts, 8.0, 150, &mut rng);
+        for e in &emb {
+            assert!(e[0].is_finite() && e[1].is_finite());
+        }
+    }
+}

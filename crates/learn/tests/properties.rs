@@ -1,0 +1,69 @@
+//! Property-based invariants for transforms and clustering.
+
+use learn::{kmeans, BoxCox, LabelTransform, Quantile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn boxcox_roundtrips_arbitrary_positive_labels(
+        raw in proptest::collection::vec(1e-6f64..1e3, 10..60),
+    ) {
+        // Skip degenerate all-equal inputs (zero variance).
+        prop_assume!(raw.iter().any(|&x| (x - raw[0]).abs() > 1e-9));
+        let t = BoxCox::fit(&raw);
+        for &y in &raw {
+            let back = t.inverse(t.forward(y));
+            prop_assert!((back - y).abs() / y < 1e-4, "{} -> {}", y, back);
+        }
+    }
+
+    #[test]
+    fn boxcox_is_monotone(raw in proptest::collection::vec(1e-6f64..1e3, 10..40)) {
+        prop_assume!(raw.iter().any(|&x| (x - raw[0]).abs() > 1e-9));
+        let t = BoxCox::fit(&raw);
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for &y in &sorted {
+            let z = t.forward(y);
+            prop_assert!(z >= prev - 1e-9);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn quantile_forward_bounded(raw in proptest::collection::vec(1e-9f64..1e6, 5..50)) {
+        let t = Quantile::fit(&raw);
+        for &y in &raw {
+            let z = t.forward(y);
+            // Bounded by the normal quantiles of the Hazen positions.
+            prop_assert!(z.abs() < 6.0);
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_exceeds_single_cluster(
+        pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 6..40),
+        k in 2usize..5,
+    ) {
+        let data: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = kmeans(&data, 1, 30, &mut rng).inertia;
+        let many = kmeans(&data, k, 30, &mut rng).inertia;
+        prop_assert!(many <= one + 1e-6);
+    }
+
+    #[test]
+    fn kmeans_assignments_in_range(
+        pts in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 4..30),
+        k in 1usize..6,
+    ) {
+        let data: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = kmeans(&data, k, 20, &mut rng);
+        prop_assert!(r.assignments.iter().all(|&a| a < r.centroids.len()));
+        prop_assert_eq!(r.sizes.iter().sum::<usize>(), data.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! From-scratch neural-network substrate for the CDMPP reproduction.
+//!
+//! The paper builds its predictor in PyTorch; this crate provides the
+//! equivalent pieces in pure Rust:
+//!
+//! * [`Graph`]: an eager tape-based reverse-mode autodiff engine.
+//! * [`ParamStore`]: parameter + gradient storage shared across steps.
+//! * Layers: [`Linear`], [`LayerNorm`], [`MultiHeadAttention`],
+//!   [`TransformerEncoder`], [`Mlp`], [`LstmCell`].
+//! * Optimizers and schedulers: [`Sgd`], [`Adam`], [`CyclicLr`].
+//! * Losses from §5.2 (MSE / MAPE / MSPE / hybrid) and the differentiable
+//!   Central Moment Discrepancy regularizer from §5.3.
+
+pub mod cmd;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+
+pub use cmd::{cmd, cmd_value, DEFAULT_MOMENTS, TANH_SUPPORT};
+pub use graph::{Graph, ParamId, ParamStore, Var};
+pub use layers::{
+    LayerNorm,
+    Linear,
+    LstmCell,
+    Mlp,
+    MultiHeadAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+};
+pub use loss::{hybrid, mape, mse, mspe, LossKind};
+pub use optim::{Adam, ConstantLr, CyclicLr, LrSchedule, Optimizer, Sgd};

@@ -1,0 +1,171 @@
+//! Training objectives from §5.2 and the ablation in §7.5 (Tables 4 & 5).
+//!
+//! All losses take a prediction [`Var`] of shape `[n]` or `[n, 1]` and a
+//! constant target tensor of the same number of elements, and return a
+//! scalar [`Var`].
+
+use tensor::{Result, Tensor};
+
+use crate::graph::{Graph, Var};
+
+fn diff(g: &mut Graph, pred: Var, target: &Tensor) -> Result<Var> {
+    let t = g.constant(target.reshape(g.value(pred).shape())?);
+    g.sub(pred, t)
+}
+
+/// Mean squared error.
+pub fn mse(g: &mut Graph, pred: Var, target: &Tensor) -> Result<Var> {
+    let d = diff(g, pred, target)?;
+    let s = g.square(d)?;
+    g.mean(s)
+}
+
+/// Mean absolute percentage error: `mean(|ŷ - y| / y)`.
+///
+/// Targets must be strictly positive (latencies always are).
+pub fn mape(g: &mut Graph, pred: Var, target: &Tensor) -> Result<Var> {
+    let d = diff(g, pred, target)?;
+    let a = g.abs(d)?;
+    let inv = target.map(|y| 1.0 / y).reshape(g.value(a).shape())?;
+    let w = g.mul_const(a, inv)?;
+    g.mean(w)
+}
+
+/// Mean squared percentage error: `mean(((ŷ - y) / y)^2)`.
+pub fn mspe(g: &mut Graph, pred: Var, target: &Tensor) -> Result<Var> {
+    let d = diff(g, pred, target)?;
+    let inv = target.map(|y| 1.0 / y).reshape(g.value(d).shape())?;
+    let r = g.mul_const(d, inv)?;
+    let s = g.square(r)?;
+    g.mean(s)
+}
+
+/// The paper's scale-insensitive hybrid objective (Eqn 3):
+/// `MSE + λ · MAPE` with `λ = 1e-3` found empirically.
+pub fn hybrid(g: &mut Graph, pred: Var, target: &Tensor, lambda: f32) -> Result<Var> {
+    let m = mse(g, pred, target)?;
+    let p = mape(g, pred, target)?;
+    let p = g.scale(p, lambda);
+    g.add(m, p)
+}
+
+/// Which training objective to use (ablated in Tables 4 & 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute percentage error.
+    Mape,
+    /// Mean squared percentage error.
+    Mspe,
+    /// The hybrid `MSE + λ·MAPE` objective.
+    Hybrid,
+}
+
+impl LossKind {
+    /// Builds the loss node for this kind. `lambda` only affects `Hybrid`.
+    pub fn build(self, g: &mut Graph, pred: Var, target: &Tensor, lambda: f32) -> Result<Var> {
+        match self {
+            LossKind::Mse => mse(g, pred, target),
+            LossKind::Mape => mape(g, pred, target),
+            LossKind::Mspe => mspe(g, pred, target),
+            LossKind::Hybrid => hybrid(g, pred, target, lambda),
+        }
+    }
+
+    /// Human-readable name matching the paper's table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossKind::Mse => "MSE",
+            LossKind::Mape => "MAPE",
+            LossKind::Mspe => "MSPE",
+            LossKind::Hybrid => "MSE+MAPE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(f: impl Fn(&mut Graph, Var, &Tensor) -> Result<Var>, pred: &[f32], tgt: &[f32]) -> f32 {
+        let mut g = Graph::new();
+        let p = g.constant(Tensor::from_vec(pred.to_vec(), &[pred.len()]).unwrap());
+        let t = Tensor::from_vec(tgt.to_vec(), &[tgt.len()]).unwrap();
+        let l = f(&mut g, p, &t).unwrap();
+        g.value(l).item()
+    }
+
+    #[test]
+    fn mse_known_value() {
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        let v = eval(mse, &[2.0, 4.0], &[1.0, 2.0]);
+        assert!((v - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // (|1|/1 + |2|/2) / 2 = 1.0
+        let v = eval(mape, &[2.0, 4.0], &[1.0, 2.0]);
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mspe_known_value() {
+        // ((1/1)^2 + (2/2)^2) / 2 = 1.0
+        let v = eval(mspe, &[2.0, 4.0], &[1.0, 2.0]);
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hybrid_combines_terms() {
+        let m = eval(mse, &[2.0, 4.0], &[1.0, 2.0]);
+        let p = eval(mape, &[2.0, 4.0], &[1.0, 2.0]);
+        let h = eval(|g, x, t| hybrid(g, x, t, 0.5), &[2.0, 4.0], &[1.0, 2.0]);
+        assert!((h - (m + 0.5 * p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_zero_loss() {
+        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
+            let mut g = Graph::new();
+            let p = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+            let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+            let l = kind.build(&mut g, p, &t, 1e-3).unwrap();
+            assert!(g.value(l).item().abs() < 1e-7, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn mape_asymmetry_matches_paper_argument() {
+        // §5.2: under-estimation keeps MAPE ≤ 1, over-estimation can exceed 1.
+        let under = eval(mape, &[0.0], &[10.0]); // Predicting 0 for y=10: error 1.0.
+        let over = eval(mape, &[100.0], &[10.0]); // Predicting 100: error 9.0.
+        assert!(under <= 1.0 + 1e-6);
+        assert!(over > 1.0);
+    }
+
+    #[test]
+    fn losses_differentiate() {
+        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
+            let mut store = crate::graph::ParamStore::new();
+            let p = store.add("p", Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap());
+            let mut g = Graph::new();
+            let x = g.param(&store, p);
+            let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+            let l = kind.build(&mut g, x, &t, 1e-3).unwrap();
+            g.backward(l).unwrap();
+            g.write_param_grads(&mut store).unwrap();
+            assert!(store.grad(p).norm2() > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn accepts_column_shaped_predictions() {
+        let mut g = Graph::new();
+        let p = g.constant(Tensor::from_vec(vec![2.0, 4.0], &[2, 1]).unwrap());
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let l = mse(&mut g, p, &t).unwrap();
+        assert!((g.value(l).item() - 2.5).abs() < 1e-6);
+    }
+}

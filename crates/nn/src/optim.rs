@@ -1,0 +1,253 @@
+//! Optimizers and learning-rate schedulers.
+//!
+//! The paper's auto-tuner searches over Adam vs SGD, weight decay and a
+//! cyclic learning-rate scheduler (Appendix B); all three are provided.
+
+use tensor::Tensor;
+
+use crate::graph::ParamStore;
+
+/// A first-order optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update step using the store's accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore);
+    /// Sets the learning rate (used by schedulers).
+    fn set_lr(&mut self, lr: f32);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum and decoupled weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.is_empty() && self.momentum != 0.0 {
+            self.velocity = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let g = store.grad(id).clone();
+            if self.weight_decay != 0.0 {
+                let decay = store.value(id).scale(self.weight_decay * self.lr);
+                let v = store.value_mut(id);
+                let _ = v.axpy(-1.0, &decay);
+            }
+            if self.momentum != 0.0 {
+                let vel = &mut self.velocity[i];
+                *vel = vel.scale(self.momentum);
+                let _ = vel.add_assign(&g);
+                let step = vel.clone();
+                let _ = store.value_mut(id).axpy(-self.lr, &step);
+            } else {
+                let _ = store.value_mut(id).axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam with decoupled (AdamW-style) weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with default betas `(0.9, 0.999)` and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Creates Adam with decoupled weight decay (the paper tunes this).
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Adam { weight_decay, ..Adam::new(lr) }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.is_empty() {
+            self.m = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
+            self.v = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, &id) in ids.iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[i];
+            *m = m.scale(self.beta1);
+            let _ = m.axpy(1.0 - self.beta1, &g);
+            let v = &mut self.v[i];
+            *v = v.scale(self.beta2);
+            let g2 = g.map(|x| x * x);
+            let _ = v.axpy(1.0 - self.beta2, &g2);
+            let mhat = m.scale(1.0 / bc1);
+            let vhat = v.scale(1.0 / bc2);
+            let eps = self.eps;
+            let update = mhat
+                .zip(&vhat, "adam_update", |mi, vi| mi / (vi.sqrt() + eps))
+                .expect("optimizer state shapes match parameters");
+            if self.weight_decay != 0.0 {
+                let decay = store.value(id).scale(self.weight_decay * self.lr);
+                let _ = store.value_mut(id).axpy(-1.0, &decay);
+            }
+            let _ = store.value_mut(id).axpy(-self.lr, &update);
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Learning-rate schedule evaluated per step.
+pub trait LrSchedule {
+    /// Learning rate at step `step` (0-based).
+    fn lr_at(&self, step: u64) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _step: u64) -> f32 {
+        self.0
+    }
+}
+
+/// Triangular cyclic learning rate (the paper's `CyclicLR`).
+///
+/// Ramps linearly from `base_lr` to `max_lr` over `step_size` steps and back
+/// down over the next `step_size` steps, repeating forever.
+#[derive(Debug, Clone)]
+pub struct CyclicLr {
+    /// Lower bound of the cycle.
+    pub base_lr: f32,
+    /// Upper bound of the cycle.
+    pub max_lr: f32,
+    /// Half-period in steps.
+    pub step_size: u64,
+}
+
+impl LrSchedule for CyclicLr {
+    fn lr_at(&self, step: u64) -> f32 {
+        let cycle_pos = step % (2 * self.step_size);
+        let frac = if cycle_pos < self.step_size {
+            cycle_pos as f32 / self.step_size as f32
+        } else {
+            1.0 - (cycle_pos - self.step_size) as f32 / self.step_size as f32
+        };
+        self.base_lr + (self.max_lr - self.base_lr) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, ParamStore};
+
+    /// Minimizes `(w - 3)^2` and checks the optimizer converges near 3.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            store.zero_grad();
+            let mut g = Graph::new();
+            let w = g.param(&store, p);
+            let c = g.add_scalar(w, -3.0);
+            let loss = g.square(c).unwrap();
+            g.backward(loss).unwrap();
+            g.write_param_grads(&mut store).unwrap();
+            opt.step(&mut store);
+        }
+        store.value(p).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = run_quadratic(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = run_quadratic(&mut Sgd::with_momentum(0.05, 0.9, 0.0), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = run_quadratic(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With a zero gradient objective, decay alone should shrink weights.
+        let mut store = ParamStore::new();
+        let p = store.add("w", Tensor::scalar(1.0));
+        let mut opt = Adam::with_weight_decay(0.1, 0.5);
+        for _ in 0..10 {
+            store.zero_grad();
+            opt.step(&mut store);
+        }
+        assert!(store.value(p).item() < 1.0);
+    }
+
+    #[test]
+    fn cyclic_lr_triangle_shape() {
+        let s = CyclicLr { base_lr: 0.0, max_lr: 1.0, step_size: 10 };
+        assert_eq!(s.lr_at(0), 0.0);
+        assert_eq!(s.lr_at(10), 1.0);
+        assert!((s.lr_at(5) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(15) - 0.5).abs() < 1e-6);
+        assert_eq!(s.lr_at(20), 0.0); // Period is 2 * step_size.
+    }
+
+    #[test]
+    fn constant_lr_is_constant() {
+        let s = ConstantLr(0.3);
+        assert_eq!(s.lr_at(0), 0.3);
+        assert_eq!(s.lr_at(1_000_000), 0.3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based gradient checks: random compositions of ops must match
+//! finite differences.
+
+use nn::{Graph, ParamStore, Var};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+/// A small op chain applied to a [2, 3] input, selected by index.
+fn apply(g: &mut Graph, x: Var, ops: &[u8]) -> Var {
+    let mut v = x;
+    for &op in ops {
+        v = match op % 7 {
+            0 => g.tanh(v).unwrap(),
+            1 => g.sigmoid(v).unwrap(),
+            2 => g.square(v).unwrap(),
+            3 => g.scale(v, 0.7),
+            4 => g.relu(v).unwrap(),
+            5 => g.add_scalar(v, 0.3),
+            _ => {
+                let s = g.softmax_last(v).unwrap();
+                s
+            }
+        };
+    }
+    g.mean(v).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_op_chains_match_finite_differences(
+        init in proptest::collection::vec(-1.5f32..1.5, 6),
+        ops in proptest::collection::vec(0u8..7, 1..5),
+    ) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::from_vec(init, &[2, 3]).unwrap());
+        let mut g = Graph::new();
+        let x = g.param(&store, p);
+        let loss = apply(&mut g, x, &ops);
+        g.backward(loss).unwrap();
+        g.write_param_grads(&mut store).unwrap();
+        let analytic = store.grad(p).clone();
+        let eps = 1e-2f32;
+        for i in 0..6 {
+            let eval = |delta: f32| {
+                let mut s2 = store.clone();
+                s2.value_mut(p).data_mut()[i] += delta;
+                let mut g2 = Graph::new();
+                let x2 = g2.param(&s2, p);
+                let l2 = apply(&mut g2, x2, &ops);
+                g2.value(l2).item()
+            };
+            let num = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            // ReLU kinks make exact agreement impossible; use a loose tol.
+            prop_assert!(
+                (a - num).abs() <= 0.05 * (1.0 + num.abs()),
+                "op chain {:?}: analytic {} vs numeric {}", ops, a, num
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_are_zero_for_unused_params(seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::scalar(seed as f32 * 0.001 + 0.1));
+        let unused = store.add("unused", Tensor::scalar(1.0));
+        let mut g = Graph::new();
+        let x = g.param(&store, used);
+        let _dangling = g.param(&store, unused);
+        let loss = g.square(x).unwrap();
+        g.backward(loss).unwrap();
+        g.write_param_grads(&mut store).unwrap();
+        prop_assert!(store.grad(used).norm2() > 0.0);
+        prop_assert_eq!(store.grad(unused).norm2(), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Matrix-multiplication kernels.
+//!
+//! These are deliberately simple cache-friendly loops (ikj order with a
+//! transposed-B fast path); they are the throughput bottleneck of predictor
+//! training, so the inner loops avoid bounds checks via iterators.
+
+use crate::{Result, Tensor, TensorError};
+
+/// 2-D matrix product `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+/// assert_eq!(matmul(&a, &i).unwrap(), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().len() != 2 {
+        return Err(TensorError::BadRank { op: "matmul", expected: 2, actual: a.shape().len() });
+    }
+    if b.shape().len() != 2 {
+        return Err(TensorError::BadRank { op: "matmul", expected: 2, actual: b.shape().len() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    mm_kernel(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Batched matrix product over the leading axis, with optional transposes.
+///
+/// `a` has shape `[b, m, k]` (or `[b, k, m]` if `ta`), `b` has shape
+/// `[b, k, n]` (or `[b, n, k]` if `tb`); the result is `[b, m, n]`.
+pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+    if a.shape().len() != 3 {
+        return Err(TensorError::BadRank { op: "bmm", expected: 3, actual: a.shape().len() });
+    }
+    if b.shape().len() != 3 {
+        return Err(TensorError::BadRank { op: "bmm", expected: 3, actual: b.shape().len() });
+    }
+    let batch = a.shape()[0];
+    if b.shape()[0] != batch {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let (m, k) = if ta { (a.shape()[2], a.shape()[1]) } else { (a.shape()[1], a.shape()[2]) };
+    let (k2, n) = if tb { (b.shape()[2], b.shape()[1]) } else { (b.shape()[1], b.shape()[2]) };
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; batch * m * n];
+    let a_stride = a.shape()[1] * a.shape()[2];
+    let b_stride = b.shape()[1] * b.shape()[2];
+    for t in 0..batch {
+        let asl = &a.data()[t * a_stride..(t + 1) * a_stride];
+        let bsl = &b.data()[t * b_stride..(t + 1) * b_stride];
+        let osl = &mut out[t * m * n..(t + 1) * m * n];
+        match (ta, tb) {
+            (false, false) => mm_kernel(asl, bsl, osl, m, k, n),
+            (false, true) => mm_kernel_bt(asl, bsl, osl, m, k, n),
+            (true, false) => {
+                let at = transpose_buf(asl, k, m);
+                mm_kernel(&at, bsl, osl, m, k, n);
+            }
+            (true, true) => {
+                let at = transpose_buf(asl, k, m);
+                mm_kernel_bt(&at, bsl, osl, m, k, n);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, m, n])
+}
+
+/// `out[m, n] += a[m, k] * b[k, n]` with ikj loop order.
+fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m, n] += a[m, k] * b[n, k]^T` — dot-product form, good locality.
+fn mm_kernel_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+fn transpose_buf(a: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = a[i * cols + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dim_checks() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = t((0..12).map(|x| x as f32).collect(), &[2, 2, 3]);
+        let b = t((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]);
+        let c = bmm(&a, &b, false, false).unwrap();
+        for batch in 0..2 {
+            let a2 = t(a.data()[batch * 6..(batch + 1) * 6].to_vec(), &[2, 3]);
+            let b2 = t(b.data()[batch * 6..(batch + 1) * 6].to_vec(), &[3, 2]);
+            let c2 = matmul(&a2, &b2).unwrap();
+            assert_eq!(&c.data()[batch * 4..(batch + 1) * 4], c2.data());
+        }
+    }
+
+    #[test]
+    fn bmm_transpose_flags_agree_with_explicit_transpose() {
+        let a = t((0..6).map(|x| x as f32).collect(), &[1, 2, 3]);
+        let b = t((0..6).map(|x| x as f32 + 1.0).collect(), &[1, 2, 3]);
+        // a [1,2,3] x b^T [1,3,2] -> [1,2,2]
+        let c = bmm(&a, &b, false, true).unwrap();
+        let b2 = t(b.data().to_vec(), &[2, 3]).transpose2().unwrap();
+        let c2 = matmul(&t(a.data().to_vec(), &[2, 3]), &b2).unwrap();
+        assert_eq!(c.data(), c2.data());
+
+        // a^T path: a [1,2,3] read as [3,2] transposed.
+        let d = bmm(&a, &c, true, false).unwrap();
+        assert_eq!(d.shape(), &[1, 3, 2]);
+        let a2 = t(a.data().to_vec(), &[2, 3]).transpose2().unwrap();
+        let d2 = matmul(&a2, &t(c.data().to_vec(), &[2, 2])).unwrap();
+        assert_eq!(d.data(), d2.data());
+    }
+
+    #[test]
+    fn bmm_batch_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 2, 3]);
+        let b = Tensor::zeros(&[3, 3, 2]);
+        assert!(bmm(&a, &b, false, false).is_err());
+    }
+
+    #[test]
+    fn identity_preserves() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+}

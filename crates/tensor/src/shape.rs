@@ -1,0 +1,56 @@
+//! Shape helpers shared by the tensor and autodiff layers.
+
+/// Lightweight shape utility wrapper.
+///
+/// Most code passes `&[usize]` around directly; `Shape` groups the few
+/// computed properties (row count with respect to the trailing axis, numel)
+/// used when batching variable-length compact ASTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of the trailing axis (0 for rank-0 shapes).
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(0)
+    }
+
+    /// Product of all axes except the trailing one.
+    pub fn rows(&self) -> usize {
+        if self.0.is_empty() {
+            0
+        } else {
+            self.0[..self.0.len() - 1].iter().product()
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(s: &[usize]) -> Self {
+        Shape(s.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_properties() {
+        let s = Shape(vec![4, 5, 6]);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.last_dim(), 6);
+        assert_eq!(s.rows(), 20);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(Shape(vec![]).last_dim(), 0);
+        assert_eq!(Shape(vec![]).rows(), 0);
+        assert_eq!(Shape(vec![3]).rows(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for tensor algebra laws.
+
+use proptest::prelude::*;
+use tensor::{bmm, matmul, Tensor};
+
+fn vec_f32(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in vec_f32(12), b in vec_f32(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 4]).unwrap();
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a in vec_f32(8), b in vec_f32(8)) {
+        let ta = Tensor::from_vec(a.clone(), &[8]).unwrap();
+        let tb = Tensor::from_vec(b, &[8]).unwrap();
+        let back = ta.add(&tb).unwrap().sub(&tb).unwrap();
+        for (x, y) in back.data().iter().zip(a.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in vec_f32(15)) {
+        let t = Tensor::from_vec(a, &[3, 5]).unwrap();
+        prop_assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_identity(a in vec_f32(16)) {
+        let t = Tensor::from_vec(a, &[4, 4]).unwrap();
+        let id = Tensor::from_fn(&[4, 4], |i| ((i / 4) == (i % 4)) as u8 as f32);
+        let out = matmul(&t, &id).unwrap();
+        for (x, y) in out.data().iter().zip(t.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in vec_f32(6), b in vec_f32(6), c in vec_f32(6)) {
+        let ta = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 2]).unwrap();
+        let tc = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = matmul(&ta, &tb.add(&tc).unwrap()).unwrap();
+        let rhs = matmul(&ta, &tb).unwrap().add(&matmul(&ta, &tc).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_looped_matmul(a in vec_f32(12), b in vec_f32(12)) {
+        let ta = Tensor::from_vec(a, &[2, 2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 3, 2]).unwrap();
+        let out = bmm(&ta, &tb, false, false).unwrap();
+        for batch in 0..2 {
+            let a2 = Tensor::from_vec(ta.data()[batch * 6..(batch + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let b2 = Tensor::from_vec(tb.data()[batch * 6..(batch + 1) * 6].to_vec(), &[3, 2]).unwrap();
+            let c2 = matmul(&a2, &b2).unwrap();
+            for (x, y) in out.data()[batch * 4..(batch + 1) * 4].iter().zip(c2.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in vec_f32(20)) {
+        let t = Tensor::from_vec(a, &[4, 5]).unwrap();
+        let s = t.softmax_last().unwrap();
+        for row in s.data().chunks(5) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn mean_axis0_matches_manual(a in vec_f32(12)) {
+        let t = Tensor::from_vec(a.clone(), &[4, 3]).unwrap();
+        let m = t.mean_axis0().unwrap();
+        for j in 0..3 {
+            let manual: f32 = (0..4).map(|r| a[r * 3 + j]).sum::<f32>() / 4.0;
+            prop_assert!((m.data()[j] - manual).abs() < 1e-4);
+        }
+    }
+}

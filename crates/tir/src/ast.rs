@@ -1,0 +1,285 @@
+//! The tensor-program AST (Fig 1c) and its pre-order serialization (Fig 1d).
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{AxisId, Buffer, LeafStmt};
+
+/// Annotation on a loop, mirroring TVM/Ansor schedule annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopKind {
+    /// Plain sequential loop.
+    Serial,
+    /// Parallelized across cores / thread blocks.
+    Parallel,
+    /// Mapped to SIMD lanes / vector units.
+    Vectorize,
+    /// Fully unrolled by the code generator.
+    Unroll,
+}
+
+impl LoopKind {
+    /// Stable numeric code used in feature vectors.
+    pub fn code(self) -> u32 {
+        match self {
+            LoopKind::Serial => 0,
+            LoopKind::Parallel => 1,
+            LoopKind::Vectorize => 2,
+            LoopKind::Unroll => 3,
+        }
+    }
+}
+
+/// A loop variable: one non-leaf AST node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopVar {
+    /// Axis identity (stable across schedule rewrites of accesses).
+    pub axis: AxisId,
+    /// Iteration count.
+    pub extent: u64,
+    /// Annotation.
+    pub kind: LoopKind,
+    /// Whether this axis is a reduction axis (affects parallelizability).
+    pub is_reduction: bool,
+}
+
+/// A node of the tensor-program AST.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AstNode {
+    /// A loop over `var` containing `body`.
+    Loop {
+        /// The loop variable.
+        var: LoopVar,
+        /// Child nodes (inner loops and/or leaf statements).
+        body: Vec<AstNode>,
+    },
+    /// A computation leaf.
+    Leaf(LeafStmt),
+}
+
+/// A complete tensor program: buffers plus a forest of loop nests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorProgram {
+    /// All buffers referenced by leaves.
+    pub buffers: Vec<Buffer>,
+    /// Top-level nodes, executed in order.
+    pub roots: Vec<AstNode>,
+}
+
+/// One entry of the pre-order serialization: either a node id or the `-1`
+/// marker emitted after each leaf (Fig 1d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerEntry {
+    /// A loop node, identified by its pre-order index.
+    Loop(u32),
+    /// A leaf node, identified by its pre-order index.
+    Leaf(u32),
+    /// The special marker appended after each leaf.
+    Marker,
+}
+
+impl TensorProgram {
+    /// Total number of AST nodes (loops + leaves).
+    pub fn node_count(&self) -> usize {
+        fn walk(n: &AstNode) -> usize {
+            match n {
+                AstNode::Loop { body, .. } => 1 + body.iter().map(walk).sum::<usize>(),
+                AstNode::Leaf(_) => 1,
+            }
+        }
+        self.roots.iter().map(walk).sum()
+    }
+
+    /// Number of leaf (computation) nodes.
+    pub fn leaf_count(&self) -> usize {
+        fn walk(n: &AstNode) -> usize {
+            match n {
+                AstNode::Loop { body, .. } => body.iter().map(walk).sum::<usize>(),
+                AstNode::Leaf(_) => 1,
+            }
+        }
+        self.roots.iter().map(walk).sum()
+    }
+
+    /// Visits every leaf together with its enclosing loop stack
+    /// (outermost-first).
+    pub fn visit_leaves<'a>(&'a self, mut f: impl FnMut(&'a LeafStmt, &[&'a LoopVar])) {
+        fn walk<'a>(
+            n: &'a AstNode,
+            stack: &mut Vec<&'a LoopVar>,
+            f: &mut impl FnMut(&'a LeafStmt, &[&'a LoopVar]),
+        ) {
+            match n {
+                AstNode::Loop { var, body } => {
+                    stack.push(var);
+                    for c in body {
+                        walk(c, stack, f);
+                    }
+                    stack.pop();
+                }
+                AstNode::Leaf(leaf) => f(leaf, stack),
+            }
+        }
+        let mut stack = Vec::new();
+        for r in &self.roots {
+            walk(r, &mut stack, &mut f);
+        }
+    }
+
+    /// Pre-order serialization with a marker after each leaf (Fig 1d).
+    ///
+    /// Node ids are assigned in pre-order visit order, so the positions of
+    /// [`SerEntry::Leaf`] entries form the paper's *ordering vector*.
+    pub fn serialize_preorder(&self) -> Vec<SerEntry> {
+        fn walk(n: &AstNode, next_id: &mut u32, out: &mut Vec<SerEntry>) {
+            match n {
+                AstNode::Loop { body, .. } => {
+                    out.push(SerEntry::Loop(*next_id));
+                    *next_id += 1;
+                    for c in body {
+                        walk(c, next_id, out);
+                    }
+                }
+                AstNode::Leaf(_) => {
+                    out.push(SerEntry::Leaf(*next_id));
+                    *next_id += 1;
+                    out.push(SerEntry::Marker);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut id = 0;
+        for r in &self.roots {
+            walk(r, &mut id, &mut out);
+        }
+        out
+    }
+
+    /// The ordering vector: for each leaf (in pre-order), its position in
+    /// the serialized traversal. This drives the positional encoding.
+    pub fn ordering_vector(&self) -> Vec<u32> {
+        self.serialize_preorder()
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, e)| match e {
+                SerEntry::Leaf(_) => Some(pos as u32),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total iterations executed by the whole program (sum over leaves of
+    /// the product of enclosing loop extents).
+    pub fn total_iterations(&self) -> f64 {
+        let mut total = 0.0;
+        self.visit_leaves(|_, stack| {
+            total += stack.iter().map(|l| l.extent as f64).product::<f64>();
+        });
+        total
+    }
+
+    /// Maximum loop nesting depth.
+    pub fn max_depth(&self) -> usize {
+        fn walk(n: &AstNode, d: usize) -> usize {
+            match n {
+                AstNode::Loop { body, .. } => {
+                    body.iter().map(|c| walk(c, d + 1)).max().unwrap_or(d + 1)
+                }
+                AstNode::Leaf(_) => d,
+            }
+        }
+        self.roots.iter().map(|r| walk(r, 0)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ComputeKind, MemAccess};
+
+    fn leaf(kind: ComputeKind) -> AstNode {
+        AstNode::Leaf(LeafStmt {
+            kind,
+            flops_per_iter: 1.0,
+            accesses: vec![MemAccess::write(0, vec![(0, 1)])],
+            domain: vec![0],
+        })
+    }
+
+    fn lv(axis: AxisId, extent: u64) -> LoopVar {
+        LoopVar { axis, extent, kind: LoopKind::Serial, is_reduction: false }
+    }
+
+    /// `for a { init; for b { mac } }` — the Fig 1 shape in miniature.
+    fn sample() -> TensorProgram {
+        TensorProgram {
+            buffers: vec![Buffer::f32("c", 64)],
+            roots: vec![AstNode::Loop {
+                var: lv(0, 4),
+                body: vec![
+                    leaf(ComputeKind::Init),
+                    AstNode::Loop { var: lv(1, 8), body: vec![leaf(ComputeKind::Mac)] },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let p = sample();
+        assert_eq!(p.node_count(), 4); // 2 loops + 2 leaves
+        assert_eq!(p.leaf_count(), 2);
+        assert_eq!(p.max_depth(), 2);
+    }
+
+    #[test]
+    fn preorder_serialization_layout() {
+        let p = sample();
+        let s = p.serialize_preorder();
+        // loop0, leaf1, marker, loop2, leaf3, marker
+        assert_eq!(
+            s,
+            vec![
+                SerEntry::Loop(0),
+                SerEntry::Leaf(1),
+                SerEntry::Marker,
+                SerEntry::Loop(2),
+                SerEntry::Leaf(3),
+                SerEntry::Marker,
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_vector_positions() {
+        let p = sample();
+        // Leaf entries sit at serialized positions 1 and 4.
+        assert_eq!(p.ordering_vector(), vec![1, 4]);
+    }
+
+    #[test]
+    fn visit_leaves_sees_stacks() {
+        let p = sample();
+        let mut stacks = Vec::new();
+        p.visit_leaves(|leaf, stack| {
+            stacks.push((leaf.kind, stack.iter().map(|l| l.axis).collect::<Vec<_>>()));
+        });
+        assert_eq!(stacks.len(), 2);
+        assert_eq!(stacks[0], (ComputeKind::Init, vec![0]));
+        assert_eq!(stacks[1], (ComputeKind::Mac, vec![0, 1]));
+    }
+
+    #[test]
+    fn total_iterations_sums_leaf_domains() {
+        let p = sample();
+        // init runs 4 times, mac runs 4*8 = 32 times.
+        assert_eq!(p.total_iterations(), 36.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: TensorProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

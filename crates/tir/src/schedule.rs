@@ -1,0 +1,589 @@
+//! Schedule primitives and lowering to tensor programs.
+//!
+//! This mirrors TVM/Ansor's schedule space at the granularity the cost model
+//! cares about: loop splitting (tiling), reordering, and the
+//! parallel/vectorize/unroll annotations. Applying a [`Schedule`] to a
+//! task's canonical [`Nest`] yields a concrete [`TensorProgram`] whose AST
+//! structure (and therefore performance) depends on the schedule — one
+//! subgraph can expand into thousands of distinct tensor programs, exactly
+//! the space Tenset samples.
+
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AstNode, LoopKind, LoopVar, TensorProgram};
+use crate::expr::{AxisId, LeafStmt};
+use crate::task::{AxisInfo, Nest};
+
+/// A single schedule transformation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// Splits `axis` into an outer and inner loop; the inner has `factor`
+    /// iterations. `factor` must divide the axis extent.
+    Split {
+        /// Axis to split.
+        axis: AxisId,
+        /// Inner extent.
+        factor: u64,
+    },
+    /// Reorders the loop nest to the given axis order (must be a
+    /// permutation of the current axes).
+    Reorder {
+        /// New outermost-first order.
+        order: Vec<AxisId>,
+    },
+    /// Annotates an axis with a loop kind.
+    Annotate {
+        /// Axis to annotate.
+        axis: AxisId,
+        /// The annotation.
+        kind: LoopKind,
+    },
+}
+
+/// An ordered list of schedule primitives.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Primitives applied in order.
+    pub primitives: Vec<Primitive>,
+}
+
+/// Errors from schedule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Referenced axis does not exist.
+    UnknownAxis(AxisId),
+    /// Split factor does not divide the extent.
+    BadFactor {
+        /// Offending axis.
+        axis: AxisId,
+        /// Extent of the axis.
+        extent: u64,
+        /// Requested factor.
+        factor: u64,
+    },
+    /// Reorder list is not a permutation of the current axes.
+    BadReorder,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::UnknownAxis(a) => write!(f, "unknown axis {a}"),
+            ScheduleError::BadFactor { axis, extent, factor } => {
+                write!(f, "factor {factor} does not divide extent {extent} of axis {axis}")
+            }
+            ScheduleError::BadReorder => write!(f, "reorder is not a permutation"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Mutable lowering state: the nest plus the global loop order and
+/// annotations, evolved by primitives.
+struct LowerState {
+    axes: Vec<AxisInfo>,
+    order: Vec<AxisId>,
+    leaves: Vec<(LeafStmt, Vec<AxisId>)>,
+    annotations: Vec<(AxisId, LoopKind)>,
+    next_axis: AxisId,
+}
+
+impl LowerState {
+    fn new(nest: &Nest) -> Self {
+        let order = nest.axes.iter().map(|a| a.id).collect();
+        let next_axis = nest.axes.iter().map(|a| a.id).max().map_or(0, |m| m + 1);
+        LowerState {
+            axes: nest.axes.clone(),
+            order,
+            leaves: nest.leaves.iter().map(|l| (l.clone(), l.domain.clone())).collect(),
+            annotations: Vec::new(),
+            next_axis,
+        }
+    }
+
+    fn axis(&self, id: AxisId) -> Option<&AxisInfo> {
+        self.axes.iter().find(|a| a.id == id)
+    }
+
+    fn apply(&mut self, p: &Primitive) -> Result<(), ScheduleError> {
+        match p {
+            Primitive::Split { axis, factor } => self.split(*axis, *factor),
+            Primitive::Reorder { order } => self.reorder(order),
+            Primitive::Annotate { axis, kind } => {
+                if self.axis(*axis).is_none() {
+                    return Err(ScheduleError::UnknownAxis(*axis));
+                }
+                self.annotations.retain(|&(a, _)| a != *axis);
+                self.annotations.push((*axis, *kind));
+                Ok(())
+            }
+        }
+    }
+
+    fn split(&mut self, axis: AxisId, factor: u64) -> Result<(), ScheduleError> {
+        let info = self.axis(axis).ok_or(ScheduleError::UnknownAxis(axis))?.clone();
+        if factor == 0 || info.extent % factor != 0 {
+            return Err(ScheduleError::BadFactor { axis, extent: info.extent, factor });
+        }
+        let outer = self.next_axis;
+        let inner = self.next_axis + 1;
+        self.next_axis += 2;
+        // Replace the axis record.
+        self.axes.retain(|a| a.id != axis);
+        self.axes.push(AxisInfo { id: outer, extent: info.extent / factor, is_reduction: info.is_reduction });
+        self.axes.push(AxisInfo { id: inner, extent: factor, is_reduction: info.is_reduction });
+        // Replace in the global order: outer takes the old slot, inner
+        // follows immediately (Reorder can move it later).
+        let pos = self.order.iter().position(|&a| a == axis).expect("axis in order");
+        self.order.splice(pos..=pos, [outer, inner]);
+        // Rewrite leaf domains and accesses.
+        for (leaf, domain) in &mut self.leaves {
+            if let Some(dpos) = domain.iter().position(|&a| a == axis) {
+                domain.splice(dpos..=dpos, [outer, inner]);
+                for acc in &mut leaf.accesses {
+                    acc.split_axis(axis, outer, inner, factor as i64);
+                }
+            }
+        }
+        // Annotations on the split axis transfer to the inner loop.
+        for ann in &mut self.annotations {
+            if ann.0 == axis {
+                ann.0 = inner;
+            }
+        }
+        Ok(())
+    }
+
+    fn reorder(&mut self, order: &[AxisId]) -> Result<(), ScheduleError> {
+        if order.len() != self.order.len() {
+            return Err(ScheduleError::BadReorder);
+        }
+        let mut sorted_new: Vec<_> = order.to_vec();
+        let mut sorted_old = self.order.clone();
+        sorted_new.sort_unstable();
+        sorted_old.sort_unstable();
+        if sorted_new != sorted_old {
+            return Err(ScheduleError::BadReorder);
+        }
+        self.order = order.to_vec();
+        Ok(())
+    }
+
+    fn annotation(&self, axis: AxisId) -> LoopKind {
+        self.annotations
+            .iter()
+            .find(|&&(a, _)| a == axis)
+            .map(|&(_, k)| k)
+            .unwrap_or(LoopKind::Serial)
+    }
+
+    /// Builds the AST forest. Leaves are placed under the loops of their
+    /// domain following the global order; when the order forces a leaf
+    /// apart from its neighbours (e.g. a reduction axis hoisted above an
+    /// init statement's domain), the nest fissions into siblings.
+    fn build(&self) -> Vec<AstNode> {
+        let leaves: Vec<(LeafStmt, Vec<AxisId>)> = self.leaves.clone();
+        self.build_rec(&self.order, leaves)
+    }
+
+    fn build_rec(&self, order: &[AxisId], leaves: Vec<(LeafStmt, Vec<AxisId>)>) -> Vec<AstNode> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < leaves.len() {
+            let first_needed = order.iter().copied().find(|a| leaves[i].1.contains(a));
+            match first_needed {
+                None => {
+                    out.push(AstNode::Leaf(leaves[i].0.clone()));
+                    i += 1;
+                }
+                Some(a) => {
+                    // Group consecutive leaves whose own first-needed axis is `a`.
+                    let mut group = Vec::new();
+                    while i < leaves.len() {
+                        let fni = order.iter().copied().find(|x| leaves[i].1.contains(x));
+                        if fni != Some(a) {
+                            break;
+                        }
+                        let (leaf, mut dom) = leaves[i].clone();
+                        dom.retain(|&x| x != a);
+                        group.push((leaf, dom));
+                        i += 1;
+                    }
+                    let sub_order: Vec<AxisId> =
+                        order.iter().copied().filter(|&x| x != a).collect();
+                    let info = self.axis(a).expect("axis exists");
+                    let var = LoopVar {
+                        axis: a,
+                        extent: info.extent,
+                        kind: self.annotation(a),
+                        is_reduction: info.is_reduction,
+                    };
+                    let body = self.build_rec(&sub_order, group);
+                    out.push(AstNode::Loop { var, body });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Applies `schedule` to `nest`, producing a tensor program.
+pub fn lower(nest: &Nest, schedule: &Schedule) -> Result<TensorProgram, ScheduleError> {
+    let mut state = LowerState::new(nest);
+    for p in &schedule.primitives {
+        state.apply(p)?;
+    }
+    Ok(TensorProgram { buffers: nest.buffers.clone(), roots: state.build() })
+}
+
+/// Divisors of `n` in `[2, max]`, used by the random tiler.
+fn divisors(n: u64, max: u64) -> Vec<u64> {
+    (2..=n.min(max)).filter(|d| n % d == 0).collect()
+}
+
+/// Samples a random Ansor-style schedule for a nest.
+///
+/// The sampler mixes sensible multi-level tilings with occasional bad
+/// choices (hoisted reductions, missing vectorization) so the dataset spans
+/// the performance range a real auto-tuner explores.
+pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
+    let mut primitives = Vec::new();
+    let mut state = LowerState::new(nest);
+    // 1) Tiling: split large axes once or twice.
+    let axis_ids: Vec<AxisId> = state.axes.iter().map(|a| a.id).collect();
+    for id in axis_ids {
+        let extent = state.axis(id).map(|a| a.extent).unwrap_or(1);
+        if extent >= 4 && rng.random_bool(0.7) {
+            let divs = divisors(extent, 64);
+            if let Some(&f) = divs.as_slice().choose(rng) {
+                let p = Primitive::Split { axis: id, factor: f };
+                if state.apply(&p).is_ok() {
+                    primitives.push(p);
+                }
+            }
+        }
+    }
+    // Occasionally add a second-level split on one inner axis.
+    if rng.random_bool(0.4) {
+        let candidates: Vec<(AxisId, u64)> = state
+            .axes
+            .iter()
+            .filter(|a| a.extent >= 8)
+            .map(|a| (a.id, a.extent))
+            .collect();
+        if let Some(&(id, extent)) = candidates.as_slice().choose(rng) {
+            let divs = divisors(extent, 16);
+            if let Some(&f) = divs.as_slice().choose(rng) {
+                let p = Primitive::Split { axis: id, factor: f };
+                if state.apply(&p).is_ok() {
+                    primitives.push(p);
+                }
+            }
+        }
+    }
+    // 2) Reorder.
+    let mut order = state.order.clone();
+    if rng.random_bool(0.85) {
+        // Mild shuffle: swap a few adjacent-ish pairs, keeping a mostly
+        // sane structure.
+        let swaps = rng.random_range(0..=order.len().min(4));
+        for _ in 0..swaps {
+            if order.len() >= 2 {
+                let i = rng.random_range(0..order.len() - 1);
+                let j = (i + 1 + rng.random_range(0..2.min(order.len() - i - 1))).min(order.len() - 1);
+                order.swap(i, j);
+            }
+        }
+    } else {
+        // Full random permutation — occasionally produces terrible
+        // schedules (reduction hoisted out, strided innermost loops).
+        order.shuffle(rng);
+    }
+    let p = Primitive::Reorder { order };
+    if state.apply(&p).is_ok() {
+        primitives.push(p);
+    }
+    // 3) Annotations.
+    let order = state.order.clone();
+    if let Some(&last) = order.last() {
+        let extent = state.axis(last).map(|a| a.extent).unwrap_or(1);
+        if extent >= 2 && extent <= 64 && rng.random_bool(0.55) {
+            let p = Primitive::Annotate { axis: last, kind: LoopKind::Vectorize };
+            if state.apply(&p).is_ok() {
+                primitives.push(p);
+            }
+        }
+    }
+    if let Some(&first) = order.first() {
+        let is_red = state.axis(first).map(|a| a.is_reduction).unwrap_or(false);
+        if !is_red && rng.random_bool(0.7) {
+            let p = Primitive::Annotate { axis: first, kind: LoopKind::Parallel };
+            if state.apply(&p).is_ok() {
+                primitives.push(p);
+            }
+        }
+    }
+    // Unroll a random small inner axis.
+    if rng.random_bool(0.4) {
+        let candidates: Vec<AxisId> = state
+            .axes
+            .iter()
+            .filter(|a| a.extent >= 2 && a.extent <= 16)
+            .map(|a| a.id)
+            .collect();
+        if let Some(&id) = candidates.as_slice().choose(rng) {
+            if state.annotation(id) == LoopKind::Serial {
+                let p = Primitive::Annotate { axis: id, kind: LoopKind::Unroll };
+                if state.apply(&p).is_ok() {
+                    primitives.push(p);
+                }
+            }
+        }
+    }
+    Schedule { primitives }
+}
+
+/// Enumerates light mutations of a schedule (used by the Ansor-lite
+/// evolutionary search in `cdmpp-core`).
+pub fn mutate_schedule(
+    nest: &Nest,
+    schedule: &Schedule,
+    rng: &mut impl Rng,
+) -> Schedule {
+    // Mutation = re-sampling with a bias toward keeping the old primitives:
+    // with probability 0.5 keep the old schedule's splits and resample the
+    // rest, otherwise sample fresh.
+    if rng.random_bool(0.5) {
+        let mut kept = Schedule::default();
+        let mut state = LowerState::new(nest);
+        for p in &schedule.primitives {
+            if matches!(p, Primitive::Split { .. }) && state.apply(p).is_ok() {
+                kept.primitives.push(p.clone());
+            }
+        }
+        // New reorder + annotations on top of the kept splits.
+        let mut order = state.order.clone();
+        if rng.random_bool(0.5) {
+            order.shuffle(rng);
+        }
+        let p = Primitive::Reorder { order };
+        if state.apply(&p).is_ok() {
+            kept.primitives.push(p);
+        }
+        if let Some(&last) = state.order.clone().last() {
+            if rng.random_bool(0.5) {
+                let p = Primitive::Annotate { axis: last, kind: LoopKind::Vectorize };
+                if state.apply(&p).is_ok() {
+                    kept.primitives.push(p);
+                }
+            }
+        }
+        kept
+    } else {
+        sample_schedule(nest, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::OpSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_nest() -> Nest {
+        OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest()
+    }
+
+    #[test]
+    fn lower_default_schedule_matches_canonical() {
+        let nest = dense_nest();
+        let p = lower(&nest, &Schedule::default()).unwrap();
+        // for i { for j { init; for k { mac } ; relu } }
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.node_count(), 3 + 3); // 3 loops + 3 leaves
+        assert_eq!(p.max_depth(), 3);
+        // Iterations preserved: 256 + 4096 + 256.
+        assert_eq!(p.total_iterations(), nest.total_iterations());
+    }
+
+    #[test]
+    fn split_preserves_iterations_and_leaf_count() {
+        let nest = dense_nest();
+        let s = Schedule {
+            primitives: vec![
+                Primitive::Split { axis: 0, factor: 4 },
+                Primitive::Split { axis: 2, factor: 8 },
+            ],
+        };
+        let p = lower(&nest, &s).unwrap();
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.total_iterations(), nest.total_iterations());
+        // Two splits add two loops: 5 loops total.
+        assert_eq!(p.node_count() - p.leaf_count(), 5);
+    }
+
+    #[test]
+    fn split_requires_dividing_factor() {
+        let nest = dense_nest();
+        let s = Schedule { primitives: vec![Primitive::Split { axis: 0, factor: 5 }] };
+        assert!(matches!(lower(&nest, &s), Err(ScheduleError::BadFactor { .. })));
+    }
+
+    #[test]
+    fn split_unknown_axis_errors() {
+        let nest = dense_nest();
+        let s = Schedule { primitives: vec![Primitive::Split { axis: 99, factor: 2 }] };
+        assert_eq!(lower(&nest, &s), Err(ScheduleError::UnknownAxis(99)));
+    }
+
+    #[test]
+    fn reorder_validates_permutation() {
+        let nest = dense_nest();
+        let bad = Schedule { primitives: vec![Primitive::Reorder { order: vec![0, 1] }] };
+        assert_eq!(lower(&nest, &bad), Err(ScheduleError::BadReorder));
+        let dup = Schedule { primitives: vec![Primitive::Reorder { order: vec![0, 1, 1] }] };
+        assert_eq!(lower(&nest, &dup), Err(ScheduleError::BadReorder));
+    }
+
+    #[test]
+    fn hoisting_reduction_fissions_the_nest() {
+        let nest = dense_nest();
+        // Put the reduction axis k (=2) outermost: init/relu (domain {i,j})
+        // must fission out of the k-nest.
+        let s = Schedule { primitives: vec![Primitive::Reorder { order: vec![2, 0, 1] }] };
+        let p = lower(&nest, &s).unwrap();
+        assert_eq!(p.leaf_count(), 3);
+        // Three sibling nests at the root: init-nest, k-nest, relu-nest.
+        assert_eq!(p.roots.len(), 3);
+        assert_eq!(p.total_iterations(), nest.total_iterations());
+    }
+
+    #[test]
+    fn annotations_show_up_in_ast() {
+        let nest = dense_nest();
+        let s = Schedule {
+            primitives: vec![
+                Primitive::Annotate { axis: 0, kind: LoopKind::Parallel },
+                Primitive::Annotate { axis: 1, kind: LoopKind::Vectorize },
+            ],
+        };
+        let p = lower(&nest, &s).unwrap();
+        let mut kinds = Vec::new();
+        fn walk(n: &AstNode, out: &mut Vec<LoopKind>) {
+            if let AstNode::Loop { var, body } = n {
+                out.push(var.kind);
+                for c in body {
+                    walk(c, out);
+                }
+            }
+        }
+        for r in &p.roots {
+            walk(r, &mut kinds);
+        }
+        assert!(kinds.contains(&LoopKind::Parallel));
+        assert!(kinds.contains(&LoopKind::Vectorize));
+    }
+
+    #[test]
+    fn annotation_transfers_to_inner_on_split() {
+        let nest = dense_nest();
+        let s = Schedule {
+            primitives: vec![
+                Primitive::Annotate { axis: 1, kind: LoopKind::Vectorize },
+                Primitive::Split { axis: 1, factor: 4 },
+            ],
+        };
+        let p = lower(&nest, &s).unwrap();
+        // Find the vectorized loop; its extent must be the inner factor 4.
+        let mut found = None;
+        fn walk(n: &AstNode, found: &mut Option<u64>) {
+            if let AstNode::Loop { var, body } = n {
+                if var.kind == LoopKind::Vectorize {
+                    *found = Some(var.extent);
+                }
+                for c in body {
+                    walk(c, found);
+                }
+            }
+        }
+        for r in &p.roots {
+            walk(r, &mut found);
+        }
+        assert_eq!(found, Some(4));
+    }
+
+    #[test]
+    fn split_rewrites_access_strides() {
+        let nest = dense_nest();
+        let s = Schedule { primitives: vec![Primitive::Split { axis: 1, factor: 4 }] };
+        let p = lower(&nest, &s).unwrap();
+        // Find the mac leaf; its B access now strides 1 on the inner j axis
+        // and 4 on the outer j axis.
+        let mut checked = false;
+        p.visit_leaves(|leaf, _| {
+            if leaf.kind == crate::expr::ComputeKind::Mac {
+                let b_acc = &leaf.accesses[1];
+                let strides: Vec<i64> = b_acc.strides.iter().map(|&(_, s)| s).collect();
+                assert!(strides.contains(&1));
+                assert!(strides.contains(&4));
+                checked = true;
+            }
+        });
+        assert!(checked);
+    }
+
+    #[test]
+    fn sampled_schedules_always_lower() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for spec in [
+            OpSpec::Dense { m: 64, n: 64, k: 64 },
+            OpSpec::Conv2d { n: 1, cin: 16, hw: 16, cout: 32, khw: 3, stride: 1 },
+            OpSpec::Softmax { rows: 64, cols: 128 },
+            OpSpec::Elementwise { n: 1024, kind: crate::task::EwKind::Relu },
+        ] {
+            let nest = spec.canonical_nest();
+            for _ in 0..50 {
+                let sched = sample_schedule(&nest, &mut rng);
+                let p = lower(&nest, &sched).expect("sampled schedule lowers");
+                assert_eq!(p.leaf_count(), nest.leaves.len());
+                let diff = (p.total_iterations() - nest.total_iterations()).abs();
+                assert!(diff < 1e-6, "iterations preserved for {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_schedules_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let nest = OpSpec::Dense { m: 64, n: 64, k: 64 }.canonical_nest();
+        let mut node_counts = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let sched = sample_schedule(&nest, &mut rng);
+            let p = lower(&nest, &sched).unwrap();
+            node_counts.insert(p.node_count());
+        }
+        assert!(node_counts.len() >= 4, "expected structural diversity, got {node_counts:?}");
+    }
+
+    #[test]
+    fn mutation_produces_valid_schedules() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let nest = OpSpec::Dense { m: 32, n: 32, k: 32 }.canonical_nest();
+        let base = sample_schedule(&nest, &mut rng);
+        for _ in 0..30 {
+            let m = mutate_schedule(&nest, &base, &mut rng);
+            assert!(lower(&nest, &m).is_ok());
+        }
+    }
+
+    #[test]
+    fn divisors_helper() {
+        assert_eq!(divisors(12, 64), vec![2, 3, 4, 6, 12]);
+        assert_eq!(divisors(7, 64), vec![7]);
+        assert!(divisors(1, 64).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based invariants of schedule lowering.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tir::{lower, sample_schedule, OpSpec, Schedule, SerEntry};
+
+fn arb_spec() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (1u64..5, 1u64..5, 1u64..5).prop_map(|(m, n, k)| OpSpec::Dense {
+            m: m * 8,
+            n: n * 8,
+            k: k * 8
+        }),
+        (1u64..4, 1u64..4).prop_map(|(r, c)| OpSpec::Softmax { rows: r * 16, cols: c * 16 }),
+        (1u64..3, 1u64..3).prop_map(|(c, h)| OpSpec::Conv2d {
+            n: 1,
+            cin: c * 8,
+            hw: h * 8,
+            cout: 16,
+            khw: 3,
+            stride: 1
+        }),
+        (1u64..6,).prop_map(|(n,)| OpSpec::Elementwise { n: n * 256, kind: tir::EwKind::Relu }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampled_schedules_preserve_semantics(spec in arb_spec(), seed in 0u64..10_000) {
+        let nest = spec.canonical_nest();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = sample_schedule(&nest, &mut rng);
+        let prog = lower(&nest, &sched).unwrap();
+        // Leaf count and total iteration count are schedule-invariant.
+        prop_assert_eq!(prog.leaf_count(), nest.leaves.len());
+        let diff = (prog.total_iterations() - nest.total_iterations()).abs();
+        prop_assert!(diff / nest.total_iterations() < 1e-9);
+    }
+
+    #[test]
+    fn preorder_serialization_is_consistent(spec in arb_spec(), seed in 0u64..10_000) {
+        let nest = spec.canonical_nest();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = sample_schedule(&nest, &mut rng);
+        let prog = lower(&nest, &sched).unwrap();
+        let ser = prog.serialize_preorder();
+        // Exactly one marker per leaf, directly after it.
+        let leaves = ser.iter().filter(|e| matches!(e, SerEntry::Leaf(_))).count();
+        let markers = ser.iter().filter(|e| matches!(e, SerEntry::Marker)).count();
+        prop_assert_eq!(leaves, prog.leaf_count());
+        prop_assert_eq!(markers, leaves);
+        for w in ser.windows(2) {
+            if matches!(w[0], SerEntry::Leaf(_)) {
+                prop_assert!(matches!(w[1], SerEntry::Marker));
+            }
+        }
+        // Node ids are consecutive pre-order ids.
+        let ids: Vec<u32> = ser.iter().filter_map(|e| match e {
+            SerEntry::Loop(i) | SerEntry::Leaf(i) => Some(*i),
+            SerEntry::Marker => None,
+        }).collect();
+        for (expect, &got) in ids.iter().enumerate().map(|(i, v)| (i as u32, v)) {
+            prop_assert_eq!(expect, got);
+        }
+        // Ordering vector entries are strictly increasing.
+        let ov = prog.ordering_vector();
+        for w in ov.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn default_schedule_is_always_valid(spec in arb_spec()) {
+        let nest = spec.canonical_nest();
+        let prog = lower(&nest, &Schedule::default()).unwrap();
+        prop_assert!(prog.node_count() >= nest.leaves.len());
+        prop_assert!(prog.max_depth() <= nest.axes.len());
+    }
+}

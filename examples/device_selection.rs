@@ -1,0 +1,56 @@
+//! Device selection (§2.2's motivating use case): predict the end-to-end
+//! latency of a DNN on every Table 2 device *without running it there*,
+//! then pick the best device under a latency budget.
+//!
+//! Run with: `cargo run --release --example device_selection`
+
+use cdmpp::prelude::*;
+
+fn main() {
+    // Train one cross-device model on a subset of devices...
+    println!("generating multi-device dataset...");
+    let train_devices = vec![
+        cdmpp::devsim::t4(),
+        cdmpp::devsim::k80(),
+        cdmpp::devsim::v100(),
+        cdmpp::devsim::e5_2673(),
+    ];
+    let ds = Dataset::generate(GenConfig {
+        batch: 1,
+        schedules_per_task: 12,
+        devices: train_devices,
+        seed: 3,
+        noise_sigma: 0.03,
+    });
+    let all: Vec<usize> = (0..ds.records.len()).collect();
+    let split = SplitIndices::from_indices(&ds, all, &[], 3);
+    println!("training cross-device predictor on {} records...", split.train.len());
+    let (model, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        PredictorConfig::default(),
+        TrainConfig { epochs: 12, ..Default::default() },
+    );
+
+    // ...then query ResNet-50's end-to-end latency on EVERY device,
+    // including ones never trained on (A100, HL-100, Graviton2).
+    let net = cdmpp::tir::zoo::resnet50(1);
+    println!("\npredicted ResNet-50 (batch 1) iteration time per device:");
+    println!("{:>12}  {:>12}  {:>12}", "device", "predicted", "simulated");
+    let mut best: Option<(String, f64)> = None;
+    for dev in cdmpp::devsim::all_devices() {
+        let r = end_to_end(&model, &net, &dev, 11);
+        println!(
+            "{:>12}  {:>9.2} ms  {:>9.2} ms",
+            dev.name,
+            r.predicted_s * 1e3,
+            r.measured_s * 1e3
+        );
+        if best.as_ref().map_or(true, |(_, b)| r.predicted_s < *b) {
+            best = Some((dev.name.clone(), r.predicted_s));
+        }
+    }
+    let (name, t) = best.expect("devices exist");
+    println!("\nrecommended device: {name} (predicted {:.2} ms / iteration)", t * 1e3);
+}

@@ -1,0 +1,78 @@
+//! # cdmpp — a Rust reproduction of CDMPP (EuroSys '24)
+//!
+//! CDMPP is a device- and model-agnostic framework for predicting the
+//! absolute execution latency of tensor programs. This crate re-exports
+//! the whole reproduction workspace behind one façade:
+//!
+//! * [`tir`]: loop-nest tensor IR, schedules, and the DNN model zoo.
+//! * [`devsim`]: the analytical device simulator (Table 2 devices).
+//! * [`features`]: compact-AST features and positional encoding (§4).
+//! * [`dataset`]: synthetic-Tenset generation and splits (§7.1).
+//! * [`nn`] / [`tensor`]: the from-scratch autodiff substrate.
+//! * [`learn`]: KMeans, Box-Cox, t-SNE, metrics.
+//! * [`baselines`]: XGBoost-style GBT, Tiramisu, Habitat, TLP.
+//! * [`core`]: the CDMPP predictor, cross-domain training, Algorithm 1
+//!   sampler, Algorithm 2 replayer, and schedule search.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdmpp::prelude::*;
+//!
+//! // Generate a small dataset on one simulated device.
+//! let ds = Dataset::generate_with_networks(
+//!     GenConfig {
+//!         batch: 1,
+//!         schedules_per_task: 3,
+//!         devices: vec![cdmpp::devsim::t4()],
+//!         seed: 1,
+//!         noise_sigma: 0.0,
+//!     },
+//!     vec![cdmpp::tir::zoo::mlp_mixer(1)],
+//! );
+//! let split = SplitIndices::for_device(&ds, "T4", &[], 1);
+//! // Train a tiny predictor for a couple of epochs.
+//! let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, ..Default::default() };
+//! let tcfg = TrainConfig { epochs: 2, ..Default::default() };
+//! let (model, _stats) = pretrain(&ds, &split.train, &split.valid, pcfg, tcfg);
+//! let preds = model.predict_records(&ds, &split.test);
+//! assert!(preds.iter().all(|&p| p > 0.0));
+//! ```
+
+pub use baselines;
+pub use cdmpp_core as core;
+pub use dataset;
+pub use devsim;
+pub use features;
+pub use learn;
+pub use nn;
+pub use tensor;
+pub use tir;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cdmpp_core::{
+        autotune,
+        end_to_end,
+        evaluate,
+        finetune,
+        measured_end_to_end,
+        pretrain,
+        replay,
+        search_schedule,
+        select_tasks,
+        CostModel,
+        EvalMetrics,
+        FineTuneConfig,
+        Predictor,
+        PredictorConfig,
+        SearchConfig,
+        TrainConfig,
+        TrainedModel,
+    };
+    pub use dataset::{Dataset, GenConfig, Record, SplitIndices};
+    pub use devsim::{DeviceClass, DeviceSpec, Simulator};
+    pub use features::{extract_compact_ast, CompactAst};
+    pub use learn::{LabelTransform, TransformKind};
+    pub use tir::{lower, sample_schedule, Network, OpSpec, Schedule, TensorProgram};
+}

@@ -1,0 +1,76 @@
+//! The `cdmpp` command-line interface (§6 of the paper):
+//!
+//! ```console
+//! $ cdmpp <network> <batch_size> <device>
+//! $ cdmpp resnet50 1 T4
+//! ```
+//!
+//! Trains a compact cost model on the fly (the paper loads a pre-trained
+//! checkpoint; at this repo's scale training takes well under a minute)
+//! and prints the predicted end-to-end latency of the network on the
+//! device, alongside the simulated ground truth.
+
+use cdmpp::prelude::*;
+
+fn usage() -> ! {
+    eprintln!("usage: cdmpp <network> <batch_size> <device>");
+    eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
+    eprintln!(
+        "  devices:  {}",
+        cdmpp::devsim::all_devices().iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn network_by_name(name: &str, batch: u64) -> Option<Network> {
+    cdmpp::tir::all_networks(batch).into_iter().find(|n| n.name == name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 4 {
+        usage();
+    }
+    let batch: u64 = match args[2].parse() {
+        Ok(b) if b >= 1 => b,
+        _ => usage(),
+    };
+    let Some(net) = network_by_name(&args[1], batch) else {
+        eprintln!("unknown network '{}'", args[1]);
+        usage();
+    };
+    let Some(dev) = cdmpp::devsim::device_by_name(&args[3]) else {
+        eprintln!("unknown device '{}'", args[3]);
+        usage();
+    };
+
+    eprintln!("[cdmpp] training cost model for {}...", dev.name);
+    let ds = Dataset::generate(GenConfig {
+        batch: 1,
+        schedules_per_task: 24,
+        devices: vec![dev.clone()],
+        seed: 0,
+        noise_sigma: 0.03,
+    });
+    let split = SplitIndices::for_device(&ds, &dev.name, &[], 0);
+    let (model, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        PredictorConfig::default(),
+        TrainConfig { epochs: 12, lr: 1.5e-3, ..Default::default() },
+    );
+    let m = evaluate(&model, &ds, &split.test);
+    eprintln!("[cdmpp] cost model test MAPE: {:.1}%", m.mape * 100.0);
+
+    let r = end_to_end(&model, &net, &dev, 0);
+    println!(
+        "{} (batch {}) on {}: predicted {:.3} ms / iteration (simulated ground truth {:.3} ms, error {:.1}%)",
+        net.name,
+        batch,
+        dev.name,
+        r.predicted_s * 1e3,
+        r.measured_s * 1e3,
+        r.error() * 100.0
+    );
+}

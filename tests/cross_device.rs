@@ -1,0 +1,95 @@
+//! Cross-device adaptation integration: Algorithm 1 sampling + CMD
+//! fine-tuning must beat zero-shot transfer onto an unseen device.
+
+use std::collections::HashMap;
+
+use cdmpp::prelude::*;
+
+#[test]
+fn kmeans_sampled_finetuning_beats_zero_shot() {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 5,
+            devices: vec![cdmpp::devsim::t4(), cdmpp::devsim::v100(), cdmpp::devsim::graviton2()],
+            seed: 31,
+            noise_sigma: 0.0,
+        },
+        vec![cdmpp::tir::zoo::bert_tiny(1), cdmpp::tir::zoo::mlp_mixer(1)],
+    );
+    let mut src_idx = ds.device_records("T4");
+    src_idx.extend(ds.device_records("V100"));
+    let src = SplitIndices::from_indices(&ds, src_idx, &[], 1);
+    let tgt = SplitIndices::for_device(&ds, "Graviton2", &[], 1);
+    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let (mut model, _) = pretrain(
+        &ds,
+        &src.train,
+        &src.valid,
+        pcfg,
+        TrainConfig { epochs: 12, ..Default::default() },
+    );
+    let zero_shot = evaluate(&model, &ds, &tgt.test).mape;
+
+    // Algorithm 1 selects tasks from source latents.
+    let mut task_feats: HashMap<u32, Vec<Vec<f64>>> = HashMap::new();
+    for &i in ds.device_records("V100").iter().take(200) {
+        let tid = ds.records[i].task_id;
+        task_feats.entry(tid).or_default().push(model.latents(&ds, &[i]).pop().unwrap());
+    }
+    let chosen = select_tasks(&task_feats, 10, 1);
+    assert!(!chosen.is_empty());
+    let labeled: Vec<usize> = tgt
+        .train
+        .iter()
+        .copied()
+        .filter(|&i| chosen.contains(&ds.records[i].task_id))
+        .collect();
+    assert!(!labeled.is_empty());
+    finetune(
+        &mut model,
+        &ds,
+        &src.train,
+        &labeled,
+        &FineTuneConfig { steps: 120, use_target_labels: true, ..Default::default() },
+    );
+    let adapted = evaluate(&model, &ds, &tgt.test).mape;
+    assert!(
+        adapted < zero_shot,
+        "fine-tuning must improve transfer: {zero_shot:.3} -> {adapted:.3}"
+    );
+}
+
+#[test]
+fn cmd_shrinks_during_cdpp_finetuning() {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 4,
+            devices: vec![cdmpp::devsim::t4(), cdmpp::devsim::epyc_7452()],
+            seed: 33,
+            noise_sigma: 0.0,
+        },
+        vec![cdmpp::tir::zoo::bert_tiny(1)],
+    );
+    let src = SplitIndices::for_device(&ds, "T4", &[], 1);
+    let tgt = SplitIndices::for_device(&ds, "EPYC-7452", &[], 1);
+    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let (mut model, _) = pretrain(
+        &ds,
+        &src.train,
+        &src.valid,
+        pcfg,
+        TrainConfig { epochs: 8, ..Default::default() },
+    );
+    let before = cdmpp::core::latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
+    finetune(
+        &mut model,
+        &ds,
+        &src.train,
+        &tgt.train,
+        &FineTuneConfig { steps: 120, use_target_labels: true, ..Default::default() },
+    );
+    let after = cdmpp::core::latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
+    assert!(after < before, "CMD {before:.4} -> {after:.4}");
+}

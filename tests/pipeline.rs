@@ -1,0 +1,86 @@
+//! End-to-end pipeline integration: dataset generation → feature
+//! extraction → training → prediction, across crates.
+
+use cdmpp::prelude::*;
+
+fn tiny_dataset(devices: Vec<DeviceSpec>) -> Dataset {
+    Dataset::generate_with_networks(
+        GenConfig { batch: 1, schedules_per_task: 4, devices, seed: 21, noise_sigma: 0.0 },
+        vec![cdmpp::tir::zoo::bert_tiny(1), cdmpp::tir::zoo::mlp_mixer(1)],
+    )
+}
+
+#[test]
+fn generate_train_predict_improves_over_mean_baseline() {
+    let ds = tiny_dataset(vec![cdmpp::devsim::t4()]);
+    let split = SplitIndices::for_device(&ds, "T4", &[], 2);
+    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let (model, stats) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        pcfg,
+        TrainConfig { epochs: 20, ..Default::default() },
+    );
+    assert!(stats.throughput > 100.0, "throughput {:.0}", stats.throughput);
+    let m = evaluate(&model, &ds, &split.test);
+    // Geometric-mean baseline (predict one constant for everything).
+    let train_lat = ds.latencies(&split.train);
+    let gm = (train_lat.iter().map(|l| l.ln()).sum::<f64>() / train_lat.len() as f64).exp();
+    let truth = ds.latencies(&split.test);
+    let baseline = learn::mape(&vec![gm; truth.len()], &truth);
+    assert!(m.mape < baseline, "model {:.3} vs constant-baseline {:.3}", m.mape, baseline);
+}
+
+#[test]
+fn features_round_trip_through_the_whole_stack() {
+    let ds = tiny_dataset(vec![cdmpp::devsim::v100()]);
+    // Every record's program must extract to a compact AST whose leaf
+    // count matches the program's and produce finite encoded features.
+    for rec in ds.records.iter().take(100) {
+        let ast = extract_compact_ast(&rec.program);
+        assert_eq!(ast.n_leaves(), rec.program.leaf_count());
+        let enc = ast.encoded_flat(features::DEFAULT_THETA);
+        assert!(enc.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn transforms_invert_on_real_latencies() {
+    let ds = tiny_dataset(vec![cdmpp::devsim::a100()]);
+    let lats = ds.latencies(&ds.device_records("A100"));
+    for kind in [TransformKind::BoxCox, TransformKind::Quantile] {
+        let t = kind.fit(&lats);
+        for &y in lats.iter().step_by(13) {
+            let back = t.inverse(t.forward(y));
+            assert!((back - y).abs() / y < 0.05, "{kind:?}: {y} -> {back}");
+        }
+    }
+}
+
+#[test]
+fn holdout_split_is_honored_by_training() {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 3,
+            devices: vec![cdmpp::devsim::t4()],
+            seed: 4,
+            noise_sigma: 0.0,
+        },
+        vec![
+            cdmpp::tir::zoo::bert_tiny(1),
+            cdmpp::tir::zoo::mlp_mixer(1),
+            cdmpp::tir::zoo::resnet18(1),
+        ],
+    );
+    let split = SplitIndices::for_device(&ds, "T4", &["bert_tiny"], 1);
+    assert!(!split.hold_out.is_empty());
+    // A model trained on the split never sees bert_tiny tasks; it must
+    // still produce finite positive predictions for them.
+    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let (model, _) =
+        pretrain(&ds, &split.train, &split.valid, pcfg, TrainConfig { epochs: 3, ..Default::default() });
+    let preds = model.predict_records(&ds, &split.hold_out);
+    assert!(preds.iter().all(|&p| p.is_finite() && p > 0.0));
+}
