@@ -43,7 +43,12 @@ impl Default for GbtConfig {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
     Leaf(f32),
 }
 
@@ -58,8 +63,17 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -112,14 +126,16 @@ impl GbtRegressor {
             }
             trees.push(tree);
         }
-        GbtRegressor { trees, base, config }
+        GbtRegressor {
+            trees,
+            base,
+            config,
+        }
     }
 
     /// Predicts a single row.
     pub fn predict(&self, x: &[f32]) -> f32 {
-        self.base
-            + self.config.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
+        self.base + self.config.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
     }
 
     /// Predicts a batch of rows.
@@ -202,7 +218,7 @@ fn grow(
                 continue;
             }
             let gain = lsum * lsum / lcnt + rsum * rsum / rcnt - parent_score;
-            if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+            if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
                 best = Some((f, edges[b], gain));
             }
         }
@@ -219,7 +235,12 @@ fn grow(
             tree.nodes.push(Node::Leaf(0.0)); // placeholder
             let left = grow(tree, xs, ys, &li, bins, cols, depth - 1, min_leaf);
             let right = grow(tree, xs, ys, &ri, bins, cols, depth - 1, min_leaf);
-            tree.nodes[node] = Node::Split { feature, threshold, left, right };
+            tree.nodes[node] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
             node
         }
     }
@@ -239,7 +260,10 @@ mod tests {
                 vec![a, b, c]
             })
             .collect();
-        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x[0] + x[1] * x[1] - 2.0 * x[2]).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| 3.0 * x[0] + x[1] * x[1] - 2.0 * x[2])
+            .collect();
         (xs, ys)
     }
 
@@ -290,7 +314,11 @@ mod tests {
     #[test]
     fn respects_min_samples_leaf() {
         let (xs, ys) = toy(20);
-        let cfg = GbtConfig { min_samples_leaf: 10, n_trees: 5, ..GbtConfig::default() };
+        let cfg = GbtConfig {
+            min_samples_leaf: 10,
+            n_trees: 5,
+            ..GbtConfig::default()
+        };
         // With min leaf 10 of 20 points, trees are very shallow — model
         // still runs and predicts finite values.
         let model = GbtRegressor::fit(&xs, &ys, cfg);
@@ -300,8 +328,22 @@ mod tests {
     #[test]
     fn more_trees_fit_better() {
         let (xs, ys) = toy(300);
-        let small = GbtRegressor::fit(&xs, &ys, GbtConfig { n_trees: 3, ..Default::default() });
-        let large = GbtRegressor::fit(&xs, &ys, GbtConfig { n_trees: 100, ..Default::default() });
+        let small = GbtRegressor::fit(
+            &xs,
+            &ys,
+            GbtConfig {
+                n_trees: 3,
+                ..Default::default()
+            },
+        );
+        let large = GbtRegressor::fit(
+            &xs,
+            &ys,
+            GbtConfig {
+                n_trees: 100,
+                ..Default::default()
+            },
+        );
         let mse = |m: &GbtRegressor| {
             m.predict_batch(&xs)
                 .iter()

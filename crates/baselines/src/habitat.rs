@@ -23,7 +23,10 @@ pub struct HabitatModel {
 impl HabitatModel {
     /// Creates an empty model set.
     pub fn new(cfg: MlpRegConfig) -> Self {
-        HabitatModel { models: HashMap::new(), cfg }
+        HabitatModel {
+            models: HashMap::new(),
+            cfg,
+        }
     }
 
     /// Trains one MLP per op class on `(spec, log-latency)` pairs from a
@@ -76,7 +79,8 @@ impl HabitatModel {
         src: &DeviceSpec,
         dst: &DeviceSpec,
     ) -> Option<f64> {
-        self.predict(spec).map(|t| Self::scale_latency(t, spec, src, dst))
+        self.predict(spec)
+            .map(|t| Self::scale_latency(t, spec, src, dst))
     }
 }
 
@@ -85,15 +89,30 @@ fn approx_bytes(spec: &OpSpec) -> f64 {
     match *spec {
         OpSpec::Dense { m, n, k } => 4.0 * (m * k + k * n + m * n) as f64,
         OpSpec::BatchMatmul { b, m, n, k } => 4.0 * (b * (m * k + k * n + m * n)) as f64,
-        OpSpec::Conv2d { n, cin, hw, cout, khw, stride } => {
+        OpSpec::Conv2d {
+            n,
+            cin,
+            hw,
+            cout,
+            khw,
+            stride,
+        } => {
             let o = hw / stride;
             4.0 * (n * cin * hw * hw + cout * cin * khw * khw + n * cout * o * o) as f64
         }
-        OpSpec::DepthwiseConv { n, c, hw, khw, stride } => {
+        OpSpec::DepthwiseConv {
+            n,
+            c,
+            hw,
+            khw,
+            stride,
+        } => {
             let o = hw / stride;
             4.0 * (n * c * hw * hw + c * khw * khw + n * c * o * o) as f64
         }
-        OpSpec::Pool { n, c, hw, stride, .. } => {
+        OpSpec::Pool {
+            n, c, hw, stride, ..
+        } => {
             let o = hw / stride;
             4.0 * (n * c * hw * hw + n * c * o * o) as f64
         }
@@ -113,15 +132,34 @@ mod tests {
     fn fits_per_class_models() {
         let samples: Vec<(OpSpec, f64)> = (1..=24)
             .map(|i| {
-                let spec = OpSpec::Dense { m: 8 * i, n: 8 * i, k: 8 * i };
+                let spec = OpSpec::Dense {
+                    m: 8 * i,
+                    n: 8 * i,
+                    k: 8 * i,
+                };
                 (spec, spec.flops() * 1e-10 + 1e-6)
             })
             .collect();
-        let mut m = HabitatModel::new(MlpRegConfig { epochs: 400, ..Default::default() });
+        let mut m = HabitatModel::new(MlpRegConfig {
+            epochs: 400,
+            ..Default::default()
+        });
         m.fit(&samples);
         // Larger dense should predict larger latency.
-        let small = m.predict(&OpSpec::Dense { m: 16, n: 16, k: 16 }).unwrap();
-        let large = m.predict(&OpSpec::Dense { m: 128, n: 128, k: 128 }).unwrap();
+        let small = m
+            .predict(&OpSpec::Dense {
+                m: 16,
+                n: 16,
+                k: 16,
+            })
+            .unwrap();
+        let large = m
+            .predict(&OpSpec::Dense {
+                m: 128,
+                n: 128,
+                k: 128,
+            })
+            .unwrap();
         assert!(large > small);
     }
 
@@ -134,12 +172,19 @@ mod tests {
     #[test]
     fn roofline_scaling_direction() {
         // Compute-bound op: scaling T4 -> V100 (higher peak) shrinks time.
-        let spec = OpSpec::Dense { m: 1024, n: 1024, k: 1024 };
+        let spec = OpSpec::Dense {
+            m: 1024,
+            n: 1024,
+            k: 1024,
+        };
         let scaled = HabitatModel::scale_latency(1.0, &spec, &t4(), &v100());
         assert!(scaled < 1.0);
         // Memory-bound op: elementwise scales by bandwidth; Graviton2 has
         // far lower bandwidth than T4, so time grows.
-        let ew = OpSpec::Elementwise { n: 1 << 20, kind: tir::EwKind::Relu };
+        let ew = OpSpec::Elementwise {
+            n: 1 << 20,
+            kind: tir::EwKind::Relu,
+        };
         let scaled2 = HabitatModel::scale_latency(1.0, &ew, &t4(), &graviton2());
         assert!(scaled2 > 1.0);
     }
@@ -148,8 +193,15 @@ mod tests {
     fn compute_vs_memory_bound_pick_different_ratios() {
         // Same device pair, different op regimes: the scaling factors must
         // differ (peak ratio vs bandwidth ratio).
-        let gemm = OpSpec::Dense { m: 2048, n: 2048, k: 2048 };
-        let ew = OpSpec::Elementwise { n: 1024, kind: tir::EwKind::Relu };
+        let gemm = OpSpec::Dense {
+            m: 2048,
+            n: 2048,
+            k: 2048,
+        };
+        let ew = OpSpec::Elementwise {
+            n: 1024,
+            kind: tir::EwKind::Relu,
+        };
         let a = HabitatModel::scale_latency(1.0, &gemm, &t4(), &v100());
         let b = HabitatModel::scale_latency(1.0, &ew, &t4(), &v100());
         assert!((a - b).abs() > 1e-6);

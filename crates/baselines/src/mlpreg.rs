@@ -1,6 +1,6 @@
 //! A small shared MLP-regressor used by the Habitat and TLP baselines.
 
-use nn::{Adam, Graph, Mlp, Optimizer, ParamStore};
+use nn::{Adam, Exec, Graph, InferCtx, Mlp, Optimizer, ParamStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -23,7 +23,13 @@ pub struct MlpRegConfig {
 
 impl Default for MlpRegConfig {
     fn default() -> Self {
-        MlpRegConfig { hidden: vec![64, 64], epochs: 60, batch: 64, lr: 1e-3, seed: 0 }
+        MlpRegConfig {
+            hidden: vec![64, 64],
+            epochs: 60,
+            batch: 64,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -44,7 +50,12 @@ impl MlpRegressor {
         widths.extend_from_slice(&cfg.hidden);
         widths.push(1);
         let mlp = Mlp::new(&mut store, &mut rng, "mlpreg", &widths);
-        MlpRegressor { store, mlp, in_dim, cfg }
+        MlpRegressor {
+            store,
+            mlp,
+            in_dim,
+            cfg,
+        }
     }
 
     /// Trains with MSE on (rows, targets). Returns final training loss.
@@ -85,17 +96,17 @@ impl MlpRegressor {
         last
     }
 
-    /// Predicts a batch of rows.
+    /// Predicts a batch of rows on the forward-only executor.
     pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<f32> {
         if xs.is_empty() {
             return Vec::new();
         }
         let flat: Vec<f32> = xs.iter().flat_map(|x| x.iter().copied()).collect();
         let x = Tensor::from_vec(flat, &[xs.len(), self.in_dim]).expect("row width");
-        let mut g = Graph::new();
-        let xv = g.constant(x);
-        match self.mlp.forward(&mut g, &self.store, xv) {
-            Ok(p) => g.value(p).data().to_vec(),
+        let mut ctx = InferCtx::new(&self.store);
+        let xv = ctx.constant(x);
+        match self.mlp.forward(&mut ctx, &self.store, xv) {
+            Ok(p) => ctx.value(p).data().to_vec(),
             Err(_) => vec![f32::NAN; xs.len()],
         }
     }
@@ -109,7 +120,13 @@ mod tests {
     fn fits_linear_function() {
         let xs: Vec<Vec<f32>> = (0..200).map(|i| vec![(i as f32) / 100.0 - 1.0]).collect();
         let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] + 0.5).collect();
-        let mut m = MlpRegressor::new(1, MlpRegConfig { epochs: 150, ..Default::default() });
+        let mut m = MlpRegressor::new(
+            1,
+            MlpRegConfig {
+                epochs: 150,
+                ..Default::default()
+            },
+        );
         m.fit(&xs, &ys);
         let preds = m.predict(&xs);
         let mse: f32 = preds

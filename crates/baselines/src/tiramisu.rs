@@ -9,7 +9,7 @@
 //! inefficiency §7.2 measures. Trained with a MAPE objective, Tiramisu's
 //! default.
 
-use nn::{Adam, Graph, LstmCell, Linear, Mlp, Optimizer, ParamStore, Var};
+use nn::{Adam, Exec, Graph, InferCtx, Linear, LstmCell, Mlp, Optimizer, ParamStore, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::Tensor;
@@ -32,7 +32,12 @@ pub struct TiramisuConfig {
 
 impl Default for TiramisuConfig {
     fn default() -> Self {
-        TiramisuConfig { hidden: 32, epochs: 30, lr: 3e-3, seed: 0 }
+        TiramisuConfig {
+            hidden: 32,
+            epochs: 30,
+            lr: 3e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -55,7 +60,12 @@ fn leaf_vector(leaf: &tir::LeafStmt) -> Tensor {
     v[9] = leaf.accesses.iter().filter(|a| !a.is_write).count() as f32;
     v[10] = leaf.accesses.iter().filter(|a| a.is_write).count() as f32;
     for (i, acc) in leaf.accesses.iter().take(4).enumerate() {
-        let min_stride = acc.strides.iter().map(|&(_, s)| s.unsigned_abs()).min().unwrap_or(0);
+        let min_stride = acc
+            .strides
+            .iter()
+            .map(|&(_, s)| s.unsigned_abs())
+            .min()
+            .unwrap_or(0);
         v[11 + i] = (min_stride as f32 + 1.0).ln();
     }
     Tensor::from_vec(v, &[1, N_ENTRY]).expect("vector length fixed")
@@ -83,7 +93,14 @@ impl TiramisuModel {
         let loop_embed = Linear::new(&mut store, &mut rng, "loop_embed", 3, h);
         let lstm = LstmCell::new(&mut store, &mut rng, "lstm", h, h);
         let head = Mlp::new(&mut store, &mut rng, "head", &[h, h, 1]);
-        TiramisuModel { store, leaf_embed, loop_embed, lstm, head, cfg }
+        TiramisuModel {
+            store,
+            leaf_embed,
+            loop_embed,
+            lstm,
+            head,
+            cfg,
+        }
     }
 
     /// Number of scalar parameters.
@@ -91,7 +108,7 @@ impl TiramisuModel {
         self.store.num_scalars()
     }
 
-    fn embed_node(&self, g: &mut Graph, node: &AstNode) -> Result<Var, tensor::TensorError> {
+    fn embed_node<E: Exec>(&self, g: &mut E, node: &AstNode) -> Result<Var, tensor::TensorError> {
         match node {
             AstNode::Leaf(leaf) => {
                 let x = g.constant(leaf_vector(leaf));
@@ -121,7 +138,11 @@ impl TiramisuModel {
 
     /// Builds the prediction node for one program (batch of one — the
     /// structural constraint Tiramisu imposes).
-    fn forward(&self, g: &mut Graph, prog: &TensorProgram) -> Result<Var, tensor::TensorError> {
+    fn forward<E: Exec>(
+        &self,
+        g: &mut E,
+        prog: &TensorProgram,
+    ) -> Result<Var, tensor::TensorError> {
         let h0 = g.constant(Tensor::zeros(&[1, self.cfg.hidden]));
         let c0 = g.constant(Tensor::zeros(&[1, self.cfg.hidden]));
         let mut h = h0;
@@ -137,11 +158,12 @@ impl TiramisuModel {
         g.exp(out)
     }
 
-    /// Predicted latency (in the training label unit).
+    /// Predicted latency (in the training label unit). Inference runs on
+    /// the forward-only executor (no tape, no gradient bookkeeping).
     pub fn predict(&self, prog: &TensorProgram) -> f64 {
-        let mut g = Graph::new();
-        match self.forward(&mut g, prog) {
-            Ok(v) => g.value(v).item() as f64,
+        let mut ctx = InferCtx::new(&self.store);
+        match self.forward(&mut ctx, prog) {
+            Ok(v) => ctx.value(v).item() as f64,
             Err(_) => f64::NAN,
         }
     }
@@ -212,7 +234,10 @@ mod tests {
     fn training_reduces_mape() {
         let (progs, labels) = programs();
         let refs: Vec<&TensorProgram> = progs.iter().collect();
-        let mut model = TiramisuModel::new(TiramisuConfig { epochs: 80, ..Default::default() });
+        let mut model = TiramisuModel::new(TiramisuConfig {
+            epochs: 80,
+            ..Default::default()
+        });
         let before: f64 = refs
             .iter()
             .zip(labels.iter())
@@ -231,7 +256,10 @@ mod tests {
 
     #[test]
     fn distinguishes_structures() {
-        let mut model = TiramisuModel::new(TiramisuConfig { epochs: 120, ..Default::default() });
+        let mut model = TiramisuModel::new(TiramisuConfig {
+            epochs: 120,
+            ..Default::default()
+        });
         let (progs, labels) = programs();
         let refs: Vec<&TensorProgram> = progs.iter().collect();
         model.fit(&refs, &labels);
@@ -246,7 +274,10 @@ mod tests {
     fn fit_returns_sample_count() {
         let (progs, labels) = programs();
         let refs: Vec<&TensorProgram> = progs.iter().collect();
-        let mut model = TiramisuModel::new(TiramisuConfig { epochs: 2, ..Default::default() });
+        let mut model = TiramisuModel::new(TiramisuConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         let n = model.fit(&refs, &labels);
         assert_eq!(n, 2 * progs.len());
     }

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use features::tlp_features;
-use nn::{Adam, Graph, Linear, Mlp, Optimizer, ParamStore};
+use nn::{Adam, Exec, Graph, InferCtx, Linear, Mlp, Optimizer, ParamStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -50,7 +50,13 @@ pub struct TlpConfig {
 
 impl Default for TlpConfig {
     fn default() -> Self {
-        TlpConfig { hidden: 64, epochs: 60, batch: 64, lr: 1e-3, seed: 0 }
+        TlpConfig {
+            hidden: 64,
+            epochs: 60,
+            batch: 64,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -72,12 +78,33 @@ impl TlpModel {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let in_dim = features::N_TLP;
-        let trunk = Mlp::new(&mut store, &mut rng, "tlp.trunk", &[in_dim, cfg.hidden, cfg.hidden]);
+        let trunk = Mlp::new(
+            &mut store,
+            &mut rng,
+            "tlp.trunk",
+            &[in_dim, cfg.hidden, cfg.hidden],
+        );
         let mut heads = HashMap::new();
         for d in devices {
-            heads.insert(d.clone(), Linear::new(&mut store, &mut rng, &format!("tlp.head.{d}"), cfg.hidden, 1));
+            heads.insert(
+                d.clone(),
+                Linear::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("tlp.head.{d}"),
+                    cfg.hidden,
+                    1,
+                ),
+            );
         }
-        TlpModel { store, trunk, heads, task_scale: HashMap::new(), cfg, in_dim }
+        TlpModel {
+            store,
+            trunk,
+            heads,
+            task_scale: HashMap::new(),
+            cfg,
+            in_dim,
+        }
     }
 
     /// Adds a head for a new device (cross-device fine-tuning).
@@ -86,7 +113,13 @@ impl TlpModel {
             let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xD0);
             self.heads.insert(
                 device.to_string(),
-                Linear::new(&mut self.store, &mut rng, &format!("tlp.head.{device}"), self.cfg.hidden, 1),
+                Linear::new(
+                    &mut self.store,
+                    &mut rng,
+                    &format!("tlp.head.{device}"),
+                    self.cfg.hidden,
+                    1,
+                ),
             );
         }
     }
@@ -119,21 +152,31 @@ impl TlpModel {
                 by_dev.entry(rows[i].2).or_default().push(i);
             }
             for (dev, idxs) in by_dev {
-                let Some(head) = self.heads.get(dev) else { continue };
+                let Some(head) = self.heads.get(dev) else {
+                    continue;
+                };
                 let head = head.clone();
                 for chunk in idxs.chunks(self.cfg.batch) {
-                    let bx: Vec<f32> =
-                        chunk.iter().flat_map(|&i| rows[i].0.iter().copied()).collect();
+                    let bx: Vec<f32> = chunk
+                        .iter()
+                        .flat_map(|&i| rows[i].0.iter().copied())
+                        .collect();
                     let by: Vec<f32> = chunk.iter().map(|&i| rows[i].1).collect();
                     let x = Tensor::from_vec(bx, &[chunk.len(), self.in_dim]).expect("width");
                     let t = Tensor::from_vec(by, &[chunk.len()]).expect("labels");
                     self.store.zero_grad();
                     let mut g = Graph::new();
                     let xv = g.constant(x);
-                    let Ok(h) = self.trunk.forward(&mut g, &self.store, xv) else { continue };
+                    let Ok(h) = self.trunk.forward(&mut g, &self.store, xv) else {
+                        continue;
+                    };
                     let Ok(h) = g.relu(h) else { continue };
-                    let Ok(pred) = head.forward(&mut g, &self.store, h) else { continue };
-                    let Ok(loss) = nn::loss::mse(&mut g, pred, &t) else { continue };
+                    let Ok(pred) = head.forward(&mut g, &self.store, h) else {
+                        continue;
+                    };
+                    let Ok(loss) = nn::loss::mse(&mut g, pred, &t) else {
+                        continue;
+                    };
                     if g.backward(loss).is_err() {
                         continue;
                     }
@@ -145,16 +188,17 @@ impl TlpModel {
         }
     }
 
-    /// Predicts the **relative** log-cost of a schedule on a device.
+    /// Predicts the **relative** log-cost of a schedule on a device, on
+    /// the forward-only executor.
     pub fn predict_relative(&self, spec: &OpSpec, sched: &Schedule, device: &str) -> Option<f64> {
         let head = self.heads.get(device)?;
         let x = Tensor::from_vec(tlp_features(spec, sched), &[1, self.in_dim]).ok()?;
-        let mut g = Graph::new();
-        let xv = g.constant(x);
-        let h = self.trunk.forward(&mut g, &self.store, xv).ok()?;
-        let h = g.relu(h).ok()?;
-        let p = head.forward(&mut g, &self.store, h).ok()?;
-        Some(g.value(p).item() as f64)
+        let mut ctx = InferCtx::new(&self.store);
+        let xv = ctx.constant(x);
+        let h = self.trunk.forward(&mut ctx, &self.store, xv).ok()?;
+        let h = ctx.relu(h).ok()?;
+        let p = head.forward(&mut ctx, &self.store, h).ok()?;
+        Some(ctx.value(p).item() as f64)
     }
 
     /// Predicts **absolute** latency, using the training-time task scale for
@@ -184,7 +228,11 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(1);
-        let spec = OpSpec::Dense { m: 64, n: 64, k: 64 };
+        let spec = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         let nest = spec.canonical_nest();
         (0..40)
             .map(|_| {
@@ -205,19 +253,38 @@ mod tests {
     #[test]
     fn learns_relative_cost_signal() {
         let samples = make_samples("T4", 1e-3);
-        let mut m = TlpModel::new(&["T4".into()], TlpConfig { epochs: 150, ..Default::default() });
+        let mut m = TlpModel::new(
+            &["T4".into()],
+            TlpConfig {
+                epochs: 150,
+                ..Default::default()
+            },
+        );
         m.fit(&samples);
         // A schedule with many primitives should be predicted cheaper
         // (relative) than a bare one.
-        let spec = OpSpec::Dense { m: 64, n: 64, k: 64 };
+        let spec = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         let rich = Schedule {
             primitives: vec![
                 Primitive::Split { axis: 0, factor: 8 },
                 Primitive::Split { axis: 1, factor: 8 },
                 Primitive::Split { axis: 2, factor: 8 },
-                Primitive::Annotate { axis: 3, kind: tir::LoopKind::Parallel },
-                Primitive::Annotate { axis: 6, kind: tir::LoopKind::Vectorize },
-                Primitive::Annotate { axis: 8, kind: tir::LoopKind::Unroll },
+                Primitive::Annotate {
+                    axis: 3,
+                    kind: tir::LoopKind::Parallel,
+                },
+                Primitive::Annotate {
+                    axis: 6,
+                    kind: tir::LoopKind::Vectorize,
+                },
+                Primitive::Annotate {
+                    axis: 8,
+                    kind: tir::LoopKind::Unroll,
+                },
             ],
         };
         let bare = Schedule::default();
@@ -229,9 +296,19 @@ mod tests {
     #[test]
     fn absolute_prediction_uses_task_scale() {
         let samples = make_samples("T4", 1e-3);
-        let mut m = TlpModel::new(&["T4".into()], TlpConfig { epochs: 50, ..Default::default() });
+        let mut m = TlpModel::new(
+            &["T4".into()],
+            TlpConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         m.fit(&samples);
-        let spec = OpSpec::Dense { m: 64, n: 64, k: 64 };
+        let spec = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         let sched = Schedule::default();
         let abs = m.predict_absolute(&spec, &sched, 0, "T4", "T4").unwrap();
         assert!(abs > 0.0 && abs.is_finite());
@@ -245,20 +322,32 @@ mod tests {
         samples.extend(make_samples("CPU", 1e-1));
         let mut m = TlpModel::new(
             &["T4".into(), "CPU".into()],
-            TlpConfig { epochs: 50, ..Default::default() },
+            TlpConfig {
+                epochs: 50,
+                ..Default::default()
+            },
         );
         m.fit(&samples);
-        let spec = OpSpec::Dense { m: 64, n: 64, k: 64 };
+        let spec = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         let sched = Schedule::default();
         let right = m.predict_absolute(&spec, &sched, 0, "CPU", "CPU").unwrap();
         let wrong = m.predict_absolute(&spec, &sched, 0, "CPU", "T4").unwrap();
-        assert!(right / wrong > 10.0, "scale mismatch must bias: {right} vs {wrong}");
+        assert!(
+            right / wrong > 10.0,
+            "scale mismatch must bias: {right} vs {wrong}"
+        );
     }
 
     #[test]
     fn unknown_device_returns_none() {
         let m = TlpModel::new(&["T4".into()], TlpConfig::default());
         let spec = OpSpec::Dense { m: 8, n: 8, k: 8 };
-        assert!(m.predict_relative(&spec, &Schedule::default(), "A100").is_none());
+        assert!(m
+            .predict_relative(&spec, &Schedule::default(), "A100")
+            .is_none());
     }
 }

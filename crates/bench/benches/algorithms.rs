@@ -22,7 +22,9 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(kmeans(&pts, 20, 20, &mut r)))
     });
     let labels: Vec<f64> = (0..2000).map(|_| rng.random_range(1e-6f64..1e-2)).collect();
-    g.bench_function("boxcox_fit_2000", |b| b.iter(|| black_box(BoxCox::fit(&labels))));
+    g.bench_function("boxcox_fit_2000", |b| {
+        b.iter(|| black_box(BoxCox::fit(&labels)))
+    });
     let za = Tensor::from_fn(&[64, 32], |i| ((i as f32) * 0.17).sin() * 0.8);
     let zb = Tensor::from_fn(&[64, 32], |i| ((i as f32) * 0.23).cos() * 0.8);
     g.bench_function("cmd_k5_64x32", |b| {
@@ -36,7 +38,9 @@ fn bench_algorithms(c: &mut Criterion) {
             gap_s: 0.0,
         })
         .collect();
-    g.bench_function("replay_chain_400", |b| b.iter(|| black_box(replay(&nodes, 4))));
+    g.bench_function("replay_chain_400", |b| {
+        b.iter(|| black_box(replay(&nodes, 4)))
+    });
     g.finish();
 }
 

@@ -1,0 +1,100 @@
+//! Serving-engine throughput: the seed's per-call taped `predict_batch`
+//! (one fresh autodiff tape per request, as the schedule search used to
+//! score candidates) versus the forward-only path, batched single-thread,
+//! and the `runtime::InferenceEngine` with one worker and with one worker
+//! per core — all over the *same* heterogeneous request stream.
+
+use cdmpp_core::batch::FeatScaler;
+use cdmpp_core::{
+    encode_programs, InferenceModel, Predictor, PredictorConfig, TrainConfig, TrainedModel,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use learn::{LabelTransform, TransformKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use runtime::{EngineConfig, InferenceEngine};
+use std::hint::black_box;
+use tensor::Tensor;
+use tir::{lower, sample_schedule, OpSpec};
+
+/// The request stream: candidate programs from several tasks, so leaf
+/// counts are heterogeneous like real search traffic.
+fn request_stream(model: &TrainedModel) -> Vec<cdmpp_core::EncodedSample> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let specs = [
+        OpSpec::Dense {
+            m: 128,
+            n: 128,
+            k: 128,
+        },
+        OpSpec::Softmax { rows: 64, cols: 64 },
+        OpSpec::Elementwise {
+            n: 4096,
+            kind: tir::EwKind::Relu,
+        },
+    ];
+    let dev = devsim::t4();
+    let mut progs = Vec::new();
+    for spec in specs {
+        let nest = spec.canonical_nest();
+        for _ in 0..86 {
+            progs.push(lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap());
+        }
+    }
+    let refs: Vec<&tir::TensorProgram> = progs.iter().collect();
+    encode_programs(&refs, &dev, model.predictor.config().theta, model.use_pe)
+}
+
+/// The seed's inference pattern: one request at a time, each on a fresh
+/// autodiff tape (per-call `predict_batch` with B = 1).
+fn per_call_taped(model: &TrainedModel, enc: &[cdmpp_core::EncodedSample]) -> Vec<f64> {
+    use features::{N_DEVICE_FEATURES, N_ENTRY};
+    enc.iter()
+        .map(|s| {
+            let mut s = s.clone();
+            model.scaler.apply(&mut s);
+            let x = Tensor::from_vec(s.x.clone(), &[1, s.leaf_count, N_ENTRY]).unwrap();
+            let dev = Tensor::from_vec(s.dev.to_vec(), &[1, N_DEVICE_FEATURES]).unwrap();
+            match model.predictor.predict_batch_taped(x, dev) {
+                Ok(p) => model.transform.inverse(p[0] as f64).max(1e-12),
+                Err(_) => f64::NAN,
+            }
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    let enc = request_stream(&model);
+    let n = enc.len() as u64;
+    let frozen: InferenceModel = model.freeze();
+    let engine1 = InferenceEngine::new(frozen.clone(), EngineConfig::single_worker());
+    let engine_n = InferenceEngine::new(frozen.clone(), EngineConfig::default());
+
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(n));
+    g.bench_function("taped_per_call", |b| {
+        b.iter(|| black_box(per_call_taped(&model, black_box(&enc))))
+    });
+    g.bench_function("forward_only_batched_serial", |b| {
+        b.iter(|| black_box(frozen.predict_samples(black_box(&enc)).unwrap()))
+    });
+    g.bench_function("engine_1_worker", |b| {
+        b.iter(|| black_box(engine1.predict_samples(black_box(&enc)).unwrap()))
+    });
+    g.bench_function(
+        &format!("engine_{}_workers", engine_n.worker_count()),
+        |b| b.iter(|| black_box(engine_n.predict_samples(black_box(&enc)).unwrap())),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

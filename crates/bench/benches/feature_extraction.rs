@@ -9,7 +9,15 @@ use tir::{lower, sample_schedule, OpSpec};
 
 fn bench_extraction(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let nest = OpSpec::Conv2d { n: 1, cin: 64, hw: 28, cout: 64, khw: 3, stride: 1 }.canonical_nest();
+    let nest = OpSpec::Conv2d {
+        n: 1,
+        cin: 64,
+        hw: 28,
+        cout: 64,
+        khw: 3,
+        stride: 1,
+    }
+    .canonical_nest();
     let progs: Vec<_> = (0..32)
         .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
         .collect();

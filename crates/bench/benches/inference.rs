@@ -2,8 +2,8 @@
 //! for XGBoost on V100; here both run on CPU).
 
 use baselines::{GbtConfig, GbtRegressor};
-use cdmpp_core::{encode_programs, Predictor, PredictorConfig, TrainConfig, TrainedModel};
 use cdmpp_core::batch::FeatScaler;
+use cdmpp_core::{encode_programs, Predictor, PredictorConfig, TrainConfig, TrainedModel};
 use criterion::{criterion_group, criterion_main, Criterion};
 use learn::TransformKind;
 use rand::rngs::StdRng;
@@ -13,7 +13,12 @@ use tir::{lower, sample_schedule, OpSpec};
 
 fn bench_inference(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let nest = OpSpec::Dense { m: 128, n: 128, k: 128 }.canonical_nest();
+    let nest = OpSpec::Dense {
+        m: 128,
+        n: 128,
+        k: 128,
+    }
+    .canonical_nest();
     let progs: Vec<_> = (0..64)
         .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
         .collect();
@@ -37,7 +42,10 @@ fn bench_inference(c: &mut Criterion) {
     let gbt = GbtRegressor::fit(
         &xs,
         &vec![1.0f32; xs.len()],
-        GbtConfig { n_trees: 40, ..Default::default() },
+        GbtConfig {
+            n_trees: 40,
+            ..Default::default()
+        },
     );
     g.bench_function("gbt_predict_64", |b| {
         b.iter(|| black_box(gbt.predict_batch(black_box(&xs))))

@@ -9,7 +9,15 @@ use tir::{lower, sample_schedule, OpSpec};
 
 fn bench_sim(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
-    let nest = OpSpec::Conv2d { n: 1, cin: 32, hw: 28, cout: 32, khw: 3, stride: 1 }.canonical_nest();
+    let nest = OpSpec::Conv2d {
+        n: 1,
+        cin: 32,
+        hw: 28,
+        cout: 32,
+        khw: 3,
+        stride: 1,
+    }
+    .canonical_nest();
     let progs: Vec<_> = (0..64)
         .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
         .collect();

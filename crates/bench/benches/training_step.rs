@@ -43,13 +43,31 @@ fn bench_training(c: &mut Criterion) {
     g.throughput(criterion::Throughput::Elements(bs as u64));
     g.bench_function("cdmpp_batched_step", |b| {
         b.iter(|| {
-            black_box(train_step(&mut predictor, &mut opt, &batch, &y, LossKind::Hybrid, 1e-3))
+            black_box(train_step(
+                &mut predictor,
+                &mut opt,
+                &batch,
+                &y,
+                LossKind::Hybrid,
+                1e-3,
+            ))
         })
     });
     // Tiramisu: one sample at a time (its structural batching limit).
-    let mut tira = TiramisuModel::new(TiramisuConfig { epochs: 1, ..Default::default() });
-    let progs: Vec<&tir::TensorProgram> = idx.iter().take(8).map(|&i| &*ds.records[i].program).collect();
-    let labels: Vec<f64> = idx.iter().take(8).map(|&i| ds.records[i].latency_s * 1e3).collect();
+    let mut tira = TiramisuModel::new(TiramisuConfig {
+        epochs: 1,
+        ..Default::default()
+    });
+    let progs: Vec<&tir::TensorProgram> = idx
+        .iter()
+        .take(8)
+        .map(|&i| &*ds.records[i].program)
+        .collect();
+    let labels: Vec<f64> = idx
+        .iter()
+        .take(8)
+        .map(|&i| ds.records[i].latency_s * 1e3)
+        .collect();
     g.throughput(criterion::Throughput::Elements(8));
     g.bench_function("tiramisu_8_samples", |b| {
         b.iter(|| black_box(tira.fit(&progs, &labels)))
@@ -57,8 +75,14 @@ fn bench_training(c: &mut Criterion) {
     g.finish();
 
     // GBT full fit for scale (not per-step comparable, but shows the gap).
-    let xs: Vec<Vec<f32>> = idx.iter().map(|&i| features::flattened_features(&ds.records[i].program)).collect();
-    let ys: Vec<f32> = idx.iter().map(|&i| ds.records[i].latency_s.ln() as f32).collect();
+    let xs: Vec<Vec<f32>> = idx
+        .iter()
+        .map(|&i| features::flattened_features(&ds.records[i].program))
+        .collect();
+    let ys: Vec<f32> = idx
+        .iter()
+        .map(|&i| ds.records[i].latency_s.ln() as f32)
+        .collect();
     let mut g2 = c.benchmark_group("gbt");
     g2.sample_size(10);
     g2.bench_function("fit_20_trees", |b| {
@@ -66,7 +90,10 @@ fn bench_training(c: &mut Criterion) {
             black_box(GbtRegressor::fit(
                 &xs,
                 &ys,
-                GbtConfig { n_trees: 20, ..Default::default() },
+                GbtConfig {
+                    n_trees: 20,
+                    ..Default::default()
+                },
             ))
         })
     });

@@ -6,8 +6,8 @@
 //! target records + CMD. Baselines: TLP (relative-time, per-device heads)
 //! and Habitat (op-level MLP + roofline scaling; GPUs only).
 
-use bench::{pct, print_header, print_row, records_by_task, standard_dataset, train_cdmpp};
 use baselines::{HabitatModel, MlpRegConfig, TlpConfig, TlpModel, TlpSample};
+use bench::{pct, print_header, print_row, records_by_task, standard_dataset, train_cdmpp};
 use cdmpp_core::{evaluate, finetune, select_tasks, FineTuneConfig};
 use dataset::{Dataset, SplitIndices};
 use learn::mape;
@@ -38,7 +38,11 @@ fn cdmpp_cross(ds: &Dataset, sources: &[&str], target: &str, kappa: usize) -> f6
         .copied()
         .filter(|&i| chosen.contains(&ds.records[i].task_id))
         .collect();
-    let cfg = FineTuneConfig { steps: 200, use_target_labels: true, ..Default::default() };
+    let cfg = FineTuneConfig {
+        steps: 200,
+        use_target_labels: true,
+        ..Default::default()
+    };
     finetune(&mut model, ds, &src_split.train, &tgt_labeled, &cfg);
     evaluate(&model, ds, &tgt_split.test).mape
 }
@@ -61,7 +65,13 @@ fn tlp_cross(ds: &Dataset, sources: &[&str], target: &str) -> f64 {
         }
     }
     let devices: Vec<String> = sources.iter().map(|s| s.to_string()).collect();
-    let mut m = TlpModel::new(&devices, TlpConfig { epochs: 20, ..Default::default() });
+    let mut m = TlpModel::new(
+        &devices,
+        TlpConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
     m.fit(&samples);
     let tgt_split = SplitIndices::from_indices(ds, ds.device_records(target), &[], bench::EXP_SEED);
     let mut preds = Vec::new();
@@ -86,9 +96,17 @@ fn habitat_cross(ds: &Dataset, source: &str, target: &str) -> f64 {
     let samples: Vec<(tir::OpSpec, f64)> = src_split
         .train
         .iter()
-        .map(|&i| (ds.tasks[ds.records[i].task_id as usize].spec, ds.records[i].latency_s))
+        .map(|&i| {
+            (
+                ds.tasks[ds.records[i].task_id as usize].spec,
+                ds.records[i].latency_s,
+            )
+        })
         .collect();
-    let mut m = HabitatModel::new(MlpRegConfig { epochs: 40, ..Default::default() });
+    let mut m = HabitatModel::new(MlpRegConfig {
+        epochs: 40,
+        ..Default::default()
+    });
     m.fit(&samples);
     let tgt_split = SplitIndices::from_indices(ds, ds.device_records(target), &[], bench::EXP_SEED);
     let mut preds = Vec::new();
@@ -108,12 +126,35 @@ fn main() {
     let ds = standard_dataset(devsim::all_devices(), bench::spt_multi());
     println!("Fig 10: cross-device TIR-level MAPE\n");
     let widths = [26, 12, 12, 12, 12];
-    print_header(&["Source -> Target", "CDMPP", "TLP", "Habitat", ""], &widths);
+    print_header(
+        &["Source -> Target", "CDMPP", "TLP", "Habitat", ""],
+        &widths,
+    );
     let cases: Vec<(&str, Vec<&str>, &str, bool)> = vec![
-        ("GPUs -> T4", vec!["K80", "P100", "V100", "A100"], "T4", true),
-        ("GPUs -> P100", vec!["T4", "K80", "V100", "A100"], "P100", true),
-        ("GPUs+CPUs -> EPYC", vec!["T4", "V100", "E5-2673", "Graviton2"], "EPYC-7452", false),
-        ("GPUs -> HL-100", vec!["T4", "K80", "P100", "V100", "A100"], "HL-100", false),
+        (
+            "GPUs -> T4",
+            vec!["K80", "P100", "V100", "A100"],
+            "T4",
+            true,
+        ),
+        (
+            "GPUs -> P100",
+            vec!["T4", "K80", "V100", "A100"],
+            "P100",
+            true,
+        ),
+        (
+            "GPUs+CPUs -> EPYC",
+            vec!["T4", "V100", "E5-2673", "Graviton2"],
+            "EPYC-7452",
+            false,
+        ),
+        (
+            "GPUs -> HL-100",
+            vec!["T4", "K80", "P100", "V100", "A100"],
+            "HL-100",
+            false,
+        ),
     ];
     for (name, sources, target, habitat_applicable) in cases {
         let c = cdmpp_cross(&ds, &sources, target, 20);
@@ -123,7 +164,10 @@ fn main() {
         } else {
             "n/a".to_string() // Habitat supports GPUs only (§7.3).
         };
-        print_row(&[name.to_string(), pct(c), pct(t), h, String::new()], &widths);
+        print_row(
+            &[name.to_string(), pct(c), pct(t), h, String::new()],
+            &widths,
+        );
     }
     println!("\nclaim check: CDMPP lowest in every row; TLP large (relative-time model, no target scale);");
     println!("Habitat n/a on non-GPU targets (paper: GPUs only).");

@@ -26,13 +26,19 @@ fn main() {
     let tgt_split = SplitIndices::for_device(&ds, target, &[], bench::EXP_SEED);
     let (base, _) = train_cdmpp(&ds, &src_split, bench::epochs());
     let mut tuned = base.clone();
-    let cfg = FineTuneConfig { steps: 200, use_target_labels: true, ..Default::default() };
+    let cfg = FineTuneConfig {
+        steps: 200,
+        use_target_labels: true,
+        ..Default::default()
+    };
     finetune(&mut tuned, &ds, &src_split.train, &tgt_split.train, &cfg);
     let n = 70usize;
     let src_sample: Vec<usize> = src_split.test.iter().copied().take(n).collect();
     let tgt_sample: Vec<usize> = tgt_split.test.iter().copied().take(n).collect();
-    let groups: Vec<usize> =
-        (0..src_sample.len()).map(|_| 0).chain((0..tgt_sample.len()).map(|_| 1)).collect();
+    let groups: Vec<usize> = (0..src_sample.len())
+        .map(|_| 0)
+        .chain((0..tgt_sample.len()).map(|_| 1))
+        .collect();
     for (name, model) in [("before finetuning", &base), ("after finetuning", &tuned)] {
         let mut z = model.latents(&ds, &src_sample);
         z.extend(model.latents(&ds, &tgt_sample));

@@ -3,8 +3,8 @@
 //!
 //! Paper: CDMPP 15.72% average error vs Habitat 28.01%.
 
-use bench::{pct, print_header, print_row, standard_dataset, train_cdmpp};
 use baselines::{HabitatModel, MlpRegConfig};
+use bench::{pct, print_header, print_row, standard_dataset, train_cdmpp};
 use cdmpp_core::replayer::{build_dfg, engine_count, replay};
 use cdmpp_core::{finetune, sample_network_programs, FineTuneConfig};
 use dataset::SplitIndices;
@@ -12,10 +12,18 @@ use devsim::Simulator;
 use std::collections::HashMap;
 use tir::Network;
 
-fn replay_with(net: &Network, dev: &devsim::DeviceSpec, f: impl Fn(&tir::TensorProgram, &tir::Task) -> f64) -> f64 {
+fn replay_with(
+    net: &Network,
+    dev: &devsim::DeviceSpec,
+    f: impl Fn(&tir::TensorProgram, &tir::Task) -> f64,
+) -> f64 {
     let (task_ids, programs) = sample_network_programs(net, 7);
     let tasks = tir::build_tasks(std::slice::from_ref(net));
-    let durs: Vec<f64> = programs.iter().zip(tasks.iter()).map(|(p, t)| f(p, t)).collect();
+    let durs: Vec<f64> = programs
+        .iter()
+        .zip(tasks.iter())
+        .map(|(p, t)| f(p, t))
+        .collect();
     let by_task: HashMap<u32, f64> = task_ids.iter().copied().zip(durs.iter().copied()).collect();
     let layer_ids = tir::layer_task_ids(net, &tasks);
     let layer_durs: Vec<f64> = layer_ids.iter().map(|id| by_task[id]).collect();
@@ -50,22 +58,40 @@ fn main() {
         let tgt_split = SplitIndices::for_device(&ds, target, &[], bench::EXP_SEED);
         let (mut model, _) = train_cdmpp(&ds, &src_split, bench::epochs());
         let sampled: Vec<usize> = tgt_split.train.iter().copied().take(400).collect();
-        let cfg = FineTuneConfig { steps: 200, use_target_labels: true, ..Default::default() };
+        let cfg = FineTuneConfig {
+            steps: 200,
+            use_target_labels: true,
+            ..Default::default()
+        };
         finetune(&mut model, &ds, &src_split.train, &sampled, &cfg);
         // Habitat trains on the first source and roofline-scales to target.
         let src_dev = devsim::device_by_name(sources[0]).expect("known");
-        let src_samples: Vec<(tir::OpSpec, f64)> = SplitIndices::for_device(&ds, sources[0], &[], 1)
-            .train
-            .iter()
-            .map(|&i| (ds.tasks[ds.records[i].task_id as usize].spec, ds.records[i].latency_s))
-            .collect();
-        let mut habitat = HabitatModel::new(MlpRegConfig { epochs: 40, ..Default::default() });
+        let src_samples: Vec<(tir::OpSpec, f64)> =
+            SplitIndices::for_device(&ds, sources[0], &[], 1)
+                .train
+                .iter()
+                .map(|&i| {
+                    (
+                        ds.tasks[ds.records[i].task_id as usize].spec,
+                        ds.records[i].latency_s,
+                    )
+                })
+                .collect();
+        let mut habitat = HabitatModel::new(MlpRegConfig {
+            epochs: 40,
+            ..Default::default()
+        });
         habitat.fit(&src_samples);
         let sim = Simulator::new(tgt_dev.clone());
         for (name, net) in &nets {
             let measured = replay_with(net, &tgt_dev, |p, _| sim.latency_seconds(p));
             let c = replay_with(net, &tgt_dev, |p, _| {
-                let enc = cdmpp_core::encode_programs(&[p], &tgt_dev, model.predictor.config().theta, model.use_pe);
+                let enc = cdmpp_core::encode_programs(
+                    &[p],
+                    &tgt_dev,
+                    model.predictor.config().theta,
+                    model.use_pe,
+                );
                 model.predict_samples(&enc)[0]
             });
             let h = replay_with(net, &tgt_dev, |p, t| {
@@ -78,8 +104,15 @@ fn main() {
             csum += ce;
             hsum += he;
             n += 1.0;
-            print_row(&[target.to_string(), name.to_string(), pct(ce), pct(he)], &widths);
+            print_row(
+                &[target.to_string(), name.to_string(), pct(ce), pct(he)],
+                &widths,
+            );
         }
     }
-    println!("\naverage: CDMPP {} vs Habitat {} (paper: 15.72% vs 28.01%)", pct(csum / n), pct(hsum / n));
+    println!(
+        "\naverage: CDMPP {} vs Habitat {} (paper: 15.72% vs 28.01%)",
+        pct(csum / n),
+        pct(hsum / n)
+    );
 }

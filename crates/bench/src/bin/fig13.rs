@@ -8,13 +8,19 @@
 use bench::{pct, print_header, print_row, records_by_task, standard_dataset, train_cdmpp};
 use cdmpp_core::{evaluate, finetune, select_tasks, FineTuneConfig};
 use dataset::SplitIndices;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
     let ds = standard_dataset(
-        vec![devsim::t4(), devsim::k80(), devsim::p100(), devsim::v100(), devsim::a100()],
+        vec![
+            devsim::t4(),
+            devsim::k80(),
+            devsim::p100(),
+            devsim::v100(),
+            devsim::a100(),
+        ],
         bench::spt_multi(),
     );
     let target = "T4";
@@ -24,7 +30,7 @@ fn main() {
         src_idx.extend(ds.device_records(s));
     }
     let mut src_split = SplitIndices::from_indices(&ds, src_idx, &[], bench::EXP_SEED);
-        src_split.train.truncate(16_000);
+    src_split.train.truncate(16_000);
     let tgt_split = SplitIndices::for_device(&ds, target, &[], bench::EXP_SEED);
     let (base, _) = train_cdmpp(&ds, &src_split, bench::epochs());
     // Task features for Algorithm 1 from a source device's latents.
@@ -71,5 +77,7 @@ fn main() {
         }
         print_row(&[kappa.to_string(), pct(km), pct(racc / 3.0)], &widths);
     }
-    println!("\nclaim check: KMeans ≤ random at every budget; improvement flattens at large budgets.");
+    println!(
+        "\nclaim check: KMeans ≤ random at every budget; improvement flattens at large budgets."
+    );
 }

@@ -16,14 +16,25 @@ fn main() {
     let _ = &gbt;
     let gbt_cost = GbtCost::train(&ds, &split.train);
     // BERT-tiny's attention-projection dense task.
-    let nest = tir::OpSpec::Dense { m: 128, n: 128, k: 128 }.canonical_nest();
+    let nest = tir::OpSpec::Dense {
+        m: 128,
+        n: 128,
+        k: 128,
+    }
+    .canonical_nest();
     let dev = devsim::t4();
-    let cfg = SearchConfig { rounds: 40, ..Default::default() };
+    let cfg = SearchConfig {
+        rounds: 40,
+        ..Default::default()
+    };
     let c = search_schedule(&nest, &dev, &model, &cfg);
     let x = search_schedule(&nest, &dev, &gbt_cost, &cfg);
     let r = search_schedule(&nest, &dev, &RandomCost { seed: 1 }, &cfg);
     println!("Fig 14(b): best measured latency (us) over search rounds, BERT-tiny dense on T4\n");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "round", "CDMPP", "XGBoost", "random");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "round", "CDMPP", "XGBoost", "random"
+    );
     for i in (0..cfg.rounds).step_by(5) {
         println!(
             "{:>6}  {:>10.2}  {:>10.2}  {:>10.2}",

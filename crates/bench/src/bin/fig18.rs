@@ -12,7 +12,10 @@ use learn::spearman;
 
 fn main() {
     // (a) Cross-model: subsets of T4 test records grouped by network.
-    let ds = standard_dataset(vec![devsim::t4(), devsim::v100(), devsim::epyc_7452()], bench::spt_multi());
+    let ds = standard_dataset(
+        vec![devsim::t4(), devsim::v100(), devsim::epyc_7452()],
+        bench::spt_multi(),
+    );
     let split = SplitIndices::for_device(&ds, "T4", &[], bench::EXP_SEED);
     let (model, _) = train_cdmpp(&ds, &split, bench::epochs());
     let train_sample: Vec<usize> = split.train.iter().copied().take(200).collect();
@@ -20,7 +23,14 @@ fn main() {
     println!("{:>14}  {:>8}  {:>8}", "subset", "CMD", "MAPE");
     let mut cmds = Vec::new();
     let mut errs = Vec::new();
-    for net in ["resnet50", "bert_base", "mobilenet_v2", "vgg16", "gpt2_small", "mlp_mixer"] {
+    for net in [
+        "resnet50",
+        "bert_base",
+        "mobilenet_v2",
+        "vgg16",
+        "gpt2_small",
+        "mlp_mixer",
+    ] {
         let subset: Vec<usize> = split
             .test
             .iter()
@@ -46,6 +56,9 @@ fn main() {
         cmds.push(cmd);
         errs.push(err);
     }
-    println!("\nSpearman(CMD, error) over all subsets: {:.3}", spearman(&cmds, &errs));
+    println!(
+        "\nSpearman(CMD, error) over all subsets: {:.3}",
+        spearman(&cmds, &errs)
+    );
     println!("claim check: positive correlation — larger latent CMD, larger test error.");
 }

@@ -12,7 +12,11 @@ fn skew(xs: &[f64]) -> f64 {
     let m = xs.iter().sum::<f64>() / xs.len() as f64;
     let v = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
     let m3 = xs.iter().map(|&x| (x - m).powi(3)).sum::<f64>() / xs.len() as f64;
-    if v <= 0.0 { 0.0 } else { m3 / v.powf(1.5) }
+    if v <= 0.0 {
+        0.0
+    } else {
+        m3 / v.powf(1.5)
+    }
 }
 
 fn main() {
@@ -28,7 +32,11 @@ fn main() {
         let zs: Vec<f64> = ys.iter().map(|&y| t.forward(y)).collect();
         println!("Fig 5 — {} (skewness {:+.3}):", kind.name(), skew(&zs));
         for (center, count) in histogram(&zs, 10) {
-            println!("  {:>9.3}: {}", center, "#".repeat(count * 50 / ys.len().max(1)));
+            println!(
+                "  {:>9.3}: {}",
+                center,
+                "#".repeat(count * 50 / ys.len().max(1))
+            );
         }
         println!();
     }

@@ -6,7 +6,10 @@
 //! faster than both. Devices are split into the GPU panel (Fig 6a) and the
 //! accelerator/CPU panel (Fig 6b).
 
-use bench::{cdmpp_result, pct, print_header, print_row, run_gbt, run_tiramisu, standard_dataset, train_cdmpp};
+use bench::{
+    cdmpp_result, pct, print_header, print_row, run_gbt, run_tiramisu, standard_dataset,
+    train_cdmpp,
+};
 use dataset::SplitIndices;
 
 fn main() {
@@ -15,7 +18,15 @@ fn main() {
     let widths = [12, 10, 10, 10, 14, 14, 14];
     println!("Fig 6: TIR-level prediction MAPE per device (pre-training)\n");
     print_header(
-        &["Device", "CDMPP", "XGBoost", "Tiramisu", "CDMPP sps", "XGB sps", "Tiramisu sps"],
+        &[
+            "Device",
+            "CDMPP",
+            "XGBoost",
+            "Tiramisu",
+            "CDMPP sps",
+            "XGB sps",
+            "Tiramisu sps",
+        ],
         &widths,
     );
     let mut tput = (0.0, 0.0, 0.0, 0usize);
@@ -43,6 +54,11 @@ fn main() {
         tput.3 += 1;
     }
     let n = tput.3 as f64;
-    println!("\nmean training throughput (samples/s): CDMPP {:.0}, XGBoost {:.0}, Tiramisu {:.0}", tput.0 / n, tput.1 / n, tput.2 / n);
+    println!(
+        "\nmean training throughput (samples/s): CDMPP {:.0}, XGBoost {:.0}, Tiramisu {:.0}",
+        tput.0 / n,
+        tput.1 / n,
+        tput.2 / n
+    );
     println!("claim checks: CDMPP lowest MAPE on every device; CDMPP ≈10x Tiramisu throughput; XGBoost fastest.");
 }

@@ -16,7 +16,10 @@ fn main() {
     let ds = standard_dataset(devices.clone(), bench::spt_multi());
     println!("Fig 7: cross-model MAPE on hold-out networks\n");
     let widths = [12, 14, 12, 12, 12];
-    print_header(&["Device", "Target net", "CDMPP", "XGBoost", "Tiramisu"], &widths);
+    print_header(
+        &["Device", "Target net", "CDMPP", "XGBoost", "Tiramisu"],
+        &widths,
+    );
     for dev in &devices {
         let split = SplitIndices::for_device(&ds, &dev.name, &HOLD_OUT, bench::EXP_SEED);
         let (base_model, _) = train_cdmpp(&ds, &split, bench::epochs());
@@ -34,13 +37,23 @@ fn main() {
             }
             // CMPP fine-tuning: input features of the target network only.
             let mut model = base_model.clone();
-            let cfg = FineTuneConfig { steps: 80, use_target_labels: false, ..Default::default() };
+            let cfg = FineTuneConfig {
+                steps: 80,
+                use_target_labels: false,
+                ..Default::default()
+            };
             finetune(&mut model, &ds, &split.train, &tgt_idx, &cfg);
             let c = evaluate(&model, &ds, &tgt_idx);
             let x = gbt.eval(&ds, &tgt_idx);
             let t = tira.eval(&ds, &tgt_idx);
             print_row(
-                &[dev.name.clone(), target.to_string(), pct(c.mape), pct(x.mape), pct(t.mape)],
+                &[
+                    dev.name.clone(),
+                    target.to_string(),
+                    pct(c.mape),
+                    pct(x.mape),
+                    pct(t.mape),
+                ],
                 &widths,
             );
         }

@@ -18,12 +18,19 @@ fn main() {
         let split = SplitIndices::for_device(&ds, "T4", &[target], bench::EXP_SEED);
         let (base, _) = train_cdmpp(&ds, &split, bench::epochs());
         let mut tuned = base.clone();
-        let cfg = FineTuneConfig { steps: 120, use_target_labels: false, ..Default::default() };
+        let cfg = FineTuneConfig {
+            steps: 120,
+            use_target_labels: false,
+            ..Default::default()
+        };
         finetune(&mut tuned, &ds, &split.train, &split.hold_out, &cfg);
         let n = 80usize;
         let src: Vec<usize> = split.train.iter().copied().take(n).collect();
         let tgt: Vec<usize> = split.hold_out.iter().copied().take(n).collect();
-        let groups: Vec<usize> = (0..src.len()).map(|_| 0).chain((0..tgt.len()).map(|_| 1)).collect();
+        let groups: Vec<usize> = (0..src.len())
+            .map(|_| 0)
+            .chain((0..tgt.len()).map(|_| 1))
+            .collect();
         for (name, model) in [("w/o CMD", &base), ("w/ CMD", &tuned)] {
             let mut z = model.latents(&ds, &src);
             z.extend(model.latents(&ds, &tgt));
@@ -31,7 +38,9 @@ fn main() {
             let emb = tsne(&z, 15.0, 300, &mut rng);
             let sep = separation_score(&emb, &groups);
             let cmd = latent_cmd(model, &ds, &src, &tgt, 3);
-            println!("Fig 8 target {target:<13} {name:>8}: t-SNE separation {sep:.3}  CMD {cmd:.4}");
+            println!(
+                "Fig 8 target {target:<13} {name:>8}: t-SNE separation {sep:.3}  CMD {cmd:.4}"
+            );
         }
         println!();
     }

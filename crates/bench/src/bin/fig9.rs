@@ -15,9 +15,14 @@ use std::collections::HashMap;
 use tir::Network;
 
 /// Replays a network with per-task durations produced by `f`.
-fn replay_with(net: &Network, dev: &devsim::DeviceSpec, seed: u64, f: impl Fn(&tir::TensorProgram) -> f64) -> f64 {
+fn replay_with(
+    net: &Network,
+    dev: &devsim::DeviceSpec,
+    seed: u64,
+    f: impl Fn(&tir::TensorProgram) -> f64,
+) -> f64 {
     let (task_ids, programs) = sample_network_programs(net, seed);
-    let durs: Vec<f64> = programs.iter().map(|p| f(p)).collect();
+    let durs: Vec<f64> = programs.iter().map(f).collect();
     let by_task: HashMap<u32, f64> = task_ids.iter().copied().zip(durs.iter().copied()).collect();
     let tasks = tir::build_tasks(std::slice::from_ref(net));
     let layer_ids = tir::layer_task_ids(net, &tasks);
@@ -36,7 +41,10 @@ fn main() {
     ];
     println!("Fig 9: end-to-end prediction error vs measured replay\n");
     let widths = [12, 18, 12, 12, 12];
-    print_header(&["Device", "Network", "CDMPP", "XGBoost", "Tiramisu"], &widths);
+    print_header(
+        &["Device", "Network", "CDMPP", "XGBoost", "Tiramisu"],
+        &widths,
+    );
     let mut sums = [0.0f64; 3];
     let mut n = 0.0;
     for dev in &devices {
@@ -48,7 +56,12 @@ fn main() {
         for (name, net) in &nets {
             let measured = replay_with(net, dev, 7, |p| sim.latency_seconds(p));
             let c = replay_with(net, dev, 7, |p| {
-                let enc = cdmpp_core::encode_programs(&[p], dev, model.predictor.config().theta, model.use_pe);
+                let enc = cdmpp_core::encode_programs(
+                    &[p],
+                    dev,
+                    model.predictor.config().theta,
+                    model.use_pe,
+                );
                 model.predict_samples(&enc)[0]
             });
             let x = replay_with(net, dev, 7, |p| {
@@ -65,11 +78,24 @@ fn main() {
             }
             n += 1.0;
             print_row(
-                &[dev.name.clone(), name.to_string(), pct(errs[0]), pct(errs[1]), pct(errs[2])],
+                &[
+                    dev.name.clone(),
+                    name.to_string(),
+                    pct(errs[0]),
+                    pct(errs[1]),
+                    pct(errs[2]),
+                ],
                 &widths,
             );
         }
     }
-    println!("\naverage e2e error: CDMPP {}, XGBoost {}, Tiramisu {}", pct(sums[0] / n), pct(sums[1] / n), pct(sums[2] / n));
-    println!("claim check: CDMPP average far below both baselines (paper: 12.4% vs 63.8% / 293.6%).");
+    println!(
+        "\naverage e2e error: CDMPP {}, XGBoost {}, Tiramisu {}",
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n)
+    );
+    println!(
+        "claim check: CDMPP average far below both baselines (paper: 12.4% vs 63.8% / 293.6%)."
+    );
 }

@@ -12,7 +12,15 @@ fn main() {
     let widths = [14, 12, 10, 10, 16, 7, 10];
     println!("Table 2: GPU and non-GPU devices used in evaluation\n");
     print_header(
-        &["Device", "Class", "Clock(MHz)", "Mem(GB)", "MemBW(GB/s)", "Cores", "#Samples"],
+        &[
+            "Device",
+            "Class",
+            "Clock(MHz)",
+            "Mem(GB)",
+            "MemBW(GB/s)",
+            "Cores",
+            "#Samples",
+        ],
         &widths,
     );
     for dev in devsim::all_devices() {
@@ -30,5 +38,10 @@ fn main() {
             &widths,
         );
     }
-    println!("\ntasks: {}   networks: {}   total records: {}", ds.tasks.len(), ds.networks.len(), ds.records.len());
+    println!(
+        "\ntasks: {}   networks: {}   total records: {}",
+        ds.tasks.len(),
+        ds.networks.len(),
+        ds.records.len()
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     let ds = standard_dataset(devices.clone(), bench::spt_multi());
     println!("Table 3: MAPE (%) with different normalization methods\n");
     let widths = [10, 12, 14, 12, 12];
-    print_header(&["Device", "Box-Cox", "Yeo-Johnson", "Quantile", "original Y"], &widths);
+    print_header(
+        &["Device", "Box-Cox", "Yeo-Johnson", "Quantile", "original Y"],
+        &widths,
+    );
     for dev in &devices {
         let split = SplitIndices::for_device(&ds, &dev.name, &[], bench::EXP_SEED);
         let mut cells = vec![dev.name.clone()];

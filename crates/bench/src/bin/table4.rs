@@ -11,7 +11,12 @@ use dataset::SplitIndices;
 fn main() {
     let devices = vec![devsim::t4(), devsim::a100(), devsim::k80()];
     let ds = standard_dataset(devices.clone(), bench::spt_multi());
-    let kinds = [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid];
+    let kinds = [
+        LossKind::Mse,
+        LossKind::Mape,
+        LossKind::Mspe,
+        LossKind::Hybrid,
+    ];
     let mut mape_rows = Vec::new();
     let mut rmse_rows = Vec::new();
     for dev in &devices {

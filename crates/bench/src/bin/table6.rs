@@ -17,7 +17,10 @@ fn main() {
     };
     println!("Table 6 (Appendix B): auto-tuner random search, {trials} trials x 6 epochs\n");
     let res = autotune(&ds, &split.train, &split.valid, trials, 6, bench::EXP_SEED);
-    println!("{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>10}  {:>10}", "trial", "d_model", "layers", "heads", "batch", "lr", "val MAPE");
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>10}  {:>10}",
+        "trial", "d_model", "layers", "heads", "batch", "lr", "val MAPE"
+    );
     for (i, t) in res.trials.iter().enumerate() {
         println!(
             "{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>10.2e}  {:>9.1}%",

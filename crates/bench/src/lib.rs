@@ -11,13 +11,7 @@ use std::time::Instant;
 
 use baselines::{GbtConfig, GbtRegressor, TiramisuConfig, TiramisuModel};
 use cdmpp_core::{
-    evaluate,
-    pretrain,
-    EvalMetrics,
-    PredictorConfig,
-    TrainConfig,
-    TrainStats,
-    TrainedModel,
+    evaluate, pretrain, EvalMetrics, PredictorConfig, TrainConfig, TrainStats, TrainedModel,
 };
 use dataset::{Dataset, GenConfig, SplitIndices};
 use devsim::DeviceSpec;
@@ -50,18 +44,30 @@ pub fn scale() -> Scale {
 
 /// Schedules per task for single-device experiments.
 pub fn spt_single() -> usize {
-    match scale() { Scale::Full => 192, Scale::Mid => 64, Scale::Quick => 12 }
+    match scale() {
+        Scale::Full => 192,
+        Scale::Mid => 64,
+        Scale::Quick => 12,
+    }
 }
 
 /// Schedules per task for multi-device experiments (devices multiply the
 /// record count, so fewer schedules keep runtimes sane).
 pub fn spt_multi() -> usize {
-    match scale() { Scale::Full => 48, Scale::Mid => 24, Scale::Quick => 8 }
+    match scale() {
+        Scale::Full => 48,
+        Scale::Mid => 24,
+        Scale::Quick => 8,
+    }
 }
 
 /// Pre-training epochs.
 pub fn epochs() -> usize {
-    match scale() { Scale::Full => 30, Scale::Mid => 15, Scale::Quick => 4 }
+    match scale() {
+        Scale::Full => 30,
+        Scale::Mid => 15,
+        Scale::Quick => 4,
+    }
 }
 
 /// Builds the standard experiment dataset on the given devices.
@@ -78,17 +84,39 @@ pub fn standard_dataset(devices: Vec<DeviceSpec>, schedules_per_task: usize) -> 
 /// The default (CPU-scale) predictor architecture used by experiments —
 /// the best configuration found by the auto-tuner at this scale.
 pub fn default_pcfg() -> PredictorConfig {
-    PredictorConfig { d_model: 48, n_layers: 3, heads: 4, d_ff: 96, d_emb: 32, ..Default::default() }
+    PredictorConfig {
+        d_model: 48,
+        n_layers: 3,
+        heads: 4,
+        d_ff: 96,
+        d_emb: 32,
+        ..Default::default()
+    }
 }
 
 /// The default experiment training configuration.
 pub fn default_tcfg(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, batch_size: 64, lr: 1.5e-3, ..Default::default() }
+    TrainConfig {
+        epochs,
+        batch_size: 64,
+        lr: 1.5e-3,
+        ..Default::default()
+    }
 }
 
 /// Trains CDMPP on one split.
-pub fn train_cdmpp(ds: &Dataset, split: &SplitIndices, epochs: usize) -> (TrainedModel, TrainStats) {
-    pretrain(ds, &split.train, &split.valid, default_pcfg(), default_tcfg(epochs))
+pub fn train_cdmpp(
+    ds: &Dataset,
+    split: &SplitIndices,
+    epochs: usize,
+) -> (TrainedModel, TrainStats) {
+    pretrain(
+        ds,
+        &split.train,
+        &split.valid,
+        default_pcfg(),
+        default_tcfg(epochs),
+    )
 }
 
 /// Result of one (method, device) cell of a comparison figure.
@@ -119,18 +147,29 @@ pub fn fit_gbt(ds: &Dataset, train_idx: &[usize]) -> FittedGbt {
         .iter()
         .map(|&i| flattened_features(&ds.records[i].program))
         .collect();
-    let ys: Vec<f32> = train_idx.iter().map(|&i| ds.records[i].latency_s.ln() as f32).collect();
+    let ys: Vec<f32> = train_idx
+        .iter()
+        .map(|&i| ds.records[i].latency_s.ln() as f32)
+        .collect();
     let start = Instant::now();
     let model = GbtRegressor::fit(&xs, &ys, GbtConfig::default());
     let train_time = start.elapsed().as_secs_f64();
-    FittedGbt { model, throughput: xs.len() as f64 * 80.0 / train_time.max(1e-9) }
+    FittedGbt {
+        model,
+        throughput: xs.len() as f64 * 80.0 / train_time.max(1e-9),
+    }
 }
 
 impl FittedGbt {
     /// Predicts latencies (seconds) for record indices.
     pub fn predict(&self, ds: &Dataset, idx: &[usize]) -> Vec<f64> {
         idx.iter()
-            .map(|&i| (self.model.predict(&flattened_features(&ds.records[i].program)) as f64).exp())
+            .map(|&i| {
+                (self
+                    .model
+                    .predict(&flattened_features(&ds.records[i].program)) as f64)
+                    .exp()
+            })
             .collect()
     }
 
@@ -168,12 +207,21 @@ pub fn run_tiramisu(
     let train: Vec<usize> = split.train.iter().copied().take(max_train).collect();
     let progs: Vec<&tir::TensorProgram> = train.iter().map(|&i| &*ds.records[i].program).collect();
     // Tiramisu's default pipeline predicts in milliseconds with MAPE loss.
-    let labels: Vec<f64> = train.iter().map(|&i| ds.records[i].latency_s * 1e3).collect();
-    let mut model = TiramisuModel::new(TiramisuConfig { epochs, ..Default::default() });
+    let labels: Vec<f64> = train
+        .iter()
+        .map(|&i| ds.records[i].latency_s * 1e3)
+        .collect();
+    let mut model = TiramisuModel::new(TiramisuConfig {
+        epochs,
+        ..Default::default()
+    });
     let start = Instant::now();
     let processed = model.fit(&progs, &labels);
     let train_time = start.elapsed().as_secs_f64();
-    let fitted = FittedTiramisu { model, throughput: processed as f64 / train_time.max(1e-9) };
+    let fitted = FittedTiramisu {
+        model,
+        throughput: processed as f64 / train_time.max(1e-9),
+    };
     fitted.eval(ds, eval_idx)
 }
 
@@ -188,7 +236,9 @@ pub struct FittedTiramisu {
 impl FittedTiramisu {
     /// Predicts latencies (seconds).
     pub fn predict(&self, ds: &Dataset, idx: &[usize]) -> Vec<f64> {
-        idx.iter().map(|&i| self.model.predict(&ds.records[i].program) * 1e-3).collect()
+        idx.iter()
+            .map(|&i| self.model.predict(&ds.records[i].program) * 1e-3)
+            .collect()
     }
 
     /// Evaluates into a [`MethodResult`].
@@ -207,15 +257,29 @@ impl FittedTiramisu {
 }
 
 /// Fits the Tiramisu baseline on (up to `max_train`) training records.
-pub fn fit_tiramisu(ds: &Dataset, train_idx: &[usize], max_train: usize, epochs: usize) -> FittedTiramisu {
+pub fn fit_tiramisu(
+    ds: &Dataset,
+    train_idx: &[usize],
+    max_train: usize,
+    epochs: usize,
+) -> FittedTiramisu {
     let train: Vec<usize> = train_idx.iter().copied().take(max_train).collect();
     let progs: Vec<&tir::TensorProgram> = train.iter().map(|&i| &*ds.records[i].program).collect();
-    let labels: Vec<f64> = train.iter().map(|&i| ds.records[i].latency_s * 1e3).collect();
-    let mut model = TiramisuModel::new(TiramisuConfig { epochs, ..Default::default() });
+    let labels: Vec<f64> = train
+        .iter()
+        .map(|&i| ds.records[i].latency_s * 1e3)
+        .collect();
+    let mut model = TiramisuModel::new(TiramisuConfig {
+        epochs,
+        ..Default::default()
+    });
     let start = Instant::now();
     let processed = model.fit(&progs, &labels);
     let train_time = start.elapsed().as_secs_f64();
-    FittedTiramisu { model, throughput: processed as f64 / train_time.max(1e-9) }
+    FittedTiramisu {
+        model,
+        throughput: processed as f64 / train_time.max(1e-9),
+    }
 }
 
 /// Evaluates a trained CDMPP model into a [`MethodResult`].
@@ -242,10 +306,17 @@ pub struct GbtCost {
 impl GbtCost {
     /// Trains a GBT cost model from dataset records of one device.
     pub fn train(ds: &Dataset, idx: &[usize]) -> Self {
-        let xs: Vec<Vec<f32>> =
-            idx.iter().map(|&i| flattened_features(&ds.records[i].program)).collect();
-        let ys: Vec<f32> = idx.iter().map(|&i| ds.records[i].latency_s.ln() as f32).collect();
-        GbtCost { model: GbtRegressor::fit(&xs, &ys, GbtConfig::default()) }
+        let xs: Vec<Vec<f32>> = idx
+            .iter()
+            .map(|&i| flattened_features(&ds.records[i].program))
+            .collect();
+        let ys: Vec<f32> = idx
+            .iter()
+            .map(|&i| ds.records[i].latency_s.ln() as f32)
+            .collect();
+        GbtCost {
+            model: GbtRegressor::fit(&xs, &ys, GbtConfig::default()),
+        }
     }
 }
 
@@ -267,7 +338,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header + separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }

@@ -36,7 +36,11 @@ pub struct AutoTuneResult {
 
 /// Samples one configuration from the search space of Appendix B
 /// (widths/depths scaled to CPU training).
-pub fn sample_config(rng: &mut impl Rng, trial_epochs: usize, seed: u64) -> (PredictorConfig, TrainConfig) {
+pub fn sample_config(
+    rng: &mut impl Rng,
+    trial_epochs: usize,
+    seed: u64,
+) -> (PredictorConfig, TrainConfig) {
     let d_model = *[16usize, 32, 48].choose(rng).expect("non-empty");
     let heads = *[2usize, 4].choose(rng).expect("non-empty");
     let pcfg = PredictorConfig {
@@ -59,7 +63,11 @@ pub fn sample_config(rng: &mut impl Rng, trial_epochs: usize, seed: u64) -> (Pre
         lr,
         weight_decay: 10f32.powf(rng.random_range(-4.0..-2.0)),
         lambda: 1e-3,
-        optimizer: if rng.random_bool(0.8) { OptKind::Adam } else { OptKind::Sgd },
+        optimizer: if rng.random_bool(0.8) {
+            OptKind::Adam
+        } else {
+            OptKind::Sgd
+        },
         cyclic_lr: rng.random_bool(0.7),
         seed,
         ..TrainConfig::default()
@@ -83,7 +91,11 @@ pub fn autotune(
         let (pcfg, tcfg) = sample_config(&mut rng, trial_epochs, seed ^ t as u64);
         let (model, _) = pretrain(ds, train_idx, valid_idx, pcfg.clone(), tcfg.clone());
         let val = evaluate(&model, ds, valid_idx);
-        trials.push(Trial { pcfg, tcfg, val_mape: val.mape });
+        trials.push(Trial {
+            pcfg,
+            tcfg,
+            val_mape: val.mape,
+        });
     }
     let best = trials
         .iter()

@@ -4,7 +4,7 @@
 //! grouped by leaf count so each minibatch is a dense `[B, L, N_ENTRY]`
 //! tensor routed through the `L`-specific embedding layer.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dataset::Dataset;
 use devsim::device_by_name;
@@ -37,7 +37,11 @@ pub fn encode_records(ds: &Dataset, idx: &[usize], theta: f32, use_pe: bool) -> 
         .map(|&i| {
             let rec = &ds.records[i];
             let ast = extract_compact_ast(&rec.program);
-            let x = if use_pe { ast.encoded_flat(theta) } else { ast.flat() };
+            let x = if use_pe {
+                ast.encoded_flat(theta)
+            } else {
+                ast.flat()
+            };
             let dev = *dev_cache.entry(rec.device.clone()).or_insert_with(|| {
                 device_by_name(&rec.device)
                     .map(|d| device_features(&d))
@@ -70,7 +74,10 @@ pub struct FeatScaler {
 impl FeatScaler {
     /// Identity scaler (no-op).
     pub fn identity() -> Self {
-        FeatScaler { mean: vec![0.0; N_ENTRY], std: vec![1.0; N_ENTRY] }
+        FeatScaler {
+            mean: vec![0.0; N_ENTRY],
+            std: vec![1.0; N_ENTRY],
+        }
     }
 
     /// Fits column statistics over every leaf row of the given samples.
@@ -92,7 +99,10 @@ impl FeatScaler {
             .iter()
             .map(|&v| ((v / n.max(1.0)).sqrt() as f32).max(1e-6))
             .collect();
-        FeatScaler { mean: mean.into_iter().map(|v| v as f32).collect(), std }
+        FeatScaler {
+            mean: mean.into_iter().map(|v| v as f32).collect(),
+            std,
+        }
     }
 
     /// Standardizes a sample's leaf rows in place.
@@ -129,13 +139,31 @@ pub struct Batch {
 
 /// Builds a batch from a homogeneous slice of sample references.
 pub fn build_batch(samples: &[&EncodedSample]) -> Batch {
+    build_batch_impl(samples, None)
+}
+
+/// Builds a batch while standardizing features with `scaler` during the
+/// copy. One pass instead of clone-all + `FeatScaler::apply_all` +
+/// `build_batch` — the serving engine's hot path. Element-for-element the
+/// math matches [`FeatScaler::apply`], so results are bit-identical.
+pub fn build_scaled_batch(samples: &[&EncodedSample], scaler: &FeatScaler) -> Batch {
+    build_batch_impl(samples, Some(scaler))
+}
+
+fn build_batch_impl(samples: &[&EncodedSample], scaler: Option<&FeatScaler>) -> Batch {
     let b = samples.len();
     let l = samples[0].leaf_count;
     debug_assert!(samples.iter().all(|s| s.leaf_count == l));
     let mut xs = Vec::with_capacity(b * l * N_ENTRY);
     let mut devs = Vec::with_capacity(b * N_DEVICE_FEATURES);
     for s in samples {
-        xs.extend_from_slice(&s.x);
+        match scaler {
+            Some(sc) => xs.extend(s.x.iter().enumerate().map(|(j, &v)| {
+                let col = j % N_ENTRY;
+                (v - sc.mean[col]) / sc.std[col]
+            })),
+            None => xs.extend_from_slice(&s.x),
+        }
         devs.extend_from_slice(&s.dev);
     }
     Batch {
@@ -147,21 +175,35 @@ pub fn build_batch(samples: &[&EncodedSample]) -> Batch {
     }
 }
 
+/// Groups sample indices by leaf count.
+///
+/// This is the single place leaf-count bucketing lives: training batching
+/// ([`make_batches`]), the trained-model predict paths, fine-tuning's
+/// per-domain grouping, and the `runtime` serving engine all route through
+/// it, so the grouping policy cannot drift between call sites.
+pub fn group_by_leaf(samples: &[EncodedSample]) -> BTreeMap<usize, Vec<usize>> {
+    // BTreeMap, deliberately: callers iterate the groups while drawing from
+    // seeded RNGs (batch shuffling, fine-tuning's domain sampling), so the
+    // iteration order must be deterministic for runs to be reproducible.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, s) in samples.iter().enumerate() {
+        groups.entry(s.leaf_count).or_default().push(i);
+    }
+    groups
+}
+
 /// Splits samples into shuffled leaf-count-homogeneous minibatches.
 pub fn make_batches<'a>(
     samples: &'a [EncodedSample],
     batch_size: usize,
     rng: &mut impl Rng,
 ) -> Vec<Batch> {
-    let mut groups: HashMap<usize, Vec<&'a EncodedSample>> = HashMap::new();
-    for s in samples {
-        groups.entry(s.leaf_count).or_default().push(s);
-    }
     let mut batches = Vec::new();
-    for (_, mut group) in groups {
-        group.shuffle(rng);
-        for chunk in group.chunks(batch_size) {
-            batches.push(build_batch(chunk));
+    for (_, mut idxs) in group_by_leaf(samples) {
+        idxs.shuffle(rng);
+        for chunk in idxs.chunks(batch_size) {
+            let refs: Vec<&'a EncodedSample> = chunk.iter().map(|&i| &samples[i]).collect();
+            batches.push(build_batch(&refs));
         }
     }
     batches.shuffle(rng);

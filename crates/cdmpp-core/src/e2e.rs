@@ -42,7 +42,11 @@ pub fn encode_programs(
         .enumerate()
         .map(|(i, p)| {
             let ast = extract_compact_ast(p);
-            let x = if use_pe { ast.encoded_flat(theta) } else { ast.flat() };
+            let x = if use_pe {
+                ast.encoded_flat(theta)
+            } else {
+                ast.flat()
+            };
             EncodedSample {
                 record_idx: i,
                 leaf_count: ast.n_leaves(),
@@ -70,9 +74,11 @@ pub fn sample_network_programs(net: &Network, seed: u64) -> (Vec<u32>, Vec<Tenso
                 break;
             }
         }
-        programs.push(prog.unwrap_or_else(|| {
-            lower(&nest, &tir::Schedule::default()).expect("canonical lowers")
-        }));
+        programs.push(
+            prog.unwrap_or_else(|| {
+                lower(&nest, &tir::Schedule::default()).expect("canonical lowers")
+            }),
+        );
     }
     (tasks.iter().map(|t| t.id).collect(), programs)
 }
@@ -89,6 +95,22 @@ pub fn end_to_end(model: &TrainedModel, net: &Network, dev: &DeviceSpec, seed: u
     let refs: Vec<&TensorProgram> = programs.iter().collect();
     let enc = encode_programs(&refs, dev, model.predictor.config().theta, model.use_pe);
     let predicted = model.predict_samples(&enc);
+    replay_predictions(net, dev, &task_ids, &programs, &predicted)
+}
+
+/// Replays per-task predictions (and the simulator ground truth of the
+/// same programs) through Algorithm 2 — the shared back half of
+/// [`end_to_end`] and the `runtime` crate's engine-served variant.
+///
+/// `task_ids[i]` identifies the task whose sampled program is
+/// `programs[i]` with predicted latency `predicted[i]` (seconds).
+pub fn replay_predictions(
+    net: &Network,
+    dev: &DeviceSpec,
+    task_ids: &[u32],
+    programs: &[TensorProgram],
+    predicted: &[f64],
+) -> E2eResult {
     // Ground truth durations from the simulator (deterministic).
     let sim = Simulator::new(dev.clone());
     let measured: Vec<f64> = programs.iter().map(|p| sim.latency_seconds(p)).collect();
@@ -101,7 +123,7 @@ pub fn end_to_end(model: &TrainedModel, net: &Network, dev: &DeviceSpec, seed: u
         layer_ids.iter().map(|id| by_task[id]).collect()
     };
     let engines = engine_count(dev);
-    let pred_dfg = build_dfg(net, &dur_of(&predicted), dev);
+    let pred_dfg = build_dfg(net, &dur_of(predicted), dev);
     let meas_dfg = build_dfg(net, &dur_of(&measured), dev);
     E2eResult {
         predicted_s: replay(&pred_dfg, engines),
@@ -117,8 +139,11 @@ pub fn measured_end_to_end(net: &Network, dev: &DeviceSpec, seed: u64) -> f64 {
     let measured: Vec<f64> = programs.iter().map(|p| sim.latency_seconds(p)).collect();
     let tasks = build_tasks(std::slice::from_ref(net));
     let layer_ids = tir::layer_task_ids(net, &tasks);
-    let by_task: HashMap<u32, f64> =
-        task_ids.iter().copied().zip(measured.iter().copied()).collect();
+    let by_task: HashMap<u32, f64> = task_ids
+        .iter()
+        .copied()
+        .zip(measured.iter().copied())
+        .collect();
     let durations: Vec<f64> = layer_ids.iter().map(|id| by_task[id]).collect();
     let dfg = build_dfg(net, &durations, dev);
     replay(&dfg, engine_count(dev))
@@ -134,13 +159,33 @@ mod tests {
 
     fn quick_model(devices: Vec<DeviceSpec>) -> (Dataset, TrainedModel) {
         let ds = Dataset::generate_with_networks(
-            GenConfig { batch: 1, schedules_per_task: 4, devices, seed: 13, noise_sigma: 0.0 },
+            GenConfig {
+                batch: 1,
+                schedules_per_task: 4,
+                devices,
+                seed: 13,
+                noise_sigma: 0.0,
+            },
             vec![zoo::bert_tiny(1), zoo::mlp_mixer(1)],
         );
         let split = SplitIndices::from_indices(&ds, (0..ds.records.len()).collect(), &[], 1);
-        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
-        let (model, _) =
-            pretrain(&ds, &split.train, &split.valid, pcfg, TrainConfig { epochs: 12, ..Default::default() });
+        let pcfg = PredictorConfig {
+            d_model: 16,
+            n_layers: 1,
+            d_ff: 32,
+            d_emb: 12,
+            ..Default::default()
+        };
+        let (model, _) = pretrain(
+            &ds,
+            &split.train,
+            &split.valid,
+            pcfg,
+            TrainConfig {
+                epochs: 12,
+                ..Default::default()
+            },
+        );
         (ds, model)
     }
 
@@ -172,9 +217,16 @@ mod tests {
 
     #[test]
     fn measured_e2e_orders_devices_sensibly() {
-        let net = zoo::bert_tiny(1);
-        let fast = measured_end_to_end(&net, &devsim::a100(), 2);
-        let slow = measured_end_to_end(&net, &devsim::graviton2(), 2);
+        // One schedule sample can be unluckily GPU-hostile, and at batch 1
+        // launch overhead dominates every device equally; compare at batch
+        // 4 over several independent samples so compute differences show.
+        let net = zoo::bert_tiny(4);
+        let fast: f64 = (0..5)
+            .map(|s| measured_end_to_end(&net, &devsim::a100(), s))
+            .sum();
+        let slow: f64 = (0..5)
+            .map(|s| measured_end_to_end(&net, &devsim::graviton2(), s))
+            .sum();
         assert!(fast < slow, "A100 {fast} vs Graviton2 {slow}");
     }
 }

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;
 
-use crate::batch::{build_batch, encode_records, EncodedSample};
+use crate::batch::{build_batch, encode_records, group_by_leaf};
 use crate::trainer::{build_loss, TrainedModel};
 
 /// Fine-tuning hyper-parameters.
@@ -49,15 +49,6 @@ impl Default for FineTuneConfig {
     }
 }
 
-/// Groups sample indices by leaf count.
-fn by_leaf(enc: &[EncodedSample]) -> std::collections::HashMap<usize, Vec<usize>> {
-    let mut m: std::collections::HashMap<usize, Vec<usize>> = Default::default();
-    for (i, s) in enc.iter().enumerate() {
-        m.entry(s.leaf_count).or_default().push(i);
-    }
-    m
-}
-
 /// Fine-tunes `model` against a target domain.
 ///
 /// * `source_idx`: labeled records from the source domain(s).
@@ -74,15 +65,18 @@ pub fn finetune(
     target_idx: &[usize],
     cfg: &FineTuneConfig,
 ) -> f64 {
-    assert!(!source_idx.is_empty() && !target_idx.is_empty(), "empty domains");
+    assert!(
+        !source_idx.is_empty() && !target_idx.is_empty(),
+        "empty domains"
+    );
     let theta = model.predictor.config().theta;
     let use_pe = model.use_pe;
     let mut src = encode_records(ds, source_idx, theta, use_pe);
     let mut tgt = encode_records(ds, target_idx, theta, use_pe);
     model.scaler.apply_all(&mut src);
     model.scaler.apply_all(&mut tgt);
-    let src_groups = by_leaf(&src);
-    let tgt_groups = by_leaf(&tgt);
+    let src_groups = group_by_leaf(&src);
+    let tgt_groups = group_by_leaf(&tgt);
     // Leaf counts present in both domains (CMD compares same-shape
     // batches within one graph).
     let shared: Vec<usize> = src_groups
@@ -110,20 +104,33 @@ pub fn finetune(
         let tb = build_batch(&ti.iter().map(|&i| &tgt[i]).collect::<Vec<_>>());
         model.predictor.store.zero_grad();
         let mut g = Graph::new();
-        let Ok(sout) = model.predictor.forward(&mut g, sb.x.clone(), sb.dev.clone()) else {
+        let Ok(sout) = model
+            .predictor
+            .forward(&mut g, sb.x.clone(), sb.dev.clone())
+        else {
             continue;
         };
-        let Ok(tout) = model.predictor.forward(&mut g, tb.x.clone(), tb.dev.clone()) else {
+        let Ok(tout) = model
+            .predictor
+            .forward(&mut g, tb.x.clone(), tb.dev.clone())
+        else {
             continue;
         };
         // Regression loss on the source (always) and the target (CDPP).
-        let sy: Vec<f32> = sb.y_raw.iter().map(|&y| model.transform.forward(y) as f32).collect();
+        let sy: Vec<f32> = sb
+            .y_raw
+            .iter()
+            .map(|&y| model.transform.forward(y) as f32)
+            .collect();
         let Ok(mut loss) = build_loss(&mut g, sout.pred, &sy, loss_kind, lambda) else {
             continue;
         };
         if cfg.use_target_labels {
-            let ty: Vec<f32> =
-                tb.y_raw.iter().map(|&y| model.transform.forward(y) as f32).collect();
+            let ty: Vec<f32> = tb
+                .y_raw
+                .iter()
+                .map(|&y| model.transform.forward(y) as f32)
+                .collect();
             if let Ok(tl) = build_loss(&mut g, tout.pred, &ty, loss_kind, lambda) {
                 if let Ok(sum) = g.add(loss, tl) {
                     loss = sum;
@@ -138,7 +145,9 @@ pub fn finetune(
             cmd_tail.push(g.value(c).item() as f64);
         }
         let scaled = g.scale(c, cfg.alpha);
-        let Ok(total) = g.add(loss, scaled) else { continue };
+        let Ok(total) = g.add(loss, scaled) else {
+            continue;
+        };
         if g.backward(total).is_err() {
             continue;
         }
@@ -155,7 +164,13 @@ pub fn finetune(
 
 /// Mean CMD between the latents of two record sets under the current model
 /// (the "before/after" number behind Figs 8 and 11).
-pub fn latent_cmd(model: &TrainedModel, ds: &Dataset, a: &[usize], b: &[usize], moments: usize) -> f64 {
+pub fn latent_cmd(
+    model: &TrainedModel,
+    ds: &Dataset,
+    a: &[usize],
+    b: &[usize],
+    moments: usize,
+) -> f64 {
     let za = model.latents(ds, a);
     let zb = model.latents(ds, b);
     if za.is_empty() || zb.is_empty() {
@@ -198,12 +213,30 @@ mod tests {
     #[test]
     fn cdpp_finetune_improves_target_error_and_reduces_cmd() {
         let (ds, src, tgt) = setup();
-        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
-        let (mut model, _) =
-            pretrain(&ds, &src.train, &src.valid, pcfg, TrainConfig { epochs: 15, ..Default::default() });
+        let pcfg = PredictorConfig {
+            d_model: 16,
+            n_layers: 1,
+            d_ff: 32,
+            d_emb: 12,
+            ..Default::default()
+        };
+        let (mut model, _) = pretrain(
+            &ds,
+            &src.train,
+            &src.valid,
+            pcfg,
+            TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        );
         let before = evaluate(&model, &ds, &tgt.test);
         let cmd_before = latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
-        let cfg = FineTuneConfig { steps: 150, use_target_labels: true, ..Default::default() };
+        let cfg = FineTuneConfig {
+            steps: 150,
+            use_target_labels: true,
+            ..Default::default()
+        };
         finetune(&mut model, &ds, &src.train, &tgt.train, &cfg);
         let after = evaluate(&model, &ds, &tgt.test);
         let cmd_after = latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
@@ -222,10 +255,28 @@ mod tests {
     #[test]
     fn cmpp_finetune_runs_without_target_labels() {
         let (ds, src, tgt) = setup();
-        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
-        let (mut model, _) =
-            pretrain(&ds, &src.train, &src.valid, pcfg, TrainConfig { epochs: 5, ..Default::default() });
-        let cfg = FineTuneConfig { steps: 40, use_target_labels: false, ..Default::default() };
+        let pcfg = PredictorConfig {
+            d_model: 16,
+            n_layers: 1,
+            d_ff: 32,
+            d_emb: 12,
+            ..Default::default()
+        };
+        let (mut model, _) = pretrain(
+            &ds,
+            &src.train,
+            &src.valid,
+            pcfg,
+            TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let cfg = FineTuneConfig {
+            steps: 40,
+            use_target_labels: false,
+            ..Default::default()
+        };
         let tail_cmd = finetune(&mut model, &ds, &src.train, &tgt.train, &cfg);
         assert!(tail_cmd.is_finite());
     }
@@ -234,9 +285,23 @@ mod tests {
     #[should_panic(expected = "empty domains")]
     fn empty_target_panics() {
         let (ds, src, _) = setup();
-        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
-        let (mut model, _) =
-            pretrain(&ds, &src.train, &[], pcfg, TrainConfig { epochs: 1, ..Default::default() });
+        let pcfg = PredictorConfig {
+            d_model: 16,
+            n_layers: 1,
+            d_ff: 32,
+            d_emb: 12,
+            ..Default::default()
+        };
+        let (mut model, _) = pretrain(
+            &ds,
+            &src.train,
+            &[],
+            pcfg,
+            TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         finetune(&mut model, &ds, &src.train, &[], &FineTuneConfig::default());
     }
 }

@@ -26,21 +26,20 @@ pub mod search;
 pub mod trainer;
 
 pub use autotune::{autotune, AutoTuneResult, Trial};
-pub use batch::{build_batch, encode_records, make_batches, Batch, EncodedSample};
-pub use e2e::{encode_programs, end_to_end, measured_end_to_end, sample_network_programs, E2eResult};
+pub use batch::{
+    build_batch, build_scaled_batch, encode_records, group_by_leaf, make_batches, Batch,
+    EncodedSample,
+};
+pub use e2e::{
+    encode_programs, end_to_end, measured_end_to_end, replay_predictions, sample_network_programs,
+    E2eResult,
+};
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
-pub use predictor::{Predictor, PredictorConfig};
+pub use predictor::{PredictError, Predictor, PredictorConfig, SharedPredictor};
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
 pub use trainer::{
-    evaluate,
-    pretrain,
-    train_step,
-    EvalMetrics,
-    LossKind,
-    OptKind,
-    TrainConfig,
-    TrainStats,
-    TrainedModel,
+    evaluate, pretrain, train_step, EvalMetrics, InferenceModel, LossKind, OptKind, TrainConfig,
+    TrainStats, TrainedModel,
 };

@@ -13,13 +13,69 @@
 //!    regularization and the Algorithm-1 sampler (tanh bounds the support
 //!    so the CMD normalization constant is well-defined),
 //! 6. an MLP decoder producing the (Box-Cox-space) latency prediction.
+//!
+//! ## Execution model
+//!
+//! The model *definition* ([`Arch`], internal) is decoupled from
+//! *execution*: [`Predictor::forward`] is generic over [`nn::Exec`], so the
+//! same definition runs on the autodiff tape for training and on the
+//! forward-only [`nn::InferCtx`] for inference. Inference entry points
+//! ([`Predictor::predict_batch`], [`Predictor::latent_batch`]) take the
+//! forward-only path: no tape, no gradient bookkeeping, parameters borrowed
+//! rather than cloned. For serving across threads, [`Predictor::share`]
+//! produces a cheap-clone [`SharedPredictor`] holding the weights behind an
+//! `Arc`.
 
-use nn::{Graph, Linear, Mlp, ParamStore, TransformerEncoder, Var};
+use std::sync::Arc;
+
+use nn::{Exec, Graph, InferCtx, Linear, Mlp, ParamStore, TransformerEncoder, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::{Result, Tensor};
+use tensor::{Tensor, TensorError};
 
 use features::{N_DEVICE_FEATURES, N_ENTRY};
+
+/// Errors from predictor execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// A batch's leaf count has no dedicated embedding layer. The predictor
+    /// owns one linear layer per leaf count in `1..=max_leaves`; routing a
+    /// larger (or zero) count through a neighbouring layer would silently
+    /// produce garbage, so it is rejected up front.
+    LeafCountOutOfRange {
+        /// The offending leaf count `L` of the batch.
+        leaves: usize,
+        /// The configured maximum (`PredictorConfig::max_leaves`).
+        max_leaves: usize,
+    },
+    /// An underlying tensor operation failed (shape/rank mismatch).
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::LeafCountOutOfRange { leaves, max_leaves } => write!(
+                f,
+                "no embedding layer for leaf count {leaves}: this predictor was built with \
+                 max_leaves = {max_leaves} (valid range 1..={max_leaves}); rebuild with a larger \
+                 `PredictorConfig::max_leaves` or filter the offending programs"
+            ),
+            PredictError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<TensorError> for PredictError {
+    fn from(e: TensorError) -> Self {
+        PredictError::Tensor(e)
+    }
+}
+
+/// Result alias for predictor execution.
+pub type PredictResult<T> = std::result::Result<T, PredictError>;
 
 /// Architecture hyper-parameters (the auto-tuner's search space, Table 6
 /// scaled to CPU training).
@@ -75,27 +131,23 @@ pub struct ForwardOut {
     pub pred: Var,
 }
 
-/// The CDMPP cost model.
+/// The model definition: layer handles into a parameter store. Cloning is
+/// cheap (ids only); the weights live in whichever store executes it.
 #[derive(Clone)]
-pub struct Predictor {
-    /// Parameter storage (exposed for optimizers).
-    pub store: ParamStore,
+struct Arch {
     input_proj: Linear,
     encoder: TransformerEncoder,
     leaf_embed: Vec<Linear>,
     dev_mlp: Mlp,
     decoder: Mlp,
-    cfg: PredictorConfig,
 }
 
-impl Predictor {
-    /// Creates an untrained predictor.
-    pub fn new(cfg: PredictorConfig) -> Self {
-        let mut store = ParamStore::new();
+impl Arch {
+    fn new(store: &mut ParamStore, cfg: &PredictorConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let input_proj = Linear::new(&mut store, &mut rng, "input_proj", N_ENTRY, cfg.d_model);
+        let input_proj = Linear::new(store, &mut rng, "input_proj", N_ENTRY, cfg.d_model);
         let encoder = TransformerEncoder::new(
-            &mut store,
+            store,
             &mut rng,
             "encoder",
             cfg.n_layers,
@@ -105,20 +157,99 @@ impl Predictor {
         );
         let leaf_embed = (1..=cfg.max_leaves)
             .map(|l| {
-                Linear::new(&mut store, &mut rng, &format!("leaf_embed.{l}"), l * cfg.d_model, cfg.d_emb)
+                Linear::new(
+                    store,
+                    &mut rng,
+                    &format!("leaf_embed.{l}"),
+                    l * cfg.d_model,
+                    cfg.d_emb,
+                )
             })
             .collect();
         let dev_mlp = Mlp::new(
-            &mut store,
+            store,
             &mut rng,
             "dev_mlp",
             &[N_DEVICE_FEATURES, cfg.d_dev * 2, cfg.d_dev],
         );
         let mut dec_widths = vec![cfg.d_emb + cfg.d_dev];
-        dec_widths.extend(std::iter::repeat(cfg.dec_hidden).take(cfg.dec_layers));
+        dec_widths.extend(std::iter::repeat_n(cfg.dec_hidden, cfg.dec_layers));
         dec_widths.push(1);
-        let decoder = Mlp::new(&mut store, &mut rng, "decoder", &dec_widths);
-        Predictor { store, input_proj, encoder, leaf_embed, dev_mlp, decoder, cfg }
+        let decoder = Mlp::new(store, &mut rng, "decoder", &dec_widths);
+        Arch {
+            input_proj,
+            encoder,
+            leaf_embed,
+            dev_mlp,
+            decoder,
+        }
+    }
+
+    /// One forward pass on any executor. See [`Predictor::forward`].
+    fn forward<E: Exec>(
+        &self,
+        cfg: &PredictorConfig,
+        g: &mut E,
+        store: &ParamStore,
+        x: Tensor,
+        dev: Tensor,
+    ) -> PredictResult<ForwardOut> {
+        let shape = x.shape().to_vec();
+        debug_assert_eq!(shape.len(), 3);
+        let (b, l) = (shape[0], shape[1]);
+        let layer = match l.checked_sub(1).and_then(|i| self.leaf_embed.get(i)) {
+            Some(layer) => layer,
+            None => {
+                return Err(PredictError::LeafCountOutOfRange {
+                    leaves: l,
+                    max_leaves: cfg.max_leaves,
+                })
+            }
+        };
+        let xv = g.constant(x);
+        let h = self.input_proj.forward(g, store, xv)?;
+        let h = self.encoder.forward(g, store, h)?;
+        // Leaf-count-specific embedding: flatten [B, L, d] -> [B, L*d].
+        let flat = g.reshape(h, &[b, l * cfg.d_model])?;
+        let zx = layer.forward(g, store, flat)?;
+        // Device branch.
+        let dv = g.constant(dev);
+        let zv = self.dev_mlp.forward(g, store, dv)?;
+        let z = g.concat_last(&[zx, zv])?;
+        let z = g.tanh(z)?;
+        let pred = self.decoder.forward(g, store, z)?;
+        Ok(ForwardOut { latent: z, pred })
+    }
+}
+
+fn read_predictions<E: Exec>(e: &E, out: &ForwardOut) -> Vec<f32> {
+    e.value(out.pred).data().to_vec()
+}
+
+fn read_latents<E: Exec>(e: &E, out: &ForwardOut) -> Vec<Vec<f64>> {
+    let z = e.value(out.latent);
+    let d = z.shape()[1];
+    z.data()
+        .chunks(d)
+        .map(|row| row.iter().map(|&v| v as f64).collect())
+        .collect()
+}
+
+/// The CDMPP cost model (training-capable: owns a mutable [`ParamStore`]).
+#[derive(Clone)]
+pub struct Predictor {
+    /// Parameter storage (exposed for optimizers).
+    pub store: ParamStore,
+    arch: Arch,
+    cfg: PredictorConfig,
+}
+
+impl Predictor {
+    /// Creates an untrained predictor.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        let mut store = ParamStore::new();
+        let arch = Arch::new(&mut store, &cfg);
+        Predictor { store, arch, cfg }
     }
 
     /// The configuration.
@@ -132,49 +263,107 @@ impl Predictor {
         self.store.num_scalars()
     }
 
-    /// One forward pass over a leaf-count-homogeneous batch.
+    /// Freezes the current weights into a thread-shareable handle.
+    ///
+    /// The parameters are copied **once** into an `Arc`; clones of the
+    /// returned handle are cheap and all read the same weights. This is the
+    /// serving path — worker threads no longer deep-clone the store.
+    pub fn share(&self) -> SharedPredictor {
+        SharedPredictor {
+            // Values only: freezing must not drag the training-side
+            // gradient buffers (as large as the weights) along.
+            params: Arc::new(self.store.clone_values()),
+            arch: self.arch.clone(),
+            cfg: self.cfg.clone(),
+        }
+    }
+
+    /// One forward pass over a leaf-count-homogeneous batch, on any
+    /// executor (`&mut Graph` to train, `&mut InferCtx` for inference).
     ///
     /// `x` is `[B, L, N_ENTRY]` (PE already added by the feature layer),
     /// `dev` is `[B, N_DEVICE_FEATURES]`. `L` must be in
-    /// `1..=cfg.max_leaves`.
-    pub fn forward(&self, g: &mut Graph, x: Tensor, dev: Tensor) -> Result<ForwardOut> {
-        let shape = x.shape().to_vec();
-        debug_assert_eq!(shape.len(), 3);
-        let (b, l) = (shape[0], shape[1]);
-        let xv = g.constant(x);
-        let h = self.input_proj.forward(g, &self.store, xv)?;
-        let h = self.encoder.forward(g, &self.store, h)?;
-        // Leaf-count-specific embedding: flatten [B, L, d] -> [B, L*d].
-        let flat = g.reshape(h, &[b, l * self.cfg.d_model])?;
-        let layer = self
-            .leaf_embed
-            .get(l.saturating_sub(1))
-            .unwrap_or_else(|| self.leaf_embed.last().expect("max_leaves >= 1"));
-        let zx = layer.forward(g, &self.store, flat)?;
-        // Device branch.
-        let dv = g.constant(dev);
-        let zv = self.dev_mlp.forward(g, &self.store, dv)?;
-        let z = g.concat_last(&[zx, zv])?;
-        let z = g.tanh(z)?;
-        let pred = self.decoder.forward(g, &self.store, z)?;
-        Ok(ForwardOut { latent: z, pred })
+    /// `1..=cfg.max_leaves`, otherwise
+    /// [`PredictError::LeafCountOutOfRange`] is returned.
+    pub fn forward<E: Exec>(&self, g: &mut E, x: Tensor, dev: Tensor) -> PredictResult<ForwardOut> {
+        self.arch.forward(&self.cfg, g, &self.store, x, dev)
     }
 
-    /// Inference: predictions (transformed space) for a batch.
-    pub fn predict_batch(&self, x: Tensor, dev: Tensor) -> Result<Vec<f32>> {
+    /// Inference: predictions (transformed space) for a batch, via the
+    /// forward-only executor (no tape, no weight clones).
+    pub fn predict_batch(&self, x: Tensor, dev: Tensor) -> PredictResult<Vec<f32>> {
+        let mut ctx = InferCtx::new(&self.store);
+        let out = self.forward(&mut ctx, x, dev)?;
+        Ok(read_predictions(&ctx, &out))
+    }
+
+    /// Inference through the taped (autodiff) path. Kept for equivalence
+    /// testing and as the benchmark baseline the forward-only path is
+    /// measured against; production call sites use
+    /// [`Predictor::predict_batch`].
+    pub fn predict_batch_taped(&self, x: Tensor, dev: Tensor) -> PredictResult<Vec<f32>> {
         let mut g = Graph::new();
         let out = self.forward(&mut g, x, dev)?;
-        Ok(g.value(out.pred).data().to_vec())
+        Ok(read_predictions(&g, &out))
     }
 
     /// Inference: latent representations for a batch (for CMD / t-SNE /
-    /// Algorithm 1).
-    pub fn latent_batch(&self, x: Tensor, dev: Tensor) -> Result<Vec<Vec<f64>>> {
-        let mut g = Graph::new();
-        let out = self.forward(&mut g, x, dev)?;
-        let z = g.value(out.latent);
-        let d = z.shape()[1];
-        Ok(z.data().chunks(d).map(|row| row.iter().map(|&v| v as f64).collect()).collect())
+    /// Algorithm 1), via the forward-only executor.
+    pub fn latent_batch(&self, x: Tensor, dev: Tensor) -> PredictResult<Vec<Vec<f64>>> {
+        let mut ctx = InferCtx::new(&self.store);
+        let out = self.forward(&mut ctx, x, dev)?;
+        Ok(read_latents(&ctx, &out))
+    }
+}
+
+/// A read-only, thread-shareable view of a trained predictor.
+///
+/// Obtained from [`Predictor::share`]; weights live behind an `Arc`, so
+/// clones are cheap handles and any number of threads can run forward-only
+/// inference concurrently (each with its own [`InferCtx`]).
+#[derive(Clone)]
+pub struct SharedPredictor {
+    params: Arc<ParamStore>,
+    arch: Arch,
+    cfg: PredictorConfig,
+}
+
+impl SharedPredictor {
+    /// The configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// The shared, read-only parameters (e.g. to seed a per-thread
+    /// [`InferCtx`]).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// One forward pass on any executor (typically an [`InferCtx`] borrowing
+    /// [`SharedPredictor::params`]).
+    pub fn forward<E: Exec>(&self, g: &mut E, x: Tensor, dev: Tensor) -> PredictResult<ForwardOut> {
+        self.arch.forward(&self.cfg, g, &self.params, x, dev)
+    }
+
+    /// Predictions (transformed space) through a caller-owned context,
+    /// allowing buffer reuse across calls. The context must have been
+    /// created from [`SharedPredictor::params`].
+    pub fn predict_with(
+        &self,
+        ctx: &mut InferCtx<'_>,
+        x: Tensor,
+        dev: Tensor,
+    ) -> PredictResult<Vec<f32>> {
+        ctx.reset();
+        let out = self.forward(ctx, x, dev)?;
+        Ok(read_predictions(ctx, &out))
+    }
+
+    /// One-shot predictions (transformed space) for a batch.
+    pub fn predict_batch(&self, x: Tensor, dev: Tensor) -> PredictResult<Vec<f32>> {
+        let mut ctx = InferCtx::new(&self.params);
+        self.predict_with(&mut ctx, x, dev)
     }
 }
 
@@ -195,8 +384,8 @@ mod tests {
             let (x, dev) = batch(5, l);
             let mut g = Graph::new();
             let out = p.forward(&mut g, x, dev).unwrap();
-            assert_eq!(g.value(out.pred).shape(), &[5, 1]);
-            assert_eq!(g.value(out.latent).shape(), &[5, 24 + 8]);
+            assert_eq!(Exec::value(&g, out.pred).shape(), &[5, 1]);
+            assert_eq!(Exec::value(&g, out.latent).shape(), &[5, 24 + 8]);
         }
     }
 
@@ -221,6 +410,64 @@ mod tests {
         let x4 = Tensor::from_fn(&[1, 4, N_ENTRY], |i| (i as f32 * 0.1).sin());
         let y4 = p.predict_batch(x4, dev).unwrap();
         assert_ne!(y2[0], y4[0]);
+    }
+
+    #[test]
+    fn oversized_leaf_count_is_a_descriptive_error() {
+        let p = Predictor::new(PredictorConfig::default());
+        let max = p.config().max_leaves;
+        let (x, dev) = batch(2, max + 1);
+        let err = p.predict_batch(x, dev).unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::LeafCountOutOfRange {
+                leaves: max + 1,
+                max_leaves: max
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("max_leaves"),
+            "message should name the config knob: {msg}"
+        );
+        // Leaf count 0 (degenerate) is also rejected, not routed anywhere.
+        let x0 = Tensor::zeros(&[2, 0, N_ENTRY]);
+        let dev0 = Tensor::zeros(&[2, N_DEVICE_FEATURES]);
+        assert!(matches!(
+            p.predict_batch(x0, dev0),
+            Err(PredictError::LeafCountOutOfRange { leaves: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn forward_only_matches_taped_bitwise() {
+        let p = Predictor::new(PredictorConfig::default());
+        for l in [1usize, 2, 5, 8] {
+            let (x, dev) = batch(7, l);
+            let fast = p.predict_batch(x.clone(), dev.clone()).unwrap();
+            let taped = p.predict_batch_taped(x, dev).unwrap();
+            assert_eq!(fast, taped, "leaf count {l}");
+        }
+    }
+
+    #[test]
+    fn shared_predictor_matches_owner_and_is_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedPredictor>();
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        let (x, dev) = batch(3, 4);
+        let a = p.predict_batch(x.clone(), dev.clone()).unwrap();
+        let b = shared.predict_batch(x.clone(), dev.clone()).unwrap();
+        assert_eq!(a, b);
+        // And through a reused context (buffer recycling path).
+        let mut ctx = InferCtx::new(shared.params());
+        let c1 = shared
+            .predict_with(&mut ctx, x.clone(), dev.clone())
+            .unwrap();
+        let c2 = shared.predict_with(&mut ctx, x, dev).unwrap();
+        assert_eq!(a, c1);
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -89,7 +89,12 @@ pub fn replay_timeline(nodes: &[DfgNode], n_engines: usize) -> (Vec<TimelineEntr
         let end = start + nodes[u].duration_s + nodes[u].gap_s;
         device_time[d] = end;
         iteration_time = iteration_time.max(end);
-        timeline.push(TimelineEntry { node: u, engine: d, start_s: start, end_s: end });
+        timeline.push(TimelineEntry {
+            node: u,
+            engine: d,
+            start_s: start,
+            end_s: end,
+        });
         finished += 1;
         // Lines 22-28: release successors.
         for (v, node) in nodes.iter().enumerate() {
@@ -136,7 +141,12 @@ pub fn build_dfg(net: &Network, layer_durations: &[f64], dev: &DeviceSpec) -> Ve
             .layers
             .iter()
             .zip(layer_durations.iter())
-            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: gap })
+            .map(|(l, &d)| DfgNode {
+                duration_s: d,
+                deps: l.deps.clone(),
+                engine: 0,
+                gap_s: gap,
+            })
             .collect();
     }
     // HL-100 style: map layer index -> sub-node indices.
@@ -162,7 +172,12 @@ pub fn build_dfg(net: &Network, layer_durations: &[f64], dev: &DeviceSpec) -> Ve
                 })
                 .collect()
         } else {
-            nodes.push(DfgNode { duration_s: d, deps, engine: n_gemm, gap_s: gap });
+            nodes.push(DfgNode {
+                duration_s: d,
+                deps,
+                engine: n_gemm,
+                gap_s: gap,
+            });
             vec![nodes.len() - 1]
         };
         sub_nodes.insert(li, ids);
@@ -203,10 +218,30 @@ mod tests {
     fn parallel_branches_on_one_engine_serialize() {
         // Diamond: 0 -> {1, 2} -> 3, all on one engine.
         let nodes = vec![
-            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 3.0, deps: vec![0], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 2.0,
+                deps: vec![0],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 3.0,
+                deps: vec![0],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![1, 2],
+                engine: 0,
+                gap_s: 0.0,
+            },
         ];
         assert!((replay(&nodes, 1) - 7.0).abs() < 1e-12);
     }
@@ -214,10 +249,30 @@ mod tests {
     #[test]
     fn parallel_branches_on_two_engines_overlap() {
         let nodes = vec![
-            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 3.0, deps: vec![0], engine: 1, gap_s: 0.0 },
-            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 2.0,
+                deps: vec![0],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 3.0,
+                deps: vec![0],
+                engine: 1,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![1, 2],
+                engine: 0,
+                gap_s: 0.0,
+            },
         ];
         // 0 (1s) then branches overlap (max 3s) then 3 (1s) = 5s.
         assert!((replay(&nodes, 2) - 5.0).abs() < 1e-12);
@@ -227,8 +282,18 @@ mod tests {
     fn dependencies_respected_regardless_of_queue_order() {
         // Node 1 is much shorter but depends on node 0.
         let nodes = vec![
-            DfgNode { duration_s: 5.0, deps: vec![], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 0.1, deps: vec![0], engine: 1, gap_s: 0.0 },
+            DfgNode {
+                duration_s: 5.0,
+                deps: vec![],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 0.1,
+                deps: vec![0],
+                engine: 1,
+                gap_s: 0.0,
+            },
         ];
         let t = replay(&nodes, 2);
         assert!((t - 5.1).abs() < 1e-12);
@@ -256,11 +321,7 @@ mod tests {
         let durations = vec![1e-4; net.layers.len()];
         let dev = devsim::hl100();
         let dfg = build_dfg(&net, &durations, &dev);
-        let gemm_layers = net
-            .layers
-            .iter()
-            .filter(|l| is_gemm_class(&l.spec))
-            .count();
+        let gemm_layers = net.layers.iter().filter(|l| is_gemm_class(&l.spec)).count();
         let expected = gemm_layers * 3 + (net.layers.len() - gemm_layers);
         assert_eq!(dfg.len(), expected);
         // Splitting across 3 engines beats the single-engine replay of the
@@ -270,7 +331,12 @@ mod tests {
             .layers
             .iter()
             .zip(durations.iter())
-            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: 0.0 })
+            .map(|(l, &d)| DfgNode {
+                duration_s: d,
+                deps: l.deps.clone(),
+                engine: 0,
+                gap_s: 0.0,
+            })
             .collect();
         let t_single = replay(&single, 1);
         assert!(t_split < t_single, "{t_split} vs {t_single}");
@@ -279,10 +345,30 @@ mod tests {
     #[test]
     fn timeline_covers_every_node_without_overlap_per_engine() {
         let nodes = vec![
-            DfgNode { duration_s: 1.0, deps: vec![], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 2.0, deps: vec![0], engine: 0, gap_s: 0.0 },
-            DfgNode { duration_s: 3.0, deps: vec![0], engine: 1, gap_s: 0.0 },
-            DfgNode { duration_s: 1.0, deps: vec![1, 2], engine: 0, gap_s: 0.0 },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 2.0,
+                deps: vec![0],
+                engine: 0,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 3.0,
+                deps: vec![0],
+                engine: 1,
+                gap_s: 0.0,
+            },
+            DfgNode {
+                duration_s: 1.0,
+                deps: vec![1, 2],
+                engine: 0,
+                gap_s: 0.0,
+            },
         ];
         let (timeline, t) = replay_timeline(&nodes, 2);
         assert_eq!(timeline.len(), 4);
@@ -315,19 +401,31 @@ mod tests {
     #[test]
     fn inception_branches_benefit_from_engines() {
         let net = zoo::inception_v3(1);
-        let durations: Vec<f64> = net.layers.iter().map(|l| l.spec.flops() * 1e-12 + 1e-5).collect();
+        let durations: Vec<f64> = net
+            .layers
+            .iter()
+            .map(|l| l.spec.flops() * 1e-12 + 1e-5)
+            .collect();
         let dfg1: Vec<DfgNode> = net
             .layers
             .iter()
             .zip(durations.iter())
-            .map(|(l, &d)| DfgNode { duration_s: d, deps: l.deps.clone(), engine: 0, gap_s: 0.0 })
+            .map(|(l, &d)| DfgNode {
+                duration_s: d,
+                deps: l.deps.clone(),
+                engine: 0,
+                gap_s: 0.0,
+            })
             .collect();
         let t1 = replay(&dfg1, 1);
         // Same graph, branches spread round-robin over 4 engines.
         let dfg4: Vec<DfgNode> = dfg1
             .iter()
             .enumerate()
-            .map(|(i, n)| DfgNode { engine: i % 4, ..n.clone() })
+            .map(|(i, n)| DfgNode {
+                engine: i % 4,
+                ..n.clone()
+            })
             .collect();
         let t4 = replay(&dfg4, 4);
         assert!(t4 < t1);

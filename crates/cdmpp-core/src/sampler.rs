@@ -65,7 +65,7 @@ pub fn select_tasks(
                 })
                 .sum::<f64>()
                 / feats.len() as f64;
-            if best.map_or(true, |(b, _)| psi < b) {
+            if best.is_none_or(|(b, _)| psi < b) {
                 best = Some((psi, tau));
             }
         }
@@ -87,13 +87,26 @@ mod tests {
         // Family A around (0,0): tasks 0..3. Family B around (10,10):
         // tasks 10..13. Family C around (-10, 5): tasks 20..21.
         for t in 0..4u32 {
-            m.insert(t, (0..5).map(|i| vec![0.1 * i as f64, 0.1 * t as f64]).collect());
+            m.insert(
+                t,
+                (0..5)
+                    .map(|i| vec![0.1 * i as f64, 0.1 * t as f64])
+                    .collect(),
+            );
         }
         for t in 10..14u32 {
-            m.insert(t, (0..5).map(|i| vec![10.0 + 0.1 * i as f64, 10.0 + 0.1 * t as f64 % 1.0]).collect());
+            m.insert(
+                t,
+                (0..5)
+                    .map(|i| vec![10.0 + 0.1 * i as f64, 10.0 + 0.1 * t as f64 % 1.0])
+                    .collect(),
+            );
         }
         for t in 20..22u32 {
-            m.insert(t, (0..5).map(|i| vec![-10.0 + 0.1 * i as f64, 5.0]).collect());
+            m.insert(
+                t,
+                (0..5).map(|i| vec![-10.0 + 0.1 * i as f64, 5.0]).collect(),
+            );
         }
         m
     }
@@ -114,7 +127,15 @@ mod tests {
         // should be selected.
         let feats = clustered_tasks();
         let sel = select_tasks(&feats, 3, 2);
-        let fam = |t: u32| if t < 4 { 0 } else if t < 14 { 1 } else { 2 };
+        let fam = |t: u32| {
+            if t < 4 {
+                0
+            } else if t < 14 {
+                1
+            } else {
+                2
+            }
+        };
         let mut fams: Vec<usize> = sel.iter().map(|&t| fam(t)).collect();
         fams.sort_unstable();
         fams.dedup();

@@ -19,12 +19,24 @@ use crate::trainer::TrainedModel;
 pub trait CostModel {
     /// Scores a lowered program for a device.
     fn score(&self, prog: &TensorProgram, dev: &DeviceSpec) -> f64;
+
+    /// Scores many candidate programs at once. The default loops over
+    /// [`CostModel::score`]; batched models override this so the search
+    /// pays one dense forward pass per leaf-count bucket instead of one
+    /// tape per candidate.
+    fn score_batch(&self, progs: &[&TensorProgram], dev: &DeviceSpec) -> Vec<f64> {
+        progs.iter().map(|p| self.score(p, dev)).collect()
+    }
 }
 
 impl CostModel for TrainedModel {
     fn score(&self, prog: &TensorProgram, dev: &DeviceSpec) -> f64 {
-        let enc = encode_programs(&[prog], dev, self.predictor.config().theta, self.use_pe);
-        self.predict_samples(&enc)[0]
+        self.score_batch(&[prog], dev)[0]
+    }
+
+    fn score_batch(&self, progs: &[&TensorProgram], dev: &DeviceSpec) -> Vec<f64> {
+        let enc = encode_programs(progs, dev, self.predictor.config().theta, self.use_pe);
+        self.predict_samples(&enc)
     }
 }
 
@@ -125,13 +137,17 @@ pub fn search_schedule(
             best_per_round.push(best_measured);
             continue;
         }
-        // Cost model ranks; top-k get measured.
-        let mut scored: Vec<(f64, usize)> = candidates
-            .iter()
+        // Cost model ranks (one batched call per round); top-k get measured.
+        let progs: Vec<&TensorProgram> = candidates.iter().map(|(_, p)| p).collect();
+        let mut scored: Vec<(f64, usize)> = cost
+            .score_batch(&progs, dev)
+            .into_iter()
             .enumerate()
-            .map(|(i, (_, p))| (cost.score(p, dev), i))
+            .map(|(i, s)| (s, i))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        // Total order so non-scoreable candidates (NaN from a failed
+        // prediction) sort last — never measured — instead of panicking.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(_, ci) in scored.iter().take(cfg.measure_per_round) {
             let t = sim.latency_seconds(&candidates[ci].1);
             measurements += 1;
@@ -148,7 +164,11 @@ pub fn search_schedule(
             .collect();
         best_per_round.push(best_measured);
     }
-    SearchTrace { best_per_round, best_schedule, measurements }
+    SearchTrace {
+        best_per_round,
+        best_schedule,
+        measurements,
+    }
 }
 
 #[cfg(test)]
@@ -157,12 +177,20 @@ mod tests {
     use tir::OpSpec;
 
     fn nest() -> Nest {
-        OpSpec::Dense { m: 128, n: 128, k: 128 }.canonical_nest()
+        OpSpec::Dense {
+            m: 128,
+            n: 128,
+            k: 128,
+        }
+        .canonical_nest()
     }
 
     #[test]
     fn search_improves_over_rounds() {
-        let cfg = SearchConfig { rounds: 15, ..Default::default() };
+        let cfg = SearchConfig {
+            rounds: 15,
+            ..Default::default()
+        };
         let trace = search_schedule(&nest(), &devsim::t4(), &OracleCost, &cfg);
         assert_eq!(trace.best_per_round.len(), 15);
         let first = trace.best_per_round[0];
@@ -176,7 +204,11 @@ mod tests {
 
     #[test]
     fn oracle_beats_random_cost_model() {
-        let cfg = SearchConfig { rounds: 20, seed: 3, ..Default::default() };
+        let cfg = SearchConfig {
+            rounds: 20,
+            seed: 3,
+            ..Default::default()
+        };
         let oracle = search_schedule(&nest(), &devsim::t4(), &OracleCost, &cfg);
         let random = search_schedule(&nest(), &devsim::t4(), &RandomCost { seed: 3 }, &cfg);
         assert!(
@@ -189,7 +221,10 @@ mod tests {
 
     #[test]
     fn best_schedule_is_valid_and_matches_best_latency() {
-        let cfg = SearchConfig { rounds: 10, ..Default::default() };
+        let cfg = SearchConfig {
+            rounds: 10,
+            ..Default::default()
+        };
         let trace = search_schedule(&nest(), &devsim::v100(), &OracleCost, &cfg);
         let prog = lower(&nest(), &trace.best_schedule).expect("best schedule lowers");
         let t = Simulator::new(devsim::v100()).latency_seconds(&prog);
@@ -199,7 +234,11 @@ mod tests {
 
     #[test]
     fn measurement_budget_respected() {
-        let cfg = SearchConfig { rounds: 7, measure_per_round: 3, ..Default::default() };
+        let cfg = SearchConfig {
+            rounds: 7,
+            measure_per_round: 3,
+            ..Default::default()
+        };
         let trace = search_schedule(&nest(), &devsim::t4(), &OracleCost, &cfg);
         assert!(trace.measurements <= 21);
     }

@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::Tensor;
 
-use crate::batch::{encode_records, make_batches, Batch, EncodedSample, FeatScaler};
-use crate::predictor::{Predictor, PredictorConfig};
+use crate::batch::{encode_records, group_by_leaf, make_batches, Batch, EncodedSample, FeatScaler};
+use crate::predictor::{PredictResult, Predictor, PredictorConfig, SharedPredictor};
 
 /// Which training objective (Tables 4 & 5 ablation).
 pub use nn::LossKind;
@@ -228,9 +228,19 @@ pub fn pretrain(
             if tcfg.cyclic_lr {
                 opt.set_lr(schedule.lr_at(step));
             }
-            let y_t: Vec<f32> =
-                b.y_raw.iter().map(|&y| transform.forward(y) as f32).collect();
-            final_loss = train_step(&mut predictor, opt.as_mut(), b, &y_t, tcfg.loss, tcfg.lambda);
+            let y_t: Vec<f32> = b
+                .y_raw
+                .iter()
+                .map(|&y| transform.forward(y) as f32)
+                .collect();
+            final_loss = train_step(
+                &mut predictor,
+                opt.as_mut(),
+                b,
+                &y_t,
+                tcfg.loss,
+                tcfg.lambda,
+            );
             samples += b.record_idx.len();
             step += 1;
         }
@@ -258,8 +268,18 @@ pub fn pretrain(
         predictor.store = p;
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    let model = TrainedModel { predictor, transform, scaler, use_pe: tcfg.use_pe, train_config: tcfg };
-    let stats = TrainStats { throughput: samples as f64 / elapsed, samples, final_loss };
+    let model = TrainedModel {
+        predictor,
+        transform,
+        scaler,
+        use_pe: tcfg.use_pe,
+        train_config: tcfg,
+    };
+    let stats = TrainStats {
+        throughput: samples as f64 / elapsed,
+        samples,
+        final_loss,
+    };
     (model, stats)
 }
 
@@ -272,24 +292,34 @@ impl TrainedModel {
     }
 
     /// Predicts latencies (seconds) for pre-encoded (unscaled) samples.
+    /// Standardization happens during the batch-building copy, so samples
+    /// are never cloned wholesale.
     pub fn predict_samples(&self, enc: &[EncodedSample]) -> Vec<f64> {
-        let mut enc: Vec<EncodedSample> = enc.to_vec();
-        self.scaler.apply_all(&mut enc);
-        self.predict_scaled(&enc)
+        self.predict_grouped(enc, |refs| {
+            crate::batch::build_scaled_batch(refs, &self.scaler)
+        })
     }
 
     /// Predicts latencies for samples already standardized by the model's
     /// scaler (the training loop's internal path).
     pub fn predict_scaled(&self, enc: &[EncodedSample]) -> Vec<f64> {
+        self.predict_grouped(enc, crate::batch::build_batch)
+    }
+
+    /// Shared bucketing loop: group by leaf count, run each dense batch on
+    /// the forward-only executor, scatter back to input order. Batches
+    /// whose leaf count the predictor does not support come back as NaN
+    /// (the serving engine in `runtime` surfaces the descriptive error
+    /// instead).
+    fn predict_grouped(
+        &self,
+        enc: &[EncodedSample],
+        build: impl Fn(&[&EncodedSample]) -> Batch,
+    ) -> Vec<f64> {
         let mut out = vec![0.0f64; enc.len()];
-        // Batch by leaf count for the L-specific layers.
-        let mut by_leaf: std::collections::HashMap<usize, Vec<usize>> = Default::default();
-        for (i, s) in enc.iter().enumerate() {
-            by_leaf.entry(s.leaf_count).or_default().push(i);
-        }
-        for (_, idxs) in by_leaf {
+        for (_, idxs) in group_by_leaf(enc) {
             let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
-            let batch = crate::batch::build_batch(&refs);
+            let batch = build(&refs);
             match self.predictor.predict_batch(batch.x, batch.dev) {
                 Ok(preds) => {
                     for (&i, &p) in idxs.iter().zip(preds.iter()) {
@@ -312,20 +342,71 @@ impl TrainedModel {
         let mut enc = encode_records(ds, idx, theta, self.use_pe);
         self.scaler.apply_all(&mut enc);
         let mut out = vec![Vec::new(); enc.len()];
-        let mut by_leaf: std::collections::HashMap<usize, Vec<usize>> = Default::default();
-        for (i, s) in enc.iter().enumerate() {
-            by_leaf.entry(s.leaf_count).or_default().push(i);
-        }
-        for (_, idxs) in by_leaf {
+        for (_, idxs) in group_by_leaf(&enc) {
             let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
             let batch = crate::batch::build_batch(&refs);
             if let Ok(zs) = self.predictor.latent_batch(batch.x, batch.dev) {
-                for (&i, z) in idxs.iter().zip(zs.into_iter()) {
+                for (&i, z) in idxs.iter().zip(zs) {
                     out[i] = z;
                 }
             }
         }
         out
+    }
+
+    /// Freezes the model for serving: weights behind an `Arc`, transform
+    /// and scaler cloned. The result is cheap to clone and safe to share
+    /// across any number of inference threads.
+    pub fn freeze(&self) -> InferenceModel {
+        InferenceModel {
+            predictor: self.predictor.share(),
+            transform: self.transform.clone(),
+            scaler: self.scaler.clone(),
+            use_pe: self.use_pe,
+        }
+    }
+}
+
+/// A frozen, thread-shareable trained model: the serving counterpart of
+/// [`TrainedModel`]. Built with [`TrainedModel::freeze`]; consumed by the
+/// `runtime` crate's `InferenceEngine` (and usable directly for
+/// single-threaded serving).
+#[derive(Clone)]
+pub struct InferenceModel {
+    /// The predictor with `Arc`-shared read-only weights.
+    pub predictor: SharedPredictor,
+    /// Fitted label transform (applied to latencies in seconds).
+    pub transform: FittedTransform,
+    /// Fitted input-feature standardizer.
+    pub scaler: FeatScaler,
+    /// Whether PE was used at training time (must match at inference).
+    pub use_pe: bool,
+}
+
+impl InferenceModel {
+    /// Maps one transformed-space prediction back to seconds.
+    pub fn inverse_transform(&self, p: f32) -> f64 {
+        self.transform.inverse(p as f64).max(1e-12)
+    }
+
+    /// Predicts latencies (seconds) for pre-encoded, unscaled samples on
+    /// the current thread, bucketing by leaf count. Unlike
+    /// [`TrainedModel::predict_scaled`] this propagates errors (e.g.
+    /// [`crate::predictor::PredictError::LeafCountOutOfRange`]) instead of
+    /// yielding NaN.
+    pub fn predict_samples(&self, enc: &[EncodedSample]) -> PredictResult<Vec<f64>> {
+        let mut ctx = nn::InferCtx::new(self.predictor.params());
+        let mut out = vec![0.0f64; enc.len()];
+        for (_, idxs) in group_by_leaf(enc) {
+            let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
+            // Standardize during the batch copy — no wholesale clone.
+            let batch = crate::batch::build_scaled_batch(&refs, &self.scaler);
+            let preds = self.predictor.predict_with(&mut ctx, batch.x, batch.dev)?;
+            for (&i, &p) in idxs.iter().zip(preds.iter()) {
+                out[i] = self.inverse_transform(p);
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -365,15 +446,28 @@ mod tests {
         (ds, split)
     }
 
-    fn quick_train(ds: &Dataset, split: &SplitIndices, tcfg: TrainConfig) -> (TrainedModel, TrainStats) {
-        let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    fn quick_train(
+        ds: &Dataset,
+        split: &SplitIndices,
+        tcfg: TrainConfig,
+    ) -> (TrainedModel, TrainStats) {
+        let pcfg = PredictorConfig {
+            d_model: 16,
+            n_layers: 1,
+            d_ff: 32,
+            d_emb: 12,
+            ..Default::default()
+        };
         pretrain(ds, &split.train, &split.valid, pcfg, tcfg)
     }
 
     #[test]
     fn training_beats_trivial_baseline() {
         let (ds, split) = small_setup();
-        let tcfg = TrainConfig { epochs: 25, ..Default::default() };
+        let tcfg = TrainConfig {
+            epochs: 25,
+            ..Default::default()
+        };
         let (model, stats) = quick_train(&ds, &split, tcfg);
         let m = evaluate(&model, &ds, &split.test);
         // Trivial baseline: predict the training median for everything.
@@ -394,7 +488,14 @@ mod tests {
     #[test]
     fn predictions_are_positive_seconds() {
         let (ds, split) = small_setup();
-        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 4, ..Default::default() });
+        let (model, _) = quick_train(
+            &ds,
+            &split,
+            TrainConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+        );
         let preds = model.predict_records(&ds, &split.test);
         assert!(preds.iter().all(|&p| p > 0.0 && p.is_finite()));
     }
@@ -402,8 +503,17 @@ mod tests {
     #[test]
     fn loss_kinds_all_train() {
         let (ds, split) = small_setup();
-        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
-            let tcfg = TrainConfig { epochs: 2, loss: kind, ..Default::default() };
+        for kind in [
+            LossKind::Mse,
+            LossKind::Mape,
+            LossKind::Mspe,
+            LossKind::Hybrid,
+        ] {
+            let tcfg = TrainConfig {
+                epochs: 2,
+                loss: kind,
+                ..Default::default()
+            };
             let (_, stats) = quick_train(&ds, &split, tcfg);
             assert!(stats.final_loss.is_finite(), "{kind:?}");
         }
@@ -412,7 +522,14 @@ mod tests {
     #[test]
     fn eval_metrics_consistent() {
         let (ds, split) = small_setup();
-        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 10, ..Default::default() });
+        let (model, _) = quick_train(
+            &ds,
+            &split,
+            TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         let m = evaluate(&model, &ds, &split.test);
         assert!(m.acc5 <= m.acc10 && m.acc10 <= m.acc20);
         assert!(m.mape >= 0.0 && m.rmse_ms >= 0.0);
@@ -421,7 +538,14 @@ mod tests {
     #[test]
     fn latents_have_expected_dims() {
         let (ds, split) = small_setup();
-        let (model, _) = quick_train(&ds, &split, TrainConfig { epochs: 2, ..Default::default() });
+        let (model, _) = quick_train(
+            &ds,
+            &split,
+            TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let zs = model.latents(&ds, &split.test[..4.min(split.test.len())]);
         let d = model.predictor.config().d_emb + model.predictor.config().d_dev;
         for z in zs {

@@ -1,0 +1,81 @@
+//! Property test: the forward-only inference path must be **bit-identical**
+//! to the taped (autodiff) forward pass, for every leaf count the predictor
+//! supports, for both predictions and latents, and for arbitrary inputs.
+
+use cdmpp_core::{Predictor, PredictorConfig};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use nn::{Exec, Graph, InferCtx};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+fn inputs(b: usize, l: usize, seed: u64) -> (Tensor, Tensor) {
+    // Deterministic pseudo-random inputs spanning a wide value range.
+    let gen = |i: usize, salt: u64| -> f32 {
+        let h = (i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(seed ^ salt)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+    };
+    let x = Tensor::from_fn(&[b, l, N_ENTRY], |i| gen(i, 0xA5));
+    let dev = Tensor::from_fn(&[b, N_DEVICE_FEATURES], |i| gen(i, 0x5A));
+    (x, dev)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_only_predictions_match_taped_bit_for_bit(
+        b in 1usize..6,
+        l in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let p = Predictor::new(PredictorConfig::default());
+        let (x, dev) = inputs(b, l, seed);
+        let fast = p.predict_batch(x.clone(), dev.clone()).unwrap();
+        let taped = p.predict_batch_taped(x, dev).unwrap();
+        // Exact equality: same kernels, same order, same bits.
+        prop_assert_eq!(fast, taped);
+    }
+
+    #[test]
+    fn forward_only_latents_match_taped_bit_for_bit(
+        b in 1usize..4,
+        l in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let p = Predictor::new(PredictorConfig::default());
+        let (x, dev) = inputs(b, l, seed);
+        let fast = p.latent_batch(x.clone(), dev.clone()).unwrap();
+        let mut g = Graph::new();
+        let out = p.forward(&mut g, x, dev).unwrap();
+        let z = Exec::value(&g, out.latent);
+        let d = z.shape()[1];
+        let taped: Vec<Vec<f64>> = z
+            .data()
+            .chunks(d)
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect();
+        prop_assert_eq!(fast, taped);
+    }
+
+    #[test]
+    fn reused_context_stays_bit_identical_across_batches(
+        seeds in proptest::collection::vec(0u64..10_000, 3..8),
+    ) {
+        // One shared context across a stream of batches with varying leaf
+        // counts — recycled buffers must never change results.
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        let mut ctx = InferCtx::new(shared.params());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let l = 1 + (seed as usize + i) % 8;
+            let b = 1 + (seed as usize) % 4;
+            let (x, dev) = inputs(b, l, seed);
+            let reused = shared.predict_with(&mut ctx, x.clone(), dev.clone()).unwrap();
+            let taped = p.predict_batch_taped(x, dev).unwrap();
+            prop_assert_eq!(reused, taped);
+        }
+    }
+}

@@ -7,14 +7,7 @@ use devsim::{DeviceSpec, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tir::{
-    all_networks,
-    build_tasks,
-    lower,
-    sample_schedule,
-    Network,
-    Schedule,
-    Task,
-    TensorProgram,
+    all_networks, build_tasks, lower, sample_schedule, Network, Schedule, Task, TensorProgram,
 };
 
 /// One measured record: a tensor program's latency on a device.
@@ -104,7 +97,9 @@ impl Dataset {
             let nest = task.spec.canonical_nest();
             let mut per_task = Vec::with_capacity(config.schedules_per_task);
             let mut guard = 0;
-            while per_task.len() < config.schedules_per_task && guard < config.schedules_per_task * 10 {
+            while per_task.len() < config.schedules_per_task
+                && guard < config.schedules_per_task * 10
+            {
                 guard += 1;
                 let sched = sample_schedule(&nest, &mut sched_rng);
                 match lower(&nest, &sched) {
@@ -119,8 +114,7 @@ impl Dataset {
         for dev in &config.devices {
             let mut sim = Simulator::new(dev.clone());
             sim.noise_sigma = config.noise_sigma;
-            let mut noise_rng =
-                StdRng::seed_from_u64(config.seed ^ fxhash(dev.name.as_bytes()));
+            let mut noise_rng = StdRng::seed_from_u64(config.seed ^ fxhash(dev.name.as_bytes()));
             for (task, per_task) in tasks.iter().zip(programs.iter()) {
                 for (sid, (sched, prog)) in per_task.iter().enumerate() {
                     let latency = if config.noise_sigma > 0.0 {
@@ -139,7 +133,13 @@ impl Dataset {
                 }
             }
         }
-        Dataset { tasks, networks, task_networks, records, config }
+        Dataset {
+            tasks,
+            networks,
+            task_networks,
+            records,
+            config,
+        }
     }
 
     /// Indices of records measured on `device`.
@@ -163,7 +163,11 @@ impl Dataset {
     pub fn network_task_ids(&self, network: &str) -> Vec<u32> {
         self.tasks
             .iter()
-            .filter(|t| self.task_networks[t.id as usize].iter().any(|n| n == network))
+            .filter(|t| {
+                self.task_networks[t.id as usize]
+                    .iter()
+                    .any(|n| n == network)
+            })
             .map(|t| t.id)
             .collect()
     }
@@ -251,7 +255,10 @@ mod tests {
                 diffs += 1;
             }
         }
-        assert!(diffs > t4_recs.len() / 2, "devices must shift the distribution");
+        assert!(
+            diffs > t4_recs.len() / 2,
+            "devices must shift the distribution"
+        );
     }
 
     #[test]

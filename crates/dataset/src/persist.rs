@@ -108,8 +108,10 @@ impl Dataset {
     pub fn load_json(path: impl AsRef<Path>) -> Result<Dataset, PersistError> {
         let file = std::fs::File::open(path)?;
         let image: DatasetImage = serde_json::from_reader(BufReader::new(file))?;
-        let mut prog_cache: std::collections::HashMap<(u32, u32), (Arc<Schedule>, Arc<TensorProgram>)> =
-            Default::default();
+        let mut prog_cache: std::collections::HashMap<
+            (u32, u32),
+            (Arc<Schedule>, Arc<TensorProgram>),
+        > = Default::default();
         let records = image
             .records
             .into_iter()
@@ -177,7 +179,12 @@ mod tests {
             assert_eq!(a.task_id, b.task_id);
             assert_eq!(a.device, b.device);
             let rel = (a.latency_s - b.latency_s).abs() / a.latency_s;
-            assert!(rel < 1e-12, "latency roundtrip {} vs {}", a.latency_s, b.latency_s);
+            assert!(
+                rel < 1e-12,
+                "latency roundtrip {} vs {}",
+                a.latency_s,
+                b.latency_s
+            );
             assert_eq!(*a.program, *b.program);
         }
         let _ = std::fs::remove_file(path);
@@ -194,7 +201,9 @@ mod tests {
         let twin = back
             .records
             .iter()
-            .find(|r| r.task_id == a.task_id && r.schedule_id == a.schedule_id && r.device != a.device)
+            .find(|r| {
+                r.task_id == a.task_id && r.schedule_id == a.schedule_id && r.device != a.device
+            })
             .expect("two devices present");
         assert!(Arc::ptr_eq(&a.program, &twin.program));
         let _ = std::fs::remove_file(path);

@@ -65,7 +65,12 @@ impl SplitIndices {
         let train = rest[..n_train].to_vec();
         let valid = rest[n_train..n_train + n_valid].to_vec();
         let test = rest[n_train + n_valid..].to_vec();
-        SplitIndices { train, valid, test, hold_out }
+        SplitIndices {
+            train,
+            valid,
+            test,
+            hold_out,
+        }
     }
 
     /// Total records covered.

@@ -49,8 +49,14 @@ fn min_med_max(mut xs: Vec<usize>) -> (usize, usize, usize) {
 
 /// Summarizes a set of record indices.
 pub fn latency_summary(ds: &Dataset, idx: &[usize]) -> DatasetStats {
-    let node_counts: Vec<usize> = idx.iter().map(|&i| ds.records[i].program.node_count()).collect();
-    let leaf_counts: Vec<usize> = idx.iter().map(|&i| ds.records[i].program.leaf_count()).collect();
+    let node_counts: Vec<usize> = idx
+        .iter()
+        .map(|&i| ds.records[i].program.node_count())
+        .collect();
+    let leaf_counts: Vec<usize> = idx
+        .iter()
+        .map(|&i| ds.records[i].program.leaf_count())
+        .collect();
     let lats: Vec<f64> = ds.latencies(idx);
     DatasetStats {
         n: idx.len(),
@@ -108,7 +114,10 @@ mod tests {
         let node_range = s.node_counts.2 - s.node_counts.0;
         let leaf_range = s.leaf_counts.2 - s.leaf_counts.0;
         assert!(leaf_range <= 6, "leaf range {leaf_range}");
-        assert!(node_range > 2 * leaf_range, "node range {node_range} vs leaf {leaf_range}");
+        assert!(
+            node_range > 2 * leaf_range,
+            "node range {node_range} vs leaf {leaf_range}"
+        );
     }
 
     #[test]
@@ -116,7 +125,11 @@ mod tests {
         let ds = dataset();
         let idx = ds.device_records("T4");
         let s = latency_summary(&ds, &idx);
-        assert!(s.latency_skewness > 1.0, "skewness = {}", s.latency_skewness);
+        assert!(
+            s.latency_skewness > 1.0,
+            "skewness = {}",
+            s.latency_skewness
+        );
     }
 
     #[test]

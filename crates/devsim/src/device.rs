@@ -78,7 +78,15 @@ impl DeviceSpec {
     }
 }
 
-fn gpu(name: &str, clock_mhz: f64, mem_gb: f64, bw: f64, cores: u32, width: u32, l2_mb: f64) -> DeviceSpec {
+fn gpu(
+    name: &str,
+    clock_mhz: f64,
+    mem_gb: f64,
+    bw: f64,
+    cores: u32,
+    width: u32,
+    l2_mb: f64,
+) -> DeviceSpec {
     DeviceSpec {
         name: name.into(),
         class: DeviceClass::Gpu,
@@ -230,9 +238,20 @@ mod tests {
     fn nine_devices_as_in_table2() {
         let all = all_devices();
         assert_eq!(all.len(), 9);
-        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Gpu).count(), 5);
-        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Cpu).count(), 3);
-        assert_eq!(all.iter().filter(|d| d.class == DeviceClass::Accelerator).count(), 1);
+        assert_eq!(
+            all.iter().filter(|d| d.class == DeviceClass::Gpu).count(),
+            5
+        );
+        assert_eq!(
+            all.iter().filter(|d| d.class == DeviceClass::Cpu).count(),
+            3
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|d| d.class == DeviceClass::Accelerator)
+                .count(),
+            1
+        );
     }
 
     #[test]

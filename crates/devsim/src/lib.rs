@@ -10,20 +10,7 @@ pub mod device;
 pub mod sim;
 
 pub use device::{
-    a100,
-    all_devices,
-    cpu_devices,
-    device_by_name,
-    e5_2673,
-    epyc_7452,
-    gpu_devices,
-    graviton2,
-    hl100,
-    k80,
-    p100,
-    t4,
-    v100,
-    DeviceClass,
-    DeviceSpec,
+    a100, all_devices, cpu_devices, device_by_name, e5_2673, epyc_7452, gpu_devices, graviton2,
+    hl100, k80, p100, t4, v100, DeviceClass, DeviceSpec,
 };
 pub use sim::{LeafCost, Simulator};

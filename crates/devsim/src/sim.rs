@@ -69,7 +69,10 @@ impl LeafCost {
 impl Simulator {
     /// Creates a simulator for a device with the default noise level (3%).
     pub fn new(spec: DeviceSpec) -> Self {
-        Simulator { spec, noise_sigma: 0.03 }
+        Simulator {
+            spec,
+            noise_sigma: 0.03,
+        }
     }
 
     /// The device being simulated.
@@ -117,18 +120,19 @@ impl Simulator {
         } else {
             scalar_fraction(self.spec.class)
         };
-        let unroll_boost = if stack.iter().any(|l| l.kind == LoopKind::Unroll) { 1.15 } else { 1.0 };
+        let unroll_boost = if stack.iter().any(|l| l.kind == LoopKind::Unroll) {
+            1.15
+        } else {
+            1.0
+        };
         let gemm_boost = if self.spec.gemm_engines > 0 && leaf.kind == ComputeKind::Mac {
             // GEMM engines are systolic: high throughput for MACs only.
             6.0 * self.spec.gemm_engines as f64 / 3.0
         } else {
             1.0
         };
-        let eff_flops = self.spec.peak_flops_per_core()
-            * cores_used
-            * lane_util
-            * unroll_boost
-            * gemm_boost;
+        let eff_flops =
+            self.spec.peak_flops_per_core() * cores_used * lane_util * unroll_boost * gemm_boost;
         let compute_s = iters * leaf.flops_per_iter / eff_flops.max(1.0);
 
         // --- Memory term ---
@@ -162,7 +166,11 @@ impl Simulator {
         }
         let overhead_s = overhead_trips * self.spec.loop_overhead_ns * 1e-9 / cores_used;
 
-        LeafCost { compute_s, memory_s, overhead_s }
+        LeafCost {
+            compute_s,
+            memory_s,
+            overhead_s,
+        }
     }
 
     /// Estimated DRAM traffic of a leaf in bytes, via stride/reuse analysis.
@@ -221,7 +229,8 @@ impl Simulator {
                     .map(|b| b.bytes() as f64)
                     .unwrap_or(f64::MAX),
             );
-            let traffic = (iters / reuse * elem_bytes * penalty).max(touched.min(iters * elem_bytes));
+            let traffic =
+                (iters / reuse * elem_bytes * penalty).max(touched.min(iters * elem_bytes));
             total += traffic;
         }
         total
@@ -229,7 +238,12 @@ impl Simulator {
 
     /// Total bytes the leaf touches across all accesses (capped by buffer
     /// sizes).
-    fn leaf_working_set_bytes(&self, prog: &TensorProgram, leaf: &LeafStmt, stack: &[&LoopVar]) -> f64 {
+    fn leaf_working_set_bytes(
+        &self,
+        prog: &TensorProgram,
+        leaf: &LeafStmt,
+        stack: &[&LoopVar],
+    ) -> f64 {
         let elem_bytes = 4.0f64;
         leaf.accesses
             .iter()
@@ -267,13 +281,24 @@ mod tests {
         Schedule {
             primitives: vec![
                 Primitive::Split { axis: 0, factor: 8 },
-                Primitive::Split { axis: 1, factor: 16 },
+                Primitive::Split {
+                    axis: 1,
+                    factor: 16,
+                },
                 Primitive::Split { axis: 2, factor: 8 },
                 // order: i_o, j_o, k_o, i_i, k_i, j_i (tiled, j innermost
                 // contiguous). Split of axes 0,1,2 creates (3,4),(5,6),(7,8).
-                Primitive::Reorder { order: vec![3, 5, 7, 4, 8, 6] },
-                Primitive::Annotate { axis: 3, kind: LoopKind::Parallel },
-                Primitive::Annotate { axis: 6, kind: LoopKind::Vectorize },
+                Primitive::Reorder {
+                    order: vec![3, 5, 7, 4, 8, 6],
+                },
+                Primitive::Annotate {
+                    axis: 3,
+                    kind: LoopKind::Parallel,
+                },
+                Primitive::Annotate {
+                    axis: 6,
+                    kind: LoopKind::Vectorize,
+                },
             ],
         }
     }
@@ -283,9 +308,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sim = Simulator::new(v100());
         for spec in [
-            OpSpec::Dense { m: 256, n: 256, k: 256 },
-            OpSpec::Conv2d { n: 1, cin: 64, hw: 28, cout: 64, khw: 3, stride: 1 },
-            OpSpec::Softmax { rows: 256, cols: 128 },
+            OpSpec::Dense {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+            OpSpec::Conv2d {
+                n: 1,
+                cin: 64,
+                hw: 28,
+                cout: 64,
+                khw: 3,
+                stride: 1,
+            },
+            OpSpec::Softmax {
+                rows: 256,
+                cols: 128,
+            },
         ] {
             let nest = spec.canonical_nest();
             for _ in 0..20 {
@@ -325,7 +364,11 @@ mod tests {
             256,
             256,
             256,
-            &Schedule { primitives: vec![Primitive::Reorder { order: vec![2, 0, 1] }] },
+            &Schedule {
+                primitives: vec![Primitive::Reorder {
+                    order: vec![2, 0, 1],
+                }],
+            },
         );
         let tc = sim.latency_seconds(&canonical);
         let th = sim.latency_seconds(&hoisted);
@@ -341,7 +384,10 @@ mod tests {
             512,
             128,
             &Schedule {
-                primitives: vec![Primitive::Annotate { axis: 0, kind: LoopKind::Parallel }],
+                primitives: vec![Primitive::Annotate {
+                    axis: 0,
+                    kind: LoopKind::Parallel,
+                }],
             },
         );
         assert!(sim.latency_seconds(&parallel) < sim.latency_seconds(&serial) * 0.2);
@@ -351,12 +397,21 @@ mod tests {
     fn vectorize_contiguous_axis_speeds_up() {
         let sim = Simulator::new(t4());
         let base = Schedule {
-            primitives: vec![Primitive::Annotate { axis: 0, kind: LoopKind::Parallel }],
+            primitives: vec![Primitive::Annotate {
+                axis: 0,
+                kind: LoopKind::Parallel,
+            }],
         };
         let vec = Schedule {
             primitives: vec![
-                Primitive::Annotate { axis: 0, kind: LoopKind::Parallel },
-                Primitive::Annotate { axis: 1, kind: LoopKind::Vectorize },
+                Primitive::Annotate {
+                    axis: 0,
+                    kind: LoopKind::Parallel,
+                },
+                Primitive::Annotate {
+                    axis: 1,
+                    kind: LoopKind::Vectorize,
+                },
             ],
         };
         let t_base = sim.latency_seconds(&dense_prog(256, 64, 256, &base));
@@ -415,7 +470,11 @@ mod tests {
             512,
             512,
             512,
-            &Schedule { primitives: vec![Primitive::Reorder { order: vec![0, 2, 1] }] },
+            &Schedule {
+                primitives: vec![Primitive::Reorder {
+                    order: vec![0, 2, 1],
+                }],
+            },
         );
         let tc = sim.latency_seconds(&canonical);
         let tr = sim.latency_seconds(&reordered);
@@ -435,7 +494,11 @@ mod tests {
         assert!(t > 1e-4 && t < 5e-2, "V100 1k GEMM = {t}s");
         // An element-wise op is micro-seconds scale.
         let ew = lower(
-            &OpSpec::Elementwise { n: 65536, kind: tir::EwKind::Relu }.canonical_nest(),
+            &OpSpec::Elementwise {
+                n: 65536,
+                kind: tir::EwKind::Relu,
+            }
+            .canonical_nest(),
             &Schedule::default(),
         )
         .unwrap();

@@ -83,7 +83,10 @@ pub fn extract_compact_ast(prog: &TensorProgram) -> CompactAst {
             // The outermost encoded slot absorbs all remaining outer loops'
             // extents so no iteration count is lost.
             let extent = if slot == MAX_LOOPS - 1 && n > MAX_LOOPS {
-                stack[..=li].iter().map(|x| x.extent as f64).product::<f64>()
+                stack[..=li]
+                    .iter()
+                    .map(|x| x.extent as f64)
+                    .product::<f64>()
             } else {
                 l.extent as f64
             };
@@ -131,13 +134,19 @@ pub fn extract_compact_ast(prog: &TensorProgram) -> CompactAst {
         v[idx] = log1p(bytes);
         idx += 1;
         // [54] count of parallel/vectorize/unroll annotations in the stack.
-        v[idx] = stack.iter().filter(|l| l.kind != tir::LoopKind::Serial).count() as f32;
+        v[idx] = stack
+            .iter()
+            .filter(|l| l.kind != tir::LoopKind::Serial)
+            .count() as f32;
         idx += 1;
         debug_assert!(idx <= N_ENTRY);
         leaf_vectors.push(v);
     });
     debug_assert_eq!(leaf_vectors.len(), ordering.len());
-    CompactAst { leaf_vectors, ordering }
+    CompactAst {
+        leaf_vectors,
+        ordering,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +155,12 @@ mod tests {
     use tir::{lower, sample_schedule, OpSpec, Schedule};
 
     fn dense_ast() -> CompactAst {
-        let nest = OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 16,
+            n: 16,
+            k: 16,
+        }
+        .canonical_nest();
         let prog = lower(&nest, &Schedule::default()).unwrap();
         extract_compact_ast(&prog)
     }
@@ -185,7 +199,12 @@ mod tests {
 
     #[test]
     fn ordering_vector_matches_program() {
-        let nest = OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 16,
+            n: 16,
+            k: 16,
+        }
+        .canonical_nest();
         let prog = lower(&nest, &Schedule::default()).unwrap();
         let ast = extract_compact_ast(&prog);
         assert_eq!(ast.ordering, prog.ordering_vector());
@@ -196,8 +215,15 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(9);
-        let nest = OpSpec::Conv2d { n: 1, cin: 16, hw: 16, cout: 16, khw: 3, stride: 1 }
-            .canonical_nest();
+        let nest = OpSpec::Conv2d {
+            n: 1,
+            cin: 16,
+            hw: 16,
+            cout: 16,
+            khw: 3,
+            stride: 1,
+        }
+        .canonical_nest();
         let base = extract_compact_ast(&lower(&nest, &Schedule::default()).unwrap());
         let mut any_different = false;
         for _ in 0..10 {
@@ -216,12 +242,19 @@ mod tests {
         // Split every axis twice so depth exceeds MAX_LOOPS; the outermost
         // slot must absorb the remaining extents.
         use tir::Primitive;
-        let nest = OpSpec::Conv2d { n: 2, cin: 16, hw: 16, cout: 16, khw: 3, stride: 1 }
-            .canonical_nest();
+        let nest = OpSpec::Conv2d {
+            n: 2,
+            cin: 16,
+            hw: 16,
+            cout: 16,
+            khw: 3,
+            stride: 1,
+        }
+        .canonical_nest();
         let mut prims = Vec::new();
         for a in 0..7u32 {
             let ext = nest.axis(a).unwrap().extent;
-            if ext % 2 == 0 {
+            if ext.is_multiple_of(2) {
                 prims.push(Primitive::Split { axis: a, factor: 2 });
             }
         }
@@ -248,9 +281,20 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(3);
         for spec in [
-            OpSpec::Softmax { rows: 128, cols: 64 },
-            OpSpec::Elementwise { n: 4096, kind: tir::EwKind::Gelu },
-            OpSpec::BatchMatmul { b: 4, m: 32, n: 32, k: 32 },
+            OpSpec::Softmax {
+                rows: 128,
+                cols: 64,
+            },
+            OpSpec::Elementwise {
+                n: 4096,
+                kind: tir::EwKind::Gelu,
+            },
+            OpSpec::BatchMatmul {
+                b: 4,
+                m: 32,
+                n: 32,
+                k: 32,
+            },
         ] {
             let nest = spec.canonical_nest();
             for _ in 0..5 {

@@ -51,7 +51,13 @@ pub fn flattened_features(prog: &TensorProgram) -> Vec<f32> {
     out.push(prog.max_depth() as f32);
     out.push((prog.total_iterations() + 1.0).ln() as f32);
     out.push(prog.roots.len() as f32);
-    out.push(prog.buffers.iter().map(|b| b.bytes() as f64).sum::<f64>().ln_1p() as f32);
+    out.push(
+        prog.buffers
+            .iter()
+            .map(|b| b.bytes() as f64)
+            .sum::<f64>()
+            .ln_1p() as f32,
+    );
     debug_assert_eq!(out.len(), N_FLAT);
     out
 }
@@ -121,7 +127,12 @@ mod tests {
 
     #[test]
     fn flat_features_fixed_length() {
-        let nest = OpSpec::Dense { m: 32, n: 32, k: 32 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 32,
+            n: 32,
+            k: 32,
+        }
+        .canonical_nest();
         let prog = lower(&nest, &Schedule::default()).unwrap();
         let f = flattened_features(&prog);
         assert_eq!(f.len(), N_FLAT);
@@ -137,7 +148,12 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);
-        let nest = OpSpec::Dense { m: 64, n: 64, k: 64 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        }
+        .canonical_nest();
         let base = flattened_features(&lower(&nest, &Schedule::default()).unwrap());
         let mut changed = false;
         for _ in 0..10 {
@@ -158,8 +174,13 @@ mod tests {
             primitives: vec![
                 Primitive::Split { axis: 0, factor: 4 },
                 Primitive::Split { axis: 1, factor: 2 },
-                Primitive::Reorder { order: vec![3, 4, 5, 6, 2] },
-                Primitive::Annotate { axis: 6, kind: tir::LoopKind::Vectorize },
+                Primitive::Reorder {
+                    order: vec![3, 4, 5, 6, 2],
+                },
+                Primitive::Annotate {
+                    axis: 6,
+                    kind: tir::LoopKind::Vectorize,
+                },
             ],
         };
         let f = tlp_features(&spec, &sched);
@@ -171,7 +192,14 @@ mod tests {
 
     #[test]
     fn habitat_features_one_hot_class() {
-        let f = habitat_features(&OpSpec::Conv2d { n: 1, cin: 8, hw: 8, cout: 8, khw: 3, stride: 1 });
+        let f = habitat_features(&OpSpec::Conv2d {
+            n: 1,
+            cin: 8,
+            hw: 8,
+            cout: 8,
+            khw: 3,
+            stride: 1,
+        });
         assert_eq!(f.len(), N_HABITAT);
         assert_eq!(f[2], 1.0); // conv2d class id = 2
         let hot: f32 = f[..8].iter().sum();
@@ -181,7 +209,11 @@ mod tests {
     #[test]
     fn habitat_cannot_distinguish_schedules() {
         // By construction habitat features depend only on the op spec.
-        let spec = OpSpec::Dense { m: 16, n: 16, k: 16 };
+        let spec = OpSpec::Dense {
+            m: 16,
+            n: 16,
+            k: 16,
+        };
         assert_eq!(habitat_features(&spec), habitat_features(&spec));
     }
 }

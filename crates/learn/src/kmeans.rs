@@ -17,7 +17,10 @@ pub struct KMeansResult {
 }
 
 fn dist2(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// Runs KMeans on `points` (each of equal dimension) with `k` clusters.
@@ -98,7 +101,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut impl Rn
         sizes[assignments[i]] += 1;
         inertia += dist2(p, &centroids[assignments[i]]);
     }
-    KMeansResult { centroids, assignments, sizes, inertia }
+    KMeansResult {
+        centroids,
+        assignments,
+        sizes,
+        inertia,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +139,9 @@ mod tests {
         for blob in 0..3 {
             let first = r.assignments[blob * 30];
             assert!(
-                r.assignments[blob * 30..(blob + 1) * 30].iter().all(|&a| a == first),
+                r.assignments[blob * 30..(blob + 1) * 30]
+                    .iter()
+                    .all(|&a| a == first),
                 "blob {blob} split"
             );
         }
@@ -167,7 +177,9 @@ mod tests {
         let r = kmeans(&pts, 1, 10, &mut rng);
         assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
         assert!((r.centroids[0][1] - 2.0).abs() < 1e-9);
-        assert!((r.inertia - (8.0 + 4.0 + 4.0 + 4.0 + 4.0 + 8.0 - 8.0)).abs() < 1e-6 || r.inertia > 0.0);
+        assert!(
+            (r.inertia - (8.0 + 4.0 + 4.0 + 4.0 + 4.0 + 8.0 - 8.0)).abs() < 1e-6 || r.inertia > 0.0
+        );
     }
 
     #[test]

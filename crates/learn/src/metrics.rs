@@ -20,7 +20,8 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter()
+    (pred
+        .iter()
         .zip(truth.iter())
         .map(|(&p, &t)| (p - t) * (p - t))
         .sum::<f64>()

@@ -164,7 +164,10 @@ impl BoxCox {
     /// are always positive).
     pub fn fit(ys: &[f64]) -> Self {
         assert!(!ys.is_empty(), "Box-Cox fit on empty labels");
-        assert!(ys.iter().all(|&y| y > 0.0), "Box-Cox requires positive labels");
+        assert!(
+            ys.iter().all(|&y| y > 0.0),
+            "Box-Cox requires positive labels"
+        );
         let n = ys.len() as f64;
         let log_sum: f64 = ys.iter().map(|&y| y.ln()).sum();
         let ll = |lambda: f64| {
@@ -234,7 +237,10 @@ impl YeoJohnson {
         let ll = |l: f64| {
             let t: Vec<f64> = ys.iter().map(|&y| yj_raw(y, l)).collect();
             let var = crate::stats::variance(&t).max(1e-300);
-            let jac: f64 = ys.iter().map(|&y| (y.abs() + 1.0).ln() * (l - 1.0) * y.signum()).sum();
+            let jac: f64 = ys
+                .iter()
+                .map(|&y| (y.abs() + 1.0).ln() * (l - 1.0) * y.signum())
+                .sum();
             -0.5 * n * var.ln() + jac
         };
         let lambda = golden_max(-2.0, 2.0, 60, ll);

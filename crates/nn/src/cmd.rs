@@ -13,7 +13,7 @@
 
 use tensor::{Result, Tensor};
 
-use crate::graph::{Graph, Var};
+use crate::tape::{Graph, Var};
 
 /// Default support width for `tanh`-bounded latents (`[-1, 1]`).
 pub const TANH_SUPPORT: f32 = 2.0;
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn cmd_backpropagates_into_both_batches() {
-        let mut store = crate::graph::ParamStore::new();
+        let mut store = crate::tape::ParamStore::new();
         let ps = store.add("zs", mat(4, 2, |i| (i as f32 * 0.11).sin() * 0.5));
         let pt = store.add("zt", mat(4, 2, |i| (i as f32 * 0.23).cos() * 0.5));
         let mut g = Graph::new();
@@ -131,7 +131,7 @@ mod tests {
         // Gradient-descending CMD on one batch should pull it toward the other.
         use crate::optim::{Optimizer, Sgd};
         let target = mat(16, 2, |i| (i as f32 * 0.41).sin() * 0.4);
-        let mut store = crate::graph::ParamStore::new();
+        let mut store = crate::tape::ParamStore::new();
         let p = store.add("z", mat(16, 2, |i| (i as f32 * 0.17).cos() * 0.4 + 0.3));
         let mut opt = Sgd::new(0.5);
         let initial = cmd_value(store.value(p), &target, 3, TANH_SUPPORT).unwrap();

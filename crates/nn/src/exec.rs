@@ -1,0 +1,561 @@
+//! Forward-only execution (the *inference* half of the execution stack).
+//!
+//! [`Exec`] abstracts the forward-op surface that layers and models are
+//! written against. Two executors implement it:
+//!
+//! * [`Graph`](crate::Graph) — the autodiff tape: records every op so
+//!   [`Graph::backward`](crate::Graph::backward) can run. Each `param` leaf
+//!   clones the parameter tensor onto the tape, and every node carries
+//!   gradient bookkeeping. This is what training needs and inference pays
+//!   for nothing.
+//! * [`InferCtx`] — forward-only: no tape, no gradient slots, parameter
+//!   leaves *borrow* from the [`ParamStore`] (no per-forward weight
+//!   clones), and node buffers are recycled across batches via
+//!   [`InferCtx::reset`].
+//!
+//! Both paths run the same kernels ([`crate::kernels`], `tensor::*_into`)
+//! in the same order, so forward values are **bit-identical** — asserted by
+//! the tests below and by property tests at the predictor level.
+
+use crate::kernels;
+use crate::tape::{Graph, ParamId, ParamStore, Var};
+use tensor::{bmm_into, matmul_into, Result, Tensor, TensorError};
+
+/// The forward-op surface shared by the tape and the forward-only executor.
+///
+/// Layer `forward` methods are generic over `Exec`, so one model definition
+/// serves both training (through [`Graph`]) and inference (through
+/// [`InferCtx`]).
+pub trait Exec {
+    /// Inserts a constant input.
+    fn constant(&mut self, t: Tensor) -> Var;
+    /// Inserts a parameter leaf.
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var;
+    /// Value of a node.
+    fn value(&self, v: Var) -> &Tensor;
+    /// Element-wise addition.
+    fn add(&mut self, a: Var, b: Var) -> Result<Var>;
+    /// Element-wise subtraction.
+    fn sub(&mut self, a: Var, b: Var) -> Result<Var>;
+    /// Element-wise multiplication.
+    fn mul(&mut self, a: Var, b: Var) -> Result<Var>;
+    /// Broadcast add of a trailing row vector (e.g. a bias).
+    fn add_row(&mut self, x: Var, row: Var) -> Result<Var>;
+    /// Broadcast subtract of a trailing row vector.
+    fn sub_row(&mut self, x: Var, row: Var) -> Result<Var>;
+    /// Multiplies by a scalar constant.
+    fn scale(&mut self, x: Var, c: f32) -> Var;
+    /// Adds a scalar constant.
+    fn add_scalar(&mut self, x: Var, c: f32) -> Var;
+    /// 2-D matrix multiplication.
+    fn matmul(&mut self, a: Var, b: Var) -> Result<Var>;
+    /// Batched matrix multiplication with transpose flags.
+    fn bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> Result<Var>;
+    /// Splits `[B, L, h*dh]` into `[B*h, L, dh]` for multi-head attention.
+    fn split_heads(&mut self, x: Var, h: usize) -> Result<Var>;
+    /// Merges `[B*h, L, dh]` back into `[B, L, h*dh]`.
+    fn merge_heads(&mut self, x: Var, h: usize) -> Result<Var>;
+    /// Reshapes (copying) to a new shape with the same numel.
+    fn reshape(&mut self, x: Var, shape: &[usize]) -> Result<Var>;
+    /// Softmax over the trailing axis.
+    fn softmax_last(&mut self, x: Var) -> Result<Var>;
+    /// Rectified linear unit.
+    fn relu(&mut self, x: Var) -> Result<Var>;
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, x: Var) -> Result<Var>;
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, x: Var) -> Result<Var>;
+    /// Element-wise exponential.
+    fn exp(&mut self, x: Var) -> Result<Var>;
+    /// Element-wise absolute value.
+    fn abs(&mut self, x: Var) -> Result<Var>;
+    /// Element-wise square root.
+    fn sqrt(&mut self, x: Var) -> Result<Var>;
+    /// Element-wise square.
+    fn square(&mut self, x: Var) -> Result<Var>;
+    /// Concatenation along the trailing axis.
+    fn concat_last(&mut self, parts: &[Var]) -> Result<Var>;
+    /// Slices `[start, end)` of the trailing axis.
+    fn slice_last(&mut self, x: Var, start: usize, end: usize) -> Result<Var>;
+    /// Fused layer normalization over the trailing axis.
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var>;
+}
+
+impl Exec for Graph {
+    fn constant(&mut self, t: Tensor) -> Var {
+        Graph::constant(self, t)
+    }
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        Graph::param(self, store, id)
+    }
+    fn value(&self, v: Var) -> &Tensor {
+        Graph::value(self, v)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        Graph::add(self, a, b)
+    }
+    fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        Graph::sub(self, a, b)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        Graph::mul(self, a, b)
+    }
+    fn add_row(&mut self, x: Var, row: Var) -> Result<Var> {
+        Graph::add_row(self, x, row)
+    }
+    fn sub_row(&mut self, x: Var, row: Var) -> Result<Var> {
+        Graph::sub_row(self, x, row)
+    }
+    fn scale(&mut self, x: Var, c: f32) -> Var {
+        Graph::scale(self, x, c)
+    }
+    fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        Graph::add_scalar(self, x, c)
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        Graph::matmul(self, a, b)
+    }
+    fn bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> Result<Var> {
+        Graph::bmm(self, a, b, ta, tb)
+    }
+    fn split_heads(&mut self, x: Var, h: usize) -> Result<Var> {
+        Graph::split_heads(self, x, h)
+    }
+    fn merge_heads(&mut self, x: Var, h: usize) -> Result<Var> {
+        Graph::merge_heads(self, x, h)
+    }
+    fn reshape(&mut self, x: Var, shape: &[usize]) -> Result<Var> {
+        Graph::reshape(self, x, shape)
+    }
+    fn softmax_last(&mut self, x: Var) -> Result<Var> {
+        Graph::softmax_last(self, x)
+    }
+    fn relu(&mut self, x: Var) -> Result<Var> {
+        Graph::relu(self, x)
+    }
+    fn tanh(&mut self, x: Var) -> Result<Var> {
+        Graph::tanh(self, x)
+    }
+    fn sigmoid(&mut self, x: Var) -> Result<Var> {
+        Graph::sigmoid(self, x)
+    }
+    fn exp(&mut self, x: Var) -> Result<Var> {
+        Graph::exp(self, x)
+    }
+    fn abs(&mut self, x: Var) -> Result<Var> {
+        Graph::abs(self, x)
+    }
+    fn sqrt(&mut self, x: Var) -> Result<Var> {
+        Graph::sqrt(self, x)
+    }
+    fn square(&mut self, x: Var) -> Result<Var> {
+        Graph::square(self, x)
+    }
+    fn concat_last(&mut self, parts: &[Var]) -> Result<Var> {
+        Graph::concat_last(self, parts)
+    }
+    fn slice_last(&mut self, x: Var, start: usize, end: usize) -> Result<Var> {
+        Graph::slice_last(self, x, start, end)
+    }
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
+        Graph::layer_norm(self, x, gamma, beta, eps)
+    }
+}
+
+/// A node value in an [`InferCtx`]: either owned by the context or borrowed
+/// from the parameter store (no clone).
+enum Slot {
+    Owned(Tensor),
+    Param(ParamId),
+}
+
+/// Forward-only executor with node-buffer reuse.
+///
+/// Create one per thread (it borrows the parameter store read-only, so any
+/// number of contexts can serve concurrently from shared parameters), call
+/// the [`Exec`] ops through a model's `forward`, read results with
+/// [`Exec::value`], then call [`reset`](InferCtx::reset) before the next
+/// batch to recycle every intermediate buffer.
+pub struct InferCtx<'p> {
+    params: &'p ParamStore,
+    slots: Vec<Slot>,
+    pool: Vec<Vec<f32>>,
+}
+
+impl<'p> InferCtx<'p> {
+    /// Creates an executor reading parameters from `params`.
+    pub fn new(params: &'p ParamStore) -> Self {
+        InferCtx {
+            params,
+            slots: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the context has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Clears all nodes, moving their buffers into the reuse pool.
+    pub fn reset(&mut self) {
+        for slot in self.slots.drain(..) {
+            if let Slot::Owned(t) = slot {
+                self.pool.push(t.into_vec());
+            }
+        }
+    }
+
+    /// Takes a pooled buffer (empty, arbitrary capacity) or a fresh one.
+    fn take_buf(&mut self) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn push_owned(&mut self, t: Tensor) -> Var {
+        self.slots.push(Slot::Owned(t));
+        Var(self.slots.len() - 1)
+    }
+
+    /// Element-wise unary op through the buffer pool.
+    fn map_op(&mut self, x: Var, f: impl Fn(f32) -> f32) -> Var {
+        let mut buf = self.take_buf();
+        let xv = self.value(x);
+        let shape = xv.shape().to_vec();
+        xv.map_into(f, &mut buf);
+        let t = Tensor::from_vec(buf, &shape).expect("map preserves numel");
+        self.push_owned(t)
+    }
+
+    /// Element-wise binary op through the buffer pool.
+    fn zip_op(
+        &mut self,
+        a: Var,
+        b: Var,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let (av, bv) = (self.value(a), self.value(b));
+        let shape = av.shape().to_vec();
+        av.zip_into(bv, op, f, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("zip preserves numel");
+        Ok(self.push_owned(t))
+    }
+
+    fn row_op(
+        &mut self,
+        x: Var,
+        row: Var,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let (xv, rv) = (self.value(x), self.value(row));
+        let shape = xv.shape().to_vec();
+        xv.row_op_into(rv, op, f, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("row op preserves numel");
+        Ok(self.push_owned(t))
+    }
+}
+
+impl Exec for InferCtx<'_> {
+    fn constant(&mut self, t: Tensor) -> Var {
+        self.push_owned(t)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        // The context resolves parameters through its own borrowed store;
+        // passing a different store here would read the wrong weights.
+        debug_assert!(
+            std::ptr::eq(store, self.params),
+            "InferCtx::param called with a store other than the one it was created with"
+        );
+        self.slots.push(Slot::Param(id));
+        Var(self.slots.len() - 1)
+    }
+
+    fn value(&self, v: Var) -> &Tensor {
+        match &self.slots[v.0] {
+            Slot::Owned(t) => t,
+            Slot::Param(id) => self.params.value(*id),
+        }
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.zip_op(a, b, "add", |x, y| x + y)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.zip_op(a, b, "sub", |x, y| x - y)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.zip_op(a, b, "mul", |x, y| x * y)
+    }
+
+    fn add_row(&mut self, x: Var, row: Var) -> Result<Var> {
+        self.row_op(x, row, "add_row", |a, b| a + b)
+    }
+
+    fn sub_row(&mut self, x: Var, row: Var) -> Result<Var> {
+        self.row_op(x, row, "sub_row", |a, b| a - b)
+    }
+
+    fn scale(&mut self, x: Var, c: f32) -> Var {
+        self.map_op(x, |a| a * c)
+    }
+
+    fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        self.map_op(x, |a| a + c)
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let shape = matmul_into(self.value(a), self.value(b), &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("matmul shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let shape = bmm_into(self.value(a), self.value(b), ta, tb, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("bmm shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn split_heads(&mut self, x: Var, h: usize) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let shape = kernels::split_heads_into(self.value(x), h, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("split_heads shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn merge_heads(&mut self, x: Var, h: usize) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let shape = kernels::merge_heads_into(self.value(x), h, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("merge_heads shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn reshape(&mut self, x: Var, shape: &[usize]) -> Result<Var> {
+        let numel: usize = shape.iter().product();
+        if numel != self.value(x).numel() {
+            return Err(TensorError::BadShape {
+                op: "reshape",
+                shape: shape.to_vec(),
+                len: self.value(x).numel(),
+            });
+        }
+        let mut buf = self.take_buf();
+        buf.extend_from_slice(self.value(x).data());
+        let t = Tensor::from_vec(buf, shape).expect("checked numel");
+        Ok(self.push_owned(t))
+    }
+
+    fn softmax_last(&mut self, x: Var) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let xv = self.value(x);
+        let shape = xv.shape().to_vec();
+        xv.softmax_last_into(&mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("softmax preserves shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn relu(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, |a| a.max(0.0)))
+    }
+
+    fn tanh(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, f32::tanh))
+    }
+
+    fn sigmoid(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, |a| 1.0 / (1.0 + (-a).exp())))
+    }
+
+    fn exp(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, f32::exp))
+    }
+
+    fn abs(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, f32::abs))
+    }
+
+    fn sqrt(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, f32::sqrt))
+    }
+
+    fn square(&mut self, x: Var) -> Result<Var> {
+        Ok(self.map_op(x, |a| a * a))
+    }
+
+    fn concat_last(&mut self, parts: &[Var]) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let shape = kernels::concat_last_into(&tensors, &mut buf)?;
+        drop(tensors);
+        let t = Tensor::from_vec(buf, &shape).expect("concat shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn slice_last(&mut self, x: Var, start: usize, end: usize) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let shape = kernels::slice_last_into(self.value(x), start, end, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("slice shape");
+        Ok(self.push_owned(t))
+    }
+
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
+        let mut buf = self.take_buf();
+        let (xv, gv, bv) = (self.value(x), self.value(gamma), self.value(beta));
+        let shape = xv.shape().to_vec();
+        kernels::layer_norm_fwd_into(xv, gv, bv, eps, &mut buf)?;
+        let t = Tensor::from_vec(buf, &shape).expect("layer norm preserves shape");
+        Ok(self.push_owned(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store_with(shapes: &[&[usize]]) -> (ParamStore, Vec<ParamId>) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let ids = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                store.add(
+                    format!("p{i}"),
+                    Tensor::from_fn(s, |_| rng.random_range(-1.0f32..1.0)),
+                )
+            })
+            .collect();
+        (store, ids)
+    }
+
+    #[test]
+    fn forward_ops_bit_identical_to_tape() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let x = Tensor::from_fn(&[2, 4, 6], |i| ((i as f32) * 0.37).sin());
+
+        fn run<E: Exec>(
+            e: &mut E,
+            store: &ParamStore,
+            ids: &[ParamId],
+            x: Tensor,
+        ) -> Vec<Vec<f32>> {
+            let xv = e.constant(x);
+            let w = e.param(store, ids[1]);
+            let gamma = e.param(store, ids[2]);
+            let beta = e.param(store, ids[3]);
+            let h = e.split_heads(xv, 2).unwrap();
+            let m = e.merge_heads(h, 2).unwrap();
+            let flat = e.reshape(m, &[8, 6]).unwrap();
+            let y = e.matmul(flat, w).unwrap();
+            let ln = e.layer_norm(y, gamma, beta, 1e-5).unwrap();
+            let s = e.softmax_last(ln).unwrap();
+            let r = e.relu(s).unwrap();
+            let t = e.tanh(r).unwrap();
+            let g = e.sigmoid(t).unwrap();
+            let sc = e.scale(g, 1.7);
+            let a = e.add(sc, y).unwrap();
+            let b = e.sub(a, y).unwrap();
+            let c = e.mul(b, b).unwrap();
+            let row = e.param(store, ids[2]);
+            let ar = e.add_row(c, row).unwrap();
+            let sl = e.slice_last(ar, 1, 5).unwrap();
+            let cat = e.concat_last(&[sl, sl]).unwrap();
+            let q = e.square(cat).unwrap();
+            let sq = e.sqrt(q).unwrap();
+            let ab = e.abs(sq).unwrap();
+            let ex = e.exp(ab).unwrap();
+            let fin = e.add_scalar(ex, -0.25);
+            vec![e.value(fin).data().to_vec(), e.value(cat).data().to_vec()]
+        }
+
+        let mut g = Graph::new();
+        let taped = run(&mut g, &store, &ids, x.clone());
+        let mut ctx = InferCtx::new(&store);
+        let infer = run(&mut ctx, &store, &ids, x.clone());
+        assert_eq!(taped, infer, "forward-only values must be bit-identical");
+
+        // And again after a reset, through recycled buffers.
+        ctx.reset();
+        assert!(ctx.is_empty());
+        let infer2 = run(&mut ctx, &store, &ids, x);
+        assert_eq!(taped, infer2, "buffer reuse must not change values");
+    }
+
+    #[test]
+    fn bmm_all_transpose_combos_match_tape() {
+        let (store, _) = store_with(&[]);
+        for &(ta, tb) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let a = Tensor::from_fn(&[3, 2, 4], |i| (i as f32 * 0.21).cos());
+            let bshape: &[usize] = match (ta, tb) {
+                (false, false) => &[3, 4, 2],
+                (false, true) => &[3, 2, 4],
+                (true, false) => &[3, 2, 2],
+                (true, true) => &[3, 2, 2],
+            };
+            let b = Tensor::from_fn(bshape, |i| (i as f32 * 0.13).sin());
+            let mut g = Graph::new();
+            let (ga, gb) = (
+                Exec::constant(&mut g, a.clone()),
+                Exec::constant(&mut g, b.clone()),
+            );
+            let gy = Exec::bmm(&mut g, ga, gb, ta, tb).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let (ca, cb) = (ctx.constant(a), ctx.constant(b));
+            let cy = ctx.bmm(ca, cb, ta, tb).unwrap();
+            assert_eq!(
+                Exec::value(&g, gy).data(),
+                ctx.value(cy).data(),
+                "ta={ta} tb={tb}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_recycles_buffers() {
+        let (store, _) = store_with(&[]);
+        let mut ctx = InferCtx::new(&store);
+        let x = ctx.constant(Tensor::from_fn(&[64, 64], |i| i as f32));
+        let y = ctx.relu(x).unwrap();
+        let _ = ctx.tanh(y).unwrap();
+        assert_eq!(ctx.len(), 3);
+        ctx.reset();
+        assert_eq!(ctx.len(), 0);
+        // The next ops should draw from the pool (no way to observe
+        // allocation directly; this asserts behavior stays correct).
+        let x2 = ctx.constant(Tensor::full(&[8], 2.0));
+        let y2 = ctx.square(x2).unwrap();
+        assert_eq!(ctx.value(y2).data(), &[4.0; 8]);
+    }
+
+    #[test]
+    fn param_slots_borrow_not_clone() {
+        let (store, ids) = store_with(&[&[512, 512]]);
+        let mut ctx = InferCtx::new(&store);
+        let p = ctx.param(&store, ids[0]);
+        // The borrowed value is literally the store's tensor.
+        assert!(std::ptr::eq(
+            ctx.value(p).data().as_ptr(),
+            store.value(ids[0]).data().as_ptr()
+        ));
+    }
+}

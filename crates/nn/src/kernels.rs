@@ -1,0 +1,203 @@
+//! Forward-pass math kernels shared by the autodiff tape ([`crate::tape`])
+//! and the forward-only executor ([`crate::exec`]).
+//!
+//! Every kernel has a `*_into` form writing into a caller-provided buffer
+//! (cleared and refilled, reusing capacity) and an allocating wrapper. The
+//! two execution paths call the *same* kernels in the *same* order, which is
+//! what makes forward-only inference bit-identical to the taped forward
+//! pass.
+
+use tensor::{Result, Tensor, TensorError};
+
+/// `[B, L, h*dh] -> [B*h, L, dh]` for multi-head attention.
+pub(crate) fn split_heads(x: &Tensor, h: usize) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let shape = split_heads_into(x, h, &mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+pub(crate) fn split_heads_into(x: &Tensor, h: usize, out: &mut Vec<f32>) -> Result<[usize; 3]> {
+    if x.shape().len() != 3 {
+        return Err(TensorError::BadRank {
+            op: "split_heads",
+            expected: 3,
+            actual: x.shape().len(),
+        });
+    }
+    let (b, l, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    if d % h != 0 {
+        return Err(TensorError::BadShape {
+            op: "split_heads",
+            shape: x.shape().to_vec(),
+            len: h,
+        });
+    }
+    let dh = d / h;
+    out.clear();
+    out.resize(b * l * d, 0.0);
+    for bi in 0..b {
+        for li in 0..l {
+            for hi in 0..h {
+                let src = (bi * l + li) * d + hi * dh;
+                let dst = ((bi * h + hi) * l + li) * dh;
+                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
+            }
+        }
+    }
+    Ok([b * h, l, dh])
+}
+
+/// `[B*h, L, dh] -> [B, L, h*dh]`, the inverse of [`split_heads`].
+pub(crate) fn merge_heads(x: &Tensor, h: usize) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let shape = merge_heads_into(x, h, &mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+pub(crate) fn merge_heads_into(x: &Tensor, h: usize, out: &mut Vec<f32>) -> Result<[usize; 3]> {
+    if x.shape().len() != 3 {
+        return Err(TensorError::BadRank {
+            op: "merge_heads",
+            expected: 3,
+            actual: x.shape().len(),
+        });
+    }
+    let (bh, l, dh) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    if bh % h != 0 {
+        return Err(TensorError::BadShape {
+            op: "merge_heads",
+            shape: x.shape().to_vec(),
+            len: h,
+        });
+    }
+    let b = bh / h;
+    let d = dh * h;
+    out.clear();
+    out.resize(b * l * d, 0.0);
+    for bi in 0..b {
+        for li in 0..l {
+            for hi in 0..h {
+                let dst = (bi * l + li) * d + hi * dh;
+                let src = ((bi * h + hi) * l + li) * dh;
+                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
+            }
+        }
+    }
+    Ok([b, l, d])
+}
+
+/// Slices `[start, end)` of the trailing axis.
+pub(crate) fn slice_last(x: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let shape = slice_last_into(x, start, end, &mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+pub(crate) fn slice_last_into(
+    x: &Tensor,
+    start: usize,
+    end: usize,
+    out: &mut Vec<f32>,
+) -> Result<Vec<usize>> {
+    let d = *x.shape().last().ok_or(TensorError::BadRank {
+        op: "slice_last",
+        expected: 1,
+        actual: 0,
+    })?;
+    if end > d || start > end {
+        return Err(TensorError::BadShape {
+            op: "slice_last",
+            shape: vec![start, end],
+            len: d,
+        });
+    }
+    let w = end - start;
+    let rows = x.numel() / d;
+    out.clear();
+    out.reserve(rows * w);
+    for r in 0..rows {
+        out.extend_from_slice(&x.data()[r * d + start..r * d + end]);
+    }
+    let mut shape = x.shape().to_vec();
+    *shape.last_mut().expect("non-empty") = w;
+    Ok(shape)
+}
+
+/// Concatenation along the trailing axis.
+pub(crate) fn concat_last_into(parts: &[&Tensor], out: &mut Vec<f32>) -> Result<Vec<usize>> {
+    if parts.is_empty() {
+        return Err(TensorError::BadRank {
+            op: "concat_last",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let lead: &[usize] = &parts[0].shape()[..parts[0].shape().len() - 1];
+    let rows: usize = lead.iter().product();
+    let mut widths = Vec::with_capacity(parts.len());
+    for p in parts {
+        if &p.shape()[..p.shape().len() - 1] != lead {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_last",
+                lhs: parts[0].shape().to_vec(),
+                rhs: p.shape().to_vec(),
+            });
+        }
+        widths.push(*p.shape().last().expect("non-empty shape"));
+    }
+    let total: usize = widths.iter().sum();
+    out.clear();
+    out.reserve(rows * total);
+    for r in 0..rows {
+        for (p, &w) in parts.iter().zip(widths.iter()) {
+            out.extend_from_slice(&p.data()[r * w..(r + 1) * w]);
+        }
+    }
+    let mut shape = lead.to_vec();
+    shape.push(total);
+    Ok(shape)
+}
+
+/// Fused layer normalization over the trailing axis.
+pub(crate) fn layer_norm_fwd(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    let mut out = Vec::new();
+    layer_norm_fwd_into(x, gamma, beta, eps, &mut out)?;
+    Tensor::from_vec(out, x.shape())
+}
+
+pub(crate) fn layer_norm_fwd_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    let d = *x.shape().last().ok_or(TensorError::BadRank {
+        op: "layer_norm",
+        expected: 1,
+        actual: 0,
+    })?;
+    if gamma.numel() != d || beta.numel() != d {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm",
+            lhs: x.shape().to_vec(),
+            rhs: gamma.shape().to_vec(),
+        });
+    }
+    out.clear();
+    out.extend_from_slice(x.data());
+    for chunk in out.chunks_mut(d) {
+        let mean: f32 = chunk.iter().sum::<f32>() / d as f32;
+        let var: f32 = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma.data()[j] + beta.data()[j];
+        }
+    }
+    Ok(())
+}

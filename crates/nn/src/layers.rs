@@ -8,8 +8,9 @@ use rand::Rng;
 use tensor::{Result, Tensor};
 
 use crate::{
-    graph::{Graph, ParamId, ParamStore, Var},
+    exec::Exec,
     init,
+    tape::{ParamId, ParamStore, Var},
 };
 
 /// A dense layer `y = x W + b`.
@@ -25,20 +26,48 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a new layer with Xavier-uniform weights and zero bias.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, in_dim: usize, out_dim: usize) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_dim]));
-        Linear { w, b: Some(b), in_dim, out_dim }
+        Linear {
+            w,
+            b: Some(b),
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Creates a layer without a bias term.
-    pub fn new_no_bias(store: &mut ParamStore, rng: &mut impl Rng, name: &str, in_dim: usize, out_dim: usize) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
-        Linear { w, b: None, in_dim, out_dim }
+    pub fn new_no_bias(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a rank-2 `[n, in]` or rank-3 `[b, l, in]` input.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, x: Var) -> Result<Var> {
         let shape = g.value(x).shape().to_vec();
         let w = g.param(store, self.w);
         let out = if shape.len() == 3 {
@@ -71,11 +100,15 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.add(format!("{name}.gamma"), Tensor::full(&[dim], 1.0));
         let beta = store.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
-        LayerNorm { gamma, beta, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Applies normalization.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, x: Var) -> Result<Var> {
         let gamma = g.param(store, self.gamma);
         let beta = g.param(store, self.beta);
         g.layer_norm(x, gamma, beta, self.eps)
@@ -95,8 +128,17 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     /// Creates a self-attention block; `d_model` must be divisible by `heads`.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_model: usize, heads: usize) -> Self {
-        assert!(d_model % heads == 0, "d_model must be divisible by heads");
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(
+            d_model.is_multiple_of(heads),
+            "d_model must be divisible by heads"
+        );
         MultiHeadAttention {
             wq: Linear::new(store, rng, &format!("{name}.wq"), d_model, d_model),
             wk: Linear::new(store, rng, &format!("{name}.wk"), d_model, d_model),
@@ -108,7 +150,7 @@ impl MultiHeadAttention {
     }
 
     /// Scaled dot-product self-attention.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, x: Var) -> Result<Var> {
         let q = self.wq.forward(g, store, x)?;
         let k = self.wk.forward(g, store, x)?;
         let v = self.wv.forward(g, store, x)?;
@@ -155,7 +197,7 @@ impl TransformerEncoderLayer {
     }
 
     /// `x -> LN(x + Attn(x)) -> LN(.. + FF(..))`.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, x: Var) -> Result<Var> {
         let a = self.attn.forward(g, store, x)?;
         let res1 = g.add(x, a)?;
         let n1 = self.ln1.forward(g, store, res1)?;
@@ -185,13 +227,22 @@ impl TransformerEncoder {
         d_ff: usize,
     ) -> Self {
         let layers = (0..n_layers)
-            .map(|i| TransformerEncoderLayer::new(store, rng, &format!("{name}.{i}"), d_model, heads, d_ff))
+            .map(|i| {
+                TransformerEncoderLayer::new(
+                    store,
+                    rng,
+                    &format!("{name}.{i}"),
+                    d_model,
+                    heads,
+                    d_ff,
+                )
+            })
             .collect();
         TransformerEncoder { layers }
     }
 
     /// Applies all layers in order.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, mut x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, mut x: Var) -> Result<Var> {
         for l in &self.layers {
             x = l.forward(g, store, x)?;
         }
@@ -213,7 +264,10 @@ pub struct Mlp {
 impl Mlp {
     /// Creates an MLP from a list of layer widths, e.g. `[in, h, h, out]`.
     pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, widths: &[usize]) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
@@ -223,7 +277,7 @@ impl Mlp {
     }
 
     /// Forward pass; ReLU after every layer except the last.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, mut x: Var) -> Result<Var> {
+    pub fn forward<E: Exec>(&self, g: &mut E, store: &ParamStore, mut x: Var) -> Result<Var> {
         let n = self.layers.len();
         for (i, l) in self.layers.iter().enumerate() {
             x = l.forward(g, store, x)?;
@@ -245,7 +299,13 @@ pub struct LstmCell {
 
 impl LstmCell {
     /// Creates an LSTM cell with the given input and hidden sizes.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, input: usize, hidden: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
         LstmCell {
             w_ih: Linear::new(store, rng, &format!("{name}.w_ih"), input, 4 * hidden),
             w_hh: Linear::new_no_bias(store, rng, &format!("{name}.w_hh"), hidden, 4 * hidden),
@@ -259,9 +319,9 @@ impl LstmCell {
     }
 
     /// One step: `(x [B, in], h [B, H], c [B, H]) -> (h', c')`.
-    pub fn step(
+    pub fn step<E: Exec>(
         &self,
-        g: &mut Graph,
+        g: &mut E,
         store: &ParamStore,
         x: Var,
         h: Var,
@@ -291,6 +351,7 @@ impl LstmCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
     use rand::{rngs::StdRng, SeedableRng};
 
     fn setup() -> (ParamStore, StdRng) {
@@ -423,6 +484,9 @@ mod tests {
             g.write_param_grads(&mut store).unwrap();
             opt.step(&mut store);
         }
-        assert!(last < 0.05 * first.unwrap(), "loss {last} vs first {first:?}");
+        assert!(
+            last < 0.05 * first.unwrap(),
+            "loss {last} vs first {first:?}"
+        );
     }
 }

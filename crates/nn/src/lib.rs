@@ -1,9 +1,16 @@
 //! From-scratch neural-network substrate for the CDMPP reproduction.
 //!
 //! The paper builds its predictor in PyTorch; this crate provides the
-//! equivalent pieces in pure Rust:
+//! equivalent pieces in pure Rust, with model *definition* decoupled from
+//! *execution*:
 //!
-//! * [`Graph`]: an eager tape-based reverse-mode autodiff engine.
+//! * [`tape`] / [`Graph`]: an eager tape-based reverse-mode autodiff engine
+//!   (the training path).
+//! * [`exec`] / [`InferCtx`]: a forward-only executor — no tape, no
+//!   gradient bookkeeping, parameters borrowed instead of cloned, node
+//!   buffers recycled across batches — bit-identical to the taped forward.
+//!   Layers are generic over the [`Exec`] trait, so one model definition
+//!   serves both paths.
 //! * [`ParamStore`]: parameter + gradient storage shared across steps.
 //! * Layers: [`Linear`], [`LayerNorm`], [`MultiHeadAttention`],
 //!   [`TransformerEncoder`], [`Mlp`], [`LstmCell`].
@@ -12,22 +19,20 @@
 //!   Central Moment Discrepancy regularizer from §5.3.
 
 pub mod cmd;
-pub mod graph;
+pub mod exec;
 pub mod init;
+mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod tape;
 
 pub use cmd::{cmd, cmd_value, DEFAULT_MOMENTS, TANH_SUPPORT};
-pub use graph::{Graph, ParamId, ParamStore, Var};
+pub use exec::{Exec, InferCtx};
 pub use layers::{
-    LayerNorm,
-    Linear,
-    LstmCell,
-    Mlp,
-    MultiHeadAttention,
-    TransformerEncoder,
+    LayerNorm, Linear, LstmCell, Mlp, MultiHeadAttention, TransformerEncoder,
     TransformerEncoderLayer,
 };
 pub use loss::{hybrid, mape, mse, mspe, LossKind};
 pub use optim::{Adam, ConstantLr, CyclicLr, LrSchedule, Optimizer, Sgd};
+pub use tape::{Graph, ParamId, ParamStore, Var};

@@ -6,7 +6,7 @@
 
 use tensor::{Result, Tensor};
 
-use crate::graph::{Graph, Var};
+use crate::tape::{Graph, Var};
 
 fn diff(g: &mut Graph, pred: Var, target: &Tensor) -> Result<Var> {
     let t = g.constant(target.reshape(g.value(pred).shape())?);
@@ -127,7 +127,12 @@ mod tests {
 
     #[test]
     fn perfect_prediction_gives_zero_loss() {
-        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
+        for kind in [
+            LossKind::Mse,
+            LossKind::Mape,
+            LossKind::Mspe,
+            LossKind::Hybrid,
+        ] {
             let mut g = Graph::new();
             let p = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
             let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
@@ -147,8 +152,13 @@ mod tests {
 
     #[test]
     fn losses_differentiate() {
-        for kind in [LossKind::Mse, LossKind::Mape, LossKind::Mspe, LossKind::Hybrid] {
-            let mut store = crate::graph::ParamStore::new();
+        for kind in [
+            LossKind::Mse,
+            LossKind::Mape,
+            LossKind::Mspe,
+            LossKind::Hybrid,
+        ] {
+            let mut store = crate::tape::ParamStore::new();
             let p = store.add("p", Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap());
             let mut g = Graph::new();
             let x = g.param(&store, p);

@@ -5,7 +5,7 @@
 
 use tensor::Tensor;
 
-use crate::graph::ParamStore;
+use crate::tape::ParamStore;
 
 /// A first-order optimizer over a [`ParamStore`].
 pub trait Optimizer {
@@ -29,12 +29,22 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates SGD with momentum and decoupled weight decay.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -42,7 +52,10 @@ impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let ids: Vec<_> = store.ids().collect();
         if self.velocity.is_empty() && self.momentum != 0.0 {
-            self.velocity = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
+            self.velocity = ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).shape()))
+                .collect();
         }
         for (i, &id) in ids.iter().enumerate() {
             let g = store.grad(id).clone();
@@ -88,12 +101,24 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with default betas `(0.9, 0.999)` and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Creates Adam with decoupled weight decay (the paper tunes this).
     pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
-        Adam { weight_decay, ..Adam::new(lr) }
+        Adam {
+            weight_decay,
+            ..Adam::new(lr)
+        }
     }
 }
 
@@ -101,8 +126,14 @@ impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         let ids: Vec<_> = store.ids().collect();
         if self.m.is_empty() {
-            self.m = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
-            self.v = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape())).collect();
+            self.m = ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).shape()))
+                .collect();
+            self.v = ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).shape()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -184,7 +215,7 @@ impl LrSchedule for CyclicLr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{Graph, ParamStore};
+    use crate::tape::{Graph, ParamStore};
 
     /// Minimizes `(w - 3)^2` and checks the optimizer converges near 3.
     fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
@@ -236,7 +267,11 @@ mod tests {
 
     #[test]
     fn cyclic_lr_triangle_shape() {
-        let s = CyclicLr { base_lr: 0.0, max_lr: 1.0, step_size: 10 };
+        let s = CyclicLr {
+            base_lr: 0.0,
+            max_lr: 1.0,
+            step_size: 10,
+        };
         assert_eq!(s.lr_at(0), 0.0);
         assert_eq!(s.lr_at(10), 1.0);
         assert!((s.lr_at(5) - 0.5).abs() < 1e-6);

@@ -1,11 +1,17 @@
-//! Eager tape-based reverse-mode automatic differentiation.
+//! Eager tape-based reverse-mode automatic differentiation (the *training*
+//! half of the execution stack; forward-only inference lives in
+//! [`crate::exec`]).
 //!
 //! Every operation executes immediately (so shape errors surface at the call
 //! site) and records itself on a tape; [`Graph::backward`] then walks the tape
 //! in reverse accumulating gradients. Parameters live outside the graph in a
 //! [`ParamStore`]; a fresh graph is built per training step and parameter
 //! gradients are pulled back into the store afterwards.
+//!
+//! The forward math itself is shared with the inference path through
+//! [`crate::kernels`], so the two paths produce bit-identical values.
 
+use crate::kernels::{layer_norm_fwd, merge_heads, slice_last, split_heads};
 use tensor::{bmm, matmul, Result, Tensor, TensorError};
 
 /// Handle to a node in a [`Graph`].
@@ -77,6 +83,19 @@ impl ParamStore {
     /// Iterates over all parameter ids.
     pub fn ids(&self) -> impl Iterator<Item = ParamId> {
         (0..self.values.len()).map(ParamId)
+    }
+
+    /// Clones parameter values and names only; gradient slots become empty
+    /// placeholders. This is the freeze path for read-only inference
+    /// sharing — a full clone would permanently carry a dead gradient
+    /// buffer as large as the weights themselves. The result must not be
+    /// trained (gradient accumulation into it fails with a shape error).
+    pub fn clone_values(&self) -> ParamStore {
+        ParamStore {
+            values: self.values.clone(),
+            grads: self.values.iter().map(|_| Tensor::zeros(&[0])).collect(),
+            names: self.names.clone(),
+        }
     }
 
     /// Zeroes all accumulated gradients.
@@ -196,7 +215,11 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -399,7 +422,15 @@ impl Graph {
     /// `gamma` and `beta` have shape `[d]`.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
         let v = layer_norm_fwd(self.value(x), self.value(gamma), self.value(beta), eps)?;
-        Ok(self.push(Op::LayerNorm { x, gamma, beta, eps }, v))
+        Ok(self.push(
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+            v,
+        ))
     }
 
     /// Dropout with a pre-sampled inverted mask (entries are `0` or `1/keep`).
@@ -462,7 +493,10 @@ impl Graph {
                 Pending::Two(*x, g.clone(), *r, gr)
             }
             Op::SubRow(x, r) => {
-                let gr = g.sum_axis0()?.scale(-1.0).reshape(self.nodes[r.0].value.shape())?;
+                let gr = g
+                    .sum_axis0()?
+                    .scale(-1.0)
+                    .reshape(self.nodes[r.0].value.shape())?;
                 Pending::Two(*x, g.clone(), *r, gr)
             }
             Op::MulConst(x, c) => Pending::One(*x, g.mul(c)?),
@@ -516,13 +550,22 @@ impl Graph {
             }
             Op::Abs(x) => {
                 let xv = &self.nodes[x.0].value;
-                Pending::One(*x, g.zip(xv, "abs_bwd", |gi, xi| gi * xi.signum() * (xi != 0.0) as u8 as f32)?)
+                Pending::One(
+                    *x,
+                    g.zip(xv, "abs_bwd", |gi, xi| {
+                        gi * xi.signum() * (xi != 0.0) as u8 as f32
+                    })?,
+                )
             }
             Op::Sqrt(x) => {
                 let y = &self.nodes[i].value;
                 Pending::One(
                     *x,
-                    g.zip(y, "sqrt_bwd", |gi, yi| if yi > 0.0 { gi * 0.5 / yi } else { 0.0 })?,
+                    g.zip(
+                        y,
+                        "sqrt_bwd",
+                        |gi, yi| if yi > 0.0 { gi * 0.5 / yi } else { 0.0 },
+                    )?,
                 )
             }
             Op::Square(x) => {
@@ -585,7 +628,12 @@ impl Graph {
                 }
                 Pending::One(*x, Tensor::from_vec(gd, xv.shape())?)
             }
-            Op::LayerNorm { x, gamma, beta, eps } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let xv = &self.nodes[x.0].value;
                 let gv = &self.nodes[gamma.0].value;
                 let (gx, ggamma, gbeta) = layer_norm_bwd(xv, gv, *eps, g)?;
@@ -620,71 +668,6 @@ impl Graph {
     }
 }
 
-fn split_heads(x: &Tensor, h: usize) -> Result<Tensor> {
-    if x.shape().len() != 3 {
-        return Err(TensorError::BadRank { op: "split_heads", expected: 3, actual: x.shape().len() });
-    }
-    let (b, l, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-    if d % h != 0 {
-        return Err(TensorError::BadShape { op: "split_heads", shape: x.shape().to_vec(), len: h });
-    }
-    let dh = d / h;
-    let mut out = vec![0.0f32; b * l * d];
-    for bi in 0..b {
-        for li in 0..l {
-            for hi in 0..h {
-                let src = (bi * l + li) * d + hi * dh;
-                let dst = ((bi * h + hi) * l + li) * dh;
-                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
-            }
-        }
-    }
-    Tensor::from_vec(out, &[b * h, l, dh])
-}
-
-fn merge_heads(x: &Tensor, h: usize) -> Result<Tensor> {
-    if x.shape().len() != 3 {
-        return Err(TensorError::BadRank { op: "merge_heads", expected: 3, actual: x.shape().len() });
-    }
-    let (bh, l, dh) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-    if bh % h != 0 {
-        return Err(TensorError::BadShape { op: "merge_heads", shape: x.shape().to_vec(), len: h });
-    }
-    let b = bh / h;
-    let d = dh * h;
-    let mut out = vec![0.0f32; b * l * d];
-    for bi in 0..b {
-        for li in 0..l {
-            for hi in 0..h {
-                let dst = (bi * l + li) * d + hi * dh;
-                let src = ((bi * h + hi) * l + li) * dh;
-                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
-            }
-        }
-    }
-    Tensor::from_vec(out, &[b, l, d])
-}
-
-fn slice_last(x: &Tensor, start: usize, end: usize) -> Result<Tensor> {
-    let d = *x.shape().last().ok_or(TensorError::BadRank {
-        op: "slice_last",
-        expected: 1,
-        actual: 0,
-    })?;
-    if end > d || start > end {
-        return Err(TensorError::BadShape { op: "slice_last", shape: vec![start, end], len: d });
-    }
-    let w = end - start;
-    let rows = x.numel() / d;
-    let mut out = Vec::with_capacity(rows * w);
-    for r in 0..rows {
-        out.extend_from_slice(&x.data()[r * d + start..r * d + end]);
-    }
-    let mut shape = x.shape().to_vec();
-    *shape.last_mut().expect("non-empty") = w;
-    Tensor::from_vec(out, &shape)
-}
-
 fn softmax_bwd(s: &Tensor, g: &Tensor) -> Result<Tensor> {
     let d = *s.shape().last().expect("non-empty");
     let mut out = vec![0.0f32; s.numel()];
@@ -697,32 +680,12 @@ fn softmax_bwd(s: &Tensor, g: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, s.shape())
 }
 
-fn layer_norm_fwd(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
-    let d = *x.shape().last().ok_or(TensorError::BadRank {
-        op: "layer_norm",
-        expected: 1,
-        actual: 0,
-    })?;
-    if gamma.numel() != d || beta.numel() != d {
-        return Err(TensorError::ShapeMismatch {
-            op: "layer_norm",
-            lhs: x.shape().to_vec(),
-            rhs: gamma.shape().to_vec(),
-        });
-    }
-    let mut out = x.data().to_vec();
-    for chunk in out.chunks_mut(d) {
-        let mean: f32 = chunk.iter().sum::<f32>() / d as f32;
-        let var: f32 = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let inv = 1.0 / (var + eps).sqrt();
-        for (j, v) in chunk.iter_mut().enumerate() {
-            *v = (*v - mean) * inv * gamma.data()[j] + beta.data()[j];
-        }
-    }
-    Tensor::from_vec(out, x.shape())
-}
-
-fn layer_norm_bwd(x: &Tensor, gamma: &Tensor, eps: f32, g: &Tensor) -> Result<(Tensor, Tensor, Tensor)> {
+fn layer_norm_bwd(
+    x: &Tensor,
+    gamma: &Tensor,
+    eps: f32,
+    g: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
     let d = *x.shape().last().expect("non-empty");
     let rows = x.numel() / d;
     let mut gx = vec![0.0f32; x.numel()];
@@ -762,6 +725,7 @@ fn layer_norm_bwd(x: &Tensor, gamma: &Tensor, eps: f32, g: &Tensor) -> Result<(T
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::{merge_heads, split_heads};
 
     /// Central finite-difference gradient check for a scalar function of a
     /// single parameter tensor.
@@ -1017,7 +981,9 @@ mod tests {
     fn clip_grad_norm_bounds_norm() {
         let mut store = ParamStore::new();
         let p = store.add("p", Tensor::zeros(&[3]));
-        store.accumulate(p, &Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]).unwrap()).unwrap();
+        store
+            .accumulate(p, &Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]).unwrap())
+            .unwrap();
         assert!((store.grad_norm() - 5.0).abs() < 1e-6);
         store.clip_grad_norm(1.0);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);

@@ -16,10 +16,7 @@ fn apply(g: &mut Graph, x: Var, ops: &[u8]) -> Var {
             3 => g.scale(v, 0.7),
             4 => g.relu(v).unwrap(),
             5 => g.add_scalar(v, 0.3),
-            _ => {
-                let s = g.softmax_last(v).unwrap();
-                s
-            }
+            _ => g.softmax_last(v).unwrap(),
         };
     }
     g.mean(v).unwrap()

@@ -1,0 +1,430 @@
+//! Concurrent inference serving for the CDMPP cost model.
+//!
+//! The schedule-search and end-to-end-replay workloads score thousands of
+//! candidate tensor programs per step. The training stack executes each
+//! forward pass on a fresh autodiff tape, which pays tape-recording,
+//! gradient bookkeeping, and per-thread parameter deep clones that
+//! inference never needs. This crate is the serving seam on top of the
+//! forward-only execution path (`nn::InferCtx` + Arc-shared weights):
+//!
+//! * [`InferenceEngine`] accepts *heterogeneous* prediction requests
+//!   (arbitrary mixes of leaf counts), buckets them by leaf count through
+//!   the one shared grouping helper (`cdmpp_core::batch::group_by_leaf`),
+//!   packs each bucket into dense `[B, L, N_ENTRY]` batches, dispatches the
+//!   batches across a worker-thread pool, and returns predictions in
+//!   request order.
+//! * Each worker owns one long-lived `InferCtx`, so intermediate buffers
+//!   are recycled across every batch the engine ever serves.
+//! * The engine implements `cdmpp_core::CostModel`, so it drops into the
+//!   schedule search as a faster scorer.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cdmpp_core::batch::{build_scaled_batch, group_by_leaf, EncodedSample};
+use cdmpp_core::e2e::encode_programs;
+use cdmpp_core::predictor::PredictError;
+use cdmpp_core::{CostModel, InferenceModel, TrainedModel};
+use devsim::DeviceSpec;
+use nn::InferCtx;
+use tensor::Tensor;
+use tir::TensorProgram;
+
+/// Errors from the serving engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A request failed inside the predictor (e.g. an unsupported leaf
+    /// count — see `PredictError::LeafCountOutOfRange`).
+    Predict(PredictError),
+    /// The worker pool is gone (a worker panicked or the engine is shutting
+    /// down); the request cannot be served.
+    WorkersUnavailable,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Predict(e) => write!(f, "prediction failed: {e}"),
+            EngineError::WorkersUnavailable => write!(f, "inference worker pool unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PredictError> for EngineError {
+    fn from(e: PredictError) -> Self {
+        EngineError::Predict(e)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available CPU core.
+    pub workers: usize,
+    /// Largest dense batch dispatched to one worker. Buckets bigger than
+    /// this are split so they spread across the pool.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            max_batch: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A single-worker configuration (useful as a baseline in benchmarks).
+    pub fn single_worker() -> Self {
+        EngineConfig {
+            workers: 1,
+            ..Default::default()
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One dense batch dispatched to a worker.
+struct Job {
+    tag: usize,
+    x: Tensor,
+    dev: Tensor,
+    reply: Sender<(usize, Result<Vec<f32>, PredictError>)>,
+}
+
+/// A concurrent, leaf-count-bucketed inference server for one frozen model.
+///
+/// The engine is `Sync`: any number of application threads may call
+/// [`InferenceEngine::predict_samples`] (or score programs through the
+/// `CostModel` impl) concurrently; their batches interleave across the
+/// shared worker pool and each call gets its own results back in request
+/// order.
+pub struct InferenceEngine {
+    model: Arc<InferenceModel>,
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cfg: EngineConfig,
+}
+
+impl InferenceEngine {
+    /// Starts an engine serving `model` with the given configuration.
+    pub fn new(model: InferenceModel, cfg: EngineConfig) -> Self {
+        let model = Arc::new(model);
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..cfg.resolved_workers())
+            .map(|_| {
+                let model = Arc::clone(&model);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || worker_loop(&model, &job_rx))
+            })
+            .collect();
+        InferenceEngine {
+            model,
+            job_tx: Some(job_tx),
+            workers,
+            cfg,
+        }
+    }
+
+    /// Convenience: freeze a trained model and serve it.
+    pub fn from_trained(model: &TrainedModel, cfg: EngineConfig) -> Self {
+        Self::new(model.freeze(), cfg)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of worker threads serving requests.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &InferenceModel {
+        &self.model
+    }
+
+    /// Predicts latencies (seconds) for pre-encoded, unscaled samples.
+    ///
+    /// Requests may mix leaf counts arbitrarily; the engine groups them,
+    /// dispatches dense batches across the pool, and returns one latency
+    /// per input sample **in input order**. Unsupported leaf counts are
+    /// rejected up front with the predictor's descriptive error.
+    pub fn predict_samples(&self, enc: &[EncodedSample]) -> Result<Vec<f64>, EngineError> {
+        if enc.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate before dispatch so the caller gets the descriptive
+        // error immediately rather than a poisoned batch result.
+        let max_leaves = self.model.predictor.config().max_leaves;
+        for s in enc {
+            if s.leaf_count == 0 || s.leaf_count > max_leaves {
+                return Err(PredictError::LeafCountOutOfRange {
+                    leaves: s.leaf_count,
+                    max_leaves,
+                }
+                .into());
+            }
+        }
+        // Bucket by leaf count, split buckets into dense batches, dispatch.
+        // Standardization happens during the batch-building copy
+        // (`build_scaled_batch`), so requests are never cloned wholesale.
+        let job_tx = self.job_tx.as_ref().expect("live until drop");
+        let (reply_tx, reply_rx) = channel();
+        let mut chunks: Vec<Vec<usize>> = Vec::new();
+        for (_, idxs) in group_by_leaf(enc) {
+            for chunk in idxs.chunks(self.cfg.max_batch.max(1)) {
+                chunks.push(chunk.to_vec());
+            }
+        }
+        for (tag, chunk) in chunks.iter().enumerate() {
+            let refs: Vec<&EncodedSample> = chunk.iter().map(|&i| &enc[i]).collect();
+            let batch = build_scaled_batch(&refs, &self.model.scaler);
+            let job = Job {
+                tag,
+                x: batch.x,
+                dev: batch.dev,
+                reply: reply_tx.clone(),
+            };
+            job_tx
+                .send(job)
+                .map_err(|_| EngineError::WorkersUnavailable)?;
+        }
+        drop(reply_tx);
+        // Collect replies and scatter them back to request order.
+        let mut out = vec![0.0f64; enc.len()];
+        let mut received = 0usize;
+        while received < chunks.len() {
+            let (tag, result) = reply_rx
+                .recv()
+                .map_err(|_| EngineError::WorkersUnavailable)?;
+            let preds = result?;
+            for (&i, &p) in chunks[tag].iter().zip(preds.iter()) {
+                out[i] = self.model.inverse_transform(p);
+            }
+            received += 1;
+        }
+        Ok(out)
+    }
+
+    /// Encodes and scores standalone tensor programs for a device,
+    /// returning predicted latencies (seconds) in input order.
+    pub fn predict_programs(
+        &self,
+        progs: &[&TensorProgram],
+        dev: &DeviceSpec,
+    ) -> Result<Vec<f64>, EngineError> {
+        let enc = encode_programs(
+            progs,
+            dev,
+            self.model.predictor.config().theta,
+            self.model.use_pe,
+        );
+        self.predict_samples(&enc)
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers; join them so no thread
+        // outlives the engine.
+        self.job_tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The engine is a drop-in cost model for the schedule search: `score_batch`
+/// fans candidate programs out across the worker pool.
+impl CostModel for InferenceEngine {
+    fn score(&self, prog: &TensorProgram, dev: &DeviceSpec) -> f64 {
+        self.score_batch(&[prog], dev)[0]
+    }
+
+    fn score_batch(&self, progs: &[&TensorProgram], dev: &DeviceSpec) -> Vec<f64> {
+        // Per-candidate granularity: an unsupported leaf count ranks only
+        // that candidate as infinitely slow; the rest still get real
+        // scores (matching the TrainedModel cost model's behavior).
+        let enc = encode_programs(
+            progs,
+            dev,
+            self.model.predictor.config().theta,
+            self.model.use_pe,
+        );
+        let max_leaves = self.model.predictor.config().max_leaves;
+        let valid_idx: Vec<usize> = enc
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| (1..=max_leaves).contains(&s.leaf_count))
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = vec![f64::INFINITY; progs.len()];
+        if valid_idx.is_empty() {
+            return out;
+        }
+        let valid: Vec<EncodedSample> = valid_idx.iter().map(|&i| enc[i].clone()).collect();
+        match self.predict_samples(&valid) {
+            Ok(preds) => {
+                for (&i, p) in valid_idx.iter().zip(preds) {
+                    out[i] = p;
+                }
+            }
+            // Unreachable after the filter above, but keep the candidates
+            // rankable if a new validation is ever added upstream.
+            Err(EngineError::Predict(_)) => {}
+            // A dead worker pool is infrastructure failure: silently
+            // returning INFINITY would let the search "complete" with
+            // garbage results. CostModel has no error channel, so be loud.
+            Err(e @ EngineError::WorkersUnavailable) => {
+                panic!("inference engine cannot score candidates: {e}")
+            }
+        }
+        out
+    }
+}
+
+/// End-to-end network latency prediction served by the engine.
+///
+/// Mirrors `cdmpp_core::e2e::end_to_end` but scores the per-task tensor
+/// programs through the engine's worker pool (the `cdmpp` CLI's serving
+/// path), and surfaces engine errors instead of NaN-ing predictions.
+pub fn end_to_end(
+    engine: &InferenceEngine,
+    net: &tir::Network,
+    dev: &DeviceSpec,
+    seed: u64,
+) -> Result<cdmpp_core::E2eResult, EngineError> {
+    let (task_ids, programs) = cdmpp_core::sample_network_programs(net, seed);
+    let refs: Vec<&TensorProgram> = programs.iter().collect();
+    let predicted = engine.predict_programs(&refs, dev)?;
+    Ok(cdmpp_core::replay_predictions(
+        net, dev, &task_ids, &programs, &predicted,
+    ))
+}
+
+fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
+    // One context per worker, alive for the engine's lifetime: node buffers
+    // are recycled across every batch this worker ever executes.
+    let mut ctx = InferCtx::new(model.predictor.params());
+    loop {
+        let job = {
+            let rx = match jobs.lock() {
+                Ok(rx) => rx,
+                Err(_) => return, // poisoned: another worker panicked
+            };
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // channel closed: engine dropped
+            }
+        };
+        let result = model.predictor.predict_with(&mut ctx, job.x, job.dev);
+        // A send failure means the requester gave up; keep serving others.
+        let _ = job.reply.send((job.tag, result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmpp_core::PredictorConfig;
+    use features::{N_DEVICE_FEATURES, N_ENTRY};
+
+    fn sample(leaves: usize, seed: usize) -> EncodedSample {
+        EncodedSample {
+            record_idx: seed,
+            leaf_count: leaves,
+            x: (0..leaves * N_ENTRY)
+                .map(|i| ((i + seed) as f32 * 0.173).sin())
+                .collect(),
+            dev: [0.3; N_DEVICE_FEATURES],
+            y_raw: 1e-3,
+        }
+    }
+
+    fn untrained_model() -> InferenceModel {
+        use cdmpp_core::batch::FeatScaler;
+        use learn::TransformKind;
+        let model = TrainedModel {
+            predictor: cdmpp_core::Predictor::new(PredictorConfig::default()),
+            transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+            scaler: FeatScaler::identity(),
+            use_pe: true,
+            train_config: cdmpp_core::TrainConfig::default(),
+        };
+        model.freeze()
+    }
+
+    fn engine(workers: usize) -> InferenceEngine {
+        InferenceEngine::new(
+            untrained_model(),
+            EngineConfig {
+                workers,
+                max_batch: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn heterogeneous_requests_come_back_in_order() {
+        let eng = engine(3);
+        // Interleave leaf counts so bucketing must reorder internally.
+        let enc: Vec<EncodedSample> = (0..40).map(|i| sample(1 + (i % 5), i)).collect();
+        let got = eng.predict_samples(&enc).unwrap();
+        assert_eq!(got.len(), enc.len());
+        // Reference: serial single-threaded path over the same samples.
+        let want = eng.model().predict_samples(&enc).unwrap();
+        assert_eq!(got, want, "engine must preserve request order exactly");
+    }
+
+    #[test]
+    fn oversized_leaf_count_is_rejected_descriptively() {
+        let eng = engine(1);
+        let enc = vec![sample(3, 0), sample(99, 1)];
+        let err = eng.predict_samples(&enc).unwrap_err();
+        match err {
+            EngineError::Predict(PredictError::LeafCountOutOfRange { leaves, max_leaves }) => {
+                assert_eq!(leaves, 99);
+                assert_eq!(max_leaves, 8);
+            }
+            other => panic!("expected leaf-count error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_request_is_fine() {
+        let eng = engine(2);
+        assert!(eng.predict_samples(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        let eng = engine(2);
+        assert_eq!(eng.worker_count(), 2);
+        let auto = engine(0);
+        assert!(auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<InferenceEngine>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Concurrency invariants of the serving engine: N application threads
+//! hammering one shared `InferenceEngine` with identical heterogeneous
+//! request batches must all get identical, request-ordered results.
+
+use cdmpp_core::batch::{EncodedSample, FeatScaler};
+use cdmpp_core::{Predictor, PredictorConfig, TrainConfig, TrainedModel};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use learn::TransformKind;
+use runtime::{EngineConfig, InferenceEngine};
+
+fn frozen_model() -> cdmpp_core::InferenceModel {
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    model.freeze()
+}
+
+fn stream(n: usize) -> Vec<EncodedSample> {
+    (0..n)
+        .map(|i| {
+            let leaves = 1 + i % 7;
+            EncodedSample {
+                record_idx: i,
+                leaf_count: leaves,
+                x: (0..leaves * N_ENTRY)
+                    .map(|j| ((i * 131 + j) as f32 * 0.0173).sin())
+                    .collect(),
+                dev: [0.25; N_DEVICE_FEATURES],
+                y_raw: 1e-3,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn n_threads_one_engine_identical_ordered_results() {
+    let engine = InferenceEngine::new(
+        frozen_model(),
+        EngineConfig {
+            workers: 4,
+            max_batch: 16,
+        },
+    );
+    let enc = stream(120);
+    // Serial reference through the same frozen model.
+    let reference = engine.model().predict_samples(&enc).unwrap();
+    assert_eq!(reference.len(), enc.len());
+    assert!(reference.iter().all(|v| v.is_finite()));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = &engine;
+                let enc = &enc;
+                let reference = &reference;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let got = engine.predict_samples(enc).unwrap();
+                        assert_eq!(
+                            &got, reference,
+                            "thread results must be identical and ordered"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn interleaved_distinct_requests_do_not_cross_talk() {
+    let engine = InferenceEngine::new(
+        frozen_model(),
+        EngineConfig {
+            workers: 3,
+            max_batch: 8,
+        },
+    );
+    // Every thread sends a *different* stream; replies must never leak
+    // across requests.
+    let streams: Vec<Vec<EncodedSample>> = (0..6).map(|t| stream(40 + t * 7)).collect();
+    let references: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|e| engine.model().predict_samples(e).unwrap())
+        .collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .zip(references.iter())
+            .map(|(enc, reference)| {
+                let engine = &engine;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let got = engine.predict_samples(enc).unwrap();
+                        assert_eq!(&got, reference);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn engine_drop_joins_workers_cleanly() {
+    for _ in 0..5 {
+        let engine = InferenceEngine::new(
+            frozen_model(),
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+            },
+        );
+        let enc = stream(10);
+        let _ = engine.predict_samples(&enc).unwrap();
+        drop(engine); // must not hang or leak threads
+    }
+}

@@ -15,7 +15,7 @@
 mod ops;
 mod shape;
 
-pub use ops::{bmm, matmul};
+pub use ops::{bmm, bmm_into, matmul, matmul_into};
 pub use shape::Shape;
 
 use std::fmt;
@@ -61,7 +61,11 @@ impl fmt::Display for TensorError {
             TensorError::BadShape { op, shape, len } => {
                 write!(f, "{op}: shape {shape:?} incompatible with {len} elements")
             }
-            TensorError::BadRank { op, expected, actual } => {
+            TensorError::BadRank {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got rank {actual}")
             }
         }
@@ -101,28 +105,43 @@ impl Tensor {
                 len: data.len(),
             });
         }
-        Ok(Tensor { data, shape: shape.to_vec() })
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
     }
 
     /// Creates a scalar tensor of shape `[1]`.
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], shape: vec![1] }
+        Tensor {
+            data: vec![v],
+            shape: vec![1],
+        }
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with a constant.
     pub fn full(shape: &[usize], v: f32) -> Self {
-        Tensor { data: vec![v; shape.iter().product()], shape: shape.to_vec() }
+        Tensor {
+            data: vec![v; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor by calling `f(i)` for each flat index `i`.
-    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: &[usize], f: impl FnMut(usize) -> f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { data: (0..numel).map(|i| f(i)).collect(), shape: shape.to_vec() }
+        Tensor {
+            data: (0..numel).map(f).collect(),
+            shape: shape.to_vec(),
+        }
     }
 
     /// The tensor's shape.
@@ -171,7 +190,10 @@ impl Tensor {
                 len: self.data.len(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape: shape.to_vec() })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
     }
 
     /// Element-wise map.
@@ -182,8 +204,102 @@ impl Tensor {
         }
     }
 
+    /// Element-wise map into a caller-provided buffer (cleared and refilled,
+    /// reusing capacity). Used by the forward-only executor in `nn` to
+    /// recycle node buffers across batches.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.data.iter().map(|&x| f(x)));
+    }
+
+    /// Element-wise binary op into a caller-provided buffer; shapes must
+    /// match exactly.
+    pub fn zip_into(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Ok(())
+    }
+
+    /// Broadcast op against a trailing row vector into a caller-provided
+    /// buffer; `row` must have `d` elements where `d` is the trailing axis.
+    pub fn row_op_into(
+        &self,
+        row: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let d = *self.shape.last().ok_or(TensorError::BadRank {
+            op,
+            expected: 1,
+            actual: 0,
+        })?;
+        if row.numel() != d {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: row.shape.clone(),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.data
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| f(v, row.data[i % d])),
+        );
+        Ok(())
+    }
+
+    /// Softmax over the last axis into a caller-provided buffer.
+    pub fn softmax_last_into(&self, out: &mut Vec<f32>) -> Result<()> {
+        let d = *self.shape.last().ok_or(TensorError::BadRank {
+            op: "softmax_last",
+            expected: 1,
+            actual: 0,
+        })?;
+        out.clear();
+        out.extend_from_slice(&self.data);
+        for chunk in out.chunks_mut(d) {
+            let m = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in chunk.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            let inv = 1.0 / z;
+            for v in chunk.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+
     /// Element-wise binary op; shapes must match exactly.
-    pub fn zip(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    pub fn zip(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -280,24 +396,18 @@ impl Tensor {
         self.row_op(row, "mul_row", |a, b| a * b)
     }
 
-    fn row_op(&self, row: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
-        let d = *self.shape.last().ok_or(TensorError::BadRank {
-            op,
-            expected: 1,
-            actual: 0,
-        })?;
-        if row.numel() != d {
-            return Err(TensorError::ShapeMismatch {
-                op,
-                lhs: self.shape.clone(),
-                rhs: row.shape.clone(),
-            });
-        }
-        let mut out = self.clone();
-        for (i, v) in out.data.iter_mut().enumerate() {
-            *v = f(*v, row.data[i % d]);
-        }
-        Ok(out)
+    fn row_op(
+        &self,
+        row: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        let mut out = Vec::new();
+        self.row_op_into(row, op, f, &mut out)?;
+        Ok(Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        })
     }
 
     /// Sum of all elements, as a scalar tensor value.
@@ -325,8 +435,8 @@ impl Tensor {
         let rows = self.data.len() / d;
         let mut out = vec![0.0f64; d];
         for r in 0..rows {
-            for j in 0..d {
-                out[j] += self.data[r * d + j] as f64;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.data[r * d + j] as f64;
             }
         }
         let inv = 1.0 / rows.max(1) as f64;
@@ -346,8 +456,8 @@ impl Tensor {
         let rows = self.data.len() / d;
         let mut out = vec![0.0f64; d];
         for r in 0..rows {
-            for j in 0..d {
-                out[j] += self.data[r * d + j] as f64;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.data[r * d + j] as f64;
             }
         }
         Ok(Tensor {
@@ -372,30 +482,20 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Ok(Tensor { data: out, shape: vec![n, m] })
+        Ok(Tensor {
+            data: out,
+            shape: vec![n, m],
+        })
     }
 
     /// Softmax over the last axis.
     pub fn softmax_last(&self) -> Result<Tensor> {
-        let d = *self.shape.last().ok_or(TensorError::BadRank {
-            op: "softmax_last",
-            expected: 1,
-            actual: 0,
-        })?;
-        let mut out = self.data.clone();
-        for chunk in out.chunks_mut(d) {
-            let m = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for v in chunk.iter_mut() {
-                *v = (*v - m).exp();
-                z += *v;
-            }
-            let inv = 1.0 / z;
-            for v in chunk.iter_mut() {
-                *v *= inv;
-            }
-        }
-        Ok(Tensor { data: out, shape: self.shape.clone() })
+        let mut out = Vec::new();
+        self.softmax_last_into(&mut out)?;
+        Ok(Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        })
     }
 
     /// Frobenius (L2) norm of all elements.
@@ -410,7 +510,11 @@ impl Tensor {
     /// Concatenates tensors along the last axis. All leading dims must match.
     pub fn concat_last(parts: &[&Tensor]) -> Result<Tensor> {
         if parts.is_empty() {
-            return Err(TensorError::BadRank { op: "concat_last", expected: 1, actual: 0 });
+            return Err(TensorError::BadRank {
+                op: "concat_last",
+                expected: 1,
+                actual: 0,
+            });
         }
         let lead: &[usize] = &parts[0].shape[..parts[0].shape.len() - 1];
         let rows: usize = lead.iter().product();
@@ -481,7 +585,10 @@ impl Tensor {
             }
             out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
         }
-        Ok(Tensor { data: out, shape: vec![idx.len(), d] })
+        Ok(Tensor {
+            data: out,
+            shape: vec![idx.len(), d],
+        })
     }
 }
 

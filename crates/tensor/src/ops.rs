@@ -17,11 +17,32 @@ use crate::{Result, Tensor, TensorError};
 /// assert_eq!(matmul(&a, &i).unwrap(), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let shape = matmul_into(a, b, &mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+/// 2-D matrix product writing into a caller-provided buffer.
+///
+/// The buffer is cleared and refilled (reusing its capacity) and the output
+/// shape `[m, n]` is returned. The accumulation order is identical to
+/// [`matmul`], so results are bit-identical — this is what lets the
+/// forward-only execution path in `nn` reuse buffers across batches while
+/// staying exactly equal to the taped path.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize; 2]> {
     if a.shape().len() != 2 {
-        return Err(TensorError::BadRank { op: "matmul", expected: 2, actual: a.shape().len() });
+        return Err(TensorError::BadRank {
+            op: "matmul",
+            expected: 2,
+            actual: a.shape().len(),
+        });
     }
     if b.shape().len() != 2 {
-        return Err(TensorError::BadRank { op: "matmul", expected: 2, actual: b.shape().len() });
+        return Err(TensorError::BadRank {
+            op: "matmul",
+            expected: 2,
+            actual: b.shape().len(),
+        });
     }
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
@@ -32,9 +53,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    mm_kernel(a.data(), b.data(), &mut out, m, k, n);
-    Tensor::from_vec(out, &[m, n])
+    out.clear();
+    out.resize(m * n, 0.0);
+    mm_kernel(a.data(), b.data(), out, m, k, n);
+    Ok([m, n])
 }
 
 /// Batched matrix product over the leading axis, with optional transposes.
@@ -42,11 +64,33 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// `a` has shape `[b, m, k]` (or `[b, k, m]` if `ta`), `b` has shape
 /// `[b, k, n]` (or `[b, n, k]` if `tb`); the result is `[b, m, n]`.
 pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let shape = bmm_into(a, b, ta, tb, &mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+/// Batched matrix product writing into a caller-provided buffer; see
+/// [`matmul_into`] for the buffer contract and bit-identity guarantee.
+pub fn bmm_into(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    out: &mut Vec<f32>,
+) -> Result<[usize; 3]> {
     if a.shape().len() != 3 {
-        return Err(TensorError::BadRank { op: "bmm", expected: 3, actual: a.shape().len() });
+        return Err(TensorError::BadRank {
+            op: "bmm",
+            expected: 3,
+            actual: a.shape().len(),
+        });
     }
     if b.shape().len() != 3 {
-        return Err(TensorError::BadRank { op: "bmm", expected: 3, actual: b.shape().len() });
+        return Err(TensorError::BadRank {
+            op: "bmm",
+            expected: 3,
+            actual: b.shape().len(),
+        });
     }
     let batch = a.shape()[0];
     if b.shape()[0] != batch {
@@ -56,8 +100,16 @@ pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let (m, k) = if ta { (a.shape()[2], a.shape()[1]) } else { (a.shape()[1], a.shape()[2]) };
-    let (k2, n) = if tb { (b.shape()[2], b.shape()[1]) } else { (b.shape()[1], b.shape()[2]) };
+    let (m, k) = if ta {
+        (a.shape()[2], a.shape()[1])
+    } else {
+        (a.shape()[1], a.shape()[2])
+    };
+    let (k2, n) = if tb {
+        (b.shape()[2], b.shape()[1])
+    } else {
+        (b.shape()[1], b.shape()[2])
+    };
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
             op: "bmm",
@@ -65,7 +117,8 @@ pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; batch * m * n];
+    out.clear();
+    out.resize(batch * m * n, 0.0);
     let a_stride = a.shape()[1] * a.shape()[2];
     let b_stride = b.shape()[1] * b.shape()[2];
     for t in 0..batch {
@@ -85,7 +138,7 @@ pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[batch, m, n])
+    Ok([batch, m, n])
 }
 
 /// `out[m, n] += a[m, k] * b[k, n]` with ikj loop order.

@@ -206,7 +206,12 @@ mod tests {
     }
 
     fn lv(axis: AxisId, extent: u64) -> LoopVar {
-        LoopVar { axis, extent, kind: LoopKind::Serial, is_reduction: false }
+        LoopVar {
+            axis,
+            extent,
+            kind: LoopKind::Serial,
+            is_reduction: false,
+        }
     }
 
     /// `for a { init; for b { mac } }` — the Fig 1 shape in miniature.
@@ -217,7 +222,10 @@ mod tests {
                 var: lv(0, 4),
                 body: vec![
                     leaf(ComputeKind::Init),
-                    AstNode::Loop { var: lv(1, 8), body: vec![leaf(ComputeKind::Mac)] },
+                    AstNode::Loop {
+                        var: lv(1, 8),
+                        body: vec![leaf(ComputeKind::Mac)],
+                    },
                 ],
             }],
         }

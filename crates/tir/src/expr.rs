@@ -89,7 +89,11 @@ pub struct Buffer {
 impl Buffer {
     /// Creates an `f32` buffer with the given element count.
     pub fn f32(name: impl Into<String>, elems: u64) -> Self {
-        Buffer { name: name.into(), elems, elem_bytes: 4 }
+        Buffer {
+            name: name.into(),
+            elems,
+            elem_bytes: 4,
+        }
     }
 
     /// Total size in bytes.
@@ -118,14 +122,22 @@ impl MemAccess {
     pub fn read(buffer: BufferId, strides: Vec<(AxisId, i64)>) -> Self {
         let mut strides = strides;
         strides.sort_by_key(|&(a, _)| a);
-        MemAccess { buffer, is_write: false, strides }
+        MemAccess {
+            buffer,
+            is_write: false,
+            strides,
+        }
     }
 
     /// Creates a write access.
     pub fn write(buffer: BufferId, strides: Vec<(AxisId, i64)>) -> Self {
         let mut strides = strides;
         strides.sort_by_key(|&(a, _)| a);
-        MemAccess { buffer, is_write: true, strides }
+        MemAccess {
+            buffer,
+            is_write: true,
+            strides,
+        }
     }
 
     /// Stride along `axis` (0 if the access is invariant to it).

@@ -71,8 +71,15 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::UnknownAxis(a) => write!(f, "unknown axis {a}"),
-            ScheduleError::BadFactor { axis, extent, factor } => {
-                write!(f, "factor {factor} does not divide extent {extent} of axis {axis}")
+            ScheduleError::BadFactor {
+                axis,
+                extent,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "factor {factor} does not divide extent {extent} of axis {axis}"
+                )
             }
             ScheduleError::BadReorder => write!(f, "reorder is not a permutation"),
         }
@@ -98,7 +105,11 @@ impl LowerState {
         LowerState {
             axes: nest.axes.clone(),
             order,
-            leaves: nest.leaves.iter().map(|l| (l.clone(), l.domain.clone())).collect(),
+            leaves: nest
+                .leaves
+                .iter()
+                .map(|l| (l.clone(), l.domain.clone()))
+                .collect(),
             annotations: Vec::new(),
             next_axis,
         }
@@ -124,20 +135,39 @@ impl LowerState {
     }
 
     fn split(&mut self, axis: AxisId, factor: u64) -> Result<(), ScheduleError> {
-        let info = self.axis(axis).ok_or(ScheduleError::UnknownAxis(axis))?.clone();
+        let info = self
+            .axis(axis)
+            .ok_or(ScheduleError::UnknownAxis(axis))?
+            .clone();
         if factor == 0 || info.extent % factor != 0 {
-            return Err(ScheduleError::BadFactor { axis, extent: info.extent, factor });
+            return Err(ScheduleError::BadFactor {
+                axis,
+                extent: info.extent,
+                factor,
+            });
         }
         let outer = self.next_axis;
         let inner = self.next_axis + 1;
         self.next_axis += 2;
         // Replace the axis record.
         self.axes.retain(|a| a.id != axis);
-        self.axes.push(AxisInfo { id: outer, extent: info.extent / factor, is_reduction: info.is_reduction });
-        self.axes.push(AxisInfo { id: inner, extent: factor, is_reduction: info.is_reduction });
+        self.axes.push(AxisInfo {
+            id: outer,
+            extent: info.extent / factor,
+            is_reduction: info.is_reduction,
+        });
+        self.axes.push(AxisInfo {
+            id: inner,
+            extent: factor,
+            is_reduction: info.is_reduction,
+        });
         // Replace in the global order: outer takes the old slot, inner
         // follows immediately (Reorder can move it later).
-        let pos = self.order.iter().position(|&a| a == axis).expect("axis in order");
+        let pos = self
+            .order
+            .iter()
+            .position(|&a| a == axis)
+            .expect("axis in order");
         self.order.splice(pos..=pos, [outer, inner]);
         // Rewrite leaf domains and accesses.
         for (leaf, domain) in &mut self.leaves {
@@ -236,12 +266,15 @@ pub fn lower(nest: &Nest, schedule: &Schedule) -> Result<TensorProgram, Schedule
     for p in &schedule.primitives {
         state.apply(p)?;
     }
-    Ok(TensorProgram { buffers: nest.buffers.clone(), roots: state.build() })
+    Ok(TensorProgram {
+        buffers: nest.buffers.clone(),
+        roots: state.build(),
+    })
 }
 
 /// Divisors of `n` in `[2, max]`, used by the random tiler.
 fn divisors(n: u64, max: u64) -> Vec<u64> {
-    (2..=n.min(max)).filter(|d| n % d == 0).collect()
+    (2..=n.min(max)).filter(|d| n.is_multiple_of(*d)).collect()
 }
 
 /// Samples a random Ansor-style schedule for a nest.
@@ -259,7 +292,10 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
         if extent >= 4 && rng.random_bool(0.7) {
             let divs = divisors(extent, 64);
             if let Some(&f) = divs.as_slice().choose(rng) {
-                let p = Primitive::Split { axis: id, factor: f };
+                let p = Primitive::Split {
+                    axis: id,
+                    factor: f,
+                };
                 if state.apply(&p).is_ok() {
                     primitives.push(p);
                 }
@@ -277,7 +313,10 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
         if let Some(&(id, extent)) = candidates.as_slice().choose(rng) {
             let divs = divisors(extent, 16);
             if let Some(&f) = divs.as_slice().choose(rng) {
-                let p = Primitive::Split { axis: id, factor: f };
+                let p = Primitive::Split {
+                    axis: id,
+                    factor: f,
+                };
                 if state.apply(&p).is_ok() {
                     primitives.push(p);
                 }
@@ -293,7 +332,8 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
         for _ in 0..swaps {
             if order.len() >= 2 {
                 let i = rng.random_range(0..order.len() - 1);
-                let j = (i + 1 + rng.random_range(0..2.min(order.len() - i - 1))).min(order.len() - 1);
+                let j =
+                    (i + 1 + rng.random_range(0..2.min(order.len() - i - 1))).min(order.len() - 1);
                 order.swap(i, j);
             }
         }
@@ -310,8 +350,11 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
     let order = state.order.clone();
     if let Some(&last) = order.last() {
         let extent = state.axis(last).map(|a| a.extent).unwrap_or(1);
-        if extent >= 2 && extent <= 64 && rng.random_bool(0.55) {
-            let p = Primitive::Annotate { axis: last, kind: LoopKind::Vectorize };
+        if (2..=64).contains(&extent) && rng.random_bool(0.55) {
+            let p = Primitive::Annotate {
+                axis: last,
+                kind: LoopKind::Vectorize,
+            };
             if state.apply(&p).is_ok() {
                 primitives.push(p);
             }
@@ -320,7 +363,10 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
     if let Some(&first) = order.first() {
         let is_red = state.axis(first).map(|a| a.is_reduction).unwrap_or(false);
         if !is_red && rng.random_bool(0.7) {
-            let p = Primitive::Annotate { axis: first, kind: LoopKind::Parallel };
+            let p = Primitive::Annotate {
+                axis: first,
+                kind: LoopKind::Parallel,
+            };
             if state.apply(&p).is_ok() {
                 primitives.push(p);
             }
@@ -336,7 +382,10 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
             .collect();
         if let Some(&id) = candidates.as_slice().choose(rng) {
             if state.annotation(id) == LoopKind::Serial {
-                let p = Primitive::Annotate { axis: id, kind: LoopKind::Unroll };
+                let p = Primitive::Annotate {
+                    axis: id,
+                    kind: LoopKind::Unroll,
+                };
                 if state.apply(&p).is_ok() {
                     primitives.push(p);
                 }
@@ -348,11 +397,7 @@ pub fn sample_schedule(nest: &Nest, rng: &mut impl Rng) -> Schedule {
 
 /// Enumerates light mutations of a schedule (used by the Ansor-lite
 /// evolutionary search in `cdmpp-core`).
-pub fn mutate_schedule(
-    nest: &Nest,
-    schedule: &Schedule,
-    rng: &mut impl Rng,
-) -> Schedule {
+pub fn mutate_schedule(nest: &Nest, schedule: &Schedule, rng: &mut impl Rng) -> Schedule {
     // Mutation = re-sampling with a bias toward keeping the old primitives:
     // with probability 0.5 keep the old schedule's splits and resample the
     // rest, otherwise sample fresh.
@@ -375,7 +420,10 @@ pub fn mutate_schedule(
         }
         if let Some(&last) = state.order.clone().last() {
             if rng.random_bool(0.5) {
-                let p = Primitive::Annotate { axis: last, kind: LoopKind::Vectorize };
+                let p = Primitive::Annotate {
+                    axis: last,
+                    kind: LoopKind::Vectorize,
+                };
                 if state.apply(&p).is_ok() {
                     kept.primitives.push(p);
                 }
@@ -395,7 +443,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn dense_nest() -> Nest {
-        OpSpec::Dense { m: 16, n: 16, k: 16 }.canonical_nest()
+        OpSpec::Dense {
+            m: 16,
+            n: 16,
+            k: 16,
+        }
+        .canonical_nest()
     }
 
     #[test]
@@ -429,23 +482,39 @@ mod tests {
     #[test]
     fn split_requires_dividing_factor() {
         let nest = dense_nest();
-        let s = Schedule { primitives: vec![Primitive::Split { axis: 0, factor: 5 }] };
-        assert!(matches!(lower(&nest, &s), Err(ScheduleError::BadFactor { .. })));
+        let s = Schedule {
+            primitives: vec![Primitive::Split { axis: 0, factor: 5 }],
+        };
+        assert!(matches!(
+            lower(&nest, &s),
+            Err(ScheduleError::BadFactor { .. })
+        ));
     }
 
     #[test]
     fn split_unknown_axis_errors() {
         let nest = dense_nest();
-        let s = Schedule { primitives: vec![Primitive::Split { axis: 99, factor: 2 }] };
+        let s = Schedule {
+            primitives: vec![Primitive::Split {
+                axis: 99,
+                factor: 2,
+            }],
+        };
         assert_eq!(lower(&nest, &s), Err(ScheduleError::UnknownAxis(99)));
     }
 
     #[test]
     fn reorder_validates_permutation() {
         let nest = dense_nest();
-        let bad = Schedule { primitives: vec![Primitive::Reorder { order: vec![0, 1] }] };
+        let bad = Schedule {
+            primitives: vec![Primitive::Reorder { order: vec![0, 1] }],
+        };
         assert_eq!(lower(&nest, &bad), Err(ScheduleError::BadReorder));
-        let dup = Schedule { primitives: vec![Primitive::Reorder { order: vec![0, 1, 1] }] };
+        let dup = Schedule {
+            primitives: vec![Primitive::Reorder {
+                order: vec![0, 1, 1],
+            }],
+        };
         assert_eq!(lower(&nest, &dup), Err(ScheduleError::BadReorder));
     }
 
@@ -454,7 +523,11 @@ mod tests {
         let nest = dense_nest();
         // Put the reduction axis k (=2) outermost: init/relu (domain {i,j})
         // must fission out of the k-nest.
-        let s = Schedule { primitives: vec![Primitive::Reorder { order: vec![2, 0, 1] }] };
+        let s = Schedule {
+            primitives: vec![Primitive::Reorder {
+                order: vec![2, 0, 1],
+            }],
+        };
         let p = lower(&nest, &s).unwrap();
         assert_eq!(p.leaf_count(), 3);
         // Three sibling nests at the root: init-nest, k-nest, relu-nest.
@@ -467,8 +540,14 @@ mod tests {
         let nest = dense_nest();
         let s = Schedule {
             primitives: vec![
-                Primitive::Annotate { axis: 0, kind: LoopKind::Parallel },
-                Primitive::Annotate { axis: 1, kind: LoopKind::Vectorize },
+                Primitive::Annotate {
+                    axis: 0,
+                    kind: LoopKind::Parallel,
+                },
+                Primitive::Annotate {
+                    axis: 1,
+                    kind: LoopKind::Vectorize,
+                },
             ],
         };
         let p = lower(&nest, &s).unwrap();
@@ -493,7 +572,10 @@ mod tests {
         let nest = dense_nest();
         let s = Schedule {
             primitives: vec![
-                Primitive::Annotate { axis: 1, kind: LoopKind::Vectorize },
+                Primitive::Annotate {
+                    axis: 1,
+                    kind: LoopKind::Vectorize,
+                },
                 Primitive::Split { axis: 1, factor: 4 },
             ],
         };
@@ -519,7 +601,9 @@ mod tests {
     #[test]
     fn split_rewrites_access_strides() {
         let nest = dense_nest();
-        let s = Schedule { primitives: vec![Primitive::Split { axis: 1, factor: 4 }] };
+        let s = Schedule {
+            primitives: vec![Primitive::Split { axis: 1, factor: 4 }],
+        };
         let p = lower(&nest, &s).unwrap();
         // Find the mac leaf; its B access now strides 1 on the inner j axis
         // and 4 on the outer j axis.
@@ -540,10 +624,27 @@ mod tests {
     fn sampled_schedules_always_lower() {
         let mut rng = StdRng::seed_from_u64(7);
         for spec in [
-            OpSpec::Dense { m: 64, n: 64, k: 64 },
-            OpSpec::Conv2d { n: 1, cin: 16, hw: 16, cout: 32, khw: 3, stride: 1 },
-            OpSpec::Softmax { rows: 64, cols: 128 },
-            OpSpec::Elementwise { n: 1024, kind: crate::task::EwKind::Relu },
+            OpSpec::Dense {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            OpSpec::Conv2d {
+                n: 1,
+                cin: 16,
+                hw: 16,
+                cout: 32,
+                khw: 3,
+                stride: 1,
+            },
+            OpSpec::Softmax {
+                rows: 64,
+                cols: 128,
+            },
+            OpSpec::Elementwise {
+                n: 1024,
+                kind: crate::task::EwKind::Relu,
+            },
         ] {
             let nest = spec.canonical_nest();
             for _ in 0..50 {
@@ -559,20 +660,33 @@ mod tests {
     #[test]
     fn sampled_schedules_are_diverse() {
         let mut rng = StdRng::seed_from_u64(3);
-        let nest = OpSpec::Dense { m: 64, n: 64, k: 64 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        }
+        .canonical_nest();
         let mut node_counts = std::collections::HashSet::new();
         for _ in 0..100 {
             let sched = sample_schedule(&nest, &mut rng);
             let p = lower(&nest, &sched).unwrap();
             node_counts.insert(p.node_count());
         }
-        assert!(node_counts.len() >= 4, "expected structural diversity, got {node_counts:?}");
+        assert!(
+            node_counts.len() >= 4,
+            "expected structural diversity, got {node_counts:?}"
+        );
     }
 
     #[test]
     fn mutation_produces_valid_schedules() {
         let mut rng = StdRng::seed_from_u64(11);
-        let nest = OpSpec::Dense { m: 32, n: 32, k: 32 }.canonical_nest();
+        let nest = OpSpec::Dense {
+            m: 32,
+            n: 32,
+            k: 32,
+        }
+        .canonical_nest();
         let base = sample_schedule(&nest, &mut rng);
         for _ in 0..30 {
             let m = mutate_schedule(&nest, &base, &mut rng);

@@ -138,15 +138,34 @@ impl OpSpec {
         match *self {
             OpSpec::Dense { m, n, k } => 2.0 * (m * n * k) as f64,
             OpSpec::BatchMatmul { b, m, n, k } => 2.0 * (b * m * n * k) as f64,
-            OpSpec::Conv2d { n, cin, hw, cout, khw, stride } => {
+            OpSpec::Conv2d {
+                n,
+                cin,
+                hw,
+                cout,
+                khw,
+                stride,
+            } => {
                 let o = hw / stride;
                 2.0 * (n * cout * o * o * cin * khw * khw) as f64
             }
-            OpSpec::DepthwiseConv { n, c, hw, khw, stride } => {
+            OpSpec::DepthwiseConv {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => {
                 let o = hw / stride;
                 2.0 * (n * c * o * o * khw * khw) as f64
             }
-            OpSpec::Pool { n, c, hw, khw, stride } => {
+            OpSpec::Pool {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => {
                 let o = hw / stride;
                 (n * c * o * o * khw * khw) as f64
             }
@@ -195,9 +214,28 @@ impl OpSpec {
         match *self {
             OpSpec::Dense { m, n, k } => [m, n, k, 0, 0, 0],
             OpSpec::BatchMatmul { b, m, n, k } => [b, m, n, k, 0, 0],
-            OpSpec::Conv2d { n, cin, hw, cout, khw, stride } => [n, cin, hw, cout, khw, stride],
-            OpSpec::DepthwiseConv { n, c, hw, khw, stride } => [n, c, hw, khw, stride, 0],
-            OpSpec::Pool { n, c, hw, khw, stride } => [n, c, hw, khw, stride, 0],
+            OpSpec::Conv2d {
+                n,
+                cin,
+                hw,
+                cout,
+                khw,
+                stride,
+            } => [n, cin, hw, cout, khw, stride],
+            OpSpec::DepthwiseConv {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => [n, c, hw, khw, stride, 0],
+            OpSpec::Pool {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => [n, c, hw, khw, stride, 0],
             OpSpec::Softmax { rows, cols } => [rows, cols, 0, 0, 0, 0],
             OpSpec::LayerNorm { rows, cols } => [rows, cols, 0, 0, 0, 0],
             OpSpec::Elementwise { n, kind } => [n, kind as u64, 0, 0, 0, 0],
@@ -209,13 +247,28 @@ impl OpSpec {
         match *self {
             OpSpec::Dense { m, n, k } => dense_nest(m, n, k),
             OpSpec::BatchMatmul { b, m, n, k } => batch_matmul_nest(b, m, n, k),
-            OpSpec::Conv2d { n, cin, hw, cout, khw, stride } => {
-                conv2d_nest(n, cin, hw, cout, khw, stride)
-            }
-            OpSpec::DepthwiseConv { n, c, hw, khw, stride } => {
-                depthwise_nest(n, c, hw, khw, stride)
-            }
-            OpSpec::Pool { n, c, hw, khw, stride } => pool_nest(n, c, hw, khw, stride),
+            OpSpec::Conv2d {
+                n,
+                cin,
+                hw,
+                cout,
+                khw,
+                stride,
+            } => conv2d_nest(n, cin, hw, cout, khw, stride),
+            OpSpec::DepthwiseConv {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => depthwise_nest(n, c, hw, khw, stride),
+            OpSpec::Pool {
+                n,
+                c,
+                hw,
+                khw,
+                stride,
+            } => pool_nest(n, c, hw, khw, stride),
             OpSpec::Softmax { rows, cols } => softmax_nest(rows, cols),
             OpSpec::LayerNorm { rows, cols } => layer_norm_nest(rows, cols),
             OpSpec::Elementwise { n, kind } => elementwise_nest(n, kind),
@@ -224,7 +277,11 @@ impl OpSpec {
 }
 
 fn axis(id: AxisId, extent: u64, is_reduction: bool) -> AxisInfo {
-    AxisInfo { id, extent, is_reduction }
+    AxisInfo {
+        id,
+        extent,
+        is_reduction,
+    }
 }
 
 fn dense_nest(m: u64, n: u64, k: u64) -> Nest {
@@ -257,7 +314,11 @@ fn dense_nest(m: u64, n: u64, k: u64) -> Nest {
         accesses: vec![MemAccess::write(2, vec![(0, n as i64), (1, 1)])],
         domain: vec![0, 1],
     };
-    Nest { axes, leaves: vec![init, mac, relu], buffers }
+    Nest {
+        axes,
+        leaves: vec![init, mac, relu],
+        buffers,
+    }
 }
 
 fn batch_matmul_nest(b: u64, m: u64, n: u64, k: u64) -> Nest {
@@ -290,7 +351,11 @@ fn batch_matmul_nest(b: u64, m: u64, n: u64, k: u64) -> Nest {
         ],
         domain: vec![0, 1, 2, 3],
     };
-    Nest { axes, leaves: vec![init, mac], buffers }
+    Nest {
+        axes,
+        leaves: vec![init, mac],
+        buffers,
+    }
 }
 
 fn conv2d_nest(n: u64, cin: u64, hw: u64, cout: u64, khw: u64, stride: u64) -> Nest {
@@ -356,7 +421,11 @@ fn conv2d_nest(n: u64, cin: u64, hw: u64, cout: u64, khw: u64, stride: u64) -> N
         accesses: vec![MemAccess::write(2, out_str)],
         domain: vec![0, 1, 2, 3],
     };
-    Nest { axes, leaves: vec![init, mac, relu], buffers }
+    Nest {
+        axes,
+        leaves: vec![init, mac, relu],
+        buffers,
+    }
 }
 
 fn depthwise_nest(n: u64, c: u64, hw: u64, khw: u64, stride: u64) -> Nest {
@@ -407,7 +476,11 @@ fn depthwise_nest(n: u64, c: u64, hw: u64, khw: u64, stride: u64) -> Nest {
         ],
         domain: vec![0, 1, 2, 3, 4, 5],
     };
-    Nest { axes, leaves: vec![init, mac], buffers }
+    Nest {
+        axes,
+        leaves: vec![init, mac],
+        buffers,
+    }
 }
 
 fn pool_nest(n: u64, c: u64, hw: u64, khw: u64, stride: u64) -> Nest {
@@ -456,7 +529,11 @@ fn pool_nest(n: u64, c: u64, hw: u64, khw: u64, stride: u64) -> Nest {
         ],
         domain: vec![0, 1, 2, 3, 4, 5],
     };
-    Nest { axes, leaves: vec![init, reduce], buffers }
+    Nest {
+        axes,
+        leaves: vec![init, reduce],
+        buffers,
+    }
 }
 
 fn softmax_nest(rows: u64, cols: u64) -> Nest {
@@ -511,7 +588,11 @@ fn softmax_nest(rows: u64, cols: u64) -> Nest {
         ],
         domain: vec![0, 4],
     };
-    Nest { axes, leaves: vec![maxr, expm, sumr, divr], buffers }
+    Nest {
+        axes,
+        leaves: vec![maxr, expm, sumr, divr],
+        buffers,
+    }
 }
 
 fn layer_norm_nest(rows: u64, cols: u64) -> Nest {
@@ -556,7 +637,11 @@ fn layer_norm_nest(rows: u64, cols: u64) -> Nest {
         ],
         domain: vec![0, 3],
     };
-    Nest { axes, leaves: vec![mean, var, norm], buffers }
+    Nest {
+        axes,
+        leaves: vec![mean, var, norm],
+        buffers,
+    }
 }
 
 fn elementwise_nest(n: u64, kind: EwKind) -> Nest {
@@ -575,8 +660,17 @@ fn elementwise_nest(n: u64, kind: EwKind) -> Nest {
     if extra_read {
         accesses.push(MemAccess::read(1, vec![(0, 1)]));
     }
-    let leaf = LeafStmt { kind: ck, flops_per_iter: flops, accesses, domain: vec![0] };
-    Nest { axes, leaves: vec![leaf], buffers }
+    let leaf = LeafStmt {
+        kind: ck,
+        flops_per_iter: flops,
+        accesses,
+        domain: vec![0],
+    };
+    Nest {
+        axes,
+        leaves: vec![leaf],
+        buffers,
+    }
 }
 
 impl Nest {
@@ -637,15 +731,36 @@ mod tests {
 
     #[test]
     fn conv_flops_formula() {
-        let spec = OpSpec::Conv2d { n: 1, cin: 3, hw: 8, cout: 4, khw: 3, stride: 1 };
+        let spec = OpSpec::Conv2d {
+            n: 1,
+            cin: 3,
+            hw: 8,
+            cout: 4,
+            khw: 3,
+            stride: 1,
+        };
         // 2 * N*Cout*OH*OW*Cin*KH*KW = 2*1*4*8*8*3*3*3
         assert_eq!(spec.flops(), 2.0 * (4 * 64 * 27) as f64);
     }
 
     #[test]
     fn conv_stride_shrinks_output() {
-        let s1 = OpSpec::Conv2d { n: 1, cin: 8, hw: 16, cout: 8, khw: 3, stride: 1 };
-        let s2 = OpSpec::Conv2d { n: 1, cin: 8, hw: 16, cout: 8, khw: 3, stride: 2 };
+        let s1 = OpSpec::Conv2d {
+            n: 1,
+            cin: 8,
+            hw: 16,
+            cout: 8,
+            khw: 3,
+            stride: 1,
+        };
+        let s2 = OpSpec::Conv2d {
+            n: 1,
+            cin: 8,
+            hw: 16,
+            cout: 8,
+            khw: 3,
+            stride: 2,
+        };
         assert!(s2.flops() < s1.flops());
         let nest = s2.canonical_nest();
         assert_eq!(nest.axis(2).unwrap().extent, 8); // oh = 16/2
@@ -676,13 +791,40 @@ mod tests {
     fn all_specs_produce_consistent_nests() {
         let specs = [
             OpSpec::Dense { m: 8, n: 8, k: 8 },
-            OpSpec::BatchMatmul { b: 2, m: 4, n: 4, k: 4 },
-            OpSpec::Conv2d { n: 1, cin: 4, hw: 8, cout: 4, khw: 3, stride: 1 },
-            OpSpec::DepthwiseConv { n: 1, c: 8, hw: 8, khw: 3, stride: 1 },
-            OpSpec::Pool { n: 1, c: 8, hw: 8, khw: 2, stride: 2 },
+            OpSpec::BatchMatmul {
+                b: 2,
+                m: 4,
+                n: 4,
+                k: 4,
+            },
+            OpSpec::Conv2d {
+                n: 1,
+                cin: 4,
+                hw: 8,
+                cout: 4,
+                khw: 3,
+                stride: 1,
+            },
+            OpSpec::DepthwiseConv {
+                n: 1,
+                c: 8,
+                hw: 8,
+                khw: 3,
+                stride: 1,
+            },
+            OpSpec::Pool {
+                n: 1,
+                c: 8,
+                hw: 8,
+                khw: 2,
+                stride: 2,
+            },
             OpSpec::Softmax { rows: 4, cols: 8 },
             OpSpec::LayerNorm { rows: 4, cols: 8 },
-            OpSpec::Elementwise { n: 64, kind: EwKind::Relu },
+            OpSpec::Elementwise {
+                n: 64,
+                kind: EwKind::Relu,
+            },
         ];
         for spec in specs {
             let nest = spec.canonical_nest();

@@ -41,16 +41,27 @@ struct NetBuilder {
 
 impl NetBuilder {
     fn new(name: &str, batch: u64) -> Self {
-        NetBuilder { name: name.into(), batch, layers: Vec::new() }
+        NetBuilder {
+            name: name.into(),
+            batch,
+            layers: Vec::new(),
+        }
     }
 
     fn push(&mut self, spec: OpSpec, deps: &[usize]) -> usize {
-        self.layers.push(LayerNode { spec, deps: deps.to_vec() });
+        self.layers.push(LayerNode {
+            spec,
+            deps: deps.to_vec(),
+        });
         self.layers.len() - 1
     }
 
     fn finish(self) -> Network {
-        Network { name: self.name, batch: self.batch, layers: self.layers }
+        Network {
+            name: self.name,
+            batch: self.batch,
+            layers: self.layers,
+        }
     }
 }
 
@@ -81,8 +92,27 @@ impl Network {
 pub fn resnet50(batch: u64) -> Network {
     let mut b = NetBuilder::new("resnet50", batch);
     // Stem: 7x7 conv approximated at hw=56 then pool.
-    let stem = b.push(OpSpec::Conv2d { n: batch, cin: 4, hw: 112, cout: 64, khw: 7, stride: 2 }, &[]);
-    let pool0 = b.push(OpSpec::Pool { n: batch, c: 64, hw: 56, khw: 2, stride: 2 }, &[stem]);
+    let stem = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 4,
+            hw: 112,
+            cout: 64,
+            khw: 7,
+            stride: 2,
+        },
+        &[],
+    );
+    let pool0 = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 64,
+            hw: 56,
+            khw: 2,
+            stride: 2,
+        },
+        &[stem],
+    );
     // Stage configuration: (cin, cmid, cout, hw, blocks).
     let stages: [(u64, u64, u64, u64, usize); 4] = [
         (64, 64, 256, 28, 3),
@@ -94,39 +124,149 @@ pub fn resnet50(batch: u64) -> Network {
     for (cin, cmid, cout, hw, blocks) in stages {
         for blk in 0..blocks {
             let cin_b = if blk == 0 { cin } else { cout };
-            let c1 = b.push(OpSpec::Conv2d { n: batch, cin: cin_b, hw, cout: cmid, khw: 1, stride: 1 }, &[prev]);
-            let c2 = b.push(OpSpec::Conv2d { n: batch, cin: cmid, hw, cout: cmid, khw: 3, stride: 1 }, &[c1]);
-            let c3 = b.push(OpSpec::Conv2d { n: batch, cin: cmid, hw, cout, khw: 1, stride: 1 }, &[c2]);
+            let c1 = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin: cin_b,
+                    hw,
+                    cout: cmid,
+                    khw: 1,
+                    stride: 1,
+                },
+                &[prev],
+            );
+            let c2 = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin: cmid,
+                    hw,
+                    cout: cmid,
+                    khw: 3,
+                    stride: 1,
+                },
+                &[c1],
+            );
+            let c3 = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin: cmid,
+                    hw,
+                    cout,
+                    khw: 1,
+                    stride: 1,
+                },
+                &[c2],
+            );
             let add = b.push(
-                OpSpec::Elementwise { n: batch * cout * hw * hw, kind: EwKind::Add },
+                OpSpec::Elementwise {
+                    n: batch * cout * hw * hw,
+                    kind: EwKind::Add,
+                },
                 &[c3, prev],
             );
             prev = add;
         }
     }
-    let pool = b.push(OpSpec::Pool { n: batch, c: 2048, hw: 7, khw: 7, stride: 7 }, &[prev]);
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 2048 }, &[pool]);
+    let pool = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 2048,
+            hw: 7,
+            khw: 7,
+            stride: 7,
+        },
+        &[prev],
+    );
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 2048,
+        },
+        &[pool],
+    );
     b.finish()
 }
 
 /// ResNet-18 (smaller variant, adds model diversity).
 pub fn resnet18(batch: u64) -> Network {
     let mut b = NetBuilder::new("resnet18", batch);
-    let stem = b.push(OpSpec::Conv2d { n: batch, cin: 4, hw: 112, cout: 64, khw: 7, stride: 2 }, &[]);
-    let mut prev = b.push(OpSpec::Pool { n: batch, c: 64, hw: 56, khw: 2, stride: 2 }, &[stem]);
+    let stem = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 4,
+            hw: 112,
+            cout: 64,
+            khw: 7,
+            stride: 2,
+        },
+        &[],
+    );
+    let mut prev = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 64,
+            hw: 56,
+            khw: 2,
+            stride: 2,
+        },
+        &[stem],
+    );
     let stages: [(u64, u64, usize); 4] = [(64, 28, 2), (128, 14, 2), (256, 7, 2), (512, 7, 2)];
     let mut cin = 64;
     for (c, hw, blocks) in stages {
         for _ in 0..blocks {
-            let c1 = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c, khw: 3, stride: 1 }, &[prev]);
-            let c2 = b.push(OpSpec::Conv2d { n: batch, cin: c, hw, cout: c, khw: 3, stride: 1 }, &[c1]);
-            let add = b.push(OpSpec::Elementwise { n: batch * c * hw * hw, kind: EwKind::Add }, &[c2, prev]);
+            let c1 = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin,
+                    hw,
+                    cout: c,
+                    khw: 3,
+                    stride: 1,
+                },
+                &[prev],
+            );
+            let c2 = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin: c,
+                    hw,
+                    cout: c,
+                    khw: 3,
+                    stride: 1,
+                },
+                &[c1],
+            );
+            let add = b.push(
+                OpSpec::Elementwise {
+                    n: batch * c * hw * hw,
+                    kind: EwKind::Add,
+                },
+                &[c2, prev],
+            );
             prev = add;
             cin = c;
         }
     }
-    let pool = b.push(OpSpec::Pool { n: batch, c: 512, hw: 7, khw: 7, stride: 7 }, &[prev]);
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 512 }, &[pool]);
+    let pool = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 512,
+            hw: 7,
+            khw: 7,
+            stride: 7,
+        },
+        &[prev],
+    );
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 512,
+        },
+        &[pool],
+    );
     b.finish()
 }
 
@@ -134,7 +274,17 @@ pub fn resnet18(batch: u64) -> Network {
 /// project.
 pub fn mobilenet_v2(batch: u64) -> Network {
     let mut b = NetBuilder::new("mobilenet_v2", batch);
-    let stem = b.push(OpSpec::Conv2d { n: batch, cin: 4, hw: 112, cout: 32, khw: 3, stride: 2 }, &[]);
+    let stem = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 4,
+            hw: 112,
+            cout: 32,
+            khw: 3,
+            stride: 2,
+        },
+        &[],
+    );
     // (cin, cout, hw, expansion, blocks).
     let stages: [(u64, u64, u64, u64, usize); 5] = [
         (32, 16, 56, 1, 1),
@@ -148,20 +298,81 @@ pub fn mobilenet_v2(batch: u64) -> Network {
         let mut cin = cin0;
         for blk in 0..blocks {
             let cmid = cin * exp;
-            let e = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: cmid, khw: 1, stride: 1 }, &[prev]);
-            let d = b.push(OpSpec::DepthwiseConv { n: batch, c: cmid, hw, khw: 3, stride: 1 }, &[e]);
-            let p = b.push(OpSpec::Conv2d { n: batch, cin: cmid, hw, cout, khw: 1, stride: 1 }, &[d]);
+            let e = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin,
+                    hw,
+                    cout: cmid,
+                    khw: 1,
+                    stride: 1,
+                },
+                &[prev],
+            );
+            let d = b.push(
+                OpSpec::DepthwiseConv {
+                    n: batch,
+                    c: cmid,
+                    hw,
+                    khw: 3,
+                    stride: 1,
+                },
+                &[e],
+            );
+            let p = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin: cmid,
+                    hw,
+                    cout,
+                    khw: 1,
+                    stride: 1,
+                },
+                &[d],
+            );
             prev = if blk > 0 && cin == cout {
-                b.push(OpSpec::Elementwise { n: batch * cout * hw * hw, kind: EwKind::Add }, &[p, prev])
+                b.push(
+                    OpSpec::Elementwise {
+                        n: batch * cout * hw * hw,
+                        kind: EwKind::Add,
+                    },
+                    &[p, prev],
+                )
             } else {
                 p
             };
             cin = cout;
         }
     }
-    let head = b.push(OpSpec::Conv2d { n: batch, cin: 160, hw: 7, cout: 1280, khw: 1, stride: 1 }, &[prev]);
-    let pool = b.push(OpSpec::Pool { n: batch, c: 1280, hw: 7, khw: 7, stride: 7 }, &[head]);
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 1280 }, &[pool]);
+    let head = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 160,
+            hw: 7,
+            cout: 1280,
+            khw: 1,
+            stride: 1,
+        },
+        &[prev],
+    );
+    let pool = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 1280,
+            hw: 7,
+            khw: 7,
+            stride: 7,
+        },
+        &[head],
+    );
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 1280,
+        },
+        &[pool],
+    );
     b.finish()
 }
 
@@ -170,31 +381,133 @@ fn bert(name: &str, batch: u64, hidden: u64, layers: usize, heads: u64, seq: u64
     let mut b = NetBuilder::new(name, batch);
     let tokens = batch * seq;
     let dh = hidden / heads;
-    let mut prev = b.push(OpSpec::Dense { m: tokens, n: hidden, k: hidden }, &[]); // embedding proj
+    let mut prev = b.push(
+        OpSpec::Dense {
+            m: tokens,
+            n: hidden,
+            k: hidden,
+        },
+        &[],
+    ); // embedding proj
     for _ in 0..layers {
-        let q = b.push(OpSpec::Dense { m: tokens, n: hidden, k: hidden }, &[prev]);
-        let k = b.push(OpSpec::Dense { m: tokens, n: hidden, k: hidden }, &[prev]);
-        let v = b.push(OpSpec::Dense { m: tokens, n: hidden, k: hidden }, &[prev]);
+        let q = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: hidden,
+                k: hidden,
+            },
+            &[prev],
+        );
+        let k = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: hidden,
+                k: hidden,
+            },
+            &[prev],
+        );
+        let v = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: hidden,
+                k: hidden,
+            },
+            &[prev],
+        );
         let scores = b.push(
-            OpSpec::BatchMatmul { b: batch * heads, m: seq, n: seq, k: dh },
+            OpSpec::BatchMatmul {
+                b: batch * heads,
+                m: seq,
+                n: seq,
+                k: dh,
+            },
             &[q, k],
         );
-        let probs = b.push(OpSpec::Softmax { rows: batch * heads * seq, cols: seq }, &[scores]);
+        let probs = b.push(
+            OpSpec::Softmax {
+                rows: batch * heads * seq,
+                cols: seq,
+            },
+            &[scores],
+        );
         let ctx = b.push(
-            OpSpec::BatchMatmul { b: batch * heads, m: seq, n: dh, k: seq },
+            OpSpec::BatchMatmul {
+                b: batch * heads,
+                m: seq,
+                n: dh,
+                k: seq,
+            },
             &[probs, v],
         );
-        let proj = b.push(OpSpec::Dense { m: tokens, n: hidden, k: hidden }, &[ctx]);
-        let add1 = b.push(OpSpec::Elementwise { n: tokens * hidden, kind: EwKind::Add }, &[proj, prev]);
-        let ln1 = b.push(OpSpec::LayerNorm { rows: tokens, cols: hidden }, &[add1]);
-        let ff1 = b.push(OpSpec::Dense { m: tokens, n: 4 * hidden, k: hidden }, &[ln1]);
-        let gelu = b.push(OpSpec::Elementwise { n: tokens * 4 * hidden, kind: EwKind::Gelu }, &[ff1]);
-        let ff2 = b.push(OpSpec::Dense { m: tokens, n: hidden, k: 4 * hidden }, &[gelu]);
-        let add2 = b.push(OpSpec::Elementwise { n: tokens * hidden, kind: EwKind::Add }, &[ff2, ln1]);
-        let ln2 = b.push(OpSpec::LayerNorm { rows: tokens, cols: hidden }, &[add2]);
+        let proj = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: hidden,
+                k: hidden,
+            },
+            &[ctx],
+        );
+        let add1 = b.push(
+            OpSpec::Elementwise {
+                n: tokens * hidden,
+                kind: EwKind::Add,
+            },
+            &[proj, prev],
+        );
+        let ln1 = b.push(
+            OpSpec::LayerNorm {
+                rows: tokens,
+                cols: hidden,
+            },
+            &[add1],
+        );
+        let ff1 = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: 4 * hidden,
+                k: hidden,
+            },
+            &[ln1],
+        );
+        let gelu = b.push(
+            OpSpec::Elementwise {
+                n: tokens * 4 * hidden,
+                kind: EwKind::Gelu,
+            },
+            &[ff1],
+        );
+        let ff2 = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: hidden,
+                k: 4 * hidden,
+            },
+            &[gelu],
+        );
+        let add2 = b.push(
+            OpSpec::Elementwise {
+                n: tokens * hidden,
+                kind: EwKind::Add,
+            },
+            &[ff2, ln1],
+        );
+        let ln2 = b.push(
+            OpSpec::LayerNorm {
+                rows: tokens,
+                cols: hidden,
+            },
+            &[add2],
+        );
         prev = ln2;
     }
-    b.push(OpSpec::Dense { m: batch, n: 2, k: hidden }, &[prev]);
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 2,
+            k: hidden,
+        },
+        &[prev],
+    );
     b.finish()
 }
 
@@ -223,16 +536,56 @@ pub fn vgg16(batch: u64) -> Network {
     for (c, hw, reps) in cfg {
         for _ in 0..reps {
             let deps: Vec<usize> = prev.into_iter().collect();
-            let conv = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c, khw: 3, stride: 1 }, &deps);
+            let conv = b.push(
+                OpSpec::Conv2d {
+                    n: batch,
+                    cin,
+                    hw,
+                    cout: c,
+                    khw: 3,
+                    stride: 1,
+                },
+                &deps,
+            );
             prev = Some(conv);
             cin = c;
         }
-        let pool = b.push(OpSpec::Pool { n: batch, c, hw, khw: 2, stride: 2 }, &[prev.unwrap()]);
+        let pool = b.push(
+            OpSpec::Pool {
+                n: batch,
+                c,
+                hw,
+                khw: 2,
+                stride: 2,
+            },
+            &[prev.unwrap()],
+        );
         prev = Some(pool);
     }
-    let f1 = b.push(OpSpec::Dense { m: batch, n: 4096, k: 512 * 3 * 3 }, &[prev.unwrap()]);
-    let f2 = b.push(OpSpec::Dense { m: batch, n: 4096, k: 4096 }, &[f1]);
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 4096 }, &[f2]);
+    let f1 = b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 4096,
+            k: 512 * 3 * 3,
+        },
+        &[prev.unwrap()],
+    );
+    let f2 = b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 4096,
+            k: 4096,
+        },
+        &[f1],
+    );
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 4096,
+        },
+        &[f2],
+    );
     b.finish()
 }
 
@@ -240,29 +593,146 @@ pub fn vgg16(batch: u64) -> Network {
 /// (exercises the replayer's DAG scheduling).
 pub fn inception_v3(batch: u64) -> Network {
     let mut b = NetBuilder::new("inception_v3", batch);
-    let stem = b.push(OpSpec::Conv2d { n: batch, cin: 4, hw: 112, cout: 32, khw: 3, stride: 2 }, &[]);
-    let c2 = b.push(OpSpec::Conv2d { n: batch, cin: 32, hw: 56, cout: 64, khw: 3, stride: 2 }, &[stem]);
-    let mut prev = b.push(OpSpec::Pool { n: batch, c: 64, hw: 28, khw: 2, stride: 2 }, &[c2]);
+    let stem = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 4,
+            hw: 112,
+            cout: 32,
+            khw: 3,
+            stride: 2,
+        },
+        &[],
+    );
+    let c2 = b.push(
+        OpSpec::Conv2d {
+            n: batch,
+            cin: 32,
+            hw: 56,
+            cout: 64,
+            khw: 3,
+            stride: 2,
+        },
+        &[stem],
+    );
+    let mut prev = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 64,
+            hw: 28,
+            khw: 2,
+            stride: 2,
+        },
+        &[c2],
+    );
     let mut cin = 64;
     for (hw, c) in [(14u64, 128u64), (14, 256), (7, 256), (7, 512)] {
         // Four parallel branches.
-        let b1 = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c / 4, khw: 1, stride: 1 }, &[prev]);
-        let b2a = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c / 4, khw: 1, stride: 1 }, &[prev]);
-        let b2 = b.push(OpSpec::Conv2d { n: batch, cin: c / 4, hw, cout: c / 4, khw: 3, stride: 1 }, &[b2a]);
-        let b3a = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c / 4, khw: 1, stride: 1 }, &[prev]);
-        let b3 = b.push(OpSpec::Conv2d { n: batch, cin: c / 4, hw, cout: c / 4, khw: 5, stride: 1 }, &[b3a]);
-        let b4a = b.push(OpSpec::Pool { n: batch, c: cin, hw, khw: 1, stride: 1 }, &[prev]);
-        let b4 = b.push(OpSpec::Conv2d { n: batch, cin, hw, cout: c / 4, khw: 1, stride: 1 }, &[b4a]);
+        let b1 = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin,
+                hw,
+                cout: c / 4,
+                khw: 1,
+                stride: 1,
+            },
+            &[prev],
+        );
+        let b2a = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin,
+                hw,
+                cout: c / 4,
+                khw: 1,
+                stride: 1,
+            },
+            &[prev],
+        );
+        let b2 = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin: c / 4,
+                hw,
+                cout: c / 4,
+                khw: 3,
+                stride: 1,
+            },
+            &[b2a],
+        );
+        let b3a = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin,
+                hw,
+                cout: c / 4,
+                khw: 1,
+                stride: 1,
+            },
+            &[prev],
+        );
+        let b3 = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin: c / 4,
+                hw,
+                cout: c / 4,
+                khw: 5,
+                stride: 1,
+            },
+            &[b3a],
+        );
+        let b4a = b.push(
+            OpSpec::Pool {
+                n: batch,
+                c: cin,
+                hw,
+                khw: 1,
+                stride: 1,
+            },
+            &[prev],
+        );
+        let b4 = b.push(
+            OpSpec::Conv2d {
+                n: batch,
+                cin,
+                hw,
+                cout: c / 4,
+                khw: 1,
+                stride: 1,
+            },
+            &[b4a],
+        );
         // Concat is free; model it as an element-wise pass over the output.
         let cat = b.push(
-            OpSpec::Elementwise { n: batch * c * hw * hw, kind: EwKind::Add },
+            OpSpec::Elementwise {
+                n: batch * c * hw * hw,
+                kind: EwKind::Add,
+            },
             &[b1, b2, b3, b4],
         );
         prev = cat;
         cin = c;
     }
-    let pool = b.push(OpSpec::Pool { n: batch, c: 512, hw: 7, khw: 7, stride: 7 }, &[prev]);
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 512 }, &[pool]);
+    let pool = b.push(
+        OpSpec::Pool {
+            n: batch,
+            c: 512,
+            hw: 7,
+            khw: 7,
+            stride: 7,
+        },
+        &[prev],
+    );
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 512,
+        },
+        &[pool],
+    );
     b.finish()
 }
 
@@ -275,15 +745,55 @@ pub fn gpt2_small(batch: u64) -> Network {
 pub fn mlp_mixer(batch: u64) -> Network {
     let mut b = NetBuilder::new("mlp_mixer", batch);
     let tokens = batch * 64;
-    let mut prev = b.push(OpSpec::Dense { m: tokens, n: 256, k: 192 }, &[]);
+    let mut prev = b.push(
+        OpSpec::Dense {
+            m: tokens,
+            n: 256,
+            k: 192,
+        },
+        &[],
+    );
     for _ in 0..6 {
-        let d1 = b.push(OpSpec::Dense { m: tokens, n: 512, k: 256 }, &[prev]);
-        let g = b.push(OpSpec::Elementwise { n: tokens * 512, kind: EwKind::Gelu }, &[d1]);
-        let d2 = b.push(OpSpec::Dense { m: tokens, n: 256, k: 512 }, &[g]);
-        let ln = b.push(OpSpec::LayerNorm { rows: tokens, cols: 256 }, &[d2]);
+        let d1 = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: 512,
+                k: 256,
+            },
+            &[prev],
+        );
+        let g = b.push(
+            OpSpec::Elementwise {
+                n: tokens * 512,
+                kind: EwKind::Gelu,
+            },
+            &[d1],
+        );
+        let d2 = b.push(
+            OpSpec::Dense {
+                m: tokens,
+                n: 256,
+                k: 512,
+            },
+            &[g],
+        );
+        let ln = b.push(
+            OpSpec::LayerNorm {
+                rows: tokens,
+                cols: 256,
+            },
+            &[d2],
+        );
         prev = ln;
     }
-    b.push(OpSpec::Dense { m: batch, n: 1000, k: 256 }, &[prev]);
+    b.push(
+        OpSpec::Dense {
+            m: batch,
+            n: 1000,
+            k: 256,
+        },
+        &[prev],
+    );
     b.finish()
 }
 
@@ -312,9 +822,9 @@ pub fn build_tasks(networks: &[Network]) -> Vec<Task> {
     let mut out = Vec::new();
     for net in networks {
         for (i, layer) in net.layers.iter().enumerate() {
-            if !seen.contains_key(&layer.spec) {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(layer.spec) {
                 let id = out.len() as u32;
-                seen.insert(layer.spec, id);
+                e.insert(id);
                 out.push(Task {
                     id,
                     spec: layer.spec,
@@ -353,10 +863,14 @@ mod tests {
         let mobilenet = nets.iter().find(|n| n.name == "mobilenet_v2").unwrap();
         let bert = nets.iter().find(|n| n.name == "bert_base").unwrap();
         let has_depthwise = |n: &Network| {
-            n.layers.iter().any(|l| matches!(l.spec, OpSpec::DepthwiseConv { .. }))
+            n.layers
+                .iter()
+                .any(|l| matches!(l.spec, OpSpec::DepthwiseConv { .. }))
         };
         let has_bmm = |n: &Network| {
-            n.layers.iter().any(|l| matches!(l.spec, OpSpec::BatchMatmul { .. }))
+            n.layers
+                .iter()
+                .any(|l| matches!(l.spec, OpSpec::BatchMatmul { .. }))
         };
         assert!(has_depthwise(mobilenet));
         assert!(!has_depthwise(bert));
@@ -380,7 +894,11 @@ mod tests {
         // Dedup: fewer tasks than total layers.
         let total_layers: usize = nets.iter().map(|n| n.layers.len()).sum();
         assert!(tasks.len() < total_layers);
-        assert!(tasks.len() > 50, "want a rich task set, got {}", tasks.len());
+        assert!(
+            tasks.len() > 50,
+            "want a rich task set, got {}",
+            tasks.len()
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn arb_spec() -> impl Strategy<Value = OpSpec> {
             n: n * 8,
             k: k * 8
         }),
-        (1u64..4, 1u64..4).prop_map(|(r, c)| OpSpec::Softmax { rows: r * 16, cols: c * 16 }),
+        (1u64..4, 1u64..4).prop_map(|(r, c)| OpSpec::Softmax {
+            rows: r * 16,
+            cols: c * 16
+        }),
         (1u64..3, 1u64..3).prop_map(|(c, h)| OpSpec::Conv2d {
             n: 1,
             cin: c * 8,
@@ -21,7 +24,10 @@ fn arb_spec() -> impl Strategy<Value = OpSpec> {
             khw: 3,
             stride: 1
         }),
-        (1u64..6,).prop_map(|(n,)| OpSpec::Elementwise { n: n * 256, kind: tir::EwKind::Relu }),
+        (1u64..6,).prop_map(|(n,)| OpSpec::Elementwise {
+            n: n * 256,
+            kind: tir::EwKind::Relu
+        }),
     ]
 }
 

@@ -1,0 +1,211 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Benches are plain `harness = false` binaries. This crate provides the
+//! API subset the workspace uses — `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `Bencher::iter` — with a simple but serviceable
+//! measurement loop: warm-up, automatic iteration-count calibration, then
+//! `sample_size` timed samples reporting median / mean / throughput.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for parity with criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to registered bench functions.
+pub struct Criterion {
+    warm_up: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            default_samples: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        let sample_size = self.default_samples;
+        let warm_up = self.warm_up;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            throughput: None,
+            warm_up,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function("default", f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up + calibration: find an iteration count that runs for
+        // at least ~2ms so timer quantization is negligible.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut iters = 1u64;
+        loop {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            if Instant::now() > warm_deadline && b.elapsed > Duration::ZERO {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Timed samples.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean: f64 = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let mut line = format!(
+            "{}/{}: median {} mean {} ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len(),
+            iters
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            line.push_str(&format!(", {:.3e} {unit}", count / median));
+        }
+        eprintln!("{line}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures; handed to `bench_function` callbacks.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count = count.wrapping_add(1)));
+        g.finish();
+        assert!(count > 0);
+    }
+}

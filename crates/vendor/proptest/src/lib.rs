@@ -1,0 +1,447 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the workspace's property tests
+//! use: range/tuple/`prop_map`/`prop_oneof!` strategies, `collection::vec`,
+//! the `proptest!` macro with `#![proptest_config]`, and the
+//! `prop_assert*` / `prop_assume!` macros. There is **no shrinking** — a
+//! failing case panics with the generated inputs' debug representation left
+//! to the assertion message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Object-safe companion of [`Strategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Creates the deterministic rng used by the `proptest!` harness.
+    /// Lives here so generated code needs no direct `rand` dependency.
+    pub fn new_rng(seed: u64) -> StdRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+)),+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (0 A),
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    );
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive; lo + 1 == hi means exact
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with the given element strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; another case is drawn.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests (see crate docs for the supported subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            // Deterministic per-test seed derived from the test name.
+            let __seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                });
+            let mut __rng = $crate::strategy::new_rng(__seed);
+            let mut __accepted = 0u32;
+            let mut __attempts = 0u64;
+            while __accepted < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= (__config.cases as u64) * 20 + 1000,
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => panic!("proptest case failed: {}", __msg),
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// immediately) so the harness can report it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in collection::vec(0u8..255, 4..9),
+            w in collection::vec(0.0f64..1.0, 3),
+        ) {
+            prop_assert!((4..9).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (1u64..4,).prop_map(|(a,)| a * 10),
+                (1u64..4, 1u64..4).prop_map(|(a, b)| a + b),
+            ],
+        ) {
+            prop_assert!(v >= 2);
+            prop_assert!(v <= 30);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Vendored minimal stand-in for `rand_distr`: just the [`LogNormal`]
+//! distribution the device simulator uses for measurement noise.
+
+use rand::Rng;
+
+/// Types that can draw samples of `T` (subset of `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError;
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(ParamError);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform for a standard normal draw.
+        let u1 = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic_exp_mu() {
+        let d = LogNormal::new(0.3, 0.0).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!((d.sample(&mut r) - 0.3f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_of_samples_has_requested_moments() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        let logs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sd {}", var.sqrt());
+    }
+}

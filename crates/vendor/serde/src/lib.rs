@@ -1,0 +1,481 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! sliver of serde the workspace uses: `#[derive(Serialize, Deserialize)]`
+//! plus JSON round-tripping via the sibling `serde_json` stand-in. Unlike
+//! real serde there is no format-agnostic data model — the traits write and
+//! read JSON directly, which is the only format the workspace persists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can parse themselves from JSON.
+pub trait Deserialize: Sized {
+    /// Parses one value from the parser's current position.
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+/// JSON parsing primitives shared by all `Deserialize` impls.
+pub mod de {
+    /// A deserialization error with a byte offset and message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        /// Byte offset where the error occurred.
+        pub offset: usize,
+        /// Human-readable description.
+        pub message: String,
+    }
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "at byte {}: {}", self.offset, self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A simple single-pass JSON parser over a byte slice.
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        /// Creates a parser over the full input.
+        pub fn new(input: &'a str) -> Self {
+            Parser {
+                bytes: input.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        /// Errors unless the whole input has been consumed (modulo spaces).
+        pub fn finish(mut self) -> Result<(), Error> {
+            self.skip_ws();
+            if self.pos != self.bytes.len() {
+                return Err(self.err("trailing characters"));
+            }
+            Ok(())
+        }
+
+        fn err(&self, message: impl Into<String>) -> Error {
+            Error {
+                offset: self.pos,
+                message: message.into(),
+            }
+        }
+
+        /// Skips whitespace.
+        pub fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        /// Returns the next non-whitespace byte without consuming it.
+        pub fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        /// Consumes one expected punctuation byte.
+        pub fn expect_byte(&mut self, b: u8) -> Result<(), Error> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(format!(
+                    "expected '{}', found {:?}",
+                    b as char,
+                    self.bytes.get(self.pos).map(|&c| c as char)
+                )))
+            }
+        }
+
+        /// Consumes `"key":`, verifying the key name.
+        pub fn expect_key(&mut self, key: &str) -> Result<(), Error> {
+            let got = self.parse_string()?;
+            if got != key {
+                return Err(self.err(format!("expected field '{key}', found '{got}'")));
+            }
+            self.expect_byte(b':')
+        }
+
+        /// Parses a JSON string (with escapes).
+        pub fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect_byte(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&e) = self.bytes.get(self.pos) else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                let hex = core::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u code point"))?,
+                                );
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    _ => {
+                        // Re-decode multi-byte UTF-8 sequences from the raw
+                        // input (JSON strings are valid UTF-8 by input type).
+                        if b < 0x80 {
+                            out.push(b as char);
+                        } else {
+                            let start = self.pos - 1;
+                            let width = utf8_width(b);
+                            let chunk = self
+                                .bytes
+                                .get(start..start + width)
+                                .ok_or_else(|| self.err("truncated utf-8"))?;
+                            let s = core::str::from_utf8(chunk)
+                                .map_err(|_| self.err("invalid utf-8"))?;
+                            out.push_str(s);
+                            self.pos = start + width;
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Parses the raw text of a JSON number.
+        pub fn parse_number_str(&mut self) -> Result<&'a str, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if start == self.pos {
+                return Err(self.err("expected number"));
+            }
+            core::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number bytes"))
+        }
+
+        /// Parses a number into any `FromStr` numeric type.
+        pub fn parse_num<T: core::str::FromStr>(&mut self) -> Result<T, Error> {
+            let s = self.parse_number_str()?;
+            s.parse()
+                .map_err(|_| self.err(format!("invalid number '{s}'")))
+        }
+
+        /// Consumes a literal keyword (`true`, `false`, `null`).
+        pub fn eat_keyword(&mut self, kw: &str) -> bool {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Produces an error at the current position.
+        pub fn error(&self, message: impl Into<String>) -> Error {
+            self.err(message)
+        }
+    }
+
+    fn utf8_width(first: u8) -> usize {
+        match first {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// Escapes and writes a string literal into a JSON buffer.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.parse_num::<$t>()
+            }
+        }
+    )*};
+}
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Debug formatting is the shortest round-trip repr.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                if p.peek() == Some(b'n') {
+                    if p.eat_keyword("null") {
+                        return Ok(<$t>::NAN);
+                    }
+                }
+                p.parse_num::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.eat_keyword("true") {
+            Ok(true)
+        } else if p.eat_keyword("false") {
+            Ok(false)
+        } else {
+            Err(p.error("expected boolean"))
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect_byte(b'[')?;
+        let mut out = Vec::new();
+        if p.peek() == Some(b']') {
+            p.expect_byte(b']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            match p.peek() {
+                Some(b',') => {
+                    p.expect_byte(b',')?;
+                }
+                _ => break,
+            }
+        }
+        p.expect_byte(b']')?;
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.peek() == Some(b'n') && p.eat_keyword("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_json(p)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.expect_byte(b'[')?;
+                let mut first = true;
+                let v = ($(
+                    {
+                        if !first { p.expect_byte(b',')?; }
+                        first = false;
+                        $t::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect_byte(b']')?;
+                Ok(v)
+            }
+        }
+    )+};
+}
+
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + core::fmt::Debug>(v: T) {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        let mut p = de::Parser::new(&s);
+        let back = T::deserialize_json(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(back, v, "json was {s}");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42u32);
+        roundtrip(-7i64);
+        roundtrip(3.25f32);
+        roundtrip(1.0e-4f64);
+        roundtrip(true);
+        roundtrip(String::from("he\"llo\n\\ wörld"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![(3u32, -9i64), (0, 4)]);
+        roundtrip(Some(5u8));
+        roundtrip(Option::<u8>::None);
+    }
+
+    #[test]
+    fn float_shortest_repr_roundtrips_exactly() {
+        for v in [0.1f64, 1e-12, 123456.789, f64::MIN_POSITIVE] {
+            let mut s = String::new();
+            v.serialize_json(&mut s);
+            let mut p = de::Parser::new(&s);
+            assert_eq!(
+                f64::deserialize_json(&mut p).unwrap().to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+}

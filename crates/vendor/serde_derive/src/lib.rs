@@ -1,0 +1,398 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Supports exactly the shapes the workspace uses — non-generic structs
+//! with named fields and enums whose variants are unit, tuple, or
+//! struct-like. The generated impls write/read JSON directly through the
+//! traits in the sibling vendored `serde` crate:
+//!
+//! * struct          -> `{"field": value, ...}` (declaration order)
+//! * unit variant    -> `"Variant"`
+//! * tuple variant   -> `{"Variant": value}` (arity 1) /
+//!   `{"Variant": [v0, v1, ...]}` (arity > 1)
+//! * struct variant  -> `{"Variant": {"field": value, ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: just its name (types are recovered by inference).
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue, // e.g. `where` clauses never occur here
+            None => panic!("serde_derive: missing body for {name}"),
+        }
+    };
+    match kw.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes/visibility.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (including doc comments) and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(field_name) = tree else {
+            panic!("serde_derive: expected field name, found {tree:?}");
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field, found {other:?}"),
+        }
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("serde_derive: expected variant name, found {tree:?}");
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional `= discriminant` never occurs; skip trailing comma.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-depth 0 in a tuple-variant body.
+fn count_top_level_items(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut saw_any = false;
+    for tree in body {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => items += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        items + 1
+    } else {
+        0
+    }
+}
+
+fn struct_body_ser(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut code = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            code.push_str("out.push(',');\n");
+        }
+        code.push_str(&format!(
+            "out.push_str(\"\\\"{0}\\\":\");\nserde::Serialize::serialize_json({1}, out);\n",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    code.push_str("out.push('}');\n");
+    code
+}
+
+fn struct_body_de(fields: &[Field]) -> String {
+    let mut code = String::from("p.expect_byte(b'{')?;\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            code.push_str("p.expect_byte(b',')?;\n");
+        }
+        code.push_str(&format!(
+            "p.expect_key(\"{0}\")?;\nlet __f_{0} = serde::Deserialize::deserialize_json(p)?;\n",
+            f.name
+        ));
+    }
+    code.push_str("p.expect_byte(b'}')?;\n");
+    code
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = struct_body_ser(&fields, |f| format!("&self.{f}"));
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n{body}}}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let mut body = format!("out.push_str(\"{{\\\"{vn}\\\":\");\n");
+                        if *arity == 1 {
+                            body.push_str("serde::Serialize::serialize_json(__x0, out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n{body}}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut body = format!("out.push_str(\"{{\\\"{vn}\\\":\");\n");
+                        body.push_str(&struct_body_ser(fields, |f| f.to_string()));
+                        body.push_str("out.push('}');\n");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{body}}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = struct_body_de(&fields);
+            let ctor = fields
+                .iter()
+                .map(|f| format!("{0}: __f_{0}", f.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 #[allow(unreachable_code, unused_variables)]\n\
+                 fn deserialize_json(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {{\n\
+                 {body}Ok({name} {{ {ctor} }})\n}}\n}}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let mut body = String::new();
+                        if *arity == 1 {
+                            body.push_str("let __x0 = serde::Deserialize::deserialize_json(p)?;\n");
+                        } else {
+                            body.push_str("p.expect_byte(b'[')?;\n");
+                            for i in 0..*arity {
+                                if i > 0 {
+                                    body.push_str("p.expect_byte(b',')?;\n");
+                                }
+                                body.push_str(&format!(
+                                    "let __x{i} = serde::Deserialize::deserialize_json(p)?;\n"
+                                ));
+                            }
+                            body.push_str("p.expect_byte(b']')?;\n");
+                        }
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n{body}{name}::{vn}({})\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let body = struct_body_de(fields);
+                        let ctor = fields
+                            .iter()
+                            .map(|f| format!("{0}: __f_{0}", f.name))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n{body}{name}::{vn} {{ {ctor} }}\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 #[allow(unreachable_code, unused_variables)]\n\
+                 fn deserialize_json(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {{\n\
+                 if p.peek() == Some(b'\"') {{\n\
+                   let tag = p.parse_string()?;\n\
+                   match tag.as_str() {{\n{unit_arms}\
+                     other => Err(p.error(format!(\"unknown variant '{{other}}' of {name}\"))),\n\
+                   }}\n\
+                 }} else {{\n\
+                   p.expect_byte(b'{{')?;\n\
+                   let tag = p.parse_string()?;\n\
+                   p.expect_byte(b':')?;\n\
+                   let value = match tag.as_str() {{\n{payload_arms}\
+                     other => return Err(p.error(format!(\"unknown variant '{{other}}' of {name}\"))),\n\
+                   }};\n\
+                   p.expect_byte(b'}}')?;\n\
+                   Ok(value)\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

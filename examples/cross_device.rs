@@ -32,7 +32,10 @@ fn main() {
         &src.train,
         &src.valid,
         PredictorConfig::default(),
-        TrainConfig { epochs: 12, ..Default::default() },
+        TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
     );
     let zero_shot = evaluate(&model, &ds, &tgt.test);
     println!("zero-shot MAPE on EPYC: {:.1}%", zero_shot.mape * 100.0);
@@ -45,7 +48,10 @@ fn main() {
         task_feats.entry(tid).or_default().push(z);
     }
     let chosen = select_tasks(&task_feats, 15, 9);
-    println!("Algorithm 1 selected {} tasks to profile on the target", chosen.len());
+    println!(
+        "Algorithm 1 selected {} tasks to profile on the target",
+        chosen.len()
+    );
 
     // "Profile" those tasks on EPYC (the simulator stands in for the
     // device) and fine-tune with CMD regularization.
@@ -55,13 +61,20 @@ fn main() {
         .copied()
         .filter(|&i| chosen.contains(&ds.records[i].task_id))
         .collect();
-    println!("fine-tuning with {} profiled target records + CMD...", labeled.len());
+    println!(
+        "fine-tuning with {} profiled target records + CMD...",
+        labeled.len()
+    );
     finetune(
         &mut model,
         &ds,
         &src.train,
         &labeled,
-        &FineTuneConfig { steps: 150, use_target_labels: true, ..Default::default() },
+        &FineTuneConfig {
+            steps: 150,
+            use_target_labels: true,
+            ..Default::default()
+        },
     );
     let adapted = evaluate(&model, &ds, &tgt.test);
     println!(

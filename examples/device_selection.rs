@@ -24,13 +24,19 @@ fn main() {
     });
     let all: Vec<usize> = (0..ds.records.len()).collect();
     let split = SplitIndices::from_indices(&ds, all, &[], 3);
-    println!("training cross-device predictor on {} records...", split.train.len());
+    println!(
+        "training cross-device predictor on {} records...",
+        split.train.len()
+    );
     let (model, _) = pretrain(
         &ds,
         &split.train,
         &split.valid,
         PredictorConfig::default(),
-        TrainConfig { epochs: 12, ..Default::default() },
+        TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
     );
 
     // ...then query ResNet-50's end-to-end latency on EVERY device,
@@ -47,10 +53,13 @@ fn main() {
             r.predicted_s * 1e3,
             r.measured_s * 1e3
         );
-        if best.as_ref().map_or(true, |(_, b)| r.predicted_s < *b) {
+        if best.as_ref().is_none_or(|(_, b)| r.predicted_s < *b) {
             best = Some((dev.name.clone(), r.predicted_s));
         }
     }
     let (name, t) = best.expect("devices exist");
-    println!("\nrecommended device: {name} (predicted {:.2} ms / iteration)", t * 1e3);
+    println!(
+        "\nrecommended device: {name} (predicted {:.2} ms / iteration)",
+        t * 1e3
+    );
 }

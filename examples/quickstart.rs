@@ -29,9 +29,17 @@ fn main() {
         &split.train,
         &split.valid,
         PredictorConfig::default(),
-        TrainConfig { epochs: 25, lr: 1.5e-3, ..Default::default() },
+        TrainConfig {
+            epochs: 25,
+            lr: 1.5e-3,
+            ..Default::default()
+        },
     );
-    println!("  {:.0} samples/s, {} parameters", stats.throughput, model.predictor.num_params());
+    println!(
+        "  {:.0} samples/s, {} parameters",
+        stats.throughput,
+        model.predictor.num_params()
+    );
 
     // 4. Evaluate on held-out tensor programs.
     let m = evaluate(&model, &ds, &split.test);
@@ -43,12 +51,18 @@ fn main() {
     );
 
     // 5. Predict a single fresh tensor program.
-    let nest = OpSpec::Dense { m: 256, n: 256, k: 256 }.canonical_nest();
+    let nest = OpSpec::Dense {
+        m: 256,
+        n: 256,
+        k: 256,
+    }
+    .canonical_nest();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
     let sched = sample_schedule(&nest, &mut rng);
     let prog = lower(&nest, &sched).expect("sampled schedule lowers");
     let dev = cdmpp::devsim::t4();
-    let enc = cdmpp::core::encode_programs(&[&prog], &dev, model.predictor.config().theta, model.use_pe);
+    let enc =
+        cdmpp::core::encode_programs(&[&prog], &dev, model.predictor.config().theta, model.use_pe);
     let pred = model.predict_samples(&enc)[0];
     let truth = Simulator::new(dev).latency_seconds(&prog);
     println!(

@@ -21,17 +21,30 @@ fn main() {
         &split.train,
         &split.valid,
         PredictorConfig::default(),
-        TrainConfig { epochs: 12, ..Default::default() },
+        TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
     );
 
-    let spec = OpSpec::Conv2d { n: 1, cin: 64, hw: 28, cout: 64, khw: 3, stride: 1 };
+    let spec = OpSpec::Conv2d {
+        n: 1,
+        cin: 64,
+        hw: 28,
+        cout: 64,
+        khw: 3,
+        stride: 1,
+    };
     let nest = spec.canonical_nest();
     let dev = cdmpp::devsim::t4();
     let sim = Simulator::new(dev.clone());
     let naive = sim.latency_seconds(&lower(&nest, &Schedule::default()).expect("lowers"));
     println!("canonical schedule: {:.1} us", naive * 1e6);
 
-    let cfg = SearchConfig { rounds: 30, ..Default::default() };
+    let cfg = SearchConfig {
+        rounds: 30,
+        ..Default::default()
+    };
     let trace = search_schedule(&nest, &dev, &model, &cfg);
     println!("search trace (best measured so far):");
     for (i, t) in trace.best_per_round.iter().enumerate().step_by(5) {

@@ -8,11 +8,27 @@
 //! * [`devsim`]: the analytical device simulator (Table 2 devices).
 //! * [`features`]: compact-AST features and positional encoding (§4).
 //! * [`dataset`]: synthetic-Tenset generation and splits (§7.1).
-//! * [`nn`] / [`tensor`]: the from-scratch autodiff substrate.
+//! * [`nn`] / [`tensor`]: the from-scratch neural substrate, with model
+//!   definition decoupled from execution — an autodiff tape for training
+//!   and a bit-identical forward-only executor for inference.
 //! * [`learn`]: KMeans, Box-Cox, t-SNE, metrics.
 //! * [`baselines`]: XGBoost-style GBT, Tiramisu, Habitat, TLP.
 //! * [`core`]: the CDMPP predictor, cross-domain training, Algorithm 1
 //!   sampler, Algorithm 2 replayer, and schedule search.
+//! * [`runtime`]: the concurrent serving engine — heterogeneous prediction
+//!   requests bucketed by leaf count, dispatched as dense batches across a
+//!   worker pool over `Arc`-shared weights, results in request order.
+//!
+//! ## Training vs inference execution
+//!
+//! Training builds a fresh [`nn::Graph`] tape per step and pulls gradients
+//! back into a mutable [`nn::ParamStore`]. Inference never touches a tape:
+//! [`core::Predictor::predict_batch`] runs on [`nn::InferCtx`]
+//! (forward-only, parameters borrowed, node buffers recycled), and serving
+//! freezes a [`core::TrainedModel`] into a [`core::InferenceModel`] whose
+//! weights live behind an `Arc`, shared by every
+//! [`runtime::InferenceEngine`] worker. Both paths execute the same kernels
+//! in the same order, so their outputs are bit-identical.
 //!
 //! ## Quickstart
 //!
@@ -46,33 +62,21 @@ pub use devsim;
 pub use features;
 pub use learn;
 pub use nn;
+pub use runtime;
 pub use tensor;
 pub use tir;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use cdmpp_core::{
-        autotune,
-        end_to_end,
-        evaluate,
-        finetune,
-        measured_end_to_end,
-        pretrain,
-        replay,
-        search_schedule,
-        select_tasks,
-        CostModel,
-        EvalMetrics,
-        FineTuneConfig,
-        Predictor,
-        PredictorConfig,
-        SearchConfig,
-        TrainConfig,
-        TrainedModel,
+        autotune, end_to_end, evaluate, finetune, measured_end_to_end, pretrain, replay,
+        search_schedule, select_tasks, CostModel, EvalMetrics, FineTuneConfig, InferenceModel,
+        PredictError, Predictor, PredictorConfig, SearchConfig, TrainConfig, TrainedModel,
     };
     pub use dataset::{Dataset, GenConfig, Record, SplitIndices};
     pub use devsim::{DeviceClass, DeviceSpec, Simulator};
     pub use features::{extract_compact_ast, CompactAst};
     pub use learn::{LabelTransform, TransformKind};
+    pub use runtime::{EngineConfig, InferenceEngine};
     pub use tir::{lower, sample_schedule, Network, OpSpec, Schedule, TensorProgram};
 }

@@ -6,24 +6,32 @@
 //! ```
 //!
 //! Trains a compact cost model on the fly (the paper loads a pre-trained
-//! checkpoint; at this repo's scale training takes well under a minute)
-//! and prints the predicted end-to-end latency of the network on the
-//! device, alongside the simulated ground truth.
+//! checkpoint; at this repo's scale training takes well under a minute),
+//! freezes it into the concurrent `runtime` serving engine, and prints the
+//! predicted end-to-end latency of the network on the device, alongside
+//! the simulated ground truth.
 
 use cdmpp::prelude::*;
+use cdmpp::runtime::{EngineConfig, InferenceEngine};
 
 fn usage() -> ! {
     eprintln!("usage: cdmpp <network> <batch_size> <device>");
     eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
     eprintln!(
         "  devices:  {}",
-        cdmpp::devsim::all_devices().iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(" ")
+        cdmpp::devsim::all_devices()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     std::process::exit(2);
 }
 
 fn network_by_name(name: &str, batch: u64) -> Option<Network> {
-    cdmpp::tir::all_networks(batch).into_iter().find(|n| n.name == name)
+    cdmpp::tir::all_networks(batch)
+        .into_iter()
+        .find(|n| n.name == name)
 }
 
 fn main() {
@@ -58,12 +66,30 @@ fn main() {
         &split.train,
         &split.valid,
         PredictorConfig::default(),
-        TrainConfig { epochs: 12, lr: 1.5e-3, ..Default::default() },
+        TrainConfig {
+            epochs: 12,
+            lr: 1.5e-3,
+            ..Default::default()
+        },
     );
     let m = evaluate(&model, &ds, &split.test);
     eprintln!("[cdmpp] cost model test MAPE: {:.1}%", m.mape * 100.0);
 
-    let r = end_to_end(&model, &net, &dev, 0);
+    // Serve inference through the forward-only engine (one worker per
+    // core); training kept the mutable parameter store, serving shares
+    // frozen weights across the pool.
+    let engine = InferenceEngine::from_trained(&model, EngineConfig::default());
+    eprintln!(
+        "[cdmpp] serving with {} inference workers",
+        engine.worker_count()
+    );
+    let r = match cdmpp::runtime::end_to_end(&engine, &net, &dev, 0) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[cdmpp] inference failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "{} (batch {}) on {}: predicted {:.3} ms / iteration (simulated ground truth {:.3} ms, error {:.1}%)",
         net.name,

@@ -11,7 +11,11 @@ fn kmeans_sampled_finetuning_beats_zero_shot() {
         GenConfig {
             batch: 1,
             schedules_per_task: 5,
-            devices: vec![cdmpp::devsim::t4(), cdmpp::devsim::v100(), cdmpp::devsim::graviton2()],
+            devices: vec![
+                cdmpp::devsim::t4(),
+                cdmpp::devsim::v100(),
+                cdmpp::devsim::graviton2(),
+            ],
             seed: 31,
             noise_sigma: 0.0,
         },
@@ -21,13 +25,22 @@ fn kmeans_sampled_finetuning_beats_zero_shot() {
     src_idx.extend(ds.device_records("V100"));
     let src = SplitIndices::from_indices(&ds, src_idx, &[], 1);
     let tgt = SplitIndices::for_device(&ds, "Graviton2", &[], 1);
-    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
     let (mut model, _) = pretrain(
         &ds,
         &src.train,
         &src.valid,
         pcfg,
-        TrainConfig { epochs: 12, ..Default::default() },
+        TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
     );
     let zero_shot = evaluate(&model, &ds, &tgt.test).mape;
 
@@ -35,7 +48,10 @@ fn kmeans_sampled_finetuning_beats_zero_shot() {
     let mut task_feats: HashMap<u32, Vec<Vec<f64>>> = HashMap::new();
     for &i in ds.device_records("V100").iter().take(200) {
         let tid = ds.records[i].task_id;
-        task_feats.entry(tid).or_default().push(model.latents(&ds, &[i]).pop().unwrap());
+        task_feats
+            .entry(tid)
+            .or_default()
+            .push(model.latents(&ds, &[i]).pop().unwrap());
     }
     let chosen = select_tasks(&task_feats, 10, 1);
     assert!(!chosen.is_empty());
@@ -51,7 +67,11 @@ fn kmeans_sampled_finetuning_beats_zero_shot() {
         &ds,
         &src.train,
         &labeled,
-        &FineTuneConfig { steps: 120, use_target_labels: true, ..Default::default() },
+        &FineTuneConfig {
+            steps: 120,
+            use_target_labels: true,
+            ..Default::default()
+        },
     );
     let adapted = evaluate(&model, &ds, &tgt.test).mape;
     assert!(
@@ -74,13 +94,22 @@ fn cmd_shrinks_during_cdpp_finetuning() {
     );
     let src = SplitIndices::for_device(&ds, "T4", &[], 1);
     let tgt = SplitIndices::for_device(&ds, "EPYC-7452", &[], 1);
-    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
     let (mut model, _) = pretrain(
         &ds,
         &src.train,
         &src.valid,
         pcfg,
-        TrainConfig { epochs: 8, ..Default::default() },
+        TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
     );
     let before = cdmpp::core::latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
     finetune(
@@ -88,7 +117,11 @@ fn cmd_shrinks_during_cdpp_finetuning() {
         &ds,
         &src.train,
         &tgt.train,
-        &FineTuneConfig { steps: 120, use_target_labels: true, ..Default::default() },
+        &FineTuneConfig {
+            steps: 120,
+            use_target_labels: true,
+            ..Default::default()
+        },
     );
     let after = cdmpp::core::latent_cmd(&model, &ds, &src.test, &tgt.test, 3);
     assert!(after < before, "CMD {before:.4} -> {after:.4}");

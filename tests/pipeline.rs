@@ -5,7 +5,13 @@ use cdmpp::prelude::*;
 
 fn tiny_dataset(devices: Vec<DeviceSpec>) -> Dataset {
     Dataset::generate_with_networks(
-        GenConfig { batch: 1, schedules_per_task: 4, devices, seed: 21, noise_sigma: 0.0 },
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 4,
+            devices,
+            seed: 21,
+            noise_sigma: 0.0,
+        },
         vec![cdmpp::tir::zoo::bert_tiny(1), cdmpp::tir::zoo::mlp_mixer(1)],
     )
 }
@@ -14,22 +20,40 @@ fn tiny_dataset(devices: Vec<DeviceSpec>) -> Dataset {
 fn generate_train_predict_improves_over_mean_baseline() {
     let ds = tiny_dataset(vec![cdmpp::devsim::t4()]);
     let split = SplitIndices::for_device(&ds, "T4", &[], 2);
-    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
     let (model, stats) = pretrain(
         &ds,
         &split.train,
         &split.valid,
         pcfg,
-        TrainConfig { epochs: 20, ..Default::default() },
+        TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        },
     );
-    assert!(stats.throughput > 100.0, "throughput {:.0}", stats.throughput);
+    assert!(
+        stats.throughput > 100.0,
+        "throughput {:.0}",
+        stats.throughput
+    );
     let m = evaluate(&model, &ds, &split.test);
     // Geometric-mean baseline (predict one constant for everything).
     let train_lat = ds.latencies(&split.train);
     let gm = (train_lat.iter().map(|l| l.ln()).sum::<f64>() / train_lat.len() as f64).exp();
     let truth = ds.latencies(&split.test);
     let baseline = learn::mape(&vec![gm; truth.len()], &truth);
-    assert!(m.mape < baseline, "model {:.3} vs constant-baseline {:.3}", m.mape, baseline);
+    assert!(
+        m.mape < baseline,
+        "model {:.3} vs constant-baseline {:.3}",
+        m.mape,
+        baseline
+    );
 }
 
 #[test]
@@ -78,9 +102,23 @@ fn holdout_split_is_honored_by_training() {
     assert!(!split.hold_out.is_empty());
     // A model trained on the split never sees bert_tiny tasks; it must
     // still produce finite positive predictions for them.
-    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
-    let (model, _) =
-        pretrain(&ds, &split.train, &split.valid, pcfg, TrainConfig { epochs: 3, ..Default::default() });
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
+    let (model, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        pcfg,
+        TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    );
     let preds = model.predict_records(&ds, &split.hold_out);
     assert!(preds.iter().all(|&p| p.is_finite() && p > 0.0));
 }

@@ -28,10 +28,18 @@ fn replayed_e2e_time_is_at_least_the_critical_path() {
         let critical: f64 = longest.iter().cloned().fold(0.0, f64::max);
         let serial: f64 = dfg.iter().map(|n| n.duration_s).sum();
         let t = replay(&dfg, cdmpp::core::engine_count(&dev));
-        assert!(t >= critical * 0.999, "{}: {t} < critical {critical}", dev.name);
+        assert!(
+            t >= critical * 0.999,
+            "{}: {t} < critical {critical}",
+            dev.name
+        );
         // Allow for the dispatch gaps the DFG builder adds.
         let gap_budget: f64 = dfg.iter().map(|n| n.gap_s).sum();
-        assert!(t <= serial + gap_budget + 1e-9, "{}: {t} > serial {serial}", dev.name);
+        assert!(
+            t <= serial + gap_budget + 1e-9,
+            "{}: {t} > serial {serial}",
+            dev.name
+        );
     }
 }
 
@@ -44,12 +52,20 @@ fn hl100_replay_beats_single_queue() {
     let mut single = dev.clone();
     single.gemm_engines = 0;
     let t_single = measured_end_to_end(&net, &single, 3);
-    assert!(t_multi < t_single, "GEMM engines must help: {t_multi} vs {t_single}");
+    assert!(
+        t_multi < t_single,
+        "GEMM engines must help: {t_multi} vs {t_single}"
+    );
 }
 
 #[test]
 fn oracle_guided_search_beats_canonical_schedule() {
-    let nest = OpSpec::Dense { m: 256, n: 256, k: 256 }.canonical_nest();
+    let nest = OpSpec::Dense {
+        m: 256,
+        n: 256,
+        k: 256,
+    }
+    .canonical_nest();
     let dev = cdmpp::devsim::t4();
     let sim = Simulator::new(dev.clone());
     let canonical = sim.latency_seconds(&lower(&nest, &Schedule::default()).unwrap());
@@ -57,7 +73,10 @@ fn oracle_guided_search_beats_canonical_schedule() {
         &nest,
         &dev,
         &cdmpp::core::OracleCost,
-        &SearchConfig { rounds: 20, ..Default::default() },
+        &SearchConfig {
+            rounds: 20,
+            ..Default::default()
+        },
     );
     let best = *trace.best_per_round.last().unwrap();
     assert!(best < canonical, "search {best} vs canonical {canonical}");
@@ -79,21 +98,41 @@ fn trained_model_is_a_usable_cost_model() {
         vec![cdmpp::tir::zoo::mlp_mixer(1)],
     );
     let split = SplitIndices::for_device(&ds, "T4", &[], 1);
-    let pcfg = PredictorConfig { d_model: 16, n_layers: 1, d_ff: 32, d_emb: 12, ..Default::default() };
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
     let (model, _) = pretrain(
         &ds,
         &split.train,
         &split.valid,
         pcfg,
-        TrainConfig { epochs: 10, ..Default::default() },
+        TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
     );
-    let nest = OpSpec::Dense { m: 64, n: 64, k: 64 }.canonical_nest();
+    let nest = OpSpec::Dense {
+        m: 64,
+        n: 64,
+        k: 64,
+    }
+    .canonical_nest();
     let trace = search_schedule(
         &nest,
         &cdmpp::devsim::t4(),
         &model,
-        &SearchConfig { rounds: 10, ..Default::default() },
+        &SearchConfig {
+            rounds: 10,
+            ..Default::default()
+        },
     );
     assert_eq!(trace.best_per_round.len(), 10);
-    assert!(trace.best_per_round.iter().all(|t| t.is_finite() && *t > 0.0));
+    assert!(trace
+        .best_per_round
+        .iter()
+        .all(|t| t.is_finite() && *t > 0.0));
 }
