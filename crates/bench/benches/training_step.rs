@@ -2,7 +2,10 @@
 //! CDMPP (batched) vs Tiramisu (structure-bound, batch 1) vs a GBT fit.
 
 use baselines::{GbtConfig, GbtRegressor, TiramisuConfig, TiramisuModel};
-use cdmpp_core::{encode_records, make_batches, train_step, LossKind, Predictor, PredictorConfig};
+use cdmpp_core::{
+    encode_records, make_batches, train_step, train_step_parallel, LossKind, Predictor,
+    PredictorConfig,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataset::{Dataset, GenConfig};
 use nn::Adam;
@@ -24,6 +27,12 @@ fn dataset() -> Dataset {
 }
 
 fn bench_training(c: &mut Criterion) {
+    // Keep the single-threaded baseline honest: without this, the large
+    // training GEMMs fan out over the global pool on multi-core hosts.
+    // The parallel step variants use their own explicitly sized pools.
+    if std::env::var_os("PARALLEL_THREADS").is_none() {
+        std::env::set_var("PARALLEL_THREADS", "1");
+    }
     let ds = dataset();
     let idx = ds.device_records("T4");
     let enc = encode_records(&ds, &idx, features::DEFAULT_THETA, true);
@@ -53,6 +62,27 @@ fn bench_training(c: &mut Criterion) {
             ))
         })
     });
+    // Data-parallel gradient shards (same batch, fixed shard partition) at
+    // several pool sizes. Oversubscribed sizes cost nothing but show the
+    // shape of the scaling curve on multi-core hosts.
+    for threads in [1usize, 2, 4] {
+        let pool = parallel::ThreadPool::new(threads);
+        let mut predictor = Predictor::new(PredictorConfig::default());
+        let mut opt = Adam::new(1e-3);
+        g.bench_function(&format!("cdmpp_parallel_step_{threads}threads"), |b| {
+            b.iter(|| {
+                black_box(train_step_parallel(
+                    &mut predictor,
+                    &mut opt,
+                    &batch,
+                    &y,
+                    LossKind::Hybrid,
+                    1e-3,
+                    &pool,
+                ))
+            })
+        });
+    }
     // Tiramisu: one sample at a time (its structural batching limit).
     let mut tira = TiramisuModel::new(TiramisuConfig {
         epochs: 1,

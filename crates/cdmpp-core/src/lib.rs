@@ -40,6 +40,6 @@ pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, Ti
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
 pub use trainer::{
-    evaluate, pretrain, train_step, EvalMetrics, InferenceModel, LossKind, OptKind, TrainConfig,
-    TrainStats, TrainedModel,
+    evaluate, pretrain, train_step, train_step_parallel, EvalMetrics, InferenceModel, LossKind,
+    OptKind, TrainConfig, TrainStats, TrainedModel,
 };

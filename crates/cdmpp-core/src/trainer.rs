@@ -1,5 +1,19 @@
 //! Pre-training (§5.2): Box-Cox label normalization + the scale-insensitive
 //! hybrid objective, minibatched over leaf-count-homogeneous batches.
+//!
+//! ## Data-parallel steps
+//!
+//! [`pretrain`] runs every optimizer step through
+//! [`train_step_parallel`]: the minibatch is cut into fixed-size gradient
+//! shards (the shard partition depends on the batch alone, **never** on the
+//! thread count), each shard runs forward + backward on its own tape
+//! against the shared read-only parameters, and the shard gradients are
+//! combined by a fixed-order binary tree reduction. Because both the
+//! partition and the reduction order are thread-count-independent — and the
+//! GEMM kernels below keep per-element accumulation order fixed — seeded
+//! training produces **bit-identical weights for any
+//! [`TrainConfig::threads`] value** (asserted by
+//! `tests/parallel_determinism.rs`).
 
 use std::time::Instant;
 
@@ -50,6 +64,11 @@ pub struct TrainConfig {
     pub cyclic_lr: bool,
     /// Shuffle/init seed.
     pub seed: u64,
+    /// Worker threads for data-parallel gradient shards. `0` resolves via
+    /// the `PARALLEL_THREADS` environment variable, then available
+    /// parallelism. Any value yields bit-identical weights for a given
+    /// seed (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +85,7 @@ impl Default for TrainConfig {
             optimizer: OptKind::Adam,
             cyclic_lr: true,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -193,6 +213,177 @@ pub fn train_step(
     value
 }
 
+/// Rows per gradient shard of [`train_step_parallel`]. Fixed — never
+/// derived from the thread count — so the shard partition, and therefore
+/// every floating-point reduction, is a function of the batch alone.
+const SHARD_ROWS: usize = 16;
+
+/// One shard's contribution: its weighted loss and per-parameter weighted
+/// gradients (indexed by `ParamId::index`).
+struct ShardOut {
+    loss: f64,
+    grads: Vec<Option<Tensor>>,
+    failed: bool,
+}
+
+/// Runs forward + backward for batch rows `[r0, r1)` on a private tape,
+/// returning gradients scaled by the shard's weight `w = (r1-r0)/n` so the
+/// reduced sum equals the full-batch gradient.
+fn run_shard(
+    predictor: &Predictor,
+    batch: &Batch,
+    y_t: &[f32],
+    loss_kind: LossKind,
+    lambda: f32,
+    rows: std::ops::Range<usize>,
+    w: f32,
+) -> ShardOut {
+    let failed = ShardOut {
+        loss: f64::NAN,
+        grads: Vec::new(),
+        failed: true,
+    };
+    let (r0, r1) = (rows.start, rows.end);
+    let ns = r1 - r0;
+    let x_stride = batch.x.shape()[1] * batch.x.shape()[2];
+    let d_stride = batch.dev.shape()[1];
+    let Ok(x) = Tensor::from_vec(
+        batch.x.data()[r0 * x_stride..r1 * x_stride].to_vec(),
+        &[ns, batch.x.shape()[1], batch.x.shape()[2]],
+    ) else {
+        return failed;
+    };
+    let Ok(dev) = Tensor::from_vec(
+        batch.dev.data()[r0 * d_stride..r1 * d_stride].to_vec(),
+        &[ns, d_stride],
+    ) else {
+        return failed;
+    };
+    let mut g = Graph::new();
+    let Ok(out) = predictor.forward(&mut g, x, dev) else {
+        return failed;
+    };
+    let Ok(loss) = build_loss(&mut g, out.pred, &y_t[r0..r1], loss_kind, lambda) else {
+        return failed;
+    };
+    let value = g.value(loss).item() as f64 * w as f64;
+    if g.backward(loss).is_err() {
+        return failed;
+    }
+    // One allocation per touched parameter: the first leaf occurrence is
+    // scaled into place, duplicates fold in via `axpy`. Multiplying by
+    // w = 1.0 is an exact identity, which keeps the single-shard case
+    // bit-identical to `train_step`.
+    let mut grads: Vec<Option<Tensor>> = (0..predictor.store.len()).map(|_| None).collect();
+    for (pid, gt) in g.param_grads() {
+        match &mut grads[pid.index()] {
+            Some(t) => {
+                let _ = t.axpy(w, gt);
+            }
+            slot @ None => *slot = Some(gt.scale(w)),
+        }
+    }
+    ShardOut {
+        loss: value,
+        grads,
+        failed: false,
+    }
+}
+
+/// Merges shard `b` into shard `a` (`a += b`), element-wise over losses and
+/// gradients. Merge order is fixed by the reduction tree, not by threads.
+fn merge_shards(a: &mut ShardOut, b: ShardOut) {
+    a.loss += b.loss;
+    a.failed |= b.failed;
+    if a.grads.is_empty() {
+        a.grads = b.grads;
+        return;
+    }
+    for (ga, gb) in a.grads.iter_mut().zip(b.grads) {
+        match (ga, gb) {
+            (Some(x), Some(y)) => {
+                let _ = x.add_assign(&y);
+            }
+            (slot @ None, Some(y)) => *slot = Some(y),
+            (_, None) => {}
+        }
+    }
+}
+
+/// One optimization step with data-parallel gradient accumulation.
+///
+/// The batch is cut into [`SHARD_ROWS`]-row shards; each shard runs
+/// forward + backward on its own tape across `pool`, and the shard
+/// gradients are combined by a fixed-order binary tree reduction before
+/// clipping and the optimizer step. Both the partition and the reduction
+/// order depend only on the batch, so the updated weights are
+/// **bit-identical for every pool size** (a 1-thread pool included, which
+/// also matches [`train_step`] exactly when the batch fits in one shard).
+///
+/// Sharding is applied even on a 1-thread pool — a deliberate tradeoff:
+/// it costs ~15% per step on one core (per-shard tapes and gradient
+/// buffers), but an "unsharded when serial" fast path would give a
+/// different floating-point trajectory per thread count and break the
+/// determinism contract above. Callers that want the cheapest strictly
+/// serial step (and don't need thread-count reproducibility) can use
+/// [`train_step`] directly.
+///
+/// Returns the loss value, or NaN (without stepping) if any shard failed.
+pub fn train_step_parallel(
+    predictor: &mut Predictor,
+    opt: &mut dyn Optimizer,
+    batch: &Batch,
+    y_t: &[f32],
+    loss_kind: LossKind,
+    lambda: f32,
+    pool: &parallel::ThreadPool,
+) -> f64 {
+    let n = y_t.len();
+    // Mirror train_step's graceful-NaN contract for malformed inputs: a
+    // label/batch length mismatch would otherwise slice x out of bounds
+    // inside a worker and panic through the scope.
+    if n == 0 || n != batch.x.shape()[0] || n != batch.dev.shape()[0] {
+        return f64::NAN;
+    }
+    predictor.store.zero_grad();
+    let n_shards = n.div_ceil(SHARD_ROWS);
+    let shards: Vec<ShardOut> = {
+        let pred: &Predictor = predictor;
+        pool.run_indexed(n_shards, |s| {
+            let r0 = s * SHARD_ROWS;
+            let r1 = (r0 + SHARD_ROWS).min(n);
+            let w = (r1 - r0) as f32 / n as f32;
+            run_shard(pred, batch, y_t, loss_kind, lambda, r0..r1, w)
+        })
+    };
+    // Fixed-order binary tree: (0,1)(2,3)… then pairs of pairs, until one
+    // accumulated shard remains.
+    let mut level = shards;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                merge_shards(&mut a, b);
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    let total = level.pop().expect("at least one shard");
+    if total.failed {
+        return f64::NAN;
+    }
+    for (id, slot) in predictor.store.ids().zip(total.grads) {
+        if let Some(g) = slot {
+            let _ = predictor.store.add_to_grad(id, &g);
+        }
+    }
+    predictor.store.clip_grad_norm(5.0);
+    opt.step(&mut predictor.store);
+    total.loss
+}
+
 /// Pre-trains a predictor on `train_idx`, early-validating on `valid_idx`.
 pub fn pretrain(
     ds: &Dataset,
@@ -216,6 +407,7 @@ pub fn pretrain(
         step_size: ((train.len() / tcfg.batch_size.max(1)).max(1) * 2) as u64,
     };
     let mut rng = StdRng::seed_from_u64(tcfg.seed);
+    let pool = parallel::ThreadPool::new(parallel::resolve_threads(tcfg.threads));
     let start = Instant::now();
     let mut samples = 0usize;
     let mut step = 0u64;
@@ -233,13 +425,14 @@ pub fn pretrain(
                 .iter()
                 .map(|&y| transform.forward(y) as f32)
                 .collect();
-            final_loss = train_step(
+            final_loss = train_step_parallel(
                 &mut predictor,
                 opt.as_mut(),
                 b,
                 &y_t,
                 tcfg.loss,
                 tcfg.lambda,
+                &pool,
             );
             samples += b.record_idx.len();
             step += 1;

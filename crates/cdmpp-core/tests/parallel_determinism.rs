@@ -1,0 +1,121 @@
+//! The data-parallel trainer's determinism contract: a fixed seed produces
+//! **bit-identical weights for every thread count**, because the gradient
+//! shard partition and the tree-reduction order depend only on the batch —
+//! never on how many workers execute the shards.
+
+use cdmpp_core::{
+    encode_records, make_batches, pretrain, train_step, train_step_parallel, LossKind, Predictor,
+    PredictorConfig, TrainConfig,
+};
+use dataset::{Dataset, GenConfig, SplitIndices};
+use nn::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tir::zoo;
+
+fn small_setup() -> (Dataset, SplitIndices) {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 4,
+            devices: vec![devsim::t4()],
+            seed: 5,
+            noise_sigma: 0.0,
+        },
+        vec![zoo::bert_tiny(1), zoo::mlp_mixer(1)],
+    );
+    let split = SplitIndices::for_device(&ds, "T4", &[], 1);
+    (ds, split)
+}
+
+fn train_with_threads(ds: &Dataset, split: &SplitIndices, threads: usize) -> Predictor {
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
+    let tcfg = TrainConfig {
+        epochs: 3,
+        threads,
+        ..Default::default()
+    };
+    let (model, _) = pretrain(ds, &split.train, &split.valid, pcfg, tcfg);
+    model.predictor
+}
+
+#[test]
+fn same_seed_any_thread_count_identical_weights() {
+    let (ds, split) = small_setup();
+    let base = train_with_threads(&ds, &split, 1);
+    for threads in [2usize, 5] {
+        let other = train_with_threads(&ds, &split, threads);
+        assert_eq!(base.store.len(), other.store.len());
+        for id in base.store.ids() {
+            assert_eq!(
+                base.store.value(id).data(),
+                other.store.value(id).data(),
+                "parameter {:?} diverged with {threads} threads",
+                base.store.name(id)
+            );
+        }
+        // And therefore identical predictions.
+        let test = &split.test[..8.min(split.test.len())];
+        let enc = encode_records(&ds, test, base.config().theta, true);
+        let refs: Vec<_> = enc.iter().collect();
+        let batch = cdmpp_core::build_batch(&refs[..1]);
+        let a = base
+            .predict_batch(batch.x.clone(), batch.dev.clone())
+            .unwrap();
+        let b = other.predict_batch(batch.x, batch.dev).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn single_shard_parallel_step_is_bitwise_equal_to_serial_step() {
+    let (ds, _) = small_setup();
+    let idx = ds.device_records("T4");
+    let enc = encode_records(&ds, &idx, features::DEFAULT_THETA, true);
+    let mut rng = StdRng::seed_from_u64(3);
+    // Batch of at most 16 rows = exactly one gradient shard.
+    let batches = make_batches(&enc, 12, &mut rng);
+    let batch = batches.first().expect("non-empty").clone();
+    let y: Vec<f32> = batch.y_raw.iter().map(|&v| (v * 1e3) as f32).collect();
+    assert!(y.len() <= 16, "batch must fit one shard for this test");
+
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
+    let mut serial = Predictor::new(pcfg.clone());
+    let mut parallel_p = Predictor::new(pcfg);
+    let mut opt_a = Adam::new(1e-3);
+    let mut opt_b = Adam::new(1e-3);
+    let pool = parallel::ThreadPool::new(3);
+    for _ in 0..4 {
+        let la = train_step(&mut serial, &mut opt_a, &batch, &y, LossKind::Hybrid, 1e-3);
+        let lb = train_step_parallel(
+            &mut parallel_p,
+            &mut opt_b,
+            &batch,
+            &y,
+            LossKind::Hybrid,
+            1e-3,
+            &pool,
+        );
+        assert_eq!(la, lb, "losses must match bit-for-bit");
+    }
+    for id in serial.store.ids() {
+        assert_eq!(
+            serial.store.value(id).data(),
+            parallel_p.store.value(id).data(),
+            "weights diverged at {:?}",
+            serial.store.name(id)
+        );
+    }
+}

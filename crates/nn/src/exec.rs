@@ -15,7 +15,11 @@
 //!
 //! Both paths run the same kernels ([`crate::kernels`], `tensor::*_into`)
 //! in the same order, so forward values are **bit-identical** — asserted by
-//! the tests below and by property tests at the predictor level.
+//! the tests below and by property tests at the predictor level. The matrix
+//! products themselves route through `tensor`'s blocked/packed GEMM (with
+//! row-panel multi-threading above a size threshold), which preserves that
+//! bit-identity: path selection and accumulation order depend only on
+//! shapes, never on which executor — or how many threads — ran the op.
 
 use crate::kernels;
 use crate::tape::{Graph, ParamId, ParamStore, Var};

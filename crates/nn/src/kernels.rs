@@ -7,7 +7,7 @@
 //! what makes forward-only inference bit-identical to the taped forward
 //! pass.
 
-use tensor::{Result, Tensor, TensorError};
+use tensor::{ensure_len, Result, Tensor, TensorError};
 
 /// `[B, L, h*dh] -> [B*h, L, dh]` for multi-head attention.
 pub(crate) fn split_heads(x: &Tensor, h: usize) -> Result<Tensor> {
@@ -33,8 +33,9 @@ pub(crate) fn split_heads_into(x: &Tensor, h: usize, out: &mut Vec<f32>) -> Resu
         });
     }
     let dh = d / h;
-    out.clear();
-    out.resize(b * l * d, 0.0);
+    // Every element is overwritten by the head copies below, so the buffer
+    // is resized without a zero fill (see `tensor::ensure_len`).
+    ensure_len(out, b * l * d);
     for bi in 0..b {
         for li in 0..l {
             for hi in 0..h {
@@ -72,8 +73,7 @@ pub(crate) fn merge_heads_into(x: &Tensor, h: usize, out: &mut Vec<f32>) -> Resu
     }
     let b = bh / h;
     let d = dh * h;
-    out.clear();
-    out.resize(b * l * d, 0.0);
+    ensure_len(out, b * l * d);
     for bi in 0..b {
         for li in 0..l {
             for hi in 0..h {

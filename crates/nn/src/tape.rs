@@ -12,7 +12,10 @@
 //! [`crate::kernels`], so the two paths produce bit-identical values.
 
 use crate::kernels::{layer_norm_fwd, merge_heads, slice_last, split_heads};
-use tensor::{bmm, matmul, Result, Tensor, TensorError};
+use tensor::{
+    bmm, bmm_acc_into, bmm_into, matmul, matmul_t_acc_into, matmul_t_into, Result, Tensor,
+    TensorError,
+};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +24,14 @@ pub struct Var(pub(crate) usize);
 /// Handle to a parameter in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The parameter's dense index in its store (stable across clones;
+    /// used by data-parallel trainers to key gradient shards).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Storage for trainable parameters and their accumulated gradients.
 #[derive(Debug, Default, Clone)]
@@ -107,6 +118,12 @@ impl ParamStore {
 
     pub(crate) fn accumulate(&mut self, id: ParamId, g: &Tensor) -> Result<()> {
         self.grads[id.0].add_assign(g)
+    }
+
+    /// Adds `g` onto the stored gradient of `id` (the public seam for
+    /// data-parallel trainers writing externally reduced gradients back).
+    pub fn add_to_grad(&mut self, id: ParamId, g: &Tensor) -> Result<()> {
+        self.accumulate(id, g)
     }
 
     /// Global L2 norm of all gradients (for clipping / monitoring).
@@ -471,7 +488,83 @@ impl Graph {
         Ok(())
     }
 
+    /// Accumulates a 2-D matmul gradient (`dst += op(x) · op(y)`) directly
+    /// into the destination node's gradient slot — in place when a gradient
+    /// already exists, via a single full-write allocation otherwise. No
+    /// transpose is ever materialized (strided kernels) and no temporary
+    /// product is allocated on the accumulate path.
+    fn accum_matmul(&mut self, dst: Var, x: &Tensor, xt: bool, y: &Tensor, yt: bool) -> Result<()> {
+        match &mut self.nodes[dst.0].grad {
+            Some(t) => {
+                matmul_t_acc_into(x, xt, y, yt, t.data_mut())?;
+            }
+            slot @ None => {
+                let mut buf = Vec::new();
+                let shape = matmul_t_into(x, xt, y, yt, &mut buf)?;
+                *slot = Some(Tensor::from_vec(buf, &shape)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched sibling of [`Graph::accum_matmul`].
+    fn accum_bmm(&mut self, dst: Var, x: &Tensor, xt: bool, y: &Tensor, yt: bool) -> Result<()> {
+        match &mut self.nodes[dst.0].grad {
+            Some(t) => {
+                bmm_acc_into(x, y, xt, yt, t.data_mut())?;
+            }
+            slot @ None => {
+                let mut buf = Vec::new();
+                let shape = bmm_into(x, y, xt, yt, &mut buf)?;
+                *slot = Some(Tensor::from_vec(buf, &shape)?);
+            }
+        }
+        Ok(())
+    }
+
+    fn backprop_matmul(&mut self, a: Var, b: Var, g: &Tensor) -> Result<()> {
+        // dA += g · B^T. The operand value is moved out (a cheap Vec move,
+        // restored right after) so the gradient slot can be borrowed
+        // mutably at the same time — cloning the value would cost more
+        // than the allocation this path exists to avoid.
+        let bv = std::mem::replace(&mut self.nodes[b.0].value, Tensor::zeros(&[0]));
+        let r1 = self.accum_matmul(a, g, false, &bv, true);
+        self.nodes[b.0].value = bv;
+        r1?;
+        // dB += A^T · g.
+        let av = std::mem::replace(&mut self.nodes[a.0].value, Tensor::zeros(&[0]));
+        let r2 = self.accum_matmul(b, &av, true, g, false);
+        self.nodes[a.0].value = av;
+        r2
+    }
+
+    fn backprop_bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool, g: &Tensor) -> Result<()> {
+        let bv = std::mem::replace(&mut self.nodes[b.0].value, Tensor::zeros(&[0]));
+        let r1 = if !ta {
+            self.accum_bmm(a, g, false, &bv, !tb)
+        } else {
+            self.accum_bmm(a, &bv, tb, g, true)
+        };
+        self.nodes[b.0].value = bv;
+        r1?;
+        let av = std::mem::replace(&mut self.nodes[a.0].value, Tensor::zeros(&[0]));
+        let r2 = if !tb {
+            self.accum_bmm(b, &av, !ta, g, false)
+        } else {
+            self.accum_bmm(b, g, true, &av, ta)
+        };
+        self.nodes[a.0].value = av;
+        r2
+    }
+
     fn backprop_node(&mut self, i: usize, g: &Tensor) -> Result<()> {
+        // Matmul/bmm gradients accumulate in place through the `*_acc_into`
+        // kernels (no gradient temporaries, no transpose buffers).
+        match self.nodes[i].op {
+            Op::Matmul(a, b) => return self.backprop_matmul(a, b, g),
+            Op::Bmm(a, b, ta, tb) => return self.backprop_bmm(a, b, ta, tb, g),
+            _ => {}
+        }
         // Values are read before mutation; ops store only input Vars < i.
         enum Pending {
             One(Var, Tensor),
@@ -502,27 +595,8 @@ impl Graph {
             Op::MulConst(x, c) => Pending::One(*x, g.mul(c)?),
             Op::Scale(x, c) => Pending::One(*x, g.scale(*c)),
             Op::AddScalar(x, _) => Pending::One(*x, g.clone()),
-            Op::Matmul(a, b) => {
-                let av = &self.nodes[a.0].value;
-                let bv = &self.nodes[b.0].value;
-                let ga = matmul(g, &bv.transpose2()?)?;
-                let gb = matmul(&av.transpose2()?, g)?;
-                Pending::Two(*a, ga, *b, gb)
-            }
-            Op::Bmm(a, b, ta, tb) => {
-                let av = &self.nodes[a.0].value;
-                let bv = &self.nodes[b.0].value;
-                let ga = if !*ta {
-                    bmm(g, bv, false, !*tb)?
-                } else {
-                    bmm(bv, g, *tb, true)?
-                };
-                let gb = if !*tb {
-                    bmm(av, g, !*ta, false)?
-                } else {
-                    bmm(g, av, true, *ta)?
-                };
-                Pending::Two(*a, ga, *b, gb)
+            Op::Matmul(..) | Op::Bmm(..) => {
+                unreachable!("matmul/bmm take the in-place accumulate path above")
             }
             Op::SplitHeads(x, h) => Pending::One(*x, merge_heads(g, *h)?),
             Op::MergeHeads(x, h) => Pending::One(*x, split_heads(g, *h)?),
@@ -659,12 +733,26 @@ impl Graph {
 
     /// Copies gradients of parameter leaves back into the store.
     pub fn write_param_grads(&self, store: &mut ParamStore) -> Result<()> {
-        for node in &self.nodes {
-            if let (Op::Leaf(Some(pid)), Some(g)) = (&node.op, &node.grad) {
-                store.accumulate(*pid, g)?;
-            }
+        for (pid, g) in self.param_grads() {
+            store.accumulate(pid, g)?;
         }
         Ok(())
+    }
+
+    /// Iterates over the gradients of parameter leaves after
+    /// [`Graph::backward`], without needing mutable access to any store.
+    ///
+    /// This is the extraction seam for data-parallel training: each shard
+    /// graph yields its `(ParamId, gradient)` pairs, which the trainer
+    /// tree-reduces in a fixed order before writing them back through
+    /// [`ParamStore::add_to_grad`].
+    pub fn param_grads(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.nodes
+            .iter()
+            .filter_map(|node| match (&node.op, &node.grad) {
+                (Op::Leaf(Some(pid)), Some(g)) => Some((*pid, g)),
+                _ => None,
+            })
     }
 }
 

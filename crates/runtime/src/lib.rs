@@ -62,7 +62,9 @@ impl From<PredictError> for EngineError {
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads. `0` means one per available CPU core.
+    /// Worker threads. `0` resolves via the `PARALLEL_THREADS` environment
+    /// variable, then one per available CPU core (see
+    /// [`parallel::resolve_threads`]).
     pub workers: usize,
     /// Largest dense batch dispatched to one worker. Buckets bigger than
     /// this are split so they spread across the pool.
@@ -88,13 +90,7 @@ impl EngineConfig {
     }
 
     fn resolved_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        parallel::resolve_threads(self.workers)
     }
 }
 
@@ -321,6 +317,9 @@ pub fn end_to_end(
 }
 
 fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
+    // The engine already runs one worker per core; marking the thread
+    // keeps the GEMM layer from fanning each batch out a second time.
+    parallel::mark_worker_thread();
     // One context per worker, alive for the engine's lifetime: node buffers
     // are recycled across every batch this worker ever executes.
     let mut ctx = InferCtx::new(model.predictor.params());

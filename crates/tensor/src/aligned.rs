@@ -1,0 +1,191 @@
+//! Cache-line-aligned `f32` scratch buffers.
+//!
+//! The blocked GEMM packs operand panels into contiguous staging buffers
+//! that the micro-kernel streams through; aligning those to 64 bytes keeps
+//! every panel row on one cache line boundary and lets LLVM emit aligned
+//! vector loads. [`AVec`] is the minimal growable buffer for that job:
+//! always initialized (so the API stays safe), grown geometrically, and —
+//! unlike `vec![0.0; n]` per call — intended to live in a thread-local pool
+//! so steady-state kernels never touch the allocator.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Alignment of every [`AVec`] allocation (one x86 cache line; also the
+/// widest vector width we care about for autovectorized loads).
+pub const ALIGN: usize = 64;
+
+/// A 64-byte-aligned, always-initialized `f32` scratch buffer.
+///
+/// Semantics differ from `Vec<f32>` in one deliberate way: growing via
+/// [`AVec::ensure_len`] does **not** preserve or zero existing contents
+/// beyond what a fresh zeroed allocation provides — the buffer is scratch,
+/// and every GEMM packing pass overwrites the region it will read. Contents
+/// are always initialized memory, so the API is safe.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::aligned::{AVec, ALIGN};
+/// let mut buf = AVec::new();
+/// buf.ensure_len(100);
+/// assert_eq!(buf.as_slice().len(), 100);
+/// assert_eq!(buf.as_slice().as_ptr() as usize % ALIGN, 0);
+/// ```
+pub struct AVec {
+    ptr: Option<NonNull<f32>>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AVec owns its allocation exclusively; f32 is Send + Sync.
+unsafe impl Send for AVec {}
+unsafe impl Sync for AVec {}
+
+impl AVec {
+    /// Creates an empty buffer (no allocation).
+    pub const fn new() -> Self {
+        AVec {
+            ptr: None,
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// Creates a zeroed buffer of length `n`.
+    pub fn zeroed(n: usize) -> Self {
+        let mut v = AVec::new();
+        v.ensure_len(n);
+        v
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the length to `n`, reallocating if capacity is insufficient.
+    ///
+    /// Newly allocated memory is zeroed; on reallocation old contents are
+    /// *not* copied over (this is a scratch buffer — see the type docs).
+    pub fn ensure_len(&mut self, n: usize) {
+        if n > self.cap {
+            self.grow(n);
+        }
+        self.len = n;
+    }
+
+    fn grow(&mut self, n: usize) {
+        // Geometric growth, rounded up to a whole number of cache lines.
+        let floats_per_line = ALIGN / std::mem::size_of::<f32>();
+        let want = n.max(self.cap * 2).div_ceil(floats_per_line) * floats_per_line;
+        let layout = Layout::from_size_align(want * std::mem::size_of::<f32>(), ALIGN)
+            .expect("valid AVec layout");
+        // SAFETY: layout has non-zero size (want >= n > cap >= 0 implies
+        // want > 0) and the required alignment; zeroed memory is a valid
+        // [f32] bit pattern.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout)
+        };
+        self.release();
+        self.ptr = Some(ptr);
+        self.cap = want;
+    }
+
+    fn release(&mut self) {
+        if let Some(ptr) = self.ptr.take() {
+            let layout = Layout::from_size_align(self.cap * std::mem::size_of::<f32>(), ALIGN)
+                .expect("valid AVec layout");
+            // SAFETY: ptr was allocated by `grow` with exactly this layout.
+            unsafe { dealloc(ptr.as_ptr().cast(), layout) };
+        }
+        self.cap = 0;
+    }
+
+    /// Fills the buffer with zeros (length unchanged).
+    pub fn zero_fill(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+
+    /// Immutable view of the buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        match self.ptr {
+            // SAFETY: ptr is valid for len floats, all initialized.
+            Some(p) => unsafe { std::slice::from_raw_parts(p.as_ptr(), self.len) },
+            None => &[],
+        }
+    }
+
+    /// Mutable view of the buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        match self.ptr {
+            // SAFETY: ptr is valid for len floats, all initialized, and we
+            // hold the unique &mut.
+            Some(p) => unsafe { std::slice::from_raw_parts_mut(p.as_ptr(), self.len) },
+            None => &mut [],
+        }
+    }
+}
+
+impl Default for AVec {
+    fn default() -> Self {
+        AVec::new()
+    }
+}
+
+impl Drop for AVec {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_without_allocating() {
+        let v = AVec::new();
+        assert!(v.is_empty());
+        assert!(v.as_slice().is_empty());
+    }
+
+    #[test]
+    fn zeroed_and_aligned() {
+        for n in [1usize, 7, 16, 63, 64, 65, 1000] {
+            let v = AVec::zeroed(n);
+            assert_eq!(v.len(), n);
+            assert_eq!(v.as_slice().as_ptr() as usize % ALIGN, 0, "n = {n}");
+            assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn shrinking_len_keeps_contents_growing_is_initialized() {
+        let mut v = AVec::zeroed(8);
+        v.as_mut_slice().copy_from_slice(&[1.0; 8]);
+        v.ensure_len(4);
+        assert_eq!(v.as_slice(), &[1.0; 4]);
+        // Re-extend within capacity: old tail still there (same allocation).
+        v.ensure_len(8);
+        assert_eq!(v.as_slice(), &[1.0; 8]);
+        // Grow past capacity: contents unspecified but initialized.
+        v.ensure_len(4096);
+        assert_eq!(v.len(), 4096);
+        let _ = v.as_slice().iter().copied().sum::<f32>();
+    }
+
+    #[test]
+    fn zero_fill_resets() {
+        let mut v = AVec::zeroed(32);
+        v.as_mut_slice().fill(3.5);
+        v.zero_fill();
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

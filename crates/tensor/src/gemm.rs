@@ -1,0 +1,479 @@
+//! Blocked, packed, register-tiled GEMM — the compute core behind
+//! [`crate::matmul`] / [`crate::bmm`] and their `*_into` / `*_acc_into`
+//! variants.
+//!
+//! Three layers, engaged by problem size:
+//!
+//! 1. **Naive strided loop** for tiny products (attention tiles, single
+//!    rows): per-element dot products in ascending-`k` order. Packing would
+//!    cost more than it saves here.
+//! 2. **Blocked + packed serial kernel**: the classic GOTO/BLIS loop nest.
+//!    `B` is packed into `KC x NR` column slabs and `A` into `KC x MR` row
+//!    strips (both cache-line-aligned via [`crate::aligned::AVec`], pooled
+//!    per thread so steady-state calls never allocate); an unrolled
+//!    `MR x NR = 4 x 8` register-tile micro-kernel then streams the panels
+//!    in a form LLVM autovectorizes (no SIMD intrinsics — the build is
+//!    offline and portable).
+//! 3. **Row-panel parallelism**: large products split their `M` dimension
+//!    over [`parallel::global`]. Each output element is produced by exactly
+//!    one task with an accumulation order fixed by shape alone, so results
+//!    are **bit-identical for every thread count** (including 1).
+//!
+//! Transposed operands are handled by the packing routines through strided
+//! [`MatRef`] views — there is no materialized transpose anywhere.
+//!
+//! Accumulation-order contract: for `k <= KC` every output element is the
+//! plain ascending-`k` sum (same order as the naive loop); beyond `KC` the
+//! sum is reassociated at `KC` boundaries. Both execution paths in `nn`
+//! (taped and forward-only) call these same kernels, which is what keeps
+//! them bit-identical to each other.
+
+use crate::aligned::AVec;
+use std::cell::RefCell;
+
+/// Micro-kernel tile rows.
+const MR: usize = 4;
+/// Micro-kernel tile columns (8 f32 = two SSE / one AVX vector).
+const NR: usize = 8;
+/// K-dimension block: sized to cover every predictor shape in one block so
+/// accumulation order matches the naive kernel exactly at those sizes.
+const KC: usize = 512;
+/// M-dimension block (rows of A packed at a time).
+const MC: usize = 128;
+/// N-dimension block. Row-panel parallelism assumes `n <= NC`, which holds
+/// for every shape this workspace produces; wider products run serial.
+const NC: usize = 4096;
+
+/// Below this many multiply-adds the naive loop wins (no packing traffic).
+const TINY_MULADDS: usize = 16 * 1024;
+/// At this many multiply-adds the row-panel split across the global pool
+/// starts to pay for its dispatch overhead. Shared with the bmm batch-axis
+/// split in `ops.rs` so the two dispatch layers cut over together.
+pub(crate) const PAR_MULADDS: usize = 192 * 1024;
+
+thread_local! {
+    /// Per-thread packing buffers: pool workers and long-lived serving
+    /// threads reuse the same panels for every GEMM they ever run.
+    static PACK: RefCell<(AVec, AVec)> = const { RefCell::new((AVec::new(), AVec::new())) };
+}
+
+/// A strided, read-only view of a row-major matrix (or its transpose —
+/// swap the strides and a transpose costs nothing).
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    data: &'a [f32],
+    /// Element distance between logical rows.
+    rs: usize,
+    /// Element distance between logical columns.
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// View of a contiguous row-major `[rows x cols]` slice.
+    pub(crate) fn dense(data: &'a [f32], cols: usize) -> Self {
+        MatRef {
+            data,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// Logical view of `data` stored row-major `[rows x cols]`, transposed
+    /// when `t` (so the logical matrix is `[cols x rows]`).
+    pub(crate) fn dense_t(data: &'a [f32], cols: usize, t: bool) -> Self {
+        if t {
+            MatRef {
+                data,
+                rs: 1,
+                cs: cols,
+            }
+        } else {
+            Self::dense(data, cols)
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+
+    /// The view shifted down by `rows` logical rows.
+    fn offset_rows(&self, rows: usize) -> MatRef<'a> {
+        MatRef {
+            data: &self.data[rows * self.rs..],
+            rs: self.rs,
+            cs: self.cs,
+        }
+    }
+}
+
+/// `C = A·B` (or `C += A·B` when `acc`) for logical shapes `[m,k]·[k,n]`.
+///
+/// `c` must hold exactly `m * n` elements (row-major). When `acc` is false
+/// every element of `c` is overwritten — callers need not (and should not)
+/// pre-zero the buffer.
+pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let muladds = m * n * k;
+    if muladds < TINY_MULADDS {
+        return gemm_naive(m, n, k, a, b, c, acc);
+    }
+    // Check the cheap disqualifiers before touching the global pool, so
+    // processes whose GEMMs never parallelize (worker threads, mid-size
+    // products) never lazily spawn it.
+    let eligible =
+        muladds >= PAR_MULADDS && n <= NC && m >= 2 * MR && !parallel::is_worker_thread();
+    if !eligible {
+        return gemm_blocked(m, n, k, a, b, c, acc);
+    }
+    let pool = parallel::global();
+    if pool.threads() <= 1 {
+        return gemm_blocked(m, n, k, a, b, c, acc);
+    }
+    // Row-panel split: chunk boundaries never change any element's
+    // accumulation order, so the result is bit-identical to the serial run
+    // for every chunk count.
+    let chunks = pool.threads().min(m.div_ceil(MR));
+    let rows_per = m.div_ceil(chunks).next_multiple_of(MR);
+    pool.scope(|s| {
+        let mut rest = c;
+        let mut i0 = 0;
+        while i0 < m {
+            let rows = rows_per.min(m - i0);
+            let (head, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_sub = a.offset_rows(i0);
+            s.spawn(move || gemm_blocked(rows, n, k, a_sub, b, head, acc));
+            i0 += rows;
+        }
+    });
+}
+
+/// Tiny-product path. Every element accumulates in ascending-`k` order —
+/// the same order as the micro-kernel — through whichever loop shape gives
+/// contiguous inner slices for the operand layout at hand:
+///
+/// * `B` row-major (`cs == 1`): the seed's ikj kernel (stream `B` rows);
+/// * `B` column-contiguous (`rs == 1`, i.e. a transposed view) with
+///   row-major `A`: dot-product form over zipped slices;
+/// * anything else (tiny transposed-`A` gradients): strided generic loop.
+fn gemm_naive(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+    debug_assert_eq!(c.len(), m * n);
+    if b.cs == 1 {
+        if !acc {
+            c.fill(0.0);
+        }
+        for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+            for p in 0..k {
+                let av = a.at(i, p);
+                let brow = &b.data[p * b.rs..p * b.rs + n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        return;
+    }
+    if b.rs == 1 && a.cs == 1 {
+        for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+            let arow = &a.data[i * a.rs..i * a.rs + k];
+            for (j, o) in crow.iter_mut().enumerate() {
+                let bcol = &b.data[j * b.cs..j * b.cs + k];
+                let mut s = 0.0f32;
+                for (&x, &y) in arow.iter().zip(bcol) {
+                    s += x * y;
+                }
+                if acc {
+                    *o += s;
+                } else {
+                    *o = s;
+                }
+            }
+        }
+        return;
+    }
+    for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+        for (j, o) in crow.iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a.at(i, p) * b.at(p, j);
+            }
+            if acc {
+                *o += s;
+            } else {
+                *o = s;
+            }
+        }
+    }
+}
+
+/// The GOTO-style blocked loop nest over packed panels.
+fn gemm_blocked(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+    PACK.with(|bufs| {
+        let (apack, bpack) = &mut *bufs.borrow_mut();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                // First k-block overwrites C (unless the caller wants C +=),
+                // later blocks accumulate.
+                let store = pc == 0 && !acc;
+                pack_b(b, pc, kc, jc, nc, bpack);
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a(a, ic, mc, pc, kc, apack);
+                    macro_kernel(
+                        mc,
+                        nc,
+                        kc,
+                        apack.as_slice(),
+                        bpack.as_slice(),
+                        &mut c[ic * n + jc..],
+                        n,
+                        store,
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Packs `kc` rows x `nc` columns of `B` into `ceil(nc/NR)` slabs, each
+/// `kc x NR` in row-(`p`-)major order, zero-padding partial slabs.
+fn pack_b(b: MatRef, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut AVec) {
+    let slabs = nc.div_ceil(NR);
+    buf.ensure_len(slabs * kc * NR);
+    let dst = buf.as_mut_slice();
+    for t in 0..slabs {
+        let cols = NR.min(nc - t * NR);
+        let base = t * kc * NR;
+        for p in 0..kc {
+            let d = &mut dst[base + p * NR..base + (p + 1) * NR];
+            if b.cs == 1 && cols == NR {
+                let src = (p0 + p) * b.rs + j0 + t * NR;
+                d.copy_from_slice(&b.data[src..src + NR]);
+            } else {
+                for (cj, dj) in d.iter_mut().enumerate() {
+                    *dj = if cj < cols {
+                        b.at(p0 + p, j0 + t * NR + cj)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs `mc` rows x `kc` columns of `A` into `ceil(mc/MR)` strips, each
+/// `kc x MR` in `p`-major order, zero-padding partial strips.
+fn pack_a(a: MatRef, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut AVec) {
+    let strips = mc.div_ceil(MR);
+    buf.ensure_len(strips * kc * MR);
+    let dst = buf.as_mut_slice();
+    for s in 0..strips {
+        let rows = MR.min(mc - s * MR);
+        let base = s * kc * MR;
+        for p in 0..kc {
+            let d = &mut dst[base + p * MR..base + (p + 1) * MR];
+            for (r, dr) in d.iter_mut().enumerate() {
+                *dr = if r < rows {
+                    a.at(i0 + s * MR + r, p0 + p)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Runs the register-tile micro-kernel over every `MR x NR` tile of one
+/// packed `A`-block x `B`-panel pair. `c` points at the block's top-left
+/// element inside the full output (leading dimension `ldc`).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    store: bool,
+) {
+    let strips = mc.div_ceil(MR);
+    let slabs = nc.div_ceil(NR);
+    for t in 0..slabs {
+        let bslab = &bpack[t * kc * NR..(t + 1) * kc * NR];
+        let j0 = t * NR;
+        let nr = NR.min(nc - j0);
+        for s in 0..strips {
+            let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+            let i0 = s * MR;
+            let mr = MR.min(mc - i0);
+            let tile = micro_tile(kc, astrip, bslab);
+            // Edge tiles: the packed panels are zero-padded, so the full
+            // tile is always valid — copy out only the live region.
+            for (r, trow) in tile.iter().take(mr).enumerate() {
+                let start = (i0 + r) * ldc + j0;
+                let crow = &mut c[start..start + nr];
+                if store {
+                    crow.copy_from_slice(&trow[..nr]);
+                } else {
+                    for (o, &v) in crow.iter_mut().zip(&trow[..nr]) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The unrolled `MR x NR` register tile: `sum_p a[p][0..MR] ⊗ b[p][0..NR]`
+/// with one scalar accumulator per element (ascending-`p` order), written
+/// so LLVM vectorizes the `NR`-wide inner loops.
+#[inline(always)]
+fn micro_tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av = &astrip[p * MR..(p + 1) * MR];
+        let bv = &bslab[p * NR..(p + 1) * NR];
+        for (accrow, &ar) in acc.iter_mut().zip(av) {
+            for (s, &bc) in accrow.iter_mut().zip(bv) {
+                *s += ar * bc;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: textbook triple loop on strided views.
+    fn reference(m: usize, n: usize, k: usize, a: MatRef, b: MatRef) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    s += (a.at(i, p) as f64) * (b.at(p, j) as f64);
+                }
+                out[i * n + j] = s as f32;
+            }
+        }
+        out
+    }
+
+    fn filled(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 + phase).sin()).collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], tag: &str) {
+        assert_eq!(got.len(), want.len(), "{tag}");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let tol = 1e-4 * (1.0 + w.abs());
+            assert!((g - w).abs() <= tol, "{tag}: element {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_sizes() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (1, 17, 9),
+            (5, 1, 33),
+            (7, 9, 1),
+            (64, 48, 56),
+            (130, 33, 70),
+            (512, 48, 384),
+            (9, 100, 600), // k > KC: two k-blocks
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            let a = MatRef::dense(&av, k);
+            let b = MatRef::dense(&bv, n);
+            let mut c = vec![f32::NAN; m * n]; // catches unwritten elements
+            gemm(m, n, k, a, b, &mut c, false);
+            assert_close(&c, &reference(m, n, k, a, b), &format!("{m}x{n}x{k}"));
+        }
+    }
+
+    #[test]
+    fn transposed_views_match_reference() {
+        let (m, n, k) = (33, 29, 41);
+        let at = filled(k * m, 0.2); // stored [k, m]
+        let bt = filled(n * k, 0.4); // stored [n, k]
+        let a = MatRef::dense_t(&at, m, true);
+        let b = MatRef::dense_t(&bt, k, true);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b, &mut c, false);
+        assert_close(&c, &reference(m, n, k, a, b), "ta,tb");
+    }
+
+    #[test]
+    fn acc_adds_onto_existing_contents() {
+        let (m, n, k) = (20, 24, 31);
+        let av = filled(m * k, 0.1);
+        let bv = filled(k * n, 0.9);
+        let a = MatRef::dense(&av, k);
+        let b = MatRef::dense(&bv, n);
+        let mut c: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.01).collect();
+        let before = c.clone();
+        gemm(m, n, k, a, b, &mut c, true);
+        let prod = reference(m, n, k, a, b);
+        let want: Vec<f32> = before.iter().zip(&prod).map(|(x, y)| x + y).collect();
+        assert_close(&c, &want, "acc");
+    }
+
+    #[test]
+    fn k_zero_overwrites_or_preserves() {
+        let mut c = vec![3.0f32; 6];
+        gemm(
+            2,
+            3,
+            0,
+            MatRef::dense(&[], 0),
+            MatRef::dense(&[], 3),
+            &mut c,
+            false,
+        );
+        assert_eq!(c, vec![0.0; 6]);
+        let mut c2 = vec![3.0f32; 6];
+        gemm(
+            2,
+            3,
+            0,
+            MatRef::dense(&[], 0),
+            MatRef::dense(&[], 3),
+            &mut c2,
+            true,
+        );
+        assert_eq!(c2, vec![3.0; 6]);
+    }
+
+    #[test]
+    fn parallel_threshold_sizes_are_bit_identical_to_serial() {
+        // Big enough to trigger the row-panel split when threads > 1.
+        let (m, n, k) = (256, 64, 64);
+        let av = filled(m * k, 0.3);
+        let bv = filled(k * n, 0.6);
+        let a = MatRef::dense(&av, k);
+        let b = MatRef::dense(&bv, n);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_blocked(m, n, k, a, b, &mut serial, false);
+        let mut maybe_par = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b, &mut maybe_par, false);
+        assert_eq!(serial, maybe_par, "row split must not change any bit");
+    }
+}

@@ -12,13 +12,34 @@
 //! * All fallible operations return [`TensorError`] instead of panicking so
 //!   library callers can propagate failures.
 
+pub mod aligned;
+mod gemm;
 mod ops;
 mod shape;
 
-pub use ops::{bmm, bmm_into, matmul, matmul_into};
+pub use ops::{
+    bmm, bmm_acc_into, bmm_into, matmul, matmul_acc_into, matmul_into, matmul_t_acc_into,
+    matmul_t_into,
+};
 pub use shape::Shape;
 
 use std::fmt;
+
+/// Sets `v`'s length to `n`, reusing its capacity.
+///
+/// Unlike `clear()` + `resize(n, 0.0)` — which zero-fills all `n` elements
+/// every call — this writes nothing when the length already matches
+/// (the steady state for pooled buffers), truncates when shrinking, and
+/// zero-fills only the extension when growing. Use it **only** when every
+/// element will be fully overwritten afterwards — the `*_into` kernels all
+/// guarantee that.
+pub fn ensure_len(v: &mut Vec<f32>, n: usize) {
+    if v.len() >= n {
+        v.truncate(n);
+    } else {
+        v.resize(n, 0.0);
+    }
+}
 
 /// Error type for all fallible tensor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

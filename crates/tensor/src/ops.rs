@@ -1,10 +1,21 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication entry points.
 //!
-//! These are deliberately simple cache-friendly loops (ikj order with a
-//! transposed-B fast path); they are the throughput bottleneck of predictor
-//! training, so the inner loops avoid bounds checks via iterators.
+//! All products route through the blocked/packed/register-tiled kernel in
+//! [`crate::gemm`] (with a naive fast path for tiny shapes, and row-panel
+//! multi-threading for large ones). Every operation has three forms:
+//!
+//! * an allocating wrapper ([`matmul`], [`bmm`]),
+//! * a `*_into` variant writing into a caller-provided `Vec` (reusing its
+//!   capacity, overwriting — never pre-zeroing — the output), and
+//! * a `*_acc_into` variant computing `C += A·B` directly into an existing
+//!   buffer, which is what lets the autodiff backward pass accumulate
+//!   matmul gradients without allocating temporaries.
+//!
+//! Transposed operands are strided views into the packing routines; nothing
+//! is ever materialized transposed.
 
-use crate::{Result, Tensor, TensorError};
+use crate::gemm::{gemm, MatRef};
+use crate::{ensure_len, Result, Tensor, TensorError};
 
 /// 2-D matrix product `[m, k] x [k, n] -> [m, n]`.
 ///
@@ -22,14 +33,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &shape)
 }
 
-/// 2-D matrix product writing into a caller-provided buffer.
-///
-/// The buffer is cleared and refilled (reusing its capacity) and the output
-/// shape `[m, n]` is returned. The accumulation order is identical to
-/// [`matmul`], so results are bit-identical — this is what lets the
-/// forward-only execution path in `nn` reuse buffers across batches while
-/// staying exactly equal to the taped path.
-pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize; 2]> {
+/// Validates 2-D operands (with transpose flags) and returns `(m, k, n)`.
+fn check_mm(a: &Tensor, ta: bool, b: &Tensor, tb: bool) -> Result<[usize; 3]> {
     if a.shape().len() != 2 {
         return Err(TensorError::BadRank {
             op: "matmul",
@@ -44,8 +49,16 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize;
             actual: b.shape().len(),
         });
     }
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    let (m, k) = if ta {
+        (a.shape()[1], a.shape()[0])
+    } else {
+        (a.shape()[0], a.shape()[1])
+    };
+    let (k2, n) = if tb {
+        (b.shape()[1], b.shape()[0])
+    } else {
+        (b.shape()[0], b.shape()[1])
+    };
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
             op: "matmul",
@@ -53,9 +66,91 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize;
             rhs: b.shape().to_vec(),
         });
     }
-    out.clear();
-    out.resize(m * n, 0.0);
-    mm_kernel(a.data(), b.data(), out, m, k, n);
+    Ok([m, k, n])
+}
+
+/// 2-D matrix product writing into a caller-provided buffer.
+///
+/// The buffer is resized (reusing capacity) and **fully overwritten** — it
+/// is never pre-zeroed, so reuse across calls costs nothing. The
+/// accumulation order is identical to [`matmul`], so results are
+/// bit-identical — this is what lets the forward-only execution path in
+/// `nn` reuse buffers across batches while staying exactly equal to the
+/// taped path.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize; 2]> {
+    let [m, k, n] = check_mm(a, false, b, false)?;
+    ensure_len(out, m * n);
+    gemm(
+        m,
+        n,
+        k,
+        MatRef::dense(a.data(), k),
+        MatRef::dense(b.data(), n),
+        out,
+        false,
+    );
+    Ok([m, n])
+}
+
+/// `out += a · b` into an existing `[m, n]` buffer (no allocation, no
+/// temporaries). `out.len()` must equal `m * n`.
+pub fn matmul_acc_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<[usize; 2]> {
+    matmul_t_acc_into(a, false, b, false, out)
+}
+
+/// `out += op(a) · op(b)` with per-operand transpose flags, into an
+/// existing `[m, n]` buffer.
+///
+/// This is the backward-pass workhorse: `dA += dC · B^T` and
+/// `dB += A^T · dC` each become one call with no transpose materialization
+/// and no gradient temporary.
+pub fn matmul_t_acc_into(
+    a: &Tensor,
+    ta: bool,
+    b: &Tensor,
+    tb: bool,
+    out: &mut [f32],
+) -> Result<[usize; 2]> {
+    let [m, k, n] = check_mm(a, ta, b, tb)?;
+    if out.len() != m * n {
+        return Err(TensorError::BadShape {
+            op: "matmul_acc",
+            shape: vec![m, n],
+            len: out.len(),
+        });
+    }
+    gemm(
+        m,
+        n,
+        k,
+        MatRef::dense_t(a.data(), a.shape()[1], ta),
+        MatRef::dense_t(b.data(), b.shape()[1], tb),
+        out,
+        true,
+    );
+    Ok([m, n])
+}
+
+/// `op(a) · op(b)` with transpose flags, overwriting a caller-provided
+/// buffer (the non-accumulating sibling of [`matmul_t_acc_into`]).
+pub fn matmul_t_into(
+    a: &Tensor,
+    ta: bool,
+    b: &Tensor,
+    tb: bool,
+    out: &mut Vec<f32>,
+) -> Result<[usize; 2]> {
+    let [m, k, n] = check_mm(a, ta, b, tb)?;
+    ensure_len(out, m * n);
+    gemm(
+        m,
+        n,
+        k,
+        MatRef::dense_t(a.data(), a.shape()[1], ta),
+        MatRef::dense_t(b.data(), b.shape()[1], tb),
+        out,
+        false,
+    );
     Ok([m, n])
 }
 
@@ -69,15 +164,8 @@ pub fn bmm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
     Tensor::from_vec(out, &shape)
 }
 
-/// Batched matrix product writing into a caller-provided buffer; see
-/// [`matmul_into`] for the buffer contract and bit-identity guarantee.
-pub fn bmm_into(
-    a: &Tensor,
-    b: &Tensor,
-    ta: bool,
-    tb: bool,
-    out: &mut Vec<f32>,
-) -> Result<[usize; 3]> {
+/// Validates 3-D operands and returns `[batch, m, k, n]`.
+fn check_bmm(a: &Tensor, ta: bool, b: &Tensor, tb: bool) -> Result<[usize; 4]> {
     if a.shape().len() != 3 {
         return Err(TensorError::BadRank {
             op: "bmm",
@@ -117,70 +205,101 @@ pub fn bmm_into(
             rhs: b.shape().to_vec(),
         });
     }
-    out.clear();
-    out.resize(batch * m * n, 0.0);
-    let a_stride = a.shape()[1] * a.shape()[2];
-    let b_stride = b.shape()[1] * b.shape()[2];
-    for t in 0..batch {
-        let asl = &a.data()[t * a_stride..(t + 1) * a_stride];
-        let bsl = &b.data()[t * b_stride..(t + 1) * b_stride];
-        let osl = &mut out[t * m * n..(t + 1) * m * n];
-        match (ta, tb) {
-            (false, false) => mm_kernel(asl, bsl, osl, m, k, n),
-            (false, true) => mm_kernel_bt(asl, bsl, osl, m, k, n),
-            (true, false) => {
-                let at = transpose_buf(asl, k, m);
-                mm_kernel(&at, bsl, osl, m, k, n);
-            }
-            (true, true) => {
-                let at = transpose_buf(asl, k, m);
-                mm_kernel_bt(&at, bsl, osl, m, k, n);
-            }
-        }
-    }
+    Ok([batch, m, k, n])
+}
+
+/// Batched matrix product writing into a caller-provided buffer; see
+/// [`matmul_into`] for the buffer contract and bit-identity guarantee.
+pub fn bmm_into(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    out: &mut Vec<f32>,
+) -> Result<[usize; 3]> {
+    let [batch, m, k, n] = check_bmm(a, ta, b, tb)?;
+    ensure_len(out, batch * m * n);
+    bmm_dispatch(a, ta, b, tb, [batch, m, k, n], out, false);
     Ok([batch, m, n])
 }
 
-/// `out[m, n] += a[m, k] * b[k, n]` with ikj loop order.
-fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
+/// `out += bmm(a, b)` into an existing `[batch, m, n]` buffer.
+pub fn bmm_acc_into(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    out: &mut [f32],
+) -> Result<[usize; 3]> {
+    let [batch, m, k, n] = check_bmm(a, ta, b, tb)?;
+    if out.len() != batch * m * n {
+        return Err(TensorError::BadShape {
+            op: "bmm_acc",
+            shape: vec![batch, m, n],
+            len: out.len(),
+        });
     }
+    bmm_dispatch(a, ta, b, tb, [batch, m, k, n], out, true);
+    Ok([batch, m, n])
 }
 
-/// `out[m, n] += a[m, k] * b[n, k]^T` — dot-product form, good locality.
-fn mm_kernel_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            out[i * n + j] = acc;
-        }
+/// Runs the per-batch products, splitting the batch axis across the global
+/// pool when the total is worth it. Every batch's accumulation order is
+/// fixed by shape alone, so the split is bit-identical for any thread
+/// count.
+fn bmm_dispatch(
+    a: &Tensor,
+    ta: bool,
+    b: &Tensor,
+    tb: bool,
+    [batch, m, k, n]: [usize; 4],
+    out: &mut [f32],
+    acc: bool,
+) {
+    if batch == 0 || m == 0 || n == 0 {
+        return; // nothing to write (`out` is empty by the length checks)
     }
-}
-
-fn transpose_buf(a: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows * cols];
-    for i in 0..rows {
-        for j in 0..cols {
-            out[j * rows + i] = a[i * cols + j];
+    let a_stride = a.shape()[1] * a.shape()[2];
+    let b_stride = b.shape()[1] * b.shape()[2];
+    let per_batch = move |t: usize, osl: &mut [f32]| {
+        let asl = &a.data()[t * a_stride..(t + 1) * a_stride];
+        let bsl = &b.data()[t * b_stride..(t + 1) * b_stride];
+        gemm(
+            m,
+            n,
+            k,
+            MatRef::dense_t(asl, a.shape()[2], ta),
+            MatRef::dense_t(bsl, b.shape()[2], tb),
+            osl,
+            acc,
+        );
+    };
+    // Same cut-over as the GEMM-internal row split; per-batch products
+    // below it would each run serial anyway, so fan the batch axis out
+    // instead. The cheap checks run first so ineligible callers never
+    // lazily spawn the global pool.
+    let serial = batch == 1
+        || batch * m * n * k < crate::gemm::PAR_MULADDS
+        || parallel::is_worker_thread()
+        || parallel::global().threads() <= 1;
+    if serial {
+        for (t, osl) in out.chunks_exact_mut(m * n).enumerate() {
+            per_batch(t, osl);
         }
+        return;
     }
-    out
+    let pool = parallel::global();
+    let chunk = batch.div_ceil(pool.threads());
+    pool.scope(|s| {
+        for (ci, och) in out.chunks_mut(chunk * m * n).enumerate() {
+            let per_batch = &per_batch;
+            s.spawn(move || {
+                for (j, osl) in och.chunks_exact_mut(m * n).enumerate() {
+                    per_batch(ci * chunk + j, osl);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -207,6 +326,47 @@ mod tests {
         assert!(matmul(&a, &b).is_err());
         let v = Tensor::zeros(&[3]);
         assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_buffers() {
+        let a = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let mut buf = vec![999.0f32; 4]; // stale contents must not leak
+        let shape = matmul_into(&a, &b, &mut buf).unwrap();
+        assert_eq!(shape, [2, 2]);
+        assert_eq!(buf, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_acc_into_accumulates() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let mut acc = vec![10.0f32; 4];
+        matmul_acc_into(&a, &i, &mut acc).unwrap();
+        assert_eq!(acc, vec![11.0, 12.0, 13.0, 14.0]);
+        // Wrong buffer length is a descriptive error.
+        let mut bad = vec![0.0f32; 3];
+        assert!(matmul_acc_into(&a, &i, &mut bad).is_err());
+    }
+
+    #[test]
+    fn matmul_t_acc_matches_explicit_transpose() {
+        let a = t((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let g = t((0..4).map(|x| x as f32 * 0.5).collect(), &[2, 2]);
+        // dB = A^T · G, accumulated onto zeros.
+        let mut got = vec![0.0f32; 6];
+        let shape = matmul_t_acc_into(&a, true, &g, false, &mut got).unwrap();
+        assert_eq!(shape, [3, 2]);
+        let want = matmul(&a.transpose2().unwrap(), &g).unwrap();
+        assert_eq!(&got, want.data());
+        // dA = G · B^T.
+        let b = t((0..6).map(|x| x as f32 + 1.0).collect(), &[3, 2]);
+        let mut ga = vec![0.0f32; 6];
+        let shape = matmul_t_acc_into(&g, false, &b, true, &mut ga).unwrap();
+        assert_eq!(shape, [2, 3]);
+        let want = matmul(&g, &b.transpose2().unwrap()).unwrap();
+        assert_eq!(&ga, want.data());
     }
 
     #[test]
@@ -238,6 +398,19 @@ mod tests {
         let a2 = t(a.data().to_vec(), &[2, 3]).transpose2().unwrap();
         let d2 = matmul(&a2, &t(c.data().to_vec(), &[2, 2])).unwrap();
         assert_eq!(d.data(), d2.data());
+    }
+
+    #[test]
+    fn bmm_acc_into_accumulates_per_batch() {
+        let a = t((0..12).map(|x| x as f32 * 0.25).collect(), &[2, 2, 3]);
+        let b = t((0..12).map(|x| x as f32 * 0.5 - 1.0).collect(), &[2, 3, 2]);
+        let plain = bmm(&a, &b, false, false).unwrap();
+        let mut acc: Vec<f32> = (0..8).map(|x| x as f32).collect();
+        let before = acc.clone();
+        bmm_acc_into(&a, &b, false, false, &mut acc).unwrap();
+        for ((got, base), p) in acc.iter().zip(&before).zip(plain.data()) {
+            assert_eq!(*got, base + p);
+        }
     }
 
     #[test]

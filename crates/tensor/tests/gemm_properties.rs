@@ -1,0 +1,271 @@
+//! Property tests for the blocked/packed GEMM against a plain reference,
+//! including transpose flags, accumulate variants, and degenerate shapes.
+//!
+//! The blocked kernel reassociates the `k`-sum only at `KC` boundaries and
+//! adds `+0.0` padding terms on edge tiles, so comparisons use a relative
+//! tolerance against an `f64` reference rather than bit equality. Bit
+//! equality is asserted where the kernel *does* guarantee it: between
+//! repeated runs, buffer-reuse paths, and thread splits (the latter in
+//! `src/gemm.rs` unit tests and `nn`'s exec-equivalence suite).
+
+use proptest::prelude::*;
+use tensor::{bmm, bmm_acc_into, bmm_into, matmul, matmul_acc_into, matmul_t_acc_into, Tensor};
+
+/// `f64` reference product of row-major `[m,k]` and `[k,n]` data.
+fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for p in 0..k {
+                s += (a[i * k + p] as f64) * (b[p * n + j] as f64);
+            }
+            out[i * n + j] = s as f32;
+        }
+    }
+    out
+}
+
+fn fill(numel: usize, seed: f32) -> Vec<f32> {
+    (0..numel)
+        .map(|i| ((i as f32) * 0.39 + seed).sin() * 2.0)
+        .collect()
+}
+
+fn close(got: &[f32], want: &[f32]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length {} vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4 * (1.0 + w.abs());
+        if (g - w).abs() > tol {
+            return Err(format!("element {i}: {g} vs {w}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_reference(m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0.0f32..6.0) {
+        let av = fill(m * k, seed);
+        let bv = fill(k * n, seed + 1.0);
+        let a = Tensor::from_vec(av.clone(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(bv.clone(), &[k, n]).unwrap();
+        let got = matmul(&a, &b).unwrap();
+        prop_assert_eq!(got.shape(), &[m, n]);
+        let want = reference(m, k, n, &av, &bv);
+        prop_assert!(close(got.data(), &want).is_ok(), "{:?}", close(got.data(), &want));
+    }
+
+    #[test]
+    fn matmul_acc_adds_product(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0.0f32..6.0) {
+        let a = Tensor::from_vec(fill(m * k, seed), &[m, k]).unwrap();
+        let b = Tensor::from_vec(fill(k * n, seed + 2.0), &[k, n]).unwrap();
+        let base = fill(m * n, seed + 4.0);
+        let mut acc = base.clone();
+        matmul_acc_into(&a, &b, &mut acc).unwrap();
+        let prod = matmul(&a, &b).unwrap();
+        let want: Vec<f32> = base.iter().zip(prod.data()).map(|(x, y)| x + y).collect();
+        prop_assert!(close(&acc, &want).is_ok(), "{:?}", close(&acc, &want));
+    }
+
+    #[test]
+    fn matmul_t_acc_matches_transposed_reference(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        ta_bit in 0usize..2, tb_bit in 0usize..2, seed in 0.0f32..6.0,
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        // Stored layouts chosen so the *logical* product is always [m,k]x[k,n].
+        let a_shape = if ta { [k, m] } else { [m, k] };
+        let b_shape = if tb { [n, k] } else { [k, n] };
+        let a = Tensor::from_vec(fill(m * k, seed), &a_shape).unwrap();
+        let b = Tensor::from_vec(fill(k * n, seed + 3.0), &b_shape).unwrap();
+        let la = if ta { a.transpose2().unwrap() } else { a.clone() };
+        let lb = if tb { b.transpose2().unwrap() } else { b.clone() };
+        let want = reference(m, k, n, la.data(), lb.data());
+        let mut got = vec![0.0f32; m * n];
+        let shape = matmul_t_acc_into(&a, ta, &b, tb, &mut got).unwrap();
+        prop_assert_eq!(shape, [m, n]);
+        prop_assert!(close(&got, &want).is_ok(), "ta={} tb={}: {:?}", ta, tb, close(&got, &want));
+    }
+
+    #[test]
+    fn bmm_all_flags_match_per_batch_reference(
+        batch in 1usize..5, m in 1usize..10, k in 1usize..10, n in 1usize..10,
+        ta_bit in 0usize..2, tb_bit in 0usize..2, seed in 0.0f32..6.0,
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        let a_shape = if ta { [batch, k, m] } else { [batch, m, k] };
+        let b_shape = if tb { [batch, n, k] } else { [batch, k, n] };
+        let a = Tensor::from_vec(fill(batch * m * k, seed), &a_shape).unwrap();
+        let b = Tensor::from_vec(fill(batch * k * n, seed + 1.5), &b_shape).unwrap();
+        let got = bmm(&a, &b, ta, tb).unwrap();
+        prop_assert_eq!(got.shape(), &[batch, m, n]);
+        for t in 0..batch {
+            let asl = &a.data()[t * m * k..(t + 1) * m * k];
+            let bsl = &b.data()[t * k * n..(t + 1) * k * n];
+            let la = if ta {
+                Tensor::from_vec(asl.to_vec(), &[k, m]).unwrap().transpose2().unwrap()
+            } else {
+                Tensor::from_vec(asl.to_vec(), &[m, k]).unwrap()
+            };
+            let lb = if tb {
+                Tensor::from_vec(bsl.to_vec(), &[n, k]).unwrap().transpose2().unwrap()
+            } else {
+                Tensor::from_vec(bsl.to_vec(), &[k, n]).unwrap()
+            };
+            let want = reference(m, k, n, la.data(), lb.data());
+            let check = close(&got.data()[t * m * n..(t + 1) * m * n], &want);
+            prop_assert!(check.is_ok(), "batch {}: {:?}", t, check);
+        }
+    }
+}
+
+#[test]
+fn large_shapes_cross_blocking_and_parallel_thresholds() {
+    // Sizes straddling the tiny/blocked cut-over, the MC/KC block edges,
+    // and the parallel row-split threshold.
+    for &(m, k, n) in &[
+        (512usize, 384usize, 48usize), // multi-MC, parallel-eligible
+        (129, 513, 65),                // every dimension crosses a block edge
+        (256, 64, 64),                 // parallel threshold boundary
+    ] {
+        let av = fill(m * k, 0.7);
+        let bv = fill(k * n, 1.9);
+        let a = Tensor::from_vec(av.clone(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(bv.clone(), &[k, n]).unwrap();
+        let got = matmul(&a, &b).unwrap();
+        let want = reference(m, k, n, &av, &bv);
+        assert!(
+            close(got.data(), &want).is_ok(),
+            "{m}x{k}x{n}: {:?}",
+            close(got.data(), &want)
+        );
+        // Repeat runs are bit-identical (pooled pack buffers, same split).
+        let again = matmul(&a, &b).unwrap();
+        assert_eq!(got.data(), again.data(), "{m}x{k}x{n} must be stable");
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    // k = 0: inner dimension empty, output must be all zeros.
+    let a = Tensor::zeros(&[3, 0]);
+    let b = Tensor::zeros(&[0, 4]);
+    let c = matmul(&a, &b).unwrap();
+    assert_eq!(c.shape(), &[3, 4]);
+    assert!(c.data().iter().all(|&x| x == 0.0));
+    // ...and the accumulate variant must leave the buffer untouched.
+    let mut acc = vec![7.0f32; 12];
+    matmul_acc_into(&a, &b, &mut acc).unwrap();
+    assert_eq!(acc, vec![7.0; 12]);
+
+    // m = 0 / empty output.
+    let c = matmul(&Tensor::zeros(&[0, 5]), &Tensor::zeros(&[5, 2])).unwrap();
+    assert_eq!(c.shape(), &[0, 2]);
+    assert!(c.data().is_empty());
+
+    // Row vector x column vector and back (m = 1, n = 1).
+    let row = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+    let col = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3, 1]).unwrap();
+    let dot = matmul(&row, &col).unwrap();
+    assert_eq!(dot.shape(), &[1, 1]);
+    assert_eq!(dot.data(), &[32.0]);
+    let outer = matmul(&col, &row).unwrap();
+    assert_eq!(outer.shape(), &[3, 3]);
+    assert_eq!(outer.data()[0..3], [4.0, 8.0, 12.0]);
+
+    // Non-square tiles: dimensions deliberately not multiples of 4/8.
+    let a = Tensor::from_vec(fill(7 * 13, 0.3), &[7, 13]).unwrap();
+    let b = Tensor::from_vec(fill(13 * 9, 0.8), &[13, 9]).unwrap();
+    let got = matmul(&a, &b).unwrap();
+    let want = reference(7, 13, 9, a.data(), b.data());
+    assert!(close(got.data(), &want).is_ok());
+
+    // Batched degenerate: zero batches and k = 0 per batch.
+    let empty = bmm(
+        &Tensor::zeros(&[0, 2, 3]),
+        &Tensor::zeros(&[0, 3, 2]),
+        false,
+        false,
+    )
+    .unwrap();
+    assert_eq!(empty.shape(), &[0, 2, 2]);
+    let zk = bmm(
+        &Tensor::zeros(&[2, 2, 0]),
+        &Tensor::zeros(&[2, 0, 3]),
+        false,
+        false,
+    )
+    .unwrap();
+    assert_eq!(zk.shape(), &[2, 2, 3]);
+    assert!(zk.data().iter().all(|&x| x == 0.0));
+    // ...and zero-sized m / n per batch (empty output, must not panic).
+    let zm = bmm(
+        &Tensor::zeros(&[2, 0, 3]),
+        &Tensor::zeros(&[2, 3, 4]),
+        false,
+        false,
+    )
+    .unwrap();
+    assert_eq!(zm.shape(), &[2, 0, 4]);
+    assert!(zm.data().is_empty());
+    let zn = bmm(
+        &Tensor::zeros(&[2, 2, 3]),
+        &Tensor::zeros(&[2, 3, 0]),
+        false,
+        false,
+    )
+    .unwrap();
+    assert_eq!(zn.shape(), &[2, 2, 0]);
+    let mut empty_acc: Vec<f32> = Vec::new();
+    bmm_acc_into(
+        &Tensor::zeros(&[2, 0, 3]),
+        &Tensor::zeros(&[2, 3, 4]),
+        false,
+        false,
+        &mut empty_acc,
+    )
+    .unwrap();
+    let mut acc = vec![1.5f32; 12];
+    bmm_acc_into(
+        &Tensor::zeros(&[2, 2, 0]),
+        &Tensor::zeros(&[2, 0, 3]),
+        false,
+        false,
+        &mut acc,
+    )
+    .unwrap();
+    assert_eq!(acc, vec![1.5; 12]);
+}
+
+#[test]
+fn into_buffers_are_reused_not_rezeroed() {
+    let a = Tensor::from_vec(fill(6, 0.1), &[2, 3]).unwrap();
+    let b = Tensor::from_vec(fill(12, 0.5), &[3, 4]).unwrap();
+    let mut buf = Vec::new();
+    let first = {
+        bmm_into(
+            &Tensor::from_vec(a.data().to_vec(), &[1, 2, 3]).unwrap(),
+            &Tensor::from_vec(b.data().to_vec(), &[1, 3, 4]).unwrap(),
+            false,
+            false,
+            &mut buf,
+        )
+        .unwrap();
+        buf.clone()
+    };
+    let ptr = buf.as_ptr();
+    // Same-shape reuse keeps the allocation and reproduces the values.
+    bmm_into(
+        &Tensor::from_vec(a.data().to_vec(), &[1, 2, 3]).unwrap(),
+        &Tensor::from_vec(b.data().to_vec(), &[1, 3, 4]).unwrap(),
+        false,
+        false,
+        &mut buf,
+    )
+    .unwrap();
+    assert_eq!(buf.as_ptr(), ptr, "no reallocation on same-shape reuse");
+    assert_eq!(buf, first);
+}
