@@ -1,17 +1,109 @@
 //! Cost-model inference latency (§7.5 reports 8 ms for CDMPP vs 0.2 ms
-//! for XGBoost on V100; here both run on CPU).
+//! for XGBoost on V100; here both run on CPU), plus the three-executor
+//! comparison behind the compiled-plan serving path:
+//!
+//! * **taped** — the autodiff `Graph` forward (training executor),
+//! * **infer_ctx** — the forward-only `InferCtx` (PR 2's serving path),
+//! * **plan** — recorded/fused/arena-planned `PlanExec` replay.
+//!
+//! Besides the criterion console timings, this bench writes
+//! `BENCH_inference_plan.json` at the workspace root (override with the
+//! `BENCH_INFERENCE_JSON` env var): per-shape timings for all three
+//! executors at predictor batch shapes, a serving-stream comparison
+//! (InferCtx bucketing loop vs compiled-plan replay), and the plan
+//! compiler's fusion counters.
 
 use baselines::{GbtConfig, GbtRegressor};
-use cdmpp_core::batch::FeatScaler;
-use cdmpp_core::{encode_programs, Predictor, PredictorConfig, TrainConfig, TrainedModel};
+use cdmpp_core::batch::{build_scaled_batch, group_by_leaf, EncodedSample, FeatScaler};
+use cdmpp_core::{
+    encode_programs, InferenceModel, PlanRunner, Predictor, PredictorConfig, TrainConfig,
+    TrainedModel,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
 use learn::TransformKind;
+use nn::InferCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
+use tensor::Tensor;
 use tir::{lower, sample_schedule, OpSpec};
 
+/// Dense predictor batch shapes `(batch, leaves)` swept by the
+/// three-executor comparison: the engine's default full batch, a mid-size
+/// bucket, a small bucket, and the single-sample worst case.
+const BATCH_SHAPES: &[(usize, usize)] = &[(64, 8), (64, 4), (16, 2), (1, 8)];
+
+fn untrained_model() -> TrainedModel {
+    TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    }
+}
+
+fn dense_batch(b: usize, l: usize) -> (Tensor, Tensor) {
+    let x = Tensor::from_fn(&[b, l, N_ENTRY], |i| ((i as f32) * 0.137).sin() * 0.5);
+    let dev = Tensor::from_fn(&[b, N_DEVICE_FEATURES], |i| ((i as f32) * 0.311).cos());
+    (x, dev)
+}
+
+/// Median wall time (ns) of `f`, auto-calibrated to ~`budget_ms` total.
+fn median_ns(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed();
+        if el.as_millis() as u64 >= budget_ms / 10 || iters > 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// The PR 2 serving loop: leaf-count bucketing through a reused
+/// `InferCtx` (what `InferenceModel::predict_samples` did before plans).
+fn stream_infer_ctx(model: &InferenceModel, enc: &[EncodedSample]) -> Vec<f64> {
+    let mut ctx = InferCtx::new(model.predictor.params());
+    let mut out = vec![0.0f64; enc.len()];
+    for (_, idxs) in group_by_leaf(enc) {
+        let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
+        let batch = build_scaled_batch(&refs, &model.scaler);
+        let preds = model
+            .predictor
+            .predict_with(&mut ctx, batch.x, batch.dev)
+            .unwrap();
+        for (&i, &p) in idxs.iter().zip(preds.iter()) {
+            out[i] = model.inverse_transform(p);
+        }
+    }
+    out
+}
+
 fn bench_inference(c: &mut Criterion) {
+    // Pin the global GEMM pool to one thread (unless the caller chose a
+    // size): the executor comparison is per-thread work, and serving
+    // workers run their kernels inline anyway.
+    if std::env::var_os("PARALLEL_THREADS").is_none() {
+        std::env::set_var("PARALLEL_THREADS", "1");
+    }
     let mut rng = StdRng::seed_from_u64(3);
     let nest = OpSpec::Dense {
         m: 128,
@@ -24,13 +116,7 @@ fn bench_inference(c: &mut Criterion) {
         .collect();
     let refs: Vec<&tir::TensorProgram> = progs.iter().collect();
     let dev = devsim::t4();
-    let model = TrainedModel {
-        predictor: Predictor::new(PredictorConfig::default()),
-        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
-        scaler: FeatScaler::identity(),
-        use_pe: true,
-        train_config: TrainConfig::default(),
-    };
+    let model = untrained_model();
     let enc = encode_programs(&refs, &dev, features::DEFAULT_THETA, true);
     let mut g = c.benchmark_group("inference");
     g.sample_size(20);
@@ -38,6 +124,43 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("cdmpp_predict_64", |b| {
         b.iter(|| black_box(model.predict_samples(black_box(&enc))))
     });
+
+    // Three-executor comparison at the engine's dense batch shapes.
+    let frozen = model.freeze();
+    for &(bsz, l) in BATCH_SHAPES {
+        let (x, devt) = dense_batch(bsz, l);
+        g.throughput(criterion::Throughput::Elements(bsz as u64));
+        g.bench_function(&format!("taped_b{bsz}_l{l}"), |b| {
+            b.iter(|| {
+                black_box(
+                    model
+                        .predictor
+                        .predict_batch_taped(black_box(x.clone()), black_box(devt.clone())),
+                )
+            })
+        });
+        let mut ctx = InferCtx::new(frozen.predictor.params());
+        g.bench_function(&format!("infer_ctx_b{bsz}_l{l}"), |b| {
+            b.iter(|| {
+                black_box(frozen.predictor.predict_with(
+                    &mut ctx,
+                    black_box(x.clone()),
+                    black_box(devt.clone()),
+                ))
+            })
+        });
+        let mut runner = PlanRunner::new();
+        g.bench_function(&format!("plan_b{bsz}_l{l}"), |b| {
+            b.iter(|| {
+                black_box(frozen.predictor.predict_planned(
+                    &mut runner,
+                    black_box(&x),
+                    black_box(&devt),
+                ))
+            })
+        });
+    }
+
     let xs: Vec<Vec<f32>> = progs.iter().map(features::flattened_features).collect();
     let gbt = GbtRegressor::fit(
         &xs,
@@ -51,6 +174,123 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| black_box(gbt.predict_batch(black_box(&xs))))
     });
     g.finish();
+    emit_json(&model, &enc);
+}
+
+/// Re-measures with plain `Instant` medians and writes
+/// `BENCH_inference_plan.json`.
+fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
+    let frozen = model.freeze();
+
+    // Per-shape executor comparison. Note tensor clones inside the taped
+    // and infer_ctx closures mirror their real call signatures (both take
+    // inputs by value); the plan path takes references, which is part of
+    // its design.
+    let mut batch_rows = Vec::new();
+    for &(bsz, l) in BATCH_SHAPES {
+        let (x, devt) = dense_batch(bsz, l);
+        let taped = median_ns(250, || {
+            black_box(
+                model
+                    .predictor
+                    .predict_batch_taped(black_box(x.clone()), black_box(devt.clone()))
+                    .unwrap(),
+            );
+        });
+        let mut ctx = InferCtx::new(frozen.predictor.params());
+        let infer_ctx = median_ns(250, || {
+            black_box(
+                frozen
+                    .predictor
+                    .predict_with(&mut ctx, black_box(x.clone()), black_box(devt.clone()))
+                    .unwrap(),
+            );
+        });
+        let mut runner = PlanRunner::new();
+        let plan = median_ns(250, || {
+            black_box(
+                frozen
+                    .predictor
+                    .predict_planned(&mut runner, black_box(&x), black_box(&devt))
+                    .unwrap(),
+            );
+        });
+        batch_rows.push(format!(
+            "    {{\"batch\": {bsz}, \"leaves\": {l}, \"taped_ns\": {taped:.0}, \
+             \"infer_ctx_ns\": {infer_ctx:.0}, \"plan_ns\": {plan:.0}, \
+             \"plan_vs_taped\": {:.2}, \"plan_vs_infer_ctx\": {:.2}}}",
+            taped / plan,
+            infer_ctx / plan
+        ));
+    }
+
+    // Serving stream: the full heterogeneous request loop, InferCtx
+    // bucketing vs compiled-plan replay (both single-threaded here; the
+    // engine adds workers on top of whichever executor).
+    let ctx_stream = median_ns(300, || {
+        black_box(stream_infer_ctx(&frozen, black_box(enc)));
+    });
+    let mut runner = PlanRunner::new();
+    let plan_stream = median_ns(300, || {
+        black_box(
+            frozen
+                .predict_samples_with(&mut runner, black_box(enc))
+                .unwrap(),
+        );
+    });
+    let n = enc.len();
+    let stream_rows = [
+        format!(
+            "    {{\"variant\": \"infer_ctx_stream\", \"ns_per_stream\": {ctx_stream:.0}, \
+             \"requests_per_s\": {:.0}}}",
+            n as f64 * 1e9 / ctx_stream
+        ),
+        format!(
+            "    {{\"variant\": \"plan_stream\", \"ns_per_stream\": {plan_stream:.0}, \
+             \"requests_per_s\": {:.0}, \"speedup_vs_infer_ctx\": {:.2}}}",
+            n as f64 * 1e9 / plan_stream,
+            ctx_stream / plan_stream
+        ),
+    ];
+
+    // The compiler's own counters for the densest shape served above.
+    let stats = frozen.predictor.plan_for(8).unwrap().stats();
+    let stats_json = format!(
+        "{{\"recorded_ops\": {}, \"steps\": {}, \"elided_reshapes\": {}, \
+         \"fused_bias\": {}, \"fused_activations\": {}, \"fused_elementwise\": {}, \
+         \"inplace_steps\": {}, \"buffers\": {}, \"arena_slots\": {}}}",
+        stats.recorded_ops,
+        stats.steps,
+        stats.elided_reshapes,
+        stats.fused_bias,
+        stats.fused_activations,
+        stats.fused_elementwise,
+        stats.inplace_steps,
+        stats.buffers,
+        stats.arena_slots
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"inference_plan\",\n  \"host_cores\": {cores},\n  \
+         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan replays by reference with a warmed arena.\",\n  \
+         \"plan_stats_leaf8\": {stats_json},\n  \
+         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ]\n}}\n",
+        batch_rows.join(",\n"),
+        stream_rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_INFERENCE_JSON").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_inference_plan.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_inference);

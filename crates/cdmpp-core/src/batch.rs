@@ -182,12 +182,25 @@ fn build_batch_impl(samples: &[&EncodedSample], scaler: Option<&FeatScaler>) -> 
 /// per-domain grouping, and the `runtime` serving engine all route through
 /// it, so the grouping policy cannot drift between call sites.
 pub fn group_by_leaf(samples: &[EncodedSample]) -> BTreeMap<usize, Vec<usize>> {
+    group_by_leaf_impl(samples)
+}
+
+/// [`group_by_leaf`] over borrowed samples — for callers (like the serving
+/// engine's `CostModel` path) that filter a request stream and must not
+/// clone the surviving samples wholesale just to regroup them.
+pub fn group_by_leaf_refs(samples: &[&EncodedSample]) -> BTreeMap<usize, Vec<usize>> {
+    group_by_leaf_impl(samples)
+}
+
+fn group_by_leaf_impl<T: std::borrow::Borrow<EncodedSample>>(
+    samples: &[T],
+) -> BTreeMap<usize, Vec<usize>> {
     // BTreeMap, deliberately: callers iterate the groups while drawing from
     // seeded RNGs (batch shuffling, fine-tuning's domain sampling), so the
     // iteration order must be deterministic for runs to be reproducible.
     let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, s) in samples.iter().enumerate() {
-        groups.entry(s.leaf_count).or_default().push(i);
+        groups.entry(s.borrow().leaf_count).or_default().push(i);
     }
     groups
 }

@@ -27,15 +27,15 @@ pub mod trainer;
 
 pub use autotune::{autotune, AutoTuneResult, Trial};
 pub use batch::{
-    build_batch, build_scaled_batch, encode_records, group_by_leaf, make_batches, Batch,
-    EncodedSample,
+    build_batch, build_scaled_batch, encode_records, group_by_leaf, group_by_leaf_refs,
+    make_batches, Batch, EncodedSample,
 };
 pub use e2e::{
     encode_programs, end_to_end, measured_end_to_end, replay_predictions, sample_network_programs,
     E2eResult,
 };
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
-pub use predictor::{PredictError, Predictor, PredictorConfig, SharedPredictor};
+pub use predictor::{PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor};
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};

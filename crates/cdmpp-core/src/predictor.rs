@@ -26,8 +26,9 @@
 //! produces a cheap-clone [`SharedPredictor`] holding the weights behind an
 //! `Arc`.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use nn::plan::{Plan, PlanError, PlanExec, Recorder};
 use nn::{Exec, Graph, InferCtx, Linear, Mlp, ParamStore, TransformerEncoder, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +51,8 @@ pub enum PredictError {
     },
     /// An underlying tensor operation failed (shape/rank mismatch).
     Tensor(TensorError),
+    /// Compiling or replaying an inference plan failed.
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for PredictError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for PredictError {
                  `PredictorConfig::max_leaves` or filter the offending programs"
             ),
             PredictError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            PredictError::Plan(e) => write!(f, "inference plan failed: {e}"),
         }
     }
 }
@@ -71,6 +75,12 @@ impl std::error::Error for PredictError {}
 impl From<TensorError> for PredictError {
     fn from(e: TensorError) -> Self {
         PredictError::Tensor(e)
+    }
+}
+
+impl From<PlanError> for PredictError {
+    fn from(e: PlanError) -> Self {
+        PredictError::Plan(e)
     }
 }
 
@@ -185,6 +195,39 @@ impl Arch {
         }
     }
 
+    /// Compiles the batch-size-generic inference plan for one leaf count:
+    /// records this architecture's `forward` (the same generic code the
+    /// other executors run), fuses bias/activation into GEMM epilogues and
+    /// element-wise chains into single passes, and lays every intermediate
+    /// out in a liveness-aliased arena. The plan reads parameter *values*
+    /// at replay time, so training the store further never invalidates it —
+    /// only parameter shapes are baked in.
+    fn compile_plan(
+        &self,
+        cfg: &PredictorConfig,
+        store: &ParamStore,
+        leaves: usize,
+    ) -> PredictResult<Plan> {
+        if leaves == 0 || leaves > cfg.max_leaves {
+            return Err(PredictError::LeafCountOutOfRange {
+                leaves,
+                max_leaves: cfg.max_leaves,
+            });
+        }
+        let plan = Plan::compile(store, |rec: &mut Recorder<'_>, b| {
+            let x = Tensor::zeros(&[b, leaves, N_ENTRY]);
+            let dev = Tensor::zeros(&[b, N_DEVICE_FEATURES]);
+            let out = self.forward(cfg, rec, store, x, dev).map_err(|e| match e {
+                PredictError::Tensor(t) => PlanError::from(t),
+                other => PlanError::Build(other.to_string()),
+            })?;
+            // Output order is a plan-wide contract: latent first, then the
+            // prediction (see `PLAN_OUT_LATENT` / `PLAN_OUT_PRED`).
+            Ok(vec![out.latent, out.pred])
+        })?;
+        Ok(plan)
+    }
+
     /// One forward pass on any executor. See [`Predictor::forward`].
     fn forward<E: Exec>(
         &self,
@@ -222,6 +265,83 @@ impl Arch {
     }
 }
 
+/// Index of the latent (`z`) output in a compiled predictor plan.
+const PLAN_OUT_LATENT: usize = 0;
+/// Index of the prediction output in a compiled predictor plan.
+const PLAN_OUT_PRED: usize = 1;
+
+/// Lazily compiled plans, one per supported leaf count (index `L - 1`).
+///
+/// Shared by [`Predictor`], every [`SharedPredictor`] derived from it, and
+/// every clone of either — a leaf count's plan is compiled at most once
+/// per model.
+type PlanCache = Arc<Vec<OnceLock<Arc<Plan>>>>;
+
+fn new_plan_cache(max_leaves: usize) -> PlanCache {
+    Arc::new((0..max_leaves).map(|_| OnceLock::new()).collect())
+}
+
+/// Looks up (compiling on first use) the plan for `leaves`.
+fn plan_for(
+    cache: &PlanCache,
+    arch: &Arch,
+    cfg: &PredictorConfig,
+    store: &ParamStore,
+    leaves: usize,
+) -> PredictResult<Arc<Plan>> {
+    let slot = leaves.checked_sub(1).and_then(|i| cache.get(i)).ok_or(
+        PredictError::LeafCountOutOfRange {
+            leaves,
+            max_leaves: cfg.max_leaves,
+        },
+    )?;
+    if let Some(plan) = slot.get() {
+        return Ok(Arc::clone(plan));
+    }
+    // Competing threads may compile concurrently; the first wins and the
+    // duplicates are dropped (compilation is pure, so either is correct).
+    let plan = Arc::new(arch.compile_plan(cfg, store, leaves)?);
+    Ok(Arc::clone(slot.get_or_init(|| plan)))
+}
+
+/// Per-thread replay state for compiled plans: one [`PlanExec`] (arena +
+/// offsets) per leaf count actually served. Keep one `PlanRunner` per
+/// serving thread and feed it every batch; steady-state replay allocates
+/// nothing.
+#[derive(Default)]
+pub struct PlanRunner {
+    execs: Vec<Option<PlanExec>>,
+}
+
+impl PlanRunner {
+    /// Creates an empty runner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total arena-growth events across all leaf counts (flat once every
+    /// served shape has warmed up — the "plan path allocates nothing per
+    /// batch" counter).
+    pub fn alloc_count(&self) -> usize {
+        self.execs.iter().flatten().map(|e| e.alloc_count()).sum()
+    }
+
+    fn exec_for(&mut self, leaves: usize, plan: Arc<Plan>) -> &mut PlanExec {
+        if self.execs.len() < leaves {
+            self.execs.resize_with(leaves, || None);
+        }
+        let slot = &mut self.execs[leaves - 1];
+        // A runner may be handed batches from different models (A/B
+        // serving, a re-frozen fine-tune): a cached exec is only valid for
+        // the plan it was built from, so replace it when the plan differs.
+        match slot {
+            Some(exec) if Arc::ptr_eq(exec.plan(), &plan) => {}
+            _ => *slot = Some(PlanExec::new(plan)),
+        }
+        slot.as_mut().expect("just ensured")
+    }
+}
+
 fn read_predictions<E: Exec>(e: &E, out: &ForwardOut) -> Vec<f32> {
     e.value(out.pred).data().to_vec()
 }
@@ -242,6 +362,7 @@ pub struct Predictor {
     pub store: ParamStore,
     arch: Arch,
     cfg: PredictorConfig,
+    plans: PlanCache,
 }
 
 impl Predictor {
@@ -249,7 +370,13 @@ impl Predictor {
     pub fn new(cfg: PredictorConfig) -> Self {
         let mut store = ParamStore::new();
         let arch = Arch::new(&mut store, &cfg);
-        Predictor { store, arch, cfg }
+        let plans = new_plan_cache(cfg.max_leaves);
+        Predictor {
+            store,
+            arch,
+            cfg,
+            plans,
+        }
     }
 
     /// The configuration.
@@ -275,6 +402,9 @@ impl Predictor {
             params: Arc::new(self.store.clone_values()),
             arch: self.arch.clone(),
             cfg: self.cfg.clone(),
+            // Plans bake in parameter *shapes*, not values, so the frozen
+            // copy can reuse (and share) the same compiled plans.
+            plans: Arc::clone(&self.plans),
         }
     }
 
@@ -314,6 +444,41 @@ impl Predictor {
         let out = self.forward(&mut ctx, x, dev)?;
         Ok(read_latents(&ctx, &out))
     }
+
+    /// The compiled inference plan for one leaf count (compiled on first
+    /// use, cached for the model's lifetime — shared with every clone and
+    /// every [`Predictor::share`] handle).
+    pub fn plan_for(&self, leaves: usize) -> PredictResult<Arc<Plan>> {
+        plan_for(&self.plans, &self.arch, &self.cfg, &self.store, leaves)
+    }
+
+    /// Inference through a compiled plan replayed by `runner` (zero
+    /// allocation per batch once warmed up). Bit-identical to
+    /// [`Predictor::predict_batch`] and [`Predictor::predict_batch_taped`].
+    pub fn predict_planned(
+        &self,
+        runner: &mut PlanRunner,
+        x: &Tensor,
+        dev: &Tensor,
+    ) -> PredictResult<Vec<f32>> {
+        let leaves = leaf_count_of(x)?;
+        let plan = self.plan_for(leaves)?;
+        let exec = runner.exec_for(leaves, plan);
+        exec.run(&self.store, &[x, dev])?;
+        Ok(exec.output(PLAN_OUT_PRED).to_vec())
+    }
+}
+
+/// The leaf count of a `[B, L, N_ENTRY]` batch.
+fn leaf_count_of(x: &Tensor) -> PredictResult<usize> {
+    match *x.shape() {
+        [_, l, _] => Ok(l),
+        ref s => Err(PredictError::Tensor(TensorError::BadRank {
+            op: "predict_planned",
+            expected: 3,
+            actual: s.len(),
+        })),
+    }
 }
 
 /// A read-only, thread-shareable view of a trained predictor.
@@ -326,6 +491,7 @@ pub struct SharedPredictor {
     params: Arc<ParamStore>,
     arch: Arch,
     cfg: PredictorConfig,
+    plans: PlanCache,
 }
 
 impl SharedPredictor {
@@ -364,6 +530,49 @@ impl SharedPredictor {
     pub fn predict_batch(&self, x: Tensor, dev: Tensor) -> PredictResult<Vec<f32>> {
         let mut ctx = InferCtx::new(&self.params);
         self.predict_with(&mut ctx, x, dev)
+    }
+
+    /// The compiled inference plan for one leaf count (compiled on first
+    /// use, cached; shared across every handle to this model).
+    pub fn plan_for(&self, leaves: usize) -> PredictResult<Arc<Plan>> {
+        plan_for(&self.plans, &self.arch, &self.cfg, &self.params, leaves)
+    }
+
+    /// Predictions (transformed space) through a compiled plan replayed by
+    /// `runner`. This is the serving hot path: after the first batch of a
+    /// given leaf count and size, replay performs zero heap allocation and
+    /// no dynamic dispatch, and fused GEMM epilogues cover every linear
+    /// layer. Bit-identical to [`SharedPredictor::predict_with`].
+    pub fn predict_planned(
+        &self,
+        runner: &mut PlanRunner,
+        x: &Tensor,
+        dev: &Tensor,
+    ) -> PredictResult<Vec<f32>> {
+        let leaves = leaf_count_of(x)?;
+        let plan = self.plan_for(leaves)?;
+        let exec = runner.exec_for(leaves, plan);
+        exec.run(&self.params, &[x, dev])?;
+        Ok(exec.output(PLAN_OUT_PRED).to_vec())
+    }
+
+    /// Latent representations through a compiled plan (the plan's other
+    /// output; same replay, same zero-allocation property).
+    pub fn latent_planned(
+        &self,
+        runner: &mut PlanRunner,
+        x: &Tensor,
+        dev: &Tensor,
+    ) -> PredictResult<Vec<Vec<f64>>> {
+        let leaves = leaf_count_of(x)?;
+        let plan = self.plan_for(leaves)?;
+        let exec = runner.exec_for(leaves, plan);
+        exec.run(&self.params, &[x, dev])?;
+        let z = exec.output(PLAN_OUT_LATENT);
+        let d = exec.output_shape(PLAN_OUT_LATENT)[1];
+        Ok(z.chunks(d)
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect())
     }
 }
 
@@ -510,6 +719,94 @@ mod tests {
         }
         assert!(with_grad > 10);
         assert!(without > 0);
+    }
+
+    #[test]
+    fn planned_predictions_match_all_executors_bitwise() {
+        let p = Predictor::new(PredictorConfig::default());
+        let mut runner = PlanRunner::new();
+        for l in [1usize, 3, 8] {
+            for b in [1usize, 4, 7] {
+                let (x, dev) = batch(b, l);
+                let planned = p.predict_planned(&mut runner, &x, &dev).unwrap();
+                let fast = p.predict_batch(x.clone(), dev.clone()).unwrap();
+                let taped = p.predict_batch_taped(x, dev).unwrap();
+                assert_eq!(planned, fast, "plan vs InferCtx at L={l} B={b}");
+                assert_eq!(fast, taped, "InferCtx vs tape at L={l} B={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_and_shared_with_frozen_handles() {
+        let p = Predictor::new(PredictorConfig::default());
+        let plan1 = p.plan_for(3).unwrap();
+        let plan2 = p.plan_for(3).unwrap();
+        assert!(Arc::ptr_eq(&plan1, &plan2), "second lookup must hit cache");
+        let shared = p.share();
+        let plan3 = shared.plan_for(3).unwrap();
+        assert!(
+            Arc::ptr_eq(&plan1, &plan3),
+            "frozen handle must reuse the owner's compiled plans"
+        );
+        // The plan actually fuses: every Linear in the predictor has a
+        // bias, and the encoder/decoder hide several relu epilogues.
+        let st = plan1.stats();
+        assert!(st.fused_bias >= 5, "{st:?}");
+        assert!(st.fused_activations >= 2, "{st:?}");
+        assert!(st.arena_slots < st.buffers, "{st:?}");
+    }
+
+    #[test]
+    fn planned_leaf_count_out_of_range_is_descriptive() {
+        let p = Predictor::new(PredictorConfig::default());
+        let mut runner = PlanRunner::new();
+        let max = p.config().max_leaves;
+        let (x, dev) = batch(2, max + 1);
+        let err = p.predict_planned(&mut runner, &x, &dev).unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::LeafCountOutOfRange {
+                leaves: max + 1,
+                max_leaves: max
+            }
+        );
+        assert!(matches!(
+            p.plan_for(0),
+            Err(PredictError::LeafCountOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn runner_reused_across_models_replays_each_models_own_plan() {
+        // Two different models sharing one runner (A/B serving) must each
+        // get their own weights' predictions, not the first model's.
+        let a = Predictor::new(PredictorConfig::default());
+        let b = Predictor::new(PredictorConfig {
+            seed: 1,
+            ..PredictorConfig::default()
+        });
+        let mut runner = PlanRunner::new();
+        let (x, dev) = batch(3, 4);
+        let via_a = a.predict_planned(&mut runner, &x, &dev).unwrap();
+        let via_b = b.predict_planned(&mut runner, &x, &dev).unwrap();
+        assert_ne!(via_a, via_b, "different weights must differ");
+        assert_eq!(via_a, a.predict_batch(x.clone(), dev.clone()).unwrap());
+        assert_eq!(via_b, b.predict_batch(x.clone(), dev.clone()).unwrap());
+        // And flipping back re-binds to A's plan again.
+        let via_a2 = a.predict_planned(&mut runner, &x, &dev).unwrap();
+        assert_eq!(via_a, via_a2);
+    }
+
+    #[test]
+    fn planned_latents_match_infer_ctx() {
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        let mut runner = PlanRunner::new();
+        let (x, dev) = batch(5, 4);
+        let planned = shared.latent_planned(&mut runner, &x, &dev).unwrap();
+        let fast = p.latent_batch(x, dev).unwrap();
+        assert_eq!(planned, fast);
     }
 
     #[test]

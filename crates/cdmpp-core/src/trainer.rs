@@ -588,13 +588,27 @@ impl InferenceModel {
     /// [`crate::predictor::PredictError::LeafCountOutOfRange`]) instead of
     /// yielding NaN.
     pub fn predict_samples(&self, enc: &[EncodedSample]) -> PredictResult<Vec<f64>> {
-        let mut ctx = nn::InferCtx::new(self.predictor.params());
+        let mut runner = crate::PlanRunner::new();
+        self.predict_samples_with(&mut runner, enc)
+    }
+
+    /// [`InferenceModel::predict_samples`] through a caller-owned
+    /// [`crate::PlanRunner`], so long-lived serving threads replay the
+    /// cached compiled plans with zero per-batch allocation (this is what
+    /// the `runtime` engine's workers call).
+    pub fn predict_samples_with(
+        &self,
+        runner: &mut crate::PlanRunner,
+        enc: &[EncodedSample],
+    ) -> PredictResult<Vec<f64>> {
         let mut out = vec![0.0f64; enc.len()];
         for (_, idxs) in group_by_leaf(enc) {
             let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| &enc[i]).collect();
             // Standardize during the batch copy — no wholesale clone.
             let batch = crate::batch::build_scaled_batch(&refs, &self.scaler);
-            let preds = self.predictor.predict_with(&mut ctx, batch.x, batch.dev)?;
+            let preds = self
+                .predictor
+                .predict_planned(runner, &batch.x, &batch.dev)?;
             for (&i, &p) in idxs.iter().zip(preds.iter()) {
                 out[i] = self.inverse_transform(p);
             }

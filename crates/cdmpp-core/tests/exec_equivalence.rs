@@ -1,9 +1,16 @@
-//! Property test: the forward-only inference path must be **bit-identical**
-//! to the taped (autodiff) forward pass, for every leaf count the predictor
-//! supports, for both predictions and latents, and for arbitrary inputs.
+//! Property tests: all three executors — the taped (autodiff) forward, the
+//! forward-only `InferCtx`, and the compiled-plan `PlanExec` path — must be
+//! **bit-identical**, for every leaf count the predictor supports, across
+//! head counts and PE settings, for both predictions and latents, and for
+//! arbitrary inputs. The plan path must additionally allocate nothing per
+//! batch once warmed up.
 
-use cdmpp_core::{Predictor, PredictorConfig};
+use cdmpp_core::batch::FeatScaler;
+use cdmpp_core::{
+    encode_programs, PlanRunner, Predictor, PredictorConfig, TrainConfig, TrainedModel,
+};
 use features::{N_DEVICE_FEATURES, N_ENTRY};
+use learn::TransformKind;
 use nn::{Exec, Graph, InferCtx};
 use proptest::prelude::*;
 use tensor::Tensor;
@@ -61,6 +68,82 @@ proptest! {
     }
 
     #[test]
+    fn planned_path_matches_both_executors_bit_for_bit(
+        b in 1usize..6,
+        l in 1usize..9,
+        seed in 0u64..10_000,
+        head_idx in 0usize..3,
+    ) {
+        // Head count changes the attention split/merge topology the plan
+        // records, so sweep it alongside leaf count and batch size.
+        let p = Predictor::new(PredictorConfig {
+            heads: [1usize, 2, 4][head_idx],
+            ..PredictorConfig::default()
+        });
+        let (x, dev) = inputs(b, l, seed);
+        let mut runner = PlanRunner::new();
+        let planned = p.predict_planned(&mut runner, &x, &dev).unwrap();
+        let fast = p.predict_batch(x.clone(), dev.clone()).unwrap();
+        let taped = p.predict_batch_taped(x, dev).unwrap();
+        prop_assert_eq!(&planned, &fast, "plan vs InferCtx");
+        prop_assert_eq!(&fast, &taped, "InferCtx vs tape");
+    }
+
+    #[test]
+    fn planned_latents_match_taped_bit_for_bit(
+        b in 1usize..4,
+        l in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        let (x, dev) = inputs(b, l, seed);
+        let mut runner = PlanRunner::new();
+        let planned = shared.latent_planned(&mut runner, &x, &dev).unwrap();
+        let mut g = Graph::new();
+        let out = p.forward(&mut g, x, dev).unwrap();
+        let z = Exec::value(&g, out.latent);
+        let d = z.shape()[1];
+        let taped: Vec<Vec<f64>> = z
+            .data()
+            .chunks(d)
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect();
+        prop_assert_eq!(planned, taped);
+    }
+
+    #[test]
+    fn warmed_plan_runner_allocates_nothing_per_batch(
+        seeds in proptest::collection::vec(0u64..10_000, 4..8),
+    ) {
+        // A serving thread's runner over a stream of recurring batch
+        // shapes: after one warmup pass the arena counter must freeze.
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        let mut runner = PlanRunner::new();
+        let shapes: Vec<(usize, usize)> = seeds
+            .iter()
+            .map(|&s| (1 + (s as usize) % 4, 1 + (s as usize) % 8))
+            .collect();
+        for &(b, l) in &shapes {
+            let (x, dev) = inputs(b, l, 1);
+            shared.predict_planned(&mut runner, &x, &dev).unwrap();
+        }
+        let warmed = runner.alloc_count();
+        for (i, &(b, l)) in shapes.iter().enumerate() {
+            let (x, dev) = inputs(b, l, seeds[i]);
+            let planned = shared.predict_planned(&mut runner, &x, &dev).unwrap();
+            let taped = p.predict_batch_taped(x, dev).unwrap();
+            prop_assert_eq!(planned, taped);
+        }
+        prop_assert_eq!(
+            runner.alloc_count(),
+            warmed,
+            "steady-state replay must not allocate"
+        );
+    }
+
+    #[test]
     fn reused_context_stays_bit_identical_across_batches(
         seeds in proptest::collection::vec(0u64..10_000, 3..8),
     ) {
@@ -77,5 +160,43 @@ proptest! {
             let taped = p.predict_batch_taped(x, dev).unwrap();
             prop_assert_eq!(reused, taped);
         }
+    }
+}
+
+/// PE on/off flows through the feature encoding into both serving paths:
+/// the frozen model (compiled plans) must agree exactly with the
+/// training-side model (forward-only `InferCtx`) on real encoded programs.
+#[test]
+fn planned_serving_matches_infer_ctx_serving_with_and_without_pe() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tir::{lower, sample_schedule, OpSpec};
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let nest = OpSpec::Dense {
+        m: 64,
+        n: 64,
+        k: 64,
+    }
+    .canonical_nest();
+    let progs: Vec<_> = (0..12)
+        .map(|_| lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap())
+        .collect();
+    let refs: Vec<&tir::TensorProgram> = progs.iter().collect();
+    let dev = devsim::t4();
+    for use_pe in [false, true] {
+        let model = TrainedModel {
+            predictor: Predictor::new(PredictorConfig::default()),
+            transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+            scaler: FeatScaler::identity(),
+            use_pe,
+            train_config: TrainConfig::default(),
+        };
+        let enc = encode_programs(&refs, &dev, model.predictor.config().theta, use_pe);
+        // Training-side path: InferCtx. Frozen path: compiled plans.
+        let via_ctx = model.predict_samples(&enc);
+        let via_plan = model.freeze().predict_samples(&enc).unwrap();
+        assert_eq!(via_ctx, via_plan, "use_pe = {use_pe}");
+        assert!(via_plan.iter().all(|v| v.is_finite()));
     }
 }

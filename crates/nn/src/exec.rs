@@ -206,24 +206,42 @@ impl<'p> InferCtx<'p> {
         self.slots.is_empty()
     }
 
-    /// Clears all nodes, moving their buffers into the reuse pool.
+    /// Clears all nodes, moving their buffers into the reuse pool (kept
+    /// sorted by capacity so [`InferCtx::take_buf`] is a binary search).
     pub fn reset(&mut self) {
+        let before = self.pool.len();
         for slot in self.slots.drain(..) {
             if let Slot::Owned(t) = slot {
                 self.pool.push(t.into_vec());
             }
         }
+        if self.pool.len() > before {
+            self.pool.sort_unstable_by_key(Vec::capacity);
+        }
     }
 
-    /// Takes a pooled buffer (empty, arbitrary capacity) or a fresh one.
-    fn take_buf(&mut self) -> Vec<f32> {
-        match self.pool.pop() {
-            Some(mut b) => {
-                b.clear();
-                b
-            }
-            None => Vec::new(),
+    /// Takes the best-fitting pooled buffer for a `want`-element result:
+    /// the smallest capacity that already holds `want` (binary search —
+    /// the pool is capacity-sorted), so tiny ops stop stealing (and
+    /// fragmenting) the large GEMM-sized buffers. If nothing fits, the
+    /// largest pooled buffer is grown (reusing the biggest existing
+    /// allocation) rather than allocating fresh beside it.
+    fn take_buf(&mut self, want: usize) -> Vec<f32> {
+        if self.pool.is_empty() {
+            return Vec::new();
         }
+        let idx = self.pool.partition_point(|b| b.capacity() < want);
+        // Removing preserves the sort; nothing is pushed back mid-forward.
+        let mut b = self.pool.remove(idx.min(self.pool.len() - 1));
+        b.clear();
+        b
+    }
+
+    /// Capacities of the pooled buffers (test hook for the best-fit
+    /// policy).
+    #[cfg(test)]
+    fn pool_capacities(&self) -> Vec<usize> {
+        self.pool.iter().map(|b| b.capacity()).collect()
     }
 
     fn push_owned(&mut self, t: Tensor) -> Var {
@@ -233,7 +251,7 @@ impl<'p> InferCtx<'p> {
 
     /// Element-wise unary op through the buffer pool.
     fn map_op(&mut self, x: Var, f: impl Fn(f32) -> f32) -> Var {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let xv = self.value(x);
         let shape = xv.shape().to_vec();
         xv.map_into(f, &mut buf);
@@ -249,7 +267,7 @@ impl<'p> InferCtx<'p> {
         op: &'static str,
         f: impl Fn(f32, f32) -> f32,
     ) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(a).numel());
         let (av, bv) = (self.value(a), self.value(b));
         let shape = av.shape().to_vec();
         av.zip_into(bv, op, f, &mut buf)?;
@@ -264,7 +282,7 @@ impl<'p> InferCtx<'p> {
         op: &'static str,
         f: impl Fn(f32, f32) -> f32,
     ) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let (xv, rv) = (self.value(x), self.value(row));
         let shape = xv.shape().to_vec();
         xv.row_op_into(rv, op, f, &mut buf)?;
@@ -325,28 +343,39 @@ impl Exec for InferCtx<'_> {
     }
 
     fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
-        let mut buf = self.take_buf();
+        // Best-effort size estimate (validation happens in the kernel).
+        let want = self.value(a).shape().first().copied().unwrap_or(0)
+            * self.value(b).shape().last().copied().unwrap_or(0);
+        let mut buf = self.take_buf(want);
         let shape = matmul_into(self.value(a), self.value(b), &mut buf)?;
         let t = Tensor::from_vec(buf, &shape).expect("matmul shape");
         Ok(self.push_owned(t))
     }
 
     fn bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let want = match (self.value(a).shape(), self.value(b).shape()) {
+            ([bt, am, ak], [_, bk, bn]) => {
+                let m = if ta { *ak } else { *am };
+                let n = if tb { *bk } else { *bn };
+                bt * m * n
+            }
+            _ => 0,
+        };
+        let mut buf = self.take_buf(want);
         let shape = bmm_into(self.value(a), self.value(b), ta, tb, &mut buf)?;
         let t = Tensor::from_vec(buf, &shape).expect("bmm shape");
         Ok(self.push_owned(t))
     }
 
     fn split_heads(&mut self, x: Var, h: usize) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let shape = kernels::split_heads_into(self.value(x), h, &mut buf)?;
         let t = Tensor::from_vec(buf, &shape).expect("split_heads shape");
         Ok(self.push_owned(t))
     }
 
     fn merge_heads(&mut self, x: Var, h: usize) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let shape = kernels::merge_heads_into(self.value(x), h, &mut buf)?;
         let t = Tensor::from_vec(buf, &shape).expect("merge_heads shape");
         Ok(self.push_owned(t))
@@ -361,14 +390,14 @@ impl Exec for InferCtx<'_> {
                 len: self.value(x).numel(),
             });
         }
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(numel);
         buf.extend_from_slice(self.value(x).data());
         let t = Tensor::from_vec(buf, shape).expect("checked numel");
         Ok(self.push_owned(t))
     }
 
     fn softmax_last(&mut self, x: Var) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let xv = self.value(x);
         let shape = xv.shape().to_vec();
         xv.softmax_last_into(&mut buf)?;
@@ -405,7 +434,8 @@ impl Exec for InferCtx<'_> {
     }
 
     fn concat_last(&mut self, parts: &[Var]) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let want = parts.iter().map(|&p| self.value(p).numel()).sum();
+        let mut buf = self.take_buf(want);
         let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let shape = kernels::concat_last_into(&tensors, &mut buf)?;
         drop(tensors);
@@ -414,14 +444,20 @@ impl Exec for InferCtx<'_> {
     }
 
     fn slice_last(&mut self, x: Var, start: usize, end: usize) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let want = match *self.value(x).shape() {
+            [.., d] if d > 0 && end <= d && start <= end => {
+                (self.value(x).numel() / d) * (end - start)
+            }
+            _ => 0,
+        };
+        let mut buf = self.take_buf(want);
         let shape = kernels::slice_last_into(self.value(x), start, end, &mut buf)?;
         let t = Tensor::from_vec(buf, &shape).expect("slice shape");
         Ok(self.push_owned(t))
     }
 
     fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
-        let mut buf = self.take_buf();
+        let mut buf = self.take_buf(self.value(x).numel());
         let (xv, gv, bv) = (self.value(x), self.value(gamma), self.value(beta));
         let shape = xv.shape().to_vec();
         kernels::layer_norm_fwd_into(xv, gv, bv, eps, &mut buf)?;
@@ -549,6 +585,28 @@ mod tests {
         let x2 = ctx.constant(Tensor::full(&[8], 2.0));
         let y2 = ctx.square(x2).unwrap();
         assert_eq!(ctx.value(y2).data(), &[4.0; 8]);
+    }
+
+    #[test]
+    fn take_buf_is_best_fit_by_capacity() {
+        let (store, _) = store_with(&[]);
+        let mut ctx = InferCtx::new(&store);
+        // Two owned buffers: one GEMM-sized, one tiny.
+        let big = ctx.constant(Tensor::zeros(&[64, 64]));
+        let _big2 = ctx.relu(big).unwrap();
+        let small = ctx.constant(Tensor::zeros(&[8]));
+        let _small2 = ctx.square(small).unwrap();
+        ctx.reset();
+        assert_eq!(ctx.pool_capacities().len(), 4);
+        // A tiny op must take a tiny buffer, leaving the large ones for
+        // the next GEMM.
+        let x = ctx.constant(Tensor::full(&[4], 1.0));
+        let _ = ctx.relu(x).unwrap();
+        let caps = ctx.pool_capacities();
+        assert!(
+            caps.iter().filter(|&&c| c >= 64 * 64).count() >= 2,
+            "small op must not steal GEMM-sized buffers: {caps:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   buffers recycled across batches — bit-identical to the taped forward.
 //!   Layers are generic over the [`Exec`] trait, so one model definition
 //!   serves both paths.
+//! * [`plan`] / [`Plan`] / [`PlanExec`]: compiled inference — record the
+//!   generic `forward` once, fuse element-wise chains and GEMM epilogues,
+//!   plan all intermediates into one liveness-aliased arena, then replay
+//!   per batch with zero allocation and no dynamic dispatch. Still
+//!   bit-identical to the other two executors.
 //! * [`ParamStore`]: parameter + gradient storage shared across steps.
 //! * Layers: [`Linear`], [`LayerNorm`], [`MultiHeadAttention`],
 //!   [`TransformerEncoder`], [`Mlp`], [`LstmCell`].
@@ -25,6 +30,7 @@ mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod plan;
 pub mod tape;
 
 pub use cmd::{cmd, cmd_value, DEFAULT_MOMENTS, TANH_SUPPORT};
@@ -35,4 +41,5 @@ pub use layers::{
 };
 pub use loss::{hybrid, mape, mse, mspe, LossKind};
 pub use optim::{Adam, ConstantLr, CyclicLr, LrSchedule, Optimizer, Sgd};
+pub use plan::{Plan, PlanError, PlanExec, PlanStats, Recorder};
 pub use tape::{Graph, ParamId, ParamStore, Var};

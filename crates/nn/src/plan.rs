@@ -1,0 +1,2067 @@
+//! Compiled inference plans: record the forward pass once, replay it
+//! forever.
+//!
+//! The forward-only executor ([`crate::InferCtx`]) still re-executes the
+//! model's generic `forward` code every batch: shapes are re-derived, node
+//! slots re-pushed, buffers drawn from an untyped pool, and every
+//! element-wise op is a separate full-tensor pass. For a model whose
+//! topology is fixed (the predictor, per leaf count), all of that work can
+//! happen **once**, at load time. This module does exactly that, in three
+//! stages:
+//!
+//! 1. **Record** ([`Recorder`], an [`Exec`] implementation): run the
+//!    model's generic `forward` against a recording executor to capture a
+//!    static op program. Recording runs twice, at two probe batch sizes,
+//!    which both verifies the program is batch-uniform and constant-folds
+//!    every shape into `c` or `c·B` form — so one plan serves **every**
+//!    batch size.
+//! 2. **Lower** ([`Plan::compile`]): reshapes become free aliases (the
+//!    data is identical, only metadata changes), chains of element-wise
+//!    ops fuse into single-pass [`MapOp`] chains, bias-add + activation
+//!    following a matmul fuse into the GEMM's write-back epilogue
+//!    ([`tensor::gemm_ep_slices`]), and a liveness pass assigns every
+//!    intermediate into a slot of one shared arena — dead buffers are
+//!    aliased, and element-wise steps whose input dies at the step run
+//!    **in place**.
+//! 3. **Replay** ([`PlanExec`]): a flat interpreter executes the lowered
+//!    steps against the preallocated arena — zero allocation per batch
+//!    after warmup (asserted via [`PlanExec::alloc_count`]), no dynamic
+//!    dispatch, no shape re-derivation.
+//!
+//! ## The bit-identity invariant
+//!
+//! Every fusion preserves the *per-element* operation order of the
+//! original program: a fused map chain applies the same scalar functions
+//! in the same order per element, and the GEMM epilogue applies
+//! `act(c + bias)` exactly once, when each element's (unchanged-order)
+//! accumulation finishes. Plan output is therefore **bit-identical** to
+//! [`crate::InferCtx`] and to the taped [`crate::Graph`] forward — a
+//! property the tests here and the predictor-level property tests enforce.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::exec::Exec;
+use crate::kernels;
+use crate::tape::{ParamId, ParamStore, Var};
+use tensor::{Activation, Result as TensorResult, Tensor, TensorError};
+
+/// Errors from plan compilation or replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The recorded program differs between probe batch sizes (the model's
+    /// `forward` branches on batch content or size).
+    NonUniform(String),
+    /// A shape could not be folded into `c` or `c·B` form.
+    Shape(String),
+    /// The model's `forward` itself failed while recording.
+    Build(String),
+    /// Replay was invoked with inputs that do not match the plan.
+    Input(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NonUniform(s) => write!(f, "recorded program is not batch-uniform: {s}"),
+            PlanError::Shape(s) => write!(f, "shape not expressible as c or c*B: {s}"),
+            PlanError::Build(s) => write!(f, "recording the forward pass failed: {s}"),
+            PlanError::Input(s) => write!(f, "plan inputs do not match: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<TensorError> for PlanError {
+    fn from(e: TensorError) -> Self {
+        PlanError::Build(e.to_string())
+    }
+}
+
+/// One scalar function of a fused element-wise chain.
+///
+/// The formulas are exactly the ones [`crate::InferCtx`] uses for the
+/// corresponding [`Exec`] ops, so a fused chain applied per element is
+/// bit-identical to the original sequence of full-tensor passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapOp {
+    /// `v * c`.
+    Scale(f32),
+    /// `v + c`.
+    AddScalar(f32),
+    /// `v.max(0.0)`.
+    Relu,
+    /// `v.tanh()`.
+    Tanh,
+    /// `1 / (1 + exp(-v))`.
+    Sigmoid,
+    /// `v.exp()`.
+    Exp,
+    /// `v.abs()`.
+    Abs,
+    /// `v.sqrt()`.
+    Sqrt,
+    /// `v * v`.
+    Square,
+}
+
+impl MapOp {
+    #[inline(always)]
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            MapOp::Scale(c) => v * c,
+            MapOp::AddScalar(c) => v + c,
+            MapOp::Relu => v.max(0.0),
+            MapOp::Tanh => v.tanh(),
+            MapOp::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            MapOp::Exp => v.exp(),
+            MapOp::Abs => v.abs(),
+            MapOp::Sqrt => v.sqrt(),
+            MapOp::Square => v * v,
+        }
+    }
+
+    /// The GEMM-epilogue form of this op, if it has one.
+    fn as_activation(self) -> Option<Activation> {
+        match self {
+            MapOp::Relu => Some(Activation::Relu),
+            MapOp::Tanh => Some(Activation::Tanh),
+            MapOp::Sigmoid => Some(Activation::Sigmoid),
+            _ => None,
+        }
+    }
+}
+
+#[inline(always)]
+fn apply_chain(ops: &[MapOp], mut v: f32) -> f32 {
+    for op in ops {
+        v = op.apply(v);
+    }
+    v
+}
+
+/// Element-wise binary kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZipKind {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl ZipKind {
+    #[inline(always)]
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            ZipKind::Add => a + b,
+            ZipKind::Sub => a - b,
+            ZipKind::Mul => a * b,
+        }
+    }
+}
+
+/// Broadcast-row binary kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    Add,
+    Sub,
+}
+
+impl RowKind {
+    #[inline(always)]
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            RowKind::Add => a + b,
+            RowKind::Sub => a - b,
+        }
+    }
+}
+
+/// A recorded op (the pre-lowering program).
+#[derive(Debug, Clone, PartialEq)]
+enum ROp {
+    Input(usize),
+    Param(ParamId),
+    Map {
+        x: usize,
+        op: MapOp,
+    },
+    Zip {
+        a: usize,
+        b: usize,
+        kind: ZipKind,
+    },
+    RowOp {
+        x: usize,
+        row: usize,
+        kind: RowKind,
+    },
+    Matmul {
+        a: usize,
+        b: usize,
+    },
+    Bmm {
+        a: usize,
+        b: usize,
+        ta: bool,
+        tb: bool,
+    },
+    SplitHeads {
+        x: usize,
+        h: usize,
+    },
+    MergeHeads {
+        x: usize,
+        h: usize,
+    },
+    Reshape {
+        x: usize,
+    },
+    Softmax {
+        x: usize,
+    },
+    Concat {
+        parts: Vec<usize>,
+    },
+    SliceLast {
+        x: usize,
+        start: usize,
+        end: usize,
+    },
+    LayerNorm {
+        x: usize,
+        gamma: usize,
+        beta: usize,
+        eps: f32,
+    },
+}
+
+impl ROp {
+    /// Node indices this op reads.
+    fn inputs(&self) -> Vec<usize> {
+        match self {
+            ROp::Input(_) | ROp::Param(_) => Vec::new(),
+            ROp::Map { x, .. }
+            | ROp::RowOp { x, .. }
+            | ROp::SplitHeads { x, .. }
+            | ROp::MergeHeads { x, .. }
+            | ROp::Reshape { x }
+            | ROp::Softmax { x }
+            | ROp::SliceLast { x, .. } => vec![*x],
+            ROp::Zip { a, b, .. } | ROp::Matmul { a, b } | ROp::Bmm { a, b, .. } => {
+                vec![*a, *b]
+            }
+            ROp::Concat { parts } => parts.clone(),
+            ROp::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+        }
+    }
+}
+
+/// A recording executor: runs the model's generic `forward` eagerly (so
+/// shape queries and error checks behave exactly like [`crate::InferCtx`])
+/// while capturing the op program for [`Plan::compile`].
+pub struct Recorder<'p> {
+    params: &'p ParamStore,
+    ops: Vec<ROp>,
+    vals: Vec<Option<Tensor>>,
+    n_inputs: usize,
+}
+
+impl<'p> Recorder<'p> {
+    fn new(params: &'p ParamStore) -> Self {
+        Recorder {
+            params,
+            ops: Vec::new(),
+            vals: Vec::new(),
+            n_inputs: 0,
+        }
+    }
+
+    fn push(&mut self, op: ROp, val: Option<Tensor>) -> Var {
+        self.ops.push(op);
+        self.vals.push(val);
+        Var(self.ops.len() - 1)
+    }
+
+    fn shape_of(&self, i: usize) -> &[usize] {
+        match &self.vals[i] {
+            Some(t) => t.shape(),
+            None => match self.ops[i] {
+                ROp::Param(id) => self.params.value(id).shape(),
+                _ => unreachable!("only param nodes lack recorded values"),
+            },
+        }
+    }
+
+    fn map(&mut self, x: Var, op: MapOp) -> Var {
+        let t = self.value(x).map(|v| op.apply(v));
+        self.push(ROp::Map { x: x.0, op }, Some(t))
+    }
+
+    fn zip(&mut self, a: Var, b: Var, kind: ZipKind, name: &'static str) -> TensorResult<Var> {
+        let t = self
+            .value(a)
+            .zip(self.value(b), name, |x, y| kind.apply(x, y))?;
+        Ok(self.push(
+            ROp::Zip {
+                a: a.0,
+                b: b.0,
+                kind,
+            },
+            Some(t),
+        ))
+    }
+}
+
+impl Exec for Recorder<'_> {
+    fn constant(&mut self, t: Tensor) -> Var {
+        let idx = self.n_inputs;
+        self.n_inputs += 1;
+        self.push(ROp::Input(idx), Some(t))
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        debug_assert!(
+            std::ptr::eq(store, self.params),
+            "Recorder::param called with a store other than the one it was created with"
+        );
+        self.push(ROp::Param(id), None)
+    }
+
+    fn value(&self, v: Var) -> &Tensor {
+        match &self.vals[v.0] {
+            Some(t) => t,
+            None => match self.ops[v.0] {
+                ROp::Param(id) => self.params.value(id),
+                _ => unreachable!("only param nodes lack recorded values"),
+            },
+        }
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        self.zip(a, b, ZipKind::Add, "add")
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        self.zip(a, b, ZipKind::Sub, "sub")
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        self.zip(a, b, ZipKind::Mul, "mul")
+    }
+
+    fn add_row(&mut self, x: Var, row: Var) -> TensorResult<Var> {
+        let t = self.value(x).add_row(self.value(row))?;
+        Ok(self.push(
+            ROp::RowOp {
+                x: x.0,
+                row: row.0,
+                kind: RowKind::Add,
+            },
+            Some(t),
+        ))
+    }
+
+    fn sub_row(&mut self, x: Var, row: Var) -> TensorResult<Var> {
+        let t = self.value(x).sub_row(self.value(row))?;
+        Ok(self.push(
+            ROp::RowOp {
+                x: x.0,
+                row: row.0,
+                kind: RowKind::Sub,
+            },
+            Some(t),
+        ))
+    }
+
+    fn scale(&mut self, x: Var, c: f32) -> Var {
+        self.map(x, MapOp::Scale(c))
+    }
+
+    fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        self.map(x, MapOp::AddScalar(c))
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        let t = tensor::matmul(self.value(a), self.value(b))?;
+        Ok(self.push(ROp::Matmul { a: a.0, b: b.0 }, Some(t)))
+    }
+
+    fn bmm(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> TensorResult<Var> {
+        let t = tensor::bmm(self.value(a), self.value(b), ta, tb)?;
+        Ok(self.push(
+            ROp::Bmm {
+                a: a.0,
+                b: b.0,
+                ta,
+                tb,
+            },
+            Some(t),
+        ))
+    }
+
+    fn split_heads(&mut self, x: Var, h: usize) -> TensorResult<Var> {
+        let t = kernels::split_heads(self.value(x), h)?;
+        Ok(self.push(ROp::SplitHeads { x: x.0, h }, Some(t)))
+    }
+
+    fn merge_heads(&mut self, x: Var, h: usize) -> TensorResult<Var> {
+        let t = kernels::merge_heads(self.value(x), h)?;
+        Ok(self.push(ROp::MergeHeads { x: x.0, h }, Some(t)))
+    }
+
+    fn reshape(&mut self, x: Var, shape: &[usize]) -> TensorResult<Var> {
+        let t = self.value(x).reshape(shape)?;
+        Ok(self.push(ROp::Reshape { x: x.0 }, Some(t)))
+    }
+
+    fn softmax_last(&mut self, x: Var) -> TensorResult<Var> {
+        let t = self.value(x).softmax_last()?;
+        Ok(self.push(ROp::Softmax { x: x.0 }, Some(t)))
+    }
+
+    fn relu(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Relu))
+    }
+
+    fn tanh(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Tanh))
+    }
+
+    fn sigmoid(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Sigmoid))
+    }
+
+    fn exp(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Exp))
+    }
+
+    fn abs(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Abs))
+    }
+
+    fn sqrt(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Sqrt))
+    }
+
+    fn square(&mut self, x: Var) -> TensorResult<Var> {
+        Ok(self.map(x, MapOp::Square))
+    }
+
+    fn concat_last(&mut self, parts: &[Var]) -> TensorResult<Var> {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let t = Tensor::concat_last(&tensors)?;
+        drop(tensors);
+        Ok(self.push(
+            ROp::Concat {
+                parts: parts.iter().map(|v| v.0).collect(),
+            },
+            Some(t),
+        ))
+    }
+
+    fn slice_last(&mut self, x: Var, start: usize, end: usize) -> TensorResult<Var> {
+        let t = kernels::slice_last(self.value(x), start, end)?;
+        Ok(self.push(ROp::SliceLast { x: x.0, start, end }, Some(t)))
+    }
+
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> TensorResult<Var> {
+        let t = kernels::layer_norm_fwd(self.value(x), self.value(gamma), self.value(beta), eps)?;
+        Ok(self.push(
+            ROp::LayerNorm {
+                x: x.0,
+                gamma: gamma.0,
+                beta: beta.0,
+                eps,
+            },
+            Some(t),
+        ))
+    }
+}
+
+/// A symbolic dimension: constant, or linear in the batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    Fixed(usize),
+    /// `c * B`.
+    PerBatch(usize),
+}
+
+impl Dim {
+    #[inline(always)]
+    fn at(self, b: usize) -> usize {
+        match self {
+            Dim::Fixed(n) => n,
+            Dim::PerBatch(c) => c * b,
+        }
+    }
+}
+
+/// A symbolic element count: `coef * B + fixed` (one of the two is zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Size {
+    coef: usize,
+    fixed: usize,
+}
+
+impl Size {
+    #[inline(always)]
+    fn at(&self, b: usize) -> usize {
+        self.coef * b + self.fixed
+    }
+
+    /// Whether a buffer of this size can hold `need` for every batch size.
+    fn fits(&self, need: &Size) -> bool {
+        self.coef >= need.coef && self.fixed >= need.fixed
+    }
+
+    fn grow_to(&mut self, need: &Size) {
+        self.coef = self.coef.max(need.coef);
+        self.fixed = self.fixed.max(need.fixed);
+    }
+}
+
+/// Folds probe shapes at batch sizes `b0` / `b1` into symbolic dims.
+fn derive_dims(s0: &[usize], s1: &[usize], b0: usize, b1: usize) -> Result<Vec<Dim>, PlanError> {
+    if s0.len() != s1.len() {
+        return Err(PlanError::NonUniform(format!(
+            "rank changed with batch size: {s0:?} vs {s1:?}"
+        )));
+    }
+    s0.iter()
+        .zip(s1)
+        .map(|(&d0, &d1)| {
+            if d0 == d1 {
+                Ok(Dim::Fixed(d0))
+            } else if d0 % b0 == 0 && (d0 / b0) * b1 == d1 {
+                Ok(Dim::PerBatch(d0 / b0))
+            } else {
+                Err(PlanError::Shape(format!(
+                    "dim {d0} at B={b0} vs {d1} at B={b1} is neither constant nor linear"
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Product of symbolic dims; errors if more than one is batch-linear (the
+/// element count would be quadratic in `B`).
+fn prod_dims(dims: &[Dim]) -> Result<Dim, PlanError> {
+    let mut fixed = 1usize;
+    let mut coef: Option<usize> = None;
+    for d in dims {
+        match d {
+            Dim::Fixed(n) => fixed *= n,
+            Dim::PerBatch(c) => {
+                if coef.replace(*c).is_some() {
+                    return Err(PlanError::Shape(format!(
+                        "more than one batch-linear dim in {dims:?}"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(match coef {
+        Some(c) => Dim::PerBatch(c * fixed),
+        None => Dim::Fixed(fixed),
+    })
+}
+
+fn size_of(dims: &[Dim]) -> Result<Size, PlanError> {
+    Ok(match prod_dims(dims)? {
+        Dim::Fixed(n) => Size { coef: 0, fixed: n },
+        Dim::PerBatch(c) => Size { coef: c, fixed: 0 },
+    })
+}
+
+/// Where a lowered step reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// An arena buffer.
+    Buf(usize),
+    /// A parameter tensor (borrowed from the store at replay).
+    Param(ParamId),
+    /// A replay-time input tensor, by position.
+    Input(usize),
+}
+
+/// One lowered instruction.
+#[derive(Debug, Clone)]
+struct Step {
+    kind: StepKind,
+    out: usize,
+}
+
+#[derive(Debug, Clone)]
+enum StepKind {
+    /// `out = act(a · b + bias)` with the epilogue fused into the GEMM
+    /// write-back.
+    Gemm {
+        a: Src,
+        b: Src,
+        m: Dim,
+        k: Dim,
+        n: Dim,
+        bias: Option<Src>,
+        act: Activation,
+    },
+    Bmm {
+        a: Src,
+        b: Src,
+        ta: bool,
+        tb: bool,
+        batch: Dim,
+        m: Dim,
+        k: Dim,
+        n: Dim,
+    },
+    SplitHeads {
+        x: Src,
+        h: usize,
+        b: Dim,
+        l: Dim,
+        d: Dim,
+    },
+    MergeHeads {
+        x: Src,
+        h: usize,
+        bh: Dim,
+        l: Dim,
+        dh: Dim,
+    },
+    Softmax {
+        x: Src,
+        rows: Dim,
+        d: Dim,
+    },
+    LayerNorm {
+        x: Src,
+        gamma: Src,
+        beta: Src,
+        eps: f32,
+        rows: Dim,
+        d: Dim,
+    },
+    /// Fused element-wise chain (empty `ops` is a plain copy).
+    Map {
+        x: Src,
+        ops: Vec<MapOp>,
+        len: Dim,
+    },
+    Zip {
+        a: Src,
+        b: Src,
+        kind: ZipKind,
+        ops: Vec<MapOp>,
+        len: Dim,
+    },
+    RowOp {
+        x: Src,
+        row: Src,
+        kind: RowKind,
+        ops: Vec<MapOp>,
+        rows: Dim,
+        d: Dim,
+    },
+    Concat {
+        parts: Vec<(Src, Dim)>,
+        rows: Dim,
+        ops: Vec<MapOp>,
+    },
+    SliceLast {
+        x: Src,
+        rows: Dim,
+        d: Dim,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl StepKind {
+    fn sources(&self) -> Vec<Src> {
+        match self {
+            StepKind::Gemm { a, b, bias, .. } => {
+                let mut v = vec![*a, *b];
+                if let Some(bs) = bias {
+                    v.push(*bs);
+                }
+                v
+            }
+            StepKind::Bmm { a, b, .. } | StepKind::Zip { a, b, .. } => vec![*a, *b],
+            StepKind::SplitHeads { x, .. }
+            | StepKind::MergeHeads { x, .. }
+            | StepKind::Softmax { x, .. }
+            | StepKind::Map { x, .. }
+            | StepKind::SliceLast { x, .. } => vec![*x],
+            StepKind::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+            StepKind::RowOp { x, row, .. } => vec![*x, *row],
+            StepKind::Concat { parts, .. } => parts.iter().map(|(s, _)| *s).collect(),
+        }
+    }
+
+    /// Whether trailing element-wise ops can be folded into this step.
+    fn accepts_chain(&self) -> bool {
+        matches!(
+            self,
+            StepKind::Map { .. }
+                | StepKind::Zip { .. }
+                | StepKind::RowOp { .. }
+                | StepKind::Concat { .. }
+        )
+    }
+
+    fn push_chain(&mut self, op: MapOp) {
+        match self {
+            StepKind::Map { ops, .. }
+            | StepKind::Zip { ops, .. }
+            | StepKind::RowOp { ops, .. }
+            | StepKind::Concat { ops, .. } => ops.push(op),
+            _ => unreachable!("accepts_chain checked"),
+        }
+    }
+
+    /// Buffers this step may legally write in place (input read strictly
+    /// element-before-write, or row-local for softmax / layer norm).
+    fn inplace_candidates(&self) -> Vec<Src> {
+        match self {
+            StepKind::Map { x, .. }
+            | StepKind::RowOp { x, .. }
+            | StepKind::Softmax { x, .. }
+            | StepKind::LayerNorm { x, .. } => vec![*x],
+            StepKind::Zip { a, b, .. } => vec![*a, *b],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// An arena buffer: symbolic size plus its assigned slot.
+#[derive(Debug, Clone, Copy)]
+struct Buf {
+    size: Size,
+    slot: usize,
+}
+
+/// Optimization counters from lowering — used by tests to assert fusions
+/// actually fire, and by benches for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Ops captured by the recorder.
+    pub recorded_ops: usize,
+    /// Lowered steps the interpreter replays per batch.
+    pub steps: usize,
+    /// Reshapes elided into aliases (zero-cost at replay).
+    pub elided_reshapes: usize,
+    /// Bias rows fused into GEMM epilogues.
+    pub fused_bias: usize,
+    /// Activations fused into GEMM epilogues.
+    pub fused_activations: usize,
+    /// Element-wise ops folded into a preceding step's chain.
+    pub fused_elementwise: usize,
+    /// Steps that write their output in place over a dead input.
+    pub inplace_steps: usize,
+    /// Distinct intermediate buffers.
+    pub buffers: usize,
+    /// Arena slots after liveness-based aliasing.
+    pub arena_slots: usize,
+}
+
+/// A compiled, batch-size-generic forward program.
+///
+/// Built once per model topology with [`Plan::compile`]; replayed per
+/// batch by any number of [`PlanExec`] instances (the plan itself is
+/// immutable and cheap to share via `Arc`).
+#[derive(Debug)]
+pub struct Plan {
+    steps: Vec<Step>,
+    bufs: Vec<Buf>,
+    slot_sizes: Vec<Size>,
+    inputs: Vec<Vec<Dim>>,
+    outputs: Vec<(Src, Vec<Dim>)>,
+    stats: PlanStats,
+}
+
+impl Plan {
+    /// Records `build` at two probe batch sizes, verifies the program is
+    /// batch-uniform, and lowers it. `build` must run the model's forward
+    /// pass on the given [`Recorder`] with inputs of the given batch size
+    /// (every `Exec::constant` becomes a positional plan input) and return
+    /// the output nodes, whose values [`PlanExec::output`] exposes in the
+    /// same order.
+    pub fn compile<F>(params: &ParamStore, mut build: F) -> Result<Plan, PlanError>
+    where
+        F: FnMut(&mut Recorder<'_>, usize) -> Result<Vec<Var>, PlanError>,
+    {
+        const B0: usize = 2;
+        const B1: usize = 3;
+        let mut r0 = Recorder::new(params);
+        let out0 = build(&mut r0, B0)?;
+        let mut r1 = Recorder::new(params);
+        let out1 = build(&mut r1, B1)?;
+        if r0.ops != r1.ops {
+            return Err(PlanError::NonUniform(
+                "op stream changed with batch size".into(),
+            ));
+        }
+        if out0.iter().map(|v| v.0).ne(out1.iter().map(|v| v.0)) {
+            return Err(PlanError::NonUniform(
+                "output nodes changed with batch size".into(),
+            ));
+        }
+        let shapes: Vec<Vec<Dim>> = (0..r0.ops.len())
+            .map(|i| derive_dims(r0.shape_of(i), r1.shape_of(i), B0, B1))
+            .collect::<Result<_, _>>()?;
+        let outputs: Vec<usize> = out0.iter().map(|v| v.0).collect();
+        lower(&r0.ops, &shapes, r0.n_inputs, &outputs)
+    }
+
+    /// Optimization counters.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Number of replay-time inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The shape of output `i` at batch size `b`.
+    pub fn output_shape(&self, i: usize, b: usize) -> Vec<usize> {
+        self.outputs[i].1.iter().map(|d| d.at(b)).collect()
+    }
+
+    /// Total arena elements needed at batch size `b`.
+    pub fn arena_len(&self, b: usize) -> usize {
+        self.slot_sizes.iter().map(|s| s.at(b)).sum()
+    }
+}
+
+/// Lowers a recorded program: elides reshapes, fuses element-wise chains
+/// and GEMM epilogues, then assigns buffers to arena slots by liveness.
+fn lower(
+    ops: &[ROp],
+    shapes: &[Vec<Dim>],
+    n_inputs: usize,
+    output_nodes: &[usize],
+) -> Result<Plan, PlanError> {
+    let n = ops.len();
+    let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, op) in ops.iter().enumerate() {
+        for inp in op.inputs() {
+            users[inp].push(i);
+        }
+    }
+    let mut is_output = vec![false; n];
+    for &o in output_nodes {
+        is_output[o] = true;
+    }
+    // The single consumer of node `i`, provided nothing else (including the
+    // outputs list) observes `i` — the condition for fusing `i` away.
+    let single_user = |i: usize| -> Option<usize> {
+        if users[i].len() == 1 && !is_output[i] {
+            Some(users[i][0])
+        } else {
+            None
+        }
+    };
+
+    let mut stats = PlanStats {
+        recorded_ops: n,
+        ..PlanStats::default()
+    };
+    let mut steps: Vec<Step> = Vec::new();
+    let mut bufs: Vec<Buf> = Vec::new();
+    // binding[i] = (source holding node i's value, producing step if the
+    // value may still accept chained element-wise ops).
+    let mut binding: Vec<Option<(Src, Option<usize>)>> = vec![None; n];
+    let mut consumed = vec![false; n];
+
+    // Resolves operands that may not have been visited yet (param / input
+    // leaves recorded between a producer and its consumer, e.g. a bias
+    // param pushed after the matmul it follows).
+    fn resolve_ahead(
+        ops: &[ROp],
+        binding: &[Option<(Src, Option<usize>)>],
+        j: usize,
+    ) -> Option<Src> {
+        if let Some((src, _)) = binding[j] {
+            return Some(src);
+        }
+        match &ops[j] {
+            ROp::Param(id) => Some(Src::Param(*id)),
+            ROp::Input(k) => Some(Src::Input(*k)),
+            ROp::Reshape { x } => resolve_ahead(ops, binding, *x),
+            _ => None,
+        }
+    }
+
+    let new_buf = |bufs: &mut Vec<Buf>, node: usize| -> Result<usize, PlanError> {
+        bufs.push(Buf {
+            size: size_of(&shapes[node])?,
+            slot: usize::MAX,
+        });
+        Ok(bufs.len() - 1)
+    };
+
+    for i in 0..n {
+        if consumed[i] {
+            continue;
+        }
+        let src = |binding: &[Option<(Src, Option<usize>)>], j: usize| -> Src {
+            binding[j].expect("operands are bound before use").0
+        };
+        let bound = match &ops[i] {
+            ROp::Input(k) => (Src::Input(*k), None),
+            ROp::Param(id) => (Src::Param(*id), None),
+            ROp::Reshape { x } => {
+                stats.elided_reshapes += 1;
+                (src(&binding, *x), None)
+            }
+            ROp::Map { x, op } => {
+                let (xsrc, xstep) = binding[*x].expect("bound");
+                if let (Some(si), Some(_)) = (xstep, single_user(*x)) {
+                    if steps[si].kind.accepts_chain() {
+                        steps[si].kind.push_chain(*op);
+                        stats.fused_elementwise += 1;
+                        binding[i] = Some((xsrc, xstep));
+                        continue;
+                    }
+                }
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::Map {
+                        x: xsrc,
+                        ops: vec![*op],
+                        len: prod_dims(&shapes[i])?,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), Some(steps.len() - 1))
+            }
+            ROp::Zip { a, b, kind } => {
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::Zip {
+                        a: src(&binding, *a),
+                        b: src(&binding, *b),
+                        kind: *kind,
+                        ops: Vec::new(),
+                        len: prod_dims(&shapes[i])?,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), Some(steps.len() - 1))
+            }
+            ROp::RowOp { x, row, kind } => {
+                let d = *shapes[i].last().expect("row op output has rank >= 1");
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::RowOp {
+                        x: src(&binding, *x),
+                        row: src(&binding, *row),
+                        kind: *kind,
+                        ops: Vec::new(),
+                        rows: prod_dims(&shapes[i][..shapes[i].len() - 1])?,
+                        d,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), Some(steps.len() - 1))
+            }
+            ROp::Matmul { a, b } => {
+                // Epilogue fusion: walk the single-use chain
+                //   matmul [→ reshape]* [→ add_row(bias)] [→ relu|tanh|sigmoid]
+                // and fold it into the GEMM's write-back.
+                let bn = shapes[*b][1];
+                let mut bias: Option<Src> = None;
+                let mut act = Activation::Identity;
+                let mut chain: Vec<usize> = Vec::new(); // nodes folded beyond i
+                let mut cur = i;
+                while let Some(next) = single_user(cur) {
+                    match &ops[next] {
+                        ROp::Reshape { x } if *x == cur => {
+                            stats.elided_reshapes += 1;
+                        }
+                        ROp::RowOp {
+                            x,
+                            row,
+                            kind: RowKind::Add,
+                        } if *x == cur
+                            && bias.is_none()
+                            && act == Activation::Identity
+                            // The epilogue adds bias[j] per output column
+                            // j < n; a reshape that changed the trailing
+                            // dim broadcasts along a different width, so
+                            // only fuse when the row still spans n.
+                            && shapes[cur].last() == Some(&bn) =>
+                        {
+                            match resolve_ahead(ops, &binding, *row) {
+                                Some(rsrc) => {
+                                    bias = Some(rsrc);
+                                    stats.fused_bias += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        ROp::Map { x, op } if *x == cur && act == Activation::Identity => {
+                            match op.as_activation() {
+                                Some(a) => {
+                                    act = a;
+                                    stats.fused_activations += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        _ => break,
+                    }
+                    chain.push(next);
+                    cur = next;
+                }
+                let (m, k) = (shapes[*a][0], shapes[*a][1]);
+                let ob = new_buf(&mut bufs, cur)?;
+                steps.push(Step {
+                    kind: StepKind::Gemm {
+                        a: src(&binding, *a),
+                        b: src(&binding, *b),
+                        m,
+                        k,
+                        n: bn,
+                        bias,
+                        act,
+                    },
+                    out: ob,
+                });
+                for &c in &chain {
+                    consumed[c] = true;
+                    binding[c] = Some((Src::Buf(ob), None));
+                }
+                (Src::Buf(ob), None)
+            }
+            ROp::Bmm { a, b, ta, tb } => {
+                let sa = &shapes[*a];
+                let (m, k) = if *ta { (sa[2], sa[1]) } else { (sa[1], sa[2]) };
+                let nn = if *tb { shapes[*b][1] } else { shapes[*b][2] };
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::Bmm {
+                        a: src(&binding, *a),
+                        b: src(&binding, *b),
+                        ta: *ta,
+                        tb: *tb,
+                        batch: sa[0],
+                        m,
+                        k,
+                        n: nn,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+            ROp::SplitHeads { x, h } => {
+                let sx = &shapes[*x];
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::SplitHeads {
+                        x: src(&binding, *x),
+                        h: *h,
+                        b: sx[0],
+                        l: sx[1],
+                        d: sx[2],
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+            ROp::MergeHeads { x, h } => {
+                let sx = &shapes[*x];
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::MergeHeads {
+                        x: src(&binding, *x),
+                        h: *h,
+                        bh: sx[0],
+                        l: sx[1],
+                        dh: sx[2],
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+            ROp::Softmax { x } => {
+                let d = *shapes[i].last().expect("softmax input has rank >= 1");
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::Softmax {
+                        x: src(&binding, *x),
+                        rows: prod_dims(&shapes[i][..shapes[i].len() - 1])?,
+                        d,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+            ROp::Concat { parts } => {
+                let ob = new_buf(&mut bufs, i)?;
+                let widths: Vec<(Src, Dim)> = parts
+                    .iter()
+                    .map(|&p| {
+                        (
+                            src(&binding, p),
+                            *shapes[p].last().expect("concat part has rank >= 1"),
+                        )
+                    })
+                    .collect();
+                steps.push(Step {
+                    kind: StepKind::Concat {
+                        parts: widths,
+                        rows: prod_dims(&shapes[i][..shapes[i].len() - 1])?,
+                        ops: Vec::new(),
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), Some(steps.len() - 1))
+            }
+            ROp::SliceLast { x, start, end } => {
+                let sx = &shapes[*x];
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::SliceLast {
+                        x: src(&binding, *x),
+                        rows: prod_dims(&sx[..sx.len() - 1])?,
+                        d: *sx.last().expect("slice input has rank >= 1"),
+                        start: *start,
+                        end: *end,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+            ROp::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
+                let d = *shapes[i].last().expect("layer norm input has rank >= 1");
+                let ob = new_buf(&mut bufs, i)?;
+                steps.push(Step {
+                    kind: StepKind::LayerNorm {
+                        x: src(&binding, *x),
+                        gamma: src(&binding, *gamma),
+                        beta: src(&binding, *beta),
+                        eps: *eps,
+                        rows: prod_dims(&shapes[i][..shapes[i].len() - 1])?,
+                        d,
+                    },
+                    out: ob,
+                });
+                (Src::Buf(ob), None)
+            }
+        };
+        binding[i] = Some(bound);
+    }
+
+    // Outputs must be readable after the run: materialize any that still
+    // alias a plan input or a parameter into their own buffer.
+    let mut outputs: Vec<(Src, Vec<Dim>)> = Vec::new();
+    for &o in output_nodes {
+        let (src, _) = binding[o].expect("all nodes bound");
+        let src = match src {
+            Src::Buf(_) => src,
+            Src::Param(_) | Src::Input(_) => {
+                let ob = new_buf(&mut bufs, o)?;
+                steps.push(Step {
+                    kind: StepKind::Map {
+                        x: src,
+                        ops: Vec::new(),
+                        len: prod_dims(&shapes[o])?,
+                    },
+                    out: ob,
+                });
+                Src::Buf(ob)
+            }
+        };
+        outputs.push((src, shapes[o].clone()));
+    }
+
+    let mut input_shapes = vec![Vec::new(); n_inputs];
+    for (i, op) in ops.iter().enumerate() {
+        if let ROp::Input(k) = op {
+            input_shapes[*k] = shapes[i].clone();
+        }
+    }
+    plan_memory(steps, bufs, input_shapes, outputs, stats)
+}
+
+/// Liveness analysis + slot assignment: walk the steps in order, free each
+/// buffer's slot after its last read, and give every new buffer the
+/// best-fitting free slot — or the dying input's slot itself for
+/// element-wise steps, which then run in place.
+fn plan_memory(
+    mut steps: Vec<Step>,
+    mut bufs: Vec<Buf>,
+    input_shapes: Vec<Vec<Dim>>,
+    outputs: Vec<(Src, Vec<Dim>)>,
+    mut stats: PlanStats,
+) -> Result<Plan, PlanError> {
+    let mut last_use = vec![0usize; bufs.len()];
+    let mut def_step = vec![usize::MAX; bufs.len()];
+    for (si, step) in steps.iter().enumerate() {
+        for s in step.kind.sources() {
+            if let Src::Buf(b) = s {
+                last_use[b] = last_use[b].max(si);
+            }
+        }
+        def_step[step.out] = si;
+    }
+    for (src, _) in &outputs {
+        if let Src::Buf(b) = src {
+            last_use[*b] = usize::MAX;
+        }
+    }
+
+    let mut slot_sizes: Vec<Size> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut released = vec![false; bufs.len()];
+    for (si, step) in steps.iter().enumerate() {
+        // Release buffers whose last read is strictly behind us.
+        for b in 0..bufs.len() {
+            if !released[b] && def_step[b] < si && last_use[b] < si {
+                released[b] = true;
+                free.push(bufs[b].slot);
+            }
+        }
+        let out = step.out;
+        let need = bufs[out].size;
+        // In-place: an element-wise step whose input dies at this very step
+        // writes straight over it (each element is read before it is
+        // written, or the op is row-local like softmax / layer norm).
+        let mut chosen: Option<usize> = None;
+        for cand in step.kind.inplace_candidates() {
+            if let Src::Buf(cb) = cand {
+                if last_use[cb] == si && !released[cb] && bufs[cb].size == need {
+                    released[cb] = true; // slot ownership moves to `out`
+                    chosen = Some(bufs[cb].slot);
+                    stats.inplace_steps += 1;
+                    break;
+                }
+            }
+        }
+        let slot = match chosen {
+            Some(s) => s,
+            None => {
+                // Best fit: the smallest free slot that already holds the
+                // size; otherwise grow the largest free slot; otherwise a
+                // fresh slot.
+                let fit = free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| slot_sizes[s].fits(&need))
+                    .min_by_key(|(_, &s)| (slot_sizes[s].coef, slot_sizes[s].fixed))
+                    .map(|(pos, _)| pos);
+                let pos = fit.or_else(|| {
+                    free.iter()
+                        .enumerate()
+                        .max_by_key(|(_, &s)| (slot_sizes[s].coef, slot_sizes[s].fixed))
+                        .map(|(pos, _)| pos)
+                });
+                match pos {
+                    Some(pos) => {
+                        let s = free.swap_remove(pos);
+                        slot_sizes[s].grow_to(&need);
+                        s
+                    }
+                    None => {
+                        slot_sizes.push(need);
+                        slot_sizes.len() - 1
+                    }
+                }
+            }
+        };
+        bufs[out].slot = slot;
+    }
+
+    // Sanity: every buffer got a slot.
+    debug_assert!(bufs.iter().all(|b| b.slot != usize::MAX));
+
+    stats.steps = steps.len();
+    stats.buffers = bufs.len();
+    stats.arena_slots = slot_sizes.len();
+    // Shrink fused chains' allocations.
+    for s in &mut steps {
+        if let StepKind::Map { ops, .. }
+        | StepKind::Zip { ops, .. }
+        | StepKind::RowOp { ops, .. }
+        | StepKind::Concat { ops, .. } = &mut s.kind
+        {
+            ops.shrink_to_fit();
+        }
+    }
+    Ok(Plan {
+        steps,
+        bufs,
+        slot_sizes,
+        inputs: input_shapes,
+        outputs,
+        stats,
+    })
+}
+
+/// Infers the batch size from concrete inputs and validates every dim.
+fn infer_batch(sym: &[Vec<Dim>], inputs: &[&Tensor]) -> Result<usize, PlanError> {
+    if sym.len() != inputs.len() {
+        return Err(PlanError::Input(format!(
+            "expected {} inputs, got {}",
+            sym.len(),
+            inputs.len()
+        )));
+    }
+    let mut b: Option<usize> = None;
+    for (i, (dims, t)) in sym.iter().zip(inputs).enumerate() {
+        let shape = t.shape();
+        if dims.len() != shape.len() {
+            return Err(PlanError::Input(format!(
+                "input {i}: expected rank {}, got shape {shape:?}",
+                dims.len()
+            )));
+        }
+        for (d, &actual) in dims.iter().zip(shape) {
+            match d {
+                Dim::Fixed(n) => {
+                    if actual != *n {
+                        return Err(PlanError::Input(format!(
+                            "input {i}: expected dim {n}, got {actual} (shape {shape:?})"
+                        )));
+                    }
+                }
+                Dim::PerBatch(c) => {
+                    if *c == 0 || actual % c != 0 {
+                        return Err(PlanError::Input(format!(
+                            "input {i}: dim {actual} is not a multiple of {c} (shape {shape:?})"
+                        )));
+                    }
+                    let bb = actual / c;
+                    match b {
+                        None => b = Some(bb),
+                        Some(prev) if prev == bb => {}
+                        Some(prev) => {
+                            return Err(PlanError::Input(format!(
+                                "input {i}: inconsistent batch size {bb} vs {prev}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.unwrap_or(1))
+}
+
+/// Replays a [`Plan`] against a preallocated arena.
+///
+/// One `PlanExec` per serving thread: after the first batch of a given
+/// size warms the arena up, replay performs **zero heap allocation** —
+/// [`PlanExec::alloc_count`] counts arena growth events so tests and
+/// callers can assert that. The parameter store passed to [`PlanExec::run`]
+/// must be the one the plan was compiled against (same [`ParamId`]s).
+pub struct PlanExec {
+    plan: Arc<Plan>,
+    arena: Vec<f32>,
+    offsets: Vec<usize>,
+    cur_b: usize,
+    allocs: usize,
+}
+
+impl PlanExec {
+    /// Creates an executor for `plan` (arena is allocated lazily on the
+    /// first [`PlanExec::run`]).
+    pub fn new(plan: Arc<Plan>) -> Self {
+        PlanExec {
+            plan,
+            arena: Vec::new(),
+            offsets: Vec::new(),
+            cur_b: 0,
+            allocs: 0,
+        }
+    }
+
+    /// The compiled plan being replayed.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// Number of arena growth events so far (stays flat once warmed up —
+    /// replaying any batch size at or below the largest seen so far
+    /// allocates nothing).
+    pub fn alloc_count(&self) -> usize {
+        self.allocs
+    }
+
+    /// Executes the plan on `inputs` (one tensor per recorded
+    /// `Exec::constant`, in recording order). Outputs are readable through
+    /// [`PlanExec::output`] until the next `run`.
+    pub fn run(&mut self, params: &ParamStore, inputs: &[&Tensor]) -> Result<(), PlanError> {
+        let plan = Arc::clone(&self.plan);
+        let b = infer_batch(&plan.inputs, inputs)?;
+        if b != self.cur_b {
+            self.offsets.clear();
+            let mut off = 0usize;
+            for s in &plan.slot_sizes {
+                self.offsets.push(off);
+                off += s.at(b);
+            }
+            if off > self.arena.len() {
+                if off > self.arena.capacity() {
+                    self.allocs += 1;
+                }
+                self.arena.resize(off, 0.0);
+            }
+            self.cur_b = b;
+        }
+        let ctx = RunCtx {
+            plan: &plan,
+            offsets: &self.offsets,
+            b,
+            params,
+            inputs,
+            arena: self.arena.as_mut_ptr(),
+            arena_len: self.arena.len(),
+        };
+        for step in &plan.steps {
+            ctx.exec(step)?;
+        }
+        Ok(())
+    }
+
+    /// Output `i`'s data (valid after a successful [`PlanExec::run`]).
+    pub fn output(&self, i: usize) -> &[f32] {
+        let (src, dims) = &self.plan.outputs[i];
+        let len: usize = dims.iter().map(|d| d.at(self.cur_b)).product();
+        match src {
+            Src::Buf(bid) => {
+                let meta = &self.plan.bufs[*bid];
+                let off = self.offsets[meta.slot];
+                &self.arena[off..off + len]
+            }
+            // `lower` materializes input/param-aliased outputs into buffers.
+            _ => unreachable!("outputs always live in the arena"),
+        }
+    }
+
+    /// Output `i`'s shape for the last executed batch.
+    pub fn output_shape(&self, i: usize) -> Vec<usize> {
+        self.plan.output_shape(i, self.cur_b)
+    }
+}
+
+/// Per-run execution context: raw arena access with explicit disjointness
+/// checks.
+struct RunCtx<'r> {
+    plan: &'r Plan,
+    offsets: &'r [usize],
+    b: usize,
+    params: &'r ParamStore,
+    inputs: &'r [&'r Tensor],
+    arena: *mut f32,
+    arena_len: usize,
+}
+
+impl<'r> RunCtx<'r> {
+    fn buf_range(&self, bid: usize) -> (usize, usize) {
+        let meta = &self.plan.bufs[bid];
+        (self.offsets[meta.slot], meta.size.at(self.b))
+    }
+
+    /// Reads a source slice. For arena buffers the returned slice aliases
+    /// the arena: callers must uphold the step's aliasing discipline
+    /// (checked by [`RunCtx::aliases_out`] / `assert_disjoint`).
+    fn read(&self, src: Src) -> &'r [f32] {
+        match src {
+            Src::Param(id) => self.params.value(id).data(),
+            Src::Input(i) => self.inputs[i].data(),
+            Src::Buf(bid) => {
+                let (off, len) = self.buf_range(bid);
+                assert!(off + len <= self.arena_len, "arena read out of bounds");
+                // SAFETY: in-bounds; immutable reads only alias the output
+                // range in the sanctioned in-place cases, which never call
+                // `read` for the aliased operand.
+                unsafe { std::slice::from_raw_parts(self.arena.add(off), len) }
+            }
+        }
+    }
+
+    /// The mutable output slice of a step.
+    #[allow(clippy::mut_from_ref)]
+    fn out(&self, bid: usize) -> &'r mut [f32] {
+        let (off, len) = self.buf_range(bid);
+        assert!(off + len <= self.arena_len, "arena write out of bounds");
+        // SAFETY: in-bounds; exactly one output slice exists per step, and
+        // every input slice read alongside it is checked disjoint (or the
+        // step runs its dedicated in-place path without a second slice).
+        unsafe { std::slice::from_raw_parts_mut(self.arena.add(off), len) }
+    }
+
+    /// Whether `src` occupies the same arena slot as the output buffer
+    /// (the planner's sanctioned in-place aliasing).
+    fn aliases_out(&self, src: Src, out: usize) -> bool {
+        matches!(src, Src::Buf(b) if self.plan.bufs[b].slot == self.plan.bufs[out].slot)
+    }
+
+    /// Panics if any of `srcs` aliases the output (planner invariant for
+    /// steps with no in-place path).
+    fn assert_disjoint(&self, srcs: &[Src], out: usize) {
+        for s in srcs {
+            assert!(
+                !self.aliases_out(*s, out),
+                "planner bug: input aliases output of a non-in-place step"
+            );
+        }
+    }
+
+    fn exec(&self, step: &Step) -> Result<(), PlanError> {
+        let out = step.out;
+        match &step.kind {
+            StepKind::Gemm {
+                a,
+                b,
+                m,
+                k,
+                n,
+                bias,
+                act,
+            } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                let (m, k, n) = (m.at(self.b), k.at(self.b), n.at(self.b));
+                let av = self.read(*a);
+                let bv = self.read(*b);
+                let biasv = bias.map(|s| self.read(s));
+                tensor::gemm_ep_slices(m, k, n, av, bv, biasv, *act, self.out(out))?;
+            }
+            StepKind::Bmm {
+                a,
+                b,
+                ta,
+                tb,
+                batch,
+                m,
+                k,
+                n,
+            } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                tensor::bmm_slices(
+                    batch.at(self.b),
+                    m.at(self.b),
+                    k.at(self.b),
+                    n.at(self.b),
+                    self.read(*a),
+                    *ta,
+                    self.read(*b),
+                    *tb,
+                    self.out(out),
+                )?;
+            }
+            StepKind::SplitHeads { x, h, b, l, d } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                let (bb, l, d) = (b.at(self.b), l.at(self.b), d.at(self.b));
+                let dh = d / h;
+                let xs = self.read(*x);
+                let o = self.out(out);
+                for bi in 0..bb {
+                    for li in 0..l {
+                        for hi in 0..*h {
+                            let src = (bi * l + li) * d + hi * dh;
+                            let dst = ((bi * h + hi) * l + li) * dh;
+                            o[dst..dst + dh].copy_from_slice(&xs[src..src + dh]);
+                        }
+                    }
+                }
+            }
+            StepKind::MergeHeads { x, h, bh, l, dh } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                let (bh, l, dh) = (bh.at(self.b), l.at(self.b), dh.at(self.b));
+                let bb = bh / h;
+                let d = dh * h;
+                let xs = self.read(*x);
+                let o = self.out(out);
+                for bi in 0..bb {
+                    for li in 0..l {
+                        for hi in 0..*h {
+                            let dst = (bi * l + li) * d + hi * dh;
+                            let src = ((bi * h + hi) * l + li) * dh;
+                            o[dst..dst + dh].copy_from_slice(&xs[src..src + dh]);
+                        }
+                    }
+                }
+            }
+            StepKind::Softmax { x, rows, d } => {
+                let d = d.at(self.b);
+                let o = self.out(out);
+                if !self.aliases_out(*x, out) {
+                    o.copy_from_slice(self.read(*x));
+                }
+                let _ = rows;
+                for chunk in o.chunks_mut(d) {
+                    let m = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut z = 0.0f32;
+                    for v in chunk.iter_mut() {
+                        *v = (*v - m).exp();
+                        z += *v;
+                    }
+                    let inv = 1.0 / z;
+                    for v in chunk.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+            }
+            StepKind::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+                rows,
+                d,
+            } => {
+                self.assert_disjoint(&[*gamma, *beta], out);
+                let d = d.at(self.b);
+                let o = self.out(out);
+                if !self.aliases_out(*x, out) {
+                    o.copy_from_slice(self.read(*x));
+                }
+                let _ = rows;
+                let gv = self.read(*gamma);
+                let bv = self.read(*beta);
+                for chunk in o.chunks_mut(d) {
+                    let mean: f32 = chunk.iter().sum::<f32>() / d as f32;
+                    let var: f32 =
+                        chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                    let inv = 1.0 / (var + *eps).sqrt();
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (*v - mean) * inv * gv[j] + bv[j];
+                    }
+                }
+            }
+            StepKind::Map { x, ops, len } => {
+                let _ = len;
+                let o = self.out(out);
+                if self.aliases_out(*x, out) {
+                    for v in o.iter_mut() {
+                        *v = apply_chain(ops, *v);
+                    }
+                } else {
+                    let xs = self.read(*x);
+                    for (v, &xv) in o.iter_mut().zip(xs) {
+                        *v = apply_chain(ops, xv);
+                    }
+                }
+            }
+            StepKind::Zip {
+                a,
+                b,
+                kind,
+                ops,
+                len,
+            } => {
+                let _ = len;
+                let o = self.out(out);
+                match (self.aliases_out(*a, out), self.aliases_out(*b, out)) {
+                    (true, true) => {
+                        for v in o.iter_mut() {
+                            *v = apply_chain(ops, kind.apply(*v, *v));
+                        }
+                    }
+                    (true, false) => {
+                        let bs = self.read(*b);
+                        for (v, &bv) in o.iter_mut().zip(bs) {
+                            *v = apply_chain(ops, kind.apply(*v, bv));
+                        }
+                    }
+                    (false, true) => {
+                        let as_ = self.read(*a);
+                        for (v, &av) in o.iter_mut().zip(as_) {
+                            *v = apply_chain(ops, kind.apply(av, *v));
+                        }
+                    }
+                    (false, false) => {
+                        let as_ = self.read(*a);
+                        let bs = self.read(*b);
+                        for (v, (&av, &bv)) in o.iter_mut().zip(as_.iter().zip(bs)) {
+                            *v = apply_chain(ops, kind.apply(av, bv));
+                        }
+                    }
+                }
+            }
+            StepKind::RowOp {
+                x,
+                row,
+                kind,
+                ops,
+                rows,
+                d,
+            } => {
+                self.assert_disjoint(&[*row], out);
+                let _ = rows;
+                let d = d.at(self.b);
+                let rv = self.read(*row);
+                let o = self.out(out);
+                if self.aliases_out(*x, out) {
+                    for (i, v) in o.iter_mut().enumerate() {
+                        *v = apply_chain(ops, kind.apply(*v, rv[i % d]));
+                    }
+                } else {
+                    let xs = self.read(*x);
+                    for (i, (v, &xv)) in o.iter_mut().zip(xs).enumerate() {
+                        *v = apply_chain(ops, kind.apply(xv, rv[i % d]));
+                    }
+                }
+            }
+            StepKind::Concat { parts, rows, ops } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                let rows = rows.at(self.b);
+                let widths: Vec<usize> = parts.iter().map(|(_, w)| w.at(self.b)).collect();
+                let total: usize = widths.iter().sum();
+                let o = self.out(out);
+                for r in 0..rows {
+                    let mut at = r * total;
+                    for ((src, _), &w) in parts.iter().zip(&widths) {
+                        let ps = self.read(*src);
+                        let dst = &mut o[at..at + w];
+                        if ops.is_empty() {
+                            dst.copy_from_slice(&ps[r * w..(r + 1) * w]);
+                        } else {
+                            for (v, &pv) in dst.iter_mut().zip(&ps[r * w..(r + 1) * w]) {
+                                *v = apply_chain(ops, pv);
+                            }
+                        }
+                        at += w;
+                    }
+                }
+            }
+            StepKind::SliceLast {
+                x,
+                rows,
+                d,
+                start,
+                end,
+            } => {
+                self.assert_disjoint(&step.kind.sources(), out);
+                let rows = rows.at(self.b);
+                let d = d.at(self.b);
+                let w = end - start;
+                let xs = self.read(*x);
+                let o = self.out(out);
+                for r in 0..rows {
+                    o[r * w..(r + 1) * w].copy_from_slice(&xs[r * d + start..r * d + end]);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::InferCtx;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store_with(shapes: &[&[usize]]) -> (ParamStore, Vec<ParamId>) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let ids = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                store.add(
+                    format!("p{i}"),
+                    Tensor::from_fn(s, |_| rng.random_range(-1.0f32..1.0)),
+                )
+            })
+            .collect();
+        (store, ids)
+    }
+
+    fn input_for(b: usize) -> Tensor {
+        Tensor::from_fn(&[b, 4, 6], |i| ((i as f32) * 0.37).sin())
+    }
+
+    /// A program exercising every [`Exec`] op, with a value (`y`) used by
+    /// several consumers (so no epilogue fusion there), an attention-style
+    /// bmm/softmax block, and an output (`cat`) that also has a consumer.
+    fn mixed_program<E: Exec>(
+        e: &mut E,
+        store: &ParamStore,
+        ids: &[ParamId],
+        b: usize,
+    ) -> TensorResult<Vec<Var>> {
+        let xv = e.constant(input_for(b));
+        let w = e.param(store, ids[1]);
+        let gamma = e.param(store, ids[2]);
+        let beta = e.param(store, ids[3]);
+        let h = e.split_heads(xv, 2)?;
+        let scores = e.bmm(h, h, false, true)?;
+        let sc0 = e.scale(scores, 1.0 / 3.0f32.sqrt());
+        let probs = e.softmax_last(sc0)?;
+        let ctx2 = e.bmm(probs, h, false, false)?;
+        let m = e.merge_heads(ctx2, 2)?;
+        let flat = e.reshape(m, &[b * 4, 6])?;
+        let y = e.matmul(flat, w)?;
+        let ln = e.layer_norm(y, gamma, beta, 1e-5)?;
+        let s = e.softmax_last(ln)?;
+        let r = e.relu(s)?;
+        let t = e.tanh(r)?;
+        let g = e.sigmoid(t)?;
+        let sc = e.scale(g, 1.7);
+        let a = e.add(sc, y)?;
+        let bb = e.sub(a, y)?;
+        let c = e.mul(bb, bb)?;
+        let row = e.param(store, ids[2]);
+        let ar = e.add_row(c, row)?;
+        let sl = e.slice_last(ar, 1, 5)?;
+        let cat = e.concat_last(&[sl, sl])?;
+        let q = e.square(cat)?;
+        let sq = e.sqrt(q)?;
+        let ab = e.abs(sq)?;
+        let ex = e.exp(ab)?;
+        let fin = e.add_scalar(ex, -0.25);
+        Ok(vec![fin, cat])
+    }
+
+    #[test]
+    fn plan_bit_identical_to_infer_ctx_across_batch_sizes() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 2, 3, 5, 4] {
+            let x = input_for(b);
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let outs = mixed_program(&mut ctx, &store, &ids, b).unwrap();
+            for (i, v) in outs.iter().enumerate() {
+                assert_eq!(
+                    exec.output(i),
+                    ctx.value(*v).data(),
+                    "output {i} at batch {b} must be bit-identical"
+                );
+                assert_eq!(exec.output_shape(i), ctx.value(*v).shape());
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_and_aliasing_fire_on_the_mixed_program() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        let st = plan.stats();
+        assert!(
+            st.steps < st.recorded_ops,
+            "lowering must shrink the program"
+        );
+        assert!(st.elided_reshapes >= 1, "reshape must be free: {st:?}");
+        assert!(
+            st.fused_elementwise >= 4,
+            "tanh/sigmoid/scale/sqrt/abs/exp/add_scalar chains must fuse: {st:?}"
+        );
+        assert!(st.inplace_steps >= 1, "dead inputs must be reused in place");
+        assert!(
+            st.arena_slots < st.buffers,
+            "liveness must alias buffers: {st:?}"
+        );
+    }
+
+    #[test]
+    fn linear_relu_fuses_into_single_gemm_epilogue() {
+        let (store, ids) = store_with(&[&[6, 5], &[5]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 6], |i| (i as f32 * 0.21).cos()));
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(x, w)?;
+            let bias = rec.param(&store, ids[1]);
+            let y = rec.add_row(y, bias)?;
+            let y = rec.relu(y)?;
+            Ok(vec![y])
+        })
+        .unwrap();
+        let st = plan.stats();
+        assert_eq!(st.steps, 1, "matmul + bias + relu must be one step: {st:?}");
+        assert_eq!(st.fused_bias, 1);
+        assert_eq!(st.fused_activations, 1);
+        assert_eq!(st.arena_slots, 1);
+        // And it must still be bit-identical to the unfused executor.
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 3, 7] {
+            let x = Tensor::from_fn(&[b, 6], |i| (i as f32 * 0.21).cos());
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let xv = ctx.constant(x);
+            let w = ctx.param(&store, ids[0]);
+            let y = ctx.matmul(xv, w).unwrap();
+            let bias = ctx.param(&store, ids[1]);
+            let y = ctx.add_row(y, bias).unwrap();
+            let y = ctx.relu(y).unwrap();
+            assert_eq!(exec.output(0), ctx.value(y).data());
+        }
+    }
+
+    #[test]
+    fn rank3_linear_fuses_through_reshapes() {
+        // The Linear layer's rank-3 path: reshape → matmul → reshape →
+        // add_row (+ activation). Both reshapes must be elided and the
+        // bias fused, leaving a single GEMM step.
+        let (store, ids) = store_with(&[&[6, 5], &[5]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 4, 6], |i| (i as f32 * 0.13).sin()));
+            let flat = rec.reshape(x, &[b * 4, 6])?;
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(flat, w)?;
+            let y3 = rec.reshape(y, &[b, 4, 5])?;
+            let bias = rec.param(&store, ids[1]);
+            let y3 = rec.add_row(y3, bias)?;
+            let y3 = rec.tanh(y3)?;
+            Ok(vec![y3])
+        })
+        .unwrap();
+        let st = plan.stats();
+        assert_eq!(st.steps, 1, "{st:?}");
+        assert_eq!(st.elided_reshapes, 2);
+        assert_eq!(st.fused_bias, 1);
+        assert_eq!(st.fused_activations, 1);
+    }
+
+    #[test]
+    fn reshape_changing_trailing_dim_blocks_bias_fusion() {
+        // matmul -> reshape([b*2, 3]) -> add_row(row of 3): the broadcast
+        // width (3) differs from the GEMM's n (6), so the bias must NOT
+        // fuse into the epilogue — and the result must still match the
+        // unfused executor exactly.
+        let (store, ids) = store_with(&[&[4, 6], &[3]]);
+        fn program<E: Exec>(
+            e: &mut E,
+            store: &ParamStore,
+            ids: &[ParamId],
+            b: usize,
+        ) -> TensorResult<Var> {
+            let x = e.constant(Tensor::from_fn(&[b, 4], |i| (i as f32 * 0.17).sin()));
+            let w = e.param(store, ids[0]);
+            let y = e.matmul(x, w)?;
+            let narrow = e.reshape(y, &[b * 2, 3])?;
+            let row = e.param(store, ids[1]);
+            e.add_row(narrow, row)
+        }
+        let plan = Plan::compile(&store, |rec, b| {
+            program(rec, &store, &ids, b)
+                .map(|v| vec![v])
+                .map_err(PlanError::from)
+        })
+        .unwrap();
+        assert_eq!(plan.stats().fused_bias, 0, "{:?}", plan.stats());
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 2, 5] {
+            let x = Tensor::from_fn(&[b, 4], |i| (i as f32 * 0.17).sin());
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let out = program(&mut ctx, &store, &ids, b).unwrap();
+            assert_eq!(exec.output(0), ctx.value(out).data(), "b={b}");
+        }
+    }
+
+    #[test]
+    fn zero_allocation_after_warmup() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        let x4 = input_for(4);
+        exec.run(&store, &[&x4]).unwrap();
+        let warm = exec.alloc_count();
+        assert!(warm >= 1);
+        for _ in 0..5 {
+            exec.run(&store, &[&x4]).unwrap();
+        }
+        assert_eq!(exec.alloc_count(), warm, "steady state must not allocate");
+        // Smaller batches fit in the warmed arena.
+        let x2 = input_for(2);
+        exec.run(&store, &[&x2]).unwrap();
+        exec.run(&store, &[&x4]).unwrap();
+        assert_eq!(
+            exec.alloc_count(),
+            warm,
+            "shrinking batches must not allocate"
+        );
+        // A larger batch grows the arena exactly once.
+        let x9 = input_for(9);
+        exec.run(&store, &[&x9]).unwrap();
+        exec.run(&store, &[&x9]).unwrap();
+        assert_eq!(exec.alloc_count(), warm + 1);
+    }
+
+    #[test]
+    fn output_aliasing_an_input_is_materialized() {
+        let (store, _) = store_with(&[]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 4], |i| i as f32));
+            let r = rec.reshape(x, &[b * 4])?;
+            Ok(vec![r])
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        let x = Tensor::from_fn(&[3, 4], |i| i as f32 * 2.0);
+        exec.run(&store, &[&x]).unwrap();
+        assert_eq!(exec.output(0), x.data());
+        assert_eq!(exec.output_shape(0), &[12]);
+    }
+
+    #[test]
+    fn batch_dependent_program_is_rejected() {
+        let (store, _) = store_with(&[]);
+        let err = Plan::compile(&store, |rec, b| {
+            let mut x = rec.constant(Tensor::zeros(&[b, 4]));
+            if b == 3 {
+                x = rec.relu(x)?; // op stream depends on the batch size
+            }
+            Ok(vec![x])
+        })
+        .unwrap_err();
+        assert!(matches!(err, PlanError::NonUniform(_)), "{err:?}");
+    }
+
+    #[test]
+    fn mismatched_inputs_are_descriptive_errors() {
+        let (store, ids) = store_with(&[&[6, 5], &[5]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::zeros(&[b, 6]));
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(x, w)?;
+            Ok(vec![y])
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        // Wrong trailing dim.
+        let bad = Tensor::zeros(&[2, 7]);
+        assert!(matches!(
+            exec.run(&store, &[&bad]),
+            Err(PlanError::Input(_))
+        ));
+        // Wrong input count.
+        let ok = Tensor::zeros(&[2, 6]);
+        assert!(matches!(
+            exec.run(&store, &[&ok, &ok]),
+            Err(PlanError::Input(_))
+        ));
+        // Correct inputs still work afterwards.
+        exec.run(&store, &[&ok]).unwrap();
+        assert_eq!(exec.output_shape(0), &[2, 5]);
+    }
+}

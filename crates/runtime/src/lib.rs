@@ -13,8 +13,12 @@
 //!   packs each bucket into dense `[B, L, N_ENTRY]` batches, dispatches the
 //!   batches across a worker-thread pool, and returns predictions in
 //!   request order.
-//! * Each worker owns one long-lived `InferCtx`, so intermediate buffers
-//!   are recycled across every batch the engine ever serves.
+//! * Each worker replays **compiled inference plans** (`nn::plan`): the
+//!   predictor's forward pass is recorded once per leaf count, fused
+//!   (GEMM epilogues, element-wise chains) and arena-planned at
+//!   compile time, so steady-state batches execute with zero allocation
+//!   and no dynamic dispatch. Plans are compiled once and shared; each
+//!   worker owns only its replay arenas.
 //! * The engine implements `cdmpp_core::CostModel`, so it drops into the
 //!   schedule search as a faster scorer.
 
@@ -22,12 +26,11 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use cdmpp_core::batch::{build_scaled_batch, group_by_leaf, EncodedSample};
+use cdmpp_core::batch::{build_scaled_batch, group_by_leaf_refs, EncodedSample};
 use cdmpp_core::e2e::encode_programs;
 use cdmpp_core::predictor::PredictError;
-use cdmpp_core::{CostModel, InferenceModel, TrainedModel};
+use cdmpp_core::{CostModel, InferenceModel, PlanRunner, TrainedModel};
 use devsim::DeviceSpec;
-use nn::InferCtx;
 use tensor::Tensor;
 use tir::TensorProgram;
 
@@ -111,8 +114,11 @@ struct Job {
 /// order.
 pub struct InferenceEngine {
     model: Arc<InferenceModel>,
-    job_tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    // Behind mutexes so `shutdown` can race in-flight requests from a
+    // shared reference: the job-sender lock is held only long enough to
+    // clone the sender (or observe that the pool is closed).
+    job_tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     cfg: EngineConfig,
 }
 
@@ -131,8 +137,8 @@ impl InferenceEngine {
             .collect();
         InferenceEngine {
             model,
-            job_tx: Some(job_tx),
-            workers,
+            job_tx: Mutex::new(Some(job_tx)),
+            workers: Mutex::new(workers),
             cfg,
         }
     }
@@ -147,9 +153,10 @@ impl InferenceEngine {
         &self.cfg
     }
 
-    /// Number of worker threads serving requests.
+    /// Number of worker threads serving requests (0 after
+    /// [`InferenceEngine::shutdown`]).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().map(|w| w.len()).unwrap_or(0)
     }
 
     /// The model being served.
@@ -164,6 +171,15 @@ impl InferenceEngine {
     /// per input sample **in input order**. Unsupported leaf counts are
     /// rejected up front with the predictor's descriptive error.
     pub fn predict_samples(&self, enc: &[EncodedSample]) -> Result<Vec<f64>, EngineError> {
+        let refs: Vec<&EncodedSample> = enc.iter().collect();
+        self.predict_sample_refs(&refs)
+    }
+
+    /// [`InferenceEngine::predict_samples`] over borrowed samples: callers
+    /// that filter or subset a request stream (like the `CostModel` path)
+    /// pass the survivors by reference instead of cloning each sample's
+    /// feature vector.
+    pub fn predict_sample_refs(&self, enc: &[&EncodedSample]) -> Result<Vec<f64>, EngineError> {
         if enc.is_empty() {
             return Ok(Vec::new());
         }
@@ -182,16 +198,25 @@ impl InferenceEngine {
         // Bucket by leaf count, split buckets into dense batches, dispatch.
         // Standardization happens during the batch-building copy
         // (`build_scaled_batch`), so requests are never cloned wholesale.
-        let job_tx = self.job_tx.as_ref().expect("live until drop");
+        // Clone the sender under the lock, then dispatch without it. A
+        // cloned sender also keeps the workers alive until this request's
+        // replies are in, so shutdown drains in-flight work instead of
+        // dropping it.
+        let job_tx = self
+            .job_tx
+            .lock()
+            .map_err(|_| EngineError::WorkersUnavailable)?
+            .clone()
+            .ok_or(EngineError::WorkersUnavailable)?;
         let (reply_tx, reply_rx) = channel();
         let mut chunks: Vec<Vec<usize>> = Vec::new();
-        for (_, idxs) in group_by_leaf(enc) {
+        for (_, idxs) in group_by_leaf_refs(enc) {
             for chunk in idxs.chunks(self.cfg.max_batch.max(1)) {
                 chunks.push(chunk.to_vec());
             }
         }
         for (tag, chunk) in chunks.iter().enumerate() {
-            let refs: Vec<&EncodedSample> = chunk.iter().map(|&i| &enc[i]).collect();
+            let refs: Vec<&EncodedSample> = chunk.iter().map(|&i| enc[i]).collect();
             let batch = build_scaled_batch(&refs, &self.model.scaler);
             let job = Job {
                 tag,
@@ -237,14 +262,29 @@ impl InferenceEngine {
     }
 }
 
-impl Drop for InferenceEngine {
-    fn drop(&mut self) {
-        // Closing the channel stops the workers; join them so no thread
-        // outlives the engine.
-        self.job_tx.take();
-        for w in self.workers.drain(..) {
+impl InferenceEngine {
+    /// Gracefully stops the worker pool: refuses new requests, lets
+    /// requests already dispatched drain, then joins every worker.
+    /// Requests arriving after (or racing) the shutdown surface
+    /// [`EngineError::WorkersUnavailable`] instead of hanging.
+    pub fn shutdown(&self) {
+        if let Ok(mut tx) = self.job_tx.lock() {
+            tx.take();
+        }
+        let drained = match self.workers.lock() {
+            Ok(mut w) => w.drain(..).collect::<Vec<_>>(),
+            Err(_) => Vec::new(),
+        };
+        for w in drained {
             let _ = w.join();
         }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        // No thread outlives the engine.
+        self.shutdown();
     }
 }
 
@@ -276,8 +316,9 @@ impl CostModel for InferenceEngine {
         if valid_idx.is_empty() {
             return out;
         }
-        let valid: Vec<EncodedSample> = valid_idx.iter().map(|&i| enc[i].clone()).collect();
-        match self.predict_samples(&valid) {
+        // Borrow the validated candidates — no wholesale sample clones.
+        let valid: Vec<&EncodedSample> = valid_idx.iter().map(|&i| &enc[i]).collect();
+        match self.predict_sample_refs(&valid) {
             Ok(preds) => {
                 for (&i, p) in valid_idx.iter().zip(preds) {
                     out[i] = p;
@@ -320,9 +361,12 @@ fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
     // The engine already runs one worker per core; marking the thread
     // keeps the GEMM layer from fanning each batch out a second time.
     parallel::mark_worker_thread();
-    // One context per worker, alive for the engine's lifetime: node buffers
-    // are recycled across every batch this worker ever executes.
-    let mut ctx = InferCtx::new(model.predictor.params());
+    // One plan runner per worker, alive for the engine's lifetime: the
+    // compiled plans themselves are shared through the model (compiled at
+    // most once per leaf count), and this worker's replay arenas warm up
+    // once per (leaf count, batch size) — after that, executing a batch
+    // allocates nothing and dispatches no dynamic ops.
+    let mut runner = PlanRunner::new();
     loop {
         let job = {
             let rx = match jobs.lock() {
@@ -334,7 +378,9 @@ fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
                 Err(_) => return, // channel closed: engine dropped
             }
         };
-        let result = model.predictor.predict_with(&mut ctx, job.x, job.dev);
+        let result = model
+            .predictor
+            .predict_planned(&mut runner, &job.x, &job.dev);
         // A send failure means the requester gave up; keep serving others.
         let _ = job.reply.send((job.tag, result));
     }

@@ -1,0 +1,178 @@
+//! Engine failure paths: a shut-down worker pool must surface
+//! `EngineError::WorkersUnavailable` (never hang), and mixed valid/invalid
+//! leaf counts through the `CostModel` must rank only the invalid
+//! candidates as infinitely slow.
+
+use cdmpp_core::batch::{EncodedSample, FeatScaler};
+use cdmpp_core::{
+    encode_programs, CostModel, Predictor, PredictorConfig, TrainConfig, TrainedModel,
+};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use learn::TransformKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use runtime::{EngineConfig, EngineError, InferenceEngine};
+use tir::{lower, sample_schedule, OpSpec};
+
+fn frozen_model(max_leaves: usize) -> cdmpp_core::InferenceModel {
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig {
+            max_leaves,
+            ..PredictorConfig::default()
+        }),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    model.freeze()
+}
+
+fn stream(n: usize) -> Vec<EncodedSample> {
+    (0..n)
+        .map(|i| {
+            let leaves = 1 + i % 7;
+            EncodedSample {
+                record_idx: i,
+                leaf_count: leaves,
+                x: (0..leaves * N_ENTRY)
+                    .map(|j| ((i * 131 + j) as f32 * 0.0173).sin())
+                    .collect(),
+                dev: [0.25; N_DEVICE_FEATURES],
+                y_raw: 1e-3,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn shutdown_surfaces_workers_unavailable_not_a_hang() {
+    let engine = InferenceEngine::new(
+        frozen_model(8),
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+        },
+    );
+    let enc = stream(24);
+    // Healthy pool serves fine.
+    assert!(engine.predict_samples(&enc).is_ok());
+    engine.shutdown();
+    assert_eq!(engine.worker_count(), 0);
+    // Every request after shutdown is an immediate, descriptive error.
+    match engine.predict_samples(&enc) {
+        Err(EngineError::WorkersUnavailable) => {}
+        other => panic!("expected WorkersUnavailable, got {other:?}"),
+    }
+    // Shutdown is idempotent.
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_racing_in_flight_requests_never_hangs() {
+    // Threads hammer the engine while the main thread tears the pool down
+    // mid-stream. Every request must complete — either with results or
+    // with WorkersUnavailable; the test finishing at all proves no hang.
+    let engine = InferenceEngine::new(
+        frozen_model(8),
+        EngineConfig {
+            workers: 3,
+            max_batch: 4,
+        },
+    );
+    let enc = stream(60);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = &engine;
+                let enc = &enc;
+                s.spawn(move || {
+                    let mut outcomes = (0usize, 0usize); // (served, refused)
+                    for _ in 0..30 {
+                        match engine.predict_samples(enc) {
+                            Ok(preds) => {
+                                assert_eq!(preds.len(), enc.len());
+                                outcomes.0 += 1;
+                            }
+                            Err(EngineError::WorkersUnavailable) => outcomes.1 += 1,
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        // Let some requests land, then kill the pool under them.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        engine.shutdown();
+        // Whether any hammer thread observed a refusal is a race (they may
+        // all finish before the shutdown lands) — the hard guarantees are
+        // that every call completed (the joins return) and that the pool
+        // refuses deterministically once shutdown has returned.
+        for h in handles {
+            let (served, refused) = h.join().unwrap();
+            assert_eq!(served + refused, 30, "every request must complete");
+        }
+    });
+    match engine.predict_samples(&enc) {
+        Err(EngineError::WorkersUnavailable) => {}
+        other => panic!("expected WorkersUnavailable after shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn score_batch_ranks_only_invalid_leaf_counts_as_infinity() {
+    // A predictor with max_leaves = 2 rejects most real programs: generate
+    // a mixed pool and check per-candidate granularity.
+    let model = frozen_model(2);
+    let theta = model.predictor.config().theta;
+    let use_pe = model.use_pe;
+    let engine = InferenceEngine::new(model, EngineConfig::single_worker());
+    let mut rng = StdRng::seed_from_u64(9);
+    let dev = devsim::t4();
+    let mut progs = Vec::new();
+    for spec in [
+        OpSpec::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        },
+        OpSpec::Elementwise {
+            n: 2048,
+            kind: tir::EwKind::Relu,
+        },
+        OpSpec::Softmax { rows: 32, cols: 32 },
+    ] {
+        let nest = spec.canonical_nest();
+        for _ in 0..8 {
+            progs.push(lower(&nest, &sample_schedule(&nest, &mut rng)).unwrap());
+        }
+    }
+    let refs: Vec<&tir::TensorProgram> = progs.iter().collect();
+    let enc = encode_programs(&refs, &dev, theta, use_pe);
+    let valid: Vec<bool> = enc
+        .iter()
+        .map(|s| (1..=2).contains(&s.leaf_count))
+        .collect();
+    assert!(
+        valid.iter().any(|&v| v) && valid.iter().any(|&v| !v),
+        "fixture must mix valid and invalid leaf counts (got {:?})",
+        enc.iter().map(|s| s.leaf_count).collect::<Vec<_>>()
+    );
+    let scores = engine.score_batch(&refs, &dev);
+    assert_eq!(scores.len(), progs.len());
+    for (i, (&ok, score)) in valid.iter().zip(&scores).enumerate() {
+        if ok {
+            assert!(
+                score.is_finite(),
+                "candidate {i} (valid leaf count) must get a real score, got {score}"
+            );
+        } else {
+            assert_eq!(
+                *score,
+                f64::INFINITY,
+                "candidate {i} (invalid leaf count) must rank last"
+            );
+        }
+    }
+}

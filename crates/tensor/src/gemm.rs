@@ -31,6 +31,91 @@
 use crate::aligned::AVec;
 use std::cell::RefCell;
 
+/// Activation applied by a GEMM [`Epilogue`] during output write-back.
+///
+/// The formulas are **exactly** the ones `nn`'s executors use for the
+/// standalone element-wise ops (`relu = v.max(0.0)`,
+/// `sigmoid = 1/(1+exp(-v))`), so fusing an activation into the GEMM
+/// write-back produces bit-identical results to running it as a separate
+/// full-tensor pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No activation (`v`).
+    #[default]
+    Identity,
+    /// Rectified linear unit (`v.max(0.0)`).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid (`1 / (1 + exp(-v))`).
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline(always)]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        }
+    }
+}
+
+/// A fused GEMM epilogue: optional bias row plus activation, applied to
+/// each output element **once**, at the point the element's accumulation
+/// finishes (the write-back loop of whichever kernel path ran).
+///
+/// Per element the epilogue computes `act(c[i][j] + bias[j])` — the same
+/// per-element operation order as a separate `add_row` pass followed by a
+/// separate activation pass, so fusion is bit-identical. When `bias` is
+/// `None` the addition is skipped entirely (not replaced by `+ 0.0`, which
+/// would flip the sign of negative zeros).
+///
+/// Epilogues only combine with overwriting stores (`acc == false`).
+#[derive(Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// Bias row of length `n`, added to every output row.
+    pub bias: Option<&'a [f32]>,
+    /// Activation applied after the (optional) bias add.
+    pub act: Activation,
+}
+
+impl Epilogue<'_> {
+    /// The empty epilogue (plain GEMM).
+    pub const NONE: Epilogue<'static> = Epilogue {
+        bias: None,
+        act: Activation::Identity,
+    };
+
+    /// Whether this epilogue does nothing.
+    #[inline(always)]
+    pub fn is_none(&self) -> bool {
+        self.bias.is_none() && self.act == Activation::Identity
+    }
+
+    /// Applies the epilogue to the finished value of column `j`.
+    #[inline(always)]
+    fn apply(&self, j: usize, v: f32) -> f32 {
+        let v = match self.bias {
+            Some(b) => v + b[j],
+            None => v,
+        };
+        self.act.apply(v)
+    }
+
+    /// The epilogue restricted to columns `[j0, j0 + nc)` (for blocked
+    /// kernels whose `C` slice starts at column `j0`).
+    fn cols(&self, j0: usize, nc: usize) -> Epilogue<'_> {
+        Epilogue {
+            bias: self.bias.map(|b| &b[j0..j0 + nc]),
+            act: self.act,
+        }
+    }
+}
+
 /// Micro-kernel tile rows.
 const MR: usize = 4;
 /// Micro-kernel tile columns (8 f32 = two SSE / one AVX vector).
@@ -107,25 +192,48 @@ impl<'a> MatRef<'a> {
     }
 }
 
-/// `C = A·B` (or `C += A·B` when `acc`) for logical shapes `[m,k]·[k,n]`.
+/// `C = ep(A·B)` (or `C += A·B` when `acc`) for logical shapes `[m,k]·[k,n]`.
 ///
 /// `c` must hold exactly `m * n` elements (row-major). When `acc` is false
 /// every element of `c` is overwritten — callers need not (and should not)
-/// pre-zero the buffer.
-pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+/// pre-zero the buffer. A non-empty epilogue requires `acc == false`: the
+/// bias/activation apply exactly once, when each element's accumulation
+/// completes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+) {
     debug_assert_eq!(c.len(), m * n);
+    debug_assert!(!acc || ep.is_none(), "epilogue cannot combine with C +=");
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 {
         if !acc {
-            c.fill(0.0);
+            // An empty product is all zeros; the epilogue still applies
+            // (bias + activation of zero).
+            if ep.is_none() {
+                c.fill(0.0);
+            } else {
+                for crow in c.chunks_exact_mut(n) {
+                    for (j, o) in crow.iter_mut().enumerate() {
+                        *o = ep.apply(j, 0.0);
+                    }
+                }
+            }
         }
         return;
     }
     let muladds = m * n * k;
     if muladds < TINY_MULADDS {
-        return gemm_naive(m, n, k, a, b, c, acc);
+        return gemm_naive(m, n, k, a, b, c, acc, ep);
     }
     // Check the cheap disqualifiers before touching the global pool, so
     // processes whose GEMMs never parallelize (worker threads, mid-size
@@ -133,15 +241,17 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [
     let eligible =
         muladds >= PAR_MULADDS && n <= NC && m >= 2 * MR && !parallel::is_worker_thread();
     if !eligible {
-        return gemm_blocked(m, n, k, a, b, c, acc);
+        return gemm_blocked(m, n, k, a, b, c, acc, ep);
     }
     let pool = parallel::global();
     if pool.threads() <= 1 {
-        return gemm_blocked(m, n, k, a, b, c, acc);
+        return gemm_blocked(m, n, k, a, b, c, acc, ep);
     }
     // Row-panel split: chunk boundaries never change any element's
     // accumulation order, so the result is bit-identical to the serial run
-    // for every chunk count.
+    // for every chunk count. The epilogue is per-element (bias indexed by
+    // column, which every row panel keeps in full), so it splits with the
+    // rows.
     let chunks = pool.threads().min(m.div_ceil(MR));
     let rows_per = m.div_ceil(chunks).next_multiple_of(MR);
     pool.scope(|s| {
@@ -152,7 +262,7 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [
             let (head, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let a_sub = a.offset_rows(i0);
-            s.spawn(move || gemm_blocked(rows, n, k, a_sub, b, head, acc));
+            s.spawn(move || gemm_blocked(rows, n, k, a_sub, b, head, acc, ep));
             i0 += rows;
         }
     });
@@ -166,7 +276,17 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [
 /// * `B` column-contiguous (`rs == 1`, i.e. a transposed view) with
 ///   row-major `A`: dot-product form over zipped slices;
 /// * anything else (tiny transposed-`A` gradients): strided generic loop.
-fn gemm_naive(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+#[allow(clippy::too_many_arguments)]
+fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+) {
     debug_assert_eq!(c.len(), m * n);
     if b.cs == 1 {
         if !acc {
@@ -178,6 +298,12 @@ fn gemm_naive(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32],
                 let brow = &b.data[p * b.rs..p * b.rs + n];
                 for (o, &bv) in crow.iter_mut().zip(brow) {
                     *o += av * bv;
+                }
+            }
+            // The row's accumulation is complete: apply the epilogue once.
+            if !ep.is_none() {
+                for (j, o) in crow.iter_mut().enumerate() {
+                    *o = ep.apply(j, *o);
                 }
             }
         }
@@ -195,7 +321,7 @@ fn gemm_naive(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32],
                 if acc {
                     *o += s;
                 } else {
-                    *o = s;
+                    *o = ep.apply(j, s);
                 }
             }
         }
@@ -210,14 +336,24 @@ fn gemm_naive(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32],
             if acc {
                 *o += s;
             } else {
-                *o = s;
+                *o = ep.apply(j, s);
             }
         }
     }
 }
 
 /// The GOTO-style blocked loop nest over packed panels.
-fn gemm_blocked(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32], acc: bool) {
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+) {
     PACK.with(|bufs| {
         let (apack, bpack) = &mut *bufs.borrow_mut();
         for jc in (0..n).step_by(NC) {
@@ -225,8 +361,14 @@ fn gemm_blocked(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
                 // First k-block overwrites C (unless the caller wants C +=),
-                // later blocks accumulate.
+                // later blocks accumulate. The epilogue fires only on the
+                // *final* k-block, when every element's sum is complete.
                 let store = pc == 0 && !acc;
+                let ep_here = if pc + kc == k {
+                    ep.cols(jc, nc)
+                } else {
+                    Epilogue::NONE
+                };
                 pack_b(b, pc, kc, jc, nc, bpack);
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
@@ -240,6 +382,7 @@ fn gemm_blocked(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32
                         &mut c[ic * n + jc..],
                         n,
                         store,
+                        ep_here,
                     );
                 }
             }
@@ -309,6 +452,7 @@ fn macro_kernel(
     c: &mut [f32],
     ldc: usize,
     store: bool,
+    ep: Epilogue,
 ) {
     let strips = mc.div_ceil(MR);
     let slabs = nc.div_ceil(NR);
@@ -322,15 +466,29 @@ fn macro_kernel(
             let mr = MR.min(mc - i0);
             let tile = micro_tile(kc, astrip, bslab);
             // Edge tiles: the packed panels are zero-padded, so the full
-            // tile is always valid — copy out only the live region.
+            // tile is always valid — copy out only the live region. The
+            // epilogue (set only on the final k-block) applies here, in the
+            // write-back, so fused bias/activation cost no extra pass.
             for (r, trow) in tile.iter().take(mr).enumerate() {
                 let start = (i0 + r) * ldc + j0;
                 let crow = &mut c[start..start + nr];
                 if store {
-                    crow.copy_from_slice(&trow[..nr]);
-                } else {
+                    if ep.is_none() {
+                        crow.copy_from_slice(&trow[..nr]);
+                    } else {
+                        for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
+                            *o = ep.apply(j0 + j, v);
+                        }
+                    }
+                } else if ep.is_none() {
                     for (o, &v) in crow.iter_mut().zip(&trow[..nr]) {
                         *o += v;
+                    }
+                } else {
+                    // Final k-block of a multi-block sum: finish the
+                    // accumulation, then apply the epilogue once.
+                    for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
+                        *o = ep.apply(j0 + j, *o + v);
                     }
                 }
             }
@@ -404,7 +562,7 @@ mod tests {
             let a = MatRef::dense(&av, k);
             let b = MatRef::dense(&bv, n);
             let mut c = vec![f32::NAN; m * n]; // catches unwritten elements
-            gemm(m, n, k, a, b, &mut c, false);
+            gemm(m, n, k, a, b, &mut c, false, Epilogue::NONE);
             assert_close(&c, &reference(m, n, k, a, b), &format!("{m}x{n}x{k}"));
         }
     }
@@ -417,7 +575,7 @@ mod tests {
         let a = MatRef::dense_t(&at, m, true);
         let b = MatRef::dense_t(&bt, k, true);
         let mut c = vec![0.0f32; m * n];
-        gemm(m, n, k, a, b, &mut c, false);
+        gemm(m, n, k, a, b, &mut c, false, Epilogue::NONE);
         assert_close(&c, &reference(m, n, k, a, b), "ta,tb");
     }
 
@@ -430,7 +588,7 @@ mod tests {
         let b = MatRef::dense(&bv, n);
         let mut c: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.01).collect();
         let before = c.clone();
-        gemm(m, n, k, a, b, &mut c, true);
+        gemm(m, n, k, a, b, &mut c, true, Epilogue::NONE);
         let prod = reference(m, n, k, a, b);
         let want: Vec<f32> = before.iter().zip(&prod).map(|(x, y)| x + y).collect();
         assert_close(&c, &want, "acc");
@@ -447,6 +605,7 @@ mod tests {
             MatRef::dense(&[], 3),
             &mut c,
             false,
+            Epilogue::NONE,
         );
         assert_eq!(c, vec![0.0; 6]);
         let mut c2 = vec![3.0f32; 6];
@@ -458,8 +617,105 @@ mod tests {
             MatRef::dense(&[], 3),
             &mut c2,
             true,
+            Epilogue::NONE,
         );
         assert_eq!(c2, vec![3.0; 6]);
+    }
+
+    /// The epilogue contract: fused bias+activation must be bit-identical
+    /// to running the plain GEMM followed by separate bias / activation
+    /// passes, on every kernel path (tiny naive, blocked, multi-k-block,
+    /// and the row-panel parallel split).
+    #[test]
+    fn epilogue_bit_identical_to_separate_passes() {
+        for &(m, n, k, tag) in &[
+            (3usize, 5usize, 4usize, "naive-ikj"),
+            (64, 48, 56, "blocked"),
+            (9, 100, 600, "two-k-blocks"),
+            (256, 64, 64, "parallel-eligible"),
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            let bias: Vec<f32> = (0..n).map(|j| ((j as f32) * 0.61).cos()).collect();
+            let a = MatRef::dense(&av, k);
+            let b = MatRef::dense(&bv, n);
+            let mut plain = vec![0.0f32; m * n];
+            gemm(m, n, k, a, b, &mut plain, false, Epilogue::NONE);
+            for act in [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Tanh,
+                Activation::Sigmoid,
+            ] {
+                for with_bias in [false, true] {
+                    let ep = Epilogue {
+                        bias: with_bias.then_some(bias.as_slice()),
+                        act,
+                    };
+                    let mut fused = vec![f32::NAN; m * n];
+                    gemm(m, n, k, a, b, &mut fused, false, ep);
+                    let want: Vec<f32> = plain
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            let v = if with_bias { v + bias[i % n] } else { v };
+                            act.apply(v)
+                        })
+                        .collect();
+                    assert_eq!(
+                        fused, want,
+                        "{tag}: act {act:?} bias {with_bias} must match separate passes exactly"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Transposed-B operands take the dot-product naive path; the epilogue
+    /// must hold there too.
+    #[test]
+    fn epilogue_on_transposed_views() {
+        let (m, n, k) = (6, 7, 9);
+        let av = filled(m * k, 0.2);
+        let bt = filled(n * k, 0.4); // stored [n, k]
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.1 - 0.3).collect();
+        let a = MatRef::dense(&av, k);
+        let b = MatRef::dense_t(&bt, k, true);
+        let mut plain = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b, &mut plain, false, Epilogue::NONE);
+        let mut fused = vec![f32::NAN; m * n];
+        let ep = Epilogue {
+            bias: Some(&bias),
+            act: Activation::Relu,
+        };
+        gemm(m, n, k, a, b, &mut fused, false, ep);
+        let want: Vec<f32> = plain
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v + bias[i % n]).max(0.0))
+            .collect();
+        assert_eq!(fused, want);
+    }
+
+    /// `k == 0` still applies the epilogue (bias + activation of zero).
+    #[test]
+    fn epilogue_applies_on_empty_product() {
+        let bias = [1.5f32, -2.0, 0.25];
+        let mut c = vec![f32::NAN; 6];
+        gemm(
+            2,
+            3,
+            0,
+            MatRef::dense(&[], 0),
+            MatRef::dense(&[], 3),
+            &mut c,
+            false,
+            Epilogue {
+                bias: Some(&bias),
+                act: Activation::Relu,
+            },
+        );
+        assert_eq!(c, vec![1.5, 0.0, 0.25, 1.5, 0.0, 0.25]);
     }
 
     #[test]
@@ -471,9 +727,9 @@ mod tests {
         let a = MatRef::dense(&av, k);
         let b = MatRef::dense(&bv, n);
         let mut serial = vec![0.0f32; m * n];
-        gemm_blocked(m, n, k, a, b, &mut serial, false);
+        gemm_blocked(m, n, k, a, b, &mut serial, false, Epilogue::NONE);
         let mut maybe_par = vec![0.0f32; m * n];
-        gemm(m, n, k, a, b, &mut maybe_par, false);
+        gemm(m, n, k, a, b, &mut maybe_par, false, Epilogue::NONE);
         assert_eq!(serial, maybe_par, "row split must not change any bit");
     }
 }

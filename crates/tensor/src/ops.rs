@@ -14,7 +14,7 @@
 //! Transposed operands are strided views into the packing routines; nothing
 //! is ever materialized transposed.
 
-use crate::gemm::{gemm, MatRef};
+use crate::gemm::{gemm, Activation, Epilogue, MatRef};
 use crate::{ensure_len, Result, Tensor, TensorError};
 
 /// 2-D matrix product `[m, k] x [k, n] -> [m, n]`.
@@ -88,6 +88,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<[usize;
         MatRef::dense(b.data(), n),
         out,
         false,
+        Epilogue::NONE,
     );
     Ok([m, n])
 }
@@ -127,6 +128,7 @@ pub fn matmul_t_acc_into(
         MatRef::dense_t(b.data(), b.shape()[1], tb),
         out,
         true,
+        Epilogue::NONE,
     );
     Ok([m, n])
 }
@@ -150,6 +152,7 @@ pub fn matmul_t_into(
         MatRef::dense_t(b.data(), b.shape()[1], tb),
         out,
         false,
+        Epilogue::NONE,
     );
     Ok([m, n])
 }
@@ -256,22 +259,48 @@ fn bmm_dispatch(
     out: &mut [f32],
     acc: bool,
 ) {
+    bmm_core(batch, m, k, n, a.data(), ta, b.data(), tb, out, acc);
+}
+
+/// The slice-level core behind [`bmm_dispatch`] and [`bmm_slices`].
+///
+/// `a` holds `batch` row-major `[m, k]` matrices (`[k, m]` when `ta`), `b`
+/// holds `batch` `[k, n]` matrices (`[n, k]` when `tb`), `out` holds
+/// `batch * m * n` elements.
+#[allow(clippy::too_many_arguments)]
+fn bmm_core(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    out: &mut [f32],
+    acc: bool,
+) {
     if batch == 0 || m == 0 || n == 0 {
         return; // nothing to write (`out` is empty by the length checks)
     }
-    let a_stride = a.shape()[1] * a.shape()[2];
-    let b_stride = b.shape()[1] * b.shape()[2];
+    let a_stride = m * k;
+    let b_stride = k * n;
+    // Stored trailing dimension of each operand (what the strided views
+    // index by): the logical column count, or the row count if transposed.
+    let a_cols = if ta { m } else { k };
+    let b_cols = if tb { k } else { n };
     let per_batch = move |t: usize, osl: &mut [f32]| {
-        let asl = &a.data()[t * a_stride..(t + 1) * a_stride];
-        let bsl = &b.data()[t * b_stride..(t + 1) * b_stride];
+        let asl = &a[t * a_stride..(t + 1) * a_stride];
+        let bsl = &b[t * b_stride..(t + 1) * b_stride];
         gemm(
             m,
             n,
             k,
-            MatRef::dense_t(asl, a.shape()[2], ta),
-            MatRef::dense_t(bsl, b.shape()[2], tb),
+            MatRef::dense_t(asl, a_cols, ta),
+            MatRef::dense_t(bsl, b_cols, tb),
             osl,
             acc,
+            Epilogue::NONE,
         );
     };
     // Same cut-over as the GEMM-internal row split; per-batch products
@@ -300,6 +329,97 @@ fn bmm_dispatch(
             });
         }
     });
+}
+
+/// Epilogue-capable 2-D GEMM over raw slices: `out = act(a · b + bias)`,
+/// with the bias/activation fused into the kernel's write-back loop (no
+/// extra pass over the output).
+///
+/// `a` is row-major `[m, k]`, `b` is `[k, n]`, `bias` (if any) has length
+/// `n` and is added to every output row, `out` holds exactly `m * n`
+/// elements and is fully overwritten. This is the entry point compiled
+/// inference plans use: per-element the result is bit-identical to
+/// `matmul_into` followed by separate bias-add and activation passes.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ep_slices(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.len() != m * k || b.len() != k * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_ep",
+            lhs: vec![m, k, a.len()],
+            rhs: vec![k, n, b.len()],
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::BadShape {
+            op: "gemm_ep",
+            shape: vec![m, n],
+            len: out.len(),
+        });
+    }
+    if let Some(bv) = bias {
+        if bv.len() != n {
+            return Err(TensorError::BadShape {
+                op: "gemm_ep",
+                shape: vec![n],
+                len: bv.len(),
+            });
+        }
+    }
+    gemm(
+        m,
+        n,
+        k,
+        MatRef::dense(a, k),
+        MatRef::dense(b, n),
+        out,
+        false,
+        Epilogue { bias, act },
+    );
+    Ok(())
+}
+
+/// Batched matrix product over raw slices (the slice-level twin of
+/// [`bmm_into`], sharing its batch-axis parallel dispatch and bit-identity
+/// guarantees). `a` holds `batch` `[m, k]` matrices (`[k, m]` when `ta`),
+/// `b` holds `batch` `[k, n]` matrices (`[n, k]` when `tb`), and `out`
+/// holds exactly `batch * m * n` elements (fully overwritten).
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_slices(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.len() != batch * m * k || b.len() != batch * k * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm_slices",
+            lhs: vec![batch, m, k, a.len()],
+            rhs: vec![batch, k, n, b.len()],
+        });
+    }
+    if out.len() != batch * m * n {
+        return Err(TensorError::BadShape {
+            op: "bmm_slices",
+            shape: vec![batch, m, n],
+            len: out.len(),
+        });
+    }
+    bmm_core(batch, m, k, n, a, ta, b, tb, out, false);
+    Ok(())
 }
 
 #[cfg(test)]
