@@ -1,0 +1,125 @@
+//! Cold-start comparison: train + record vs. one-file snapshot load.
+//!
+//! The paper serves from a pre-trained checkpoint; before snapshots this
+//! repo paid a full training run plus per-leaf-count plan recording on
+//! every CLI invocation. This bench quantifies what the snapshot path
+//! saves:
+//!
+//! * **train_ms** — fitting the CLI-scale cost model from scratch,
+//! * **plan_compile_ms** — recording + lowering all per-leaf-count plans,
+//! * **snapshot_save_ms / snapshot_load_ms** — serializing and restoring
+//!   (decode + weight checks + plan re-validation + cache seeding),
+//! * **cold_start_speedup** — (train + record) / load.
+//!
+//! Writes `BENCH_snapshot.json` at the workspace root (override with the
+//! `BENCH_SNAPSHOT_JSON` env var); wired into the CI bench-smoke job so
+//! the numbers stay fresh.
+
+use cdmpp_core::{pretrain, InferenceModel, Predictor, Snapshot, TrainConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{Dataset, GenConfig, SplitIndices};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall time (ms) of `f` over `n` runs.
+fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    if std::env::var_os("PARALLEL_THREADS").is_none() {
+        std::env::set_var("PARALLEL_THREADS", "1");
+    }
+    // The CLI's training workload, scaled by CDMPP_SCALE like the other
+    // benches (quick keeps CI smoke fast).
+    let (spt, epochs) = match bench::scale() {
+        bench::Scale::Full => (24, 12),
+        bench::Scale::Mid => (12, 6),
+        bench::Scale::Quick => (4, 2),
+    };
+    let dev = devsim::t4();
+    let ds = Dataset::generate(GenConfig {
+        batch: 1,
+        schedules_per_task: spt,
+        devices: vec![dev.clone()],
+        seed: 0,
+        noise_sigma: 0.03,
+    });
+    let split = SplitIndices::for_device(&ds, &dev.name, &[], 0);
+    let pcfg = cdmpp_core::PredictorConfig::default();
+    let tcfg = TrainConfig {
+        epochs,
+        lr: 1.5e-3,
+        ..Default::default()
+    };
+
+    // Train once (the "no checkpoint" cost, measured one-shot — this is
+    // exactly what every cold CLI invocation used to pay).
+    let t = Instant::now();
+    let (model, _) = pretrain(&ds, &split.train, &split.valid, pcfg.clone(), tcfg.clone());
+    let train_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Plan recording for every leaf count, on a fresh cache each run.
+    let plan_compile_ms = median_ms(5, || {
+        let fresh = Predictor::new(pcfg.clone());
+        for l in 1..=pcfg.max_leaves {
+            black_box(fresh.plan_for(l).unwrap());
+        }
+    });
+
+    let snap = Snapshot::capture_all(&model).unwrap();
+    let snapshot_save_ms = median_ms(9, || {
+        black_box(snap.to_bytes());
+    });
+    let bytes = snap.to_bytes();
+
+    let snapshot_load_ms = median_ms(9, || {
+        black_box(InferenceModel::from_snapshot_bytes(black_box(&bytes)).unwrap());
+    });
+
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(20);
+    g.bench_function("load_cold_start", |b| {
+        b.iter(|| black_box(InferenceModel::from_snapshot_bytes(black_box(&bytes)).unwrap()))
+    });
+    g.bench_function("decode_only", |b| {
+        b.iter(|| black_box(Snapshot::from_bytes(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+
+    let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(loaded.predictor.plan_compile_count(), 0);
+
+    let cold_no_snap = train_ms + plan_compile_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_cold_start\",\n  \
+         \"scale\": \"{:?}\",\n  \
+         \"note\": \"cold start to a serving model: train+record (what every CLI run used to pay) vs one-file snapshot load (decode + weight checks + plan re-validation + cache seeding; zero recording, counter-asserted).\",\n  \
+         \"snapshot_bytes\": {},\n  \"plans\": {},\n  \"weight_tensors\": {},\n  \
+         \"train_ms\": {train_ms:.1},\n  \"plan_compile_ms\": {plan_compile_ms:.2},\n  \
+         \"snapshot_save_ms\": {snapshot_save_ms:.2},\n  \"snapshot_load_ms\": {snapshot_load_ms:.2},\n  \
+         \"cold_start_speedup\": {:.0}\n}}\n",
+        bench::scale(),
+        bytes.len(),
+        snap.plans.len(),
+        snap.params.len(),
+        cold_no_snap / snapshot_load_ms.max(1e-9),
+    );
+    let path = std::env::var("BENCH_SNAPSHOT_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_snapshot.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

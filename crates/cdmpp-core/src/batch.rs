@@ -63,7 +63,7 @@ pub fn encode_records(ds: &Dataset, idx: &[usize], theta: f32, use_pe: bool) -> 
 /// Compact-AST entries mix one-hots with log-scale magnitudes (iteration
 /// counts up to e²⁰); standardizing each of the `N_ENTRY` columns over all
 /// training leaves keeps the Transformer's optimization well-conditioned.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FeatScaler {
     /// Per-column mean.
     pub mean: Vec<f32>,

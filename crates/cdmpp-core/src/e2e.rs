@@ -98,6 +98,24 @@ pub fn end_to_end(model: &TrainedModel, net: &Network, dev: &DeviceSpec, seed: u
     replay_predictions(net, dev, &task_ids, &programs, &predicted)
 }
 
+/// [`end_to_end`] for a frozen / snapshot-restored model: predictions run
+/// through the compiled-plan replay path and errors propagate instead of
+/// NaN-ing (a snapshot that cannot serve the network should be loud).
+pub fn end_to_end_frozen(
+    model: &crate::trainer::InferenceModel,
+    net: &Network,
+    dev: &DeviceSpec,
+    seed: u64,
+) -> crate::predictor::PredictResult<E2eResult> {
+    let (task_ids, programs) = sample_network_programs(net, seed);
+    let refs: Vec<&TensorProgram> = programs.iter().collect();
+    let enc = encode_programs(&refs, dev, model.predictor.config().theta, model.use_pe);
+    let predicted = model.predict_samples(&enc)?;
+    Ok(replay_predictions(
+        net, dev, &task_ids, &programs, &predicted,
+    ))
+}
+
 /// Replays per-task predictions (and the simulator ground truth of the
 /// same programs) through Algorithm 2 — the shared back half of
 /// [`end_to_end`] and the `runtime` crate's engine-served variant.

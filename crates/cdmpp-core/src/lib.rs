@@ -14,6 +14,8 @@
 //! * [`search`]: Ansor-lite schedule search driven by a cost model (§7.5).
 //! * [`autotune`]: hyper-parameter / architecture random search
 //!   (Appendix B).
+//! * [`snapshot`]: the versioned checkpoint format — trained weights plus
+//!   compiled inference plans in one file, for zero-recording cold starts.
 
 pub mod autotune;
 pub mod batch;
@@ -23,6 +25,7 @@ pub mod predictor;
 pub mod replayer;
 pub mod sampler;
 pub mod search;
+pub mod snapshot;
 pub mod trainer;
 
 pub use autotune::{autotune, AutoTuneResult, Trial};
@@ -31,14 +34,15 @@ pub use batch::{
     make_batches, Batch, EncodedSample,
 };
 pub use e2e::{
-    encode_programs, end_to_end, measured_end_to_end, replay_predictions, sample_network_programs,
-    E2eResult,
+    encode_programs, end_to_end, end_to_end_frozen, measured_end_to_end, replay_predictions,
+    sample_network_programs, E2eResult,
 };
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
 pub use predictor::{PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor};
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
+pub use snapshot::{ParamTensor, PlanEntry, Snapshot, SnapshotError};
 pub use trainer::{
     evaluate, pretrain, train_step, train_step_parallel, EvalMetrics, InferenceModel, LossKind,
     OptKind, TrainConfig, TrainStats, TrainedModel,

@@ -88,8 +88,9 @@ impl From<PlanError> for PredictError {
 pub type PredictResult<T> = std::result::Result<T, PredictError>;
 
 /// Architecture hyper-parameters (the auto-tuner's search space, Table 6
-/// scaled to CPU training).
-#[derive(Debug, Clone, PartialEq)]
+/// scaled to CPU training). Serializable: snapshots persist the config so
+/// a loaded model rebuilds the exact same architecture.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PredictorConfig {
     /// Transformer model width.
     pub d_model: usize,
@@ -270,15 +271,26 @@ const PLAN_OUT_LATENT: usize = 0;
 /// Index of the prediction output in a compiled predictor plan.
 const PLAN_OUT_PRED: usize = 1;
 
-/// Lazily compiled plans, one per supported leaf count (index `L - 1`).
+/// Lazily compiled plans, one per supported leaf count (index `L - 1`),
+/// plus a counter of recordings actually performed.
 ///
 /// Shared by [`Predictor`], every [`SharedPredictor`] derived from it, and
 /// every clone of either — a leaf count's plan is compiled at most once
-/// per model.
-type PlanCache = Arc<Vec<OnceLock<Arc<Plan>>>>;
+/// per model. Snapshot loading seeds the slots with deserialized plans, so
+/// a model restored from disk serves with **zero** recordings (the counter
+/// lets tests assert exactly that).
+struct PlanCacheInner {
+    slots: Vec<OnceLock<Arc<Plan>>>,
+    compiles: std::sync::atomic::AtomicUsize,
+}
+
+type PlanCache = Arc<PlanCacheInner>;
 
 fn new_plan_cache(max_leaves: usize) -> PlanCache {
-    Arc::new((0..max_leaves).map(|_| OnceLock::new()).collect())
+    Arc::new(PlanCacheInner {
+        slots: (0..max_leaves).map(|_| OnceLock::new()).collect(),
+        compiles: std::sync::atomic::AtomicUsize::new(0),
+    })
 }
 
 /// Looks up (compiling on first use) the plan for `leaves`.
@@ -289,18 +301,22 @@ fn plan_for(
     store: &ParamStore,
     leaves: usize,
 ) -> PredictResult<Arc<Plan>> {
-    let slot = leaves.checked_sub(1).and_then(|i| cache.get(i)).ok_or(
-        PredictError::LeafCountOutOfRange {
+    let slot = leaves
+        .checked_sub(1)
+        .and_then(|i| cache.slots.get(i))
+        .ok_or(PredictError::LeafCountOutOfRange {
             leaves,
             max_leaves: cfg.max_leaves,
-        },
-    )?;
+        })?;
     if let Some(plan) = slot.get() {
         return Ok(Arc::clone(plan));
     }
     // Competing threads may compile concurrently; the first wins and the
     // duplicates are dropped (compilation is pure, so either is correct).
     let plan = Arc::new(arch.compile_plan(cfg, store, leaves)?);
+    cache
+        .compiles
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     Ok(Arc::clone(slot.get_or_init(|| plan)))
 }
 
@@ -452,6 +468,40 @@ impl Predictor {
         plan_for(&self.plans, &self.arch, &self.cfg, &self.store, leaves)
     }
 
+    /// Number of plan recordings this model (and every handle sharing its
+    /// cache) has performed. Stays at zero for a model whose plans were all
+    /// seeded from a snapshot — the "loading performs no recording"
+    /// counter.
+    pub fn plan_compile_count(&self) -> usize {
+        self.plans
+            .compiles
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Seeds the plan cache for `leaves` with an already-built plan (the
+    /// snapshot-restore path). Returns `false` if the leaf count is out of
+    /// range or a plan is already cached for it.
+    pub(crate) fn seed_plan(&self, leaves: usize, plan: Arc<Plan>) -> bool {
+        match leaves.checked_sub(1).and_then(|i| self.plans.slots.get(i)) {
+            Some(slot) => slot.set(plan).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Consumes the predictor into a thread-shareable handle **without
+    /// copying the weights** (the gradient buffers are dropped in place).
+    /// Use this over [`Predictor::share`] when the training-side predictor
+    /// is no longer needed — e.g. after loading from a snapshot, where the
+    /// loaded weights move straight into the served `Arc`.
+    pub fn into_shared(self) -> SharedPredictor {
+        SharedPredictor {
+            params: Arc::new(self.store.into_values()),
+            arch: self.arch,
+            cfg: self.cfg,
+            plans: self.plans,
+        }
+    }
+
     /// Inference through a compiled plan replayed by `runner` (zero
     /// allocation per batch once warmed up). Bit-identical to
     /// [`Predictor::predict_batch`] and [`Predictor::predict_batch_taped`].
@@ -536,6 +586,26 @@ impl SharedPredictor {
     /// use, cached; shared across every handle to this model).
     pub fn plan_for(&self, leaves: usize) -> PredictResult<Arc<Plan>> {
         plan_for(&self.plans, &self.arch, &self.cfg, &self.params, leaves)
+    }
+
+    /// Number of plan recordings performed through this model's shared
+    /// cache (zero when every served plan came from a snapshot).
+    pub fn plan_compile_count(&self) -> usize {
+        self.plans
+            .compiles
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The plans currently compiled (or snapshot-seeded), as
+    /// `(leaf count, plan)` pairs in ascending leaf order — what a
+    /// snapshot captures from a frozen model.
+    pub fn compiled_plans(&self) -> Vec<(usize, Arc<Plan>)> {
+        self.plans
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.get().map(|p| (i + 1, Arc::clone(p))))
+            .collect()
     }
 
     /// Predictions (transformed space) through a compiled plan replayed by

@@ -1,0 +1,768 @@
+//! Model + plan snapshots: one file that cold-starts a serving model.
+//!
+//! The paper serves predictions from a pre-trained checkpoint; this module
+//! is that checkpoint format. A snapshot persists everything inference
+//! needs — architecture hyper-parameters, the fitted label transform and
+//! feature scaler, every named weight tensor, and (optionally) the
+//! compiled per-leaf-count inference plans — so a runner restores a warm
+//! [`InferenceModel`] with a single file load: **no training, no plan
+//! recording** (counter-asserted by [`SharedPredictor::plan_compile_count`]
+//! staying at zero).
+//!
+//! ## File layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CDMPSNAP"
+//! 8       4     format version, u32 little-endian
+//! 12      8     header length H, u64 little-endian
+//! 20      H     JSON header (UTF-8): config, use_pe, transform, scaler,
+//!               parameter names + shapes, serialized plans
+//! 20+H    4·Σ   weight blob: each parameter's f32 data, little-endian,
+//!               concatenated in header order
+//! ```
+//!
+//! Weights travel as raw little-endian f32 bits (not JSON), so a
+//! save → load round trip is bit-exact and `save(load(x))` reproduces
+//! `x`'s bytes. Plans are pure data (steps + symbolic shapes + slot
+//! table) and ride in the JSON header as [`nn::PlanDesc`]; on load each
+//! descriptor is re-validated by [`nn::Plan::from_desc`] — indices, slot
+//! capacities, per-step geometry, write-once ordering, and in-place
+//! aliasing discipline — so a hostile file can never alias the replay
+//! arena out of bounds or trigger a panic.
+//!
+//! ## Versioning policy
+//!
+//! The version is bumped whenever the header schema, the weight encoding,
+//! or the plan descriptor layout changes shape. Loaders accept exactly the
+//! versions they know ([`SNAPSHOT_VERSION`]); anything newer is a typed
+//! [`SnapshotError::UnsupportedVersion`], never a garbled model. A golden
+//! fixture committed under `tests/fixtures/` pins the format in CI so
+//! accidental drift breaks the build instead of silently orphaning old
+//! snapshot files.
+//!
+//! Every declared length is capped *before* any allocation happens
+//! (header bytes, parameter count, tensor ranks and dims, plan tables), so
+//! decoding a malicious file cannot balloon memory either.
+
+use std::sync::Arc;
+
+use learn::FittedTransform;
+use nn::{Plan, PlanDesc};
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::batch::FeatScaler;
+use crate::predictor::{PredictResult, Predictor, PredictorConfig};
+use crate::trainer::{InferenceModel, TrainedModel};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+
+/// Magic bytes at offset 0 of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CDMPSNAP";
+/// The (only) format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Byte cap on the JSON header.
+const MAX_HEADER_BYTES: usize = 1 << 26;
+/// Cap on the number of parameters.
+const MAX_PARAMS: usize = 1 << 16;
+/// Cap on a tensor rank.
+const MAX_RANK: usize = 8;
+/// Cap on one tensor dimension.
+const MAX_TENSOR_DIM: usize = 1 << 24;
+/// Cap on one tensor's element count.
+const MAX_TENSOR_NUMEL: usize = 1 << 26;
+/// Cap on the total element count across all parameters.
+const MAX_TOTAL_NUMEL: usize = 1 << 28;
+/// Cap on the number of serialized plans.
+const MAX_PLANS: usize = 1 << 10;
+/// Caps on architecture hyper-parameters a snapshot may declare, so a
+/// hostile config cannot make [`Predictor::new`] allocate absurd weights
+/// before the parameter tables are even compared.
+const MAX_CFG_WIDTH: usize = 1 << 14;
+const MAX_CFG_LAYERS: usize = 256;
+const MAX_CFG_LEAVES: usize = 1 << 10;
+
+/// Typed failure reading, validating, or restoring a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// Filesystem failure (path carried in the message).
+    Io(String),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Latest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before a declared section does.
+    Truncated {
+        /// Which section was being read.
+        what: &'static str,
+        /// Bytes the section needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Bytes remain after the last declared section.
+    TrailingBytes {
+        /// How many extra bytes.
+        extra: usize,
+    },
+    /// A declared length or constant exceeds its decode cap (checked
+    /// before allocating).
+    Limit {
+        /// What was being counted.
+        what: &'static str,
+        /// The declared value.
+        value: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// The JSON header failed to parse or violates the schema.
+    Header(String),
+    /// A weight tensor is inconsistent with its declaration or with the
+    /// architecture being restored.
+    Param {
+        /// The parameter's name.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A weight value is NaN or infinite.
+    NonFinite {
+        /// The parameter's name.
+        name: String,
+        /// Index of the offending element.
+        index: usize,
+    },
+    /// A serialized plan failed re-validation.
+    Plan {
+        /// The plan's leaf count.
+        leaves: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The snapshot as a whole cannot restore a model (bad config, plan
+    /// compilation failure while capturing, ...).
+    Model(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(m) => write!(f, "snapshot I/O failed: {m}"),
+            SnapshotError::BadMagic => write!(f, "not a cdmpp snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than the supported {supported}"
+            ),
+            SnapshotError::Truncated { what, needed, have } => {
+                write!(
+                    f,
+                    "snapshot truncated in {what}: need {needed} bytes, have {have}"
+                )
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the weight section")
+            }
+            SnapshotError::Limit { what, value, max } => {
+                write!(f, "declared {what} {value} exceeds the cap {max}")
+            }
+            SnapshotError::Header(m) => write!(f, "snapshot header invalid: {m}"),
+            SnapshotError::Param { name, reason } => {
+                write!(f, "parameter '{name}': {reason}")
+            }
+            SnapshotError::NonFinite { name, index } => {
+                write!(
+                    f,
+                    "parameter '{name}' has a non-finite weight at index {index}"
+                )
+            }
+            SnapshotError::Plan { leaves, reason } => {
+                write!(f, "serialized plan for leaf count {leaves}: {reason}")
+            }
+            SnapshotError::Model(m) => write!(f, "snapshot cannot restore a model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One parameter's declaration in the JSON header (its data lives in the
+/// binary weight section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ParamMeta {
+    name: String,
+    shape: Vec<usize>,
+}
+
+/// One serialized plan with the leaf count it serves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEntry {
+    /// The leaf count this plan's embedding layer serves.
+    pub leaves: usize,
+    /// The validated-on-load plan descriptor.
+    pub plan: PlanDesc,
+}
+
+/// The JSON header (everything but the weight data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    config: PredictorConfig,
+    use_pe: bool,
+    transform: FittedTransform,
+    scaler: FeatScaler,
+    params: Vec<ParamMeta>,
+    plans: Vec<PlanEntry>,
+}
+
+/// One named weight tensor of a decoded snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamTensor {
+    /// The parameter's name (must match the rebuilt architecture's).
+    pub name: String,
+    /// The tensor's shape.
+    pub shape: Vec<usize>,
+    /// Row-major f32 data, `shape.iter().product()` elements.
+    pub data: Vec<f32>,
+}
+
+/// A decoded (or about-to-be-written) snapshot: the paper's "pre-trained
+/// checkpoint" as plain data.
+///
+/// Produced by [`Snapshot::capture`] / [`Snapshot::from_inference`] on the
+/// save side and [`Snapshot::from_bytes`] on the load side; consumed by
+/// [`InferenceModel::from_snapshot`]. Serialization is canonical: the same
+/// snapshot always produces the same bytes, and `from_bytes` requires
+/// plans in strictly ascending leaf order, so
+/// `Snapshot::from_inference(&load(x)).to_bytes() == x`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Architecture hyper-parameters.
+    pub config: PredictorConfig,
+    /// Whether positional encoding was used at training time.
+    pub use_pe: bool,
+    /// The fitted label transform.
+    pub transform: FittedTransform,
+    /// The fitted input-feature standardizer.
+    pub scaler: FeatScaler,
+    /// Named weight tensors, in parameter-store order.
+    pub params: Vec<ParamTensor>,
+    /// Serialized inference plans, ascending by leaf count. May be empty
+    /// (weights-only snapshot): missing plans are recorded lazily on first
+    /// use after load, exactly like a freshly trained model.
+    pub plans: Vec<PlanEntry>,
+}
+
+impl Snapshot {
+    /// Captures a trained model plus compiled plans for the given leaf
+    /// counts (compiling any that are not cached yet, so the snapshot ships
+    /// pre-fused plans to runners that never see the recorder).
+    pub fn capture(model: &TrainedModel, plan_leaves: &[usize]) -> PredictResult<Snapshot> {
+        let p = &model.predictor;
+        let mut plans = Vec::with_capacity(plan_leaves.len());
+        let mut leaves: Vec<usize> = plan_leaves.to_vec();
+        leaves.sort_unstable();
+        leaves.dedup();
+        for l in leaves {
+            plans.push(PlanEntry {
+                leaves: l,
+                plan: p.plan_for(l)?.to_desc(),
+            });
+        }
+        Ok(Snapshot {
+            config: p.config().clone(),
+            use_pe: model.use_pe,
+            transform: model.transform.clone(),
+            scaler: model.scaler.clone(),
+            params: store_params(&p.store),
+            plans,
+        })
+    }
+
+    /// [`Snapshot::capture`] with plans for **every** supported leaf count
+    /// — the full "one-file cold start" checkpoint.
+    pub fn capture_all(model: &TrainedModel) -> PredictResult<Snapshot> {
+        let all: Vec<usize> = (1..=model.predictor.config().max_leaves).collect();
+        Snapshot::capture(model, &all)
+    }
+
+    /// Captures a frozen model, including whichever plans its shared cache
+    /// holds (for a snapshot-loaded model: exactly the plans of the file
+    /// it came from).
+    pub fn from_inference(model: &InferenceModel) -> Snapshot {
+        Snapshot {
+            config: model.predictor.config().clone(),
+            use_pe: model.use_pe,
+            transform: model.transform.clone(),
+            scaler: model.scaler.clone(),
+            params: store_params(model.predictor.params()),
+            plans: model
+                .predictor
+                .compiled_plans()
+                .into_iter()
+                .map(|(leaves, plan)| PlanEntry {
+                    leaves,
+                    plan: plan.to_desc(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the versioned byte format (deterministic: equal
+    /// snapshots produce equal bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let header = Header {
+            config: self.config.clone(),
+            use_pe: self.use_pe,
+            transform: self.transform.clone(),
+            scaler: self.scaler.clone(),
+            params: self
+                .params
+                .iter()
+                .map(|p| ParamMeta {
+                    name: p.name.clone(),
+                    shape: p.shape.clone(),
+                })
+                .collect(),
+            plans: self.plans.clone(),
+        };
+        let json = serde_json::to_string(&header).expect("header serialization is infallible");
+        let weight_bytes: usize = self.params.iter().map(|p| p.data.len() * 4).sum();
+        let mut out = Vec::with_capacity(20 + json.len() + weight_bytes);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+        for p in &self.params {
+            for v in &p.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes the byte format, validating structure and every declared
+    /// length **before** allocating for it. Plan descriptors are carried
+    /// through as data here; they are validated against the rebuilt
+    /// architecture by [`InferenceModel::from_snapshot`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let need = |what, needed, have| {
+            if needed > have {
+                Err(SnapshotError::Truncated { what, needed, have })
+            } else {
+                Ok(())
+            }
+        };
+        need("fixed prelude", 20, bytes.len())?;
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let header_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        if header_len > MAX_HEADER_BYTES as u64 {
+            return Err(SnapshotError::Limit {
+                what: "header length",
+                value: header_len.min(usize::MAX as u64) as usize,
+                max: MAX_HEADER_BYTES,
+            });
+        }
+        let header_len = header_len as usize;
+        need("header", 20 + header_len, bytes.len())?;
+        let json = std::str::from_utf8(&bytes[20..20 + header_len])
+            .map_err(|e| SnapshotError::Header(format!("header is not UTF-8: {e}")))?;
+        let header: Header =
+            serde_json::from_str(json).map_err(|e| SnapshotError::Header(e.to_string()))?;
+
+        // Parameter declarations: cap everything before touching the blob.
+        if header.params.len() > MAX_PARAMS {
+            return Err(SnapshotError::Limit {
+                what: "parameter count",
+                value: header.params.len(),
+                max: MAX_PARAMS,
+            });
+        }
+        let mut total_numel = 0usize;
+        for p in &header.params {
+            if p.shape.len() > MAX_RANK {
+                return Err(SnapshotError::Limit {
+                    what: "tensor rank",
+                    value: p.shape.len(),
+                    max: MAX_RANK,
+                });
+            }
+            let mut numel = 1usize;
+            for &d in &p.shape {
+                if d == 0 || d > MAX_TENSOR_DIM {
+                    return Err(SnapshotError::Limit {
+                        what: "tensor dim",
+                        value: d,
+                        max: MAX_TENSOR_DIM,
+                    });
+                }
+                numel = numel.saturating_mul(d);
+            }
+            if numel > MAX_TENSOR_NUMEL {
+                return Err(SnapshotError::Limit {
+                    what: "tensor elements",
+                    value: numel,
+                    max: MAX_TENSOR_NUMEL,
+                });
+            }
+            total_numel += numel;
+        }
+        if total_numel > MAX_TOTAL_NUMEL {
+            return Err(SnapshotError::Limit {
+                what: "total weight elements",
+                value: total_numel,
+                max: MAX_TOTAL_NUMEL,
+            });
+        }
+        if header.plans.len() > MAX_PLANS {
+            return Err(SnapshotError::Limit {
+                what: "plan count",
+                value: header.plans.len(),
+                max: MAX_PLANS,
+            });
+        }
+        if header.plans.windows(2).any(|w| w[0].leaves >= w[1].leaves) {
+            return Err(SnapshotError::Header(
+                "plans must be in strictly ascending leaf order".into(),
+            ));
+        }
+
+        // The weight blob must match the declarations exactly.
+        let blob = &bytes[20 + header_len..];
+        let needed = total_numel * 4;
+        need("weight data", needed, blob.len())?;
+        if blob.len() > needed {
+            return Err(SnapshotError::TrailingBytes {
+                extra: blob.len() - needed,
+            });
+        }
+        let mut params = Vec::with_capacity(header.params.len());
+        let mut at = 0usize;
+        for meta in header.params {
+            let numel: usize = meta.shape.iter().product();
+            let mut data = Vec::with_capacity(numel);
+            for i in 0..numel {
+                let off = at + i * 4;
+                let v = f32::from_le_bytes(blob[off..off + 4].try_into().expect("4 bytes"));
+                if !v.is_finite() {
+                    return Err(SnapshotError::NonFinite {
+                        name: meta.name,
+                        index: i,
+                    });
+                }
+                data.push(v);
+            }
+            at += numel * 4;
+            params.push(ParamTensor {
+                name: meta.name,
+                shape: meta.shape,
+                data,
+            });
+        }
+        Ok(Snapshot {
+            config: header.config,
+            use_pe: header.use_pe,
+            transform: header.transform,
+            scaler: header.scaler,
+            params,
+            plans: header.plans,
+        })
+    }
+
+    /// Writes the snapshot to a file, atomically: the bytes go to a
+    /// temporary sibling first and are renamed over the destination, so a
+    /// crash or full disk mid-write can never destroy an existing good
+    /// checkpoint or leave a truncated file at the path.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let io_err =
+            |e: std::io::Error| SnapshotError::Io(format!("writing {}: {e}", path.display()));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(e)
+        })
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Snapshot, SnapshotError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| SnapshotError::Io(format!("reading {}: {e}", path.display())))?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+fn store_params(store: &nn::ParamStore) -> Vec<ParamTensor> {
+    store
+        .ids()
+        .map(|id| ParamTensor {
+            name: store.name(id).to_string(),
+            shape: store.value(id).shape().to_vec(),
+            data: store.value(id).data().to_vec(),
+        })
+        .collect()
+}
+
+/// Sanity caps on a deserialized config so `Predictor::new` cannot be made
+/// to allocate attacker-sized weight tensors.
+fn validate_config(cfg: &PredictorConfig) -> Result<(), SnapshotError> {
+    let widths = [
+        ("d_model", cfg.d_model),
+        ("d_ff", cfg.d_ff),
+        ("d_emb", cfg.d_emb),
+        ("d_dev", cfg.d_dev),
+        ("dec_hidden", cfg.dec_hidden),
+        ("heads", cfg.heads),
+    ];
+    for (name, v) in widths {
+        if v == 0 || v > MAX_CFG_WIDTH {
+            return Err(SnapshotError::Model(format!(
+                "config {name} = {v} outside 1..={MAX_CFG_WIDTH}"
+            )));
+        }
+    }
+    for (name, v) in [("n_layers", cfg.n_layers), ("dec_layers", cfg.dec_layers)] {
+        if v == 0 || v > MAX_CFG_LAYERS {
+            return Err(SnapshotError::Model(format!(
+                "config {name} = {v} outside 1..={MAX_CFG_LAYERS}"
+            )));
+        }
+    }
+    if cfg.max_leaves == 0 || cfg.max_leaves > MAX_CFG_LEAVES {
+        return Err(SnapshotError::Model(format!(
+            "config max_leaves = {} outside 1..={MAX_CFG_LEAVES}",
+            cfg.max_leaves
+        )));
+    }
+    // The attention layers assert this; a hostile config must become a
+    // typed error here, not a panic inside `Predictor::new`.
+    if !cfg.d_model.is_multiple_of(cfg.heads) {
+        return Err(SnapshotError::Model(format!(
+            "config d_model = {} is not divisible by heads = {}",
+            cfg.d_model, cfg.heads
+        )));
+    }
+    if !cfg.theta.is_finite() {
+        return Err(SnapshotError::Model("config theta is not finite".into()));
+    }
+    // Per-field caps still compose into terabyte-scale architectures
+    // (d_model and n_layers maxed together); bound the *total* scalar
+    // count the config implies before `Predictor::new` allocates it. The
+    // estimate overshoots slightly, which is fine: any architecture it
+    // rejects could never match a weight section that fits
+    // `MAX_TOTAL_NUMEL` anyway.
+    let scalars = approx_arch_scalars(cfg);
+    if scalars > MAX_TOTAL_NUMEL {
+        return Err(SnapshotError::Limit {
+            what: "config-implied weight elements",
+            value: scalars,
+            max: MAX_TOTAL_NUMEL,
+        });
+    }
+    Ok(())
+}
+
+/// Upper bound on the scalar parameter count the architecture in `cfg`
+/// would allocate (saturating, so hostile configs cannot overflow it).
+fn approx_arch_scalars(cfg: &PredictorConfig) -> usize {
+    let m = usize::saturating_mul;
+    let (d, ff) = (cfg.d_model, cfg.d_ff);
+    // Attention (4 d² + 4d) + feed-forward (2 d·ff + ff + d) + layer
+    // norms (4d), rounded up.
+    let enc_layer = m(4, m(d, d)) + m(2, m(d, ff)) + m(16, d) + m(2, ff);
+    let leaf_embed = m(m(cfg.max_leaves, cfg.max_leaves + 1), m(d, cfg.d_emb + 1));
+    let dev_mlp = m(N_DEVICE_FEATURES + cfg.d_dev + 4, m(2, cfg.d_dev));
+    let dec_in = cfg.d_emb + cfg.d_dev + cfg.dec_hidden;
+    let decoder = m(cfg.dec_layers + 1, m(dec_in, cfg.dec_hidden + 1));
+    m(N_ENTRY + 2, d)
+        .saturating_add(m(cfg.n_layers, enc_layer))
+        .saturating_add(leaf_embed)
+        .saturating_add(dev_mlp)
+        .saturating_add(decoder)
+}
+
+impl TrainedModel {
+    /// Saves this model as a snapshot with pre-compiled plans for every
+    /// supported leaf count — the paper's checkpoint workflow. Loading it
+    /// back ([`InferenceModel::from_snapshot_file`]) restores a serving
+    /// model with zero training and zero plan recording.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        Snapshot::capture_all(self)
+            .map_err(|e| SnapshotError::Model(format!("capturing plans failed: {e}")))?
+            .save(path)
+    }
+}
+
+impl InferenceModel {
+    /// Restores a serving model from a decoded snapshot.
+    ///
+    /// Rebuilds the architecture from the snapshot's config, checks every
+    /// declared weight tensor against it (name, shape, element count,
+    /// finiteness — the snapshot may be hand-built rather than decoded, so
+    /// weights are re-checked here; mismatches are typed
+    /// [`SnapshotError::Param`]s), copies each tensor into the store
+    /// exactly once, and hands the store to the served `Arc` by move
+    /// ([`Predictor::into_shared`] — no `freeze()`-style second weight
+    /// copy). It also seeds the shared plan cache from the file's
+    /// validated plan descriptors; leaf counts without a serialized plan
+    /// fall back to lazy recording on first use, exactly like a freshly
+    /// trained model.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<InferenceModel, SnapshotError> {
+        validate_config(&snap.config)?;
+        snap.transform
+            .validate()
+            .map_err(|e| SnapshotError::Header(format!("label transform: {e}")))?;
+        if snap.scaler.mean.len() != N_ENTRY || snap.scaler.std.len() != N_ENTRY {
+            return Err(SnapshotError::Header(format!(
+                "feature scaler has {} / {} columns, expected {N_ENTRY}",
+                snap.scaler.mean.len(),
+                snap.scaler.std.len()
+            )));
+        }
+        let has_bad = |v: &[f32]| v.iter().any(|x| !x.is_finite());
+        if has_bad(&snap.scaler.mean) || has_bad(&snap.scaler.std) {
+            return Err(SnapshotError::Header(
+                "feature scaler has non-finite statistics".into(),
+            ));
+        }
+        // `FeatScaler::fit` floors std at 1e-6, so a zero or negative
+        // column can only come from a corrupt file — and would divide
+        // every feature into NaN/inf.
+        if snap.scaler.std.iter().any(|&s| s <= 0.0) {
+            return Err(SnapshotError::Header(
+                "feature scaler has a non-positive std column".into(),
+            ));
+        }
+
+        // Rebuild the architecture, then overwrite its (seed-initialized)
+        // weights with the snapshot's tensors.
+        let mut predictor = Predictor::new(snap.config.clone());
+        if predictor.store.len() != snap.params.len() {
+            return Err(SnapshotError::Model(format!(
+                "architecture has {} parameters, snapshot declares {}",
+                predictor.store.len(),
+                snap.params.len()
+            )));
+        }
+        let ids: Vec<nn::ParamId> = predictor.store.ids().collect();
+        for (id, pt) in ids.into_iter().zip(&snap.params) {
+            let mismatch = |reason: String| SnapshotError::Param {
+                name: pt.name.clone(),
+                reason,
+            };
+            let expect = predictor.store.value(id);
+            if predictor.store.name(id) != pt.name {
+                return Err(mismatch(format!(
+                    "expected parameter '{}' at this position",
+                    predictor.store.name(id)
+                )));
+            }
+            if expect.shape() != pt.shape.as_slice() {
+                return Err(mismatch(format!(
+                    "shape {:?} does not match the architecture's {:?}",
+                    pt.shape,
+                    expect.shape()
+                )));
+            }
+            if let Some(i) = pt.data.iter().position(|v| !v.is_finite()) {
+                return Err(SnapshotError::NonFinite {
+                    name: pt.name.clone(),
+                    index: i,
+                });
+            }
+            let tensor = Tensor::from_vec(pt.data.clone(), &pt.shape)
+                .map_err(|e| mismatch(format!("data length does not match shape: {e}")))?;
+            *predictor.store.value_mut(id) = tensor;
+        }
+
+        // Seed the plan cache from the file's descriptors: each one is
+        // re-validated against the freshly rebuilt parameter store, then
+        // checked to actually be a plan *of this model* (ports + shapes).
+        let latent = snap.config.d_emb + snap.config.d_dev;
+        for entry in &snap.plans {
+            let plan_err = |reason: String| SnapshotError::Plan {
+                leaves: entry.leaves,
+                reason,
+            };
+            if entry.leaves == 0 || entry.leaves > snap.config.max_leaves {
+                return Err(plan_err(format!(
+                    "leaf count outside the model's 1..={}",
+                    snap.config.max_leaves
+                )));
+            }
+            let plan = Plan::from_desc(&entry.plan, &predictor.store)
+                .map_err(|e| plan_err(e.to_string()))?;
+            if plan.num_inputs() != 2 || plan.num_outputs() != 2 {
+                return Err(plan_err(format!(
+                    "expected 2 inputs / 2 outputs, found {} / {}",
+                    plan.num_inputs(),
+                    plan.num_outputs()
+                )));
+            }
+            for b in [1usize, 3] {
+                let checks = [
+                    (
+                        "input x",
+                        plan.input_shape(0, b),
+                        vec![b, entry.leaves, N_ENTRY],
+                    ),
+                    (
+                        "input dev",
+                        plan.input_shape(1, b),
+                        vec![b, N_DEVICE_FEATURES],
+                    ),
+                    ("latent output", plan.output_shape(0, b), vec![b, latent]),
+                    ("prediction output", plan.output_shape(1, b), vec![b, 1]),
+                ];
+                for (what, got, want) in checks {
+                    if got != want {
+                        return Err(plan_err(format!(
+                            "{what} has shape {got:?} at B={b}, this model needs {want:?}"
+                        )));
+                    }
+                }
+            }
+            if !predictor.seed_plan(entry.leaves, Arc::new(plan)) {
+                return Err(plan_err("duplicate plan for this leaf count".into()));
+            }
+        }
+
+        Ok(InferenceModel {
+            predictor: predictor.into_shared(),
+            transform: snap.transform.clone(),
+            scaler: snap.scaler.clone(),
+            use_pe: snap.use_pe,
+        })
+    }
+
+    /// Decodes snapshot bytes and restores a serving model (the one-call
+    /// cold-start path for in-memory bytes).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<InferenceModel, SnapshotError> {
+        InferenceModel::from_snapshot(&Snapshot::from_bytes(bytes)?)
+    }
+
+    /// Loads a snapshot file and restores a serving model (the one-call
+    /// cold-start path).
+    pub fn from_snapshot_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<InferenceModel, SnapshotError> {
+        InferenceModel::from_snapshot(&Snapshot::load(path)?)
+    }
+}

@@ -558,6 +558,19 @@ impl TrainedModel {
             use_pe: self.use_pe,
         }
     }
+
+    /// [`TrainedModel::freeze`] by move: the weights are transferred into
+    /// the served `Arc` without the copy `freeze` pays (only the gradient
+    /// buffers are dropped). Use when the training-side model is done —
+    /// the CLI's train-then-serve flow and snapshot loading both do.
+    pub fn into_frozen(self) -> InferenceModel {
+        InferenceModel {
+            predictor: self.predictor.into_shared(),
+            transform: self.transform,
+            scaler: self.scaler,
+            use_pe: self.use_pe,
+        }
+    }
 }
 
 /// A frozen, thread-shareable trained model: the serving counterpart of

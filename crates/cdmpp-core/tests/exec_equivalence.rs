@@ -1,13 +1,15 @@
-//! Property tests: all three executors — the taped (autodiff) forward, the
-//! forward-only `InferCtx`, and the compiled-plan `PlanExec` path — must be
-//! **bit-identical**, for every leaf count the predictor supports, across
-//! head counts and PE settings, for both predictions and latents, and for
-//! arbitrary inputs. The plan path must additionally allocate nothing per
-//! batch once warmed up.
+//! Property tests: all four executors — the taped (autodiff) forward, the
+//! forward-only `InferCtx`, the compiled-plan `PlanExec` path, and a plan
+//! **deserialized from snapshot bytes** — must be **bit-identical**, for
+//! every leaf count the predictor supports, across head counts and PE
+//! settings, for both predictions and latents, and for arbitrary inputs.
+//! The plan path must additionally allocate nothing per batch once warmed
+//! up.
 
 use cdmpp_core::batch::FeatScaler;
 use cdmpp_core::{
-    encode_programs, PlanRunner, Predictor, PredictorConfig, TrainConfig, TrainedModel,
+    encode_programs, InferenceModel, PlanRunner, Predictor, PredictorConfig, Snapshot, TrainConfig,
+    TrainedModel,
 };
 use features::{N_DEVICE_FEATURES, N_ENTRY};
 use learn::TransformKind;
@@ -84,9 +86,29 @@ proptest! {
         let mut runner = PlanRunner::new();
         let planned = p.predict_planned(&mut runner, &x, &dev).unwrap();
         let fast = p.predict_batch(x.clone(), dev.clone()).unwrap();
-        let taped = p.predict_batch_taped(x, dev).unwrap();
+        let taped = p.predict_batch_taped(x.clone(), dev.clone()).unwrap();
         prop_assert_eq!(&planned, &fast, "plan vs InferCtx");
         prop_assert_eq!(&fast, &taped, "InferCtx vs tape");
+
+        // Fourth executor column: the same plan serialized into snapshot
+        // bytes, deserialized, re-validated, and replayed by a model that
+        // never saw the recorder.
+        let model = TrainedModel {
+            predictor: p,
+            transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+            scaler: FeatScaler::identity(),
+            use_pe: true,
+            train_config: TrainConfig::default(),
+        };
+        let bytes = Snapshot::capture(&model, &[l]).unwrap().to_bytes();
+        let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+        let mut cold_runner = PlanRunner::new();
+        let from_file = loaded
+            .predictor
+            .predict_planned(&mut cold_runner, &x, &dev)
+            .unwrap();
+        prop_assert_eq!(&from_file, &planned, "snapshot-loaded plan vs live plan");
+        prop_assert_eq!(loaded.predictor.plan_compile_count(), 0, "load must not record");
     }
 
     #[test]

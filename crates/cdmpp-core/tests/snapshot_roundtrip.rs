@@ -1,0 +1,344 @@
+//! Snapshot round-trip and adversarial-decode properties.
+//!
+//! * save → load → `predict_planned` must be **bit-identical** to the
+//!   in-memory model, across leaf counts, head counts, PE on/off, batch
+//!   sizes, and label-transform kinds — and loading must perform **zero**
+//!   plan recordings when the file carries plans.
+//! * `save(load(x))` must reproduce `x`'s bytes exactly (the format is
+//!   canonical).
+//! * Malformed files — truncations, flipped magic, future versions,
+//!   out-of-range plan indices, NaN or length-mismatched weight sections,
+//!   attacker-sized declared lengths — must come back as typed
+//!   [`SnapshotError`]s: never a panic, never an unbounded allocation.
+
+use cdmpp_core::batch::{EncodedSample, FeatScaler};
+use cdmpp_core::{
+    InferenceModel, Predictor, PredictorConfig, Snapshot, SnapshotError, TrainConfig, TrainedModel,
+};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use learn::TransformKind;
+use proptest::prelude::*;
+
+fn tiny_config(heads: usize, seed: u64) -> PredictorConfig {
+    PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        heads,
+        d_ff: 32,
+        d_emb: 12,
+        d_dev: 8,
+        dec_hidden: 16,
+        dec_layers: 1,
+        max_leaves: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn model_with(cfg: PredictorConfig, use_pe: bool, transform: TransformKind) -> TrainedModel {
+    TrainedModel {
+        predictor: Predictor::new(cfg),
+        transform: transform.fit(&[0.4e-3, 1.1e-3, 2.5e-3, 7.0e-3, 1.9e-2]),
+        scaler: FeatScaler::identity(),
+        use_pe,
+        train_config: TrainConfig::default(),
+    }
+}
+
+fn sample(leaves: usize, seed: usize) -> EncodedSample {
+    EncodedSample {
+        record_idx: seed,
+        leaf_count: leaves,
+        x: (0..leaves * N_ENTRY)
+            .map(|i| ((i + 7 * seed) as f32 * 0.173).sin())
+            .collect(),
+        dev: [0.3; N_DEVICE_FEATURES],
+        y_raw: 1e-3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn save_load_predict_is_bit_identical_and_records_nothing(
+        head_idx in 0usize..3,
+        pe_idx in 0usize..2,
+        kind_idx in 0usize..4,
+        seed in 0u64..1_000,
+        n_samples in 4usize..16,
+    ) {
+        let kind = [
+            TransformKind::BoxCox,
+            TransformKind::YeoJohnson,
+            TransformKind::Quantile,
+            TransformKind::None,
+        ][kind_idx];
+        let use_pe = pe_idx == 1;
+        let model = model_with(tiny_config([1, 2, 4][head_idx], seed), use_pe, kind);
+        let bytes = Snapshot::capture_all(&model).unwrap().to_bytes();
+
+        // Mixed leaf counts and batch sizes through both paths.
+        let enc: Vec<EncodedSample> = (0..n_samples)
+            .map(|i| sample(1 + (i + seed as usize) % 4, i))
+            .collect();
+        let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+        let from_file = loaded.predict_samples(&enc).unwrap();
+        let in_memory = model.freeze().predict_samples(&enc).unwrap();
+        prop_assert_eq!(&from_file, &in_memory, "loaded plans must replay bit-identically");
+        prop_assert!(from_file.iter().all(|v| v.is_finite()));
+
+        // The file carried every plan, so serving recorded nothing.
+        prop_assert_eq!(loaded.predictor.plan_compile_count(), 0);
+
+        // Canonical bytes: re-capturing the loaded model reproduces the
+        // file exactly (save(load(x)) == x).
+        let again = Snapshot::from_inference(&loaded).to_bytes();
+        prop_assert_eq!(again, bytes);
+    }
+}
+
+fn valid_bytes() -> Vec<u8> {
+    let model = model_with(tiny_config(2, 9), true, TransformKind::BoxCox);
+    Snapshot::capture_all(&model).unwrap().to_bytes()
+}
+
+#[test]
+fn weights_only_snapshot_compiles_plans_lazily() {
+    let model = model_with(tiny_config(2, 3), true, TransformKind::None);
+    let snap = Snapshot::capture(&model, &[]).unwrap();
+    assert!(snap.plans.is_empty());
+    let loaded = InferenceModel::from_snapshot_bytes(&snap.to_bytes()).unwrap();
+    let enc = vec![sample(3, 0), sample(1, 1)];
+    let got = loaded.predict_samples(&enc).unwrap();
+    assert_eq!(got, model.freeze().predict_samples(&enc).unwrap());
+    // No plans in the file: the two leaf counts served were recorded live.
+    assert_eq!(loaded.predictor.plan_compile_count(), 2);
+}
+
+#[test]
+fn partial_plan_sets_round_trip() {
+    let model = model_with(tiny_config(2, 4), false, TransformKind::None);
+    let snap = Snapshot::capture(&model, &[2, 4]).unwrap();
+    assert_eq!(
+        snap.plans.iter().map(|p| p.leaves).collect::<Vec<_>>(),
+        vec![2, 4]
+    );
+    let loaded = InferenceModel::from_snapshot_bytes(&snap.to_bytes()).unwrap();
+    let enc: Vec<EncodedSample> = (0..8).map(|i| sample(1 + i % 4, i)).collect();
+    assert_eq!(
+        loaded.predict_samples(&enc).unwrap(),
+        model.freeze().predict_samples(&enc).unwrap()
+    );
+    // Leaf counts 1 and 3 had no serialized plan and were recorded live.
+    assert_eq!(loaded.predictor.plan_compile_count(), 2);
+}
+
+#[test]
+fn truncated_files_are_typed_errors_never_panics() {
+    let bytes = valid_bytes();
+    // Every prefix of the prelude + header region, then a sweep through
+    // the weight section (strided to keep the test fast).
+    let mut cuts: Vec<usize> = (0..64.min(bytes.len())).collect();
+    cuts.extend((64..bytes.len()).step_by(997));
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::Header(_)
+            ),
+            "cut at {cut}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_magic_is_rejected() {
+    let mut bytes = valid_bytes();
+    bytes[0] ^= 0xFF;
+    assert_eq!(
+        Snapshot::from_bytes(&bytes).unwrap_err(),
+        SnapshotError::BadMagic
+    );
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let mut bytes = valid_bytes();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(
+        Snapshot::from_bytes(&bytes).unwrap_err(),
+        SnapshotError::UnsupportedVersion {
+            found: 99,
+            supported: cdmpp_core::snapshot::SNAPSHOT_VERSION
+        }
+    );
+}
+
+#[test]
+fn attacker_sized_header_is_capped_before_allocation() {
+    let mut bytes = valid_bytes();
+    bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes).unwrap_err(),
+        SnapshotError::Limit {
+            what: "header length",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn attacker_sized_weight_declaration_is_capped_before_allocation() {
+    let model = model_with(tiny_config(2, 5), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // Declare a tensor far beyond the cap; its data is deliberately tiny,
+    // so if decoding believed the shape it would try to allocate ~4 TiB.
+    snap.params[0].shape = vec![1 << 20, 1 << 20];
+    let err = Snapshot::from_bytes(&snap.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::Limit { .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn nan_weight_section_is_a_typed_error() {
+    let model = model_with(tiny_config(2, 6), true, TransformKind::None);
+    let snap = Snapshot::capture(&model, &[]).unwrap();
+    let mut bytes = snap.to_bytes();
+    // Overwrite the first weight with a NaN bit pattern. The weight blob
+    // starts right after the JSON header.
+    let header_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let at = 20 + header_len;
+    bytes[at..at + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+    let err = Snapshot::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::NonFinite { index: 0, .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn length_mismatched_weight_sections_are_typed_errors() {
+    let bytes = valid_bytes();
+    // Too short: handled by the truncation test; too long:
+    let mut longer = bytes.clone();
+    longer.extend_from_slice(&[0u8; 3]);
+    assert_eq!(
+        Snapshot::from_bytes(&longer).unwrap_err(),
+        SnapshotError::TrailingBytes { extra: 3 }
+    );
+}
+
+#[test]
+fn out_of_range_plan_slot_is_a_typed_error() {
+    let model = model_with(tiny_config(2, 7), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[2]).unwrap();
+    snap.plans[0].plan.bufs[0].slot = 10_000;
+    let err = InferenceModel::from_snapshot_bytes(&snap.to_bytes())
+        .err()
+        .unwrap();
+    assert!(
+        matches!(err, SnapshotError::Plan { leaves: 2, .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn plan_for_wrong_model_shape_is_rejected() {
+    // A structurally valid plan recorded for leaf count 2 smuggled into
+    // the leaf-3 slot: the input-shape check must catch it.
+    let model = model_with(tiny_config(2, 8), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[2]).unwrap();
+    snap.plans[0].leaves = 3;
+    let err = InferenceModel::from_snapshot_bytes(&snap.to_bytes())
+        .err()
+        .unwrap();
+    assert!(
+        matches!(err, SnapshotError::Plan { leaves: 3, .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn mismatched_parameter_shape_is_a_typed_error() {
+    let model = model_with(tiny_config(2, 10), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // Swap two dims: byte count still matches, the architecture doesn't.
+    let shape = &mut snap.params[0].shape;
+    shape.reverse();
+    let err = InferenceModel::from_snapshot_bytes(&snap.to_bytes())
+        .err()
+        .unwrap();
+    assert!(
+        matches!(err, SnapshotError::Param { .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn hostile_config_is_capped_before_weight_allocation() {
+    let model = model_with(tiny_config(2, 11), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // A config declaring a 2^60-wide model must be rejected before
+    // Predictor::new would try to allocate its weights.
+    snap.config.d_model = 1 << 60;
+    let err = InferenceModel::from_snapshot(&snap).err().unwrap();
+    assert!(matches!(err, SnapshotError::Model(_)), "unexpected {err:?}");
+}
+
+#[test]
+fn heads_not_dividing_d_model_is_a_typed_error_not_a_panic() {
+    let model = model_with(tiny_config(2, 13), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // Both fields individually valid; the attention layers would assert.
+    snap.config.heads = 3;
+    let err = InferenceModel::from_snapshot(&snap).err().unwrap();
+    assert!(matches!(err, SnapshotError::Model(_)), "unexpected {err:?}");
+}
+
+#[test]
+fn terabyte_scale_config_is_rejected_before_allocation() {
+    let model = model_with(tiny_config(2, 15), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // Every field individually under its cap, but together they imply
+    // ~terabytes of encoder weights — must be rejected before
+    // Predictor::new tries to allocate them.
+    snap.config.d_model = 1 << 14;
+    snap.config.d_ff = 1 << 14;
+    snap.config.heads = 1;
+    snap.config.n_layers = 256;
+    let err = InferenceModel::from_snapshot(&snap).err().unwrap();
+    assert!(
+        matches!(err, SnapshotError::Limit { .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn zero_std_scaler_column_is_a_typed_error() {
+    let model = model_with(tiny_config(2, 14), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[]).unwrap();
+    // Finite but division-poisoning: predictions would all become NaN.
+    snap.scaler.std[0] = 0.0;
+    let err = InferenceModel::from_snapshot(&snap).err().unwrap();
+    assert!(
+        matches!(err, SnapshotError::Header(_)),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn unsorted_plans_are_rejected_for_canonicality() {
+    let model = model_with(tiny_config(2, 12), true, TransformKind::None);
+    let mut snap = Snapshot::capture(&model, &[2, 3]).unwrap();
+    snap.plans.swap(0, 1);
+    let err = Snapshot::from_bytes(&snap.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::Header(_)),
+        "unexpected {err:?}"
+    );
+}

@@ -56,7 +56,9 @@ impl TransformKind {
 }
 
 /// A fitted transform of any kind (cloneable, unlike a trait object).
-#[derive(Debug, Clone)]
+/// Serializable so trained models can persist their label normalization in
+/// snapshots.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum FittedTransform {
     /// Fitted Box-Cox.
     BoxCox(BoxCox),
@@ -66,6 +68,41 @@ pub enum FittedTransform {
     Quantile(Quantile),
     /// Identity (raw labels).
     Identity,
+}
+
+impl FittedTransform {
+    /// Checks a (possibly deserialized) transform is usable: all fitted
+    /// constants finite, scales non-zero, quantile tables non-empty and
+    /// sorted. Snapshot loading runs this so a hostile file cannot smuggle
+    /// in a transform that panics or poisons predictions with NaN.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_scale = |name: &str, lambda: f64, mean: f64, std: f64| {
+            if !(lambda.is_finite() && mean.is_finite() && std.is_finite()) {
+                return Err(format!("{name} transform has non-finite parameters"));
+            }
+            if std <= 0.0 {
+                return Err(format!("{name} transform has non-positive scale {std}"));
+            }
+            Ok(())
+        };
+        match self {
+            FittedTransform::BoxCox(t) => finite_scale("Box-Cox", t.lambda, t.mean, t.std),
+            FittedTransform::YeoJohnson(t) => finite_scale("Yeo-Johnson", t.lambda, t.mean, t.std),
+            FittedTransform::Quantile(t) => {
+                if t.sorted.is_empty() {
+                    return Err("quantile transform has an empty table".into());
+                }
+                if t.sorted.iter().any(|v| !v.is_finite()) {
+                    return Err("quantile transform has non-finite entries".into());
+                }
+                if t.sorted.windows(2).any(|w| w[0] > w[1]) {
+                    return Err("quantile transform table is not sorted".into());
+                }
+                Ok(())
+            }
+            FittedTransform::Identity => Ok(()),
+        }
+    }
 }
 
 impl LabelTransform for FittedTransform {
@@ -128,7 +165,7 @@ fn golden_max(lo: f64, hi: f64, iters: usize, f: impl Fn(f64) -> f64) -> f64 {
 
 /// Box-Cox transform with standardization:
 /// `z = ((y^λ − 1)/λ − μ) / σ` (λ = 0 degenerates to `ln y`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct BoxCox {
     /// Fitted power parameter.
     pub lambda: f64,
@@ -193,7 +230,7 @@ impl LabelTransform for BoxCox {
 }
 
 /// Yeo-Johnson transform with standardization (handles all reals).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct YeoJohnson {
     /// Fitted power parameter.
     pub lambda: f64,
@@ -262,7 +299,7 @@ impl LabelTransform for YeoJohnson {
 
 /// Quantile transform onto a standard normal, with linear interpolation
 /// between stored training quantiles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Quantile {
     sorted: Vec<f64>,
 }

@@ -834,6 +834,11 @@ impl Plan {
         self.outputs[i].1.iter().map(|d| d.at(b)).collect()
     }
 
+    /// The shape input `i` must have at batch size `b`.
+    pub fn input_shape(&self, i: usize, b: usize) -> Vec<usize> {
+        self.inputs[i].iter().map(|d| d.at(b)).collect()
+    }
+
     /// Total arena elements needed at batch size `b`.
     pub fn arena_len(&self, b: usize) -> usize {
         self.slot_sizes.iter().map(|s| s.at(b)).sum()
@@ -1762,6 +1767,1324 @@ impl<'r> RunCtx<'r> {
     }
 }
 
+/// Serializable plan descriptors: a plain-data mirror of [`Plan`]
+/// (`PlanDesc` ⇄ `Plan`) for persisting compiled plans next to trained
+/// weights.
+///
+/// A plan is pure data — lowered steps, symbolic (`c`/`c·B`) shapes, and a
+/// slot table — so a runner that never sees the [`Recorder`] can replay a
+/// pre-fused plan from disk. Because the bytes may come from an untrusted
+/// file, [`Plan::from_desc`] re-validates **every** invariant the planner
+/// normally guarantees before a descriptor becomes an executable plan:
+///
+/// * all indices (buffers, slots, parameters, inputs, outputs) in range,
+/// * every count and shape constant below a hard decode cap (no
+///   attacker-sized allocations),
+/// * each step's declared geometry consistent: the output buffer's symbolic
+///   size equals the step's computed output size, and every operand buffer
+///   /parameter/input exactly matches the size the kernel will read,
+/// * each buffer's slot large enough for the buffer at every batch size,
+/// * buffers written exactly once, read only after they are written,
+/// * an operand may share the output's arena slot only where the
+///   interpreter has a sanctioned in-place path (the same rule
+///   [`RunCtx`]'s `assert_disjoint` enforces at replay).
+///
+/// A descriptor that passes produces a plan whose replay stays in bounds
+/// for any batch size — a hostile file can yield garbage *values* at
+/// worst, never an out-of-bounds access or a panic.
+pub mod desc {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// Largest constant allowed in a dim / size field (elements).
+    pub const MAX_DIM_CONST: usize = 1 << 24;
+    /// Largest table length (steps, buffers, slots) accepted.
+    pub const MAX_TABLE: usize = 1 << 16;
+    /// Largest fused element-wise chain accepted.
+    pub const MAX_CHAIN: usize = 1 << 10;
+    /// Largest input/output arity accepted.
+    pub const MAX_PORTS: usize = 64;
+    /// Largest tensor rank accepted.
+    pub const MAX_RANK: usize = 8;
+    /// Cap on the total symbolic arena size (sum over slots of
+    /// `coef + fixed`): bounds what a loaded plan can make [`PlanExec`]
+    /// allocate per batch unit.
+    pub const MAX_ARENA: usize = 1 << 26;
+
+    /// Typed failure decoding or validating a [`PlanDesc`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum PlanDecodeError {
+        /// An index points outside its table.
+        Index {
+            /// Which table the index points into.
+            what: &'static str,
+            /// The offending index.
+            index: usize,
+            /// The table's length.
+            len: usize,
+        },
+        /// A declared count or constant exceeds the decode cap.
+        Limit {
+            /// What was being counted.
+            what: &'static str,
+            /// The declared value.
+            value: usize,
+            /// The cap.
+            max: usize,
+        },
+        /// A step's declared geometry is inconsistent or unsafe.
+        Step {
+            /// Index of the offending step.
+            step: usize,
+            /// What is wrong with it.
+            reason: String,
+        },
+        /// An input record is invalid.
+        Input {
+            /// Index of the offending input.
+            input: usize,
+            /// What is wrong with it.
+            reason: String,
+        },
+        /// An output record is invalid.
+        Output {
+            /// Index of the offending output.
+            output: usize,
+            /// What is wrong with it.
+            reason: String,
+        },
+    }
+
+    impl fmt::Display for PlanDecodeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                PlanDecodeError::Index { what, index, len } => {
+                    write!(f, "{what} index {index} out of range (table has {len})")
+                }
+                PlanDecodeError::Limit { what, value, max } => {
+                    write!(f, "{what} {value} exceeds the decode cap {max}")
+                }
+                PlanDecodeError::Step { step, reason } => {
+                    write!(f, "step {step}: {reason}")
+                }
+                PlanDecodeError::Input { input, reason } => {
+                    write!(f, "input {input}: {reason}")
+                }
+                PlanDecodeError::Output { output, reason } => {
+                    write!(f, "output {output}: {reason}")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for PlanDecodeError {}
+
+    /// A symbolic dimension: constant or linear in the batch size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum DimDesc {
+        /// A batch-independent constant.
+        Fixed(usize),
+        /// `c · B`.
+        PerBatch(usize),
+    }
+
+    /// A symbolic element count `coef · B + fixed`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct SizeDesc {
+        /// Batch-linear component.
+        pub coef: usize,
+        /// Constant component.
+        pub fixed: usize,
+    }
+
+    /// Where a step reads from.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum SrcDesc {
+        /// An arena buffer, by buffer id.
+        Buf(usize),
+        /// A parameter, by dense store index.
+        Param(usize),
+        /// A replay-time input, by position.
+        Input(usize),
+    }
+
+    /// A GEMM write-back activation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum ActDesc {
+        /// No activation.
+        Identity,
+        /// `v.max(0.0)`.
+        Relu,
+        /// `v.tanh()`.
+        Tanh,
+        /// `1 / (1 + exp(-v))`.
+        Sigmoid,
+    }
+
+    /// Element-wise binary kind.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum ZipKindDesc {
+        /// `a + b`.
+        Add,
+        /// `a - b`.
+        Sub,
+        /// `a * b`.
+        Mul,
+    }
+
+    /// Broadcast-row binary kind.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum RowKindDesc {
+        /// `x + row`.
+        Add,
+        /// `x - row`.
+        Sub,
+    }
+
+    /// One scalar function of a fused chain (mirrors [`MapOp`], so
+    /// internal refactors never silently change the wire format).
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    pub enum MapOpDesc {
+        /// `v * c`.
+        Scale(f32),
+        /// `v + c`.
+        AddScalar(f32),
+        /// `v.max(0.0)`.
+        Relu,
+        /// `v.tanh()`.
+        Tanh,
+        /// `1 / (1 + exp(-v))`.
+        Sigmoid,
+        /// `v.exp()`.
+        Exp,
+        /// `v.abs()`.
+        Abs,
+        /// `v.sqrt()`.
+        Sqrt,
+        /// `v * v`.
+        Square,
+    }
+
+    /// The compiler's optimization counters (mirrors [`PlanStats`]).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+    pub struct PlanStatsDesc {
+        /// Ops captured by the recorder.
+        pub recorded_ops: usize,
+        /// Lowered steps the interpreter replays per batch.
+        pub steps: usize,
+        /// Reshapes elided into aliases.
+        pub elided_reshapes: usize,
+        /// Bias rows fused into GEMM epilogues.
+        pub fused_bias: usize,
+        /// Activations fused into GEMM epilogues.
+        pub fused_activations: usize,
+        /// Element-wise ops folded into a preceding step's chain.
+        pub fused_elementwise: usize,
+        /// Steps that write in place over a dead input.
+        pub inplace_steps: usize,
+        /// Distinct intermediate buffers.
+        pub buffers: usize,
+        /// Arena slots after liveness-based aliasing.
+        pub arena_slots: usize,
+    }
+
+    /// One concatenated part: its source and trailing-dim width.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct ConcatPartDesc {
+        /// Where the part is read from.
+        pub src: SrcDesc,
+        /// The part's trailing-dim width.
+        pub width: DimDesc,
+    }
+
+    /// One lowered instruction (mirrors the interpreter's step kinds).
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum StepKindDesc {
+        /// `out = act(a · b + bias)` fused into the GEMM write-back.
+        Gemm {
+            /// Left operand `[m, k]`.
+            a: SrcDesc,
+            /// Right operand `[k, n]`.
+            b: SrcDesc,
+            /// Output rows.
+            m: DimDesc,
+            /// Contraction length.
+            k: DimDesc,
+            /// Output columns.
+            n: DimDesc,
+            /// Optional fused bias row of width `n`.
+            bias: Option<SrcDesc>,
+            /// Fused activation.
+            act: ActDesc,
+        },
+        /// Batched matmul.
+        Bmm {
+            /// Left operand.
+            a: SrcDesc,
+            /// Right operand.
+            b: SrcDesc,
+            /// Transpose `a`.
+            ta: bool,
+            /// Transpose `b`.
+            tb: bool,
+            /// Batch count.
+            batch: DimDesc,
+            /// Output rows per batch.
+            m: DimDesc,
+            /// Contraction length.
+            k: DimDesc,
+            /// Output columns per batch.
+            n: DimDesc,
+        },
+        /// `[b, l, d] -> [b·h, l, d/h]`.
+        SplitHeads {
+            /// Input.
+            x: SrcDesc,
+            /// Head count.
+            h: usize,
+            /// Batch dim.
+            b: DimDesc,
+            /// Sequence length.
+            l: DimDesc,
+            /// Model width (must divide by `h`).
+            d: DimDesc,
+        },
+        /// `[b·h, l, dh] -> [b, l, h·dh]`.
+        MergeHeads {
+            /// Input.
+            x: SrcDesc,
+            /// Head count.
+            h: usize,
+            /// Batch × heads dim (must divide by `h`).
+            bh: DimDesc,
+            /// Sequence length.
+            l: DimDesc,
+            /// Per-head width.
+            dh: DimDesc,
+        },
+        /// Row-wise softmax over the trailing dim.
+        Softmax {
+            /// Input.
+            x: SrcDesc,
+            /// Row count.
+            rows: DimDesc,
+            /// Trailing dim.
+            d: DimDesc,
+        },
+        /// Row-wise layer normalization.
+        LayerNorm {
+            /// Input.
+            x: SrcDesc,
+            /// Scale row of width `d`.
+            gamma: SrcDesc,
+            /// Shift row of width `d`.
+            beta: SrcDesc,
+            /// Variance epsilon.
+            eps: f32,
+            /// Row count.
+            rows: DimDesc,
+            /// Trailing dim.
+            d: DimDesc,
+        },
+        /// Fused element-wise chain (empty `ops` is a plain copy).
+        Map {
+            /// Input.
+            x: SrcDesc,
+            /// The fused scalar chain.
+            ops: Vec<MapOpDesc>,
+            /// Element count.
+            len: DimDesc,
+        },
+        /// Element-wise binary with a fused trailing chain.
+        Zip {
+            /// Left operand.
+            a: SrcDesc,
+            /// Right operand.
+            b: SrcDesc,
+            /// The binary op.
+            kind: ZipKindDesc,
+            /// The fused scalar chain.
+            ops: Vec<MapOpDesc>,
+            /// Element count.
+            len: DimDesc,
+        },
+        /// Broadcast-row binary with a fused trailing chain.
+        RowOp {
+            /// Input.
+            x: SrcDesc,
+            /// The broadcast row of width `d`.
+            row: SrcDesc,
+            /// The binary op.
+            kind: RowKindDesc,
+            /// The fused scalar chain.
+            ops: Vec<MapOpDesc>,
+            /// Row count.
+            rows: DimDesc,
+            /// Trailing dim.
+            d: DimDesc,
+        },
+        /// Concatenation along the trailing dim with a fused chain.
+        Concat {
+            /// The concatenated parts, in order.
+            parts: Vec<ConcatPartDesc>,
+            /// Row count.
+            rows: DimDesc,
+            /// The fused scalar chain.
+            ops: Vec<MapOpDesc>,
+        },
+        /// Trailing-dim slice `[start, end)`.
+        SliceLast {
+            /// Input.
+            x: SrcDesc,
+            /// Row count.
+            rows: DimDesc,
+            /// Input trailing dim.
+            d: DimDesc,
+            /// Slice start (inclusive).
+            start: usize,
+            /// Slice end (exclusive).
+            end: usize,
+        },
+    }
+
+    /// One step: a kind plus the buffer it writes.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct StepDesc {
+        /// The instruction.
+        pub kind: StepKindDesc,
+        /// Output buffer id.
+        pub out: usize,
+    }
+
+    /// An arena buffer: its symbolic size and assigned slot.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct BufDesc {
+        /// Symbolic element count.
+        pub size: SizeDesc,
+        /// Arena slot id.
+        pub slot: usize,
+    }
+
+    /// One plan output: the buffer it reads and its symbolic shape.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct OutputDesc {
+        /// Where the output lives (must be a buffer).
+        pub src: SrcDesc,
+        /// The output's symbolic shape.
+        pub dims: Vec<DimDesc>,
+    }
+
+    /// The serializable mirror of a compiled [`Plan`].
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct PlanDesc {
+        /// Lowered steps, in execution order.
+        pub steps: Vec<StepDesc>,
+        /// Buffer table.
+        pub bufs: Vec<BufDesc>,
+        /// Arena slot sizes.
+        pub slot_sizes: Vec<SizeDesc>,
+        /// Symbolic shapes of the replay-time inputs.
+        pub inputs: Vec<Vec<DimDesc>>,
+        /// Plan outputs.
+        pub outputs: Vec<OutputDesc>,
+        /// The compiler's optimization counters.
+        pub stats: PlanStatsDesc,
+    }
+
+    // ---- Plan -> PlanDesc -------------------------------------------------
+
+    fn dim_desc(d: Dim) -> DimDesc {
+        match d {
+            Dim::Fixed(n) => DimDesc::Fixed(n),
+            Dim::PerBatch(c) => DimDesc::PerBatch(c),
+        }
+    }
+
+    fn size_desc(s: Size) -> SizeDesc {
+        SizeDesc {
+            coef: s.coef,
+            fixed: s.fixed,
+        }
+    }
+
+    fn src_desc(s: Src) -> SrcDesc {
+        match s {
+            Src::Buf(b) => SrcDesc::Buf(b),
+            Src::Param(id) => SrcDesc::Param(id.index()),
+            Src::Input(i) => SrcDesc::Input(i),
+        }
+    }
+
+    fn act_desc(a: Activation) -> ActDesc {
+        match a {
+            Activation::Identity => ActDesc::Identity,
+            Activation::Relu => ActDesc::Relu,
+            Activation::Tanh => ActDesc::Tanh,
+            Activation::Sigmoid => ActDesc::Sigmoid,
+        }
+    }
+
+    fn zip_desc(k: ZipKind) -> ZipKindDesc {
+        match k {
+            ZipKind::Add => ZipKindDesc::Add,
+            ZipKind::Sub => ZipKindDesc::Sub,
+            ZipKind::Mul => ZipKindDesc::Mul,
+        }
+    }
+
+    fn row_desc(k: RowKind) -> RowKindDesc {
+        match k {
+            RowKind::Add => RowKindDesc::Add,
+            RowKind::Sub => RowKindDesc::Sub,
+        }
+    }
+
+    fn map_op_desc(op: MapOp) -> MapOpDesc {
+        match op {
+            MapOp::Scale(c) => MapOpDesc::Scale(c),
+            MapOp::AddScalar(c) => MapOpDesc::AddScalar(c),
+            MapOp::Relu => MapOpDesc::Relu,
+            MapOp::Tanh => MapOpDesc::Tanh,
+            MapOp::Sigmoid => MapOpDesc::Sigmoid,
+            MapOp::Exp => MapOpDesc::Exp,
+            MapOp::Abs => MapOpDesc::Abs,
+            MapOp::Sqrt => MapOpDesc::Sqrt,
+            MapOp::Square => MapOpDesc::Square,
+        }
+    }
+
+    fn map_op_from(op: MapOpDesc) -> MapOp {
+        match op {
+            MapOpDesc::Scale(c) => MapOp::Scale(c),
+            MapOpDesc::AddScalar(c) => MapOp::AddScalar(c),
+            MapOpDesc::Relu => MapOp::Relu,
+            MapOpDesc::Tanh => MapOp::Tanh,
+            MapOpDesc::Sigmoid => MapOp::Sigmoid,
+            MapOpDesc::Exp => MapOp::Exp,
+            MapOpDesc::Abs => MapOp::Abs,
+            MapOpDesc::Sqrt => MapOp::Sqrt,
+            MapOpDesc::Square => MapOp::Square,
+        }
+    }
+
+    fn stats_desc(s: PlanStats) -> PlanStatsDesc {
+        PlanStatsDesc {
+            recorded_ops: s.recorded_ops,
+            steps: s.steps,
+            elided_reshapes: s.elided_reshapes,
+            fused_bias: s.fused_bias,
+            fused_activations: s.fused_activations,
+            fused_elementwise: s.fused_elementwise,
+            inplace_steps: s.inplace_steps,
+            buffers: s.buffers,
+            arena_slots: s.arena_slots,
+        }
+    }
+
+    fn stats_from(s: PlanStatsDesc) -> PlanStats {
+        PlanStats {
+            recorded_ops: s.recorded_ops,
+            steps: s.steps,
+            elided_reshapes: s.elided_reshapes,
+            fused_bias: s.fused_bias,
+            fused_activations: s.fused_activations,
+            fused_elementwise: s.fused_elementwise,
+            inplace_steps: s.inplace_steps,
+            buffers: s.buffers,
+            arena_slots: s.arena_slots,
+        }
+    }
+
+    fn kind_desc(k: &StepKind) -> StepKindDesc {
+        match k {
+            StepKind::Gemm {
+                a,
+                b,
+                m,
+                k,
+                n,
+                bias,
+                act,
+            } => StepKindDesc::Gemm {
+                a: src_desc(*a),
+                b: src_desc(*b),
+                m: dim_desc(*m),
+                k: dim_desc(*k),
+                n: dim_desc(*n),
+                bias: bias.map(src_desc),
+                act: act_desc(*act),
+            },
+            StepKind::Bmm {
+                a,
+                b,
+                ta,
+                tb,
+                batch,
+                m,
+                k,
+                n,
+            } => StepKindDesc::Bmm {
+                a: src_desc(*a),
+                b: src_desc(*b),
+                ta: *ta,
+                tb: *tb,
+                batch: dim_desc(*batch),
+                m: dim_desc(*m),
+                k: dim_desc(*k),
+                n: dim_desc(*n),
+            },
+            StepKind::SplitHeads { x, h, b, l, d } => StepKindDesc::SplitHeads {
+                x: src_desc(*x),
+                h: *h,
+                b: dim_desc(*b),
+                l: dim_desc(*l),
+                d: dim_desc(*d),
+            },
+            StepKind::MergeHeads { x, h, bh, l, dh } => StepKindDesc::MergeHeads {
+                x: src_desc(*x),
+                h: *h,
+                bh: dim_desc(*bh),
+                l: dim_desc(*l),
+                dh: dim_desc(*dh),
+            },
+            StepKind::Softmax { x, rows, d } => StepKindDesc::Softmax {
+                x: src_desc(*x),
+                rows: dim_desc(*rows),
+                d: dim_desc(*d),
+            },
+            StepKind::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+                rows,
+                d,
+            } => StepKindDesc::LayerNorm {
+                x: src_desc(*x),
+                gamma: src_desc(*gamma),
+                beta: src_desc(*beta),
+                eps: *eps,
+                rows: dim_desc(*rows),
+                d: dim_desc(*d),
+            },
+            StepKind::Map { x, ops, len } => StepKindDesc::Map {
+                x: src_desc(*x),
+                ops: ops.iter().copied().map(map_op_desc).collect(),
+                len: dim_desc(*len),
+            },
+            StepKind::Zip {
+                a,
+                b,
+                kind,
+                ops,
+                len,
+            } => StepKindDesc::Zip {
+                a: src_desc(*a),
+                b: src_desc(*b),
+                kind: zip_desc(*kind),
+                ops: ops.iter().copied().map(map_op_desc).collect(),
+                len: dim_desc(*len),
+            },
+            StepKind::RowOp {
+                x,
+                row,
+                kind,
+                ops,
+                rows,
+                d,
+            } => StepKindDesc::RowOp {
+                x: src_desc(*x),
+                row: src_desc(*row),
+                kind: row_desc(*kind),
+                ops: ops.iter().copied().map(map_op_desc).collect(),
+                rows: dim_desc(*rows),
+                d: dim_desc(*d),
+            },
+            StepKind::Concat { parts, rows, ops } => StepKindDesc::Concat {
+                parts: parts
+                    .iter()
+                    .map(|(s, w)| ConcatPartDesc {
+                        src: src_desc(*s),
+                        width: dim_desc(*w),
+                    })
+                    .collect(),
+                rows: dim_desc(*rows),
+                ops: ops.iter().copied().map(map_op_desc).collect(),
+            },
+            StepKind::SliceLast {
+                x,
+                rows,
+                d,
+                start,
+                end,
+            } => StepKindDesc::SliceLast {
+                x: src_desc(*x),
+                rows: dim_desc(*rows),
+                d: dim_desc(*d),
+                start: *start,
+                end: *end,
+            },
+        }
+    }
+
+    // ---- PlanDesc -> Plan (validated) -------------------------------------
+
+    struct Decoder<'d, 'p> {
+        desc: &'d PlanDesc,
+        params: &'p ParamStore,
+    }
+
+    impl Decoder<'_, '_> {
+        fn dim(&self, d: DimDesc, what: &'static str) -> Result<Dim, PlanDecodeError> {
+            let v = match d {
+                DimDesc::Fixed(n) => n,
+                DimDesc::PerBatch(c) => c,
+            };
+            if v == 0 || v > MAX_DIM_CONST {
+                return Err(PlanDecodeError::Limit {
+                    what,
+                    value: v,
+                    max: MAX_DIM_CONST,
+                });
+            }
+            Ok(match d {
+                DimDesc::Fixed(n) => Dim::Fixed(n),
+                DimDesc::PerBatch(c) => Dim::PerBatch(c),
+            })
+        }
+
+        fn size(&self, s: SizeDesc, what: &'static str) -> Result<Size, PlanDecodeError> {
+            if s.coef > MAX_DIM_CONST || s.fixed > MAX_DIM_CONST {
+                return Err(PlanDecodeError::Limit {
+                    what,
+                    value: s.coef.max(s.fixed),
+                    max: MAX_DIM_CONST,
+                });
+            }
+            Ok(Size {
+                coef: s.coef,
+                fixed: s.fixed,
+            })
+        }
+
+        fn src(&self, s: SrcDesc) -> Result<Src, PlanDecodeError> {
+            match s {
+                SrcDesc::Buf(b) => {
+                    if b >= self.desc.bufs.len() {
+                        return Err(PlanDecodeError::Index {
+                            what: "buffer",
+                            index: b,
+                            len: self.desc.bufs.len(),
+                        });
+                    }
+                    Ok(Src::Buf(b))
+                }
+                SrcDesc::Param(i) => {
+                    if i >= self.params.len() {
+                        return Err(PlanDecodeError::Index {
+                            what: "parameter",
+                            index: i,
+                            len: self.params.len(),
+                        });
+                    }
+                    Ok(Src::Param(ParamId(i)))
+                }
+                SrcDesc::Input(i) => {
+                    if i >= self.desc.inputs.len() {
+                        return Err(PlanDecodeError::Index {
+                            what: "input",
+                            index: i,
+                            len: self.desc.inputs.len(),
+                        });
+                    }
+                    Ok(Src::Input(i))
+                }
+            }
+        }
+
+        fn chain(&self, ops: &[MapOpDesc]) -> Result<Vec<MapOp>, PlanDecodeError> {
+            if ops.len() > MAX_CHAIN {
+                return Err(PlanDecodeError::Limit {
+                    what: "element-wise chain length",
+                    value: ops.len(),
+                    max: MAX_CHAIN,
+                });
+            }
+            Ok(ops.iter().copied().map(map_op_from).collect())
+        }
+
+        fn kind(&self, k: &StepKindDesc) -> Result<StepKind, PlanDecodeError> {
+            Ok(match k {
+                StepKindDesc::Gemm {
+                    a,
+                    b,
+                    m,
+                    k,
+                    n,
+                    bias,
+                    act,
+                } => StepKind::Gemm {
+                    a: self.src(*a)?,
+                    b: self.src(*b)?,
+                    m: self.dim(*m, "gemm m")?,
+                    k: self.dim(*k, "gemm k")?,
+                    n: self.dim(*n, "gemm n")?,
+                    bias: bias.map(|s| self.src(s)).transpose()?,
+                    act: match act {
+                        ActDesc::Identity => Activation::Identity,
+                        ActDesc::Relu => Activation::Relu,
+                        ActDesc::Tanh => Activation::Tanh,
+                        ActDesc::Sigmoid => Activation::Sigmoid,
+                    },
+                },
+                StepKindDesc::Bmm {
+                    a,
+                    b,
+                    ta,
+                    tb,
+                    batch,
+                    m,
+                    k,
+                    n,
+                } => StepKind::Bmm {
+                    a: self.src(*a)?,
+                    b: self.src(*b)?,
+                    ta: *ta,
+                    tb: *tb,
+                    batch: self.dim(*batch, "bmm batch")?,
+                    m: self.dim(*m, "bmm m")?,
+                    k: self.dim(*k, "bmm k")?,
+                    n: self.dim(*n, "bmm n")?,
+                },
+                StepKindDesc::SplitHeads { x, h, b, l, d } => StepKind::SplitHeads {
+                    x: self.src(*x)?,
+                    h: *h,
+                    b: self.dim(*b, "split b")?,
+                    l: self.dim(*l, "split l")?,
+                    d: self.dim(*d, "split d")?,
+                },
+                StepKindDesc::MergeHeads { x, h, bh, l, dh } => StepKind::MergeHeads {
+                    x: self.src(*x)?,
+                    h: *h,
+                    bh: self.dim(*bh, "merge bh")?,
+                    l: self.dim(*l, "merge l")?,
+                    dh: self.dim(*dh, "merge dh")?,
+                },
+                StepKindDesc::Softmax { x, rows, d } => StepKind::Softmax {
+                    x: self.src(*x)?,
+                    rows: self.dim(*rows, "softmax rows")?,
+                    d: self.dim(*d, "softmax d")?,
+                },
+                StepKindDesc::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                    rows,
+                    d,
+                } => StepKind::LayerNorm {
+                    x: self.src(*x)?,
+                    gamma: self.src(*gamma)?,
+                    beta: self.src(*beta)?,
+                    eps: *eps,
+                    rows: self.dim(*rows, "layer-norm rows")?,
+                    d: self.dim(*d, "layer-norm d")?,
+                },
+                StepKindDesc::Map { x, ops, len } => StepKind::Map {
+                    x: self.src(*x)?,
+                    ops: self.chain(ops)?,
+                    len: self.dim(*len, "map len")?,
+                },
+                StepKindDesc::Zip {
+                    a,
+                    b,
+                    kind,
+                    ops,
+                    len,
+                } => StepKind::Zip {
+                    a: self.src(*a)?,
+                    b: self.src(*b)?,
+                    kind: match kind {
+                        ZipKindDesc::Add => ZipKind::Add,
+                        ZipKindDesc::Sub => ZipKind::Sub,
+                        ZipKindDesc::Mul => ZipKind::Mul,
+                    },
+                    ops: self.chain(ops)?,
+                    len: self.dim(*len, "zip len")?,
+                },
+                StepKindDesc::RowOp {
+                    x,
+                    row,
+                    kind,
+                    ops,
+                    rows,
+                    d,
+                } => StepKind::RowOp {
+                    x: self.src(*x)?,
+                    row: self.src(*row)?,
+                    kind: match kind {
+                        RowKindDesc::Add => RowKind::Add,
+                        RowKindDesc::Sub => RowKind::Sub,
+                    },
+                    ops: self.chain(ops)?,
+                    rows: self.dim(*rows, "row-op rows")?,
+                    d: self.dim(*d, "row-op d")?,
+                },
+                StepKindDesc::Concat { parts, rows, ops } => {
+                    if parts.len() > MAX_PORTS {
+                        return Err(PlanDecodeError::Limit {
+                            what: "concat parts",
+                            value: parts.len(),
+                            max: MAX_PORTS,
+                        });
+                    }
+                    StepKind::Concat {
+                        parts: parts
+                            .iter()
+                            .map(|p| Ok((self.src(p.src)?, self.dim(p.width, "concat width")?)))
+                            .collect::<Result<_, PlanDecodeError>>()?,
+                        rows: self.dim(*rows, "concat rows")?,
+                        ops: self.chain(ops)?,
+                    }
+                }
+                StepKindDesc::SliceLast {
+                    x,
+                    rows,
+                    d,
+                    start,
+                    end,
+                } => StepKind::SliceLast {
+                    x: self.src(*x)?,
+                    rows: self.dim(*rows, "slice rows")?,
+                    d: self.dim(*d, "slice d")?,
+                    start: *start,
+                    end: *end,
+                },
+            })
+        }
+    }
+
+    /// Symbolic size of one dim.
+    fn dsize(d: Dim) -> Size {
+        match d {
+            Dim::Fixed(n) => Size { coef: 0, fixed: n },
+            Dim::PerBatch(c) => Size { coef: c, fixed: 0 },
+        }
+    }
+
+    /// Symbolic product; errors when the result would be quadratic in `B`
+    /// or overflows.
+    fn smul(a: Size, b: Size) -> Result<Size, String> {
+        if a.coef > 0 && b.coef > 0 {
+            return Err("size is quadratic in the batch size".into());
+        }
+        let coef = a
+            .coef
+            .checked_mul(b.fixed)
+            .and_then(|x| b.coef.checked_mul(a.fixed).map(|y| x + y))
+            .ok_or("size overflows")?;
+        let fixed = a.fixed.checked_mul(b.fixed).ok_or("size overflows")?;
+        Ok(Size { coef, fixed })
+    }
+
+    fn sprod(dims: &[Dim]) -> Result<Size, String> {
+        dims.iter()
+            .try_fold(Size { coef: 0, fixed: 1 }, |acc, &d| smul(acc, dsize(d)))
+    }
+
+    /// Whether a fixed dim (or the per-batch coefficient) divides by `h`.
+    fn divisible(d: Dim, h: usize) -> bool {
+        match d {
+            Dim::Fixed(n) => n % h == 0,
+            Dim::PerBatch(c) => c % h == 0,
+        }
+    }
+
+    /// One operand requirement: where it is read from, the exact symbolic
+    /// size the kernel reads, and whether the interpreter has a sanctioned
+    /// in-place path when it shares the output's slot.
+    struct Operand {
+        src: Src,
+        need: Size,
+        may_alias_out: bool,
+    }
+
+    /// Computes a step's exact output size and operand requirements, plus
+    /// kind-specific structural checks (divisibility, slice bounds).
+    fn step_io(kind: &StepKind) -> Result<(Size, Vec<Operand>), String> {
+        let op = |src: Src, need: Size, may_alias_out: bool| Operand {
+            src,
+            need,
+            may_alias_out,
+        };
+        Ok(match kind {
+            StepKind::Gemm {
+                a,
+                b,
+                m,
+                k,
+                n,
+                bias,
+                ..
+            } => {
+                let mut srcs = vec![
+                    op(*a, sprod(&[*m, *k])?, false),
+                    op(*b, sprod(&[*k, *n])?, false),
+                ];
+                if let Some(bs) = bias {
+                    srcs.push(op(*bs, dsize(*n), false));
+                }
+                (sprod(&[*m, *n])?, srcs)
+            }
+            StepKind::Bmm {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+                ..
+            } => (
+                sprod(&[*batch, *m, *n])?,
+                vec![
+                    op(*a, sprod(&[*batch, *m, *k])?, false),
+                    op(*b, sprod(&[*batch, *k, *n])?, false),
+                ],
+            ),
+            StepKind::SplitHeads { x, h, b, l, d } => {
+                if *h == 0 || !divisible(*d, *h) {
+                    return Err(format!("split-heads width {d:?} not divisible by {h}"));
+                }
+                let numel = sprod(&[*b, *l, *d])?;
+                (numel, vec![op(*x, numel, false)])
+            }
+            StepKind::MergeHeads { x, h, bh, l, dh } => {
+                if *h == 0 || !divisible(*bh, *h) {
+                    return Err(format!("merge-heads batch {bh:?} not divisible by {h}"));
+                }
+                let numel = sprod(&[*bh, *l, *dh])?;
+                (numel, vec![op(*x, numel, false)])
+            }
+            StepKind::Softmax { x, rows, d } => {
+                let numel = sprod(&[*rows, *d])?;
+                (numel, vec![op(*x, numel, true)])
+            }
+            StepKind::LayerNorm {
+                x,
+                gamma,
+                beta,
+                rows,
+                d,
+                ..
+            } => {
+                let numel = sprod(&[*rows, *d])?;
+                (
+                    numel,
+                    vec![
+                        op(*x, numel, true),
+                        op(*gamma, dsize(*d), false),
+                        op(*beta, dsize(*d), false),
+                    ],
+                )
+            }
+            StepKind::Map { x, len, .. } => {
+                let numel = dsize(*len);
+                (numel, vec![op(*x, numel, true)])
+            }
+            StepKind::Zip { a, b, len, .. } => {
+                let numel = dsize(*len);
+                (numel, vec![op(*a, numel, true), op(*b, numel, true)])
+            }
+            StepKind::RowOp {
+                x, row, rows, d, ..
+            } => {
+                let numel = sprod(&[*rows, *d])?;
+                (numel, vec![op(*x, numel, true), op(*row, dsize(*d), false)])
+            }
+            StepKind::Concat { parts, rows, .. } => {
+                let mut total = Size { coef: 0, fixed: 0 };
+                let mut srcs = Vec::with_capacity(parts.len());
+                for (s, w) in parts {
+                    let ws = dsize(*w);
+                    total.coef = total.coef.checked_add(ws.coef).ok_or("size overflows")?;
+                    total.fixed = total.fixed.checked_add(ws.fixed).ok_or("size overflows")?;
+                    srcs.push(op(*s, smul(dsize(*rows), ws)?, false));
+                }
+                (smul(dsize(*rows), total)?, srcs)
+            }
+            StepKind::SliceLast {
+                x,
+                rows,
+                d,
+                start,
+                end,
+            } => {
+                let d_min = match d {
+                    Dim::Fixed(n) => *n,
+                    Dim::PerBatch(c) => *c,
+                };
+                if *start > *end || *end > d_min {
+                    return Err(format!(
+                        "slice [{start}, {end}) out of the trailing dim {d:?}"
+                    ));
+                }
+                (
+                    smul(
+                        dsize(*rows),
+                        Size {
+                            coef: 0,
+                            fixed: end - start,
+                        },
+                    )?,
+                    vec![op(*x, sprod(&[*rows, *d])?, false)],
+                )
+            }
+        })
+    }
+
+    impl Plan {
+        /// Converts the compiled plan into its serializable descriptor.
+        pub fn to_desc(&self) -> PlanDesc {
+            PlanDesc {
+                steps: self
+                    .steps
+                    .iter()
+                    .map(|s| StepDesc {
+                        kind: kind_desc(&s.kind),
+                        out: s.out,
+                    })
+                    .collect(),
+                bufs: self
+                    .bufs
+                    .iter()
+                    .map(|b| BufDesc {
+                        size: size_desc(b.size),
+                        slot: b.slot,
+                    })
+                    .collect(),
+                slot_sizes: self.slot_sizes.iter().map(|&s| size_desc(s)).collect(),
+                inputs: self
+                    .inputs
+                    .iter()
+                    .map(|dims| dims.iter().map(|&d| dim_desc(d)).collect())
+                    .collect(),
+                outputs: self
+                    .outputs
+                    .iter()
+                    .map(|(s, dims)| OutputDesc {
+                        src: src_desc(*s),
+                        dims: dims.iter().map(|&d| dim_desc(d)).collect(),
+                    })
+                    .collect(),
+                stats: stats_desc(self.stats),
+            }
+        }
+
+        /// Rebuilds an executable plan from a descriptor, re-validating
+        /// every slot/arena invariant (see the [`desc`](self) module docs).
+        /// `params` must be the store the plan will replay against: its
+        /// length bounds parameter references, and each referenced
+        /// parameter's element count is checked against what the step
+        /// kernels will read.
+        pub fn from_desc(d: &PlanDesc, params: &ParamStore) -> Result<Plan, PlanDecodeError> {
+            for (what, len) in [
+                ("steps", d.steps.len()),
+                ("buffers", d.bufs.len()),
+                ("slots", d.slot_sizes.len()),
+            ] {
+                if len > MAX_TABLE {
+                    return Err(PlanDecodeError::Limit {
+                        what,
+                        value: len,
+                        max: MAX_TABLE,
+                    });
+                }
+            }
+            for (what, len) in [("inputs", d.inputs.len()), ("outputs", d.outputs.len())] {
+                if len > MAX_PORTS {
+                    return Err(PlanDecodeError::Limit {
+                        what,
+                        value: len,
+                        max: MAX_PORTS,
+                    });
+                }
+            }
+            let dec = Decoder { desc: d, params };
+
+            // Slot table: bounded sizes, bounded total arena.
+            let mut slot_sizes = Vec::with_capacity(d.slot_sizes.len());
+            let mut arena_total = 0usize;
+            for &s in &d.slot_sizes {
+                let s = dec.size(s, "slot size")?;
+                arena_total = arena_total.saturating_add(s.coef).saturating_add(s.fixed);
+                slot_sizes.push(s);
+            }
+            if arena_total > MAX_ARENA {
+                return Err(PlanDecodeError::Limit {
+                    what: "total arena size",
+                    value: arena_total,
+                    max: MAX_ARENA,
+                });
+            }
+
+            // Buffer table: every buffer's slot exists and fits it.
+            let mut bufs = Vec::with_capacity(d.bufs.len());
+            for &b in &d.bufs {
+                if b.slot >= slot_sizes.len() {
+                    return Err(PlanDecodeError::Index {
+                        what: "slot",
+                        index: b.slot,
+                        len: slot_sizes.len(),
+                    });
+                }
+                let size = dec.size(b.size, "buffer size")?;
+                if !slot_sizes[b.slot].fits(&size) {
+                    return Err(PlanDecodeError::Limit {
+                        what: "buffer size beyond its slot",
+                        value: size.coef.max(size.fixed),
+                        max: slot_sizes[b.slot].coef.max(slot_sizes[b.slot].fixed),
+                    });
+                }
+                bufs.push(Buf { size, slot: b.slot });
+            }
+
+            // Input shapes.
+            let mut inputs = Vec::with_capacity(d.inputs.len());
+            for dims in &d.inputs {
+                if dims.len() > MAX_RANK {
+                    return Err(PlanDecodeError::Limit {
+                        what: "input rank",
+                        value: dims.len(),
+                        max: MAX_RANK,
+                    });
+                }
+                inputs.push(
+                    dims.iter()
+                        .map(|&dd| dec.dim(dd, "input dim"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            let input_sizes: Vec<Size> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, dims)| {
+                    sprod(dims).map_err(|reason| PlanDecodeError::Input { input: i, reason })
+                })
+                .collect::<Result<_, _>>()?;
+
+            // Steps: geometry, operand sizes, write-once/def-before-use
+            // ordering, and in-place aliasing discipline.
+            let mut steps = Vec::with_capacity(d.steps.len());
+            let mut defined = vec![false; bufs.len()];
+            for (si, sd) in d.steps.iter().enumerate() {
+                let step_err = |reason: String| PlanDecodeError::Step { step: si, reason };
+                let kind = dec.kind(&sd.kind)?;
+                if sd.out >= bufs.len() {
+                    return Err(PlanDecodeError::Index {
+                        what: "output buffer",
+                        index: sd.out,
+                        len: bufs.len(),
+                    });
+                }
+                if defined[sd.out] {
+                    return Err(step_err(format!("buffer {} written twice", sd.out)));
+                }
+                let (out_size, operands) = step_io(&kind).map_err(step_err)?;
+                if bufs[sd.out].size != out_size {
+                    return Err(step_err(format!(
+                        "output buffer size {:?} does not match the step's output {:?}",
+                        bufs[sd.out].size, out_size
+                    )));
+                }
+                let out_slot = bufs[sd.out].slot;
+                for o in &operands {
+                    match o.src {
+                        Src::Buf(b) => {
+                            if !defined[b] {
+                                return Err(step_err(format!("buffer {b} read before written")));
+                            }
+                            if bufs[b].size != o.need {
+                                return Err(step_err(format!(
+                                    "operand buffer {b} has size {:?}, step reads {:?}",
+                                    bufs[b].size, o.need
+                                )));
+                            }
+                            if bufs[b].slot == out_slot && !o.may_alias_out {
+                                return Err(step_err(format!(
+                                    "operand buffer {b} shares the output's arena slot without \
+                                     an in-place path"
+                                )));
+                            }
+                        }
+                        Src::Param(id) => {
+                            let numel = params.value(id).numel();
+                            if o.need.coef != 0 || o.need.fixed != numel {
+                                return Err(step_err(format!(
+                                    "parameter {} has {numel} elements, step reads {:?}",
+                                    id.index(),
+                                    o.need
+                                )));
+                            }
+                        }
+                        Src::Input(i) => {
+                            if input_sizes[i] != o.need {
+                                return Err(step_err(format!(
+                                    "input {i} has size {:?}, step reads {:?}",
+                                    input_sizes[i], o.need
+                                )));
+                            }
+                        }
+                    }
+                }
+                defined[sd.out] = true;
+                steps.push(Step { kind, out: sd.out });
+            }
+
+            // Outputs must read defined buffers with consistent shapes.
+            let mut outputs = Vec::with_capacity(d.outputs.len());
+            for (oi, od) in d.outputs.iter().enumerate() {
+                let out_err = |reason: String| PlanDecodeError::Output { output: oi, reason };
+                if od.dims.len() > MAX_RANK {
+                    return Err(PlanDecodeError::Limit {
+                        what: "output rank",
+                        value: od.dims.len(),
+                        max: MAX_RANK,
+                    });
+                }
+                let dims = od
+                    .dims
+                    .iter()
+                    .map(|&dd| dec.dim(dd, "output dim"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let bid = match dec.src(od.src)? {
+                    Src::Buf(b) => b,
+                    _ => return Err(out_err("output must read an arena buffer".into())),
+                };
+                if !defined[bid] {
+                    return Err(out_err(format!("output buffer {bid} is never written")));
+                }
+                let need = sprod(&dims).map_err(out_err)?;
+                if bufs[bid].size != need {
+                    return Err(out_err(format!(
+                        "output shape {:?} does not match buffer {bid}'s size {:?}",
+                        need, bufs[bid].size
+                    )));
+                }
+                outputs.push((Src::Buf(bid), dims));
+            }
+
+            Ok(Plan {
+                steps,
+                bufs,
+                slot_sizes,
+                inputs,
+                outputs,
+                stats: stats_from(d.stats),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2035,6 +3358,144 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PlanError::NonUniform(_)), "{err:?}");
+    }
+
+    #[test]
+    fn desc_roundtrip_is_lossless_and_bit_identical() {
+        use super::desc::PlanDesc;
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        let d = plan.to_desc();
+        // Descriptor JSON round-trips exactly.
+        let json = serde_json::to_string(&d).unwrap();
+        let back: PlanDesc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Rebuilt plan re-describes identically...
+        let loaded = Plan::from_desc(&back, &store).unwrap();
+        assert_eq!(loaded.to_desc(), d);
+        assert_eq!(loaded.stats(), plan.stats());
+        // ...and replays bit-identically to the original compilation.
+        let mut orig = PlanExec::new(Arc::new(plan));
+        let mut from_file = PlanExec::new(Arc::new(loaded));
+        for b in [1usize, 3, 5] {
+            let x = input_for(b);
+            orig.run(&store, &[&x]).unwrap();
+            from_file.run(&store, &[&x]).unwrap();
+            for i in 0..2 {
+                assert_eq!(orig.output(i), from_file.output(i), "output {i} at b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_descs_are_typed_errors_not_panics() {
+        use super::desc::{
+            BufDesc, DimDesc, OutputDesc, PlanDecodeError, SizeDesc, SrcDesc, StepKindDesc,
+        };
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        let good = plan.to_desc();
+        assert!(Plan::from_desc(&good, &store).is_ok());
+
+        // Slot index out of range.
+        let mut d = good.clone();
+        d.bufs[0].slot = d.slot_sizes.len() + 7;
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Index { what: "slot", .. })
+        ));
+
+        // Buffer bigger than its slot.
+        let mut d = good.clone();
+        d.bufs[0].size = SizeDesc {
+            coef: 1 << 20,
+            fixed: 0,
+        };
+        assert!(Plan::from_desc(&d, &store).is_err());
+
+        // Step writing a buffer that does not exist.
+        let mut d = good.clone();
+        d.steps[0].out = d.bufs.len();
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Index {
+                what: "output buffer",
+                ..
+            })
+        ));
+
+        // Parameter index out of range.
+        let mut d = good.clone();
+        for s in &mut d.steps {
+            if let StepKindDesc::Gemm { a, .. } = &mut s.kind {
+                *a = SrcDesc::Param(10_000);
+                break;
+            }
+        }
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Index {
+                what: "parameter",
+                ..
+            })
+        ));
+
+        // Geometry lying about the GEMM's contraction length.
+        let mut d = good.clone();
+        for s in &mut d.steps {
+            if let StepKindDesc::Gemm { k, .. } = &mut s.kind {
+                *k = DimDesc::Fixed(4096);
+                break;
+            }
+        }
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Step { .. })
+        ));
+
+        // An attacker-sized dim constant is capped.
+        let mut d = good.clone();
+        d.slot_sizes[0] = SizeDesc {
+            coef: usize::MAX / 2,
+            fixed: 0,
+        };
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Limit { .. })
+        ));
+
+        // Output pointing at a plan input (the interpreter has no path
+        // for that — it must be rejected, not hit unreachable!).
+        let mut d = good.clone();
+        d.outputs[0] = OutputDesc {
+            src: SrcDesc::Input(0),
+            dims: d.outputs[0].dims.clone(),
+        };
+        assert!(matches!(
+            Plan::from_desc(&d, &store),
+            Err(PlanDecodeError::Output { .. })
+        ));
+
+        // A buffer read before any step writes it.
+        let mut d = good.clone();
+        let last = d.bufs.len() - 1;
+        d.bufs.push(BufDesc {
+            size: d.bufs[last].size,
+            slot: d.bufs[last].slot,
+        });
+        for s in &mut d.steps {
+            if let StepKindDesc::Softmax { x, .. } = &mut s.kind {
+                *x = SrcDesc::Buf(d.bufs.len() - 1);
+                break;
+            }
+        }
+        assert!(Plan::from_desc(&d, &store).is_err());
     }
 
     #[test]

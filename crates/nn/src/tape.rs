@@ -109,6 +109,16 @@ impl ParamStore {
         }
     }
 
+    /// Consumes the store, keeping values and names but dropping the
+    /// gradient buffers (replaced by empty placeholders) — the zero-copy
+    /// counterpart of [`ParamStore::clone_values`] for callers that own the
+    /// store (snapshot loading, freeze-by-move). The result must not be
+    /// trained.
+    pub fn into_values(mut self) -> ParamStore {
+        self.grads = self.values.iter().map(|_| Tensor::zeros(&[0])).collect();
+        self
+    }
+
     /// Zeroes all accumulated gradients.
     pub fn zero_grad(&mut self) {
         for g in &mut self.grads {

@@ -144,8 +144,35 @@ impl InferenceEngine {
     }
 
     /// Convenience: freeze a trained model and serve it.
+    ///
+    /// `freeze` copies the weights **once** into the served `Arc`; after
+    /// that every worker, every engine clone of the model handle, and
+    /// every frozen handle share the same allocation (no per-worker
+    /// clones anywhere on the setup path — asserted by the weight-sharing
+    /// regression test). Callers done with the trained model can avoid
+    /// even that one copy via `TrainedModel::into_frozen` + [`InferenceEngine::new`].
     pub fn from_trained(model: &TrainedModel, cfg: EngineConfig) -> Self {
         Self::new(model.freeze(), cfg)
+    }
+
+    /// Cold start from a decoded snapshot: restores the model (weights
+    /// moved — not copied — into the served `Arc`, plan cache seeded from
+    /// the file's pre-fused plans) and starts the worker pool. With a
+    /// full-plan snapshot the workers begin serving with **zero** plan
+    /// recording (`model().predictor.plan_compile_count()` stays 0).
+    pub fn from_snapshot(
+        snap: &cdmpp_core::Snapshot,
+        cfg: EngineConfig,
+    ) -> Result<Self, cdmpp_core::SnapshotError> {
+        Ok(Self::new(InferenceModel::from_snapshot(snap)?, cfg))
+    }
+
+    /// [`InferenceEngine::from_snapshot`] straight from a file path.
+    pub fn from_snapshot_file(
+        path: impl AsRef<std::path::Path>,
+        cfg: EngineConfig,
+    ) -> Result<Self, cdmpp_core::SnapshotError> {
+        Ok(Self::new(InferenceModel::from_snapshot_file(path)?, cfg))
     }
 
     /// The engine's configuration.

@@ -1,0 +1,116 @@
+//! Snapshot-backed serving: an engine cold-started from a snapshot file
+//! must be indistinguishable — bit for bit — from the engine serving the
+//! model that was just trained in this very process, and it must get there
+//! without recording a single plan.
+
+use cdmpp_core::batch::EncodedSample;
+use cdmpp_core::{pretrain, PredictorConfig, Snapshot, TrainConfig};
+use dataset::{Dataset, GenConfig, SplitIndices};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use runtime::{EngineConfig, InferenceEngine};
+
+fn trained() -> cdmpp_core::TrainedModel {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 3,
+            devices: vec![devsim::t4()],
+            seed: 11,
+            noise_sigma: 0.0,
+        },
+        vec![tir::zoo::bert_tiny(1), tir::zoo::mlp_mixer(1)],
+    );
+    let split = SplitIndices::for_device(&ds, "T4", &[], 1);
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        d_ff: 32,
+        d_emb: 12,
+        ..Default::default()
+    };
+    let (model, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        pcfg,
+        TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+    model
+}
+
+fn sample(leaves: usize, seed: usize) -> EncodedSample {
+    EncodedSample {
+        record_idx: seed,
+        leaf_count: leaves,
+        x: (0..leaves * N_ENTRY)
+            .map(|i| ((i + 3 * seed) as f32 * 0.211).sin())
+            .collect(),
+        dev: [0.25; N_DEVICE_FEATURES],
+        y_raw: 1e-3,
+    }
+}
+
+#[test]
+fn snapshot_engine_is_bit_identical_to_train_then_serve_with_zero_recording() {
+    let model = trained();
+    let bytes = Snapshot::capture_all(&model).unwrap().to_bytes();
+
+    let cfg = EngineConfig {
+        workers: 2,
+        max_batch: 8,
+    };
+    let live = InferenceEngine::from_trained(&model, cfg.clone());
+    let cold = InferenceEngine::from_snapshot(&Snapshot::from_bytes(&bytes).unwrap(), cfg).unwrap();
+
+    // Heterogeneous request stream spanning every leaf count.
+    let enc: Vec<EncodedSample> = (0..48).map(|i| sample(1 + i % 8, i)).collect();
+    let from_training = live.predict_samples(&enc).unwrap();
+    let from_file = cold.predict_samples(&enc).unwrap();
+    assert_eq!(
+        from_training, from_file,
+        "snapshot-served predictions must be byte-identical to train-then-serve"
+    );
+
+    // The snapshot carried every plan: the cold engine recorded nothing,
+    // during load or while serving.
+    assert_eq!(cold.model().predictor.plan_compile_count(), 0);
+}
+
+#[test]
+fn engine_setup_shares_one_weight_allocation() {
+    let model = trained();
+    let engine = InferenceEngine::from_trained(&model, EngineConfig::single_worker());
+    // Cloning the served model handle must alias the same parameter store
+    // (workers receive clones of this handle — a second allocation here
+    // would mean per-worker weight copies).
+    let m1 = engine.model().clone();
+    let m2 = engine.model().predictor.clone();
+    assert!(
+        std::ptr::eq(m1.predictor.params(), engine.model().predictor.params()),
+        "cloned model handle must share the engine's weight allocation"
+    );
+    assert!(
+        std::ptr::eq(m2.params(), engine.model().predictor.params()),
+        "cloned predictor handle must share the engine's weight allocation"
+    );
+}
+
+#[test]
+fn snapshot_file_round_trips_through_the_engine() {
+    let model = trained();
+    let dir = std::env::temp_dir().join(format!("cdmpp-snap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.cdmppsnap");
+    model.save_snapshot(&path).unwrap();
+
+    let engine = InferenceEngine::from_snapshot_file(&path, EngineConfig::single_worker()).unwrap();
+    let enc: Vec<EncodedSample> = (0..12).map(|i| sample(1 + i % 4, i)).collect();
+    let got = engine.predict_samples(&enc).unwrap();
+    let want = model.freeze().predict_samples(&enc).unwrap();
+    assert_eq!(got, want);
+    assert_eq!(engine.model().predictor.plan_compile_count(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

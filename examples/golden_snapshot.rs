@@ -1,0 +1,105 @@
+//! Regenerates the committed golden snapshot fixture
+//! (`tests/fixtures/golden.cdmppsnap`) and prints the pinned values the
+//! CI golden test (`tests/snapshot_golden.rs`) asserts against.
+//!
+//! Run after an *intentional* snapshot-format change (bump
+//! `SNAPSHOT_VERSION` first!):
+//!
+//! ```console
+//! $ cargo run --release --example golden_snapshot
+//! ```
+//!
+//! then paste the printed constants into `tests/snapshot_golden.rs`.
+//! Training is bit-deterministic for any thread count, so the fixture
+//! reproduces exactly on the same target.
+
+use cdmpp::core::batch::EncodedSample;
+use cdmpp::core::Snapshot;
+use cdmpp::prelude::*;
+
+/// The exact model the fixture holds: tiny, deterministic, max_leaves 4.
+fn train_fixture_model() -> TrainedModel {
+    let ds = Dataset::generate_with_networks(
+        GenConfig {
+            batch: 1,
+            schedules_per_task: 3,
+            devices: vec![cdmpp::devsim::t4()],
+            seed: 7,
+            noise_sigma: 0.0,
+        },
+        vec![cdmpp::tir::zoo::bert_tiny(1), cdmpp::tir::zoo::mlp_mixer(1)],
+    );
+    let split = SplitIndices::for_device(&ds, "T4", &[], 1);
+    let pcfg = PredictorConfig {
+        d_model: 16,
+        n_layers: 1,
+        heads: 2,
+        d_ff: 32,
+        d_emb: 12,
+        d_dev: 8,
+        dec_hidden: 16,
+        dec_layers: 1,
+        max_leaves: 4,
+        ..Default::default()
+    };
+    let (model, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        pcfg,
+        TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
+    );
+    model
+}
+
+/// The three pinned probe samples (shared verbatim with the golden test).
+fn probes() -> Vec<EncodedSample> {
+    [1usize, 2, 4]
+        .iter()
+        .enumerate()
+        .map(|(s, &leaves)| EncodedSample {
+            record_idx: s,
+            leaf_count: leaves,
+            x: (0..leaves * cdmpp::features::N_ENTRY)
+                .map(|i| ((i + 13 * s) as f32 * 0.157).sin())
+                .collect(),
+            dev: [0.4; cdmpp::features::N_DEVICE_FEATURES],
+            y_raw: 1e-3,
+        })
+        .collect()
+}
+
+/// FNV-1a over bytes (stable, platform-independent).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    let model = train_fixture_model();
+    let snap = Snapshot::capture_all(&model).expect("capture");
+    let bytes = snap.to_bytes();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden.cdmppsnap"
+    );
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).expect("mkdir");
+    std::fs::write(path, &bytes).expect("write fixture");
+
+    let loaded = InferenceModel::from_snapshot_bytes(&bytes).expect("load");
+    let preds = loaded.predict_samples(&probes()).expect("predict");
+    println!(
+        "wrote {path} ({} bytes, {} plans)",
+        bytes.len(),
+        snap.plans.len()
+    );
+    println!("const FIXTURE_FNV1A: u64 = 0x{:016x};", fnv1a(&bytes));
+    println!("const PINNED_PREDICTIONS: [f64; 3] = {preds:?};");
+}

@@ -1,21 +1,28 @@
 //! The `cdmpp` command-line interface (§6 of the paper):
 //!
 //! ```console
-//! $ cdmpp <network> <batch_size> <device>
-//! $ cdmpp resnet50 1 T4
+//! $ cdmpp train T4 --save model.cdmppsnap       # fit + checkpoint
+//! $ cdmpp serve --snapshot model.cdmppsnap resnet50 1 T4
+//! $ cdmpp predict --snapshot model.cdmppsnap bert_tiny 1 T4
+//! $ cdmpp resnet50 1 T4                         # legacy: train + serve
 //! ```
 //!
-//! Trains a compact cost model on the fly (the paper loads a pre-trained
-//! checkpoint; at this repo's scale training takes well under a minute),
-//! freezes it into the concurrent `runtime` serving engine, and prints the
-//! predicted end-to-end latency of the network on the device, alongside
-//! the simulated ground truth.
+//! The paper serves predictions from a pre-trained checkpoint; `train
+//! --save` writes that checkpoint (trained weights **plus** the compiled
+//! per-leaf-count inference plans in one snapshot file), and `serve` /
+//! `predict` cold-start from it — a file load instead of a training run,
+//! with zero plan recording. The legacy positional form still trains on
+//! the fly and serves in the same process.
 
+use cdmpp::core::{end_to_end_frozen, Snapshot};
 use cdmpp::prelude::*;
 use cdmpp::runtime::{EngineConfig, InferenceEngine};
 
 fn usage() -> ! {
     eprintln!("usage: cdmpp <network> <batch_size> <device>");
+    eprintln!("       cdmpp train <device> --save <snapshot> [--epochs N]");
+    eprintln!("       cdmpp serve --snapshot <snapshot> <network> <batch_size> <device>");
+    eprintln!("       cdmpp predict --snapshot <snapshot> <network> <batch_size> <device>");
     eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
     eprintln!(
         "  devices:  {}",
@@ -34,24 +41,35 @@ fn network_by_name(name: &str, batch: u64) -> Option<Network> {
         .find(|n| n.name == name)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 4 {
-        usage();
-    }
-    let batch: u64 = match args[2].parse() {
+fn parse_batch(arg: &str) -> u64 {
+    match arg.parse() {
         Ok(b) if b >= 1 => b,
         _ => usage(),
-    };
-    let Some(net) = network_by_name(&args[1], batch) else {
-        eprintln!("unknown network '{}'", args[1]);
-        usage();
-    };
-    let Some(dev) = cdmpp::devsim::device_by_name(&args[3]) else {
-        eprintln!("unknown device '{}'", args[3]);
-        usage();
-    };
+    }
+}
 
+fn device_or_usage(name: &str) -> DeviceSpec {
+    match cdmpp::devsim::device_by_name(name) {
+        Some(d) => d,
+        None => {
+            eprintln!("unknown device '{name}'");
+            usage();
+        }
+    }
+}
+
+fn network_or_usage(name: &str, batch: u64) -> Network {
+    match network_by_name(name, batch) {
+        Some(n) => n,
+        None => {
+            eprintln!("unknown network '{name}'");
+            usage();
+        }
+    }
+}
+
+/// Trains the standard CLI cost model for one device.
+fn train_model(dev: &DeviceSpec, epochs: usize) -> TrainedModel {
     eprintln!("[cdmpp] training cost model for {}...", dev.name);
     let ds = Dataset::generate(GenConfig {
         batch: 1,
@@ -67,29 +85,17 @@ fn main() {
         &split.valid,
         PredictorConfig::default(),
         TrainConfig {
-            epochs: 12,
+            epochs,
             lr: 1.5e-3,
             ..Default::default()
         },
     );
     let m = evaluate(&model, &ds, &split.test);
     eprintln!("[cdmpp] cost model test MAPE: {:.1}%", m.mape * 100.0);
+    model
+}
 
-    // Serve inference through the forward-only engine (one worker per
-    // core); training kept the mutable parameter store, serving shares
-    // frozen weights across the pool.
-    let engine = InferenceEngine::from_trained(&model, EngineConfig::default());
-    eprintln!(
-        "[cdmpp] serving with {} inference workers",
-        engine.worker_count()
-    );
-    let r = match cdmpp::runtime::end_to_end(&engine, &net, &dev, 0) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("[cdmpp] inference failed: {e}");
-            std::process::exit(1);
-        }
-    };
+fn print_result(net: &Network, batch: u64, dev: &DeviceSpec, r: &cdmpp::core::E2eResult) {
     println!(
         "{} (batch {}) on {}: predicted {:.3} ms / iteration (simulated ground truth {:.3} ms, error {:.1}%)",
         net.name,
@@ -99,4 +105,160 @@ fn main() {
         r.measured_s * 1e3,
         r.error() * 100.0
     );
+}
+
+/// `cdmpp train <device> --save <path> [--epochs N]`
+fn cmd_train(args: &[String]) -> ! {
+    let mut device: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut epochs = 12usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--save" => save = it.next().cloned().or_else(|| usage()),
+            "--epochs" => {
+                epochs = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(e) if e >= 1 => e,
+                    _ => usage(),
+                }
+            }
+            _ if device.is_none() => device = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let (Some(device), Some(save)) = (device, save) else {
+        usage();
+    };
+    let dev = device_or_usage(&device);
+    let model = train_model(&dev, epochs);
+    let snap = match Snapshot::capture_all(&model) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[cdmpp] compiling inference plans failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bytes = snap.to_bytes();
+    if let Err(e) = std::fs::write(&save, &bytes) {
+        eprintln!("[cdmpp] writing {save} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[cdmpp] wrote {save}: {} bytes, {} weight tensors, {} pre-compiled plans",
+        bytes.len(),
+        snap.params.len(),
+        snap.plans.len()
+    );
+    std::process::exit(0);
+}
+
+/// Parses `--snapshot <path> <network> <batch> <device>`.
+fn parse_snapshot_args(args: &[String]) -> (String, Network, u64, DeviceSpec) {
+    let [flag, path, net, batch, device] = args else {
+        usage();
+    };
+    if flag != "--snapshot" {
+        usage();
+    }
+    let batch = parse_batch(batch);
+    let net = network_or_usage(net, batch);
+    let dev = device_or_usage(device);
+    (path.clone(), net, batch, dev)
+}
+
+fn load_model(path: &str) -> InferenceModel {
+    match InferenceModel::from_snapshot_file(path) {
+        Ok(m) => {
+            eprintln!(
+                "[cdmpp] loaded {path} (plan recordings performed: {})",
+                m.predictor.plan_compile_count()
+            );
+            m
+        }
+        Err(e) => {
+            eprintln!("[cdmpp] loading snapshot {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `cdmpp serve --snapshot <path> <network> <batch> <device>`: cold-start
+/// the concurrent engine from the checkpoint and serve the prediction
+/// through the worker pool.
+fn cmd_serve(args: &[String]) -> ! {
+    let (path, net, batch, dev) = parse_snapshot_args(args);
+    let model = load_model(&path);
+    let engine = InferenceEngine::new(model, EngineConfig::default());
+    eprintln!(
+        "[cdmpp] serving with {} inference workers (zero training, zero recording)",
+        engine.worker_count()
+    );
+    match cdmpp::runtime::end_to_end(&engine, &net, &dev, 0) {
+        Ok(r) => {
+            print_result(&net, batch, &dev, &r);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[cdmpp] inference failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `cdmpp predict --snapshot <path> <network> <batch> <device>`:
+/// single-threaded prediction from the checkpoint (no worker pool — the
+/// minimal cold-start path).
+fn cmd_predict(args: &[String]) -> ! {
+    let (path, net, batch, dev) = parse_snapshot_args(args);
+    let model = load_model(&path);
+    match end_to_end_frozen(&model, &net, &dev, 0) {
+        Ok(r) => {
+            print_result(&net, batch, &dev, &r);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[cdmpp] inference failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Legacy flow: train on the fly, then serve in the same process.
+fn cmd_legacy(args: &[String]) -> ! {
+    let [net_name, batch, device] = args else {
+        usage();
+    };
+    let batch = parse_batch(batch);
+    let net = network_or_usage(net_name, batch);
+    let dev = device_or_usage(device);
+    let model = train_model(&dev, 12);
+    // Serve inference through the forward-only engine (one worker per
+    // core). Training is done with the model, so the weights move into
+    // the served Arc without a copy.
+    let engine = InferenceEngine::new(model.into_frozen(), EngineConfig::default());
+    eprintln!(
+        "[cdmpp] serving with {} inference workers",
+        engine.worker_count()
+    );
+    match cdmpp::runtime::end_to_end(&engine, &net, &dev, 0) {
+        Ok(r) => {
+            print_result(&net, batch, &dev, &r);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[cdmpp] inference failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some(_) if args.len() == 3 => cmd_legacy(&args),
+        _ => usage(),
+    }
 }

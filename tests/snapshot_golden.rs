@@ -1,0 +1,103 @@
+//! Golden snapshot fixture: pins the on-disk format in CI.
+//!
+//! `tests/fixtures/golden.cdmppsnap` is a tiny trained checkpoint
+//! committed to the repo (regenerate with
+//! `cargo run --release --example golden_snapshot`). This test loads it
+//! and asserts byte- and prediction-level invariants, so any change to the
+//! header schema, weight encoding, or plan descriptor layout **breaks the
+//! build** instead of silently orphaning users' snapshot files. An
+//! intentional format change must bump `SNAPSHOT_VERSION`, regenerate the
+//! fixture, and repin the constants below.
+
+use cdmpp::core::batch::EncodedSample;
+use cdmpp::core::Snapshot;
+use cdmpp::prelude::*;
+
+/// FNV-1a of the committed fixture bytes (platform-independent).
+const FIXTURE_FNV1A: u64 = 0x9ad3954b1d9af72a;
+/// Exact predictions (seconds) for the three probe samples below.
+const PINNED_PREDICTIONS: [f64; 3] = [
+    4.41309264344356e-5,
+    0.00011713448903850822,
+    4.1881703655457877e-5,
+];
+
+const FIXTURE: &[u8] = include_bytes!("fixtures/golden.cdmppsnap");
+
+/// The three probe samples (shared verbatim with the generator example).
+fn probes() -> Vec<EncodedSample> {
+    [1usize, 2, 4]
+        .iter()
+        .enumerate()
+        .map(|(s, &leaves)| EncodedSample {
+            record_idx: s,
+            leaf_count: leaves,
+            x: (0..leaves * cdmpp::features::N_ENTRY)
+                .map(|i| ((i + 13 * s) as f32 * 0.157).sin())
+                .collect(),
+            dev: [0.4; cdmpp::features::N_DEVICE_FEATURES],
+            y_raw: 1e-3,
+        })
+        .collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn golden_fixture_bytes_are_pinned() {
+    assert_eq!(
+        fnv1a(FIXTURE),
+        FIXTURE_FNV1A,
+        "the committed fixture changed; if the format change was \
+         intentional, bump SNAPSHOT_VERSION and regenerate via \
+         `cargo run --release --example golden_snapshot`"
+    );
+}
+
+#[test]
+fn golden_fixture_loads_and_predicts_exactly() {
+    let snap = Snapshot::from_bytes(FIXTURE).expect(
+        "the committed fixture no longer decodes: the snapshot format \
+         drifted without a version bump",
+    );
+    assert_eq!(snap.plans.len(), snap.config.max_leaves, "full plan set");
+    let model = InferenceModel::from_snapshot(&snap).expect("fixture must restore a model");
+    let preds = model.predict_samples(&probes()).unwrap();
+    // The forward pass uses libm transcendentals (tanh/exp), which Rust
+    // does not guarantee bit-exact across targets — so the exact pin runs
+    // where CI runs (x86_64 linux), and other targets get a tight
+    // tolerance instead of a false "format drift" failure.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    assert_eq!(
+        preds.as_slice(),
+        &PINNED_PREDICTIONS,
+        "snapshot-restored predictions drifted from the pinned values"
+    );
+    for (got, want) in preds.iter().zip(&PINNED_PREDICTIONS) {
+        assert!(
+            ((got - want) / want).abs() < 1e-4,
+            "prediction {got} far from pinned {want}"
+        );
+    }
+    // The fixture ships every plan: restoring + serving records nothing.
+    assert_eq!(model.predictor.plan_compile_count(), 0);
+}
+
+#[test]
+fn golden_fixture_reserializes_canonically() {
+    // load → save must reproduce the committed bytes exactly.
+    let snap = Snapshot::from_bytes(FIXTURE).unwrap();
+    let model = InferenceModel::from_snapshot(&snap).unwrap();
+    assert_eq!(
+        Snapshot::from_inference(&model).to_bytes(),
+        FIXTURE,
+        "canonical re-serialization of the fixture drifted"
+    );
+}
