@@ -310,6 +310,7 @@ fn engine_section() -> Vec<String> {
             EngineConfig {
                 workers,
                 max_batch: 64,
+                ..Default::default()
             },
         );
         let t = median_ns(300, || {

@@ -1,17 +1,22 @@
 //! Cost-model inference latency (§7.5 reports 8 ms for CDMPP vs 0.2 ms
-//! for XGBoost on V100; here both run on CPU), plus the three-executor
+//! for XGBoost on V100; here both run on CPU), plus the four-executor
 //! comparison behind the compiled-plan serving path:
 //!
 //! * **taped** — the autodiff `Graph` forward (training executor),
 //! * **infer_ctx** — the forward-only `InferCtx` (PR 2's serving path),
-//! * **plan** — recorded/fused/arena-planned `PlanExec` replay.
+//! * **plan** — batch-generic recorded/fused/arena-planned `PlanExec`
+//!   replay,
+//! * **spec** — the batch-specialized fold of the same plan (shape-final
+//!   offsets, prepacked weight GEMMs, unrolled head permutations).
 //!
 //! Besides the criterion console timings, this bench writes
 //! `BENCH_inference_plan.json` at the workspace root (override with the
-//! `BENCH_INFERENCE_JSON` env var): per-shape timings for all three
-//! executors at predictor batch shapes, a serving-stream comparison
-//! (InferCtx bucketing loop vs compiled-plan replay), and the plan
-//! compiler's fusion counters.
+//! `BENCH_INFERENCE_JSON` env var): per-shape timings for all four
+//! executors at predictor batch shapes, single-threaded serving-stream
+//! comparisons (InferCtx bucketing loop vs compiled-plan replay), an
+//! **engine scheduling** comparison (ragged vs stable-class vs padded
+//! chunking on a mixed-size request load through one worker), and the
+//! plan compiler's fusion counters.
 
 use baselines::{GbtConfig, GbtRegressor};
 use cdmpp_core::batch::{build_scaled_batch, group_by_leaf, EncodedSample, FeatScaler};
@@ -25,6 +30,7 @@ use learn::TransformKind;
 use nn::InferCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use runtime::{ChunkPolicy, EngineConfig, InferenceEngine};
 use std::hint::black_box;
 use std::time::Instant;
 use tensor::Tensor;
@@ -152,8 +158,19 @@ fn bench_inference(c: &mut Criterion) {
         let mut runner = PlanRunner::new();
         g.bench_function(&format!("plan_b{bsz}_l{l}"), |b| {
             b.iter(|| {
-                black_box(frozen.predictor.predict_planned(
+                black_box(frozen.predictor.predict_planned_generic(
                     &mut runner,
+                    black_box(&x),
+                    black_box(&devt),
+                ))
+            })
+        });
+        frozen.predictor.register_batch_class(bsz);
+        let mut spec_runner = PlanRunner::new();
+        g.bench_function(&format!("spec_b{bsz}_l{l}"), |b| {
+            b.iter(|| {
+                black_box(frozen.predictor.predict_planned(
+                    &mut spec_runner,
                     black_box(&x),
                     black_box(&devt),
                 ))
@@ -177,6 +194,23 @@ fn bench_inference(c: &mut Criterion) {
     emit_json(&model, &enc);
 }
 
+/// A mixed-size request load for the engine scheduling comparison: leaf
+/// buckets big enough for full `max_batch` chunks plus ragged tails, with
+/// single-sample stragglers mixed in.
+fn mixed_load(enc: &[EncodedSample]) -> Vec<EncodedSample> {
+    let mut load = Vec::with_capacity(enc.len() * 7);
+    for rep in 0..7 {
+        for (i, s) in enc.iter().enumerate() {
+            // Skip a varying prefix per repetition so bucket sizes land
+            // off the class boundaries (ragged tails are the point).
+            if (i + rep) % 9 != 0 {
+                load.push(s.clone());
+            }
+        }
+    }
+    load
+}
+
 /// Re-measures with plain `Instant` medians and writes
 /// `BENCH_inference_plan.json`.
 fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
@@ -184,8 +218,9 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
 
     // Per-shape executor comparison. Note tensor clones inside the taped
     // and infer_ctx closures mirror their real call signatures (both take
-    // inputs by value); the plan path takes references, which is part of
-    // its design.
+    // inputs by value); the plan paths take references, which is part of
+    // their design. `spec` replays the batch-specialized fold of the
+    // generic plan (same bits out, shape-final execution).
     let mut batch_rows = Vec::new();
     for &(bsz, l) in BATCH_SHAPES {
         let (x, devt) = dense_batch(bsz, l);
@@ -211,22 +246,38 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
             black_box(
                 frozen
                     .predictor
-                    .predict_planned(&mut runner, black_box(&x), black_box(&devt))
+                    .predict_planned_generic(&mut runner, black_box(&x), black_box(&devt))
                     .unwrap(),
             );
         });
+        frozen.predictor.register_batch_class(bsz);
+        let mut spec_runner = PlanRunner::new();
+        let spec = median_ns(250, || {
+            black_box(
+                frozen
+                    .predictor
+                    .predict_planned(&mut spec_runner, black_box(&x), black_box(&devt))
+                    .unwrap(),
+            );
+        });
+        assert_eq!(
+            spec_runner.spec_exec_count(),
+            1,
+            "spec must route specialized"
+        );
         batch_rows.push(format!(
             "    {{\"batch\": {bsz}, \"leaves\": {l}, \"taped_ns\": {taped:.0}, \
-             \"infer_ctx_ns\": {infer_ctx:.0}, \"plan_ns\": {plan:.0}, \
-             \"plan_vs_taped\": {:.2}, \"plan_vs_infer_ctx\": {:.2}}}",
+             \"infer_ctx_ns\": {infer_ctx:.0}, \"plan_ns\": {plan:.0}, \"spec_ns\": {spec:.0}, \
+             \"plan_vs_taped\": {:.2}, \"plan_vs_infer_ctx\": {:.2}, \"spec_vs_plan\": {:.2}}}",
             taped / plan,
-            infer_ctx / plan
+            infer_ctx / plan,
+            plan / spec
         ));
     }
 
     // Serving stream: the full heterogeneous request loop, InferCtx
     // bucketing vs compiled-plan replay (both single-threaded here; the
-    // engine adds workers on top of whichever executor).
+    // engine adds scheduling + workers on top of whichever executor).
     let ctx_stream = median_ns(300, || {
         black_box(stream_infer_ctx(&frozen, black_box(enc)));
     });
@@ -253,13 +304,53 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         ),
     ];
 
+    // Engine scheduling comparison: the same mixed-size request load
+    // through one worker under each chunking policy. `ragged` replays
+    // everything on the batch-generic plan (the pre-specialization
+    // dispatcher); `stable` routes full chunks and singles to specialized
+    // plans; `padded` additionally pads near-full tails up to the class.
+    let load = mixed_load(enc);
+    let m = load.len();
+    let mut engine_rows = Vec::new();
+    let mut ragged_ns = 0.0f64;
+    for (name, policy) in [
+        ("ragged", ChunkPolicy::Ragged),
+        ("stable", ChunkPolicy::Stable),
+        ("padded", ChunkPolicy::PadToClass { min_fill_pct: 80 }),
+    ] {
+        let engine = InferenceEngine::new(
+            model.freeze(),
+            EngineConfig {
+                workers: 1,
+                max_batch: 64,
+                policy,
+            },
+        );
+        // Warm every arena/plan before timing.
+        engine.predict_samples(&load).unwrap();
+        let t = median_ns(300, || {
+            black_box(engine.predict_samples(black_box(&load)).unwrap());
+        });
+        if name == "ragged" {
+            ragged_ns = t;
+        }
+        engine_rows.push(format!(
+            "    {{\"policy\": \"{name}\", \"requests\": {m}, \"ns_per_stream\": {t:.0}, \
+             \"requests_per_s\": {:.0}, \"speedup_vs_ragged\": {:.2}}}",
+            m as f64 * 1e9 / t,
+            ragged_ns / t
+        ));
+        engine.shutdown();
+    }
+
     // The compiler's own counters for the densest shape served above.
     let stats = frozen.predictor.plan_for(8).unwrap().stats();
     let stats_json = format!(
-        "{{\"recorded_ops\": {}, \"steps\": {}, \"elided_reshapes\": {}, \
+        "{{\"recorded_ops\": {}, \"cse_deduped\": {}, \"steps\": {}, \"elided_reshapes\": {}, \
          \"fused_bias\": {}, \"fused_activations\": {}, \"fused_elementwise\": {}, \
          \"inplace_steps\": {}, \"buffers\": {}, \"arena_slots\": {}}}",
         stats.recorded_ops,
+        stats.cse_deduped,
         stats.steps,
         stats.elided_reshapes,
         stats.fused_bias,
@@ -275,11 +366,12 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"inference_plan\",\n  \"host_cores\": {cores},\n  \
-         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan replays by reference with a warmed arena.\",\n  \
+         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan/spec replay by reference with a warmed arena. engine_scheduling drives one worker with a mixed-size request load under each chunk policy.\",\n  \
          \"plan_stats_leaf8\": {stats_json},\n  \
-         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ]\n}}\n",
+         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ],\n  \"engine_scheduling\": [\n{}\n  ]\n}}\n",
         batch_rows.join(",\n"),
-        stream_rows.join(",\n")
+        stream_rows.join(",\n"),
+        engine_rows.join(",\n")
     );
     let path = std::env::var("BENCH_INFERENCE_JSON").unwrap_or_else(|_| {
         format!(

@@ -205,6 +205,90 @@ fn group_by_leaf_impl<T: std::borrow::Borrow<EncodedSample>>(
     groups
 }
 
+/// Flat, reusable output of leaf-count grouping: the one allocation-free
+/// representation the serving engine's dispatcher keeps as per-call
+/// scratch (a `BTreeMap<usize, Vec<usize>>` costs one `Vec` per leaf
+/// count per request).
+#[derive(Debug, Default, Clone)]
+pub struct LeafGroups {
+    /// Sample indices, grouped by ascending leaf count, input order
+    /// preserved within each group.
+    pub order: Vec<usize>,
+    /// One `(leaf_count, start, end)` half-open span per group, indexing
+    /// [`LeafGroups::order`].
+    pub spans: Vec<(usize, usize, usize)>,
+}
+
+/// [`group_by_leaf_refs`] into caller-owned scratch. Exactly the same
+/// grouping policy (ascending leaf counts, stable input order within a
+/// group — asserted against the map-based grouping in tests), but writing
+/// into reusable buffers so a serving hot path allocates nothing per
+/// request once warmed.
+pub fn group_by_leaf_into(samples: &[&EncodedSample], out: &mut LeafGroups) {
+    out.order.clear();
+    out.spans.clear();
+    out.order.extend(0..samples.len());
+    out.order
+        .sort_unstable_by_key(|&i| (samples[i].leaf_count, i));
+    let mut start = 0usize;
+    while start < out.order.len() {
+        let leaf = samples[out.order[start]].leaf_count;
+        let mut end = start + 1;
+        while end < out.order.len() && samples[out.order[end]].leaf_count == leaf {
+            end += 1;
+        }
+        out.spans.push((leaf, start, end));
+        start = end;
+    }
+}
+
+/// Builds a standardized dense batch straight from `idxs` (indices into
+/// `samples`) — the engine's dispatch path, which must not materialize a
+/// fresh `Vec<&EncodedSample>` per chunk.
+///
+/// When `pad_to > idxs.len()`, the **last** sample's rows are replicated
+/// until the batch holds `pad_to` samples (the plan-aware scheduler pads
+/// a near-full tail chunk up to a stable batch class; callers discard the
+/// padded tail of the predictions). Every kernel in the stack computes
+/// rows independently, so the real rows' results are bit-identical with
+/// or without padding. `pad_to <= idxs.len()` means no padding.
+///
+/// # Panics
+///
+/// Panics if `idxs` is empty.
+pub fn build_scaled_batch_idx(
+    samples: &[&EncodedSample],
+    idxs: &[usize],
+    pad_to: usize,
+    scaler: &FeatScaler,
+) -> Batch {
+    let b = idxs.len().max(pad_to);
+    let l = samples[idxs[0]].leaf_count;
+    debug_assert!(idxs.iter().all(|&i| samples[i].leaf_count == l));
+    let mut xs = Vec::with_capacity(b * l * N_ENTRY);
+    let mut devs = Vec::with_capacity(b * N_DEVICE_FEATURES);
+    let mut y_raw = Vec::with_capacity(b);
+    let mut record_idx = Vec::with_capacity(b);
+    let last = *idxs.last().expect("non-empty chunk");
+    for k in 0..b {
+        let s = samples[*idxs.get(k).unwrap_or(&last)];
+        xs.extend(s.x.iter().enumerate().map(|(j, &v)| {
+            let col = j % N_ENTRY;
+            (v - scaler.mean[col]) / scaler.std[col]
+        }));
+        devs.extend_from_slice(&s.dev);
+        y_raw.push(s.y_raw);
+        record_idx.push(s.record_idx);
+    }
+    Batch {
+        leaf_count: l,
+        x: Tensor::from_vec(xs, &[b, l, N_ENTRY]).expect("sample widths"),
+        dev: Tensor::from_vec(devs, &[b, N_DEVICE_FEATURES]).expect("device widths"),
+        y_raw,
+        record_idx,
+    }
+}
+
 /// Splits samples into shuffled leaf-count-homogeneous minibatches.
 pub fn make_batches<'a>(
     samples: &'a [EncodedSample],
@@ -263,6 +347,69 @@ mod tests {
         let with = encode_records(&d, &idx[..4], features::DEFAULT_THETA, true);
         let without = encode_records(&d, &idx[..4], features::DEFAULT_THETA, false);
         assert!(with.iter().zip(&without).any(|(a, b)| a.x != b.x));
+    }
+
+    #[test]
+    fn flat_grouping_matches_map_grouping_exactly() {
+        // group_by_leaf_into is the serving engine's allocation-free twin
+        // of the map-based grouping: same leaf order, same input order
+        // within each group, same partition.
+        let d = ds();
+        let idx = d.device_records("T4");
+        let enc = encode_records(&d, &idx, features::DEFAULT_THETA, true);
+        let refs: Vec<&EncodedSample> = enc.iter().collect();
+        let map = group_by_leaf_refs(&refs);
+        let mut flat = LeafGroups::default();
+        group_by_leaf_into(&refs, &mut flat);
+        assert_eq!(flat.spans.len(), map.len());
+        for ((leaf, start, end), (map_leaf, map_idxs)) in flat.spans.iter().zip(&map) {
+            assert_eq!(leaf, map_leaf);
+            assert_eq!(&flat.order[*start..*end], map_idxs.as_slice());
+        }
+        // Reusing the scratch for a different request produces the same
+        // result as a fresh grouping (buffers fully overwritten).
+        let subset: Vec<&EncodedSample> = enc.iter().rev().take(7).collect();
+        group_by_leaf_into(&subset, &mut flat);
+        let mut fresh = LeafGroups::default();
+        group_by_leaf_into(&subset, &mut fresh);
+        assert_eq!(flat.order, fresh.order);
+        assert_eq!(flat.spans, fresh.spans);
+    }
+
+    #[test]
+    fn indexed_batch_building_matches_ref_building_and_pads() {
+        let d = ds();
+        let idx = d.device_records("T4");
+        let enc = encode_records(&d, &idx, features::DEFAULT_THETA, true);
+        let scaler = FeatScaler::fit(&enc);
+        let all: Vec<&EncodedSample> = enc.iter().collect();
+        let (leaf, idxs) = group_by_leaf_refs(&all)
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("non-empty dataset");
+        let refs: Vec<&EncodedSample> = idxs.iter().map(|&i| all[i]).collect();
+        // Unpadded: bit-identical to the ref-slice builder.
+        let via_refs = build_scaled_batch(&refs, &scaler);
+        let via_idx = build_scaled_batch_idx(&all, &idxs, 0, &scaler);
+        assert_eq!(via_idx.leaf_count, leaf);
+        assert_eq!(via_idx.x.data(), via_refs.x.data());
+        assert_eq!(via_idx.dev.data(), via_refs.dev.data());
+        assert_eq!(via_idx.record_idx, via_refs.record_idx);
+        // Padded: the real rows are untouched, the tail replicates the
+        // last sample's rows.
+        let pad_to = idxs.len() + 3;
+        let padded = build_scaled_batch_idx(&all, &idxs, pad_to, &scaler);
+        assert_eq!(padded.x.shape()[0], pad_to);
+        let row = leaf * N_ENTRY;
+        assert_eq!(
+            &padded.x.data()[..idxs.len() * row],
+            via_refs.x.data(),
+            "real rows must be bit-identical under padding"
+        );
+        let last = &via_refs.x.data()[(idxs.len() - 1) * row..];
+        for k in idxs.len()..pad_to {
+            assert_eq!(&padded.x.data()[k * row..(k + 1) * row], last);
+        }
     }
 
     #[test]

@@ -30,19 +30,22 @@ pub mod trainer;
 
 pub use autotune::{autotune, AutoTuneResult, Trial};
 pub use batch::{
-    build_batch, build_scaled_batch, encode_records, group_by_leaf, group_by_leaf_refs,
-    make_batches, Batch, EncodedSample,
+    build_batch, build_scaled_batch, build_scaled_batch_idx, encode_records, group_by_leaf,
+    group_by_leaf_into, group_by_leaf_refs, make_batches, Batch, EncodedSample, LeafGroups,
 };
 pub use e2e::{
     encode_programs, end_to_end, end_to_end_frozen, measured_end_to_end, replay_predictions,
     sample_network_programs, E2eResult,
 };
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
-pub use predictor::{PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor};
+pub use predictor::{
+    PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor, DEFAULT_MAX_BATCH,
+    MAX_BATCH_CLASSES,
+};
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
-pub use snapshot::{ParamTensor, PlanEntry, Snapshot, SnapshotError};
+pub use snapshot::{ParamTensor, PlanEntry, Snapshot, SnapshotError, SpecPlanEntry};
 pub use trainer::{
     evaluate, pretrain, train_step, train_step_parallel, EvalMetrics, InferenceModel, LossKind,
     OptKind, TrainConfig, TrainStats, TrainedModel,

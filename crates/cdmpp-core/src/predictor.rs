@@ -26,9 +26,10 @@
 //! produces a cheap-clone [`SharedPredictor`] holding the weights behind an
 //! `Arc`.
 
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use nn::plan::{Plan, PlanError, PlanExec, Recorder};
+use nn::plan::{Plan, PlanError, PlanExec, Recorder, SpecExec, SpecializedPlan, WeightPackCache};
 use nn::{Exec, Graph, InferCtx, Linear, Mlp, ParamStore, TransformerEncoder, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -293,6 +294,53 @@ fn new_plan_cache(max_leaves: usize) -> PlanCache {
     })
 }
 
+/// The second cache tier: **batch-specialized** plans for one frozen
+/// weight set, keyed by `(leaf count, batch class)`.
+///
+/// The first tier (the per-leaf [`PlanCache`]) holds batch-size-generic
+/// plans that read parameter values at replay time — safe to share across
+/// training-side clones and every frozen handle. Specialized plans are
+/// different: [`SpecializedPlan`] prepacks weight GEMM panels, baking in
+/// parameter **values**, so this cache hangs off each freeze
+/// ([`Predictor::share`] / [`Predictor::into_shared`]) and is never shared
+/// with the mutable training-side predictor. Clones of one
+/// [`SharedPredictor`] share it (same frozen weights); re-freezing after
+/// further training gets a fresh, empty cache.
+///
+/// Only **registered batch classes** are specialized — routing an
+/// arbitrary request stream through here must not grow an unbounded plan
+/// set, so odd batch sizes fall back to the generic plan.
+struct SpecCacheInner {
+    /// Registered batch classes (small: typically `{1, max_batch}`).
+    classes: RwLock<Vec<usize>>,
+    /// `(leaves, batch)` → folded plan.
+    plans: RwLock<HashMap<(usize, usize), Arc<SpecializedPlan>>>,
+    /// Prepacked weight panels shared across every fold of this frozen
+    /// weight set (plans overlap in the parameters they read, so each
+    /// distinct `[k, n]` weight matrix is packed exactly once).
+    packs: Mutex<WeightPackCache>,
+}
+
+type SpecCache = Arc<SpecCacheInner>;
+
+fn new_spec_cache() -> SpecCache {
+    Arc::new(SpecCacheInner {
+        classes: RwLock::new(Vec::new()),
+        plans: RwLock::new(HashMap::new()),
+        packs: Mutex::new(WeightPackCache::new()),
+    })
+}
+
+/// Hard cap on registered batch classes: the specialized tier is meant for
+/// a handful of stable serving shapes, not one plan per request size.
+pub const MAX_BATCH_CLASSES: usize = 8;
+
+/// The serving engine's default dense chunk size — and therefore the
+/// default non-trivial batch class. Defined here (not in `runtime`) so
+/// checkpoints can pre-specialize for the same class the engine dispatches
+/// by default.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
 /// Looks up (compiling on first use) the plan for `leaves`.
 fn plan_for(
     cache: &PlanCache,
@@ -321,12 +369,15 @@ fn plan_for(
 }
 
 /// Per-thread replay state for compiled plans: one [`PlanExec`] (arena +
-/// offsets) per leaf count actually served. Keep one `PlanRunner` per
-/// serving thread and feed it every batch; steady-state replay allocates
-/// nothing.
+/// offsets) per leaf count actually served, plus one fixed-size
+/// [`SpecExec`] arena per `(leaf count, batch class)` replayed through a
+/// specialized plan. Keep one `PlanRunner` per serving thread and feed it
+/// every batch; steady-state replay allocates nothing, and class-size
+/// batches never re-offset an arena (each class owns its own).
 #[derive(Default)]
 pub struct PlanRunner {
     execs: Vec<Option<PlanExec>>,
+    spec: Vec<((usize, usize), SpecExec)>,
 }
 
 impl PlanRunner {
@@ -335,11 +386,18 @@ impl PlanRunner {
         Self::default()
     }
 
-    /// Total arena-growth events across all leaf counts (flat once every
-    /// served shape has warmed up — the "plan path allocates nothing per
-    /// batch" counter).
+    /// Total arena-growth events across all leaf counts on the generic
+    /// path (flat once every served shape has warmed up — the "plan path
+    /// allocates nothing per batch" counter). Specialized arenas are
+    /// allocated exactly once per `(leaf count, class)` and are excluded.
     pub fn alloc_count(&self) -> usize {
         self.execs.iter().flatten().map(|e| e.alloc_count()).sum()
+    }
+
+    /// Number of specialized `(leaf count, batch class)` arenas this
+    /// runner holds (bounded by leaf counts × registered classes).
+    pub fn spec_exec_count(&self) -> usize {
+        self.spec.len()
     }
 
     fn exec_for(&mut self, leaves: usize, plan: Arc<Plan>) -> &mut PlanExec {
@@ -355,6 +413,27 @@ impl PlanRunner {
             _ => *slot = Some(PlanExec::new(plan)),
         }
         slot.as_mut().expect("just ensured")
+    }
+
+    fn spec_exec_for(
+        &mut self,
+        leaves: usize,
+        batch: usize,
+        plan: Arc<SpecializedPlan>,
+    ) -> &mut SpecExec {
+        let key = (leaves, batch);
+        match self.spec.iter().position(|(k, _)| *k == key) {
+            Some(i) if Arc::ptr_eq(self.spec[i].1.plan(), &plan) => &mut self.spec[i].1,
+            Some(i) => {
+                // Same key, different model (A/B serving): rebind.
+                self.spec[i].1 = SpecExec::new(plan);
+                &mut self.spec[i].1
+            }
+            None => {
+                self.spec.push((key, SpecExec::new(plan)));
+                &mut self.spec.last_mut().expect("just pushed").1
+            }
+        }
     }
 }
 
@@ -421,6 +500,10 @@ impl Predictor {
             // Plans bake in parameter *shapes*, not values, so the frozen
             // copy can reuse (and share) the same compiled plans.
             plans: Arc::clone(&self.plans),
+            // Specialized plans DO bake values (prepacked weights), so
+            // every freeze starts a fresh specialization tier bound to
+            // this exact weight copy.
+            spec: new_spec_cache(),
         }
     }
 
@@ -499,6 +582,7 @@ impl Predictor {
             arch: self.arch,
             cfg: self.cfg,
             plans: self.plans,
+            spec: new_spec_cache(),
         }
     }
 
@@ -542,6 +626,7 @@ pub struct SharedPredictor {
     arch: Arch,
     cfg: PredictorConfig,
     plans: PlanCache,
+    spec: SpecCache,
 }
 
 impl SharedPredictor {
@@ -608,12 +693,108 @@ impl SharedPredictor {
             .collect()
     }
 
+    /// Registers a batch size as a **class** worth specializing for: dense
+    /// batches of exactly this size route to a shape-final
+    /// [`SpecializedPlan`] (folded lazily, once per leaf count) instead of
+    /// the generic plan. The serving engine registers `{1, max_batch}`;
+    /// snapshot loading registers whatever classes the file carries.
+    ///
+    /// Returns `false` (and registers nothing) for batch 0 or once
+    /// [`MAX_BATCH_CLASSES`] distinct classes exist; registering an
+    /// existing class is a no-op returning `true`.
+    pub fn register_batch_class(&self, batch: usize) -> bool {
+        if batch == 0 {
+            return false;
+        }
+        let mut classes = self.spec.classes.write().expect("spec classes lock");
+        if classes.contains(&batch) {
+            return true;
+        }
+        if classes.len() >= MAX_BATCH_CLASSES {
+            return false;
+        }
+        classes.push(batch);
+        classes.sort_unstable();
+        true
+    }
+
+    /// The registered batch classes, ascending.
+    pub fn batch_classes(&self) -> Vec<usize> {
+        self.spec.classes.read().expect("spec classes lock").clone()
+    }
+
+    /// The specialized plans currently folded, as ascending
+    /// `(leaf count, batch class)` pairs — what a snapshot captures.
+    pub fn specialized_plans(&self) -> Vec<(usize, usize)> {
+        let mut keys: Vec<(usize, usize)> = self
+            .spec
+            .plans
+            .read()
+            .expect("spec plans lock")
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The specialized plan for `(leaves, batch)`: `None` when `batch` is
+    /// not a registered class (callers fall back to the generic plan),
+    /// folded on first use otherwise.
+    pub fn spec_plan_for(
+        &self,
+        leaves: usize,
+        batch: usize,
+    ) -> PredictResult<Option<Arc<SpecializedPlan>>> {
+        {
+            let classes = self.spec.classes.read().expect("spec classes lock");
+            if !classes.contains(&batch) {
+                return Ok(None);
+            }
+        }
+        let key = (leaves, batch);
+        if let Some(plan) = self.spec.plans.read().expect("spec plans lock").get(&key) {
+            return Ok(Some(Arc::clone(plan)));
+        }
+        // Fold outside the plans lock (pure, so a racing duplicate is
+        // dropped); the pack cache's own lock shares weight panels across
+        // every fold of this frozen model.
+        let generic = self.plan_for(leaves)?;
+        let folded = {
+            let mut packs = self.spec.packs.lock().expect("pack cache lock");
+            Arc::new(generic.specialize_cached(&self.params, batch, &mut packs)?)
+        };
+        let mut plans = self.spec.plans.write().expect("spec plans lock");
+        Ok(Some(Arc::clone(plans.entry(key).or_insert(folded))))
+    }
+
     /// Predictions (transformed space) through a compiled plan replayed by
-    /// `runner`. This is the serving hot path: after the first batch of a
-    /// given leaf count and size, replay performs zero heap allocation and
-    /// no dynamic dispatch, and fused GEMM epilogues cover every linear
-    /// layer. Bit-identical to [`SharedPredictor::predict_with`].
+    /// `runner`. This is the serving hot path: a batch whose size is a
+    /// registered class replays its shape-final specialized plan (zero
+    /// symbolic evaluation, prepacked weight GEMMs, one fixed arena per
+    /// class); any other size falls back to the batch-generic plan. After
+    /// warmup neither path allocates, and both are bit-identical to
+    /// [`SharedPredictor::predict_with`].
     pub fn predict_planned(
+        &self,
+        runner: &mut PlanRunner,
+        x: &Tensor,
+        dev: &Tensor,
+    ) -> PredictResult<Vec<f32>> {
+        let leaves = leaf_count_of(x)?;
+        let batch = x.shape()[0];
+        if let Some(plan) = self.spec_plan_for(leaves, batch)? {
+            let exec = runner.spec_exec_for(leaves, batch, plan);
+            exec.run(&self.params, &[x, dev])?;
+            return Ok(exec.output(PLAN_OUT_PRED).to_vec());
+        }
+        self.predict_planned_generic(runner, x, dev)
+    }
+
+    /// [`SharedPredictor::predict_planned`] pinned to the batch-generic
+    /// plan (no class routing) — the baseline the specialization benches
+    /// and equivalence tests compare against.
+    pub fn predict_planned_generic(
         &self,
         runner: &mut PlanRunner,
         x: &Tensor,
@@ -627,7 +808,7 @@ impl SharedPredictor {
     }
 
     /// Latent representations through a compiled plan (the plan's other
-    /// output; same replay, same zero-allocation property).
+    /// output; same routing, same zero-allocation property).
     pub fn latent_planned(
         &self,
         runner: &mut PlanRunner,
@@ -635,14 +816,23 @@ impl SharedPredictor {
         dev: &Tensor,
     ) -> PredictResult<Vec<Vec<f64>>> {
         let leaves = leaf_count_of(x)?;
+        let batch = x.shape()[0];
+        let to_rows = |z: &[f32], d: usize| -> Vec<Vec<f64>> {
+            z.chunks(d)
+                .map(|row| row.iter().map(|&v| v as f64).collect())
+                .collect()
+        };
+        if let Some(plan) = self.spec_plan_for(leaves, batch)? {
+            let exec = runner.spec_exec_for(leaves, batch, plan);
+            exec.run(&self.params, &[x, dev])?;
+            let d = exec.output_shape(PLAN_OUT_LATENT)[1];
+            return Ok(to_rows(exec.output(PLAN_OUT_LATENT), d));
+        }
         let plan = self.plan_for(leaves)?;
         let exec = runner.exec_for(leaves, plan);
         exec.run(&self.params, &[x, dev])?;
-        let z = exec.output(PLAN_OUT_LATENT);
         let d = exec.output_shape(PLAN_OUT_LATENT)[1];
-        Ok(z.chunks(d)
-            .map(|row| row.iter().map(|&v| v as f64).collect())
-            .collect())
+        Ok(to_rows(exec.output(PLAN_OUT_LATENT), d))
     }
 }
 
@@ -877,6 +1067,58 @@ mod tests {
         let planned = shared.latent_planned(&mut runner, &x, &dev).unwrap();
         let fast = p.latent_batch(x, dev).unwrap();
         assert_eq!(planned, fast);
+    }
+
+    #[test]
+    fn recorder_cse_does_not_regress_default_predictor_memory() {
+        // The PR-3 lowering packed the default predictor's L=8 plan into
+        // 5 arena slots and 44 steps; recorder CSE must only ever hold or
+        // improve both (it removes duplicate subtrees before planning).
+        let p = Predictor::new(PredictorConfig::default());
+        let st = p.plan_for(8).unwrap().stats();
+        assert!(st.arena_slots <= 5, "arena slots regressed: {st:?}");
+        assert!(st.steps <= 44, "step count regressed: {st:?}");
+    }
+
+    #[test]
+    fn specialized_routing_matches_generic_and_falls_back_off_class() {
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        assert!(shared.register_batch_class(4));
+        assert!(!shared.register_batch_class(0), "batch 0 is not a class");
+        let mut runner = PlanRunner::new();
+        for (b, expect_spec) in [(4usize, true), (3, false), (4, true)] {
+            let (x, dev) = batch(b, 3);
+            let routed = shared.predict_planned(&mut runner, &x, &dev).unwrap();
+            let generic = p.predict_batch(x.clone(), dev.clone()).unwrap();
+            assert_eq!(routed, generic, "b={b}");
+            let _ = expect_spec;
+        }
+        assert_eq!(
+            runner.spec_exec_count(),
+            1,
+            "one specialized arena for the registered class"
+        );
+        assert_eq!(shared.specialized_plans(), vec![(3, 4)]);
+        // A fresh freeze of the same predictor gets its own spec tier.
+        let refrozen = p.share();
+        assert!(refrozen.specialized_plans().is_empty());
+    }
+
+    #[test]
+    fn batch_class_registry_is_bounded() {
+        let p = Predictor::new(PredictorConfig::default());
+        let shared = p.share();
+        for b in 1..=MAX_BATCH_CLASSES {
+            assert!(shared.register_batch_class(b * 10));
+        }
+        assert!(
+            !shared.register_batch_class(9_999),
+            "registry must cap at MAX_BATCH_CLASSES"
+        );
+        // Re-registering an existing class stays a no-op success.
+        assert!(shared.register_batch_class(10));
+        assert_eq!(shared.batch_classes().len(), MAX_BATCH_CLASSES);
     }
 
     #[test]

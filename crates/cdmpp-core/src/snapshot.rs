@@ -76,6 +76,13 @@ const MAX_TENSOR_NUMEL: usize = 1 << 26;
 const MAX_TOTAL_NUMEL: usize = 1 << 28;
 /// Cap on the number of serialized plans.
 const MAX_PLANS: usize = 1 << 10;
+/// Cap on the number of specialization requests a file may carry.
+const MAX_SPEC_PLANS: usize = 1 << 12;
+/// Cap on a specialization request's batch class.
+const MAX_SPEC_BATCH: usize = 1 << 12;
+/// Cap on a loaded specialized plan's concrete arena (elements): bounds
+/// what serving a file-declared batch class can make a worker allocate.
+const MAX_SPEC_ARENA: usize = 1 << 28;
 /// Caps on architecture hyper-parameters a snapshot may declare, so a
 /// hostile config cannot make [`Predictor::new`] allocate absurd weights
 /// before the parameter tables are even compared.
@@ -208,8 +215,31 @@ pub struct PlanEntry {
     pub plan: PlanDesc,
 }
 
+/// One batch-specialization request: fold the generic plan for `leaves`
+/// at batch size `batch` on load.
+///
+/// Specialized plans bake in parameter *values* (prepacked weight
+/// panels), so the snapshot does **not** ship their bytes — it records
+/// the `(leaf count, batch class)` pairs and the loader re-folds each
+/// one from the (already validated) generic plan against the restored
+/// weights. Folding is pure constant propagation: no recording happens
+/// and the result is bit-identical to specializing a live model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecPlanEntry {
+    /// The leaf count of the generic plan to specialize.
+    pub leaves: usize,
+    /// The batch class to fold it for.
+    pub batch: usize,
+}
+
 /// The JSON header (everything but the weight data).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written because `spec_plans` was added after
+/// format version 1 shipped: it decodes as an **optional trailing
+/// section** (absent in older files) and is emitted only when non-empty,
+/// so pre-specialization snapshot bytes still load and re-serialize
+/// byte-identically.
+#[derive(Debug, Clone)]
 struct Header {
     config: PredictorConfig,
     use_pe: bool,
@@ -217,6 +247,69 @@ struct Header {
     scaler: FeatScaler,
     params: Vec<ParamMeta>,
     plans: Vec<PlanEntry>,
+    spec_plans: Vec<SpecPlanEntry>,
+}
+
+impl Serialize for Header {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"config\":");
+        self.config.serialize_json(out);
+        out.push_str(",\"use_pe\":");
+        self.use_pe.serialize_json(out);
+        out.push_str(",\"transform\":");
+        self.transform.serialize_json(out);
+        out.push_str(",\"scaler\":");
+        self.scaler.serialize_json(out);
+        out.push_str(",\"params\":");
+        self.params.serialize_json(out);
+        out.push_str(",\"plans\":");
+        self.plans.serialize_json(out);
+        if !self.spec_plans.is_empty() {
+            out.push_str(",\"spec_plans\":");
+            self.spec_plans.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for Header {
+    fn deserialize_json(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {
+        p.expect_byte(b'{')?;
+        p.expect_key("config")?;
+        let config = serde::Deserialize::deserialize_json(p)?;
+        p.expect_byte(b',')?;
+        p.expect_key("use_pe")?;
+        let use_pe = serde::Deserialize::deserialize_json(p)?;
+        p.expect_byte(b',')?;
+        p.expect_key("transform")?;
+        let transform = serde::Deserialize::deserialize_json(p)?;
+        p.expect_byte(b',')?;
+        p.expect_key("scaler")?;
+        let scaler = serde::Deserialize::deserialize_json(p)?;
+        p.expect_byte(b',')?;
+        p.expect_key("params")?;
+        let params = serde::Deserialize::deserialize_json(p)?;
+        p.expect_byte(b',')?;
+        p.expect_key("plans")?;
+        let plans = serde::Deserialize::deserialize_json(p)?;
+        let spec_plans = if p.peek() == Some(b',') {
+            p.expect_byte(b',')?;
+            p.expect_key("spec_plans")?;
+            serde::Deserialize::deserialize_json(p)?
+        } else {
+            Vec::new()
+        };
+        p.expect_byte(b'}')?;
+        Ok(Header {
+            config,
+            use_pe,
+            transform,
+            scaler,
+            params,
+            plans,
+            spec_plans,
+        })
+    }
 }
 
 /// One named weight tensor of a decoded snapshot.
@@ -255,6 +348,11 @@ pub struct Snapshot {
     /// (weights-only snapshot): missing plans are recorded lazily on first
     /// use after load, exactly like a freshly trained model.
     pub plans: Vec<PlanEntry>,
+    /// Batch-specialization requests, ascending by `(leaves, batch)`.
+    /// Optional (older files have none): each entry re-folds a shipped
+    /// generic plan for one batch class on load, so the restored model
+    /// serves class-size batches through shape-final plans immediately.
+    pub spec_plans: Vec<SpecPlanEntry>,
 }
 
 impl Snapshot {
@@ -280,7 +378,63 @@ impl Snapshot {
             scaler: model.scaler.clone(),
             params: store_params(&p.store),
             plans,
+            spec_plans: Vec::new(),
         })
+    }
+
+    /// Adds specialization requests for every captured plan × every given
+    /// batch class (deduplicated, canonical order), so loading the
+    /// snapshot cold-starts with shape-final plans for those classes. The
+    /// serving default is [`crate::DEFAULT_MAX_BATCH`] plus single-sample
+    /// batches.
+    ///
+    /// The loader's constraints are enforced here too — classes must be
+    /// in `1..=4096` and at most [`crate::predictor::MAX_BATCH_CLASSES`]
+    /// distinct — so a snapshot that saves is a snapshot that loads.
+    pub fn with_batch_classes(mut self, classes: &[usize]) -> Result<Snapshot, SnapshotError> {
+        let mut distinct: Vec<usize> = classes.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for &batch in &distinct {
+            if batch == 0 || batch > MAX_SPEC_BATCH {
+                return Err(SnapshotError::Limit {
+                    what: "batch class",
+                    value: batch,
+                    max: MAX_SPEC_BATCH,
+                });
+            }
+        }
+        if distinct.len() > crate::predictor::MAX_BATCH_CLASSES {
+            return Err(SnapshotError::Limit {
+                what: "distinct batch classes",
+                value: distinct.len(),
+                max: crate::predictor::MAX_BATCH_CLASSES,
+            });
+        }
+        // The loader also caps the total entry count; enforce it here so
+        // a snapshot that saves is a snapshot that loads (reachable with
+        // many-leaf models × several classes).
+        let total = self.plans.len().saturating_mul(distinct.len());
+        if total > MAX_SPEC_PLANS {
+            return Err(SnapshotError::Limit {
+                what: "specialized-plan count",
+                value: total,
+                max: MAX_SPEC_PLANS,
+            });
+        }
+        let mut entries: Vec<SpecPlanEntry> = self
+            .plans
+            .iter()
+            .flat_map(|p| {
+                distinct.iter().map(move |&batch| SpecPlanEntry {
+                    leaves: p.leaves,
+                    batch,
+                })
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.leaves, e.batch));
+        self.spec_plans = entries;
+        Ok(self)
     }
 
     /// [`Snapshot::capture`] with plans for **every** supported leaf count
@@ -309,6 +463,12 @@ impl Snapshot {
                     plan: plan.to_desc(),
                 })
                 .collect(),
+            spec_plans: model
+                .predictor
+                .specialized_plans()
+                .into_iter()
+                .map(|(leaves, batch)| SpecPlanEntry { leaves, batch })
+                .collect(),
         }
     }
 
@@ -329,6 +489,7 @@ impl Snapshot {
                 })
                 .collect(),
             plans: self.plans.clone(),
+            spec_plans: self.spec_plans.clone(),
         };
         let json = serde_json::to_string(&header).expect("header serialization is infallible");
         let weight_bytes: usize = self.params.iter().map(|p| p.data.len() * 4).sum();
@@ -439,6 +600,22 @@ impl Snapshot {
                 "plans must be in strictly ascending leaf order".into(),
             ));
         }
+        if header.spec_plans.len() > MAX_SPEC_PLANS {
+            return Err(SnapshotError::Limit {
+                what: "specialized-plan count",
+                value: header.spec_plans.len(),
+                max: MAX_SPEC_PLANS,
+            });
+        }
+        if header
+            .spec_plans
+            .windows(2)
+            .any(|w| (w[0].leaves, w[0].batch) >= (w[1].leaves, w[1].batch))
+        {
+            return Err(SnapshotError::Header(
+                "specialized plans must be in strictly ascending (leaves, batch) order".into(),
+            ));
+        }
 
         // The weight blob must match the declarations exactly.
         let blob = &bytes[20 + header_len..];
@@ -479,6 +656,7 @@ impl Snapshot {
             scaler: header.scaler,
             params,
             plans: header.plans,
+            spec_plans: header.spec_plans,
         })
     }
 
@@ -600,12 +778,16 @@ fn approx_arch_scalars(cfg: &PredictorConfig) -> usize {
 
 impl TrainedModel {
     /// Saves this model as a snapshot with pre-compiled plans for every
-    /// supported leaf count — the paper's checkpoint workflow. Loading it
-    /// back ([`InferenceModel::from_snapshot_file`]) restores a serving
-    /// model with zero training and zero plan recording.
+    /// supported leaf count, plus specialization requests for the default
+    /// serving batch classes (`1` and [`crate::DEFAULT_MAX_BATCH`]) — the
+    /// paper's checkpoint workflow. Loading it back
+    /// ([`InferenceModel::from_snapshot_file`]) restores a serving model
+    /// with zero training and zero plan recording, already specialized
+    /// for the engine's stable chunk sizes.
     pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
         Snapshot::capture_all(self)
             .map_err(|e| SnapshotError::Model(format!("capturing plans failed: {e}")))?
+            .with_batch_classes(&[1, crate::DEFAULT_MAX_BATCH])?
             .save(path)
     }
 }
@@ -744,8 +926,55 @@ impl InferenceModel {
             }
         }
 
+        // Hand the store to the served `Arc`, then honor the file's
+        // specialization requests: each folds a seeded generic plan for
+        // one batch class — pure constant propagation against the
+        // restored weights, so the zero-recording property holds.
+        let shared = predictor.into_shared();
+        for entry in &snap.spec_plans {
+            let spec_err = |reason: String| SnapshotError::Plan {
+                leaves: entry.leaves,
+                reason: format!("specialization for batch {}: {reason}", entry.batch),
+            };
+            if entry.leaves == 0 || entry.leaves > snap.config.max_leaves {
+                return Err(spec_err(format!(
+                    "leaf count outside the model's 1..={}",
+                    snap.config.max_leaves
+                )));
+            }
+            if entry.batch == 0 || entry.batch > MAX_SPEC_BATCH {
+                return Err(spec_err(format!(
+                    "batch class outside 1..={MAX_SPEC_BATCH}"
+                )));
+            }
+            // Folding needs the generic plan; without it in the file the
+            // lookup would fall back to recording, which cold starts must
+            // never do.
+            if !snap.plans.iter().any(|p| p.leaves == entry.leaves) {
+                return Err(spec_err(
+                    "no generic plan for this leaf count in the snapshot".into(),
+                ));
+            }
+            if !shared.register_batch_class(entry.batch) {
+                return Err(spec_err(format!(
+                    "more than {} distinct batch classes",
+                    crate::predictor::MAX_BATCH_CLASSES
+                )));
+            }
+            let folded = shared
+                .spec_plan_for(entry.leaves, entry.batch)
+                .map_err(|e| spec_err(e.to_string()))?
+                .expect("class registered above");
+            if folded.arena_len() > MAX_SPEC_ARENA {
+                return Err(spec_err(format!(
+                    "specialized arena {} exceeds the cap {MAX_SPEC_ARENA}",
+                    folded.arena_len()
+                )));
+            }
+        }
+
         Ok(InferenceModel {
-            predictor: predictor.into_shared(),
+            predictor: shared,
             transform: snap.transform.clone(),
             scaler: snap.scaler.clone(),
             use_pe: snap.use_pe,

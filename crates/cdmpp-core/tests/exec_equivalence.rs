@@ -1,10 +1,13 @@
-//! Property tests: all four executors — the taped (autodiff) forward, the
-//! forward-only `InferCtx`, the compiled-plan `PlanExec` path, and a plan
-//! **deserialized from snapshot bytes** — must be **bit-identical**, for
-//! every leaf count the predictor supports, across head counts and PE
-//! settings, for both predictions and latents, and for arbitrary inputs.
-//! The plan path must additionally allocate nothing per batch once warmed
-//! up.
+//! Property tests: all five executors — the taped (autodiff) forward, the
+//! forward-only `InferCtx`, the batch-generic compiled-plan `PlanExec`
+//! path, the **batch-specialized** plan path (shape-final folds with
+//! prepacked weight GEMMs), and plans **restored from snapshot bytes**
+//! (generic and re-specialized) — must be **bit-identical**, for every
+//! leaf count the predictor supports, across head counts and PE settings,
+//! for both predictions and latents, for arbitrary inputs, and for batch
+//! sizes both on and off the registered classes (off-class sizes must
+//! fall back to the generic plan and still match). The plan paths must
+//! additionally allocate nothing per batch once warmed up.
 
 use cdmpp_core::batch::FeatScaler;
 use cdmpp_core::{
@@ -90,9 +93,27 @@ proptest! {
         prop_assert_eq!(&planned, &fast, "plan vs InferCtx");
         prop_assert_eq!(&fast, &taped, "InferCtx vs tape");
 
-        // Fourth executor column: the same plan serialized into snapshot
-        // bytes, deserialized, re-validated, and replayed by a model that
-        // never saw the recorder.
+        // Fourth executor column: the batch-specialized plan. Register
+        // the batch size as a class on a frozen handle and replay the
+        // shape-final fold (prepacked weight GEMMs, fixed arena).
+        let shared = p.share();
+        prop_assert!(shared.register_batch_class(b));
+        let mut spec_runner = PlanRunner::new();
+        let spec = shared.predict_planned(&mut spec_runner, &x, &dev).unwrap();
+        prop_assert_eq!(&spec, &planned, "specialized vs generic plan");
+        prop_assert_eq!(spec_runner.spec_exec_count(), 1, "class batch must route specialized");
+        // An off-class batch size falls back to the generic plan and
+        // still matches the tape.
+        let b2 = b + 1;
+        let (x2, dev2) = inputs(b2, l, seed ^ 0x5bd1);
+        let off_class = shared.predict_planned(&mut spec_runner, &x2, &dev2).unwrap();
+        let taped2 = p.predict_batch_taped(x2.clone(), dev2.clone()).unwrap();
+        prop_assert_eq!(&off_class, &taped2, "off-class fallback vs tape");
+
+        // Fifth executor column: plans restored from snapshot bytes —
+        // generic plan re-validated from its descriptor, specialized plan
+        // re-folded from it — replayed by a model that never saw the
+        // recorder.
         let model = TrainedModel {
             predictor: p,
             transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
@@ -100,14 +121,25 @@ proptest! {
             use_pe: true,
             train_config: TrainConfig::default(),
         };
-        let bytes = Snapshot::capture(&model, &[l]).unwrap().to_bytes();
+        let bytes = Snapshot::capture(&model, &[l])
+            .unwrap()
+            .with_batch_classes(&[b])
+            .unwrap()
+            .to_bytes();
         let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(loaded.predictor.specialized_plans(), vec![(l, b)]);
         let mut cold_runner = PlanRunner::new();
         let from_file = loaded
             .predictor
             .predict_planned(&mut cold_runner, &x, &dev)
             .unwrap();
-        prop_assert_eq!(&from_file, &planned, "snapshot-loaded plan vs live plan");
+        prop_assert_eq!(&from_file, &planned, "snapshot-restored specialized vs live plan");
+        prop_assert_eq!(cold_runner.spec_exec_count(), 1, "class batch must route specialized");
+        let from_file_off = loaded
+            .predictor
+            .predict_planned(&mut cold_runner, &x2, &dev2)
+            .unwrap();
+        prop_assert_eq!(&from_file_off, &taped2, "snapshot-restored generic fallback vs tape");
         prop_assert_eq!(loaded.predictor.plan_compile_count(), 0, "load must not record");
     }
 

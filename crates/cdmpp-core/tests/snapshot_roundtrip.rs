@@ -342,3 +342,132 @@ fn unsorted_plans_are_rejected_for_canonicality() {
         "unexpected {err:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Batch-specialization section (optional, additive)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_without_spec_section_loads_and_serves_generic_only() {
+    // Forward compatibility: a v-current file with no specialized-plan
+    // section (exactly what every pre-specialization snapshot is) must
+    // load, serve through generic plans, perform zero recordings, and
+    // re-serialize byte-identically (the empty section is omitted).
+    let model = model_with(tiny_config(2, 21), true, TransformKind::BoxCox);
+    let snap = Snapshot::capture_all(&model).unwrap();
+    assert!(snap.spec_plans.is_empty());
+    let bytes = snap.to_bytes();
+    assert!(
+        !bytes.windows(10).any(|w| w == b"spec_plans"),
+        "empty section must be omitted from the header"
+    );
+    let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+    assert!(loaded.predictor.specialized_plans().is_empty());
+    assert!(loaded.predictor.batch_classes().is_empty());
+    let enc: Vec<EncodedSample> = (0..12).map(|i| sample(1 + i % 4, i)).collect();
+    assert_eq!(
+        loaded.predict_samples(&enc).unwrap(),
+        model.freeze().predict_samples(&enc).unwrap()
+    );
+    assert_eq!(loaded.predictor.plan_compile_count(), 0);
+    assert_eq!(Snapshot::from_inference(&loaded).to_bytes(), bytes);
+}
+
+#[test]
+fn spec_section_round_trips_canonically_and_serves_specialized() {
+    let model = model_with(tiny_config(2, 22), true, TransformKind::None);
+    let snap = Snapshot::capture_all(&model)
+        .unwrap()
+        .with_batch_classes(&[1, 6])
+        .unwrap();
+    assert_eq!(
+        snap.spec_plans.len(),
+        2 * model.predictor.config().max_leaves
+    );
+    let bytes = snap.to_bytes();
+    let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(loaded.predictor.batch_classes(), vec![1, 6]);
+    assert_eq!(
+        loaded.predictor.specialized_plans().len(),
+        snap.spec_plans.len()
+    );
+    assert_eq!(
+        loaded.predictor.plan_compile_count(),
+        0,
+        "folding never records"
+    );
+    // Class-size and off-class batches both match the live model exactly.
+    let mut runner = cdmpp_core::PlanRunner::new();
+    let frozen = model.freeze();
+    for b in [1usize, 3, 6] {
+        let enc: Vec<EncodedSample> = (0..b).map(|i| sample(2, i)).collect();
+        let got = loaded.predict_samples_with(&mut runner, &enc).unwrap();
+        assert_eq!(got, frozen.predict_samples(&enc).unwrap(), "b = {b}");
+    }
+    assert_eq!(
+        runner.spec_exec_count(),
+        2,
+        "class batches (1 and 6) must replay specialized plans"
+    );
+    // Canonical bytes: load → capture → save reproduces the file.
+    assert_eq!(Snapshot::from_inference(&loaded).to_bytes(), bytes);
+}
+
+#[test]
+fn hostile_spec_sections_are_typed_errors_never_panics() {
+    let model = model_with(tiny_config(2, 23), true, TransformKind::None);
+    let good = Snapshot::capture_all(&model)
+        .unwrap()
+        .with_batch_classes(&[1, 4])
+        .unwrap();
+    assert!(InferenceModel::from_snapshot(&good).is_ok());
+
+    // Out-of-order entries break canonicality at decode time.
+    let mut snap = good.clone();
+    snap.spec_plans.swap(0, 1);
+    assert!(matches!(
+        Snapshot::from_bytes(&snap.to_bytes()),
+        Err(SnapshotError::Header(_))
+    ));
+
+    // Leaf count outside the model's range.
+    let mut snap = good.clone();
+    snap.spec_plans[0].leaves = 99;
+    match InferenceModel::from_snapshot(&snap).err() {
+        Some(SnapshotError::Plan { leaves: 99, .. }) => {}
+        other => panic!("expected Plan error, got {other:?}"),
+    }
+
+    // Batch class 0 and an attacker-sized batch class.
+    for batch in [0usize, usize::MAX] {
+        let mut snap = good.clone();
+        snap.spec_plans[0].batch = batch;
+        assert!(
+            matches!(
+                InferenceModel::from_snapshot(&snap),
+                Err(SnapshotError::Plan { .. })
+            ),
+            "batch {batch} must be rejected"
+        );
+    }
+
+    // A specialization request whose generic plan is not in the file
+    // would force a recording on load — typed error instead.
+    let mut snap = good.clone();
+    snap.plans.remove(0); // drop the leaf-1 generic plan
+    assert!(snap.spec_plans.iter().any(|e| e.leaves == 1));
+    assert!(matches!(
+        InferenceModel::from_snapshot(&snap),
+        Err(SnapshotError::Plan { leaves: 1, .. })
+    ));
+
+    // More distinct classes than the serving tier allows.
+    let mut snap = good.clone();
+    snap.spec_plans = (1..=cdmpp_core::MAX_BATCH_CLASSES + 1)
+        .map(|batch| cdmpp_core::SpecPlanEntry { leaves: 1, batch })
+        .collect();
+    assert!(matches!(
+        InferenceModel::from_snapshot(&snap),
+        Err(SnapshotError::Plan { .. })
+    ));
+}

@@ -42,5 +42,7 @@ pub use layers::{
 pub use loss::{hybrid, mape, mse, mspe, LossKind};
 pub use optim::{Adam, ConstantLr, CyclicLr, LrSchedule, Optimizer, Sgd};
 pub use plan::desc::{PlanDecodeError, PlanDesc};
-pub use plan::{Plan, PlanError, PlanExec, PlanStats, Recorder};
+pub use plan::{
+    Plan, PlanError, PlanExec, PlanStats, Recorder, SpecExec, SpecializedPlan, WeightPackCache,
+};
 pub use tape::{Graph, ParamId, ParamStore, Var};

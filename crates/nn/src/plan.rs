@@ -747,6 +747,9 @@ struct Buf {
 pub struct PlanStats {
     /// Ops captured by the recorder.
     pub recorded_ops: usize,
+    /// Recorded ops eliminated as common subexpressions (e.g. the same
+    /// parameter read through several reshapes) before lowering.
+    pub cse_deduped: usize,
     /// Lowered steps the interpreter replays per batch.
     pub steps: usize,
     /// Reshapes elided into aliases (zero-cost at replay).
@@ -807,11 +810,25 @@ impl Plan {
                 "output nodes changed with batch size".into(),
             ));
         }
-        let shapes: Vec<Vec<Dim>> = (0..r0.ops.len())
-            .map(|i| derive_dims(r0.shape_of(i), r1.shape_of(i), B0, B1))
+        // CSE before shape derivation and lowering: the memory planner and
+        // the fusion passes then see each distinct value exactly once.
+        let raw_outputs: Vec<usize> = out0.iter().map(|v| v.0).collect();
+        let (ops, origin, outputs, deduped) = cse(
+            &r0.ops,
+            &raw_outputs,
+            |i| r0.shape_of(i),
+            |i| r1.shape_of(i),
+        );
+        let shapes: Vec<Vec<Dim>> = origin
+            .iter()
+            .map(|&i| derive_dims(r0.shape_of(i), r1.shape_of(i), B0, B1))
             .collect::<Result<_, _>>()?;
-        let outputs: Vec<usize> = out0.iter().map(|v| v.0).collect();
-        lower(&r0.ops, &shapes, r0.n_inputs, &outputs)
+        let base = PlanStats {
+            recorded_ops: r0.ops.len(),
+            cse_deduped: deduped,
+            ..PlanStats::default()
+        };
+        lower(&ops, &shapes, r0.n_inputs, &outputs, base)
     }
 
     /// Optimization counters.
@@ -845,6 +862,147 @@ impl Plan {
     }
 }
 
+/// Whether two scalar map ops are the same function, comparing float
+/// constants by **bit pattern** — merging `Scale(-0.0)` into `Scale(0.0)`
+/// would flip the sign of zero outputs.
+fn map_op_bits_eq(a: MapOp, b: MapOp) -> bool {
+    match (a, b) {
+        (MapOp::Scale(x), MapOp::Scale(y)) | (MapOp::AddScalar(x), MapOp::AddScalar(y)) => {
+            x.to_bits() == y.to_bits()
+        }
+        _ => a == b,
+    }
+}
+
+/// Whether two recorded ops (operands already canonicalized) compute the
+/// same pure value — the CSE merge criterion. Structural equality except
+/// float constants, which compare bitwise.
+fn rop_cse_eq(a: &ROp, b: &ROp) -> bool {
+    match (a, b) {
+        (ROp::Map { x: xa, op: oa }, ROp::Map { x: xb, op: ob }) => {
+            xa == xb && map_op_bits_eq(*oa, *ob)
+        }
+        (
+            ROp::LayerNorm {
+                x: xa,
+                gamma: ga,
+                beta: ba,
+                eps: ea,
+            },
+            ROp::LayerNorm {
+                x: xb,
+                gamma: gb,
+                beta: bb,
+                eps: eb,
+            },
+        ) => xa == xb && ga == gb && ba == bb && ea.to_bits() == eb.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// The op with every operand index remapped through `f`.
+fn remap_rop(op: &ROp, f: impl Fn(usize) -> usize) -> ROp {
+    match op {
+        ROp::Input(k) => ROp::Input(*k),
+        ROp::Param(id) => ROp::Param(*id),
+        ROp::Map { x, op } => ROp::Map { x: f(*x), op: *op },
+        ROp::Zip { a, b, kind } => ROp::Zip {
+            a: f(*a),
+            b: f(*b),
+            kind: *kind,
+        },
+        ROp::RowOp { x, row, kind } => ROp::RowOp {
+            x: f(*x),
+            row: f(*row),
+            kind: *kind,
+        },
+        ROp::Matmul { a, b } => ROp::Matmul { a: f(*a), b: f(*b) },
+        ROp::Bmm { a, b, ta, tb } => ROp::Bmm {
+            a: f(*a),
+            b: f(*b),
+            ta: *ta,
+            tb: *tb,
+        },
+        ROp::SplitHeads { x, h } => ROp::SplitHeads { x: f(*x), h: *h },
+        ROp::MergeHeads { x, h } => ROp::MergeHeads { x: f(*x), h: *h },
+        ROp::Reshape { x } => ROp::Reshape { x: f(*x) },
+        ROp::Softmax { x } => ROp::Softmax { x: f(*x) },
+        ROp::Concat { parts } => ROp::Concat {
+            parts: parts.iter().map(|&p| f(p)).collect(),
+        },
+        ROp::SliceLast { x, start, end } => ROp::SliceLast {
+            x: f(*x),
+            start: *start,
+            end: *end,
+        },
+        ROp::LayerNorm {
+            x,
+            gamma,
+            beta,
+            eps,
+        } => ROp::LayerNorm {
+            x: f(*x),
+            gamma: f(*gamma),
+            beta: f(*beta),
+            eps: *eps,
+        },
+    }
+}
+
+/// Common-subexpression elimination over the recorded program.
+///
+/// Every [`Exec`] op is pure, so two nodes applying the same op to the
+/// same (already-deduplicated) operands hold the same value — the classic
+/// case being one parameter read several times, or the same read pushed
+/// through identical reshapes. Walking in recording order with hash-
+/// consing semantics collapses each such family to its first occurrence.
+///
+/// Shape is part of the merge key: `ROp::Reshape` does not carry its
+/// target shape (it is batch-dependent, so storing it would break the
+/// dual-probe uniformity comparison), which makes two reshapes of one
+/// value to *different* shapes structurally equal — merging them would
+/// silently compute downstream row-wise ops over the wrong width. Two
+/// nodes merge only when their recorded shapes agree at **both** probe
+/// batch sizes (for every other op the shape is a function of the op and
+/// its operands, so the check never blocks a legitimate merge).
+///
+/// Returns `(deduplicated ops, origin — each new op's first recorded
+/// index, remapped outputs, number of ops eliminated)`.
+fn cse<'s>(
+    ops: &[ROp],
+    outputs: &[usize],
+    shape0: impl Fn(usize) -> &'s [usize],
+    shape1: impl Fn(usize) -> &'s [usize],
+) -> (Vec<ROp>, Vec<usize>, Vec<usize>, usize) {
+    let mut repr: Vec<usize> = Vec::with_capacity(ops.len());
+    let mut new_ops: Vec<ROp> = Vec::with_capacity(ops.len());
+    let mut origin: Vec<usize> = Vec::with_capacity(ops.len());
+    let mut eliminated = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let canon = remap_rop(op, |j| repr[j]);
+        // Linear scan: recorded programs are a few hundred ops, and this
+        // runs once per (model, leaf count) at compile time.
+        let found = (0..new_ops.len()).find(|&j| {
+            rop_cse_eq(&new_ops[j], &canon)
+                && shape0(i) == shape0(origin[j])
+                && shape1(i) == shape1(origin[j])
+        });
+        match found {
+            Some(j) => {
+                repr.push(j);
+                eliminated += 1;
+            }
+            None => {
+                new_ops.push(canon);
+                origin.push(i);
+                repr.push(new_ops.len() - 1);
+            }
+        }
+    }
+    let outs = outputs.iter().map(|&o| repr[o]).collect();
+    (new_ops, origin, outs, eliminated)
+}
+
 /// Lowers a recorded program: elides reshapes, fuses element-wise chains
 /// and GEMM epilogues, then assigns buffers to arena slots by liveness.
 fn lower(
@@ -852,6 +1010,7 @@ fn lower(
     shapes: &[Vec<Dim>],
     n_inputs: usize,
     output_nodes: &[usize],
+    base_stats: PlanStats,
 ) -> Result<Plan, PlanError> {
     let n = ops.len();
     let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -874,10 +1033,7 @@ fn lower(
         }
     };
 
-    let mut stats = PlanStats {
-        recorded_ops: n,
-        ..PlanStats::default()
-    };
+    let mut stats = base_stats;
     let mut steps: Vec<Step> = Vec::new();
     let mut bufs: Vec<Buf> = Vec::new();
     // binding[i] = (source holding node i's value, producing step if the
@@ -1767,6 +1923,992 @@ impl<'r> RunCtx<'r> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batch-specialized plans
+// ---------------------------------------------------------------------------
+
+/// A [`Plan`] constant-folded for **one fixed batch size**.
+///
+/// The generic plan keeps every dim in symbolic `c`/`c·B` form and
+/// re-evaluates shapes, arena offsets, aliasing, and kernel dispatch on
+/// every replay. Serving traffic, however, is dominated by a handful of
+/// stable batch sizes (the engine's full `max_batch` chunks and
+/// single-sample requests), so [`Plan::specialize`] folds all of that
+/// work out once:
+///
+/// * every dim, element count, and arena offset becomes a concrete
+///   number — replay performs **zero symbolic evaluation**;
+/// * each step's operand slices (arena offset + length, parameter,
+///   input) are resolved ahead of time, including the in-place aliasing
+///   decision the generic interpreter re-derives per step;
+/// * the trivial per-step loops of `split_heads` / `merge_heads` unroll
+///   into flat block-copy span lists (no index arithmetic per copy);
+/// * GEMM entry points are selected per shape at specialize time: weight
+///   GEMMs large enough for the blocked kernel replay through
+///   [`tensor::gemm_prepacked`] against a **prepacked** `B` panel (the
+///   packing [`tensor::gemm_ep_slices`] would redo every call happens
+///   exactly once, here), and row-local normalization steps run a
+///   row-interleaved kernel that breaks the per-row accumulation latency
+///   chain;
+/// * the arena length is final, so the replay arena is allocated exactly
+///   once and never re-offset.
+///
+/// Bit-identity is preserved throughout: every kernel accumulates each
+/// output element in the same order as the generic interpreter, so a
+/// specialized replay is **bit-identical** to [`PlanExec`], to
+/// [`crate::InferCtx`], and to the tape (property-tested).
+///
+/// **Contract:** because prepacking bakes in parameter *values* (not just
+/// shapes), a `SpecializedPlan` must only replay against the exact
+/// parameter store it was specialized from — freeze the weights first
+/// (this is enforced by `cdmpp-core`, which only specializes behind its
+/// frozen, `Arc`-shared serving handles).
+pub struct SpecializedPlan {
+    batch: usize,
+    steps: Vec<SStep>,
+    arena_len: usize,
+    inputs: Vec<(Vec<usize>, usize)>,
+    outputs: Vec<(usize, usize, Vec<usize>)>,
+    prepacked: usize,
+    spans: usize,
+}
+
+/// Cap on the block copies one `split_heads` / `merge_heads` step may
+/// unroll into a span list; bigger steps (only reachable through
+/// adversarial plan descriptors) keep the generic loop form, so
+/// specializing a hostile plan cannot demand an attacker-sized
+/// allocation.
+const MAX_UNROLL_SPANS: usize = 1 << 20;
+
+/// A resolved operand source: a concrete arena offset, or a borrowed
+/// parameter / input (length known from the step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecSrc {
+    Arena(usize),
+    Param(ParamId),
+    Input(usize),
+}
+
+/// One specialized step: the folded op plus its output slice.
+struct SStep {
+    op: SOp,
+    out_off: usize,
+    out_len: usize,
+}
+
+/// Folded step kinds. `Option<SpecSrc>` operands use `None` for "runs in
+/// place over the output slice" — the decision the generic interpreter
+/// makes per replay via slot comparisons is frozen here.
+enum SOp {
+    /// Epilogue GEMM through the generic entry (tiny shapes keep the
+    /// naive kernel; non-parameter `B` operands cannot prepack).
+    Gemm {
+        a: SpecSrc,
+        b: SpecSrc,
+        m: usize,
+        k: usize,
+        n: usize,
+        bias: Option<SpecSrc>,
+        act: Activation,
+    },
+    /// Weight GEMM through the prepacked fixed-shape kernel. The panel is
+    /// `Arc`-shared: every specialized plan of one frozen model reading
+    /// the same parameter at the same `[k, n]` reuses one packing.
+    GemmPrepacked {
+        a: SpecSrc,
+        b: Arc<tensor::PackedB>,
+        m: usize,
+        bias: Option<SpecSrc>,
+        act: Activation,
+    },
+    Bmm {
+        a: SpecSrc,
+        b: SpecSrc,
+        ta: bool,
+        tb: bool,
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    },
+    /// An unrolled permutation copy (`split_heads` / `merge_heads`): move
+    /// `width` elements from `src` to `dst` for every span.
+    Copy {
+        x: SpecSrc,
+        spans: Vec<(usize, usize)>,
+        width: usize,
+    },
+    /// `split_heads` too large to unroll (bounds specialize-time memory
+    /// on adversarial plans): the generic loop with concrete dims.
+    SplitLoop {
+        x: SpecSrc,
+        h: usize,
+        b: usize,
+        l: usize,
+        d: usize,
+    },
+    /// `merge_heads` too large to unroll; see [`SOp::SplitLoop`].
+    MergeLoop {
+        x: SpecSrc,
+        h: usize,
+        bh: usize,
+        l: usize,
+        dh: usize,
+    },
+    Softmax {
+        x: Option<SpecSrc>,
+        d: usize,
+    },
+    LayerNorm {
+        x: Option<SpecSrc>,
+        gamma: SpecSrc,
+        beta: SpecSrc,
+        eps: f32,
+        d: usize,
+    },
+    Map {
+        x: Option<SpecSrc>,
+        ops: Vec<MapOp>,
+    },
+    Zip {
+        a: Option<SpecSrc>,
+        b: Option<SpecSrc>,
+        kind: ZipKind,
+        ops: Vec<MapOp>,
+    },
+    RowOp {
+        x: Option<SpecSrc>,
+        row: SpecSrc,
+        kind: RowKind,
+        ops: Vec<MapOp>,
+        d: usize,
+    },
+    Concat {
+        parts: Vec<(SpecSrc, usize)>,
+        rows: usize,
+        total: usize,
+        ops: Vec<MapOp>,
+    },
+    SliceLast {
+        x: SpecSrc,
+        rows: usize,
+        d: usize,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// Shared prepacked weight panels, keyed by `(parameter, k, n)`.
+///
+/// A model's specialized plans overlap heavily in the parameters they
+/// read (every leaf count's plan shares the encoder, device-MLP, and
+/// decoder weights; every batch class reuses the same `[k, n]` panels),
+/// so panels are packed **once per distinct weight matrix** and
+/// `Arc`-shared across folds instead of duplicated per plan.
+///
+/// Like [`SpecializedPlan`] itself, a cache bakes in parameter *values*:
+/// keep one per frozen weight set and never mix stores.
+#[derive(Default)]
+pub struct WeightPackCache {
+    map: std::collections::HashMap<(usize, usize, usize), Arc<tensor::PackedB>>,
+}
+
+impl WeightPackCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct `(parameter, k, n)` panels packed so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no panel has been packed yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn get_or_pack(
+        &mut self,
+        id: ParamId,
+        k: usize,
+        n: usize,
+        data: &[f32],
+    ) -> Arc<tensor::PackedB> {
+        Arc::clone(
+            self.map
+                .entry((id.index(), k, n))
+                .or_insert_with(|| Arc::new(tensor::PackedB::pack(data, k, n))),
+        )
+    }
+}
+
+impl Plan {
+    /// Folds this plan for one concrete batch size; see
+    /// [`SpecializedPlan`]. `params` must be the (frozen) store the plan
+    /// replays against — prepacked weight panels read their values here.
+    pub fn specialize(&self, params: &ParamStore, b: usize) -> Result<SpecializedPlan, PlanError> {
+        self.specialize_cached(params, b, &mut WeightPackCache::new())
+    }
+
+    /// [`Plan::specialize`] sharing prepacked weight panels through
+    /// `cache` — fold every plan of one frozen model through the same
+    /// cache and parameters read by several plans (or several batch
+    /// classes) are packed exactly once.
+    pub fn specialize_cached(
+        &self,
+        params: &ParamStore,
+        b: usize,
+        cache: &mut WeightPackCache,
+    ) -> Result<SpecializedPlan, PlanError> {
+        if b == 0 {
+            return Err(PlanError::Input(
+                "cannot specialize for batch size 0".into(),
+            ));
+        }
+        let dim_at = |d: Dim| -> Result<usize, PlanError> {
+            let v = match d {
+                Dim::Fixed(n) => Some(n),
+                Dim::PerBatch(c) => c.checked_mul(b),
+            };
+            v.ok_or_else(|| PlanError::Input(format!("batch size {b} overflows plan dims")))
+        };
+        let size_at = |s: &Size| -> Result<usize, PlanError> {
+            s.coef
+                .checked_mul(b)
+                .and_then(|v| v.checked_add(s.fixed))
+                .ok_or_else(|| PlanError::Input(format!("batch size {b} overflows plan sizes")))
+        };
+        let mut offsets = Vec::with_capacity(self.slot_sizes.len());
+        let mut off = 0usize;
+        for s in &self.slot_sizes {
+            offsets.push(off);
+            off = off
+                .checked_add(size_at(s)?)
+                .ok_or_else(|| PlanError::Input(format!("batch size {b} overflows the arena")))?;
+        }
+        let arena_len = off;
+        let src_of = |s: Src| -> SpecSrc {
+            match s {
+                Src::Buf(bid) => SpecSrc::Arena(offsets[self.bufs[bid].slot]),
+                Src::Param(id) => SpecSrc::Param(id),
+                Src::Input(i) => SpecSrc::Input(i),
+            }
+        };
+        // The planner's sanctioned in-place aliasing, frozen per step.
+        let aliases = |s: Src, out: usize| -> bool {
+            matches!(s, Src::Buf(bb) if self.bufs[bb].slot == self.bufs[out].slot)
+        };
+        let inplace = |s: Src, out: usize| -> Option<SpecSrc> {
+            if aliases(s, out) {
+                None
+            } else {
+                Some(src_of(s))
+            }
+        };
+
+        let mut prepacked = 0usize;
+        let mut span_count = 0usize;
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let out = step.out;
+            let out_off = offsets[self.bufs[out].slot];
+            let out_len = size_at(&self.bufs[out].size)?;
+            let op = match &step.kind {
+                StepKind::Gemm {
+                    a,
+                    b: bsrc,
+                    m,
+                    k,
+                    n,
+                    bias,
+                    act,
+                } => {
+                    let (m, k, n) = (dim_at(*m)?, dim_at(*k)?, dim_at(*n)?);
+                    let bias = bias.map(src_of);
+                    match bsrc {
+                        // Weight operand + blocked-kernel shape: pack the
+                        // panel once, now, instead of on every replay.
+                        Src::Param(id) if tensor::gemm_prefers_packed(m, k, n) => {
+                            let w = params.value(*id);
+                            if w.numel() != k * n {
+                                return Err(PlanError::Input(format!(
+                                    "parameter {} has {} elements, GEMM needs {k}x{n}",
+                                    id.index(),
+                                    w.numel()
+                                )));
+                            }
+                            prepacked += 1;
+                            SOp::GemmPrepacked {
+                                a: src_of(*a),
+                                b: cache.get_or_pack(*id, k, n, w.data()),
+                                m,
+                                bias,
+                                act: *act,
+                            }
+                        }
+                        _ => SOp::Gemm {
+                            a: src_of(*a),
+                            b: src_of(*bsrc),
+                            m,
+                            k,
+                            n,
+                            bias,
+                            act: *act,
+                        },
+                    }
+                }
+                StepKind::Bmm {
+                    a,
+                    b: bsrc,
+                    ta,
+                    tb,
+                    batch,
+                    m,
+                    k,
+                    n,
+                } => SOp::Bmm {
+                    a: src_of(*a),
+                    b: src_of(*bsrc),
+                    ta: *ta,
+                    tb: *tb,
+                    batch: dim_at(*batch)?,
+                    m: dim_at(*m)?,
+                    k: dim_at(*k)?,
+                    n: dim_at(*n)?,
+                },
+                StepKind::SplitHeads { x, h, b: bb, l, d } => {
+                    let (bb, l, d) = (dim_at(*bb)?, dim_at(*l)?, dim_at(*d)?);
+                    let dh = d / h;
+                    let blocks = bb.saturating_mul(l).saturating_mul(*h);
+                    if blocks > MAX_UNROLL_SPANS {
+                        SOp::SplitLoop {
+                            x: src_of(*x),
+                            h: *h,
+                            b: bb,
+                            l,
+                            d,
+                        }
+                    } else {
+                        let mut spans = Vec::with_capacity(blocks);
+                        for bi in 0..bb {
+                            for li in 0..l {
+                                for hi in 0..*h {
+                                    let src = (bi * l + li) * d + hi * dh;
+                                    let dst = ((bi * h + hi) * l + li) * dh;
+                                    spans.push((dst, src));
+                                }
+                            }
+                        }
+                        span_count += spans.len();
+                        SOp::Copy {
+                            x: src_of(*x),
+                            spans,
+                            width: dh,
+                        }
+                    }
+                }
+                StepKind::MergeHeads { x, h, bh, l, dh } => {
+                    let (bh, l, dh) = (dim_at(*bh)?, dim_at(*l)?, dim_at(*dh)?);
+                    let bb = bh / h;
+                    let d = dh * h;
+                    let blocks = bh.saturating_mul(l);
+                    if blocks > MAX_UNROLL_SPANS {
+                        SOp::MergeLoop {
+                            x: src_of(*x),
+                            h: *h,
+                            bh,
+                            l,
+                            dh,
+                        }
+                    } else {
+                        let mut spans = Vec::with_capacity(blocks);
+                        for bi in 0..bb {
+                            for li in 0..l {
+                                for hi in 0..*h {
+                                    let dst = (bi * l + li) * d + hi * dh;
+                                    let src = ((bi * h + hi) * l + li) * dh;
+                                    spans.push((dst, src));
+                                }
+                            }
+                        }
+                        span_count += spans.len();
+                        SOp::Copy {
+                            x: src_of(*x),
+                            spans,
+                            width: dh,
+                        }
+                    }
+                }
+                StepKind::Softmax { x, d, .. } => SOp::Softmax {
+                    x: inplace(*x, out),
+                    d: dim_at(*d)?,
+                },
+                StepKind::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                    d,
+                    ..
+                } => SOp::LayerNorm {
+                    x: inplace(*x, out),
+                    gamma: src_of(*gamma),
+                    beta: src_of(*beta),
+                    eps: *eps,
+                    d: dim_at(*d)?,
+                },
+                StepKind::Map { x, ops, .. } => SOp::Map {
+                    x: inplace(*x, out),
+                    ops: ops.clone(),
+                },
+                StepKind::Zip {
+                    a,
+                    b: bb,
+                    kind,
+                    ops,
+                    ..
+                } => SOp::Zip {
+                    a: inplace(*a, out),
+                    b: inplace(*bb, out),
+                    kind: *kind,
+                    ops: ops.clone(),
+                },
+                StepKind::RowOp {
+                    x,
+                    row,
+                    kind,
+                    ops,
+                    d,
+                    ..
+                } => SOp::RowOp {
+                    x: inplace(*x, out),
+                    row: src_of(*row),
+                    kind: *kind,
+                    ops: ops.clone(),
+                    d: dim_at(*d)?,
+                },
+                StepKind::Concat { parts, rows, ops } => {
+                    let parts = parts
+                        .iter()
+                        .map(|(s, w)| Ok((src_of(*s), dim_at(*w)?)))
+                        .collect::<Result<Vec<_>, PlanError>>()?;
+                    let total = parts.iter().map(|(_, w)| w).sum();
+                    SOp::Concat {
+                        parts,
+                        rows: dim_at(*rows)?,
+                        total,
+                        ops: ops.clone(),
+                    }
+                }
+                StepKind::SliceLast {
+                    x,
+                    rows,
+                    d,
+                    start,
+                    end,
+                } => SOp::SliceLast {
+                    x: src_of(*x),
+                    rows: dim_at(*rows)?,
+                    d: dim_at(*d)?,
+                    start: *start,
+                    end: *end,
+                },
+            };
+            steps.push(SStep {
+                op,
+                out_off,
+                out_len,
+            });
+        }
+
+        let inputs = self
+            .inputs
+            .iter()
+            .map(|dims| {
+                let shape = dims
+                    .iter()
+                    .map(|&d| dim_at(d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let numel = shape.iter().product();
+                Ok((shape, numel))
+            })
+            .collect::<Result<Vec<_>, PlanError>>()?;
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|(src, dims)| {
+                let shape = dims
+                    .iter()
+                    .map(|&d| dim_at(d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let len = shape.iter().product();
+                let off = match src {
+                    Src::Buf(bid) => offsets[self.bufs[*bid].slot],
+                    _ => unreachable!("outputs always live in the arena"),
+                };
+                Ok((off, len, shape))
+            })
+            .collect::<Result<Vec<_>, PlanError>>()?;
+
+        Ok(SpecializedPlan {
+            batch: b,
+            steps,
+            arena_len,
+            inputs,
+            outputs,
+            prepacked,
+            spans: span_count,
+        })
+    }
+}
+
+impl SpecializedPlan {
+    /// The batch size this plan was folded for.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of replay-time inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The exact shape input `i` must have.
+    pub fn input_shape(&self, i: usize) -> &[usize] {
+        &self.inputs[i].0
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The concrete shape of output `i`.
+    pub fn output_shape(&self, i: usize) -> &[usize] {
+        &self.outputs[i].2
+    }
+
+    /// Steps the specialized interpreter replays per batch.
+    pub fn steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Weight GEMMs resolved to the prepacked fixed-shape kernel.
+    pub fn prepacked_gemms(&self) -> usize {
+        self.prepacked
+    }
+
+    /// Block copies unrolled out of `split_heads` / `merge_heads` loops.
+    pub fn unrolled_copies(&self) -> usize {
+        self.spans
+    }
+
+    /// Arena elements the replay arena holds (fixed — never re-offset).
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+}
+
+impl fmt::Debug for SpecializedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecializedPlan")
+            .field("batch", &self.batch)
+            .field("steps", &self.steps.len())
+            .field("arena_len", &self.arena_len)
+            .field("prepacked_gemms", &self.prepacked)
+            .finish()
+    }
+}
+
+/// Replays a [`SpecializedPlan`] against its fixed-size arena.
+///
+/// One per (serving thread, plan): the arena is allocated on the first
+/// [`SpecExec::run`] and never grows or re-offsets afterwards — batch
+/// size, shapes, and layout are all baked into the plan.
+pub struct SpecExec {
+    plan: Arc<SpecializedPlan>,
+    arena: Vec<f32>,
+}
+
+impl SpecExec {
+    /// Creates an executor for `plan` (arena allocated lazily).
+    pub fn new(plan: Arc<SpecializedPlan>) -> Self {
+        SpecExec {
+            plan,
+            arena: Vec::new(),
+        }
+    }
+
+    /// The specialized plan being replayed.
+    pub fn plan(&self) -> &Arc<SpecializedPlan> {
+        &self.plan
+    }
+
+    /// Executes the plan. `params` must be the store the plan was
+    /// specialized against; inputs must match the folded shapes exactly
+    /// (the batch size is part of the plan).
+    pub fn run(&mut self, params: &ParamStore, inputs: &[&Tensor]) -> Result<(), PlanError> {
+        let plan = Arc::clone(&self.plan);
+        if inputs.len() != plan.inputs.len() {
+            return Err(PlanError::Input(format!(
+                "expected {} inputs, got {}",
+                plan.inputs.len(),
+                inputs.len()
+            )));
+        }
+        for (i, ((shape, _), t)) in plan.inputs.iter().zip(inputs).enumerate() {
+            if t.shape() != shape.as_slice() {
+                return Err(PlanError::Input(format!(
+                    "input {i}: expected shape {shape:?} (plan specialized for batch {}), got {:?}",
+                    plan.batch,
+                    t.shape()
+                )));
+            }
+        }
+        if self.arena.len() < plan.arena_len {
+            self.arena.resize(plan.arena_len, 0.0);
+        }
+        let ctx = SpecRun {
+            params,
+            inputs,
+            arena: self.arena.as_mut_ptr(),
+            arena_len: self.arena.len(),
+        };
+        for step in &plan.steps {
+            ctx.exec(step)?;
+        }
+        Ok(())
+    }
+
+    /// Output `i`'s data (valid after a successful [`SpecExec::run`]).
+    pub fn output(&self, i: usize) -> &[f32] {
+        let (off, len, _) = self.plan.outputs[i];
+        &self.arena[off..off + len]
+    }
+
+    /// Output `i`'s concrete shape.
+    pub fn output_shape(&self, i: usize) -> &[usize] {
+        self.plan.output_shape(i)
+    }
+}
+
+/// Specialized-replay context: raw arena access under the same aliasing
+/// discipline as [`RunCtx`], with every offset and length precomputed.
+struct SpecRun<'r> {
+    params: &'r ParamStore,
+    inputs: &'r [&'r Tensor],
+    arena: *mut f32,
+    arena_len: usize,
+}
+
+impl<'r> SpecRun<'r> {
+    /// Reads a resolved source slice. Arena reads alias the output slice
+    /// only where the specializer froze an in-place decision, and those
+    /// paths never call `read` for the aliased operand.
+    fn read(&self, src: SpecSrc, len: usize) -> &'r [f32] {
+        match src {
+            SpecSrc::Param(id) => self.params.value(id).data(),
+            SpecSrc::Input(i) => self.inputs[i].data(),
+            SpecSrc::Arena(off) => {
+                assert!(off + len <= self.arena_len, "arena read out of bounds");
+                // SAFETY: in-bounds; disjointness from the output slice is
+                // guaranteed by the specializer (same invariants as the
+                // generic planner, frozen at specialize time).
+                unsafe { std::slice::from_raw_parts(self.arena.add(off), len) }
+            }
+        }
+    }
+
+    /// The step's mutable output slice.
+    #[allow(clippy::mut_from_ref)]
+    fn out(&self, off: usize, len: usize) -> &'r mut [f32] {
+        assert!(off + len <= self.arena_len, "arena write out of bounds");
+        // SAFETY: in-bounds; exactly one output slice exists per step and
+        // sanctioned in-place operands are encoded as `None` (no second
+        // slice is ever created for them).
+        unsafe { std::slice::from_raw_parts_mut(self.arena.add(off), len) }
+    }
+
+    fn exec(&self, step: &SStep) -> Result<(), PlanError> {
+        let o = self.out(step.out_off, step.out_len);
+        match &step.op {
+            SOp::Gemm {
+                a,
+                b,
+                m,
+                k,
+                n,
+                bias,
+                act,
+            } => {
+                let av = self.read(*a, m * k);
+                let bv = self.read(*b, k * n);
+                let biasv = bias.map(|s| self.read(s, *n));
+                tensor::gemm_ep_slices(*m, *k, *n, av, bv, biasv, *act, o)?;
+            }
+            SOp::GemmPrepacked { a, b, m, bias, act } => {
+                let av = self.read(*a, m * b.k());
+                let biasv = bias.map(|s| self.read(s, b.n()));
+                tensor::gemm_prepacked(*m, av, b, biasv, *act, o)?;
+            }
+            SOp::Bmm {
+                a,
+                b,
+                ta,
+                tb,
+                batch,
+                m,
+                k,
+                n,
+            } => {
+                let av = self.read(*a, batch * m * k);
+                let bv = self.read(*b, batch * k * n);
+                tensor::bmm_slices(*batch, *m, *k, *n, av, *ta, bv, *tb, o)?;
+            }
+            SOp::Copy { x, spans, width } => {
+                let xs = self.read(*x, step.out_len);
+                let w = *width;
+                for &(dst, src) in spans {
+                    o[dst..dst + w].copy_from_slice(&xs[src..src + w]);
+                }
+            }
+            SOp::SplitLoop { x, h, b, l, d } => {
+                let xs = self.read(*x, step.out_len);
+                let dh = d / h;
+                for bi in 0..*b {
+                    for li in 0..*l {
+                        for hi in 0..*h {
+                            let src = (bi * l + li) * d + hi * dh;
+                            let dst = ((bi * h + hi) * l + li) * dh;
+                            o[dst..dst + dh].copy_from_slice(&xs[src..src + dh]);
+                        }
+                    }
+                }
+            }
+            SOp::MergeLoop { x, h, bh, l, dh } => {
+                let xs = self.read(*x, step.out_len);
+                let bb = bh / h;
+                let d = dh * h;
+                for bi in 0..bb {
+                    for li in 0..*l {
+                        for hi in 0..*h {
+                            let dst = (bi * l + li) * d + hi * dh;
+                            let src = ((bi * h + hi) * l + li) * dh;
+                            o[dst..dst + dh].copy_from_slice(&xs[src..src + dh]);
+                        }
+                    }
+                }
+            }
+            SOp::Softmax { x, d } => {
+                if let Some(src) = x {
+                    o.copy_from_slice(self.read(*src, step.out_len));
+                }
+                softmax_rows(o, *d);
+            }
+            SOp::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+                d,
+            } => {
+                if let Some(src) = x {
+                    o.copy_from_slice(self.read(*src, step.out_len));
+                }
+                let gv = self.read(*gamma, *d);
+                let bv = self.read(*beta, *d);
+                layer_norm_rows(o, gv, bv, *d, *eps);
+            }
+            SOp::Map { x, ops } => match x {
+                Some(src) => {
+                    let xs = self.read(*src, step.out_len);
+                    if ops.is_empty() {
+                        o.copy_from_slice(xs);
+                    } else {
+                        for (v, &xv) in o.iter_mut().zip(xs) {
+                            *v = apply_chain(ops, xv);
+                        }
+                    }
+                }
+                None => {
+                    if !ops.is_empty() {
+                        for v in o.iter_mut() {
+                            *v = apply_chain(ops, *v);
+                        }
+                    }
+                }
+            },
+            SOp::Zip { a, b, kind, ops } => match (a, b) {
+                (None, None) => {
+                    for v in o.iter_mut() {
+                        *v = apply_chain(ops, kind.apply(*v, *v));
+                    }
+                }
+                (None, Some(bs)) => {
+                    let bv = self.read(*bs, step.out_len);
+                    for (v, &x) in o.iter_mut().zip(bv) {
+                        *v = apply_chain(ops, kind.apply(*v, x));
+                    }
+                }
+                (Some(as_), None) => {
+                    let av = self.read(*as_, step.out_len);
+                    for (v, &x) in o.iter_mut().zip(av) {
+                        *v = apply_chain(ops, kind.apply(x, *v));
+                    }
+                }
+                (Some(as_), Some(bs)) => {
+                    let av = self.read(*as_, step.out_len);
+                    let bv = self.read(*bs, step.out_len);
+                    for (v, (&x, &y)) in o.iter_mut().zip(av.iter().zip(bv)) {
+                        *v = apply_chain(ops, kind.apply(x, y));
+                    }
+                }
+            },
+            SOp::RowOp {
+                x,
+                row,
+                kind,
+                ops,
+                d,
+            } => {
+                let rv = self.read(*row, *d);
+                match x {
+                    None => {
+                        for (i, v) in o.iter_mut().enumerate() {
+                            *v = apply_chain(ops, kind.apply(*v, rv[i % d]));
+                        }
+                    }
+                    Some(src) => {
+                        let xs = self.read(*src, step.out_len);
+                        for (i, (v, &xv)) in o.iter_mut().zip(xs).enumerate() {
+                            *v = apply_chain(ops, kind.apply(xv, rv[i % d]));
+                        }
+                    }
+                }
+            }
+            SOp::Concat {
+                parts,
+                rows,
+                total,
+                ops,
+            } => {
+                for r in 0..*rows {
+                    let mut at = r * total;
+                    for &(src, w) in parts {
+                        let ps = self.read(src, rows * w);
+                        let dst = &mut o[at..at + w];
+                        if ops.is_empty() {
+                            dst.copy_from_slice(&ps[r * w..(r + 1) * w]);
+                        } else {
+                            for (v, &pv) in dst.iter_mut().zip(&ps[r * w..(r + 1) * w]) {
+                                *v = apply_chain(ops, pv);
+                            }
+                        }
+                        at += w;
+                    }
+                }
+            }
+            SOp::SliceLast {
+                x,
+                rows,
+                d,
+                start,
+                end,
+            } => {
+                let w = end - start;
+                let xs = self.read(*x, rows * d);
+                for r in 0..*rows {
+                    o[r * w..(r + 1) * w].copy_from_slice(&xs[r * d + start..r * d + end]);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-wise softmax over contiguous rows of width `d` — the same
+/// per-element operation order as the generic interpreter.
+fn softmax_rows(o: &mut [f32], d: usize) {
+    for chunk in o.chunks_mut(d) {
+        let m = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in chunk.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in chunk.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise layer norm, processed **four rows at a time**.
+///
+/// The mean and variance sums are serial dependency chains per row (the
+/// f32 accumulation order is part of the bit-identity contract, so they
+/// cannot be vectorized within a row) — but rows are independent, so
+/// interleaving four of them runs four accumulation chains in parallel
+/// without changing any row's operation order. The per-row arithmetic is
+/// exactly the generic interpreter's.
+fn layer_norm_rows(o: &mut [f32], gv: &[f32], bv: &[f32], d: usize, eps: f32) {
+    #[inline(always)]
+    fn one_row(chunk: &mut [f32], gv: &[f32], bv: &[f32], d: usize, eps: f32) {
+        let mean: f32 = chunk.iter().sum::<f32>() / d as f32;
+        let var: f32 = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gv[j] + bv[j];
+        }
+    }
+    if d == 0 {
+        return;
+    }
+    let mut quads = o.chunks_exact_mut(4 * d);
+    for quad in quads.by_ref() {
+        let (r0, rest) = quad.split_at_mut(d);
+        let (r1, rest) = rest.split_at_mut(d);
+        let (r2, r3) = rest.split_at_mut(d);
+        let (r0, r1, r2, r3) = (&mut r0[..d], &mut r1[..d], &mut r2[..d], &mut r3[..d]);
+        let mut s = [0.0f32; 4];
+        for p in 0..d {
+            s[0] += r0[p];
+            s[1] += r1[p];
+            s[2] += r2[p];
+            s[3] += r3[p];
+        }
+        let mean = s.map(|x| x / d as f32);
+        let mut vs = [0.0f32; 4];
+        for p in 0..d {
+            let d0 = (r0[p] - mean[0]) * (r0[p] - mean[0]);
+            let d1 = (r1[p] - mean[1]) * (r1[p] - mean[1]);
+            let d2 = (r2[p] - mean[2]) * (r2[p] - mean[2]);
+            let d3 = (r3[p] - mean[3]) * (r3[p] - mean[3]);
+            vs[0] += d0;
+            vs[1] += d1;
+            vs[2] += d2;
+            vs[3] += d3;
+        }
+        let inv = [
+            1.0 / (vs[0] / d as f32 + eps).sqrt(),
+            1.0 / (vs[1] / d as f32 + eps).sqrt(),
+            1.0 / (vs[2] / d as f32 + eps).sqrt(),
+            1.0 / (vs[3] / d as f32 + eps).sqrt(),
+        ];
+        for j in 0..d {
+            r0[j] = (r0[j] - mean[0]) * inv[0] * gv[j] + bv[j];
+            r1[j] = (r1[j] - mean[1]) * inv[1] * gv[j] + bv[j];
+            r2[j] = (r2[j] - mean[2]) * inv[2] * gv[j] + bv[j];
+            r3[j] = (r3[j] - mean[3]) * inv[3] * gv[j] + bv[j];
+        }
+    }
+    for chunk in quads.into_remainder().chunks_mut(d) {
+        one_row(chunk, gv, bv, d, eps);
+    }
+}
+
 /// Serializable plan descriptors: a plain-data mirror of [`Plan`]
 /// (`PlanDesc` ⇄ `Plan`) for persisting compiled plans next to trained
 /// weights.
@@ -1966,10 +3108,17 @@ pub mod desc {
     }
 
     /// The compiler's optimization counters (mirrors [`PlanStats`]).
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+    ///
+    /// Serde impls are hand-written: `cse_deduped` was added after format
+    /// version 1 shipped, so it decodes as an **optional trailing field**
+    /// (absent in older headers, defaulting to 0) and is emitted only when
+    /// non-zero — older snapshot bytes re-serialize byte-identically.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
     pub struct PlanStatsDesc {
         /// Ops captured by the recorder.
         pub recorded_ops: usize,
+        /// Recorded ops eliminated as common subexpressions.
+        pub cse_deduped: usize,
         /// Lowered steps the interpreter replays per batch.
         pub steps: usize,
         /// Reshapes elided into aliases.
@@ -1986,6 +3135,75 @@ pub mod desc {
         pub buffers: usize,
         /// Arena slots after liveness-based aliasing.
         pub arena_slots: usize,
+    }
+
+    impl Serialize for PlanStatsDesc {
+        fn serialize_json(&self, out: &mut String) {
+            out.push('{');
+            for (i, (key, v)) in [
+                ("recorded_ops", self.recorded_ops),
+                ("steps", self.steps),
+                ("elided_reshapes", self.elided_reshapes),
+                ("fused_bias", self.fused_bias),
+                ("fused_activations", self.fused_activations),
+                ("fused_elementwise", self.fused_elementwise),
+                ("inplace_steps", self.inplace_steps),
+                ("buffers", self.buffers),
+                ("arena_slots", self.arena_slots),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\":");
+                v.serialize_json(out);
+            }
+            // Additive field: omitted when zero so pre-CSE snapshot bytes
+            // stay canonical under a load → save round trip.
+            if self.cse_deduped != 0 {
+                out.push_str(",\"cse_deduped\":");
+                self.cse_deduped.serialize_json(out);
+            }
+            out.push('}');
+        }
+    }
+
+    impl serde::Deserialize for PlanStatsDesc {
+        fn deserialize_json(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {
+            p.expect_byte(b'{')?;
+            let mut stats = PlanStatsDesc::default();
+            for (i, (key, slot)) in [
+                ("recorded_ops", &mut stats.recorded_ops as &mut usize),
+                ("steps", &mut stats.steps),
+                ("elided_reshapes", &mut stats.elided_reshapes),
+                ("fused_bias", &mut stats.fused_bias),
+                ("fused_activations", &mut stats.fused_activations),
+                ("fused_elementwise", &mut stats.fused_elementwise),
+                ("inplace_steps", &mut stats.inplace_steps),
+                ("buffers", &mut stats.buffers),
+                ("arena_slots", &mut stats.arena_slots),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    p.expect_byte(b',')?;
+                }
+                p.expect_key(key)?;
+                *slot = serde::Deserialize::deserialize_json(p)?;
+            }
+            if p.peek() == Some(b',') {
+                p.expect_byte(b',')?;
+                p.expect_key("cse_deduped")?;
+                stats.cse_deduped = serde::Deserialize::deserialize_json(p)?;
+            }
+            p.expect_byte(b'}')?;
+            Ok(stats)
+        }
     }
 
     /// One concatenated part: its source and trailing-dim width.
@@ -2270,6 +3488,7 @@ pub mod desc {
     fn stats_desc(s: PlanStats) -> PlanStatsDesc {
         PlanStatsDesc {
             recorded_ops: s.recorded_ops,
+            cse_deduped: s.cse_deduped,
             steps: s.steps,
             elided_reshapes: s.elided_reshapes,
             fused_bias: s.fused_bias,
@@ -2284,6 +3503,7 @@ pub mod desc {
     fn stats_from(s: PlanStatsDesc) -> PlanStats {
         PlanStats {
             recorded_ops: s.recorded_ops,
+            cse_deduped: s.cse_deduped,
             steps: s.steps,
             elided_reshapes: s.elided_reshapes,
             fused_bias: s.fused_bias,
@@ -3358,6 +4578,226 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PlanError::NonUniform(_)), "{err:?}");
+    }
+
+    #[test]
+    fn specialized_replay_bit_identical_to_generic_plan() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Arc::new(
+            Plan::compile(&store, |rec, b| {
+                mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+            })
+            .unwrap(),
+        );
+        let mut generic = PlanExec::new(Arc::clone(&plan));
+        for b in [1usize, 2, 3, 5, 8, 64] {
+            let spec = Arc::new(plan.specialize(&store, b).unwrap());
+            assert_eq!(spec.batch_size(), b);
+            assert!(spec.unrolled_copies() > 0, "split/merge spans must unroll");
+            let mut sx = SpecExec::new(Arc::clone(&spec));
+            let x = input_for(b);
+            sx.run(&store, &[&x]).unwrap();
+            generic.run(&store, &[&x]).unwrap();
+            for i in 0..2 {
+                assert_eq!(
+                    sx.output(i),
+                    generic.output(i),
+                    "output {i} at batch {b} must be bit-identical"
+                );
+                assert_eq!(sx.output_shape(i), generic.output_shape(i).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_plan_prepacks_weight_gemms() {
+        // A linear layer big enough for the blocked kernel: the specialized
+        // plan must resolve it to the prepacked entry point and still match
+        // the generic replay exactly.
+        let (store, ids) = store_with(&[&[64, 48], &[48]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.29).sin()));
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(x, w)?;
+            let bias = rec.param(&store, ids[1]);
+            let y = rec.add_row(y, bias)?;
+            let y = rec.relu(y)?;
+            Ok(vec![y])
+        })
+        .unwrap();
+        let plan = Arc::new(plan);
+        // Big batch crosses the blocked-kernel threshold; batch 1 stays on
+        // the naive path — specialization must pick per shape.
+        let spec_big = plan.specialize(&store, 64).unwrap();
+        assert_eq!(spec_big.prepacked_gemms(), 1, "{spec_big:?}");
+        let spec_one = plan.specialize(&store, 1).unwrap();
+        assert_eq!(spec_one.prepacked_gemms(), 0, "{spec_one:?}");
+        let mut generic = PlanExec::new(Arc::clone(&plan));
+        for (b, spec) in [(64usize, spec_big), (1, spec_one)] {
+            let mut sx = SpecExec::new(Arc::new(spec));
+            let x = Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.29).sin());
+            sx.run(&store, &[&x]).unwrap();
+            generic.run(&store, &[&x]).unwrap();
+            assert_eq!(sx.output(0), generic.output(0), "b={b}");
+        }
+    }
+
+    #[test]
+    fn weight_panels_are_shared_across_folds() {
+        // Folding the same plan for two batch classes through one cache
+        // must pack each distinct weight matrix once, not once per fold.
+        let (store, ids) = store_with(&[&[64, 48], &[48]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.23).sin()));
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(x, w)?;
+            Ok(vec![y])
+        })
+        .unwrap();
+        let mut cache = WeightPackCache::new();
+        let s64 = plan.specialize_cached(&store, 64, &mut cache).unwrap();
+        assert_eq!(s64.prepacked_gemms(), 1);
+        assert_eq!(cache.len(), 1);
+        let s128 = plan.specialize_cached(&store, 128, &mut cache).unwrap();
+        assert_eq!(s128.prepacked_gemms(), 1);
+        assert_eq!(cache.len(), 1, "same (param, k, n) must reuse the panel");
+        // Both folds still replay correctly.
+        for (b, spec) in [(64usize, s64), (128, s128)] {
+            let mut sx = SpecExec::new(Arc::new(spec));
+            let x = Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.23).sin());
+            sx.run(&store, &[&x]).unwrap();
+            let mut generic = PlanExec::new(Arc::new(
+                Plan::compile(&store, |rec, bb| {
+                    let x = rec.constant(Tensor::from_fn(&[bb, 64], |i| (i as f32 * 0.23).sin()));
+                    let w = rec.param(&store, ids[0]);
+                    let y = rec.matmul(x, w)?;
+                    Ok(vec![y])
+                })
+                .unwrap(),
+            ));
+            generic.run(&store, &[&x]).unwrap();
+            assert_eq!(sx.output(0), generic.output(0), "b={b}");
+        }
+    }
+
+    #[test]
+    fn specialized_plan_rejects_wrong_batch_inputs() {
+        let (store, ids) = store_with(&[&[4, 6], &[6, 6], &[6], &[6]]);
+        let plan = Plan::compile(&store, |rec, b| {
+            mixed_program(rec, &store, &ids, b).map_err(PlanError::from)
+        })
+        .unwrap();
+        assert!(matches!(
+            plan.specialize(&store, 0),
+            Err(PlanError::Input(_))
+        ));
+        let spec = plan.specialize(&store, 3).unwrap();
+        let mut sx = SpecExec::new(Arc::new(spec));
+        // Wrong batch size against a shape-final plan is a typed error.
+        let x = input_for(4);
+        assert!(matches!(sx.run(&store, &[&x]), Err(PlanError::Input(_))));
+        // The right batch still works afterwards.
+        let ok = input_for(3);
+        sx.run(&store, &[&ok]).unwrap();
+        assert_eq!(sx.output_shape(1), &[12, 8]);
+    }
+
+    #[test]
+    fn cse_deduplicates_repeated_subtrees() {
+        // The same parameter read twice, each pushed through an identical
+        // reshape, then combined: CSE must collapse the duplicate reads
+        // (and the duplicate reshapes) while keeping outputs bit-identical
+        // to the uncompiled executor.
+        let (store, ids) = store_with(&[&[4, 6]]);
+        fn program<E: Exec>(
+            e: &mut E,
+            store: &ParamStore,
+            ids: &[ParamId],
+            b: usize,
+        ) -> TensorResult<Var> {
+            let x = e.constant(Tensor::from_fn(&[b, 24], |i| (i as f32 * 0.11).cos()));
+            let w1 = e.param(store, ids[0]);
+            let f1 = e.reshape(w1, &[24])?;
+            let w2 = e.param(store, ids[0]); // duplicate read
+            let f2 = e.reshape(w2, &[24])?; // duplicate reshape
+            let s = e.add(f1, f2)?;
+            e.add_row(x, s)
+        }
+        let plan = Plan::compile(&store, |rec, b| {
+            program(rec, &store, &ids, b)
+                .map(|v| vec![v])
+                .map_err(PlanError::from)
+        })
+        .unwrap();
+        assert!(
+            plan.stats().cse_deduped >= 2,
+            "duplicate param + reshape must dedupe: {:?}",
+            plan.stats()
+        );
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 3] {
+            let x = Tensor::from_fn(&[b, 24], |i| (i as f32 * 0.11).cos());
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let out = program(&mut ctx, &store, &ids, b).unwrap();
+            assert_eq!(exec.output(0), ctx.value(out).data(), "b={b}");
+        }
+    }
+
+    #[test]
+    fn cse_keeps_reshapes_to_different_shapes_apart() {
+        // Two reshapes of the same value to *different* shapes are
+        // structurally identical ops (Reshape carries no target shape);
+        // the shape-aware CSE key must keep them distinct or downstream
+        // row-wise ops would run over the wrong width.
+        let (store, _) = store_with(&[]);
+        fn program<E: Exec>(e: &mut E, b: usize) -> TensorResult<(Var, Var)> {
+            let x = e.constant(Tensor::from_fn(&[b, 6], |i| (i as f32 * 0.19).sin()));
+            let wide = e.reshape(x, &[b * 2, 3])?;
+            let narrow = e.reshape(x, &[b * 3, 2])?;
+            let a = e.softmax_last(wide)?;
+            let bb = e.softmax_last(narrow)?;
+            Ok((a, bb))
+        }
+        let plan = Plan::compile(&store, |rec, b| {
+            program(rec, b)
+                .map(|(a, b)| vec![a, b])
+                .map_err(PlanError::from)
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 2, 4] {
+            let x = Tensor::from_fn(&[b, 6], |i| (i as f32 * 0.19).sin());
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let (a, bb) = program(&mut ctx, b).unwrap();
+            assert_eq!(exec.output(0), ctx.value(a).data(), "wide softmax, b={b}");
+            assert_eq!(
+                exec.output(1),
+                ctx.value(bb).data(),
+                "narrow softmax, b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cse_keeps_distinct_float_constants_apart() {
+        // Scale(0.0) and Scale(-0.0) produce different signed zeros; the
+        // CSE key compares constants bitwise so they must NOT merge.
+        let (store, _) = store_with(&[]);
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 4], |i| i as f32 - 3.0));
+            let a = rec.scale(x, 0.0);
+            let bb = rec.scale(x, -0.0);
+            Ok(vec![a, bb])
+        })
+        .unwrap();
+        let mut exec = PlanExec::new(Arc::new(plan));
+        let x = Tensor::from_fn(&[2, 4], |i| i as f32 - 3.0);
+        exec.run(&store, &[&x]).unwrap();
+        let pos: Vec<u32> = exec.output(0).iter().map(|v| v.to_bits()).collect();
+        let neg: Vec<u32> = exec.output(1).iter().map(|v| v.to_bits()).collect();
+        assert_ne!(pos, neg, "signed zeros must survive CSE");
     }
 
     #[test]

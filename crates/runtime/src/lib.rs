@@ -9,15 +9,21 @@
 //!
 //! * [`InferenceEngine`] accepts *heterogeneous* prediction requests
 //!   (arbitrary mixes of leaf counts), buckets them by leaf count through
-//!   the one shared grouping helper (`cdmpp_core::batch::group_by_leaf`),
-//!   packs each bucket into dense `[B, L, N_ENTRY]` batches, dispatches the
-//!   batches across a worker-thread pool, and returns predictions in
-//!   request order.
+//!   the one shared grouping policy (`cdmpp_core::batch::group_by_leaf_into`,
+//!   writing into pooled scratch), cuts each bucket into dense
+//!   `[B, L, N_ENTRY]` chunks under a **plan-aware scheduling policy**
+//!   ([`ChunkPolicy`]: full `max_batch` class chunks plus at most one
+//!   remainder, optionally padded up to the class), dispatches the chunks
+//!   across a worker-thread pool, and returns predictions in request
+//!   order.
 //! * Each worker replays **compiled inference plans** (`nn::plan`): the
 //!   predictor's forward pass is recorded once per leaf count, fused
-//!   (GEMM epilogues, element-wise chains) and arena-planned at
-//!   compile time, so steady-state batches execute with zero allocation
-//!   and no dynamic dispatch. Plans are compiled once and shared; each
+//!   (GEMM epilogues, element-wise chains) and arena-planned at compile
+//!   time. Chunks whose size is a registered **batch class** (`1` and
+//!   `max_batch`) replay a further *batch-specialized* fold — shape-final
+//!   offsets, prepacked weight GEMMs, a fixed arena per class that is
+//!   never re-offset — while odd-size remainders fall back to the
+//!   batch-generic plan. Plans are compiled/folded once and shared; each
 //!   worker owns only its replay arenas.
 //! * The engine implements `cdmpp_core::CostModel`, so it drops into the
 //!   schedule search as a faster scorer.
@@ -26,7 +32,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use cdmpp_core::batch::{build_scaled_batch, group_by_leaf_refs, EncodedSample};
+use cdmpp_core::batch::{build_scaled_batch_idx, group_by_leaf_into, EncodedSample, LeafGroups};
 use cdmpp_core::e2e::encode_programs;
 use cdmpp_core::predictor::PredictError;
 use cdmpp_core::{CostModel, InferenceModel, PlanRunner, TrainedModel};
@@ -62,6 +68,94 @@ impl From<PredictError> for EngineError {
     }
 }
 
+/// How the dispatcher cuts a leaf bucket into dense chunks — the
+/// plan-aware scheduling policy.
+///
+/// Workers replay **batch-specialized** plans for registered batch
+/// classes (`1` and `max_batch`): a class-size chunk executes with zero
+/// symbolic evaluation against a fixed arena that is never re-offset,
+/// while any other size falls back to the batch-generic plan. The policy
+/// controls how much of the stream lands on class sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// The pre-specialization baseline: chunk by `max_batch` and replay
+    /// **everything** through the batch-generic plan (no class routing).
+    /// Kept for benchmarks and byte-for-byte comparisons.
+    Ragged,
+    /// Emit only stable chunk shapes: full `max_batch` chunks (replayed
+    /// on the `max_batch` class) plus at most one remainder per leaf
+    /// bucket, routed to the generic plan (or the `1` class when it is a
+    /// single sample). The default.
+    Stable,
+    /// Like [`ChunkPolicy::Stable`], but a remainder filling at least
+    /// `min_fill_pct` percent of `max_batch` is **padded** up to the
+    /// class (the last sample's rows are replicated; padded predictions
+    /// are discarded). With specialized-vs-generic replay measured at
+    /// ≥ 1.3× per sample (see `BENCH_inference_plan.json`), a padded
+    /// class chunk beats a generic remainder whenever the fill fraction
+    /// exceeds `t_spec/t_generic` ≈ 0.77 — so the default threshold of 80
+    /// leaves margin. Real rows' results are bit-identical with or
+    /// without padding (every kernel computes rows independently).
+    PadToClass {
+        /// Minimum remainder fill (percent of `max_batch`) to pad.
+        min_fill_pct: usize,
+    },
+}
+
+/// One planned chunk of a leaf bucket: `start..end` index the bucket's
+/// grouped order; `dispatch` is the dense batch size actually executed
+/// (`> end - start` only for padded chunks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedChunk {
+    /// First sample (inclusive), relative to the bucket.
+    pub start: usize,
+    /// Last sample (exclusive), relative to the bucket.
+    pub end: usize,
+    /// Executed batch size (== chunk length unless padded to a class).
+    pub dispatch: usize,
+}
+
+/// The chunk-planning core, emitting `(start, end, dispatch)` triples —
+/// the dispatcher streams these straight into its pooled scratch so the
+/// warmed hot path allocates no chunk lists.
+fn for_each_chunk(
+    len: usize,
+    max_batch: usize,
+    policy: ChunkPolicy,
+    mut emit: impl FnMut(usize, usize, usize),
+) {
+    let mb = max_batch.max(1);
+    let full = len / mb;
+    let rem = len % mb;
+    for i in 0..full {
+        emit(i * mb, (i + 1) * mb, mb);
+    }
+    if rem > 0 {
+        let dispatch = match policy {
+            ChunkPolicy::PadToClass { min_fill_pct } if rem * 100 >= min_fill_pct * mb => mb,
+            _ => rem,
+        };
+        emit(full * mb, len, dispatch);
+    }
+}
+
+/// Cuts one leaf bucket of `len` samples into dense chunks under a
+/// policy: `len / max_batch` full chunks plus at most one remainder,
+/// which [`ChunkPolicy::PadToClass`] may widen to the full class. Pure —
+/// property tests drive it directly (the engine streams the same
+/// decisions into reused scratch instead of collecting them).
+pub fn plan_chunks(len: usize, max_batch: usize, policy: ChunkPolicy) -> Vec<PlannedChunk> {
+    let mut out = Vec::with_capacity(len / max_batch.max(1) + 1);
+    for_each_chunk(len, max_batch, policy, |start, end, dispatch| {
+        out.push(PlannedChunk {
+            start,
+            end,
+            dispatch,
+        })
+    });
+    out
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -69,16 +163,21 @@ pub struct EngineConfig {
     /// variable, then one per available CPU core (see
     /// [`parallel::resolve_threads`]).
     pub workers: usize,
-    /// Largest dense batch dispatched to one worker. Buckets bigger than
-    /// this are split so they spread across the pool.
+    /// Largest dense batch dispatched to one worker — also the non-trivial
+    /// batch class workers keep a specialized plan (and a dedicated,
+    /// never-re-offset arena) for. Buckets bigger than this are split so
+    /// they spread across the pool.
     pub max_batch: usize,
+    /// The chunking policy; see [`ChunkPolicy`].
+    pub policy: ChunkPolicy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             workers: 0,
-            max_batch: 64,
+            max_batch: cdmpp_core::DEFAULT_MAX_BATCH,
+            policy: ChunkPolicy::Stable,
         }
     }
 }
@@ -105,6 +204,17 @@ struct Job {
     reply: Sender<(usize, Result<Vec<f32>, PredictError>)>,
 }
 
+/// Reusable per-request dispatch state (index buffers only — nothing
+/// borrows the request), pooled on the engine so steady-state dispatch
+/// materializes no `Vec<Vec<usize>>` chunk lists and no per-chunk
+/// sample-ref vectors.
+#[derive(Default)]
+struct DispatchScratch {
+    groups: LeafGroups,
+    /// `(start, end, dispatch)` per chunk, indexing `groups.order`.
+    chunks: Vec<(usize, usize, usize)>,
+}
+
 /// A concurrent, leaf-count-bucketed inference server for one frozen model.
 ///
 /// The engine is `Sync`: any number of application threads may call
@@ -119,26 +229,54 @@ pub struct InferenceEngine {
     // clone the sender (or observe that the pool is closed).
     job_tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Pooled dispatch scratch: concurrent `predict_samples` calls each
+    /// take one set of index buffers and return it when done.
+    scratch: Mutex<Vec<DispatchScratch>>,
     cfg: EngineConfig,
 }
 
 impl InferenceEngine {
     /// Starts an engine serving `model` with the given configuration.
+    ///
+    /// Unless the policy is [`ChunkPolicy::Ragged`], the engine registers
+    /// its stable batch classes (`1` and `max_batch`) on the model so
+    /// every class-size chunk replays a shape-final specialized plan
+    /// (folded lazily per leaf count, or pre-folded by a snapshot load).
     pub fn new(model: InferenceModel, cfg: EngineConfig) -> Self {
+        let mut cfg = cfg;
+        if cfg.policy != ChunkPolicy::Ragged {
+            let ok = model.predictor.register_batch_class(1)
+                && model.predictor.register_batch_class(cfg.max_batch.max(1));
+            if !ok {
+                // The model's class registry is full (e.g. a snapshot that
+                // shipped the maximum number of classes) and cannot take
+                // this engine's {1, max_batch}. Class routing would never
+                // fire — and PadToClass would pad for nothing — so demote
+                // to the generic-plan policy, loudly and observably
+                // (`config().policy` reflects what actually runs).
+                eprintln!(
+                    "[runtime] warning: batch-class registry full; engine \
+                     falls back to ChunkPolicy::Ragged (generic plans)"
+                );
+                cfg.policy = ChunkPolicy::Ragged;
+            }
+        }
         let model = Arc::new(model);
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let use_classes = cfg.policy != ChunkPolicy::Ragged;
         let workers = (0..cfg.resolved_workers())
             .map(|_| {
                 let model = Arc::clone(&model);
                 let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || worker_loop(&model, &job_rx))
+                std::thread::spawn(move || worker_loop(&model, &job_rx, use_classes))
             })
             .collect();
         InferenceEngine {
             model,
             job_tx: Mutex::new(Some(job_tx)),
             workers: Mutex::new(workers),
+            scratch: Mutex::new(Vec::new()),
             cfg,
         }
     }
@@ -222,9 +360,12 @@ impl InferenceEngine {
                 .into());
             }
         }
-        // Bucket by leaf count, split buckets into dense batches, dispatch.
-        // Standardization happens during the batch-building copy
-        // (`build_scaled_batch`), so requests are never cloned wholesale.
+        // Bucket by leaf count into pooled scratch (flat index buffers —
+        // no per-request group maps, no `Vec<Vec<usize>>` chunk lists),
+        // cut each bucket per the scheduling policy, dispatch. Sample
+        // standardization happens during the batch-building copy
+        // (`build_scaled_batch_idx`), so requests are never cloned
+        // wholesale and no per-chunk ref vector is materialized.
         // Clone the sender under the lock, then dispatch without it. A
         // cloned sender also keeps the workers alive until this request's
         // replies are in, so shutdown drains in-flight work instead of
@@ -235,16 +376,52 @@ impl InferenceEngine {
             .map_err(|_| EngineError::WorkersUnavailable)?
             .clone()
             .ok_or(EngineError::WorkersUnavailable)?;
+        let mut scratch = {
+            let mut pool = self
+                .scratch
+                .lock()
+                .map_err(|_| EngineError::WorkersUnavailable)?;
+            pool.pop().unwrap_or_default()
+        };
+        let result = self.dispatch_and_collect(enc, &job_tx, &mut scratch);
+        // The scratch goes back to the pool on *every* outcome — an error
+        // (worker failure, shutdown race) must not throw the warmed
+        // buffers away and quietly re-establish per-request allocation.
+        if let Ok(mut pool) = self.scratch.lock() {
+            pool.push(scratch);
+        }
+        result
+    }
+
+    /// The fallible middle of [`InferenceEngine::predict_sample_refs`]:
+    /// plan chunks into `scratch`, dispatch, collect, scatter.
+    fn dispatch_and_collect(
+        &self,
+        enc: &[&EncodedSample],
+        job_tx: &Sender<Job>,
+        scratch: &mut DispatchScratch,
+    ) -> Result<Vec<f64>, EngineError> {
         let (reply_tx, reply_rx) = channel();
-        let mut chunks: Vec<Vec<usize>> = Vec::new();
-        for (_, idxs) in group_by_leaf_refs(enc) {
-            for chunk in idxs.chunks(self.cfg.max_batch.max(1)) {
-                chunks.push(chunk.to_vec());
+        group_by_leaf_into(enc, &mut scratch.groups);
+        scratch.chunks.clear();
+        {
+            let chunks = &mut scratch.chunks;
+            for &(_, gs, ge) in &scratch.groups.spans {
+                for_each_chunk(
+                    ge - gs,
+                    self.cfg.max_batch,
+                    self.cfg.policy,
+                    |start, end, dispatch| chunks.push((gs + start, gs + end, dispatch)),
+                );
             }
         }
-        for (tag, chunk) in chunks.iter().enumerate() {
-            let refs: Vec<&EncodedSample> = chunk.iter().map(|&i| enc[i]).collect();
-            let batch = build_scaled_batch(&refs, &self.model.scaler);
+        for (tag, &(s, e, dispatch)) in scratch.chunks.iter().enumerate() {
+            let batch = build_scaled_batch_idx(
+                enc,
+                &scratch.groups.order[s..e],
+                dispatch,
+                &self.model.scaler,
+            );
             let job = Job {
                 tag,
                 x: batch.x,
@@ -256,15 +433,17 @@ impl InferenceEngine {
                 .map_err(|_| EngineError::WorkersUnavailable)?;
         }
         drop(reply_tx);
-        // Collect replies and scatter them back to request order.
+        // Collect replies and scatter them back to request order (the zip
+        // truncates any padded tail predictions).
         let mut out = vec![0.0f64; enc.len()];
         let mut received = 0usize;
-        while received < chunks.len() {
+        while received < scratch.chunks.len() {
             let (tag, result) = reply_rx
                 .recv()
                 .map_err(|_| EngineError::WorkersUnavailable)?;
             let preds = result?;
-            for (&i, &p) in chunks[tag].iter().zip(preds.iter()) {
+            let (s, e, _) = scratch.chunks[tag];
+            for (&i, &p) in scratch.groups.order[s..e].iter().zip(preds.iter()) {
                 out[i] = self.model.inverse_transform(p);
             }
             received += 1;
@@ -384,15 +563,16 @@ pub fn end_to_end(
     ))
 }
 
-fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>, use_classes: bool) {
     // The engine already runs one worker per core; marking the thread
     // keeps the GEMM layer from fanning each batch out a second time.
     parallel::mark_worker_thread();
     // One plan runner per worker, alive for the engine's lifetime: the
     // compiled plans themselves are shared through the model (compiled at
     // most once per leaf count), and this worker's replay arenas warm up
-    // once per (leaf count, batch size) — after that, executing a batch
-    // allocates nothing and dispatches no dynamic ops.
+    // once per (leaf count, batch class) — class-size chunks replay a
+    // specialized plan against a fixed arena that is never re-offset;
+    // only generic-plan remainders ever re-offset, among themselves.
     let mut runner = PlanRunner::new();
     loop {
         let job = {
@@ -405,9 +585,16 @@ fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>) {
                 Err(_) => return, // channel closed: engine dropped
             }
         };
-        let result = model
-            .predictor
-            .predict_planned(&mut runner, &job.x, &job.dev);
+        let result = if use_classes {
+            model
+                .predictor
+                .predict_planned(&mut runner, &job.x, &job.dev)
+        } else {
+            // Ragged baseline: force the batch-generic plan everywhere.
+            model
+                .predictor
+                .predict_planned_generic(&mut runner, &job.x, &job.dev)
+        };
         // A send failure means the requester gave up; keep serving others.
         let _ = job.reply.send((job.tag, result));
     }
@@ -450,6 +637,7 @@ mod tests {
             EngineConfig {
                 workers,
                 max_batch: 8,
+                ..Default::default()
             },
         )
     }

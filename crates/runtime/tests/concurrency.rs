@@ -43,6 +43,7 @@ fn n_threads_one_engine_identical_ordered_results() {
         EngineConfig {
             workers: 4,
             max_batch: 16,
+            ..Default::default()
         },
     );
     let enc = stream(120);
@@ -81,6 +82,7 @@ fn interleaved_distinct_requests_do_not_cross_talk() {
         EngineConfig {
             workers: 3,
             max_batch: 8,
+            ..Default::default()
         },
     );
     // Every thread sends a *different* stream; replies must never leak
@@ -119,6 +121,7 @@ fn engine_drop_joins_workers_cleanly() {
             EngineConfig {
                 workers: 2,
                 max_batch: 4,
+                ..Default::default()
             },
         );
         let enc = stream(10);

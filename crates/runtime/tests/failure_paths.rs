@@ -52,6 +52,7 @@ fn shutdown_surfaces_workers_unavailable_not_a_hang() {
         EngineConfig {
             workers: 2,
             max_batch: 8,
+            ..Default::default()
         },
     );
     let enc = stream(24);
@@ -78,6 +79,7 @@ fn shutdown_racing_in_flight_requests_never_hangs() {
         EngineConfig {
             workers: 3,
             max_batch: 4,
+            ..Default::default()
         },
     );
     let enc = stream(60);

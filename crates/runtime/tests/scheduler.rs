@@ -1,0 +1,273 @@
+//! Plan-aware scheduler properties.
+//!
+//! The dispatcher must only ever emit **declared batch shapes** — full
+//! `max_batch` chunks plus at most one remainder per leaf bucket (padded
+//! up to the class only under `PadToClass` at sufficient fill) — and,
+//! under every policy, serve any request mix (sizes `1..=3·max_batch`,
+//! arbitrarily interleaved leaf counts) with request-ordered results that
+//! are **bit-identical** to the serial reference path: no drops, no
+//! duplicates, no padding leakage. A shutdown racing the padded dispatch
+//! path must still never hang or return partial results.
+
+use cdmpp_core::batch::{EncodedSample, FeatScaler};
+use cdmpp_core::{Predictor, PredictorConfig, TrainConfig, TrainedModel};
+use features::{N_DEVICE_FEATURES, N_ENTRY};
+use learn::TransformKind;
+use proptest::prelude::*;
+use runtime::{plan_chunks, ChunkPolicy, EngineConfig, EngineError, InferenceEngine, PlannedChunk};
+
+fn frozen_model() -> cdmpp_core::InferenceModel {
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    model.freeze()
+}
+
+/// A request stream with the given leaf count per sample and per-sample
+/// distinct content (so any drop/duplicate/reorder corrupts a value).
+fn stream_of(leaves: &[usize]) -> Vec<EncodedSample> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| EncodedSample {
+            record_idx: i,
+            leaf_count: l,
+            x: (0..l * N_ENTRY)
+                .map(|j| ((i * 977 + j) as f32 * 0.0137).sin())
+                .collect(),
+            dev: [0.25; N_DEVICE_FEATURES],
+            y_raw: 1e-3,
+        })
+        .collect()
+}
+
+fn policies() -> [ChunkPolicy; 3] {
+    [
+        ChunkPolicy::Ragged,
+        ChunkPolicy::Stable,
+        ChunkPolicy::PadToClass { min_fill_pct: 80 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure chunk-planning invariants, for any bucket length and policy.
+    #[test]
+    fn chunks_partition_and_emit_only_declared_shapes(
+        len in 0usize..200,
+        max_batch in 1usize..24,
+        policy_idx in 0usize..3,
+        min_fill in 50usize..=100,
+    ) {
+        let policy = match policy_idx {
+            0 => ChunkPolicy::Ragged,
+            1 => ChunkPolicy::Stable,
+            _ => ChunkPolicy::PadToClass { min_fill_pct: min_fill },
+        };
+        let chunks = plan_chunks(len, max_batch, policy);
+        // Contiguous partition of 0..len — nothing dropped or duplicated.
+        let mut at = 0usize;
+        for c in &chunks {
+            prop_assert_eq!(c.start, at, "chunks must tile the bucket");
+            prop_assert!(c.end > c.start, "no empty chunks");
+            at = c.end;
+        }
+        prop_assert_eq!(at, len, "chunks must cover the bucket");
+        // Shape discipline: every chunk but the last is exactly full; the
+        // remainder is dispatched at its own size, or padded to the full
+        // class only under PadToClass at sufficient fill.
+        for (i, c) in chunks.iter().enumerate() {
+            let chunk_len = c.end - c.start;
+            if i + 1 < chunks.len() {
+                prop_assert_eq!(chunk_len, max_batch, "only the last chunk may be partial");
+                prop_assert_eq!(c.dispatch, max_batch);
+            } else if chunk_len == max_batch {
+                prop_assert_eq!(c.dispatch, max_batch);
+            } else {
+                match policy {
+                    ChunkPolicy::PadToClass { min_fill_pct }
+                        if chunk_len * 100 >= min_fill_pct * max_batch =>
+                    {
+                        prop_assert_eq!(c.dispatch, max_batch, "qualifying remainder pads up");
+                    }
+                    _ => prop_assert_eq!(c.dispatch, chunk_len, "remainder stays unpadded"),
+                }
+            }
+            prop_assert!(c.dispatch >= chunk_len);
+        }
+    }
+
+    /// End to end through the worker pool: any request mix under any
+    /// policy returns exactly the serial reference predictions, in
+    /// request order.
+    #[test]
+    fn any_request_mix_is_served_exactly_under_every_policy(
+        leaves in proptest::collection::vec(1usize..=8, 1..25),
+        policy_idx in 0usize..3,
+    ) {
+        let max_batch = 8usize; // streams span 1..=3·max_batch
+        let policy = policies()[policy_idx];
+        let model = frozen_model();
+        let enc = stream_of(&leaves);
+        let want = model.predict_samples(&enc).unwrap();
+        let engine = InferenceEngine::new(
+            model,
+            EngineConfig {
+                workers: 3,
+                max_batch,
+                policy,
+            },
+        );
+        let got = engine.predict_samples(&enc).unwrap();
+        prop_assert_eq!(got, want, "policy {:?}", policy);
+    }
+}
+
+/// Deterministic sweep of the boundary sizes (exact class multiples, one
+/// off either side, single samples) per policy — the shapes where padding
+/// and remainder routing switch over.
+#[test]
+fn boundary_sizes_round_trip_exactly() {
+    let max_batch = 8usize;
+    let model = frozen_model();
+    for policy in policies() {
+        for n in [1usize, 7, 8, 9, 15, 16, 17, 24] {
+            // One homogeneous bucket plus an interleaved second leaf count.
+            let mut leaves = vec![4usize; n];
+            for i in (0..n).step_by(3) {
+                leaves[i] = 6;
+            }
+            let enc = stream_of(&leaves);
+            let want = model.predict_samples(&enc).unwrap();
+            let engine = InferenceEngine::new(
+                model.clone(),
+                EngineConfig {
+                    workers: 2,
+                    max_batch,
+                    policy,
+                },
+            );
+            let got = engine.predict_samples(&enc).unwrap();
+            assert_eq!(got, want, "policy {policy:?}, n = {n}");
+            engine.shutdown();
+        }
+    }
+}
+
+/// The padded dispatch path under a shutdown race: every call completes
+/// with either the full, exact result set or `WorkersUnavailable` — never
+/// a hang, never partial/padded output.
+#[test]
+fn padded_dispatch_racing_shutdown_never_hangs_or_leaks_padding() {
+    let model = frozen_model();
+    let enc = stream_of(&[4usize; 21]); // 2 full chunks + a padded tail
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 3,
+            max_batch: 8,
+            policy: ChunkPolicy::PadToClass { min_fill_pct: 50 },
+        },
+    );
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = &engine;
+                let enc = &enc;
+                let want = &want;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        match engine.predict_samples(enc) {
+                            Ok(got) => assert_eq!(&got, want, "results must stay exact"),
+                            Err(EngineError::WorkersUnavailable) => {}
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        engine.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    match engine.predict_samples(&enc) {
+        Err(EngineError::WorkersUnavailable) => {}
+        other => panic!("expected WorkersUnavailable after shutdown, got {other:?}"),
+    }
+}
+
+/// `plan_chunks` is what the engine actually dispatches: a probe stream
+/// sized to produce a padded tail must come back exact (padding rows are
+/// computed but never leak into results).
+#[test]
+fn planned_chunk_shapes_match_issue_contract() {
+    // 19 samples at max_batch 8 under PadToClass(80): 2 full chunks plus
+    // a 3-sample remainder that must NOT pad (fill 37%); under fill 25 it
+    // must pad to the class.
+    let c80 = plan_chunks(19, 8, ChunkPolicy::PadToClass { min_fill_pct: 80 });
+    assert_eq!(
+        c80,
+        vec![
+            PlannedChunk {
+                start: 0,
+                end: 8,
+                dispatch: 8
+            },
+            PlannedChunk {
+                start: 8,
+                end: 16,
+                dispatch: 8
+            },
+            PlannedChunk {
+                start: 16,
+                end: 19,
+                dispatch: 3
+            },
+        ]
+    );
+    let c25 = plan_chunks(19, 8, ChunkPolicy::PadToClass { min_fill_pct: 25 });
+    assert_eq!(
+        c25[2].dispatch, 8,
+        "37% fill must pad under a 25% threshold"
+    );
+    // Stable and Ragged share chunk shapes (they differ in plan routing).
+    assert_eq!(
+        plan_chunks(19, 8, ChunkPolicy::Stable),
+        plan_chunks(19, 8, ChunkPolicy::Ragged)
+    );
+}
+
+/// A model whose class registry is already full cannot take the engine's
+/// `{1, max_batch}`: the engine must demote to `Ragged` observably (and
+/// still serve exactly) rather than padding for plans that never fire.
+#[test]
+fn full_class_registry_demotes_policy_observably() {
+    let model = frozen_model();
+    for c in 0..cdmpp_core::MAX_BATCH_CLASSES {
+        assert!(model.predictor.register_batch_class(100 + c));
+    }
+    let enc = stream_of(&[3usize; 13]);
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            policy: ChunkPolicy::PadToClass { min_fill_pct: 50 },
+        },
+    );
+    assert_eq!(
+        engine.config().policy,
+        ChunkPolicy::Ragged,
+        "a full registry must demote the policy, not silently degrade"
+    );
+    assert_eq!(engine.predict_samples(&enc).unwrap(), want);
+}

@@ -61,6 +61,7 @@ fn snapshot_engine_is_bit_identical_to_train_then_serve_with_zero_recording() {
     let cfg = EngineConfig {
         workers: 2,
         max_batch: 8,
+        ..Default::default()
     };
     let live = InferenceEngine::from_trained(&model, cfg.clone());
     let cold = InferenceEngine::from_snapshot(&Snapshot::from_bytes(&bytes).unwrap(), cfg).unwrap();

@@ -390,6 +390,170 @@ fn gemm_blocked(
     });
 }
 
+/// Whether [`gemm`] routes `[m, k] · [k, n]` to the blocked/packed kernel
+/// — exactly the shapes where a [`PackedB`] pays for itself. Below the
+/// threshold the naive loop (which reads `B` unpacked) wins, so
+/// fixed-shape callers should keep the generic entry point there.
+pub fn gemm_prefers_packed(m: usize, k: usize, n: usize) -> bool {
+    k > 0 && m.saturating_mul(n).saturating_mul(k) >= TINY_MULADDS
+}
+
+/// A `[k, n]` matrix packed **once** into the blocked kernel's slab layout
+/// (`ceil(n/NR)` slabs of `kc x NR` per `KC` k-block, zero-padded).
+///
+/// This is the weight side of a fixed-shape GEMM: compiled inference plans
+/// specialize to a known batch size, and the `B` operand of every linear
+/// layer is a parameter whose values are frozen for serving — so the
+/// packing that [`gemm`] performs per call can happen exactly once, at
+/// specialize time. Replay through [`crate::gemm_prepacked`] then touches
+/// no packing buffers at all.
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    /// One packed panel per `KC` k-block, in ascending-`k` order.
+    blocks: Vec<AVec>,
+}
+
+impl PackedB {
+    /// Packs row-major `b` (`k * n` elements) into slab layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "PackedB::pack: b must be [k, n]");
+        let view = MatRef::dense(b, n);
+        let mut blocks = Vec::with_capacity(k.div_ceil(KC).max(1));
+        let mut pc = 0;
+        loop {
+            let kc = KC.min(k - pc);
+            let mut buf = AVec::new();
+            pack_b(view, pc, kc, 0, n, &mut buf);
+            blocks.push(buf);
+            pc += kc;
+            if pc >= k {
+                break;
+            }
+        }
+        PackedB { k, n, blocks }
+    }
+
+    /// The contraction length this packing was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The output width this packing was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl std::fmt::Debug for PackedB {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedB")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+/// `C = ep(A · B)` against a prepacked `B`, reading `A` rows **directly**
+/// (no A-packing pass, no per-call packing buffers, no dispatch checks).
+///
+/// Every output element accumulates in the blocked kernel's order:
+/// ascending-`k` single-accumulator sums, reassociated at `KC` block
+/// boundaries. That is bit-identical to [`gemm`] wherever [`gemm`] picks
+/// the blocked kernel, and to every kernel for `k <= KC` (single block ⇒
+/// no reassociation); tiny `k > KC` shapes, which [`gemm`] sums
+/// unblocked, may round differently — see
+/// [`crate::gemm_prepacked`]'s contract. Serial by construction — the
+/// callers are serving workers that already own a core each.
+pub(crate) fn gemm_prepacked_impl(m: usize, a: &[f32], pb: &PackedB, c: &mut [f32], ep: Epilogue) {
+    let (k, n) = (pb.k, pb.n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for crow in c.chunks_exact_mut(n) {
+            for (j, o) in crow.iter_mut().enumerate() {
+                *o = ep.apply(j, 0.0);
+            }
+        }
+        return;
+    }
+    let slabs = n.div_ceil(NR);
+    let mut pc = 0usize;
+    for (bi, block) in pb.blocks.iter().enumerate() {
+        let kc = KC.min(k - pc);
+        let store = bi == 0;
+        let ep_here = if pc + kc == k { ep } else { Epilogue::NONE };
+        let bpack = block.as_slice();
+        for t in 0..slabs {
+            let bslab = &bpack[t * kc * NR..(t + 1) * kc * NR];
+            let j0 = t * NR;
+            let nr = NR.min(n - j0);
+            let mut i0 = 0usize;
+            while i0 < m {
+                let mr = MR.min(m - i0);
+                // Direct A access: row `r`'s k-block slice is contiguous,
+                // so the micro kernel streams MR scalar lanes straight from
+                // the source (edge tiles re-read row 0; its results are
+                // discarded by the `take(mr)` below).
+                let arow = |r: usize| {
+                    let row = i0 + if r < mr { r } else { 0 };
+                    &a[row * k + pc..row * k + pc + kc]
+                };
+                let tile = micro_tile_direct(kc, [arow(0), arow(1), arow(2), arow(3)], bslab);
+                for (r, trow) in tile.iter().take(mr).enumerate() {
+                    let start = (i0 + r) * n + j0;
+                    let crow = &mut c[start..start + nr];
+                    if store {
+                        if ep_here.is_none() {
+                            crow.copy_from_slice(&trow[..nr]);
+                        } else {
+                            for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
+                                *o = ep_here.apply(j0 + j, v);
+                            }
+                        }
+                    } else if ep_here.is_none() {
+                        for (o, &v) in crow.iter_mut().zip(&trow[..nr]) {
+                            *o += v;
+                        }
+                    } else {
+                        for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
+                            *o = ep_here.apply(j0 + j, *o + v);
+                        }
+                    }
+                }
+                i0 += mr;
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// The pack-free twin of [`micro_tile`]: `A` arrives as `MR` contiguous
+/// row slices (each `kc` long) instead of one interleaved strip. The
+/// arithmetic — one accumulator per element, ascending-`p` — is identical.
+#[inline(always)]
+fn micro_tile_direct(kc: usize, ar: [&[f32]; MR], bslab: &[f32]) -> [[f32; NR]; MR] {
+    let ar = [&ar[0][..kc], &ar[1][..kc], &ar[2][..kc], &ar[3][..kc]];
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bv = &bslab[p * NR..(p + 1) * NR];
+        for (accrow, arow) in acc.iter_mut().zip(&ar) {
+            let av = arow[p];
+            for (s, &bc) in accrow.iter_mut().zip(bv) {
+                *s += av * bc;
+            }
+        }
+    }
+    acc
+}
+
 /// Packs `kc` rows x `nc` columns of `B` into `ceil(nc/NR)` slabs, each
 /// `kc x NR` in row-(`p`-)major order, zero-padding partial slabs.
 fn pack_b(b: MatRef, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut AVec) {
@@ -710,6 +874,74 @@ mod tests {
             MatRef::dense(&[], 3),
             &mut c,
             false,
+            Epilogue {
+                bias: Some(&bias),
+                act: Activation::Relu,
+            },
+        );
+        assert_eq!(c, vec![1.5, 0.0, 0.25, 1.5, 0.0, 0.25]);
+    }
+
+    /// The fixed-shape prepacked kernel must be bit-identical to the
+    /// generic dispatch on every path it can replace: tiny shapes (where
+    /// `gemm` picks the naive loop), blocked shapes, multi-k-block shapes
+    /// (same `KC` reassociation boundaries), ragged edges, and every
+    /// epilogue combination.
+    #[test]
+    fn prepacked_bit_identical_to_generic_across_shapes() {
+        for &(m, n, k, tag) in &[
+            (1usize, 1usize, 1usize, "scalar"),
+            (3, 5, 4, "tiny-naive"),
+            (5, 12, 7, "edge-nr"),
+            (6, 8, 3, "exact-tiles"),
+            (64, 48, 56, "blocked"),
+            (130, 33, 70, "ragged"),
+            (512, 32, 32, "predictor-shape"),
+            (9, 100, 600, "two-k-blocks"),
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            let bias: Vec<f32> = (0..n).map(|j| ((j as f32) * 0.61).cos()).collect();
+            let packed = PackedB::pack(&bv, k, n);
+            assert_eq!((packed.k(), packed.n()), (k, n));
+            for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
+                for with_bias in [false, true] {
+                    let ep = Epilogue {
+                        bias: with_bias.then_some(bias.as_slice()),
+                        act,
+                    };
+                    let mut generic = vec![f32::NAN; m * n];
+                    gemm(
+                        m,
+                        n,
+                        k,
+                        MatRef::dense(&av, k),
+                        MatRef::dense(&bv, n),
+                        &mut generic,
+                        false,
+                        ep,
+                    );
+                    let mut pre = vec![f32::NAN; m * n];
+                    gemm_prepacked_impl(m, &av, &packed, &mut pre, ep);
+                    assert_eq!(
+                        pre, generic,
+                        "{tag}: act {act:?} bias {with_bias} must match the generic kernel bit for bit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_empty_product_applies_epilogue() {
+        let packed = PackedB::pack(&[], 0, 3);
+        let bias = [1.5f32, -2.0, 0.25];
+        let mut c = vec![f32::NAN; 6];
+        gemm_prepacked_impl(
+            2,
+            &[],
+            &packed,
+            &mut c,
             Epilogue {
                 bias: Some(&bias),
                 act: Activation::Relu,

@@ -17,10 +17,10 @@ mod gemm;
 mod ops;
 mod shape;
 
-pub use gemm::Activation;
+pub use gemm::{gemm_prefers_packed, Activation, PackedB};
 pub use ops::{
-    bmm, bmm_acc_into, bmm_into, bmm_slices, gemm_ep_slices, matmul, matmul_acc_into, matmul_into,
-    matmul_t_acc_into, matmul_t_into,
+    bmm, bmm_acc_into, bmm_into, bmm_slices, gemm_ep_slices, gemm_prepacked, matmul,
+    matmul_acc_into, matmul_into, matmul_t_acc_into, matmul_t_into,
 };
 pub use shape::Shape;
 

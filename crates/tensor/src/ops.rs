@@ -14,7 +14,7 @@
 //! Transposed operands are strided views into the packing routines; nothing
 //! is ever materialized transposed.
 
-use crate::gemm::{gemm, Activation, Epilogue, MatRef};
+use crate::gemm::{gemm, gemm_prepacked_impl, Activation, Epilogue, MatRef, PackedB};
 use crate::{ensure_len, Result, Tensor, TensorError};
 
 /// 2-D matrix product `[m, k] x [k, n] -> [m, n]`.
@@ -384,6 +384,58 @@ pub fn gemm_ep_slices(
         false,
         Epilogue { bias, act },
     );
+    Ok(())
+}
+
+/// Epilogue-capable 2-D GEMM against a [`PackedB`] prepared once with
+/// [`PackedB::pack`]: `out = act(a · b + bias)` with **zero** per-call
+/// packing (no A pack, no B pack, no packing-buffer TLS access).
+///
+/// This is the fixed-shape entry point batch-specialized inference plans
+/// select at specialize time for weight GEMMs. Accumulation is the
+/// blocked kernel's order — ascending-`k` single-accumulator sums,
+/// reassociated at `KC` boundaries — so the result is **bit-identical**
+/// to [`gemm_ep_slices`] whenever the generic dispatch would pick the
+/// blocked kernel ([`gemm_prefers_packed`](crate::gemm_prefers_packed)
+/// holds), and for *any* shape with `k <= KC` (a single k-block has no
+/// reassociation at all, matching the naive loop too). Only tiny shapes
+/// with `k > KC` — which the generic entry sums in one unblocked pass —
+/// can differ in final-bit rounding; guard call sites with
+/// `gemm_prefers_packed` (as the plan specializer does) to stay exactly
+/// on the generic kernels' bits.
+pub fn gemm_prepacked(
+    m: usize,
+    a: &[f32],
+    b: &PackedB,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) -> Result<()> {
+    let (k, n) = (b.k(), b.n());
+    if a.len() != m * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_prepacked",
+            lhs: vec![m, k, a.len()],
+            rhs: vec![k, n],
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::BadShape {
+            op: "gemm_prepacked",
+            shape: vec![m, n],
+            len: out.len(),
+        });
+    }
+    if let Some(bv) = bias {
+        if bv.len() != n {
+            return Err(TensorError::BadShape {
+                op: "gemm_prepacked",
+                shape: vec![n],
+                len: bv.len(),
+            });
+        }
+    }
+    gemm_prepacked_impl(m, a, b, out, Epilogue { bias, act });
     Ok(())
 }
 

@@ -131,7 +131,14 @@ fn cmd_train(args: &[String]) -> ! {
     };
     let dev = device_or_usage(&device);
     let model = train_model(&dev, epochs);
-    let snap = match Snapshot::capture_all(&model) {
+    // Ship the engine's default batch classes so `serve --snapshot`
+    // cold-starts with shape-final specialized plans too.
+    let snap = match Snapshot::capture_all(&model)
+        .map_err(|e| e.to_string())
+        .and_then(|s| {
+            s.with_batch_classes(&[1, cdmpp::core::DEFAULT_MAX_BATCH])
+                .map_err(|e| e.to_string())
+        }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("[cdmpp] compiling inference plans failed: {e}");
@@ -144,10 +151,12 @@ fn cmd_train(args: &[String]) -> ! {
         std::process::exit(1);
     }
     eprintln!(
-        "[cdmpp] wrote {save}: {} bytes, {} weight tensors, {} pre-compiled plans",
+        "[cdmpp] wrote {save}: {} bytes, {} weight tensors, {} pre-compiled plans, \
+         {} batch specializations",
         bytes.len(),
         snap.params.len(),
-        snap.plans.len()
+        snap.plans.len(),
+        snap.spec_plans.len()
     );
     std::process::exit(0);
 }

@@ -68,7 +68,14 @@ fn golden_fixture_loads_and_predicts_exactly() {
          drifted without a version bump",
     );
     assert_eq!(snap.plans.len(), snap.config.max_leaves, "full plan set");
+    // The fixture predates batch specialization: the optional section must
+    // decode as absent (forward compatibility of the additive format).
+    assert!(
+        snap.spec_plans.is_empty(),
+        "pre-specialization fixture must have no spec section"
+    );
     let model = InferenceModel::from_snapshot(&snap).expect("fixture must restore a model");
+    assert!(model.predictor.batch_classes().is_empty());
     let preds = model.predict_samples(&probes()).unwrap();
     // The forward pass uses libm transcendentals (tanh/exp), which Rust
     // does not guarantee bit-exact across targets — so the exact pin runs
