@@ -51,6 +51,88 @@ fn naive_matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
     }
 }
 
+/// A replica of the pre-SIMD blocked kernel: same GOTO loop nest and
+/// packing (KC=512 / MC=128, 4×8 register tile) but a plain `+ a*b`
+/// accumulation the compiler autovectorizes — exactly what the explicit
+/// SIMD micro-kernels replaced. `simd_vs_autovec` in the JSON is measured
+/// against this, so the speedup isolates the micro-kernel change from the
+/// blocking/packing wins of earlier PRs.
+fn autovec_matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
+    const KC: usize = 512;
+    const MC: usize = 128;
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    out.clear();
+    out.resize(m * n, 0.0);
+    let (ad, bd) = (a.data(), b.data());
+    let mut bpack = vec![0.0f32; KC * n.next_multiple_of(NR)];
+    let mut apack = vec![0.0f32; MC * KC];
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let slabs = n.div_ceil(NR);
+        for s in 0..slabs {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            for p in 0..kc {
+                let dst = &mut bpack[(s * KC + p) * NR..(s * KC + p + 1) * NR];
+                let src = &bd[(pc + p) * n + j0..(pc + p) * n + j0 + w];
+                dst[..w].copy_from_slice(src);
+                dst[w..].fill(0.0);
+            }
+        }
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC.min(m - ic);
+            for r0 in (0..mc).step_by(MR) {
+                let h = MR.min(mc - r0);
+                for p in 0..kc {
+                    for r in 0..MR {
+                        apack[(r0 / MR * KC + p) * MR + r] = if r < h {
+                            ad[(ic + r0 + r) * k + pc + p]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            for r0 in (0..mc).step_by(MR) {
+                let h = MR.min(mc - r0);
+                let astrip = &apack[r0 / MR * KC * MR..];
+                for s in 0..slabs {
+                    let j0 = s * NR;
+                    let w = NR.min(n - j0);
+                    let bslab = &bpack[s * KC * NR..];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for p in 0..kc {
+                        let brow = &bslab[p * NR..(p + 1) * NR];
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let av = astrip[p * MR + r];
+                            for (o, &bv) in accr.iter_mut().zip(brow.iter()) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    for r in 0..h {
+                        let crow = &mut out[(ic + r0 + r) * n + j0..(ic + r0 + r) * n + j0 + w];
+                        if pc == 0 {
+                            crow.copy_from_slice(&acc[r][..w]);
+                        } else {
+                            for (o, &v) in crow.iter_mut().zip(acc[r].iter()) {
+                                *o += v;
+                            }
+                        }
+                    }
+                }
+            }
+            ic += mc;
+        }
+        pc += kc;
+    }
+}
+
 /// Predictor-relevant GEMM shapes `(m, k, n, label)`: a 64-sample batch at
 /// 8 leaves flowing through input projection, encoder linears,
 /// feed-forward, leaf embedding, and decoder — plus a single-sample bucket.
@@ -143,6 +225,13 @@ fn bench_gemm(c: &mut Criterion) {
                 black_box(&nbuf);
             })
         });
+        let mut avbuf = Vec::new();
+        g.bench_function(&format!("autovec/{label}"), |bch| {
+            bch.iter(|| {
+                autovec_matmul_into(black_box(&a), black_box(&b), &mut avbuf);
+                black_box(&avbuf);
+            })
+        });
         let mut bbuf = Vec::new();
         g.bench_function(&format!("blocked/{label}"), |bch| {
             bch.iter(|| {
@@ -167,6 +256,11 @@ fn emit_json() {
             naive_matmul_into(black_box(&a), black_box(&b), &mut nbuf);
             black_box(&nbuf);
         });
+        let mut abuf = Vec::new();
+        let autovec = median_ns(150, || {
+            autovec_matmul_into(black_box(&a), black_box(&b), &mut abuf);
+            black_box(&abuf);
+        });
         let mut out = Vec::new();
         let blocked = median_ns(150, || {
             tensor::matmul_into(black_box(&a), black_box(&b), &mut out).unwrap();
@@ -175,13 +269,44 @@ fn emit_json() {
         let gflops = |ns: f64| 2.0 * (m * k * n) as f64 / ns;
         gemm_rows.push(format!(
             "    {{\"shape\": \"{label}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
-             \"naive_ns\": {naive:.0}, \"blocked_ns\": {blocked:.0}, \
+             \"naive_ns\": {naive:.0}, \"autovec_ns\": {autovec:.0}, \
+             \"blocked_ns\": {blocked:.0}, \
              \"naive_gflops\": {:.2}, \"blocked_gflops\": {:.2}, \
-             \"speedup\": {:.2}}}",
+             \"speedup\": {:.2}, \"simd_vs_autovec\": {:.2}}}",
             gflops(naive),
             gflops(blocked),
-            naive / blocked
+            naive / blocked,
+            autovec / blocked
         ));
+    }
+
+    // Intra-op scaling: the same kernel fanned out over explicit pools.
+    // Rows are only meaningful on multi-core hosts (see "note"), but the
+    // bitwise output is thread-count-invariant either way.
+    let mut par_rows = Vec::new();
+    {
+        let (m, k, n) = (512usize, 96, 48);
+        let a = mk(m, k, 0.0);
+        let b = mk(k, n, 1.0);
+        let mut base = Vec::new();
+        let serial = median_ns(150, || {
+            tensor::matmul_into(black_box(&a), black_box(&b), &mut base).unwrap();
+            black_box(&base);
+        });
+        for threads in [1usize, 2, 4] {
+            let pool = parallel::ThreadPool::new(threads);
+            let mut out = Vec::new();
+            let t = median_ns(150, || {
+                tensor::matmul_into_with_pool(&pool, black_box(&a), black_box(&b), &mut out)
+                    .unwrap();
+                black_box(&out);
+            });
+            par_rows.push(format!(
+                "    {{\"shape\": \"ffn_down_d48_B64\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"threads\": {threads}, \"ns\": {t:.0}, \"speedup_vs_serial\": {:.2}}}",
+                serial / t
+            ));
+        }
     }
 
     let (batch, y) = training_fixture();
@@ -232,12 +357,14 @@ fn emit_json() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"gemm\",\n  \"host_cores\": {cores},\n  \"batch_rows\": {bs},\n  \"note\": \"gemm rows are single-core kernel-vs-kernel (both sides reuse output buffers; global pool pinned to 1 thread). parallel_train_step rows on a 1-core host measure sharding overhead only - rerun on a multi-core machine for scaling numbers.\",\n  \
-         \"gemm\": [\n{}\n  ],\n  \"training_step\": [\n{}\n  ],\n  \
+        "{{\n  \"bench\": \"gemm\",\n  \"host_cores\": {cores},\n  \"kernel_tier\": \"{tier}\",\n  \"batch_rows\": {bs},\n  \"note\": \"gemm rows are single-core kernel-vs-kernel (both sides reuse output buffers; global pool pinned to 1 thread); simd_vs_autovec compares the runtime-selected micro-kernel against a replica of the pre-SIMD autovectorized 4x8 tile over the same blocking. gemm_parallel and parallel_train_step rows on a 1-core host measure dispatch/sharding overhead only - rerun on a multi-core machine for scaling numbers.\",\n  \
+         \"gemm\": [\n{}\n  ],\n  \"gemm_parallel\": [\n{}\n  ],\n  \"training_step\": [\n{}\n  ],\n  \
          \"engine_throughput\": [\n{}\n  ]\n}}\n",
         gemm_rows.join(",\n"),
+        par_rows.join(",\n"),
         step_rows.join(",\n"),
-        engine_rows.join(",\n")
+        engine_rows.join(",\n"),
+        tier = tensor::kernel_tier_name(),
     );
     let path = std::env::var("BENCH_GEMM_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_gemm.json", env!("CARGO_MANIFEST_DIR")));

@@ -60,7 +60,12 @@ use features::{N_DEVICE_FEATURES, N_ENTRY};
 /// Magic bytes at offset 0 of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CDMPSNAP";
 /// The (only) format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: plan descriptors gained `Bmm.scale` (fused attention scaling) and
+/// the required `fused_bmm_scales` stats field; numerics moved to fused
+/// multiply-add accumulation, so v1 weights would no longer reproduce the
+/// predictions they were snapshotted with.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Byte cap on the JSON header.
 const MAX_HEADER_BYTES: usize = 1 << 26;

@@ -267,20 +267,24 @@ fn run_shard(
         return failed;
     };
     let value = g.value(loss).item() as f64 * w as f64;
-    if g.backward(loss).is_err() {
+    // Weight the shard in-graph: backward from `w · loss` seeds the whole
+    // tape with `w`, so every parameter gradient comes out pre-weighted and
+    // no post-hoc per-tensor scaling pass is needed. When w == 1.0 (a batch
+    // that fits one shard) the scale node is skipped entirely, keeping the
+    // single-shard case bit-identical to `train_step`.
+    let root = if w == 1.0 { loss } else { g.scale(loss, w) };
+    if g.backward(root).is_err() {
         return failed;
     }
-    // One allocation per touched parameter: the first leaf occurrence is
-    // scaled into place, duplicates fold in via `axpy`. Multiplying by
-    // w = 1.0 is an exact identity, which keeps the single-shard case
-    // bit-identical to `train_step`.
+    // Zero copies for the common case: gradients move out of the tape; a
+    // parameter read through several leaves folds duplicates in with `+=`.
     let mut grads: Vec<Option<Tensor>> = (0..predictor.store.len()).map(|_| None).collect();
-    for (pid, gt) in g.param_grads() {
+    for (pid, gt) in g.take_param_grads() {
         match &mut grads[pid.index()] {
             Some(t) => {
-                let _ = t.axpy(w, gt);
+                let _ = t.add_assign(&gt);
             }
-            slot @ None => *slot = Some(gt.scale(w)),
+            slot @ None => *slot = Some(gt),
         }
     }
     ShardOut {

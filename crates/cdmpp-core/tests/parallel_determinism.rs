@@ -2,6 +2,12 @@
 //! **bit-identical weights for every thread count**, because the gradient
 //! shard partition and the tree-reduction order depend only on the batch —
 //! never on how many workers execute the shards.
+//!
+//! The suite runs under whatever SIMD micro-kernel tier the host selects
+//! (AVX2+FMA, NEON, or scalar) — the tiers are bit-identical to the scalar
+//! oracle by construction (`tensor`'s `simd_bit_identity` suite), so the
+//! contract holds with SIMD on. CI re-runs everything with
+//! `CDMPP_SIMD=scalar` to pin the oracle side.
 
 use cdmpp_core::{
     encode_records, make_batches, pretrain, train_step, train_step_parallel, LossKind, Predictor,

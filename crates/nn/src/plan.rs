@@ -614,6 +614,8 @@ enum StepKind {
         m: Dim,
         k: Dim,
         n: Dim,
+        /// Scalar fused into the write-back (attention's `1/sqrt(d)`).
+        scale: Option<f32>,
     },
     SplitHeads {
         x: Src,
@@ -758,6 +760,8 @@ pub struct PlanStats {
     pub fused_bias: usize,
     /// Activations fused into GEMM epilogues.
     pub fused_activations: usize,
+    /// Scalar multiplies fused into batched-GEMM epilogues.
+    pub fused_bmm_scales: usize,
     /// Element-wise ops folded into a preceding step's chain.
     pub fused_elementwise: usize,
     /// Steps that write their output in place over a dead input.
@@ -1203,10 +1207,30 @@ fn lower(
                 (Src::Buf(ob), None)
             }
             ROp::Bmm { a, b, ta, tb } => {
+                // Epilogue fusion: fold a single-use `scale(c)` consumer
+                // (attention's `scores / sqrt(d)`) into the batched GEMM
+                // write-back, same exactly-once contract as the Gemm arm.
                 let sa = &shapes[*a];
                 let (m, k) = if *ta { (sa[2], sa[1]) } else { (sa[1], sa[2]) };
                 let nn = if *tb { shapes[*b][1] } else { shapes[*b][2] };
-                let ob = new_buf(&mut bufs, i)?;
+                let mut scale: Option<f32> = None;
+                let mut chain: Vec<usize> = Vec::new();
+                let mut cur = i;
+                while let Some(next) = single_user(cur) {
+                    match &ops[next] {
+                        ROp::Map {
+                            x,
+                            op: MapOp::Scale(c),
+                        } if *x == cur && scale.is_none() => {
+                            scale = Some(*c);
+                            stats.fused_bmm_scales += 1;
+                        }
+                        _ => break,
+                    }
+                    chain.push(next);
+                    cur = next;
+                }
+                let ob = new_buf(&mut bufs, cur)?;
                 steps.push(Step {
                     kind: StepKind::Bmm {
                         a: src(&binding, *a),
@@ -1217,9 +1241,14 @@ fn lower(
                         m,
                         k,
                         n: nn,
+                        scale,
                     },
                     out: ob,
                 });
+                for &c in &chain {
+                    consumed[c] = true;
+                    binding[c] = Some((Src::Buf(ob), None));
+                }
                 (Src::Buf(ob), None)
             }
             ROp::SplitHeads { x, h } => {
@@ -1711,9 +1740,10 @@ impl<'r> RunCtx<'r> {
                 m,
                 k,
                 n,
+                scale,
             } => {
                 self.assert_disjoint(&step.kind.sources(), out);
-                tensor::bmm_slices(
+                tensor::bmm_ep_slices(
                     batch.at(self.b),
                     m.at(self.b),
                     k.at(self.b),
@@ -1722,6 +1752,7 @@ impl<'r> RunCtx<'r> {
                     *ta,
                     self.read(*b),
                     *tb,
+                    *scale,
                     self.out(out),
                 )?;
             }
@@ -2030,6 +2061,7 @@ enum SOp {
         m: usize,
         k: usize,
         n: usize,
+        scale: Option<f32>,
     },
     /// An unrolled permutation copy (`split_heads` / `merge_heads`): move
     /// `width` elements from `src` to `dst` for every span.
@@ -2268,6 +2300,7 @@ impl Plan {
                     m,
                     k,
                     n,
+                    scale,
                 } => SOp::Bmm {
                     a: src_of(*a),
                     b: src_of(*bsrc),
@@ -2277,6 +2310,7 @@ impl Plan {
                     m: dim_at(*m)?,
                     k: dim_at(*k)?,
                     n: dim_at(*n)?,
+                    scale: *scale,
                 },
                 StepKind::SplitHeads { x, h, b: bb, l, d } => {
                     let (bb, l, d) = (dim_at(*bb)?, dim_at(*l)?, dim_at(*d)?);
@@ -2662,10 +2696,11 @@ impl<'r> SpecRun<'r> {
                 m,
                 k,
                 n,
+                scale,
             } => {
                 let av = self.read(*a, batch * m * k);
                 let bv = self.read(*b, batch * k * n);
-                tensor::bmm_slices(*batch, *m, *k, *n, av, *ta, bv, *tb, o)?;
+                tensor::bmm_ep_slices(*batch, *m, *k, *n, av, *ta, bv, *tb, *scale, o)?;
             }
             SOp::Copy { x, spans, width } => {
                 let xs = self.read(*x, step.out_len);
@@ -3127,6 +3162,8 @@ pub mod desc {
         pub fused_bias: usize,
         /// Activations fused into GEMM epilogues.
         pub fused_activations: usize,
+        /// Scalar multiplies fused into batched-GEMM epilogues.
+        pub fused_bmm_scales: usize,
         /// Element-wise ops folded into a preceding step's chain.
         pub fused_elementwise: usize,
         /// Steps that write in place over a dead input.
@@ -3146,6 +3183,7 @@ pub mod desc {
                 ("elided_reshapes", self.elided_reshapes),
                 ("fused_bias", self.fused_bias),
                 ("fused_activations", self.fused_activations),
+                ("fused_bmm_scales", self.fused_bmm_scales),
                 ("fused_elementwise", self.fused_elementwise),
                 ("inplace_steps", self.inplace_steps),
                 ("buffers", self.buffers),
@@ -3182,6 +3220,7 @@ pub mod desc {
                 ("elided_reshapes", &mut stats.elided_reshapes),
                 ("fused_bias", &mut stats.fused_bias),
                 ("fused_activations", &mut stats.fused_activations),
+                ("fused_bmm_scales", &mut stats.fused_bmm_scales),
                 ("fused_elementwise", &mut stats.fused_elementwise),
                 ("inplace_steps", &mut stats.inplace_steps),
                 ("buffers", &mut stats.buffers),
@@ -3253,6 +3292,8 @@ pub mod desc {
             k: DimDesc,
             /// Output columns per batch.
             n: DimDesc,
+            /// Scalar fused into the write-back.
+            scale: Option<f32>,
         },
         /// `[b, l, d] -> [b·h, l, d/h]`.
         SplitHeads {
@@ -3493,6 +3534,7 @@ pub mod desc {
             elided_reshapes: s.elided_reshapes,
             fused_bias: s.fused_bias,
             fused_activations: s.fused_activations,
+            fused_bmm_scales: s.fused_bmm_scales,
             fused_elementwise: s.fused_elementwise,
             inplace_steps: s.inplace_steps,
             buffers: s.buffers,
@@ -3508,6 +3550,7 @@ pub mod desc {
             elided_reshapes: s.elided_reshapes,
             fused_bias: s.fused_bias,
             fused_activations: s.fused_activations,
+            fused_bmm_scales: s.fused_bmm_scales,
             fused_elementwise: s.fused_elementwise,
             inplace_steps: s.inplace_steps,
             buffers: s.buffers,
@@ -3543,6 +3586,7 @@ pub mod desc {
                 m,
                 k,
                 n,
+                scale,
             } => StepKindDesc::Bmm {
                 a: src_desc(*a),
                 b: src_desc(*b),
@@ -3552,6 +3596,7 @@ pub mod desc {
                 m: dim_desc(*m),
                 k: dim_desc(*k),
                 n: dim_desc(*n),
+                scale: *scale,
             },
             StepKind::SplitHeads { x, h, b, l, d } => StepKindDesc::SplitHeads {
                 x: src_desc(*x),
@@ -3766,6 +3811,7 @@ pub mod desc {
                     m,
                     k,
                     n,
+                    scale,
                 } => StepKind::Bmm {
                     a: self.src(*a)?,
                     b: self.src(*b)?,
@@ -3775,6 +3821,7 @@ pub mod desc {
                     m: self.dim(*m, "bmm m")?,
                     k: self.dim(*k, "bmm k")?,
                     n: self.dim(*n, "bmm n")?,
+                    scale: *scale,
                 },
                 StepKindDesc::SplitHeads { x, h, b, l, d } => StepKind::SplitHeads {
                     x: self.src(*x)?,
@@ -4411,6 +4458,10 @@ mod tests {
             "lowering must shrink the program"
         );
         assert!(st.elided_reshapes >= 1, "reshape must be free: {st:?}");
+        assert_eq!(
+            st.fused_bmm_scales, 1,
+            "the attention 1/sqrt(d) scale must fold into the bmm: {st:?}"
+        );
         assert!(
             st.fused_elementwise >= 4,
             "tanh/sigmoid/scale/sqrt/abs/exp/add_scalar chains must fuse: {st:?}"
@@ -4420,6 +4471,35 @@ mod tests {
             st.arena_slots < st.buffers,
             "liveness must alias buffers: {st:?}"
         );
+    }
+
+    #[test]
+    fn bmm_scale_fuses_and_stays_bit_identical() {
+        // bmm -> scale with a single user becomes one step whose write-back
+        // applies `v * c` exactly once — bit-identical to the eager path.
+        fn body<E: Exec>(e: &mut E, b: usize) -> TensorResult<Vec<Var>> {
+            let x = e.constant(Tensor::from_fn(&[b, 3, 4], |i| ((i as f32) * 0.11).sin()));
+            let s = e.bmm(x, x, false, true)?;
+            let y = e.scale(s, 0.577);
+            Ok(vec![y])
+        }
+        let (store, _ids) = store_with(&[&[1]]);
+        let plan = Plan::compile(&store, |rec, b| body(rec, b).map_err(PlanError::from)).unwrap();
+        let st = plan.stats();
+        assert_eq!(st.fused_bmm_scales, 1, "{st:?}");
+        assert_eq!(st.steps, 1, "bmm + scale must be one step: {st:?}");
+        let mut exec = PlanExec::new(Arc::new(plan));
+        for b in [1usize, 2, 5] {
+            let x = Tensor::from_fn(&[b, 3, 4], |i| ((i as f32) * 0.11).sin());
+            exec.run(&store, &[&x]).unwrap();
+            let mut ctx = InferCtx::new(&store);
+            let outs = body(&mut ctx, b).unwrap();
+            assert_eq!(
+                exec.output(0),
+                ctx.value(outs[0]).data(),
+                "fused bmm scale must be bit-identical at batch {b}"
+            );
+        }
     }
 
     #[test]

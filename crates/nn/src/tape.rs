@@ -764,6 +764,18 @@ impl Graph {
                 _ => None,
             })
     }
+
+    /// [`Graph::param_grads`] by move: drains each parameter leaf's
+    /// gradient out of the tape instead of borrowing it, so callers that
+    /// keep the gradients (the data-parallel trainer's shard buffers) skip
+    /// one full copy per parameter. The graph stays valid but its
+    /// parameter gradients are gone afterwards.
+    pub fn take_param_grads(&mut self) -> impl Iterator<Item = (ParamId, Tensor)> + '_ {
+        self.nodes.iter_mut().filter_map(|node| match &node.op {
+            Op::Leaf(Some(pid)) => node.grad.take().map(|g| (*pid, g)),
+            _ => None,
+        })
+    }
 }
 
 fn softmax_bwd(s: &Tensor, g: &Tensor) -> Result<Tensor> {

@@ -20,6 +20,11 @@
 //!    at a time: the trainer's shards don't oversubscribe cores by also
 //!    splitting every GEMM, and a scope entered from a worker can never
 //!    deadlock waiting on its own pool.
+//! 4. **Composable budgets.** Threads that are *not* pool workers but still
+//!    belong to a parallel ensemble (serving-engine workers) carry an
+//!    explicit intra-op budget ([`set_intra_op_threads`]) instead of the
+//!    all-or-nothing worker mark: `engine workers x per-worker GEMM
+//!    threads` is capped at the core count by construction.
 //!
 //! Thread-count resolution is centralized in [`resolve_threads`]: an
 //! explicit request wins, then the `PARALLEL_THREADS` environment variable,
@@ -39,6 +44,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 thread_local! {
     static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread intra-op parallelism budget: how many pool threads a
+    /// kernel running on this thread may fan out over. `0` = unset
+    /// (unlimited — bounded only by the pool size).
+    static INTRA_OP: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Marks the current thread as part of a parallel ensemble: any
@@ -55,6 +64,34 @@ pub fn mark_worker_thread() {
 /// [`mark_worker_thread`]).
 pub fn is_worker_thread() -> bool {
     IS_WORKER.with(|c| c.get())
+}
+
+/// Sets this thread's intra-op parallelism budget: the maximum number of
+/// pool threads a kernel invoked from this thread may split one operation
+/// over. `0` clears the budget (unlimited).
+///
+/// This is how inter-op workers (the serving engine's per-request threads)
+/// and intra-op kernels (the GEMM row-panel split) **compose** without
+/// oversubscription: an engine running `w` workers on `c` cores gives each
+/// worker a budget of `c / w`, so `workers x intra-op threads <= cores`.
+/// A budget of `1` keeps kernels serial on this thread — the pre-budget
+/// behavior of [`mark_worker_thread`] — without making it a pool worker
+/// (nested scopes from it still fan out if the budget allows).
+pub fn set_intra_op_threads(n: usize) {
+    INTRA_OP.with(|c| c.set(n));
+}
+
+/// This thread's intra-op budget: the cap from [`set_intra_op_threads`],
+/// `1` on pool workers (they own exactly one core of a split already), or
+/// `usize::MAX` when unset. Kernels take `min(budget, pool.threads())`.
+pub fn intra_op_threads() -> usize {
+    if is_worker_thread() {
+        return 1;
+    }
+    match INTRA_OP.with(|c| c.get()) {
+        0 => usize::MAX,
+        n => n,
+    }
 }
 
 /// Resolves a thread count: `requested` if non-zero, else the
@@ -204,20 +241,36 @@ impl ThreadPool {
 
     /// Evaluates `f(0..n)` across the pool, returning results in index
     /// order. The caller blocks until all results are in.
+    ///
+    /// Indices are submitted as `min(threads, n)` contiguous-range jobs
+    /// (not one closure per index), so per-job dispatch cost is paid once
+    /// per thread, and each result lands in its own cache-line-aligned
+    /// slot so concurrent writers never false-share.
     pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        /// One result, alone on its cache line(s).
+        #[repr(align(128))]
+        struct Slot<T>(Option<T>);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Slot<T>> = (0..n).map(|_| Slot(None)).collect();
+        let per = n.div_ceil(self.threads().min(n));
         self.scope(|s| {
-            for (i, slot) in out.iter_mut().enumerate() {
-                let f = &f;
-                s.spawn(move || *slot = Some(f(i)));
+            let f = &f;
+            for (chunk, slots) in out.chunks_mut(per).enumerate() {
+                s.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        slot.0 = Some(f(chunk * per + off));
+                    }
+                });
             }
         });
         out.into_iter()
-            .map(|o| o.expect("scope completed every task"))
+            .map(|s| s.0.expect("scope completed every task"))
             .collect()
     }
 }
@@ -367,5 +420,26 @@ mod tests {
         let marked = pool.run_indexed(1, |_| is_worker_thread());
         assert!(marked[0]);
         assert!(!is_worker_thread(), "caller thread is not a worker");
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_undersized_inputs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.run_indexed(0, |i| i), Vec::<usize>::new());
+        // Fewer items than threads: every index still runs exactly once.
+        assert_eq!(pool.run_indexed(2, |i| i * 7), vec![0, 7]);
+    }
+
+    #[test]
+    fn intra_op_budget_defaults_and_overrides() {
+        assert_eq!(intra_op_threads(), usize::MAX, "unset = unlimited");
+        set_intra_op_threads(3);
+        assert_eq!(intra_op_threads(), 3);
+        set_intra_op_threads(0);
+        assert_eq!(intra_op_threads(), usize::MAX);
+        // Pool workers always report a budget of 1, whatever was set.
+        let pool = ThreadPool::new(1);
+        let on_worker = pool.run_indexed(1, |_| intra_op_threads());
+        assert_eq!(on_worker[0], 1);
     }
 }

@@ -265,11 +265,18 @@ impl InferenceEngine {
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let use_classes = cfg.policy != ChunkPolicy::Ragged;
-        let workers = (0..cfg.resolved_workers())
+        let n_workers = cfg.resolved_workers();
+        // Split the machine between engine workers and intra-op GEMM
+        // threads so the two layers compose instead of oversubscribing:
+        // each worker gets cores/workers threads for its own GEMMs. With
+        // one worker per core the budget is 1 and GEMMs stay serial,
+        // exactly the old behavior.
+        let intra_op = (parallel::resolve_threads(0) / n_workers.max(1)).max(1);
+        let workers = (0..n_workers)
             .map(|_| {
                 let model = Arc::clone(&model);
                 let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || worker_loop(&model, &job_rx, use_classes))
+                std::thread::spawn(move || worker_loop(&model, &job_rx, use_classes, intra_op))
             })
             .collect();
         InferenceEngine {
@@ -563,10 +570,17 @@ pub fn end_to_end(
     ))
 }
 
-fn worker_loop(model: &InferenceModel, jobs: &Arc<Mutex<Receiver<Job>>>, use_classes: bool) {
-    // The engine already runs one worker per core; marking the thread
-    // keeps the GEMM layer from fanning each batch out a second time.
-    parallel::mark_worker_thread();
+fn worker_loop(
+    model: &InferenceModel,
+    jobs: &Arc<Mutex<Receiver<Job>>>,
+    use_classes: bool,
+    intra_op: usize,
+) {
+    // Cap how many threads this worker's GEMMs may fan out to. The engine
+    // computed the budget as cores/workers, so worker-level and GEMM-level
+    // parallelism compose instead of oversubscribing the machine; a budget
+    // of 1 keeps this worker's GEMMs serial (one worker per core).
+    parallel::set_intra_op_threads(intra_op);
     // One plan runner per worker, alive for the engine's lifetime: the
     // compiled plans themselves are shared through the model (compiled at
     // most once per leaf count), and this worker's replay arenas warm up

@@ -10,26 +10,42 @@
 //! 2. **Blocked + packed serial kernel**: the classic GOTO/BLIS loop nest.
 //!    `B` is packed into `KC x NR` column slabs and `A` into `KC x MR` row
 //!    strips (both cache-line-aligned via [`crate::aligned::AVec`], pooled
-//!    per thread so steady-state calls never allocate); an unrolled
-//!    `MR x NR = 4 x 8` register-tile micro-kernel then streams the panels
-//!    in a form LLVM autovectorizes (no SIMD intrinsics — the build is
-//!    offline and portable).
+//!    per thread so steady-state calls never allocate); an explicit
+//!    register-tile micro-kernel then streams the panels.
 //! 3. **Row-panel parallelism**: large products split their `M` dimension
 //!    over [`parallel::global`]. Each output element is produced by exactly
 //!    one task with an accumulation order fixed by shape alone, so results
 //!    are **bit-identical for every thread count** (including 1).
 //!
+//! # Kernel tiers
+//!
+//! The micro-kernel is selected **once** per process, by runtime feature
+//! detection ([`active_tier`]):
+//!
+//! * **`scalar`** — always compiled, every target. A plain-Rust tile whose
+//!   every multiply-add is [`f32::mul_add`]. This is the portable fallback
+//!   *and* the bit-identity oracle the SIMD tiers are tested against.
+//! * **`avx2+fma`** (x86_64, via `is_x86_feature_detected!`) — an explicit
+//!   `std::arch` 6x16 tile built from `_mm256_fmadd_ps`.
+//! * **`neon`** (aarch64) — an explicit 4x8 tile built from `vfmaq_f32`.
+//!
+//! Setting `CDMPP_SIMD=scalar` in the environment forces the scalar tier
+//! (read once, at first kernel use). Every tier performs the **same fused
+//! multiply-add per element in the same order**: one accumulator per output
+//! element, ascending-`k` within a `KC` block, reassociated only at `KC`
+//! boundaries. A fused multiply-add is a single correctly-rounded IEEE
+//! operation, so `f32::mul_add`, `_mm256_fmadd_ps` and `vfmaq_f32` agree
+//! bit-for-bit — which is what keeps every executor in `nn` bitwise
+//! identical with SIMD on or off. Tile *shape* (`MR x NR`) is a
+//! kernel-selected constant and never affects results: it only changes
+//! which elements are produced together, not any element's own sum.
+//!
 //! Transposed operands are handled by the packing routines through strided
 //! [`MatRef`] views — there is no materialized transpose anywhere.
-//!
-//! Accumulation-order contract: for `k <= KC` every output element is the
-//! plain ascending-`k` sum (same order as the naive loop); beyond `KC` the
-//! sum is reassociated at `KC` boundaries. Both execution paths in `nn`
-//! (taped and forward-only) call these same kernels, which is what keeps
-//! them bit-identical to each other.
 
 use crate::aligned::AVec;
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Activation applied by a GEMM [`Epilogue`] during output write-back.
 ///
@@ -64,28 +80,33 @@ impl Activation {
     }
 }
 
-/// A fused GEMM epilogue: optional bias row plus activation, applied to
-/// each output element **once**, at the point the element's accumulation
-/// finishes (the write-back loop of whichever kernel path ran).
+/// A fused GEMM epilogue: optional scalar scale, optional bias row, and an
+/// activation, applied to each output element **once**, at the point the
+/// element's accumulation finishes (the write-back loop of whichever
+/// kernel path ran).
 ///
-/// Per element the epilogue computes `act(c[i][j] + bias[j])` — the same
-/// per-element operation order as a separate `add_row` pass followed by a
-/// separate activation pass, so fusion is bit-identical. When `bias` is
-/// `None` the addition is skipped entirely (not replaced by `+ 0.0`, which
-/// would flip the sign of negative zeros).
+/// Per element the epilogue computes `act(c[i][j] * scale + bias[j])` —
+/// the same per-element operation order as separate scale / `add_row` /
+/// activation passes, so fusion is bit-identical. When `scale` is `None`
+/// the multiply is skipped entirely, and when `bias` is `None` the
+/// addition is skipped (not replaced by `+ 0.0`, which would flip the sign
+/// of negative zeros).
 ///
 /// Epilogues only combine with overwriting stores (`acc == false`).
 #[derive(Clone, Copy, Default)]
 pub struct Epilogue<'a> {
+    /// Scalar multiplied into every output element (attention `1/sqrt(d)`).
+    pub scale: Option<f32>,
     /// Bias row of length `n`, added to every output row.
     pub bias: Option<&'a [f32]>,
-    /// Activation applied after the (optional) bias add.
+    /// Activation applied after the (optional) scale and bias.
     pub act: Activation,
 }
 
 impl Epilogue<'_> {
     /// The empty epilogue (plain GEMM).
     pub const NONE: Epilogue<'static> = Epilogue {
+        scale: None,
         bias: None,
         act: Activation::Identity,
     };
@@ -93,12 +114,16 @@ impl Epilogue<'_> {
     /// Whether this epilogue does nothing.
     #[inline(always)]
     pub fn is_none(&self) -> bool {
-        self.bias.is_none() && self.act == Activation::Identity
+        self.scale.is_none() && self.bias.is_none() && self.act == Activation::Identity
     }
 
     /// Applies the epilogue to the finished value of column `j`.
     #[inline(always)]
     fn apply(&self, j: usize, v: f32) -> f32 {
+        let v = match self.scale {
+            Some(c) => v * c,
+            None => v,
+        };
         let v = match self.bias {
             Some(b) => v + b[j],
             None => v,
@@ -110,16 +135,19 @@ impl Epilogue<'_> {
     /// kernels whose `C` slice starts at column `j0`).
     fn cols(&self, j0: usize, nc: usize) -> Epilogue<'_> {
         Epilogue {
+            scale: self.scale,
             bias: self.bias.map(|b| &b[j0..j0 + nc]),
             act: self.act,
         }
     }
 }
 
-/// Micro-kernel tile rows.
-const MR: usize = 4;
-/// Micro-kernel tile columns (8 f32 = two SSE / one AVX vector).
-const NR: usize = 8;
+/// Largest `MR` any tier uses (sizes the shared accumulator tile).
+const MR_MAX: usize = 8;
+/// Largest `NR` any tier uses.
+const NR_MAX: usize = 16;
+/// The micro-kernel accumulator: every tier fills its `MR x NR` prefix.
+type Tile = [[f32; NR_MAX]; MR_MAX];
 /// K-dimension block: sized to cover every predictor shape in one block so
 /// accumulation order matches the naive kernel exactly at those sizes.
 const KC: usize = 512;
@@ -130,7 +158,10 @@ const MC: usize = 128;
 const NC: usize = 4096;
 
 /// Below this many multiply-adds the naive loop wins (no packing traffic).
-const TINY_MULADDS: usize = 16 * 1024;
+/// Retuned for the FMA tile: the packed kernel now pays for its packing
+/// down to ~8K multiply-adds, which pulls the `B=1` serving buckets
+/// (`m=8`: 14K muladds at predictor shapes) onto the fast path.
+const TINY_MULADDS: usize = 8 * 1024;
 /// At this many multiply-adds the row-panel split across the global pool
 /// starts to pay for its dispatch overhead. Shared with the bmm batch-axis
 /// split in `ops.rs` so the two dispatch layers cut over together.
@@ -140,6 +171,96 @@ thread_local! {
     /// Per-thread packing buffers: pool workers and long-lived serving
     /// threads reuse the same panels for every GEMM they ever run.
     static PACK: RefCell<(AVec, AVec)> = const { RefCell::new((AVec::new(), AVec::new())) };
+}
+
+/// The micro-kernel tier serving this process (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// Portable `f32::mul_add` tile — fallback and bit-identity oracle.
+    Scalar,
+    /// x86_64 AVX2 + FMA 6x16 tile (`_mm256_fmadd_ps`).
+    Avx2Fma,
+    /// aarch64 NEON 4x8 tile (`vfmaq_f32`).
+    Neon,
+}
+
+impl SimdTier {
+    /// The tier's register-tile row count.
+    pub fn mr(self) -> usize {
+        match self {
+            SimdTier::Scalar => ScalarK::MR,
+            SimdTier::Avx2Fma => 6,
+            SimdTier::Neon => 4,
+        }
+    }
+
+    /// Human-readable tier name (stable — emitted into bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2Fma => "avx2+fma",
+            SimdTier::Neon => "neon",
+        }
+    }
+}
+
+static TIER: OnceLock<SimdTier> = OnceLock::new();
+
+/// The kernel tier every GEMM in this process dispatches to. Decided once:
+/// `CDMPP_SIMD=scalar` forces the fallback, otherwise runtime feature
+/// detection picks the widest supported tile.
+pub fn active_tier() -> SimdTier {
+    *TIER.get_or_init(|| {
+        if std::env::var("CDMPP_SIMD").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+            return SimdTier::Scalar;
+        }
+        detect_tier()
+    })
+}
+
+/// Name of the active kernel tier (`scalar` / `avx2+fma` / `neon`).
+pub fn kernel_tier_name() -> &'static str {
+    active_tier().name()
+}
+
+fn detect_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+        return SimdTier::Avx2Fma;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        return SimdTier::Neon;
+    }
+    SimdTier::Scalar
+}
+
+/// One register-tile micro-kernel. `MR`/`NR` are per-implementation
+/// constants — the blocked loop nest, the packing layout and the row-panel
+/// split are all generic over them.
+///
+/// # Safety
+///
+/// Callers must only invoke an implementation whose ISA the running CPU
+/// supports (guaranteed by dispatching through [`active_tier`]). Slice
+/// contracts: `astrip` holds `kc * MR` elements, `bslab` holds `kc * NR`,
+/// and every row in `tile_direct`'s `ar` holds at least `kc`.
+trait Micro {
+    const MR: usize;
+    const NR: usize;
+    unsafe fn tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile;
+    unsafe fn tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile;
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef,
+        b: MatRef,
+        c: &mut [f32],
+        acc: bool,
+        ep: Epilogue,
+    );
 }
 
 /// A strided, read-only view of a row-major matrix (or its transpose —
@@ -197,8 +318,8 @@ impl<'a> MatRef<'a> {
 /// `c` must hold exactly `m * n` elements (row-major). When `acc` is false
 /// every element of `c` is overwritten — callers need not (and should not)
 /// pre-zero the buffer. A non-empty epilogue requires `acc == false`: the
-/// bias/activation apply exactly once, when each element's accumulation
-/// completes.
+/// scale/bias/activation apply exactly once, when each element's
+/// accumulation completes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     m: usize,
@@ -210,6 +331,25 @@ pub(crate) fn gemm(
     acc: bool,
     ep: Epilogue,
 ) {
+    gemm_dispatch(m, n, k, a, b, c, acc, ep, active_tier(), None)
+}
+
+/// [`gemm`] with the tier pinned and (optionally) an explicit pool for the
+/// row-panel split — the seams the bit-identity tests and the multi-thread
+/// benches drive directly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_dispatch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+    tier: SimdTier,
+    pool: Option<&parallel::ThreadPool>,
+) {
     debug_assert_eq!(c.len(), m * n);
     debug_assert!(!acc || ep.is_none(), "epilogue cannot combine with C +=");
     if m == 0 || n == 0 {
@@ -218,7 +358,7 @@ pub(crate) fn gemm(
     if k == 0 {
         if !acc {
             // An empty product is all zeros; the epilogue still applies
-            // (bias + activation of zero).
+            // (scale/bias/activation of zero).
             if ep.is_none() {
                 c.fill(0.0);
             } else {
@@ -233,27 +373,31 @@ pub(crate) fn gemm(
     }
     let muladds = m * n * k;
     if muladds < TINY_MULADDS {
-        return gemm_naive(m, n, k, a, b, c, acc, ep);
+        return gemm_naive(m, n, k, a, b, c, acc, ep, tier);
     }
+    let mr = tier.mr();
     // Check the cheap disqualifiers before touching the global pool, so
-    // processes whose GEMMs never parallelize (worker threads, mid-size
-    // products) never lazily spawn it.
-    let eligible =
-        muladds >= PAR_MULADDS && n <= NC && m >= 2 * MR && !parallel::is_worker_thread();
+    // processes whose GEMMs never parallelize (worker threads, budget-1
+    // serving threads, mid-size products) never lazily spawn it.
+    let eligible = muladds >= PAR_MULADDS
+        && n <= NC
+        && m >= 2 * mr
+        && (pool.is_some() || (!parallel::is_worker_thread() && parallel::intra_op_threads() > 1));
     if !eligible {
-        return gemm_blocked(m, n, k, a, b, c, acc, ep);
+        return gemm_blocked_tier(m, n, k, a, b, c, acc, ep, tier);
     }
-    let pool = parallel::global();
-    if pool.threads() <= 1 {
-        return gemm_blocked(m, n, k, a, b, c, acc, ep);
+    let pool = pool.unwrap_or_else(|| parallel::global());
+    let threads = pool.threads().min(parallel::intra_op_threads());
+    if threads <= 1 {
+        return gemm_blocked_tier(m, n, k, a, b, c, acc, ep, tier);
     }
     // Row-panel split: chunk boundaries never change any element's
     // accumulation order, so the result is bit-identical to the serial run
     // for every chunk count. The epilogue is per-element (bias indexed by
     // column, which every row panel keeps in full), so it splits with the
     // rows.
-    let chunks = pool.threads().min(m.div_ceil(MR));
-    let rows_per = m.div_ceil(chunks).next_multiple_of(MR);
+    let chunks = threads.min(m.div_ceil(mr));
+    let rows_per = m.div_ceil(chunks).next_multiple_of(mr);
     pool.scope(|s| {
         let mut rest = c;
         let mut i0 = 0;
@@ -262,22 +406,79 @@ pub(crate) fn gemm(
             let (head, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let a_sub = a.offset_rows(i0);
-            s.spawn(move || gemm_blocked(rows, n, k, a_sub, b, head, acc, ep));
+            s.spawn(move || gemm_blocked_tier(rows, n, k, a_sub, b, head, acc, ep, tier));
             i0 += rows;
         }
     });
 }
 
-/// Tiny-product path. Every element accumulates in ascending-`k` order —
-/// the same order as the micro-kernel — through whichever loop shape gives
-/// contiguous inner slices for the operand layout at hand:
+/// Tier dispatch for the tiny-product path.
+#[allow(clippy::too_many_arguments)]
+fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+    tier: SimdTier,
+) {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier was selected by runtime feature detection.
+        SimdTier::Avx2Fma => unsafe { Avx2K::naive(m, n, k, a, b, c, acc, ep) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTier::Neon => unsafe { NeonK::naive(m, n, k, a, b, c, acc, ep) },
+        // SAFETY: the scalar kernel has no ISA requirements.
+        _ => unsafe { ScalarK::naive(m, n, k, a, b, c, acc, ep) },
+    }
+}
+
+/// Tier dispatch for the blocked loop nest.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_tier(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+    tier: SimdTier,
+) {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier was selected by runtime feature detection.
+        SimdTier::Avx2Fma => unsafe { gemm_blocked_t::<Avx2K>(m, n, k, a, b, c, acc, ep) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTier::Neon => unsafe { gemm_blocked_t::<NeonK>(m, n, k, a, b, c, acc, ep) },
+        // SAFETY: the scalar kernel has no ISA requirements.
+        _ => unsafe { gemm_blocked_t::<ScalarK>(m, n, k, a, b, c, acc, ep) },
+    }
+}
+
+/// Tiny-product path, shared by every tier. Each element accumulates in
+/// ascending-`k` order with one fused multiply-add per step — the same
+/// sequence of operations as the register tiles — through whichever loop
+/// shape gives contiguous inner slices for the operand layout at hand:
 ///
 /// * `B` row-major (`cs == 1`): the seed's ikj kernel (stream `B` rows);
 /// * `B` column-contiguous (`rs == 1`, i.e. a transposed view) with
 ///   row-major `A`: dot-product form over zipped slices;
 /// * anything else (tiny transposed-`A` gradients): strided generic loop.
+///
+/// `#[inline(always)]` so each tier's `naive` wrapper re-compiles this body
+/// under its own `target_feature` set — on the AVX2 tier `mul_add` becomes
+/// a vectorized `vfmadd`; on the forced-scalar tier it is a (slow, exact)
+/// libm call on hosts without baseline FMA.
 #[allow(clippy::too_many_arguments)]
-fn gemm_naive(
+#[inline(always)]
+fn naive_body(
     m: usize,
     n: usize,
     k: usize,
@@ -297,7 +498,7 @@ fn gemm_naive(
                 let av = a.at(i, p);
                 let brow = &b.data[p * b.rs..p * b.rs + n];
                 for (o, &bv) in crow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                    *o = av.mul_add(bv, *o);
                 }
             }
             // The row's accumulation is complete: apply the epilogue once.
@@ -316,7 +517,7 @@ fn gemm_naive(
                 let bcol = &b.data[j * b.cs..j * b.cs + k];
                 let mut s = 0.0f32;
                 for (&x, &y) in arow.iter().zip(bcol) {
-                    s += x * y;
+                    s = x.mul_add(y, s);
                 }
                 if acc {
                     *o += s;
@@ -331,7 +532,7 @@ fn gemm_naive(
         for (j, o) in crow.iter_mut().enumerate() {
             let mut s = 0.0f32;
             for p in 0..k {
-                s += a.at(i, p) * b.at(p, j);
+                s = a.at(i, p).mul_add(b.at(p, j), s);
             }
             if acc {
                 *o += s;
@@ -342,9 +543,14 @@ fn gemm_naive(
     }
 }
 
-/// The GOTO-style blocked loop nest over packed panels.
+/// The GOTO-style blocked loop nest over packed panels, generic over the
+/// micro-kernel.
+///
+/// # Safety
+///
+/// The running CPU must support `K`'s ISA.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked(
+unsafe fn gemm_blocked_t<K: Micro>(
     m: usize,
     n: usize,
     k: usize,
@@ -369,21 +575,24 @@ fn gemm_blocked(
                 } else {
                     Epilogue::NONE
                 };
-                pack_b(b, pc, kc, jc, nc, bpack);
+                pack_b::<K>(b, pc, kc, jc, nc, bpack);
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
-                    pack_a(a, ic, mc, pc, kc, apack);
-                    macro_kernel(
-                        mc,
-                        nc,
-                        kc,
-                        apack.as_slice(),
-                        bpack.as_slice(),
-                        &mut c[ic * n + jc..],
-                        n,
-                        store,
-                        ep_here,
-                    );
+                    pack_a::<K>(a, ic, mc, pc, kc, apack);
+                    // SAFETY: forwarded contract — caller vouched for the ISA.
+                    unsafe {
+                        macro_kernel::<K>(
+                            mc,
+                            nc,
+                            kc,
+                            apack.as_slice(),
+                            bpack.as_slice(),
+                            &mut c[ic * n + jc..],
+                            n,
+                            store,
+                            ep_here,
+                        );
+                    }
                 }
             }
         }
@@ -399,28 +608,39 @@ pub fn gemm_prefers_packed(m: usize, k: usize, n: usize) -> bool {
 }
 
 /// A `[k, n]` matrix packed **once** into the blocked kernel's slab layout
-/// (`ceil(n/NR)` slabs of `kc x NR` per `KC` k-block, zero-padded).
+/// (`ceil(n/NR)` slabs of `kc x NR` per `KC` k-block, zero-padded), where
+/// `NR` is the tile width of the tier the packing was built for.
 ///
 /// This is the weight side of a fixed-shape GEMM: compiled inference plans
 /// specialize to a known batch size, and the `B` operand of every linear
 /// layer is a parameter whose values are frozen for serving — so the
 /// packing that [`gemm`] performs per call can happen exactly once, at
 /// specialize time. Replay through [`crate::gemm_prepacked`] then touches
-/// no packing buffers at all.
+/// no packing buffers at all. The packing remembers its tier and is always
+/// consumed by the same tier's tile, so a `PackedB` built under a forced
+/// tier stays valid.
 pub struct PackedB {
     k: usize,
     n: usize,
+    tier: SimdTier,
     /// One packed panel per `KC` k-block, in ascending-`k` order.
     blocks: Vec<AVec>,
 }
 
 impl PackedB {
-    /// Packs row-major `b` (`k * n` elements) into slab layout.
+    /// Packs row-major `b` (`k * n` elements) into the active tier's slab
+    /// layout.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != k * n`.
     pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        Self::pack_for_tier(b, k, n, active_tier())
+    }
+
+    /// [`PackedB::pack`] with the tier pinned (bit-identity test seam).
+    #[doc(hidden)]
+    pub fn pack_for_tier(b: &[f32], k: usize, n: usize, tier: SimdTier) -> PackedB {
         assert_eq!(b.len(), k * n, "PackedB::pack: b must be [k, n]");
         let view = MatRef::dense(b, n);
         let mut blocks = Vec::with_capacity(k.div_ceil(KC).max(1));
@@ -428,14 +648,20 @@ impl PackedB {
         loop {
             let kc = KC.min(k - pc);
             let mut buf = AVec::new();
-            pack_b(view, pc, kc, 0, n, &mut buf);
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                SimdTier::Avx2Fma => pack_b::<Avx2K>(view, pc, kc, 0, n, &mut buf),
+                #[cfg(target_arch = "aarch64")]
+                SimdTier::Neon => pack_b::<NeonK>(view, pc, kc, 0, n, &mut buf),
+                _ => pack_b::<ScalarK>(view, pc, kc, 0, n, &mut buf),
+            }
             blocks.push(buf);
             pc += kc;
             if pc >= k {
                 break;
             }
         }
-        PackedB { k, n, blocks }
+        PackedB { k, n, tier, blocks }
     }
 
     /// The contraction length this packing was built for.
@@ -454,6 +680,7 @@ impl std::fmt::Debug for PackedB {
         f.debug_struct("PackedB")
             .field("k", &self.k)
             .field("n", &self.n)
+            .field("tier", &self.tier.name())
             .finish()
     }
 }
@@ -462,14 +689,37 @@ impl std::fmt::Debug for PackedB {
 /// (no A-packing pass, no per-call packing buffers, no dispatch checks).
 ///
 /// Every output element accumulates in the blocked kernel's order:
-/// ascending-`k` single-accumulator sums, reassociated at `KC` block
-/// boundaries. That is bit-identical to [`gemm`] wherever [`gemm`] picks
-/// the blocked kernel, and to every kernel for `k <= KC` (single block ⇒
-/// no reassociation); tiny `k > KC` shapes, which [`gemm`] sums
-/// unblocked, may round differently — see
+/// ascending-`k` single-accumulator fused multiply-adds, reassociated at
+/// `KC` block boundaries. That is bit-identical to [`gemm`] wherever
+/// [`gemm`] picks the blocked kernel, and to every kernel for `k <= KC`
+/// (single block ⇒ no reassociation); tiny `k > KC` shapes, which [`gemm`]
+/// sums unblocked, may round differently — see
 /// [`crate::gemm_prepacked`]'s contract. Serial by construction — the
 /// callers are serving workers that already own a core each.
 pub(crate) fn gemm_prepacked_impl(m: usize, a: &[f32], pb: &PackedB, c: &mut [f32], ep: Epilogue) {
+    match pb.tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the packing's tier was selected by runtime detection.
+        SimdTier::Avx2Fma => unsafe { gemm_prepacked_t::<Avx2K>(m, a, pb, c, ep) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTier::Neon => unsafe { gemm_prepacked_t::<NeonK>(m, a, pb, c, ep) },
+        // SAFETY: the scalar kernel has no ISA requirements.
+        _ => unsafe { gemm_prepacked_t::<ScalarK>(m, a, pb, c, ep) },
+    }
+}
+
+/// # Safety
+///
+/// The running CPU must support `K`'s ISA, and `pb` must have been packed
+/// with `K`'s slab width.
+unsafe fn gemm_prepacked_t<K: Micro>(
+    m: usize,
+    a: &[f32],
+    pb: &PackedB,
+    c: &mut [f32],
+    ep: Epilogue,
+) {
     let (k, n) = (pb.k, pb.n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(c.len(), m * n);
@@ -484,7 +734,7 @@ pub(crate) fn gemm_prepacked_impl(m: usize, a: &[f32], pb: &PackedB, c: &mut [f3
         }
         return;
     }
-    let slabs = n.div_ceil(NR);
+    let slabs = n.div_ceil(K::NR);
     let mut pc = 0usize;
     for (bi, block) in pb.blocks.iter().enumerate() {
         let kc = KC.min(k - pc);
@@ -492,41 +742,26 @@ pub(crate) fn gemm_prepacked_impl(m: usize, a: &[f32], pb: &PackedB, c: &mut [f3
         let ep_here = if pc + kc == k { ep } else { Epilogue::NONE };
         let bpack = block.as_slice();
         for t in 0..slabs {
-            let bslab = &bpack[t * kc * NR..(t + 1) * kc * NR];
-            let j0 = t * NR;
-            let nr = NR.min(n - j0);
+            let bslab = &bpack[t * kc * K::NR..(t + 1) * kc * K::NR];
+            let j0 = t * K::NR;
+            let nr = K::NR.min(n - j0);
             let mut i0 = 0usize;
             while i0 < m {
-                let mr = MR.min(m - i0);
+                let mr = K::MR.min(m - i0);
                 // Direct A access: row `r`'s k-block slice is contiguous,
                 // so the micro kernel streams MR scalar lanes straight from
-                // the source (edge tiles re-read row 0; its results are
+                // the source (edge tiles re-read row 0; their results are
                 // discarded by the `take(mr)` below).
                 let arow = |r: usize| {
                     let row = i0 + if r < mr { r } else { 0 };
                     &a[row * k + pc..row * k + pc + kc]
                 };
-                let tile = micro_tile_direct(kc, [arow(0), arow(1), arow(2), arow(3)], bslab);
+                let ar: [&[f32]; MR_MAX] = std::array::from_fn(arow);
+                // SAFETY: ISA vouched by caller; slice lengths per `arow`.
+                let tile = unsafe { K::tile_direct(kc, &ar, bslab) };
                 for (r, trow) in tile.iter().take(mr).enumerate() {
                     let start = (i0 + r) * n + j0;
-                    let crow = &mut c[start..start + nr];
-                    if store {
-                        if ep_here.is_none() {
-                            crow.copy_from_slice(&trow[..nr]);
-                        } else {
-                            for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
-                                *o = ep_here.apply(j0 + j, v);
-                            }
-                        }
-                    } else if ep_here.is_none() {
-                        for (o, &v) in crow.iter_mut().zip(&trow[..nr]) {
-                            *o += v;
-                        }
-                    } else {
-                        for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
-                            *o = ep_here.apply(j0 + j, *o + v);
-                        }
-                    }
+                    write_back_row(&mut c[start..start + nr], &trow[..nr], j0, store, ep_here);
                 }
                 i0 += mr;
             }
@@ -535,43 +770,50 @@ pub(crate) fn gemm_prepacked_impl(m: usize, a: &[f32], pb: &PackedB, c: &mut [f3
     }
 }
 
-/// The pack-free twin of [`micro_tile`]: `A` arrives as `MR` contiguous
-/// row slices (each `kc` long) instead of one interleaved strip. The
-/// arithmetic — one accumulator per element, ascending-`p` — is identical.
+/// Shared tile write-back: overwrite or accumulate one tile row into `C`,
+/// applying the (final-k-block-only) epilogue exactly once per element.
 #[inline(always)]
-fn micro_tile_direct(kc: usize, ar: [&[f32]; MR], bslab: &[f32]) -> [[f32; NR]; MR] {
-    let ar = [&ar[0][..kc], &ar[1][..kc], &ar[2][..kc], &ar[3][..kc]];
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let bv = &bslab[p * NR..(p + 1) * NR];
-        for (accrow, arow) in acc.iter_mut().zip(&ar) {
-            let av = arow[p];
-            for (s, &bc) in accrow.iter_mut().zip(bv) {
-                *s += av * bc;
+fn write_back_row(crow: &mut [f32], trow: &[f32], j0: usize, store: bool, ep: Epilogue) {
+    if store {
+        if ep.is_none() {
+            crow.copy_from_slice(trow);
+        } else {
+            for (j, (o, &v)) in crow.iter_mut().zip(trow).enumerate() {
+                *o = ep.apply(j0 + j, v);
             }
         }
+    } else if ep.is_none() {
+        for (o, &v) in crow.iter_mut().zip(trow) {
+            *o += v;
+        }
+    } else {
+        // Final k-block of a multi-block sum: finish the accumulation,
+        // then apply the epilogue once.
+        for (j, (o, &v)) in crow.iter_mut().zip(trow).enumerate() {
+            *o = ep.apply(j0 + j, *o + v);
+        }
     }
-    acc
 }
 
 /// Packs `kc` rows x `nc` columns of `B` into `ceil(nc/NR)` slabs, each
 /// `kc x NR` in row-(`p`-)major order, zero-padding partial slabs.
-fn pack_b(b: MatRef, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut AVec) {
-    let slabs = nc.div_ceil(NR);
-    buf.ensure_len(slabs * kc * NR);
+fn pack_b<K: Micro>(b: MatRef, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut AVec) {
+    let nr = K::NR;
+    let slabs = nc.div_ceil(nr);
+    buf.ensure_len(slabs * kc * nr);
     let dst = buf.as_mut_slice();
     for t in 0..slabs {
-        let cols = NR.min(nc - t * NR);
-        let base = t * kc * NR;
+        let cols = nr.min(nc - t * nr);
+        let base = t * kc * nr;
         for p in 0..kc {
-            let d = &mut dst[base + p * NR..base + (p + 1) * NR];
-            if b.cs == 1 && cols == NR {
-                let src = (p0 + p) * b.rs + j0 + t * NR;
-                d.copy_from_slice(&b.data[src..src + NR]);
+            let d = &mut dst[base + p * nr..base + (p + 1) * nr];
+            if b.cs == 1 && cols == nr {
+                let src = (p0 + p) * b.rs + j0 + t * nr;
+                d.copy_from_slice(&b.data[src..src + nr]);
             } else {
                 for (cj, dj) in d.iter_mut().enumerate() {
                     *dj = if cj < cols {
-                        b.at(p0 + p, j0 + t * NR + cj)
+                        b.at(p0 + p, j0 + t * nr + cj)
                     } else {
                         0.0
                     };
@@ -583,18 +825,19 @@ fn pack_b(b: MatRef, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut AVec)
 
 /// Packs `mc` rows x `kc` columns of `A` into `ceil(mc/MR)` strips, each
 /// `kc x MR` in `p`-major order, zero-padding partial strips.
-fn pack_a(a: MatRef, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut AVec) {
-    let strips = mc.div_ceil(MR);
-    buf.ensure_len(strips * kc * MR);
+fn pack_a<K: Micro>(a: MatRef, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut AVec) {
+    let mr = K::MR;
+    let strips = mc.div_ceil(mr);
+    buf.ensure_len(strips * kc * mr);
     let dst = buf.as_mut_slice();
     for s in 0..strips {
-        let rows = MR.min(mc - s * MR);
-        let base = s * kc * MR;
+        let rows = mr.min(mc - s * mr);
+        let base = s * kc * mr;
         for p in 0..kc {
-            let d = &mut dst[base + p * MR..base + (p + 1) * MR];
+            let d = &mut dst[base + p * mr..base + (p + 1) * mr];
             for (r, dr) in d.iter_mut().enumerate() {
                 *dr = if r < rows {
-                    a.at(i0 + s * MR + r, p0 + p)
+                    a.at(i0 + s * mr + r, p0 + p)
                 } else {
                     0.0
                 };
@@ -606,8 +849,13 @@ fn pack_a(a: MatRef, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut AVec)
 /// Runs the register-tile micro-kernel over every `MR x NR` tile of one
 /// packed `A`-block x `B`-panel pair. `c` points at the block's top-left
 /// element inside the full output (leading dimension `ldc`).
+///
+/// # Safety
+///
+/// The running CPU must support `K`'s ISA; panels must be packed with
+/// `K`'s dimensions.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+unsafe fn macro_kernel<K: Micro>(
     mc: usize,
     nc: usize,
     kc: usize,
@@ -618,69 +866,339 @@ fn macro_kernel(
     store: bool,
     ep: Epilogue,
 ) {
-    let strips = mc.div_ceil(MR);
-    let slabs = nc.div_ceil(NR);
+    let strips = mc.div_ceil(K::MR);
+    let slabs = nc.div_ceil(K::NR);
     for t in 0..slabs {
-        let bslab = &bpack[t * kc * NR..(t + 1) * kc * NR];
-        let j0 = t * NR;
-        let nr = NR.min(nc - j0);
+        let bslab = &bpack[t * kc * K::NR..(t + 1) * kc * K::NR];
+        let j0 = t * K::NR;
+        let nr = K::NR.min(nc - j0);
         for s in 0..strips {
-            let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
-            let i0 = s * MR;
-            let mr = MR.min(mc - i0);
-            let tile = micro_tile(kc, astrip, bslab);
+            let astrip = &apack[s * kc * K::MR..(s + 1) * kc * K::MR];
+            let i0 = s * K::MR;
+            let mr = K::MR.min(mc - i0);
+            // SAFETY: ISA vouched by caller; panel sizes per the packers.
+            let tile = unsafe { K::tile(kc, astrip, bslab) };
             // Edge tiles: the packed panels are zero-padded, so the full
             // tile is always valid — copy out only the live region. The
             // epilogue (set only on the final k-block) applies here, in the
-            // write-back, so fused bias/activation cost no extra pass.
+            // write-back, so fused scale/bias/activation cost no extra pass.
             for (r, trow) in tile.iter().take(mr).enumerate() {
                 let start = (i0 + r) * ldc + j0;
-                let crow = &mut c[start..start + nr];
-                if store {
-                    if ep.is_none() {
-                        crow.copy_from_slice(&trow[..nr]);
-                    } else {
-                        for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
-                            *o = ep.apply(j0 + j, v);
-                        }
-                    }
-                } else if ep.is_none() {
-                    for (o, &v) in crow.iter_mut().zip(&trow[..nr]) {
-                        *o += v;
-                    }
-                } else {
-                    // Final k-block of a multi-block sum: finish the
-                    // accumulation, then apply the epilogue once.
-                    for (j, (o, &v)) in crow.iter_mut().zip(&trow[..nr]).enumerate() {
-                        *o = ep.apply(j0 + j, *o + v);
-                    }
-                }
+                write_back_row(&mut c[start..start + nr], &trow[..nr], j0, store, ep);
             }
         }
     }
 }
 
-/// The unrolled `MR x NR` register tile: `sum_p a[p][0..MR] ⊗ b[p][0..NR]`
-/// with one scalar accumulator per element (ascending-`p` order), written
-/// so LLVM vectorizes the `NR`-wide inner loops.
-#[inline(always)]
-fn micro_tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let av = &astrip[p * MR..(p + 1) * MR];
-        let bv = &bslab[p * NR..(p + 1) * NR];
-        for (accrow, &ar) in acc.iter_mut().zip(av) {
-            for (s, &bc) in accrow.iter_mut().zip(bv) {
-                *s += ar * bc;
+// ---------------------------------------------------------------------------
+// Scalar tier: portable fallback and bit-identity oracle.
+// ---------------------------------------------------------------------------
+
+/// The portable tier. Every multiply-add is `f32::mul_add` — a single
+/// correctly-rounded fused operation, the exact op the SIMD tiles issue —
+/// so this kernel *defines* the numbers every other tier must reproduce.
+struct ScalarK;
+
+impl Micro for ScalarK {
+    const MR: usize = 4;
+    const NR: usize = 8;
+
+    #[inline(always)]
+    unsafe fn tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile {
+        let mut acc = [[0.0f32; NR_MAX]; MR_MAX];
+        for p in 0..kc {
+            let av = &astrip[p * Self::MR..(p + 1) * Self::MR];
+            let bv = &bslab[p * Self::NR..(p + 1) * Self::NR];
+            for (accrow, &ar) in acc.iter_mut().zip(av) {
+                for (s, &bc) in accrow.iter_mut().zip(bv) {
+                    *s = ar.mul_add(bc, *s);
+                }
             }
         }
+        acc
     }
-    acc
+
+    #[inline(always)]
+    unsafe fn tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile {
+        let mut acc = [[0.0f32; NR_MAX]; MR_MAX];
+        for p in 0..kc {
+            let bv = &bslab[p * Self::NR..(p + 1) * Self::NR];
+            for (accrow, arow) in acc.iter_mut().zip(ar).take(Self::MR) {
+                let av = arow[p];
+                for (s, &bc) in accrow.iter_mut().zip(bv) {
+                    *s = av.mul_add(bc, *s);
+                }
+            }
+        }
+        acc
+    }
+
+    unsafe fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef,
+        b: MatRef,
+        c: &mut [f32],
+        acc: bool,
+        ep: Epilogue,
+    ) {
+        naive_body(m, n, k, a, b, c, acc, ep)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA tier (x86_64).
+// ---------------------------------------------------------------------------
+
+/// x86_64 tier: an explicit 6x16 register tile (12 `ymm` accumulators, two
+/// B vectors and one broadcast in flight) built from `_mm256_fmadd_ps`.
+/// Per element the operation sequence is identical to [`ScalarK`]'s:
+/// one fused multiply-add per `k` step, ascending `k`.
+#[cfg(target_arch = "x86_64")]
+struct Avx2K;
+
+#[cfg(target_arch = "x86_64")]
+impl Micro for Avx2K {
+    const MR: usize = 6;
+    const NR: usize = 16;
+
+    #[inline]
+    unsafe fn tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile {
+        // SAFETY: caller guarantees AVX2+FMA and panel sizes.
+        unsafe { avx2_tile(kc, astrip, bslab) }
+    }
+
+    #[inline]
+    unsafe fn tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile {
+        // SAFETY: caller guarantees AVX2+FMA and slice lengths.
+        unsafe { avx2_tile_direct(kc, ar, bslab) }
+    }
+
+    #[inline]
+    unsafe fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef,
+        b: MatRef,
+        c: &mut [f32],
+        acc: bool,
+        ep: Epilogue,
+    ) {
+        // SAFETY: caller guarantees AVX2+FMA.
+        unsafe { avx2_naive(m, n, k, a, b, c, acc, ep) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile {
+    use std::arch::x86_64::*;
+    debug_assert!(astrip.len() >= kc * Avx2K::MR);
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+    let ap = astrip.as_ptr();
+    let bp = bslab.as_ptr();
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract.
+        let (b0, b1) = unsafe {
+            (
+                _mm256_loadu_ps(bp.add(p * 16)),
+                _mm256_loadu_ps(bp.add(p * 16 + 8)),
+            )
+        };
+        for (r, accr) in acc.iter_mut().enumerate() {
+            // SAFETY: in-bounds per the panel-size contract.
+            let a = unsafe { _mm256_set1_ps(*ap.add(p * 6 + r)) };
+            accr[0] = _mm256_fmadd_ps(a, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(a, b1, accr[1]);
+        }
+    }
+    avx2_spill(&acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile {
+    use std::arch::x86_64::*;
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    debug_assert!(ar.iter().take(Avx2K::MR).all(|r| r.len() >= kc));
+    let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 6] = std::array::from_fn(|r| ar[r].as_ptr());
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slice-length contract.
+        let (b0, b1) = unsafe {
+            (
+                _mm256_loadu_ps(bp.add(p * 16)),
+                _mm256_loadu_ps(bp.add(p * 16 + 8)),
+            )
+        };
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { _mm256_set1_ps(*apr.add(p)) };
+            accr[0] = _mm256_fmadd_ps(a, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(a, b1, accr[1]);
+        }
+    }
+    avx2_spill(&acc)
+}
+
+/// Spills the 6x2-ymm accumulator block into the shared [`Tile`] layout.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_spill(acc: &[[std::arch::x86_64::__m256; 2]; 6]) -> Tile {
+    use std::arch::x86_64::*;
+    let mut out = [[0.0f32; NR_MAX]; MR_MAX];
+    for (r, accr) in acc.iter().enumerate() {
+        // SAFETY: each Tile row holds NR_MAX = 16 f32, exactly two ymm.
+        unsafe {
+            _mm256_storeu_ps(out[r].as_mut_ptr(), accr[0]);
+            _mm256_storeu_ps(out[r].as_mut_ptr().add(8), accr[1]);
+        }
+    }
+    out
+}
+
+/// The naive body re-compiled with AVX2+FMA enabled, so `f32::mul_add`
+/// lowers to vectorized `vfmadd` instead of a per-element libm call.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    acc: bool,
+    ep: Epilogue,
+) {
+    naive_body(m, n, k, a, b, c, acc, ep)
+}
+
+// ---------------------------------------------------------------------------
+// NEON tier (aarch64).
+// ---------------------------------------------------------------------------
+
+/// aarch64 tier: an explicit 4x8 register tile (8 `q` accumulators) built
+/// from `vfmaq_f32`. Same per-element fused-op sequence as [`ScalarK`].
+#[cfg(target_arch = "aarch64")]
+struct NeonK;
+
+#[cfg(target_arch = "aarch64")]
+impl Micro for NeonK {
+    const MR: usize = 4;
+    const NR: usize = 8;
+
+    #[inline]
+    unsafe fn tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile {
+        // SAFETY: caller guarantees NEON and panel sizes.
+        unsafe { neon_tile(kc, astrip, bslab) }
+    }
+
+    #[inline]
+    unsafe fn tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile {
+        // SAFETY: caller guarantees NEON and slice lengths.
+        unsafe { neon_tile_direct(kc, ar, bslab) }
+    }
+
+    #[inline]
+    unsafe fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef,
+        b: MatRef,
+        c: &mut [f32],
+        acc: bool,
+        ep: Epilogue,
+    ) {
+        // aarch64's baseline includes NEON+FMA: `mul_add` is native.
+        naive_body(m, n, k, a, b, c, acc, ep)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_tile(kc: usize, astrip: &[f32], bslab: &[f32]) -> Tile {
+    use std::arch::aarch64::*;
+    debug_assert!(astrip.len() >= kc * NeonK::MR);
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
+    let ap = astrip.as_ptr();
+    let bp = bslab.as_ptr();
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract.
+        let (b0, b1) = unsafe { (vld1q_f32(bp.add(p * 8)), vld1q_f32(bp.add(p * 8 + 4))) };
+        for (r, accr) in acc.iter_mut().enumerate() {
+            // SAFETY: in-bounds per the panel-size contract.
+            let a = unsafe { vdupq_n_f32(*ap.add(p * 4 + r)) };
+            accr[0] = vfmaq_f32(accr[0], a, b0);
+            accr[1] = vfmaq_f32(accr[1], a, b1);
+        }
+    }
+    neon_spill(&acc)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_tile_direct(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[f32]) -> Tile {
+    use std::arch::aarch64::*;
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    debug_assert!(ar.iter().take(NeonK::MR).all(|r| r.len() >= kc));
+    let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 4] = std::array::from_fn(|r| ar[r].as_ptr());
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slice-length contract.
+        let (b0, b1) = unsafe { (vld1q_f32(bp.add(p * 8)), vld1q_f32(bp.add(p * 8 + 4))) };
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { vdupq_n_f32(*apr.add(p)) };
+            accr[0] = vfmaq_f32(accr[0], a, b0);
+            accr[1] = vfmaq_f32(accr[1], a, b1);
+        }
+    }
+    neon_spill(&acc)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_spill(acc: &[[std::arch::aarch64::float32x4_t; 2]; 4]) -> Tile {
+    use std::arch::aarch64::*;
+    let mut out = [[0.0f32; NR_MAX]; MR_MAX];
+    for (r, accr) in acc.iter().enumerate() {
+        // SAFETY: each Tile row holds NR_MAX = 16 f32, more than two q regs.
+        unsafe {
+            vst1q_f32(out[r].as_mut_ptr(), accr[0]);
+            vst1q_f32(out[r].as_mut_ptr().add(4), accr[1]);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The tests below run the full dispatch through `gemm`; the blocked
+    /// path is reached via the public threshold behavior.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_blocked(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef,
+        b: MatRef,
+        c: &mut [f32],
+        acc: bool,
+        ep: Epilogue,
+    ) {
+        gemm_blocked_tier(m, n, k, a, b, c, acc, ep, active_tier())
+    }
 
     /// Reference: textbook triple loop on strided views.
     fn reference(m: usize, n: usize, k: usize, a: MatRef, b: MatRef) -> Vec<f32> {
@@ -786,10 +1304,10 @@ mod tests {
         assert_eq!(c2, vec![3.0; 6]);
     }
 
-    /// The epilogue contract: fused bias+activation must be bit-identical
-    /// to running the plain GEMM followed by separate bias / activation
-    /// passes, on every kernel path (tiny naive, blocked, multi-k-block,
-    /// and the row-panel parallel split).
+    /// The epilogue contract: fused scale+bias+activation must be
+    /// bit-identical to running the plain GEMM followed by separate scale /
+    /// bias / activation passes, on every kernel path (tiny naive, blocked,
+    /// multi-k-block, and the row-panel parallel split).
     #[test]
     fn epilogue_bit_identical_to_separate_passes() {
         for &(m, n, k, tag) in &[
@@ -812,24 +1330,32 @@ mod tests {
                 Activation::Sigmoid,
             ] {
                 for with_bias in [false, true] {
-                    let ep = Epilogue {
-                        bias: with_bias.then_some(bias.as_slice()),
-                        act,
-                    };
-                    let mut fused = vec![f32::NAN; m * n];
-                    gemm(m, n, k, a, b, &mut fused, false, ep);
-                    let want: Vec<f32> = plain
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &v)| {
-                            let v = if with_bias { v + bias[i % n] } else { v };
-                            act.apply(v)
-                        })
-                        .collect();
-                    assert_eq!(
-                        fused, want,
-                        "{tag}: act {act:?} bias {with_bias} must match separate passes exactly"
-                    );
+                    for scale in [None, Some(0.125f32), Some(0.37)] {
+                        let ep = Epilogue {
+                            scale,
+                            bias: with_bias.then_some(bias.as_slice()),
+                            act,
+                        };
+                        let mut fused = vec![f32::NAN; m * n];
+                        gemm(m, n, k, a, b, &mut fused, false, ep);
+                        let want: Vec<f32> = plain
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| {
+                                let v = match scale {
+                                    Some(c) => v * c,
+                                    None => v,
+                                };
+                                let v = if with_bias { v + bias[i % n] } else { v };
+                                act.apply(v)
+                            })
+                            .collect();
+                        assert_eq!(
+                            fused, want,
+                            "{tag}: act {act:?} bias {with_bias} scale {scale:?} \
+                             must match separate passes exactly"
+                        );
+                    }
                 }
             }
         }
@@ -849,6 +1375,7 @@ mod tests {
         gemm(m, n, k, a, b, &mut plain, false, Epilogue::NONE);
         let mut fused = vec![f32::NAN; m * n];
         let ep = Epilogue {
+            scale: None,
             bias: Some(&bias),
             act: Activation::Relu,
         };
@@ -875,6 +1402,7 @@ mod tests {
             &mut c,
             false,
             Epilogue {
+                scale: None,
                 bias: Some(&bias),
                 act: Activation::Relu,
             },
@@ -907,6 +1435,7 @@ mod tests {
             for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
                 for with_bias in [false, true] {
                     let ep = Epilogue {
+                        scale: None,
                         bias: with_bias.then_some(bias.as_slice()),
                         act,
                     };
@@ -932,6 +1461,61 @@ mod tests {
         }
     }
 
+    /// Every tier agrees bit-for-bit with the scalar oracle, on both the
+    /// packed-panel and the prepacked direct-A paths. (On hosts where
+    /// detection lands on the scalar tier this degenerates to self-equality
+    /// — the real SIMD coverage runs wherever CI has AVX2/NEON.)
+    #[test]
+    fn active_tier_is_bit_identical_to_scalar_oracle() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 12, 7),
+            (8, 32, 56),
+            (64, 48, 56),
+            (130, 33, 70),
+            (512, 96, 48),
+            (9, 100, 600), // two k-blocks: same KC reassociation points
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            let a = MatRef::dense(&av, k);
+            let b = MatRef::dense(&bv, n);
+            let mut oracle = vec![f32::NAN; m * n];
+            gemm_blocked_tier(
+                m,
+                n,
+                k,
+                a,
+                b,
+                &mut oracle,
+                false,
+                Epilogue::NONE,
+                SimdTier::Scalar,
+            );
+            let mut active = vec![f32::NAN; m * n];
+            gemm_blocked_tier(
+                m,
+                n,
+                k,
+                a,
+                b,
+                &mut active,
+                false,
+                Epilogue::NONE,
+                active_tier(),
+            );
+            assert_eq!(oracle, active, "{m}x{n}x{k}: blocked tier mismatch");
+
+            let oracle_pack = PackedB::pack_for_tier(&bv, k, n, SimdTier::Scalar);
+            let active_pack = PackedB::pack_for_tier(&bv, k, n, active_tier());
+            let mut pre_o = vec![f32::NAN; m * n];
+            let mut pre_a = vec![f32::NAN; m * n];
+            gemm_prepacked_impl(m, &av, &oracle_pack, &mut pre_o, Epilogue::NONE);
+            gemm_prepacked_impl(m, &av, &active_pack, &mut pre_a, Epilogue::NONE);
+            assert_eq!(pre_o, pre_a, "{m}x{n}x{k}: prepacked tier mismatch");
+        }
+    }
+
     #[test]
     fn prepacked_empty_product_applies_epilogue() {
         let packed = PackedB::pack(&[], 0, 3);
@@ -943,6 +1527,7 @@ mod tests {
             &packed,
             &mut c,
             Epilogue {
+                scale: None,
                 bias: Some(&bias),
                 act: Activation::Relu,
             },

@@ -17,11 +17,13 @@ mod gemm;
 mod ops;
 mod shape;
 
-pub use gemm::{gemm_prefers_packed, Activation, PackedB};
+pub use gemm::{active_tier, gemm_prefers_packed, kernel_tier_name, Activation, PackedB, SimdTier};
 pub use ops::{
-    bmm, bmm_acc_into, bmm_into, bmm_slices, gemm_ep_slices, gemm_prepacked, matmul,
+    bmm, bmm_acc_into, bmm_ep_slices, bmm_into, bmm_slices, gemm_ep_slices, gemm_prepacked, matmul,
     matmul_acc_into, matmul_into, matmul_t_acc_into, matmul_t_into,
 };
+#[doc(hidden)]
+pub use ops::{gemm_slices_with_tier, matmul_into_with_pool};
 pub use shape::Shape;
 
 use std::fmt;

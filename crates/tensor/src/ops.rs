@@ -14,7 +14,9 @@
 //! Transposed operands are strided views into the packing routines; nothing
 //! is ever materialized transposed.
 
-use crate::gemm::{gemm, gemm_prepacked_impl, Activation, Epilogue, MatRef, PackedB};
+use crate::gemm::{
+    gemm, gemm_dispatch, gemm_prepacked_impl, Activation, Epilogue, MatRef, PackedB, SimdTier,
+};
 use crate::{ensure_len, Result, Tensor, TensorError};
 
 /// 2-D matrix product `[m, k] x [k, n] -> [m, n]`.
@@ -259,14 +261,16 @@ fn bmm_dispatch(
     out: &mut [f32],
     acc: bool,
 ) {
-    bmm_core(batch, m, k, n, a.data(), ta, b.data(), tb, out, acc);
+    bmm_core(batch, m, k, n, a.data(), ta, b.data(), tb, out, acc, None);
 }
 
 /// The slice-level core behind [`bmm_dispatch`] and [`bmm_slices`].
 ///
 /// `a` holds `batch` row-major `[m, k]` matrices (`[k, m]` when `ta`), `b`
 /// holds `batch` `[k, n]` matrices (`[n, k]` when `tb`), `out` holds
-/// `batch * m * n` elements.
+/// `batch * m * n` elements. A `scale` (which requires `acc == false`) is
+/// fused into each per-batch GEMM's write-back as an epilogue — applied
+/// exactly once per element, when its accumulation completes.
 #[allow(clippy::too_many_arguments)]
 fn bmm_core(
     batch: usize,
@@ -279,7 +283,9 @@ fn bmm_core(
     tb: bool,
     out: &mut [f32],
     acc: bool,
+    scale: Option<f32>,
 ) {
+    debug_assert!(!acc || scale.is_none(), "scale cannot combine with +=");
     if batch == 0 || m == 0 || n == 0 {
         return; // nothing to write (`out` is empty by the length checks)
     }
@@ -289,6 +295,10 @@ fn bmm_core(
     // index by): the logical column count, or the row count if transposed.
     let a_cols = if ta { m } else { k };
     let b_cols = if tb { k } else { n };
+    let ep = Epilogue {
+        scale,
+        ..Epilogue::NONE
+    };
     let per_batch = move |t: usize, osl: &mut [f32]| {
         let asl = &a[t * a_stride..(t + 1) * a_stride];
         let bsl = &b[t * b_stride..(t + 1) * b_stride];
@@ -300,7 +310,7 @@ fn bmm_core(
             MatRef::dense_t(bsl, b_cols, tb),
             osl,
             acc,
-            Epilogue::NONE,
+            ep,
         );
     };
     // Same cut-over as the GEMM-internal row split; per-batch products
@@ -309,7 +319,7 @@ fn bmm_core(
     // lazily spawn the global pool.
     let serial = batch == 1
         || batch * m * n * k < crate::gemm::PAR_MULADDS
-        || parallel::is_worker_thread()
+        || parallel::intra_op_threads() <= 1
         || parallel::global().threads() <= 1;
     if serial {
         for (t, osl) in out.chunks_exact_mut(m * n).enumerate() {
@@ -318,7 +328,8 @@ fn bmm_core(
         return;
     }
     let pool = parallel::global();
-    let chunk = batch.div_ceil(pool.threads());
+    let threads = pool.threads().min(parallel::intra_op_threads());
+    let chunk = batch.div_ceil(threads);
     pool.scope(|s| {
         for (ci, och) in out.chunks_mut(chunk * m * n).enumerate() {
             let per_batch = &per_batch;
@@ -382,7 +393,11 @@ pub fn gemm_ep_slices(
         MatRef::dense(b, n),
         out,
         false,
-        Epilogue { bias, act },
+        Epilogue {
+            scale: None,
+            bias,
+            act,
+        },
     );
     Ok(())
 }
@@ -435,7 +450,17 @@ pub fn gemm_prepacked(
             });
         }
     }
-    gemm_prepacked_impl(m, a, b, out, Epilogue { bias, act });
+    gemm_prepacked_impl(
+        m,
+        a,
+        b,
+        out,
+        Epilogue {
+            scale: None,
+            bias,
+            act,
+        },
+    );
     Ok(())
 }
 
@@ -456,6 +481,29 @@ pub fn bmm_slices(
     tb: bool,
     out: &mut [f32],
 ) -> Result<()> {
+    bmm_ep_slices(batch, m, k, n, a, ta, b, tb, None, out)
+}
+
+/// [`bmm_slices`] with an optional scalar `scale` fused into each
+/// per-batch GEMM's write-back: `out = (a · b) * scale`, the scale applied
+/// exactly once per element at the point its accumulation completes —
+/// the same exactly-once epilogue contract [`gemm_ep_slices`] gives
+/// bias/activation, so the fusion is **bit-identical** to `bmm_slices`
+/// followed by a separate elementwise `v * scale` pass. This is the entry
+/// point compiled plans use for attention's `scores / sqrt(d)`.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_ep_slices(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    scale: Option<f32>,
+    out: &mut [f32],
+) -> Result<()> {
     if a.len() != batch * m * k || b.len() != batch * k * n {
         return Err(TensorError::ShapeMismatch {
             op: "bmm_slices",
@@ -470,8 +518,73 @@ pub fn bmm_slices(
             len: out.len(),
         });
     }
-    bmm_core(batch, m, k, n, a, ta, b, tb, out, false);
+    bmm_core(batch, m, k, n, a, ta, b, tb, out, false, scale);
     Ok(())
+}
+
+/// [`matmul_into`] routed through an explicit pool for the row-panel
+/// split, bypassing the global pool and the caller-thread budget checks —
+/// the seam the multi-thread GEMM benchmarks drive. Bit-identical to
+/// [`matmul_into`] for any pool size.
+#[doc(hidden)]
+pub fn matmul_into_with_pool(
+    pool: &parallel::ThreadPool,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<[usize; 2]> {
+    let [m, k, n] = check_mm(a, false, b, false)?;
+    ensure_len(out, m * n);
+    gemm_dispatch(
+        m,
+        n,
+        k,
+        MatRef::dense(a.data(), k),
+        MatRef::dense(b.data(), n),
+        out,
+        false,
+        Epilogue::NONE,
+        crate::gemm::active_tier(),
+        Some(pool),
+    );
+    Ok([m, n])
+}
+
+/// Full GEMM dispatch (naive/blocked thresholds included, serial) with the
+/// kernel tier pinned — the seam the SIMD-vs-scalar bit-identity tests
+/// drive. `a` is stored `[m, k]` row-major (`[k, m]` when `ta`), `b` is
+/// `[k, n]` (`[n, k]` when `tb`); no shape validation beyond debug asserts.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices_with_tier(
+    tier: SimdTier,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    acc: bool,
+    scale: Option<f32>,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    let a_cols = if ta { m } else { k };
+    let b_cols = if tb { k } else { n };
+    gemm_dispatch(
+        m,
+        n,
+        k,
+        MatRef::dense_t(a, a_cols, ta),
+        MatRef::dense_t(b, b_cols, tb),
+        out,
+        acc,
+        Epilogue { scale, bias, act },
+        tier,
+        None,
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! SIMD-vs-scalar bit-identity suite.
+//!
+//! The runtime-selected micro-kernel tier (AVX2+FMA on x86_64, NEON on
+//! aarch64) must reproduce the scalar kernel's exact accumulation order:
+//! fused multiply-adds ascending in `k` within each `KC` block,
+//! reassociation only at `KC` boundaries. That makes the scalar kernel a
+//! bitwise *oracle* for every other tier — this suite compares the active
+//! tier against a forced-scalar run with `assert_eq!` on the raw `f32`
+//! bits across transpose flags, accumulate variants, fused epilogues
+//! (scale / bias / activation), threshold-crossing and degenerate shapes,
+//! and the prepacked-B path.
+//!
+//! On a host whose active tier *is* scalar (or under `CDMPP_SIMD=scalar`)
+//! the comparisons are trivially true; CI runs the suite both ways.
+
+use proptest::prelude::*;
+use tensor::{active_tier, gemm_prepacked, gemm_slices_with_tier, Activation, PackedB, SimdTier};
+
+fn fill(numel: usize, seed: f32) -> Vec<f32> {
+    (0..numel)
+        .map(|i| ((i as f32) * 0.417 + seed).sin() * 1.5)
+        .collect()
+}
+
+/// Runs one GEMM configuration under `tier`, returning the output buffer.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    tier: SimdTier,
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    acc: bool,
+    scale: Option<f32>,
+    bias: Option<&[f32]>,
+    act: Activation,
+) -> Vec<f32> {
+    let a = fill(m * k, 0.3);
+    let b = fill(k * n, 1.7);
+    // A non-trivial starting buffer so `acc` is actually exercised.
+    let mut out = fill(m * n, 2.9);
+    if !acc {
+        // Still deterministic, but prove the kernel fully overwrites.
+        out.fill(f32::NAN);
+    }
+    gemm_slices_with_tier(
+        tier, m, k, n, &a, ta, &b, tb, acc, scale, bias, act, &mut out,
+    );
+    out
+}
+
+fn assert_bits_equal(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs: {g} vs {w}"
+        );
+    }
+}
+
+/// Shapes chosen to straddle every dispatch boundary: the naive/blocked
+/// threshold (`TINY_MULADDS = 8·1024`), partial register tiles in both
+/// dimensions for every tier's MR×NR, multiple KC blocks (k > 512), and
+/// degenerate empty dims.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 5, 7),
+    (8, 32, 32),   // just under the naive threshold
+    (8, 32, 33),   // just over
+    (8, 56, 32),   // the small_bucket_B1_L8 predictor shape
+    (13, 17, 19),  // partial tiles everywhere
+    (16, 600, 24), // k crosses one KC boundary
+    (33, 40, 48),
+    (64, 96, 80),
+    (0, 8, 8),
+    (8, 0, 8), // k == 0: epilogue on a zero accumulator
+    (8, 8, 0),
+];
+
+#[test]
+fn active_tier_matches_scalar_across_variants() {
+    let tier = active_tier();
+    let bias_store = fill(128, 4.2);
+    for &(m, k, n) in SHAPES {
+        for ta in [false, true] {
+            for tb in [false, true] {
+                for acc in [false, true] {
+                    for scale in [None, Some(0.125f32), Some(0.577)] {
+                        // The epilogue (scale/bias/act) only applies on
+                        // non-accumulating stores.
+                        if acc && scale.is_some() {
+                            continue;
+                        }
+                        for (bias, act) in [
+                            (None, Activation::Identity),
+                            (Some(&bias_store[..n]), Activation::Identity),
+                            (Some(&bias_store[..n]), Activation::Relu),
+                            (None, Activation::Tanh),
+                        ] {
+                            if acc && (bias.is_some() || act != Activation::Identity) {
+                                continue;
+                            }
+                            let got = run(tier, m, k, n, ta, tb, acc, scale, bias, act);
+                            let want =
+                                run(SimdTier::Scalar, m, k, n, ta, tb, acc, scale, bias, act);
+                            assert_bits_equal(
+                                &got,
+                                &want,
+                                &format!(
+                                    "m={m} k={k} n={n} ta={ta} tb={tb} acc={acc} \
+                                     scale={scale:?} bias={} act={act:?}",
+                                    bias.is_some()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prepacked_matches_scalar_oracle() {
+    let tier = active_tier();
+    for &(m, k, n) in SHAPES {
+        if k == 0 || n == 0 {
+            continue; // PackedB requires a non-empty [k, n]
+        }
+        let a = fill(m * k, 0.9);
+        let b = fill(k * n, 3.1);
+        let pb_active = PackedB::pack_for_tier(&b, k, n, tier);
+        let pb_scalar = PackedB::pack_for_tier(&b, k, n, SimdTier::Scalar);
+        let bias = fill(n, 5.0);
+        for (biasv, act) in [
+            (None, Activation::Identity),
+            (Some(&bias[..]), Activation::Relu),
+        ] {
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            gemm_prepacked(m, &a, &pb_active, biasv, act, &mut got).unwrap();
+            gemm_prepacked(m, &a, &pb_scalar, biasv, act, &mut want).unwrap();
+            assert_bits_equal(&got, &want, &format!("prepacked m={m} k={k} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn forced_scalar_env_is_respected() {
+    // Meaningful in the CI job that exports CDMPP_SIMD=scalar; vacuous
+    // (but cheap) elsewhere — the override is latched before first use.
+    if std::env::var("CDMPP_SIMD").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+        assert_eq!(tensor::kernel_tier_name(), "scalar");
+        assert_eq!(active_tier(), SimdTier::Scalar);
+    }
+}
+
+#[test]
+fn parallel_split_is_bitwise_equal_to_serial() {
+    // Thread splits happen at kernel-MR-aligned row boundaries, so every
+    // output element sees the same accumulation chain regardless of the
+    // pool size.
+    let (m, k, n) = (96, 700, 64);
+    let a = tensor::Tensor::from_vec(fill(m * k, 0.1), &[m, k]).unwrap();
+    let b = tensor::Tensor::from_vec(fill(k * n, 1.1), &[k, n]).unwrap();
+    let serial = tensor::matmul(&a, &b).unwrap();
+    for threads in [1usize, 2, 3, 4] {
+        let pool = parallel::ThreadPool::new(threads);
+        let mut out = Vec::new();
+        tensor::matmul_into_with_pool(&pool, &a, &b, &mut out).unwrap();
+        assert_bits_equal(&out, serial.data(), &format!("pool of {threads}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_shapes_match_scalar(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        flags in 0usize..16,
+    ) {
+        let (ta, tb, acc, scale_on) =
+            (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0, flags & 8 != 0);
+        let scale = if scale_on && !acc { Some(0.31f32) } else { None };
+        let got = run(active_tier(), m, k, n, ta, tb, acc, scale, None, Activation::Identity);
+        let want = run(SimdTier::Scalar, m, k, n, ta, tb, acc, scale, None, Activation::Identity);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "element {} of {}x{}x{}", i, m, k, n);
+        }
+    }
+}
