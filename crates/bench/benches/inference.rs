@@ -30,7 +30,7 @@ use learn::TransformKind;
 use nn::InferCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use runtime::{ChunkPolicy, EngineConfig, InferenceEngine};
+use runtime::{ChunkPolicy, EngineConfig, FaultPlan, InferenceEngine};
 use std::hint::black_box;
 use std::time::Instant;
 use tensor::Tensor;
@@ -324,6 +324,8 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
                 workers: 1,
                 max_batch: 64,
                 policy,
+                faults: Some(FaultPlan::none()),
+                ..Default::default()
             },
         );
         // Warm every arena/plan before timing.
@@ -331,14 +333,32 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         let t = median_ns(300, || {
             black_box(engine.predict_samples(black_box(&load)).unwrap());
         });
+        // Whole-call latency distribution (admission + queueing + replay
+        // + scatter), timed per call rather than as a stream median.
+        let mut lat: Vec<f64> = (0..40)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(engine.predict_samples(black_box(&load)).unwrap());
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        // Nearest-rank percentiles.
+        let (p50, p99) = (lat[lat.len() / 2], lat[(lat.len() * 99).div_ceil(100) - 1]);
         if name == "ragged" {
             ragged_ns = t;
         }
+        let stats = engine.stats();
+        eprintln!("engine[{name}] {stats}");
         engine_rows.push(format!(
             "    {{\"policy\": \"{name}\", \"requests\": {m}, \"ns_per_stream\": {t:.0}, \
-             \"requests_per_s\": {:.0}, \"speedup_vs_ragged\": {:.2}}}",
+             \"requests_per_s\": {:.0}, \"speedup_vs_ragged\": {:.2}, \
+             \"call_p50_ns\": {p50:.0}, \"call_p99_ns\": {p99:.0}, \
+             \"queue_depth_hw\": {}, \"completed_chunks\": {}}}",
             m as f64 * 1e9 / t,
-            ragged_ns / t
+            ragged_ns / t,
+            stats.queue_depth_hw,
+            stats.completed_chunks
         ));
         engine.shutdown();
     }

@@ -768,6 +768,31 @@ impl SharedPredictor {
         Ok(Some(Arc::clone(plans.entry(key).or_insert(folded))))
     }
 
+    /// Pre-folds the specialized plans for `classes` across every compiled
+    /// leaf-count plan — the hot-swap seam. A snapshot-restored model is
+    /// warmed here (classes registered, folds built, weight panels packed)
+    /// *before* it is published to live traffic, so a cutover never pays a
+    /// first-request folding cliff on the new model. Classes that cannot
+    /// register (a full registry, e.g. a snapshot that shipped
+    /// [`MAX_BATCH_CLASSES`] of its own) are skipped — routing for them
+    /// falls back to the generic plan, which is a performance demotion,
+    /// never a correctness one. Returns the number of specialized folds
+    /// now resident for the requested classes.
+    pub fn prewarm_classes(&self, classes: &[usize]) -> PredictResult<usize> {
+        let mut resident = 0usize;
+        for &batch in classes {
+            if !self.register_batch_class(batch) {
+                continue;
+            }
+            for (leaves, _) in self.compiled_plans() {
+                if self.spec_plan_for(leaves, batch)?.is_some() {
+                    resident += 1;
+                }
+            }
+        }
+        Ok(resident)
+    }
+
     /// Predictions (transformed space) through a compiled plan replayed by
     /// `runner`. This is the serving hot path: a batch whose size is a
     /// registered class replays its shape-final specialized plan (zero

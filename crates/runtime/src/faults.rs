@@ -1,0 +1,258 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! A [`FaultPlan`] injects failures at chosen points of the dispatch
+//! pipeline so the self-healing paths (worker supervision, deadline
+//! shedding, admission control) are exercised by tests and CI rather than
+//! only by production incidents. Plans come from either
+//! `EngineConfig::faults` (tests pin exact plans) or the `CDMPP_FAULTS`
+//! environment variable (CI runs whole suites under background faults).
+//!
+//! # Grammar
+//!
+//! ```text
+//! CDMPP_FAULTS = clause (';' clause)*
+//! clause       = kind '@' site [':' key '=' value (',' key '=' value)*]
+//! kind         = 'panic' | 'delay' | 'reject'
+//! site         = 'replay' | 'admit'
+//! key          = 'every' | 'times' | 'ms'
+//! ```
+//!
+//! * `panic@replay` — panic inside the worker right before plan replay
+//!   (exercises `catch_unwind` supervision + respawn + chunk retry).
+//!   `panic` is only valid at `replay`: panicking the caller thread at
+//!   admission would break the exactly-one-reply contract by design.
+//! * `delay@replay` / `delay@admit` — sleep `ms` milliseconds at the
+//!   site (drives deadline expiry and queue saturation).
+//! * `reject@admit` — force a typed `EngineError::Overloaded` rejection
+//!   regardless of actual queue depth (simulated saturation).
+//! * `every=N` — fire on every Nth passage through the site (default 1).
+//! * `times=N` — stop after N fires (default unlimited).
+//! * `ms=N` — sleep duration for `delay` (default 1).
+//!
+//! Counters are per-engine (each `FaultPlan::parse`/`from_env` call gets
+//! fresh state), so serial dispatch fires clauses deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where in the dispatch pipeline a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// In the caller, before admission control runs.
+    Admit,
+    /// In a worker, after dequeue and the first deadline check, before
+    /// plan replay.
+    Replay,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Panic,
+    Delay,
+    Reject,
+}
+
+#[derive(Debug)]
+struct Clause {
+    kind: FaultKind,
+    site: FaultSite,
+    /// Fire on every Nth passage (1 = every passage).
+    every: u64,
+    /// Stop after this many fires.
+    times: u64,
+    /// Sleep duration for `Delay`, in milliseconds.
+    ms: u64,
+    passes: AtomicU64,
+    fires: AtomicU64,
+}
+
+impl Clause {
+    /// One passage through this clause's site: returns whether it fires.
+    fn fire(&self) -> bool {
+        let pass = self.passes.fetch_add(1, Ordering::Relaxed) + 1;
+        if !pass.is_multiple_of(self.every) {
+            return false;
+        }
+        // Reserve a fire slot without overshooting `times`.
+        self.fires
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                (f < self.times).then_some(f + 1)
+            })
+            .is_ok()
+    }
+}
+
+/// Everything that fired at one site passage, aggregated: the caller
+/// applies the delay first, then the panic/rejection.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Fired {
+    pub delay_ms: u64,
+    pub panic: bool,
+    pub reject: bool,
+}
+
+/// A parsed, stateful fault-injection plan. Cloning shares fire counters
+/// (a plan describes one engine's faults); `parse`/`from_env` start fresh.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    clauses: Arc<[Clause]>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs one slice iteration per site.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no clause can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Parses the `CDMPP_FAULTS` grammar (see module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            clauses.push(parse_clause(raw)?);
+        }
+        Ok(FaultPlan {
+            clauses: clauses.into(),
+        })
+    }
+
+    /// The plan named by the `CDMPP_FAULTS` environment variable, or the
+    /// empty plan when unset. Panics on a malformed spec: fault injection
+    /// is an explicit opt-in debugging tool, and a typo silently disabling
+    /// it would defeat the point.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("CDMPP_FAULTS") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("invalid CDMPP_FAULTS spec: {e}"),
+            },
+            Err(_) => FaultPlan::none(),
+        }
+    }
+
+    /// One passage through `site`: advances every matching clause and
+    /// aggregates what fired.
+    pub(crate) fn at(&self, site: FaultSite) -> Fired {
+        let mut fired = Fired::default();
+        for c in self.clauses.iter().filter(|c| c.site == site) {
+            if c.fire() {
+                match c.kind {
+                    FaultKind::Panic => fired.panic = true,
+                    FaultKind::Delay => fired.delay_ms += c.ms,
+                    FaultKind::Reject => fired.reject = true,
+                }
+            }
+        }
+        fired
+    }
+}
+
+fn parse_clause(raw: &str) -> Result<Clause, String> {
+    let (head, params) = match raw.split_once(':') {
+        Some((h, p)) => (h, Some(p)),
+        None => (raw, None),
+    };
+    let (kind_s, site_s) = head
+        .split_once('@')
+        .ok_or_else(|| format!("clause '{raw}': expected kind@site"))?;
+    let kind = match kind_s.trim() {
+        "panic" => FaultKind::Panic,
+        "delay" => FaultKind::Delay,
+        "reject" => FaultKind::Reject,
+        other => return Err(format!("clause '{raw}': unknown kind '{other}'")),
+    };
+    let site = match site_s.trim() {
+        "replay" => FaultSite::Replay,
+        "admit" => FaultSite::Admit,
+        other => return Err(format!("clause '{raw}': unknown site '{other}'")),
+    };
+    match (kind, site) {
+        (FaultKind::Panic, FaultSite::Admit) => {
+            return Err(format!(
+                "clause '{raw}': panic is only valid at replay (a caller-thread \
+                 panic would lose the reply by design)"
+            ));
+        }
+        (FaultKind::Reject, FaultSite::Replay) => {
+            return Err(format!("clause '{raw}': reject is only valid at admit"));
+        }
+        _ => {}
+    }
+    let (mut every, mut times, mut ms) = (1u64, u64::MAX, 1u64);
+    if let Some(params) = params {
+        for kv in params.split(',') {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("clause '{raw}': expected key=value, got '{kv}'"))?;
+            let v: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("clause '{raw}': '{kv}' is not an integer"))?;
+            match k.trim() {
+                "every" if v >= 1 => every = v,
+                "every" => return Err(format!("clause '{raw}': every must be >= 1")),
+                "times" => times = v,
+                "ms" => ms = v,
+                other => return Err(format!("clause '{raw}': unknown key '{other}'")),
+            }
+        }
+    }
+    Ok(Clause {
+        kind,
+        site,
+        every,
+        times,
+        ms,
+        passes: AtomicU64::new(0),
+        fires: AtomicU64::new(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trip() {
+        let p = FaultPlan::parse("panic@replay:every=3,times=2; delay@replay:ms=5; reject@admit")
+            .unwrap();
+        assert!(!p.is_empty());
+        // Passage 1/2 fire only the unconditional delay; passage 3 adds
+        // the panic; passage 6 the second (and last) panic; passage 9 none.
+        for pass in 1..=9u64 {
+            let fired = p.at(FaultSite::Replay);
+            assert_eq!(fired.delay_ms, 5, "delay fires every pass");
+            assert_eq!(fired.panic, pass == 3 || pass == 6, "pass {pass}");
+            assert!(!fired.reject);
+        }
+        let fired = p.at(FaultSite::Admit);
+        assert!(fired.reject && !fired.panic && fired.delay_ms == 0);
+    }
+
+    #[test]
+    fn empty_and_invalid_specs() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ;  ").unwrap().is_empty());
+        assert!(FaultPlan::parse("panic@admit").is_err());
+        assert!(FaultPlan::parse("reject@replay").is_err());
+        assert!(FaultPlan::parse("explode@replay").is_err());
+        assert!(FaultPlan::parse("panic@replay:every=0").is_err());
+        assert!(FaultPlan::parse("panic@replay:bogus=1").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+    }
+
+    #[test]
+    fn times_caps_fires() {
+        let p = FaultPlan::parse("delay@admit:ms=7,times=2").unwrap();
+        let fired: Vec<u64> = (0..5).map(|_| p.at(FaultSite::Admit).delay_ms).collect();
+        assert_eq!(fired, vec![7, 7, 0, 0, 0]);
+    }
+}

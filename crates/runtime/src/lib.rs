@@ -1,44 +1,71 @@
 //! Concurrent inference serving for the CDMPP cost model.
 //!
 //! The schedule-search and end-to-end-replay workloads score thousands of
-//! candidate tensor programs per step. The training stack executes each
-//! forward pass on a fresh autodiff tape, which pays tape-recording,
-//! gradient bookkeeping, and per-thread parameter deep clones that
-//! inference never needs. This crate is the serving seam on top of the
-//! forward-only execution path (`nn::InferCtx` + Arc-shared weights):
+//! candidate tensor programs per step. This crate is the production
+//! ingress on top of the forward-only execution path (compiled inference
+//! plans + Arc-shared weights):
 //!
 //! * [`InferenceEngine`] accepts *heterogeneous* prediction requests
 //!   (arbitrary mixes of leaf counts), buckets them by leaf count through
 //!   the one shared grouping policy (`cdmpp_core::batch::group_by_leaf_into`,
 //!   writing into pooled scratch), cuts each bucket into dense
 //!   `[B, L, N_ENTRY]` chunks under a **plan-aware scheduling policy**
-//!   ([`ChunkPolicy`]: full `max_batch` class chunks plus at most one
-//!   remainder, optionally padded up to the class), dispatches the chunks
-//!   across a worker-thread pool, and returns predictions in request
-//!   order.
-//! * Each worker replays **compiled inference plans** (`nn::plan`): the
-//!   predictor's forward pass is recorded once per leaf count, fused
-//!   (GEMM epilogues, element-wise chains) and arena-planned at compile
-//!   time. Chunks whose size is a registered **batch class** (`1` and
-//!   `max_batch`) replay a further *batch-specialized* fold — shape-final
-//!   offsets, prepacked weight GEMMs, a fixed arena per class that is
-//!   never re-offset — while odd-size remainders fall back to the
-//!   batch-generic plan. Plans are compiled/folded once and shared; each
-//!   worker owns only its replay arenas.
+//!   ([`ChunkPolicy`]), dispatches the chunks across a worker-thread pool,
+//!   and returns predictions in request order.
+//! * **Bounded admission** ([`ingress`]): a capacity-limited submission
+//!   queue with a typed [`EngineError::Overloaded`] rejection and an
+//!   [`AdmissionPolicy`] knob — overload degrades to fast typed errors,
+//!   never to unbounded memory growth.
+//! * **Deadlines** ([`Deadline`] via [`SubmitOptions`]): expired chunks
+//!   are shed *before* execution with [`EngineError::DeadlineExceeded`];
+//!   results for the unexpired remainder are bit-identical to serial.
+//! * **Worker supervision** ([`supervisor`]): a worker panic fails only
+//!   the in-flight chunk ([`EngineError::WorkerPanicked`], transparently
+//!   retried up to `EngineConfig::max_retries` times), the worker respawns
+//!   in place, and the pool stays at full strength — the pool self-heals
+//!   instead of draining to [`EngineError::WorkersUnavailable`].
+//! * **Fault injection** ([`FaultPlan`], `CDMPP_FAULTS`): deterministic
+//!   panics, artificial latency, and forced rejections at chosen dispatch
+//!   points, so the robustness paths above are exercised by tests and CI.
+//! * **Zero-downtime hot swap** ([`InferenceEngine::swap_snapshot`]):
+//!   atomic replacement of the served model under live traffic — in-flight
+//!   chunks finish on the old model, new admissions route to the new one,
+//!   and a generation counter makes the cutover observable.
+//! * Each worker replays **compiled inference plans** (`nn::plan`); chunks
+//!   whose size is a registered **batch class** (`1` and `max_batch`)
+//!   replay a batch-specialized fold, odd-size remainders fall back to the
+//!   batch-generic plan.
 //! * The engine implements `cdmpp_core::CostModel`, so it drops into the
-//!   schedule search as a faster scorer.
+//!   schedule search as a faster scorer; scoring failures shed candidates
+//!   to `INFINITY` ranks and count in [`EngineStats`] instead of aborting
+//!   the search.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use cdmpp_core::batch::{build_scaled_batch_idx, group_by_leaf_into, EncodedSample, LeafGroups};
 use cdmpp_core::e2e::encode_programs;
 use cdmpp_core::predictor::PredictError;
-use cdmpp_core::{CostModel, InferenceModel, PlanRunner, TrainedModel};
+use cdmpp_core::{CostModel, InferenceModel, TrainedModel};
 use devsim::DeviceSpec;
-use tensor::Tensor;
 use tir::TensorProgram;
+
+mod faults;
+mod ingress;
+mod stats;
+mod supervisor;
+mod swap;
+
+pub use faults::FaultPlan;
+pub use ingress::{AdmissionPolicy, Deadline, SubmitOptions};
+pub use stats::EngineStats;
+
+use faults::FaultSite;
+use ingress::{AdmitError, ChunkError, ChunkReply, Job, JobQueue, PushError, ReplyGuard};
+use stats::StatsInner;
+use swap::Served;
 
 /// Errors from the serving engine.
 #[derive(Debug)]
@@ -46,9 +73,28 @@ pub enum EngineError {
     /// A request failed inside the predictor (e.g. an unsupported leaf
     /// count — see `PredictError::LeafCountOutOfRange`).
     Predict(PredictError),
-    /// The worker pool is gone (a worker panicked or the engine is shutting
-    /// down); the request cannot be served.
+    /// The worker pool is gone (the engine is shutting down); the request
+    /// cannot be served.
     WorkersUnavailable,
+    /// Admission control rejected the call: the submission queue held
+    /// `depth` chunks against a capacity of `capacity` (and, under
+    /// [`AdmissionPolicy::Block`], stayed saturated past the timeout).
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's [`Deadline`] expired before execution; the affected
+    /// work was shed without being computed.
+    DeadlineExceeded,
+    /// A worker panicked while executing this request's chunk (after
+    /// exhausting `EngineConfig::max_retries` re-dispatches). The worker
+    /// respawned; the engine keeps serving.
+    WorkerPanicked,
+    /// A snapshot passed to [`InferenceEngine::swap_snapshot`] failed to
+    /// decode or validate; the previously served model is untouched.
+    Snapshot(cdmpp_core::SnapshotError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -56,6 +102,15 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Predict(e) => write!(f, "prediction failed: {e}"),
             EngineError::WorkersUnavailable => write!(f, "inference worker pool unavailable"),
+            EngineError::Overloaded { depth, capacity } => write!(
+                f,
+                "engine overloaded: submission queue at {depth}/{capacity} chunks"
+            ),
+            EngineError::DeadlineExceeded => write!(f, "request deadline expired before execution"),
+            EngineError::WorkerPanicked => {
+                write!(f, "worker panicked executing this chunk (pool self-healed)")
+            }
+            EngineError::Snapshot(e) => write!(f, "snapshot swap failed: {e}"),
         }
     }
 }
@@ -156,6 +211,14 @@ pub fn plan_chunks(len: usize, max_batch: usize, policy: ChunkPolicy) -> Vec<Pla
     out
 }
 
+/// Default bound on the submission queue, in chunks. Sized so a single
+/// large call (hundreds of chunks) admits cleanly on an idle engine while
+/// sustained multi-tenant overload still rejects fast.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// Default per-chunk re-dispatch budget after a caught worker panic.
+pub const DEFAULT_MAX_RETRIES: usize = 3;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -170,6 +233,21 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// The chunking policy; see [`ChunkPolicy`].
     pub policy: ChunkPolicy,
+    /// Submission-queue capacity in chunks (`0` = unbounded, the seed
+    /// engine's behavior). Admission control fires when a call arrives
+    /// while the queue is at capacity.
+    pub queue_capacity: usize,
+    /// What happens to calls that arrive at a saturated queue.
+    pub admission: AdmissionPolicy,
+    /// How many times one chunk is transparently re-dispatched after a
+    /// caught worker panic before [`EngineError::WorkerPanicked`] is
+    /// surfaced. Retried chunks land on a respawned (healthy) worker;
+    /// results are bit-identical to an undisturbed run.
+    pub max_retries: usize,
+    /// Fault-injection plan. `None` reads the `CDMPP_FAULTS` environment
+    /// variable (empty plan when unset); tests pin `Some(plan)` to stay
+    /// deterministic regardless of the environment.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +256,10 @@ impl Default for EngineConfig {
             workers: 0,
             max_batch: cdmpp_core::DEFAULT_MAX_BATCH,
             policy: ChunkPolicy::Stable,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            admission: AdmissionPolicy::Reject,
+            max_retries: DEFAULT_MAX_RETRIES,
+            faults: None,
         }
     }
 }
@@ -196,14 +278,6 @@ impl EngineConfig {
     }
 }
 
-/// One dense batch dispatched to a worker.
-struct Job {
-    tag: usize,
-    x: Tensor,
-    dev: Tensor,
-    reply: Sender<(usize, Result<Vec<f32>, PredictError>)>,
-}
-
 /// Reusable per-request dispatch state (index buffers only — nothing
 /// borrows the request), pooled on the engine so steady-state dispatch
 /// materializes no `Vec<Vec<usize>>` chunk lists and no per-chunk
@@ -215,23 +289,28 @@ struct DispatchScratch {
     chunks: Vec<(usize, usize, usize)>,
 }
 
-/// A concurrent, leaf-count-bucketed inference server for one frozen model.
+/// A concurrent, leaf-count-bucketed, failure-aware inference server for
+/// one (hot-swappable) frozen model.
 ///
 /// The engine is `Sync`: any number of application threads may call
 /// [`InferenceEngine::predict_samples`] (or score programs through the
 /// `CostModel` impl) concurrently; their batches interleave across the
 /// shared worker pool and each call gets its own results back in request
-/// order.
+/// order. Every submitted call resolves to exactly one reply — a full
+/// result set, per-sample typed errors (via
+/// [`InferenceEngine::predict_samples_opts`]), or a call-level typed
+/// error; no interleaving of overload, panics, deadlines, swap, and
+/// shutdown can hang a caller or drop a request.
 pub struct InferenceEngine {
-    model: Arc<InferenceModel>,
-    // Behind mutexes so `shutdown` can race in-flight requests from a
-    // shared reference: the job-sender lock is held only long enough to
-    // clone the sender (or observe that the pool is closed).
-    job_tx: Mutex<Option<Sender<Job>>>,
+    /// The served model + generation, swapped atomically under traffic.
+    served: RwLock<Arc<Served>>,
+    queue: Arc<JobQueue>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Pooled dispatch scratch: concurrent `predict_samples` calls each
     /// take one set of index buffers and return it when done.
     scratch: Mutex<Vec<DispatchScratch>>,
+    stats: Arc<StatsInner>,
+    faults: FaultPlan,
     cfg: EngineConfig,
 }
 
@@ -243,6 +322,7 @@ impl InferenceEngine {
     /// every class-size chunk replays a shape-final specialized plan
     /// (folded lazily per leaf count, or pre-folded by a snapshot load).
     pub fn new(model: InferenceModel, cfg: EngineConfig) -> Self {
+        let stats = Arc::new(StatsInner::default());
         let mut cfg = cfg;
         if cfg.policy != ChunkPolicy::Ragged {
             let ok = model.predictor.register_batch_class(1)
@@ -252,38 +332,44 @@ impl InferenceEngine {
                 // shipped the maximum number of classes) and cannot take
                 // this engine's {1, max_batch}. Class routing would never
                 // fire — and PadToClass would pad for nothing — so demote
-                // to the generic-plan policy, loudly and observably
-                // (`config().policy` reflects what actually runs).
-                eprintln!(
-                    "[runtime] warning: batch-class registry full; engine \
-                     falls back to ChunkPolicy::Ragged (generic plans)"
-                );
+                // to the generic-plan policy, observably: `config().policy`
+                // reflects what actually runs and `stats().class_demotions`
+                // counts the event.
+                stats.class_demotions.fetch_add(1, Ordering::Relaxed);
                 cfg.policy = ChunkPolicy::Ragged;
             }
         }
-        let model = Arc::new(model);
-        let (job_tx, job_rx) = channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let faults = cfg.faults.clone().unwrap_or_else(FaultPlan::from_env);
+        let queue = JobQueue::new(cfg.queue_capacity);
         let use_classes = cfg.policy != ChunkPolicy::Ragged;
         let n_workers = cfg.resolved_workers();
         // Split the machine between engine workers and intra-op GEMM
         // threads so the two layers compose instead of oversubscribing:
         // each worker gets cores/workers threads for its own GEMMs. With
-        // one worker per core the budget is 1 and GEMMs stay serial,
-        // exactly the old behavior.
+        // one worker per core the budget is 1 and GEMMs stay serial.
         let intra_op = (parallel::resolve_threads(0) / n_workers.max(1)).max(1);
         let workers = (0..n_workers)
             .map(|_| {
-                let model = Arc::clone(&model);
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || worker_loop(&model, &job_rx, use_classes, intra_op))
+                let ctx = supervisor::WorkerCtx {
+                    queue: Arc::clone(&queue),
+                    stats: Arc::clone(&stats),
+                    faults: faults.clone(),
+                    use_classes,
+                    intra_op,
+                };
+                std::thread::spawn(move || supervisor::supervised_worker(ctx))
             })
             .collect();
         InferenceEngine {
-            model,
-            job_tx: Mutex::new(Some(job_tx)),
+            served: RwLock::new(Arc::new(Served {
+                model: Arc::new(model),
+                generation: 0,
+            })),
+            queue,
             workers: Mutex::new(workers),
             scratch: Mutex::new(Vec::new()),
+            stats,
+            faults,
             cfg,
         }
     }
@@ -326,14 +412,34 @@ impl InferenceEngine {
     }
 
     /// Number of worker threads serving requests (0 after
-    /// [`InferenceEngine::shutdown`]).
+    /// [`InferenceEngine::shutdown`]). Worker panics do **not** shrink
+    /// this: panicked workers respawn in place (see
+    /// `EngineStats::worker_restarts`).
     pub fn worker_count(&self) -> usize {
         self.workers.lock().map(|w| w.len()).unwrap_or(0)
     }
 
-    /// The model being served.
-    pub fn model(&self) -> &InferenceModel {
-        &self.model
+    /// The model currently being served (the newest generation; requests
+    /// in flight across a swap finish on the generation they captured).
+    pub fn model(&self) -> Arc<InferenceModel> {
+        Arc::clone(&self.served().model)
+    }
+
+    /// A snapshot of the engine's traffic/failure counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot(self.queue.depth())
+    }
+
+    pub(crate) fn served(&self) -> Arc<Served> {
+        Arc::clone(&self.served.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    pub(crate) fn served_slot(&self) -> &RwLock<Arc<Served>> {
+        &self.served
+    }
+
+    pub(crate) fn stats_inner(&self) -> &StatsInner {
+        &self.stats
     }
 
     /// Predicts latencies (seconds) for pre-encoded, unscaled samples.
@@ -341,7 +447,10 @@ impl InferenceEngine {
     /// Requests may mix leaf counts arbitrarily; the engine groups them,
     /// dispatches dense batches across the pool, and returns one latency
     /// per input sample **in input order**. Unsupported leaf counts are
-    /// rejected up front with the predictor's descriptive error.
+    /// rejected up front with the predictor's descriptive error; any
+    /// chunk-level failure (deadline shed, post-retry worker panic) fails
+    /// the whole call with its typed error — use
+    /// [`InferenceEngine::predict_samples_opts`] for per-sample outcomes.
     pub fn predict_samples(&self, enc: &[EncodedSample]) -> Result<Vec<f64>, EngineError> {
         let refs: Vec<&EncodedSample> = enc.iter().collect();
         self.predict_sample_refs(&refs)
@@ -352,12 +461,46 @@ impl InferenceEngine {
     /// pass the survivors by reference instead of cloning each sample's
     /// feature vector.
     pub fn predict_sample_refs(&self, enc: &[&EncodedSample]) -> Result<Vec<f64>, EngineError> {
+        let per = self.predict_sample_refs_opts(enc, &SubmitOptions::default())?;
+        let mut out = Vec::with_capacity(per.len());
+        for r in per {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Per-sample prediction with submission options (deadline). The outer
+    /// `Result` covers call-level outcomes — validation, admission
+    /// rejection ([`EngineError::Overloaded`]), pool shutdown; the inner
+    /// per-sample `Result`s carry chunk-level outcomes — a latency, or a
+    /// typed shed ([`EngineError::DeadlineExceeded`],
+    /// [`EngineError::WorkerPanicked`]). Samples from unaffected chunks
+    /// are bit-identical to a serial no-fault run.
+    pub fn predict_samples_opts(
+        &self,
+        enc: &[EncodedSample],
+        opts: &SubmitOptions,
+    ) -> Result<Vec<Result<f64, EngineError>>, EngineError> {
+        let refs: Vec<&EncodedSample> = enc.iter().collect();
+        self.predict_sample_refs_opts(&refs, opts)
+    }
+
+    /// [`InferenceEngine::predict_samples_opts`] over borrowed samples.
+    pub fn predict_sample_refs_opts(
+        &self,
+        enc: &[&EncodedSample],
+        opts: &SubmitOptions,
+    ) -> Result<Vec<Result<f64, EngineError>>, EngineError> {
         if enc.is_empty() {
             return Ok(Vec::new());
         }
+        // Capture ONE model generation for the whole call: validation,
+        // scaling, replay, and inverse transform all use it, so a hot swap
+        // mid-call can never serve a torn mix of models.
+        let served = self.served();
         // Validate before dispatch so the caller gets the descriptive
         // error immediately rather than a poisoned batch result.
-        let max_leaves = self.model.predictor.config().max_leaves;
+        let max_leaves = served.model.predictor.config().max_leaves;
         for s in enc {
             if s.leaf_count == 0 || s.leaf_count > max_leaves {
                 return Err(PredictError::LeafCountOutOfRange {
@@ -367,22 +510,40 @@ impl InferenceEngine {
                 .into());
             }
         }
-        // Bucket by leaf count into pooled scratch (flat index buffers —
-        // no per-request group maps, no `Vec<Vec<usize>>` chunk lists),
-        // cut each bucket per the scheduling policy, dispatch. Sample
-        // standardization happens during the batch-building copy
-        // (`build_scaled_batch_idx`), so requests are never cloned
-        // wholesale and no per-chunk ref vector is materialized.
-        // Clone the sender under the lock, then dispatch without it. A
-        // cloned sender also keeps the workers alive until this request's
-        // replies are in, so shutdown drains in-flight work instead of
-        // dropping it.
-        let job_tx = self
-            .job_tx
-            .lock()
-            .map_err(|_| EngineError::WorkersUnavailable)?
-            .clone()
-            .ok_or(EngineError::WorkersUnavailable)?;
+        // A deadline that is already gone sheds the whole call before it
+        // touches the queue.
+        if opts.deadline.is_some_and(|d| d.expired()) {
+            self.stats.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::DeadlineExceeded);
+        }
+        // Fault injection at the admission site: artificial caller-side
+        // latency and forced rejections (simulated saturation).
+        let fired = self.faults.at(FaultSite::Admit);
+        if fired.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(fired.delay_ms));
+        }
+        if fired.reject {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Overloaded {
+                depth: self.queue.depth(),
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        // Admission control: one check per call, before any chunk exists.
+        match self.queue.admit(self.cfg.admission, opts.deadline) {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(AdmitError::Overloaded { depth, capacity }) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded { depth, capacity });
+            }
+            Err(AdmitError::DeadlineExceeded) => {
+                self.stats.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::DeadlineExceeded);
+            }
+            Err(AdmitError::Closed) => return Err(EngineError::WorkersUnavailable),
+        }
         let mut scratch = {
             let mut pool = self
                 .scratch
@@ -390,7 +551,7 @@ impl InferenceEngine {
                 .map_err(|_| EngineError::WorkersUnavailable)?;
             pool.pop().unwrap_or_default()
         };
-        let result = self.dispatch_and_collect(enc, &job_tx, &mut scratch);
+        let result = self.dispatch_and_collect(enc, &served, opts, &mut scratch);
         // The scratch goes back to the pool on *every* outcome — an error
         // (worker failure, shutdown race) must not throw the warmed
         // buffers away and quietly re-establish per-request allocation.
@@ -400,15 +561,17 @@ impl InferenceEngine {
         result
     }
 
-    /// The fallible middle of [`InferenceEngine::predict_sample_refs`]:
-    /// plan chunks into `scratch`, dispatch, collect, scatter.
+    /// The fallible middle of [`InferenceEngine::predict_sample_refs_opts`]:
+    /// plan chunks into `scratch`, dispatch, collect (retrying panicked
+    /// chunks), scatter per-sample outcomes.
     fn dispatch_and_collect(
         &self,
         enc: &[&EncodedSample],
-        job_tx: &Sender<Job>,
+        served: &Arc<Served>,
+        opts: &SubmitOptions,
         scratch: &mut DispatchScratch,
-    ) -> Result<Vec<f64>, EngineError> {
-        let (reply_tx, reply_rx) = channel();
+    ) -> Result<Vec<Result<f64, EngineError>>, EngineError> {
+        let (reply_tx, reply_rx) = channel::<ChunkReply>();
         group_by_leaf_into(enc, &mut scratch.groups);
         scratch.chunks.clear();
         {
@@ -422,40 +585,113 @@ impl InferenceEngine {
                 );
             }
         }
-        for (tag, &(s, e, dispatch)) in scratch.chunks.iter().enumerate() {
-            let batch = build_scaled_batch_idx(
-                enc,
-                &scratch.groups.order[s..e],
-                dispatch,
-                &self.model.scaler,
-            );
-            let job = Job {
-                tag,
-                x: batch.x,
-                dev: batch.dev,
-                reply: reply_tx.clone(),
-            };
-            job_tx
-                .send(job)
-                .map_err(|_| EngineError::WorkersUnavailable)?;
+        let n_chunks = scratch.chunks.len();
+        // Dispatch every chunk once. Expired chunks reply immediately
+        // through their guard (shed before any batch is built); push
+        // failures hand the job back so the right typed reply is sent.
+        for tag in 0..n_chunks {
+            self.send_chunk(enc, served, opts, scratch, tag, &reply_tx)
+                .map_err(|_closed| EngineError::WorkersUnavailable)?;
         }
-        drop(reply_tx);
-        // Collect replies and scatter them back to request order (the zip
-        // truncates any padded tail predictions).
-        let mut out = vec![0.0f64; enc.len()];
-        let mut received = 0usize;
-        while received < scratch.chunks.len() {
-            let (tag, result) = reply_rx
+        // Collect: every dispatched chunk resolves through the reply
+        // channel exactly once (the ReplyGuard guarantees a reply even
+        // across panics and queue teardown). Panicked chunks re-dispatch
+        // onto a respawned worker up to `max_retries` times.
+        let mut results: Vec<Option<Result<Vec<f32>, ChunkError>>> = Vec::new();
+        results.resize_with(n_chunks, || None);
+        let mut attempts = vec![0usize; n_chunks];
+        let mut resolved = 0usize;
+        while resolved < n_chunks {
+            let (tag, res) = reply_rx
                 .recv()
                 .map_err(|_| EngineError::WorkersUnavailable)?;
-            let preds = result?;
-            let (s, e, _) = scratch.chunks[tag];
-            for (&i, &p) in scratch.groups.order[s..e].iter().zip(preds.iter()) {
-                out[i] = self.model.inverse_transform(p);
+            if results[tag].is_some() {
+                continue; // stale duplicate (defensive; guards prevent it)
             }
-            received += 1;
+            if matches!(res, Err(ChunkError::Panicked))
+                && attempts[tag] < self.cfg.max_retries
+                && !opts.deadline.is_some_and(|d| d.expired())
+            {
+                attempts[tag] += 1;
+                self.stats.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                self.send_chunk(enc, served, opts, scratch, tag, &reply_tx)
+                    .map_err(|_closed| EngineError::WorkersUnavailable)?;
+                continue;
+            }
+            results[tag] = Some(res);
+            resolved += 1;
+        }
+        // Scatter chunk outcomes back to request order (the zip truncates
+        // any padded tail predictions).
+        let mut out: Vec<Result<f64, EngineError>> = Vec::new();
+        out.resize_with(enc.len(), || Ok(0.0));
+        for (tag, res) in results.into_iter().enumerate() {
+            let (s, e, _) = scratch.chunks[tag];
+            let idxs = &scratch.groups.order[s..e];
+            match res.expect("all chunks resolved") {
+                Ok(preds) => {
+                    for (&i, &p) in idxs.iter().zip(preds.iter()) {
+                        out[i] = Ok(served.model.inverse_transform(p));
+                    }
+                }
+                Err(err) => {
+                    for &i in idxs {
+                        out[i] = Err(match &err {
+                            ChunkError::Predict(pe) => EngineError::Predict(pe.clone()),
+                            ChunkError::DeadlineExceeded => EngineError::DeadlineExceeded,
+                            ChunkError::Panicked => EngineError::WorkerPanicked,
+                        });
+                    }
+                }
+            }
         }
         Ok(out)
+    }
+
+    /// Builds and enqueues one chunk (or sheds it on an expired deadline).
+    /// Every path delivers exactly one reply for `tag` through the
+    /// channel. Returns `Err(())` only when the pool is closing.
+    fn send_chunk(
+        &self,
+        enc: &[&EncodedSample],
+        served: &Arc<Served>,
+        opts: &SubmitOptions,
+        scratch: &DispatchScratch,
+        tag: usize,
+        reply_tx: &std::sync::mpsc::Sender<ChunkReply>,
+    ) -> Result<(), ()> {
+        let reply = ReplyGuard::new(tag, reply_tx.clone());
+        if opts.deadline.is_some_and(|d| d.expired()) {
+            self.stats.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+            reply.send(Err(ChunkError::DeadlineExceeded));
+            return Ok(());
+        }
+        let (s, e, dispatch) = scratch.chunks[tag];
+        let batch = build_scaled_batch_idx(
+            enc,
+            &scratch.groups.order[s..e],
+            dispatch,
+            &served.model.scaler,
+        );
+        let job = Job {
+            x: batch.x,
+            dev: batch.dev,
+            deadline: opts.deadline,
+            served: Arc::clone(served),
+            reply,
+        };
+        match self.queue.push(job) {
+            Ok(depth) => {
+                self.stats.observe_depth(depth);
+                Ok(())
+            }
+            Err((PushError::DeadlineExceeded, job)) => {
+                self.stats.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                job.reply.send(Err(ChunkError::DeadlineExceeded));
+                Ok(())
+            }
+            Err((PushError::Closed, _job)) => Err(()),
+        }
     }
 
     /// Encodes and scores standalone tensor programs for a device,
@@ -465,11 +701,12 @@ impl InferenceEngine {
         progs: &[&TensorProgram],
         dev: &DeviceSpec,
     ) -> Result<Vec<f64>, EngineError> {
+        let served = self.served();
         let enc = encode_programs(
             progs,
             dev,
-            self.model.predictor.config().theta,
-            self.model.use_pe,
+            served.model.predictor.config().theta,
+            served.model.use_pe,
         );
         self.predict_samples(&enc)
     }
@@ -477,13 +714,11 @@ impl InferenceEngine {
 
 impl InferenceEngine {
     /// Gracefully stops the worker pool: refuses new requests, lets
-    /// requests already dispatched drain, then joins every worker.
+    /// requests already queued drain, then joins every worker.
     /// Requests arriving after (or racing) the shutdown surface
     /// [`EngineError::WorkersUnavailable`] instead of hanging.
     pub fn shutdown(&self) {
-        if let Ok(mut tx) = self.job_tx.lock() {
-            tx.take();
-        }
+        self.queue.close();
         let drained = match self.workers.lock() {
             Ok(mut w) => w.drain(..).collect::<Vec<_>>(),
             Err(_) => Vec::new(),
@@ -512,13 +747,14 @@ impl CostModel for InferenceEngine {
         // Per-candidate granularity: an unsupported leaf count ranks only
         // that candidate as infinitely slow; the rest still get real
         // scores (matching the TrainedModel cost model's behavior).
+        let served = self.served();
         let enc = encode_programs(
             progs,
             dev,
-            self.model.predictor.config().theta,
-            self.model.use_pe,
+            served.model.predictor.config().theta,
+            served.model.use_pe,
         );
-        let max_leaves = self.model.predictor.config().max_leaves;
+        let max_leaves = served.model.predictor.config().max_leaves;
         let valid_idx: Vec<usize> = enc
             .iter()
             .enumerate()
@@ -531,20 +767,27 @@ impl CostModel for InferenceEngine {
         }
         // Borrow the validated candidates — no wholesale sample clones.
         let valid: Vec<&EncodedSample> = valid_idx.iter().map(|&i| &enc[i]).collect();
-        match self.predict_sample_refs(&valid) {
-            Ok(preds) => {
-                for (&i, p) in valid_idx.iter().zip(preds) {
-                    out[i] = p;
+        // `CostModel` has no error channel; the established convention is
+        // that an unscorable candidate ranks as INFINITY (invalid leaf
+        // counts already do). Engine failures — overload, shutdown, a
+        // post-retry worker panic, a deadline shed — therefore shed the
+        // affected candidates to INFINITY and count in
+        // `stats().score_sheds`, instead of panicking the search process.
+        match self.predict_sample_refs_opts(&valid, &SubmitOptions::default()) {
+            Ok(per) => {
+                for (&i, r) in valid_idx.iter().zip(per) {
+                    match r {
+                        Ok(p) => out[i] = p,
+                        Err(_) => {
+                            self.stats.score_sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
-            // Unreachable after the filter above, but keep the candidates
-            // rankable if a new validation is ever added upstream.
-            Err(EngineError::Predict(_)) => {}
-            // A dead worker pool is infrastructure failure: silently
-            // returning INFINITY would let the search "complete" with
-            // garbage results. CostModel has no error channel, so be loud.
-            Err(e @ EngineError::WorkersUnavailable) => {
-                panic!("inference engine cannot score candidates: {e}")
+            Err(_) => {
+                self.stats
+                    .score_sheds
+                    .fetch_add(valid_idx.len() as u64, Ordering::Relaxed);
             }
         }
         out
@@ -562,56 +805,36 @@ pub fn end_to_end(
     dev: &DeviceSpec,
     seed: u64,
 ) -> Result<cdmpp_core::E2eResult, EngineError> {
+    end_to_end_opts(engine, net, dev, seed, &SubmitOptions::default())
+}
+
+/// [`end_to_end`] with submission options (deadline). Replay needs every
+/// task's score, so any per-task shed fails the whole prediction with its
+/// typed error.
+pub fn end_to_end_opts(
+    engine: &InferenceEngine,
+    net: &tir::Network,
+    dev: &DeviceSpec,
+    seed: u64,
+    opts: &SubmitOptions,
+) -> Result<cdmpp_core::E2eResult, EngineError> {
     let (task_ids, programs) = cdmpp_core::sample_network_programs(net, seed);
     let refs: Vec<&TensorProgram> = programs.iter().collect();
-    let predicted = engine.predict_programs(&refs, dev)?;
+    let served = engine.served();
+    let enc = encode_programs(
+        &refs,
+        dev,
+        served.model.predictor.config().theta,
+        served.model.use_pe,
+    );
+    let per = engine.predict_samples_opts(&enc, opts)?;
+    let mut predicted = Vec::with_capacity(per.len());
+    for r in per {
+        predicted.push(r?);
+    }
     Ok(cdmpp_core::replay_predictions(
         net, dev, &task_ids, &programs, &predicted,
     ))
-}
-
-fn worker_loop(
-    model: &InferenceModel,
-    jobs: &Arc<Mutex<Receiver<Job>>>,
-    use_classes: bool,
-    intra_op: usize,
-) {
-    // Cap how many threads this worker's GEMMs may fan out to. The engine
-    // computed the budget as cores/workers, so worker-level and GEMM-level
-    // parallelism compose instead of oversubscribing the machine; a budget
-    // of 1 keeps this worker's GEMMs serial (one worker per core).
-    parallel::set_intra_op_threads(intra_op);
-    // One plan runner per worker, alive for the engine's lifetime: the
-    // compiled plans themselves are shared through the model (compiled at
-    // most once per leaf count), and this worker's replay arenas warm up
-    // once per (leaf count, batch class) — class-size chunks replay a
-    // specialized plan against a fixed arena that is never re-offset;
-    // only generic-plan remainders ever re-offset, among themselves.
-    let mut runner = PlanRunner::new();
-    loop {
-        let job = {
-            let rx = match jobs.lock() {
-                Ok(rx) => rx,
-                Err(_) => return, // poisoned: another worker panicked
-            };
-            match rx.recv() {
-                Ok(job) => job,
-                Err(_) => return, // channel closed: engine dropped
-            }
-        };
-        let result = if use_classes {
-            model
-                .predictor
-                .predict_planned(&mut runner, &job.x, &job.dev)
-        } else {
-            // Ragged baseline: force the batch-generic plan everywhere.
-            model
-                .predictor
-                .predict_planned_generic(&mut runner, &job.x, &job.dev)
-        };
-        // A send failure means the requester gave up; keep serving others.
-        let _ = job.reply.send((job.tag, result));
-    }
 }
 
 #[cfg(test)]
@@ -651,6 +874,7 @@ mod tests {
             EngineConfig {
                 workers,
                 max_batch: 8,
+                faults: Some(FaultPlan::none()),
                 ..Default::default()
             },
         )
@@ -700,5 +924,35 @@ mod tests {
     fn engine_is_shareable_across_threads() {
         fn assert_sync<T: Send + Sync>() {}
         assert_sync::<InferenceEngine>();
+    }
+
+    #[test]
+    fn stats_count_admissions() {
+        let eng = engine(2);
+        let enc: Vec<EncodedSample> = (0..20).map(|i| sample(1 + (i % 3), i)).collect();
+        eng.predict_samples(&enc).unwrap();
+        eng.predict_samples(&enc).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 0);
+        assert!(s.completed_chunks > 0);
+        assert!(s.queue_depth_hw >= 1);
+        assert_eq!(s.queue_depth, 0, "queue drains between calls");
+    }
+
+    #[test]
+    fn expired_deadline_sheds_whole_call_before_dispatch() {
+        let eng = engine(1);
+        let enc: Vec<EncodedSample> = (0..4).map(|i| sample(2, i)).collect();
+        let opts = SubmitOptions {
+            deadline: Some(Deadline::at(std::time::Instant::now())),
+        };
+        match eng.predict_samples_opts(&enc, &opts) {
+            Err(EngineError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(eng.stats().deadline_sheds >= 1);
+        // A deadline-free follow-up is unaffected.
+        assert!(eng.predict_samples(&enc).is_ok());
     }
 }

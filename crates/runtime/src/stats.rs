@@ -1,0 +1,113 @@
+//! Engine observability: lock-free failure/traffic counters.
+//!
+//! Every robustness path in the engine — admission control, deadline
+//! shedding, worker supervision, hot swap, cost-model shedding — bumps a
+//! counter here instead of writing to stderr. [`EngineStats`] is the
+//! plain-data snapshot returned by `InferenceEngine::stats()` and printed
+//! by the serving bench and the CLI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters (engine + workers hold an `Arc` each).
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub deadline_sheds: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub worker_restarts: AtomicU64,
+    pub chunk_retries: AtomicU64,
+    pub completed_chunks: AtomicU64,
+    pub swaps: AtomicU64,
+    pub class_demotions: AtomicU64,
+    pub score_sheds: AtomicU64,
+    pub queue_depth_hw: AtomicU64,
+}
+
+impl StatsInner {
+    /// Raises the queue-depth high-water mark to at least `depth`.
+    pub fn observe_depth(&self, depth: usize) {
+        self.queue_depth_hw
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one logical worker respawn.
+    pub fn bump_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, queue_depth: usize) -> EngineStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EngineStats {
+            admitted: get(&self.admitted),
+            rejected: get(&self.rejected),
+            deadline_sheds: get(&self.deadline_sheds),
+            worker_panics: get(&self.worker_panics),
+            worker_restarts: get(&self.worker_restarts),
+            chunk_retries: get(&self.chunk_retries),
+            completed_chunks: get(&self.completed_chunks),
+            swaps: get(&self.swaps),
+            class_demotions: get(&self.class_demotions),
+            score_sheds: get(&self.score_sheds),
+            queue_depth: queue_depth as u64,
+            queue_depth_hw: get(&self.queue_depth_hw),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Calls admitted past admission control.
+    pub admitted: u64,
+    /// Calls rejected with `EngineError::Overloaded` (real or injected).
+    pub rejected: u64,
+    /// Chunks (or whole calls) shed with `EngineError::DeadlineExceeded`
+    /// before execution.
+    pub deadline_sheds: u64,
+    /// Worker panics caught by the supervisor (injected or real).
+    pub worker_panics: u64,
+    /// Logical worker respawns (fresh replay state after a panic). The
+    /// pool returns to full strength after every one of these.
+    pub worker_restarts: u64,
+    /// Chunks re-dispatched after a worker panic (self-healing retries).
+    pub chunk_retries: u64,
+    /// Chunks executed to a successful reply.
+    pub completed_chunks: u64,
+    /// Live model hot-swaps (`swap_snapshot` / `swap_model`).
+    pub swaps: u64,
+    /// Batch-class registrations that could not take effect (full class
+    /// registry on the served model) — a performance demotion, counted
+    /// instead of warned about on stderr.
+    pub class_demotions: u64,
+    /// Candidates shed to `f32::INFINITY` scores by the `CostModel` path
+    /// because the engine returned an error for them.
+    pub score_sheds: u64,
+    /// Current submission-queue depth (chunks).
+    pub queue_depth: u64,
+    /// Highest queue depth observed since engine start.
+    pub queue_depth_hw: u64,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admitted={} rejected={} deadline_sheds={} worker_panics={} \
+             worker_restarts={} chunk_retries={} completed_chunks={} swaps={} \
+             class_demotions={} score_sheds={} queue_depth={} queue_depth_hw={}",
+            self.admitted,
+            self.rejected,
+            self.deadline_sheds,
+            self.worker_panics,
+            self.worker_restarts,
+            self.chunk_retries,
+            self.completed_chunks,
+            self.swaps,
+            self.class_demotions,
+            self.score_sheds,
+            self.queue_depth,
+            self.queue_depth_hw
+        )
+    }
+}

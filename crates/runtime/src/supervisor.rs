@@ -1,0 +1,135 @@
+//! Worker supervision: panic containment, in-place respawn, deadline
+//! shedding at the point of execution.
+//!
+//! Each worker thread runs [`supervised_worker`]. A panic during plan
+//! replay (injected by a [`crate::FaultPlan`] or real) is caught with
+//! `catch_unwind`; it fails **only the in-flight chunk** — the chunk gets
+//! a typed [`ChunkError::Panicked`] reply (which the dispatcher may retry
+//! on a healthy worker) — and the worker *respawns in place*: its replay
+//! state (`PlanRunner` arenas, possibly mid-write when the panic hit) is
+//! discarded and rebuilt, and the thread returns to the queue. The pool
+//! therefore always runs at full strength; the seed engine's
+//! drain-to-`WorkersUnavailable` failure mode is gone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cdmpp_core::PlanRunner;
+
+use crate::faults::{FaultPlan, FaultSite};
+use crate::ingress::{ChunkError, Job, JobQueue};
+use crate::stats::StatsInner;
+
+/// Everything one worker thread needs; owned per thread.
+pub(crate) struct WorkerCtx {
+    pub queue: Arc<JobQueue>,
+    pub stats: Arc<StatsInner>,
+    pub faults: FaultPlan,
+    /// `false` pins every chunk to the batch-generic plan
+    /// ([`crate::ChunkPolicy::Ragged`]).
+    pub use_classes: bool,
+    /// Intra-op GEMM thread budget (cores / workers).
+    pub intra_op: usize,
+}
+
+/// The worker entry point: a respawn loop around the serve loop. The only
+/// clean exit is queue closure; any panic that escapes the per-chunk
+/// handler restarts the loop with fresh replay state.
+pub(crate) fn supervised_worker(ctx: WorkerCtx) {
+    // Cap how many threads this worker's GEMMs may fan out to, so
+    // worker-level and GEMM-level parallelism compose instead of
+    // oversubscribing the machine (budget 1 == serial GEMMs).
+    parallel::set_intra_op_threads(ctx.intra_op);
+    loop {
+        let mut runner = PlanRunner::new();
+        let run = catch_unwind(AssertUnwindSafe(|| serve_loop(&ctx, &mut runner)));
+        match run {
+            Ok(()) => return, // queue closed and drained: clean shutdown
+            Err(_) => {
+                // A panic escaped the per-chunk handler (queue internals
+                // cannot panic, so this is belt-and-braces): count the
+                // respawn and go again. The in-flight chunk — if any —
+                // already replied through its ReplyGuard's Drop.
+                ctx.stats.bump_restart();
+                continue;
+            }
+        }
+    }
+}
+
+fn serve_loop(ctx: &WorkerCtx, runner: &mut PlanRunner) {
+    while let Some(job) = ctx.queue.pop() {
+        process_job(ctx, runner, job);
+    }
+}
+
+fn process_job(ctx: &WorkerCtx, runner: &mut PlanRunner, job: Job) {
+    let Job {
+        x,
+        dev,
+        deadline,
+        served,
+        reply,
+    } = job;
+
+    // Shed expired work before spending compute on it.
+    if deadline.is_some_and(|d| d.expired()) {
+        ctx.stats
+            .deadline_sheds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        reply.send(Err(ChunkError::DeadlineExceeded));
+        return;
+    }
+
+    // Fault injection: artificial latency first (then re-check the
+    // deadline — the slept-through chunk may now be sheddable), panic
+    // inside the supervised region below.
+    let fired = ctx.faults.at(FaultSite::Replay);
+    if fired.delay_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(fired.delay_ms));
+        if deadline.is_some_and(|d| d.expired()) {
+            ctx.stats
+                .deadline_sheds
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            reply.send(Err(ChunkError::DeadlineExceeded));
+            return;
+        }
+    }
+
+    // The supervised region: anything that unwinds out of plan replay is
+    // caught here and converted into this one chunk's typed failure.
+    let use_classes = ctx.use_classes;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if fired.panic {
+            panic!("injected fault: panic@replay");
+        }
+        let model = &served.model;
+        if use_classes {
+            model.predictor.predict_planned(runner, &x, &dev)
+        } else {
+            model.predictor.predict_planned_generic(runner, &x, &dev)
+        }
+    }));
+
+    match result {
+        Ok(r) => {
+            if r.is_ok() {
+                ctx.stats
+                    .completed_chunks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            reply.send(r.map_err(ChunkError::Predict));
+        }
+        Err(_) => {
+            // Fail only this chunk; respawn the worker's replay state in
+            // place (arenas may be mid-write). The pool stays at full
+            // strength.
+            ctx.stats
+                .worker_panics
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.stats.bump_restart();
+            *runner = PlanRunner::new();
+            reply.send(Err(ChunkError::Panicked));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Zero-downtime model hot swap.
+//!
+//! The engine serves an [`Arc<Served>`] — the frozen model plus a
+//! generation counter. Every call captures the current `Arc` once at
+//! admission and threads it through its jobs, so a swap is a single
+//! atomic pointer replacement with a clean cutover contract:
+//!
+//! * **in-flight chunks finish on the old model** (their jobs hold the old
+//!   `Arc`; it stays alive until the last of them drops it),
+//! * **new admissions route to the new model** (they capture the new
+//!   `Arc`),
+//! * no request is ever lost, split across models, or served a torn mix.
+//!
+//! The new model is fully *prewarmed* before it is published — batch
+//! classes registered, specialized plans folded, weight panels prepacked
+//! (`SharedPredictor::prewarm_classes`) — so the cutover never pays a
+//! first-request folding cliff. A validation failure (hostile snapshot,
+//! plan error) surfaces as a typed error and leaves the old model serving,
+//! untouched.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cdmpp_core::InferenceModel;
+
+use crate::{ChunkPolicy, EngineError, InferenceEngine};
+
+/// One published model generation. Jobs hold an `Arc<Served>`, pinning the
+/// model they were admitted under.
+pub(crate) struct Served {
+    pub model: Arc<InferenceModel>,
+    pub generation: u64,
+}
+
+impl InferenceEngine {
+    /// The generation counter of the currently served model: starts at 0,
+    /// +1 per successful swap. Makes cutovers observable — a caller that
+    /// records the generation before and after a request can tell which
+    /// side of a swap it landed on.
+    pub fn generation(&self) -> u64 {
+        self.served().generation
+    }
+
+    /// Atomically replaces the served model under live traffic. The new
+    /// model is prewarmed (classes registered, specialized plans folded)
+    /// *before* publication; in-flight chunks finish on the old model, new
+    /// admissions see the new one. Returns the new generation.
+    ///
+    /// Swapping is independent of the worker pool's lifecycle: a swap
+    /// racing `shutdown` publishes fine (there is just no traffic left to
+    /// serve it to), and neither call can deadlock the other.
+    pub fn swap_model(&self, model: InferenceModel) -> Result<u64, EngineError> {
+        if self.config().policy != ChunkPolicy::Ragged {
+            let classes = [1, self.config().max_batch.max(1)];
+            model
+                .predictor
+                .prewarm_classes(&classes)
+                .map_err(EngineError::Predict)?;
+            // A full class registry on the new model (e.g. a snapshot that
+            // shipped MAX_BATCH_CLASSES of its own) demotes those sizes to
+            // the generic plan — a performance loss worth counting, never
+            // a correctness one.
+            let registered = model.predictor.batch_classes();
+            for b in classes {
+                if !registered.contains(&b) {
+                    self.stats_inner()
+                        .class_demotions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let generation = {
+            let mut served = self
+                .served_slot()
+                .write()
+                .unwrap_or_else(|p| p.into_inner());
+            let generation = served.generation + 1;
+            *served = Arc::new(Served {
+                model: Arc::new(model),
+                generation,
+            });
+            generation
+        };
+        self.stats_inner().swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(generation)
+    }
+
+    /// [`InferenceEngine::swap_model`] from a snapshot file: decode +
+    /// validate + prewarm first, publish only on success. A bad file
+    /// (truncated, hostile, wrong version) is a typed error and leaves the
+    /// current model serving.
+    pub fn swap_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<u64, EngineError> {
+        let model = InferenceModel::from_snapshot_file(path).map_err(EngineError::Snapshot)?;
+        self.swap_model(model)
+    }
+
+    /// [`InferenceEngine::swap_snapshot`] from in-memory snapshot bytes.
+    pub fn swap_snapshot_bytes(&self, bytes: &[u8]) -> Result<u64, EngineError> {
+        let model = InferenceModel::from_snapshot_bytes(bytes).map_err(EngineError::Snapshot)?;
+        self.swap_model(model)
+    }
+}

@@ -9,9 +9,10 @@ use cdmpp_core::{
 };
 use features::{N_DEVICE_FEATURES, N_ENTRY};
 use learn::TransformKind;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use runtime::{EngineConfig, EngineError, InferenceEngine};
+use runtime::{EngineConfig, EngineError, FaultPlan, InferenceEngine};
 use tir::{lower, sample_schedule, OpSpec};
 
 fn frozen_model(max_leaves: usize) -> cdmpp_core::InferenceModel {
@@ -176,5 +177,191 @@ fn score_batch_ranks_only_invalid_leaf_counts_as_infinity() {
                 "candidate {i} (invalid leaf count) must rank last"
             );
         }
+    }
+}
+
+fn frozen_with(transform: TransformKind) -> cdmpp_core::InferenceModel {
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: transform.fit(&[0.5, 1.0, 2.0, 4.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    model.freeze()
+}
+
+#[test]
+fn shutdown_racing_swap_reaches_a_consistent_terminal_state() {
+    // Swap and shutdown from different threads, in both orders. Neither
+    // can deadlock the other (swap touches the served slot, shutdown the
+    // queue + pool); the terminal state is always: pool down, predicts
+    // refused typed, generation reflecting exactly the swaps that
+    // returned Ok.
+    let enc = stream(24);
+    for _ in 0..20 {
+        let engine = InferenceEngine::new(
+            frozen_model(8),
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                ..Default::default()
+            },
+        );
+        std::thread::scope(|s| {
+            let swapper = s.spawn(|| engine.swap_model(frozen_with(TransformKind::BoxCox)));
+            let stopper = s.spawn(|| engine.shutdown());
+            let swapped = swapper.join().unwrap().unwrap();
+            stopper.join().unwrap();
+            assert_eq!(swapped, 1, "swap succeeds regardless of pool state");
+        });
+        assert_eq!(engine.worker_count(), 0);
+        assert_eq!(engine.generation(), 1);
+        match engine.predict_samples(&enc) {
+            Err(EngineError::WorkersUnavailable) => {}
+            other => panic!("expected typed refusal, got {other:?}"),
+        }
+    }
+    // Swapping an already-stopped engine also works (publish-only).
+    let engine = InferenceEngine::new(frozen_model(8), EngineConfig::single_worker());
+    engine.shutdown();
+    assert_eq!(
+        engine
+            .swap_model(frozen_with(TransformKind::BoxCox))
+            .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn overload_during_drain_stays_typed_and_never_hangs() {
+    // A saturated tiny queue with a slow worker, torn down mid-storm:
+    // every hammered call must resolve to exactly one typed outcome —
+    // served (bit-exact), Overloaded (queue full), or WorkersUnavailable
+    // (shutdown won the race). The joins returning at all proves no call
+    // hangs on the closing queue.
+    let model = frozen_model(8);
+    let enc = stream(24);
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 1,
+            max_batch: 4,
+            queue_capacity: 2,
+            faults: Some(FaultPlan::parse("delay@replay:ms=5").unwrap()),
+            ..Default::default()
+        },
+    );
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut outcomes = [0usize; 3]; // served, overloaded, refused
+                    for _ in 0..10 {
+                        match engine.predict_samples(&enc) {
+                            Ok(got) => {
+                                assert_eq!(got, want, "served calls stay bit-exact");
+                                outcomes[0] += 1;
+                            }
+                            Err(EngineError::Overloaded { capacity, .. }) => {
+                                assert_eq!(capacity, 2);
+                                outcomes[1] += 1;
+                            }
+                            Err(EngineError::WorkersUnavailable) => outcomes[2] += 1,
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        engine.shutdown();
+        for h in handles {
+            let [served, overloaded, refused] = h.join().unwrap();
+            assert_eq!(
+                served + overloaded + refused,
+                10,
+                "every call resolves exactly once"
+            );
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any interleaving of predict, hot-swap, and shutdown across threads:
+    /// no call may hang (the scope joining proves it), every call gets
+    /// exactly one reply, every served result is bit-exact for exactly one
+    /// of the two models, and every error is typed.
+    #[test]
+    fn predict_swap_shutdown_interleavings_resolve_every_request(
+        swap_after_us in 0u64..4000,
+        shutdown_after_us in 0u64..4000,
+        hammers in 1usize..4,
+        cap_sel in 0usize..3,
+    ) {
+        let capacity = [0usize, 2, 256][cap_sel]; // unbounded, tiny, default
+        let enc = stream(16);
+        let model_a = frozen_model(8);
+        let model_b = frozen_with(TransformKind::BoxCox);
+        let want_a = model_a.predict_samples(&enc).unwrap();
+        let want_b = model_b.predict_samples(&enc).unwrap();
+        let engine = InferenceEngine::new(
+            model_a,
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                queue_capacity: capacity,
+                ..Default::default()
+            },
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..hammers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut resolved = 0usize;
+                        for _ in 0..8 {
+                            match engine.predict_samples(&enc) {
+                                Ok(got) => {
+                                    assert!(
+                                        got == want_a || got == want_b,
+                                        "result must match exactly one model"
+                                    );
+                                    resolved += 1;
+                                }
+                                Err(
+                                    EngineError::WorkersUnavailable
+                                    | EngineError::Overloaded { .. },
+                                ) => resolved += 1,
+                                Err(other) => panic!("unexpected error: {other}"),
+                            }
+                        }
+                        resolved
+                    })
+                })
+                .collect();
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_micros(swap_after_us));
+                engine.swap_model(frozen_with(TransformKind::BoxCox)).unwrap();
+            });
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_micros(shutdown_after_us));
+                engine.shutdown();
+            });
+            for h in handles {
+                prop_assert_eq!(h.join().unwrap(), 8, "every request got one reply");
+            }
+            Ok(())
+        })?;
+        // Terminal state: pool down, swap published, refusals typed.
+        prop_assert_eq!(engine.worker_count(), 0);
+        prop_assert_eq!(engine.generation(), 1);
+        prop_assert!(matches!(
+            engine.predict_samples(&enc),
+            Err(EngineError::WorkersUnavailable)
+        ));
     }
 }

@@ -14,7 +14,9 @@ use cdmpp_core::{Predictor, PredictorConfig, TrainConfig, TrainedModel};
 use features::{N_DEVICE_FEATURES, N_ENTRY};
 use learn::TransformKind;
 use proptest::prelude::*;
-use runtime::{plan_chunks, ChunkPolicy, EngineConfig, EngineError, InferenceEngine, PlannedChunk};
+use runtime::{
+    plan_chunks, ChunkPolicy, EngineConfig, EngineError, FaultPlan, InferenceEngine, PlannedChunk,
+};
 
 fn frozen_model() -> cdmpp_core::InferenceModel {
     let model = TrainedModel {
@@ -121,6 +123,8 @@ proptest! {
                 workers: 3,
                 max_batch,
                 policy,
+                faults: Some(FaultPlan::none()),
+                ..Default::default()
             },
         );
         let got = engine.predict_samples(&enc).unwrap();
@@ -150,6 +154,8 @@ fn boundary_sizes_round_trip_exactly() {
                     workers: 2,
                     max_batch,
                     policy,
+                    faults: Some(FaultPlan::none()),
+                    ..Default::default()
                 },
             );
             let got = engine.predict_samples(&enc).unwrap();
@@ -173,6 +179,8 @@ fn padded_dispatch_racing_shutdown_never_hangs_or_leaks_padding() {
             workers: 3,
             max_batch: 8,
             policy: ChunkPolicy::PadToClass { min_fill_pct: 50 },
+            faults: Some(FaultPlan::none()),
+            ..Default::default()
         },
     );
     std::thread::scope(|s| {
@@ -262,6 +270,8 @@ fn full_class_registry_demotes_policy_observably() {
             workers: 2,
             max_batch: 8,
             policy: ChunkPolicy::PadToClass { min_fill_pct: 50 },
+            faults: Some(FaultPlan::none()),
+            ..Default::default()
         },
     );
     assert_eq!(

@@ -16,12 +16,15 @@
 
 use cdmpp::core::{end_to_end_frozen, Snapshot};
 use cdmpp::prelude::*;
-use cdmpp::runtime::{EngineConfig, InferenceEngine};
+use cdmpp::runtime::{end_to_end_opts, EngineConfig, InferenceEngine, SubmitOptions};
 
 fn usage() -> ! {
     eprintln!("usage: cdmpp <network> <batch_size> <device>");
     eprintln!("       cdmpp train <device> --save <snapshot> [--epochs N]");
-    eprintln!("       cdmpp serve --snapshot <snapshot> <network> <batch_size> <device>");
+    eprintln!(
+        "       cdmpp serve --snapshot <snapshot> <network> <batch_size> <device> \
+         [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]"
+    );
     eprintln!("       cdmpp predict --snapshot <snapshot> <network> <batch_size> <device>");
     eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
     eprintln!(
@@ -191,27 +194,95 @@ fn load_model(path: &str) -> InferenceModel {
     }
 }
 
-/// `cdmpp serve --snapshot <path> <network> <batch> <device>`: cold-start
-/// the concurrent engine from the checkpoint and serve the prediction
-/// through the worker pool.
+/// Modification time of a file, if it exists.
+fn mtime(path: &str) -> Option<std::time::SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// `cdmpp serve --snapshot <path> <network> <batch> <device>
+///  [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]`:
+/// cold-start the concurrent engine from the checkpoint and serve
+/// predictions through the worker pool.
+///
+/// `--queue-cap` bounds the submission queue (0 = unbounded),
+/// `--deadline-ms` gives each iteration a completion deadline (expired
+/// work is shed with a typed error instead of served late), `--watch`
+/// hot-swaps the engine onto `<snapshot>` whenever the file's
+/// modification time changes between iterations — zero downtime, no
+/// restart — and `--iters` serves that many iterations (default 1).
 fn cmd_serve(args: &[String]) -> ! {
-    let (path, net, batch, dev) = parse_snapshot_args(args);
+    let mut positional: Vec<String> = Vec::new();
+    let mut queue_cap: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut watch: Option<String> = None;
+    let mut iters = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queue-cap" => {
+                queue_cap = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(c) => Some(c),
+                    None => usage(),
+                }
+            }
+            "--deadline-ms" => {
+                deadline_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) if ms >= 1 => Some(ms),
+                    _ => usage(),
+                }
+            }
+            "--watch" => watch = it.next().cloned().or_else(|| usage()),
+            "--iters" => {
+                iters = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                }
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let (path, net, batch, dev) = parse_snapshot_args(&positional);
     let model = load_model(&path);
-    let engine = InferenceEngine::new(model, EngineConfig::default());
+    let mut cfg = EngineConfig::default();
+    if let Some(cap) = queue_cap {
+        cfg.queue_capacity = cap;
+    }
+    let engine = InferenceEngine::new(model, cfg);
     eprintln!(
         "[cdmpp] serving with {} inference workers (zero training, zero recording)",
         engine.worker_count()
     );
-    match cdmpp::runtime::end_to_end(&engine, &net, &dev, 0) {
-        Ok(r) => {
-            print_result(&net, batch, &dev, &r);
-            std::process::exit(0);
+    let mut watched = watch.as_deref().and_then(mtime);
+    let mut failures = 0usize;
+    for i in 0..iters {
+        // Watched-path hot swap: a new checkpoint published between
+        // iterations cuts the engine over without dropping in-flight work.
+        if let Some(watch_path) = watch.as_deref() {
+            let now = mtime(watch_path);
+            if now.is_some() && now != watched {
+                watched = now;
+                match engine.swap_snapshot(watch_path) {
+                    Ok(generation) => {
+                        eprintln!("[cdmpp] hot-swapped onto {watch_path} (generation {generation})")
+                    }
+                    Err(e) => eprintln!("[cdmpp] hot swap of {watch_path} failed: {e}"),
+                }
+            }
         }
-        Err(e) => {
-            eprintln!("[cdmpp] inference failed: {e}");
-            std::process::exit(1);
+        let opts = match deadline_ms {
+            Some(ms) => SubmitOptions::deadline_within(std::time::Duration::from_millis(ms)),
+            None => SubmitOptions::default(),
+        };
+        match end_to_end_opts(&engine, &net, &dev, i as u64, &opts) {
+            Ok(r) => print_result(&net, batch, &dev, &r),
+            Err(e) => {
+                eprintln!("[cdmpp] iteration {i} failed: {e}");
+                failures += 1;
+            }
         }
     }
+    eprintln!("[cdmpp] engine stats: {}", engine.stats());
+    std::process::exit(if failures == iters { 1 } else { 0 });
 }
 
 /// `cdmpp predict --snapshot <path> <network> <batch> <device>`:
