@@ -239,6 +239,42 @@ fn bench_gemm(c: &mut Criterion) {
                 black_box(&bbuf);
             })
         });
+        let packed = tensor::PackedB::pack(b.data(), k, n);
+        let qi8 = tensor::QuantizedPackedB::pack(&tensor::QuantizedMatrix::quantize(
+            b.data(),
+            k,
+            n,
+            tensor::QuantKind::I8,
+        ));
+        let mut pbuf = vec![0.0f32; m * n];
+        g.bench_function(&format!("prepacked_f32/{label}"), |bch| {
+            bch.iter(|| {
+                tensor::gemm_prepacked(
+                    m,
+                    black_box(a.data()),
+                    black_box(&packed),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut pbuf,
+                )
+                .unwrap();
+                black_box(&pbuf);
+            })
+        });
+        g.bench_function(&format!("prepacked_i8/{label}"), |bch| {
+            bch.iter(|| {
+                tensor::gemm_prepacked_quant(
+                    m,
+                    black_box(a.data()),
+                    black_box(&qi8),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut pbuf,
+                )
+                .unwrap();
+                black_box(&pbuf);
+            })
+        });
     }
     g.finish();
     emit_json();
@@ -277,6 +313,123 @@ fn emit_json() {
             gflops(blocked),
             naive / blocked,
             autovec / blocked
+        ));
+    }
+
+    // Quantized serving GEMM: f32 vs i8 vs bf16 prepacked panels, the
+    // fixed-shape weight-GEMM path specialized plans dispatch to. All
+    // three run the same micro-kernel tier with f32 accumulation; the
+    // quantized paths dequantize each panel slab once into a per-thread
+    // scratch (amortized over row strips) or fuse dequant into the panel
+    // loads for single-strip calls. Two regimes per shape:
+    //
+    //  * `*_resident_ns`: one weight matrix reused back-to-back, panels
+    //    pinned in L1/L2. Compute-bound, so quantization can at best tie
+    //    f32 (same kernel + a small dequant pass).
+    //  * `*_prepacked_ns` (headline): successive calls rotate over enough
+    //    distinct weight matrices that the f32 panel working set exceeds
+    //    the LLC — the serving regime where a layer's panels have been
+    //    swept from cache between uses (layer stacks, multi-model
+    //    fleets). The 4x/2x smaller quantized panels cut the B-side
+    //    memory traffic that dominates here.
+    let rot_bytes: usize = match bench::scale() {
+        bench::Scale::Full => 384 << 20,
+        bench::Scale::Mid => 128 << 20,
+        bench::Scale::Quick => 64 << 20,
+    };
+    let mut quant_rows = Vec::new();
+    for &(m, k, n, label) in SHAPES {
+        let a = mk(m, k, 0.0);
+        let b = mk(k, n, 1.0);
+        let mut out = vec![0.0f32; m * n];
+        let rot = (rot_bytes / (k * n * 4)).max(2);
+
+        let resident_f32;
+        let rot_f32;
+        {
+            let packs: Vec<tensor::PackedB> = (0..rot)
+                .map(|_| tensor::PackedB::pack(b.data(), k, n))
+                .collect();
+            resident_f32 = median_ns(150, || {
+                tensor::gemm_prepacked(
+                    m,
+                    black_box(a.data()),
+                    black_box(&packs[0]),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut out,
+                )
+                .unwrap();
+                black_box(&out);
+            });
+            let mut i = 0usize;
+            rot_f32 = median_ns(300, || {
+                i = (i + 1) % rot;
+                tensor::gemm_prepacked(
+                    m,
+                    black_box(a.data()),
+                    black_box(&packs[i]),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut out,
+                )
+                .unwrap();
+                black_box(&out);
+            });
+        }
+        let mut quant_pair = |kind: tensor::QuantKind| {
+            let packs: Vec<tensor::QuantizedPackedB> = (0..rot)
+                .map(|_| {
+                    tensor::QuantizedPackedB::pack(&tensor::QuantizedMatrix::quantize(
+                        b.data(),
+                        k,
+                        n,
+                        kind,
+                    ))
+                })
+                .collect();
+            let resident = median_ns(150, || {
+                tensor::gemm_prepacked_quant(
+                    m,
+                    black_box(a.data()),
+                    black_box(&packs[0]),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut out,
+                )
+                .unwrap();
+                black_box(&out);
+            });
+            let mut i = 0usize;
+            let rotated = median_ns(300, || {
+                i = (i + 1) % rot;
+                tensor::gemm_prepacked_quant(
+                    m,
+                    black_box(a.data()),
+                    black_box(&packs[i]),
+                    None,
+                    tensor::Activation::Identity,
+                    &mut out,
+                )
+                .unwrap();
+                black_box(&out);
+            });
+            (resident, rotated)
+        };
+        let (resident_i8, rot_i8) = quant_pair(tensor::QuantKind::I8);
+        let (resident_bf16, rot_bf16) = quant_pair(tensor::QuantKind::Bf16);
+        quant_rows.push(format!(
+            "    {{\"shape\": \"{label}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+             \"weight_matrices\": {rot}, \
+             \"f32_prepacked_ns\": {rot_f32:.0}, \"i8_prepacked_ns\": {rot_i8:.0}, \
+             \"bf16_prepacked_ns\": {rot_bf16:.0}, \
+             \"i8_vs_f32\": {:.2}, \"bf16_vs_f32\": {:.2}, \
+             \"f32_resident_ns\": {resident_f32:.0}, \"i8_resident_ns\": {resident_i8:.0}, \
+             \"bf16_resident_ns\": {resident_bf16:.0}, \
+             \"i8_vs_f32_resident\": {:.2}}}",
+            rot_f32 / rot_i8,
+            rot_f32 / rot_bf16,
+            resident_f32 / resident_i8
         ));
     }
 
@@ -357,10 +510,11 @@ fn emit_json() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"gemm\",\n  \"host_cores\": {cores},\n  \"kernel_tier\": \"{tier}\",\n  \"batch_rows\": {bs},\n  \"note\": \"gemm rows are single-core kernel-vs-kernel (both sides reuse output buffers; global pool pinned to 1 thread); simd_vs_autovec compares the runtime-selected micro-kernel against a replica of the pre-SIMD autovectorized 4x8 tile over the same blocking. gemm_parallel and parallel_train_step rows on a 1-core host measure dispatch/sharding overhead only - rerun on a multi-core machine for scaling numbers.\",\n  \
-         \"gemm\": [\n{}\n  ],\n  \"gemm_parallel\": [\n{}\n  ],\n  \"training_step\": [\n{}\n  ],\n  \
+        "{{\n  \"bench\": \"gemm\",\n  \"host_cores\": {cores},\n  \"kernel_tier\": \"{tier}\",\n  \"batch_rows\": {bs},\n  \"note\": \"gemm rows are single-core kernel-vs-kernel (both sides reuse output buffers; global pool pinned to 1 thread); simd_vs_autovec compares the runtime-selected micro-kernel against a replica of the pre-SIMD autovectorized 4x8 tile over the same blocking. gemm_quant rows compare the prepacked serving GEMM over f32 panels against i8/bf16 quantized panels (dequant into per-thread scratch amortized over row strips, or fused into the panel loads for single-strip calls; f32 accumulation either way). Headline *_prepacked_ns columns rotate each call over weight_matrices distinct matrices so the f32 panel working set exceeds the LLC - the cold-weights serving regime (layer stacks, multi-model fleets) where B-panel memory traffic binds and the 4x smaller i8 panels stay cache-resident; i8_vs_f32 > 1 means i8 is faster there. *_resident_ns columns reuse one cache-hot matrix back-to-back - compute-bound, so quantized at best ties f32 (same kernel plus a dequant pass); i8_vs_f32_resident reports that regime. gemm_parallel and parallel_train_step rows on a 1-core host measure dispatch/sharding overhead only - rerun on a multi-core machine for scaling numbers.\",\n  \
+         \"gemm\": [\n{}\n  ],\n  \"gemm_quant\": [\n{}\n  ],\n  \"gemm_parallel\": [\n{}\n  ],\n  \"training_step\": [\n{}\n  ],\n  \
          \"engine_throughput\": [\n{}\n  ]\n}}\n",
         gemm_rows.join(",\n"),
+        quant_rows.join(",\n"),
         par_rows.join(",\n"),
         step_rows.join(",\n"),
         engine_rows.join(",\n"),

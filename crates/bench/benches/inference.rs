@@ -304,6 +304,52 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         ),
     ];
 
+    // Quantized serving: the same compiled-plan request stream served
+    // from f32 / bf16 / i8 frozen weights. Quantized panels feed the
+    // fused-dequant prepacked GEMMs; `serving_weights_bytes` counts the
+    // resident weight set (quantized storage + packed panels), and
+    // `accuracy_delta` is the mean relative prediction error vs the f32
+    // stream — gated in `cargo test` (i8 <= 0.05, bf16 <= 0.01) and
+    // reported here.
+    let f32_preds = frozen.predict_samples(enc).unwrap();
+    let mut quant_rows = Vec::new();
+    let mut f32_stream_ns = 0.0f64;
+    for mode in [
+        tensor::QuantMode::F32,
+        tensor::QuantMode::Bf16,
+        tensor::QuantMode::I8,
+    ] {
+        let qm = model.freeze_quantized(mode);
+        let mut runner = PlanRunner::new();
+        // Warm plans and the quantized pack cache before timing or
+        // measuring the resident footprint.
+        let preds = qm.predict_samples_with(&mut runner, enc).unwrap();
+        let t = median_ns(300, || {
+            black_box(
+                qm.predict_samples_with(&mut runner, black_box(enc))
+                    .unwrap(),
+            );
+        });
+        if mode == tensor::QuantMode::F32 {
+            f32_stream_ns = t;
+        }
+        let delta = preds
+            .iter()
+            .zip(f32_preds.iter())
+            .map(|(&q, &e)| (q - e).abs() / e.abs().max(1e-6))
+            .sum::<f64>()
+            / preds.len() as f64;
+        quant_rows.push(format!(
+            "    {{\"weights\": \"{}\", \"ns_per_stream\": {t:.0}, \
+             \"requests_per_s\": {:.0}, \"speedup_vs_f32\": {:.2}, \
+             \"serving_weights_bytes\": {}, \"accuracy_delta_vs_f32\": {delta:.6}}}",
+            mode.name(),
+            enc.len() as f64 * 1e9 / t,
+            f32_stream_ns / t,
+            qm.predictor.serving_weights_bytes()
+        ));
+    }
+
     // Engine scheduling comparison: the same mixed-size request load
     // through one worker under each chunking policy. `ragged` replays
     // everything on the batch-generic plan (the pre-specialization
@@ -386,11 +432,12 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"inference_plan\",\n  \"host_cores\": {cores},\n  \
-         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan/spec replay by reference with a warmed arena. engine_scheduling drives one worker with a mixed-size request load under each chunk policy.\",\n  \
+         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan/spec replay by reference with a warmed arena. quantized_serving serves the plan stream from f32/bf16/i8 frozen weights (fused-dequant prepacked GEMMs, warmed pack cache); accuracy_delta_vs_f32 is the mean relative prediction error and is additionally asserted against the gate (i8 <= 0.05, bf16 <= 0.01) in cargo test. engine_scheduling drives one worker with a mixed-size request load under each chunk policy.\",\n  \
          \"plan_stats_leaf8\": {stats_json},\n  \
-         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ],\n  \"engine_scheduling\": [\n{}\n  ]\n}}\n",
+         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ],\n  \"quantized_serving\": [\n{}\n  ],\n  \"engine_scheduling\": [\n{}\n  ]\n}}\n",
         batch_rows.join(",\n"),
         stream_rows.join(",\n"),
+        quant_rows.join(",\n"),
         engine_rows.join(",\n")
     );
     let path = std::env::var("BENCH_INFERENCE_JSON").unwrap_or_else(|_| {

@@ -98,20 +98,54 @@ fn bench_snapshot(c: &mut Criterion) {
     let loaded = InferenceModel::from_snapshot_bytes(&bytes).unwrap();
     assert_eq!(loaded.predictor.plan_compile_count(), 0);
 
+    // Storage-format footprint: the same model checkpointed under each
+    // weight storage variant. `snapshot_file_bytes` is the on-disk size
+    // (quantized blobs replace the f32 section); `serving_weights_bytes`
+    // is the freshly loaded model's resident weight set (quantized
+    // storage plus whatever panels snapshot plan-seeding packed).
+    let plan_leaves: Vec<usize> = (1..=pcfg.max_leaves).collect();
+    let mut variant_rows = Vec::new();
+    let mut f32_file = 0usize;
+    for mode in [
+        tensor::QuantMode::F32,
+        tensor::QuantMode::Bf16,
+        tensor::QuantMode::I8,
+    ] {
+        let qsnap = Snapshot::capture_quantized(&model, &plan_leaves, mode).unwrap();
+        let qbytes = qsnap.to_bytes();
+        let qload_ms = median_ms(9, || {
+            black_box(InferenceModel::from_snapshot_bytes(black_box(&qbytes)).unwrap());
+        });
+        let qloaded = InferenceModel::from_snapshot_bytes(&qbytes).unwrap();
+        if mode == tensor::QuantMode::F32 {
+            f32_file = qbytes.len();
+        }
+        variant_rows.push(format!(
+            "    {{\"weights\": \"{}\", \"snapshot_file_bytes\": {}, \
+             \"serving_weights_bytes\": {}, \"file_vs_f32\": {:.2}, \
+             \"load_ms\": {qload_ms:.2}}}",
+            mode.name(),
+            qbytes.len(),
+            qloaded.predictor.serving_weights_bytes(),
+            qbytes.len() as f64 / f32_file.max(1) as f64
+        ));
+    }
+
     let cold_no_snap = train_ms + plan_compile_ms;
     let json = format!(
         "{{\n  \"bench\": \"snapshot_cold_start\",\n  \
          \"scale\": \"{:?}\",\n  \
-         \"note\": \"cold start to a serving model: train+record (what every CLI run used to pay) vs one-file snapshot load (decode + weight checks + plan re-validation + cache seeding; zero recording, counter-asserted).\",\n  \
+         \"note\": \"cold start to a serving model: train+record (what every CLI run used to pay) vs one-file snapshot load (decode + weight checks + plan re-validation + cache seeding; zero recording, counter-asserted). storage_variants checkpoints the same model with f32/bf16/i8 weight storage and reports on-disk and resident-serving footprints.\",\n  \
          \"snapshot_bytes\": {},\n  \"plans\": {},\n  \"weight_tensors\": {},\n  \
          \"train_ms\": {train_ms:.1},\n  \"plan_compile_ms\": {plan_compile_ms:.2},\n  \
          \"snapshot_save_ms\": {snapshot_save_ms:.2},\n  \"snapshot_load_ms\": {snapshot_load_ms:.2},\n  \
-         \"cold_start_speedup\": {:.0}\n}}\n",
+         \"cold_start_speedup\": {:.0},\n  \"storage_variants\": [\n{}\n  ]\n}}\n",
         bench::scale(),
         bytes.len(),
         snap.plans.len(),
         snap.params.len(),
         cold_no_snap / snapshot_load_ms.max(1e-9),
+        variant_rows.join(",\n"),
     );
     let path = std::env::var("BENCH_SNAPSHOT_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_snapshot.json", env!("CARGO_MANIFEST_DIR")));

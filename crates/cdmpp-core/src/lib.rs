@@ -39,13 +39,13 @@ pub use e2e::{
 };
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
 pub use predictor::{
-    PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor, DEFAULT_MAX_BATCH,
-    MAX_BATCH_CLASSES,
+    forced_quant_mode, PlanRunner, PredictError, Predictor, PredictorConfig, SharedPredictor,
+    DEFAULT_MAX_BATCH, MAX_BATCH_CLASSES,
 };
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
 pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
-pub use snapshot::{ParamTensor, PlanEntry, Snapshot, SnapshotError, SpecPlanEntry};
+pub use snapshot::{ParamTensor, PlanEntry, QuantTensor, Snapshot, SnapshotError, SpecPlanEntry};
 pub use trainer::{
     evaluate, pretrain, train_step, train_step_parallel, EvalMetrics, InferenceModel, LossKind,
     OptKind, TrainConfig, TrainStats, TrainedModel,

@@ -33,9 +33,27 @@ use nn::plan::{Plan, PlanError, PlanExec, Recorder, SpecExec, SpecializedPlan, W
 use nn::{Exec, Graph, InferCtx, Linear, Mlp, ParamStore, TransformerEncoder, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::{Tensor, TensorError};
+use tensor::{QuantMode, Tensor, TensorError};
 
 use features::{N_DEVICE_FEATURES, N_ENTRY};
+
+/// The quantization mode forced on every freeze boundary of this process
+/// via `CDMPP_QUANT=i8|bf16` (the CI `test-quantized` job and ad-hoc A/B
+/// runs). Read once and cached: a process serves consistently-quantized
+/// frozen artifacts or consistently-f32 ones, never a mix. Unset or
+/// unrecognized values mean [`QuantMode::F32`] (no forcing). Snapshot
+/// *loading* never consults this — a file's quantization is whatever the
+/// file declares, so pre-quantization snapshots stay byte-canonical even
+/// in a forced process.
+pub fn forced_quant_mode() -> QuantMode {
+    static MODE: OnceLock<QuantMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("CDMPP_QUANT")
+            .ok()
+            .and_then(|v| QuantMode::parse(&v))
+            .unwrap_or(QuantMode::F32)
+    })
+}
 
 /// Errors from predictor execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -490,11 +508,28 @@ impl Predictor {
     /// The parameters are copied **once** into an `Arc`; clones of the
     /// returned handle are cheap and all read the same weights. This is the
     /// serving path — worker threads no longer deep-clone the store.
+    /// Honors [`forced_quant_mode`]; use
+    /// [`Predictor::share_quantized`] to pick the mode explicitly.
     pub fn share(&self) -> SharedPredictor {
+        self.share_quantized(forced_quant_mode())
+    }
+
+    /// [`Predictor::share`] with the weight storage format chosen
+    /// explicitly: `Bf16` / `I8` quantize every rank-2 weight matrix once,
+    /// here, and replace the frozen copy's f32 values with the dequantized
+    /// numbers — so every executor of this frozen handle (fused quantized
+    /// GEMMs, generic plans, `InferCtx`) computes from identical weights
+    /// and stays bit-identical to the others. The training-side store is
+    /// untouched.
+    pub fn share_quantized(&self, mode: QuantMode) -> SharedPredictor {
+        // Values only: freezing must not drag the training-side
+        // gradient buffers (as large as the weights) along.
+        let mut store = self.store.clone_values();
+        if let Some(kind) = mode.kind() {
+            store.quantize_weights(kind);
+        }
         SharedPredictor {
-            // Values only: freezing must not drag the training-side
-            // gradient buffers (as large as the weights) along.
-            params: Arc::new(self.store.clone_values()),
+            params: Arc::new(store),
             arch: self.arch.clone(),
             cfg: self.cfg.clone(),
             // Plans bake in parameter *shapes*, not values, so the frozen
@@ -574,11 +609,24 @@ impl Predictor {
     /// Consumes the predictor into a thread-shareable handle **without
     /// copying the weights** (the gradient buffers are dropped in place).
     /// Use this over [`Predictor::share`] when the training-side predictor
-    /// is no longer needed — e.g. after loading from a snapshot, where the
-    /// loaded weights move straight into the served `Arc`.
+    /// is no longer needed — e.g. the CLI's train-then-serve flow. Honors
+    /// [`forced_quant_mode`] like [`Predictor::share`].
     pub fn into_shared(self) -> SharedPredictor {
+        self.into_shared_quantized(forced_quant_mode())
+    }
+
+    /// [`Predictor::into_shared`] with the storage format chosen
+    /// explicitly; see [`Predictor::share_quantized`] for the contract.
+    /// Parameters that already carry a quantized encoding (the
+    /// snapshot-load path installs them from the file) are never
+    /// re-quantized — the file's blob is canonical.
+    pub fn into_shared_quantized(self, mode: QuantMode) -> SharedPredictor {
+        let mut store = self.store.into_values();
+        if let Some(kind) = mode.kind() {
+            store.quantize_weights(kind);
+        }
         SharedPredictor {
-            params: Arc::new(self.store.into_values()),
+            params: Arc::new(store),
             arch: self.arch,
             cfg: self.cfg,
             plans: self.plans,
@@ -639,6 +687,42 @@ impl SharedPredictor {
     /// [`InferCtx`]).
     pub fn params(&self) -> &ParamStore {
         &self.params
+    }
+
+    /// The storage format of this handle's quantized weights, or `None`
+    /// for a plain f32 freeze (all weight matrices share one kind — a
+    /// freeze quantizes all of them or none).
+    pub fn quant_kind(&self) -> Option<tensor::QuantKind> {
+        self.params
+            .ids()
+            .find_map(|id| self.params.quant(id))
+            .map(|q| q.kind())
+    }
+
+    /// Bytes of weight storage the serving hot path reads: per parameter,
+    /// its quantized encoding when one is installed (blob + scales) or
+    /// its f32 values otherwise, plus every prepacked GEMM panel folded
+    /// so far (grows as batch classes fold). Quantized parameters also
+    /// keep a dequantized f32 copy backing the generic fallback
+    /// executors; that cold copy is deliberately not counted — this is
+    /// the benches' serving-footprint column, comparing what each storage
+    /// mode makes the GEMM path touch.
+    pub fn serving_weights_bytes(&self) -> usize {
+        let param_bytes: usize = self
+            .params
+            .ids()
+            .map(|id| match self.params.quant(id) {
+                Some(q) => q.serving_bytes(),
+                None => self.params.value(id).data().len() * 4,
+            })
+            .sum();
+        let panel_bytes = self
+            .spec
+            .packs
+            .lock()
+            .expect("pack cache lock")
+            .panel_bytes();
+        param_bytes + panel_bytes
     }
 
     /// One forward pass on any executor (typically an [`InferCtx`] borrowing
@@ -871,6 +955,29 @@ mod tests {
         (x, dev)
     }
 
+    /// Asserts outputs across the freeze boundary. Bitwise by default;
+    /// when `CDMPP_QUANT` forces a quantized freeze, the frozen side
+    /// carries quantization error relative to the training-side oracle,
+    /// so the comparison switches to a loose tolerance. Frozen-vs-frozen
+    /// comparisons must stay `assert_eq!` — they are bitwise regardless.
+    fn assert_freeze_close<T>(got: &[T], want: &[T], ctx: &str)
+    where
+        T: Copy + PartialEq + std::fmt::Debug + Into<f64>,
+    {
+        assert_eq!(got.len(), want.len(), "{ctx}: length");
+        if forced_quant_mode() == QuantMode::F32 {
+            assert_eq!(got, want, "{ctx}");
+        } else {
+            for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+                let (g, w): (f64, f64) = (g.into(), w.into());
+                assert!(
+                    (g - w).abs() <= 0.15,
+                    "{ctx}: [{i}] {g} vs {w} beyond quantization tolerance"
+                );
+            }
+        }
+    }
+
     #[test]
     fn forward_shapes() {
         let p = Predictor::new(PredictorConfig::default());
@@ -953,14 +1060,14 @@ mod tests {
         let (x, dev) = batch(3, 4);
         let a = p.predict_batch(x.clone(), dev.clone()).unwrap();
         let b = shared.predict_batch(x.clone(), dev.clone()).unwrap();
-        assert_eq!(a, b);
+        assert_freeze_close(&a, &b, "owner vs shared");
         // And through a reused context (buffer recycling path).
         let mut ctx = InferCtx::new(shared.params());
         let c1 = shared
             .predict_with(&mut ctx, x.clone(), dev.clone())
             .unwrap();
         let c2 = shared.predict_with(&mut ctx, x, dev).unwrap();
-        assert_eq!(a, c1);
+        assert_eq!(b, c1, "both frozen-side: must stay bitwise");
         assert_eq!(c1, c2);
     }
 
@@ -1091,7 +1198,10 @@ mod tests {
         let (x, dev) = batch(5, 4);
         let planned = shared.latent_planned(&mut runner, &x, &dev).unwrap();
         let fast = p.latent_batch(x, dev).unwrap();
-        assert_eq!(planned, fast);
+        assert_eq!(planned.len(), fast.len());
+        for (i, (pl, fa)) in planned.iter().zip(&fast).enumerate() {
+            assert_freeze_close(pl, fa, &format!("latent row {i}"));
+        }
     }
 
     #[test]
@@ -1116,7 +1226,7 @@ mod tests {
             let (x, dev) = batch(b, 3);
             let routed = shared.predict_planned(&mut runner, &x, &dev).unwrap();
             let generic = p.predict_batch(x.clone(), dev.clone()).unwrap();
-            assert_eq!(routed, generic, "b={b}");
+            assert_freeze_close(&routed, &generic, &format!("b={b}"));
             let _ = expect_spec;
         }
         assert_eq!(

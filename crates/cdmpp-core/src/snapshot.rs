@@ -9,7 +9,7 @@
 //! recording** (counter-asserted by [`SharedPredictor::plan_compile_count`]
 //! staying at zero).
 //!
-//! ## File layout (version 1)
+//! ## File layout
 //!
 //! ```text
 //! offset  size  field
@@ -17,10 +17,25 @@
 //! 8       4     format version, u32 little-endian
 //! 12      8     header length H, u64 little-endian
 //! 20      H     JSON header (UTF-8): config, use_pe, transform, scaler,
-//!               parameter names + shapes, serialized plans
-//! 20+H    4·Σ   weight blob: each parameter's f32 data, little-endian,
-//!               concatenated in header order
+//!               parameter names + shapes, serialized plans, and the
+//!               optional trailing sections `spec_plans` and `quant`
+//! 20+H    4·Σ   weight blob: each *non-quantized* parameter's f32 data,
+//!               little-endian, concatenated in header order
+//! …       Σq    quantized blobs (only when `quant` is present): each
+//!               entry's raw i8 / bf16 elements, row-major, concatenated
+//!               in `quant` order; lengths implied by kind × param shape
 //! ```
+//!
+//! The `quant` section is additive: files without it load exactly as
+//! before and reserialize byte-identically (optional sections are emitted
+//! only when non-empty, in a fixed canonical order). When present, each
+//! entry carries a parameter's canonical quantized encoding (i8 with
+//! per-column-group scales, or bf16), which **replaces** that parameter's
+//! f32 data in the weight blob — the f32 numbers are reconstructed as the
+//! blob's exact dequantization on decode, which is both the file-size win
+//! and what keeps every executor bitwise consistent. On load the encoding
+//! is installed into the store so serving packs GEMM panels straight from
+//! the quantized bytes.
 //!
 //! Weights travel as raw little-endian f32 bits (not JSON), so a
 //! save → load round trip is bit-exact and `save(load(x))` reproduces
@@ -50,7 +65,7 @@ use std::sync::Arc;
 use learn::FittedTransform;
 use nn::{Plan, PlanDesc};
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{QuantKind, QuantMode, QuantizedMatrix, Tensor};
 
 use crate::batch::FeatScaler;
 use crate::predictor::{PredictResult, Predictor, PredictorConfig};
@@ -220,6 +235,35 @@ pub struct PlanEntry {
     pub plan: PlanDesc,
 }
 
+/// One quantized weight declaration in the JSON header: which parameter,
+/// which storage kind, and its dequantization scales. The quantized
+/// element blob itself rides in the binary section, appended after the
+/// f32 weight data in header order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QuantMeta {
+    /// Index into the header's `params`, strictly ascending.
+    param: usize,
+    /// Storage kind name ([`QuantKind::name`]).
+    kind: String,
+    /// Per-column-group dequantization scales (i8; empty for bf16).
+    scales: Vec<f32>,
+}
+
+/// One parameter's canonical quantized encoding, as carried by a
+/// [`Snapshot`]. The matrix is the source of truth: its blob is written
+/// verbatim on save and re-installed verbatim on load (never
+/// re-quantized — i8 re-quantization of dequantized values would drift),
+/// and the parameter's f32 [`ParamTensor`] data must equal its
+/// dequantization exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    /// Index of the parameter this encoding belongs to, strictly
+    /// ascending across the snapshot's `quants`.
+    pub param: usize,
+    /// The canonical quantized values + scales.
+    pub matrix: QuantizedMatrix,
+}
+
 /// One batch-specialization request: fold the generic plan for `leaves`
 /// at batch size `batch` on load.
 ///
@@ -253,6 +297,7 @@ struct Header {
     params: Vec<ParamMeta>,
     plans: Vec<PlanEntry>,
     spec_plans: Vec<SpecPlanEntry>,
+    quants: Vec<QuantMeta>,
 }
 
 impl Serialize for Header {
@@ -272,6 +317,10 @@ impl Serialize for Header {
         if !self.spec_plans.is_empty() {
             out.push_str(",\"spec_plans\":");
             self.spec_plans.serialize_json(out);
+        }
+        if !self.quants.is_empty() {
+            out.push_str(",\"quant\":");
+            self.quants.serialize_json(out);
         }
         out.push('}');
     }
@@ -297,13 +346,32 @@ impl serde::Deserialize for Header {
         p.expect_byte(b',')?;
         p.expect_key("plans")?;
         let plans = serde::Deserialize::deserialize_json(p)?;
-        let spec_plans = if p.peek() == Some(b',') {
+        // Optional trailing sections, added after v1 shipped. Canonical
+        // order is `spec_plans` then `quant`, each at most once and each
+        // emitted only when non-empty — the dispatch below enforces the
+        // order, so equal headers always have equal bytes.
+        let mut spec_plans: Vec<SpecPlanEntry> = Vec::new();
+        let mut quants: Vec<QuantMeta> = Vec::new();
+        let mut seen_quant = false;
+        let mut seen_spec = false;
+        while p.peek() == Some(b',') {
             p.expect_byte(b',')?;
-            p.expect_key("spec_plans")?;
-            serde::Deserialize::deserialize_json(p)?
-        } else {
-            Vec::new()
-        };
+            let key = p.parse_string()?;
+            p.expect_byte(b':')?;
+            match key.as_str() {
+                "spec_plans" if !seen_spec && !seen_quant => {
+                    spec_plans = serde::Deserialize::deserialize_json(p)?;
+                    seen_spec = true;
+                }
+                "quant" if !seen_quant => {
+                    quants = serde::Deserialize::deserialize_json(p)?;
+                    seen_quant = true;
+                }
+                other => {
+                    return Err(p.error(format!("unexpected header field '{other}'")));
+                }
+            }
+        }
         p.expect_byte(b'}')?;
         Ok(Header {
             config,
@@ -313,6 +381,7 @@ impl serde::Deserialize for Header {
             params,
             plans,
             spec_plans,
+            quants,
         })
     }
 }
@@ -358,13 +427,41 @@ pub struct Snapshot {
     /// generic plan for one batch class on load, so the restored model
     /// serves class-size batches through shape-final plans immediately.
     pub spec_plans: Vec<SpecPlanEntry>,
+    /// Canonical quantized encodings for a subset of the parameters,
+    /// ascending by param index. Optional (pre-quantization files have
+    /// none). Each entry's parameter must be rank-2 and its f32 data in
+    /// `params` must equal the matrix's dequantization bit-for-bit; on
+    /// disk the quantized blob **replaces** the parameter's f32 data (the
+    /// f32 numbers are reconstructed by dequantizing on decode), which is
+    /// where the file-size reduction comes from.
+    pub quants: Vec<QuantTensor>,
 }
 
 impl Snapshot {
     /// Captures a trained model plus compiled plans for the given leaf
     /// counts (compiling any that are not cached yet, so the snapshot ships
     /// pre-fused plans to runners that never see the recorder).
+    ///
+    /// Honors the `CDMPP_QUANT` override ([`crate::forced_quant_mode`]),
+    /// exactly like [`TrainedModel::freeze`] — capture and freeze are both
+    /// freeze boundaries, so a forced mode yields a frozen model and a
+    /// saved file with identical serving weights.
     pub fn capture(model: &TrainedModel, plan_leaves: &[usize]) -> PredictResult<Snapshot> {
+        Snapshot::capture_quantized(model, plan_leaves, crate::predictor::forced_quant_mode())
+    }
+
+    /// [`Snapshot::capture`] with an explicit weight-storage mode. With
+    /// [`QuantMode::F32`] the snapshot is the classic full-precision
+    /// checkpoint; with `Bf16`/`I8` every rank-2 parameter is quantized
+    /// once here and the snapshot carries both the canonical quantized
+    /// blob and its exact dequantization as the f32 weights — so loading
+    /// the file and freezing the model in-process produce bitwise
+    /// identical serving weights, and the file round-trips canonically.
+    pub fn capture_quantized(
+        model: &TrainedModel,
+        plan_leaves: &[usize],
+        mode: QuantMode,
+    ) -> PredictResult<Snapshot> {
         let p = &model.predictor;
         let mut plans = Vec::with_capacity(plan_leaves.len());
         let mut leaves: Vec<usize> = plan_leaves.to_vec();
@@ -376,14 +473,34 @@ impl Snapshot {
                 plan: p.plan_for(l)?.to_desc(),
             });
         }
+        let mut params = store_params(&p.store);
+        let mut quants = Vec::new();
+        if let Some(kind) = mode.kind() {
+            // Quantize rank-2 parameters exactly like
+            // `ParamStore::quantize_weights` does at freeze time, and
+            // overwrite the captured f32 data with the dequantization so
+            // the two sections agree bit-for-bit.
+            for (idx, pt) in params.iter_mut().enumerate() {
+                if pt.shape.len() != 2 {
+                    continue;
+                }
+                let q = QuantizedMatrix::quantize(&pt.data, pt.shape[0], pt.shape[1], kind);
+                pt.data = q.dequantize();
+                quants.push(QuantTensor {
+                    param: idx,
+                    matrix: q,
+                });
+            }
+        }
         Ok(Snapshot {
             config: p.config().clone(),
             use_pe: model.use_pe,
             transform: model.transform.clone(),
             scaler: model.scaler.clone(),
-            params: store_params(&p.store),
+            params,
             plans,
             spec_plans: Vec::new(),
+            quants,
         })
     }
 
@@ -453,12 +570,26 @@ impl Snapshot {
     /// holds (for a snapshot-loaded model: exactly the plans of the file
     /// it came from).
     pub fn from_inference(model: &InferenceModel) -> Snapshot {
+        // Re-emit the store's quantized encodings verbatim — never
+        // re-quantize (i8 quantization of already-dequantized values is
+        // not idempotent), so a loaded file reserializes byte-identically.
+        let store = model.predictor.params();
+        let quants = store
+            .ids()
+            .enumerate()
+            .filter_map(|(idx, id)| {
+                store.quant(id).map(|q| QuantTensor {
+                    param: idx,
+                    matrix: (**q).clone(),
+                })
+            })
+            .collect();
         Snapshot {
             config: model.predictor.config().clone(),
             use_pe: model.use_pe,
             transform: model.transform.clone(),
             scaler: model.scaler.clone(),
-            params: store_params(model.predictor.params()),
+            params: store_params(store),
             plans: model
                 .predictor
                 .compiled_plans()
@@ -474,6 +605,7 @@ impl Snapshot {
                 .into_iter()
                 .map(|(leaves, batch)| SpecPlanEntry { leaves, batch })
                 .collect(),
+            quants,
         }
     }
 
@@ -495,6 +627,15 @@ impl Snapshot {
                 .collect(),
             plans: self.plans.clone(),
             spec_plans: self.spec_plans.clone(),
+            quants: self
+                .quants
+                .iter()
+                .map(|q| QuantMeta {
+                    param: q.param,
+                    kind: q.matrix.kind().name().to_string(),
+                    scales: q.matrix.scales().to_vec(),
+                })
+                .collect(),
         };
         let json = serde_json::to_string(&header).expect("header serialization is infallible");
         let weight_bytes: usize = self.params.iter().map(|p| p.data.len() * 4).sum();
@@ -503,10 +644,24 @@ impl Snapshot {
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
         out.extend_from_slice(&(json.len() as u64).to_le_bytes());
         out.extend_from_slice(json.as_bytes());
-        for p in &self.params {
+        // A quantized parameter's f32 data is *replaced* on disk by its
+        // quantized blob (the f32 numbers are its exact dequantization,
+        // reconstructed on decode) — that substitution is the file-size
+        // win. Non-quantized parameters write f32 as always.
+        let quantized: std::collections::HashSet<usize> =
+            self.quants.iter().map(|q| q.param).collect();
+        for (idx, p) in self.params.iter().enumerate() {
+            if quantized.contains(&idx) {
+                continue;
+            }
             for v in &p.data {
                 out.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        // Quantized element blobs ride after the f32 weights, in header
+        // order; lengths are implied by each entry's (kind, shape).
+        for q in &self.quants {
+            out.extend_from_slice(q.matrix.data());
         }
         out
     }
@@ -622,9 +777,80 @@ impl Snapshot {
             ));
         }
 
-        // The weight blob must match the declarations exactly.
+        // Quantization declarations: every blob length is derived from an
+        // already-capped parameter shape and checked here, before any
+        // allocation sized by the file.
+        if header.quants.len() > header.params.len() {
+            return Err(SnapshotError::Limit {
+                what: "quantized-parameter count",
+                value: header.quants.len(),
+                max: header.params.len(),
+            });
+        }
+        if header.quants.windows(2).any(|w| w[0].param >= w[1].param) {
+            return Err(SnapshotError::Header(
+                "quantized parameters must be in strictly ascending index order".into(),
+            ));
+        }
+        let mut quant_blob_bytes = 0usize;
+        let mut quant_numel = 0usize;
+        let mut quant_dims = Vec::with_capacity(header.quants.len());
+        for q in &header.quants {
+            let param_err = |name: &str, reason: String| SnapshotError::Param {
+                name: name.to_string(),
+                reason,
+            };
+            let meta = header.params.get(q.param).ok_or_else(|| {
+                SnapshotError::Header(format!(
+                    "quant entry references parameter {} of {}",
+                    q.param,
+                    header.params.len()
+                ))
+            })?;
+            if meta.shape.len() != 2 {
+                return Err(param_err(
+                    &meta.name,
+                    format!(
+                        "quantized but rank {} (only rank-2 supported)",
+                        meta.shape.len()
+                    ),
+                ));
+            }
+            let kind = QuantKind::parse(&q.kind)
+                .ok_or_else(|| param_err(&meta.name, format!("unknown quant kind '{}'", q.kind)))?;
+            let (k, n) = (meta.shape[0], meta.shape[1]);
+            if q.scales.len() != kind.scale_count(n) {
+                return Err(param_err(
+                    &meta.name,
+                    format!(
+                        "{} scales declared, {} kind needs {} for n = {n}",
+                        q.scales.len(),
+                        kind.name(),
+                        kind.scale_count(n)
+                    ),
+                ));
+            }
+            let blob_len = k
+                .checked_mul(n)
+                .and_then(|e| e.checked_mul(kind.bytes_per_elem()))
+                .ok_or(SnapshotError::Limit {
+                    what: "quantized blob bytes",
+                    value: usize::MAX,
+                    max: MAX_TENSOR_NUMEL * 4,
+                })?;
+            quant_blob_bytes += blob_len;
+            quant_numel += k * n;
+            quant_dims.push((kind, k, n, blob_len));
+        }
+
+        // The binary section must match the declarations exactly: the f32
+        // data of every *non-quantized* parameter first (a quantized
+        // parameter's f32 data lives only as its blob's dequantization),
+        // then each quantized blob in header order.
+        let quantized: std::collections::HashSet<usize> =
+            header.quants.iter().map(|q| q.param).collect();
         let blob = &bytes[20 + header_len..];
-        let needed = total_numel * 4;
+        let needed = (total_numel - quant_numel) * 4 + quant_blob_bytes;
         need("weight data", needed, blob.len())?;
         if blob.len() > needed {
             return Err(SnapshotError::TrailingBytes {
@@ -633,7 +859,16 @@ impl Snapshot {
         }
         let mut params = Vec::with_capacity(header.params.len());
         let mut at = 0usize;
-        for meta in header.params {
+        for (idx, meta) in header.params.into_iter().enumerate() {
+            if quantized.contains(&idx) {
+                // Filled in below, from the dequantized blob.
+                params.push(ParamTensor {
+                    name: meta.name,
+                    shape: meta.shape,
+                    data: Vec::new(),
+                });
+                continue;
+            }
             let numel: usize = meta.shape.iter().product();
             let mut data = Vec::with_capacity(numel);
             for i in 0..numel {
@@ -654,6 +889,26 @@ impl Snapshot {
                 data,
             });
         }
+        let mut quants = Vec::with_capacity(header.quants.len());
+        for (q, (kind, k, n, blob_len)) in header.quants.into_iter().zip(quant_dims) {
+            let data = blob[at..at + blob_len].to_vec();
+            at += blob_len;
+            // `from_parts` bounds every scale and rejects non-finite bf16
+            // bits, so the dequantization below is always finite — the
+            // quantized path has no NaN smuggling lane.
+            let matrix =
+                QuantizedMatrix::from_parts(kind, k, n, data, q.scales).map_err(|reason| {
+                    SnapshotError::Param {
+                        name: params[q.param].name.clone(),
+                        reason,
+                    }
+                })?;
+            params[q.param].data = matrix.dequantize();
+            quants.push(QuantTensor {
+                param: q.param,
+                matrix,
+            });
+        }
         Ok(Snapshot {
             config: header.config,
             use_pe: header.use_pe,
@@ -662,6 +917,7 @@ impl Snapshot {
             params,
             plans: header.plans,
             spec_plans: header.spec_plans,
+            quants,
         })
     }
 
@@ -849,7 +1105,7 @@ impl InferenceModel {
             )));
         }
         let ids: Vec<nn::ParamId> = predictor.store.ids().collect();
-        for (id, pt) in ids.into_iter().zip(&snap.params) {
+        for (&id, pt) in ids.iter().zip(&snap.params) {
             let mismatch = |reason: String| SnapshotError::Param {
                 name: pt.name.clone(),
                 reason,
@@ -877,6 +1133,51 @@ impl InferenceModel {
             let tensor = Tensor::from_vec(pt.data.clone(), &pt.shape)
                 .map_err(|e| mismatch(format!("data length does not match shape: {e}")))?;
             *predictor.store.value_mut(id) = tensor;
+        }
+
+        // Install the file's canonical quantized encodings. The snapshot
+        // may be hand-built rather than decoded, so each entry is
+        // re-checked here; the f32 section must be the blob's exact
+        // dequantization — that is what keeps reserialization
+        // byte-canonical and every executor (fused quant kernels and the
+        // generic f32 fallbacks alike) bitwise consistent.
+        let mut last_q: Option<usize> = None;
+        for q in &snap.quants {
+            if last_q.is_some_and(|prev| prev >= q.param) {
+                return Err(SnapshotError::Header(
+                    "quantized parameters must be in strictly ascending index order".into(),
+                ));
+            }
+            last_q = Some(q.param);
+            let (&id, pt) = ids
+                .get(q.param)
+                .zip(snap.params.get(q.param))
+                .ok_or_else(|| {
+                    SnapshotError::Header(format!(
+                        "quant entry references parameter {} of {}",
+                        q.param,
+                        ids.len()
+                    ))
+                })?;
+            let qerr = |reason: String| SnapshotError::Param {
+                name: pt.name.clone(),
+                reason,
+            };
+            if pt.shape != [q.matrix.k(), q.matrix.n()] {
+                return Err(qerr(format!(
+                    "quantized as {}x{} but the parameter is {:?}",
+                    q.matrix.k(),
+                    q.matrix.n(),
+                    pt.shape
+                )));
+            }
+            if q.matrix.dequantize() != pt.data {
+                return Err(qerr(format!(
+                    "{} blob does not dequantize to the stored f32 weights",
+                    q.matrix.kind().name()
+                )));
+            }
+            predictor.store.set_quant(id, Arc::new(q.matrix.clone()));
         }
 
         // Seed the plan cache from the file's descriptors: each one is
@@ -935,7 +1236,12 @@ impl InferenceModel {
         // specialization requests: each folds a seeded generic plan for
         // one batch class — pure constant propagation against the
         // restored weights, so the zero-recording property holds.
-        let shared = predictor.into_shared();
+        //
+        // Explicit `F32` mode: the file alone decides quantization.
+        // Honoring `CDMPP_QUANT` here would re-quantize loaded weights
+        // (not idempotent for i8) and break byte-canonical reserialization
+        // of pre-quantization files.
+        let shared = predictor.into_shared_quantized(QuantMode::F32);
         for entry in &snap.spec_plans {
             let spec_err = |reason: String| SnapshotError::Plan {
                 leaves: entry.leaves,

@@ -553,10 +553,29 @@ impl TrainedModel {
 
     /// Freezes the model for serving: weights behind an `Arc`, transform
     /// and scaler cloned. The result is cheap to clone and safe to share
-    /// across any number of inference threads.
+    /// across any number of inference threads. Honors
+    /// [`crate::forced_quant_mode`]; see [`TrainedModel::freeze_quantized`]
+    /// to pick the weight storage format explicitly.
     pub fn freeze(&self) -> InferenceModel {
         InferenceModel {
             predictor: self.predictor.share(),
+            transform: self.transform.clone(),
+            scaler: self.scaler.clone(),
+            use_pe: self.use_pe,
+        }
+    }
+
+    /// [`TrainedModel::freeze`] with the weight storage format chosen
+    /// explicitly: `Bf16` / `I8` quantize every weight matrix once at this
+    /// freeze (~2× / ~4× smaller serving weights, dequantization fused
+    /// into the prepacked GEMM kernels). The frozen copy's f32 values hold
+    /// the dequantized numbers, so all of its executors remain
+    /// bit-identical to each other; predictions differ from an f32 freeze
+    /// by the quantization error (bounded by the bench accuracy gate). The
+    /// training-side model is untouched.
+    pub fn freeze_quantized(&self, mode: tensor::QuantMode) -> InferenceModel {
+        InferenceModel {
+            predictor: self.predictor.share_quantized(mode),
             transform: self.transform.clone(),
             scaler: self.scaler.clone(),
             use_pe: self.use_pe,

@@ -20,6 +20,32 @@ use nn::{Exec, Graph, InferCtx};
 use proptest::prelude::*;
 use tensor::Tensor;
 
+/// Compares frozen-side outputs against a training-side oracle. Bitwise
+/// by default; when `CDMPP_QUANT` forces quantized freezing the frozen
+/// side carries quantization error relative to the unquantized oracle, so
+/// the comparison switches to a loose tolerance. Frozen-vs-frozen
+/// comparisons stay `assert_eq!` — those are bitwise in every mode.
+fn freeze_close<A: Copy + Into<f64>>(got: &[A], want: &[A]) -> bool {
+    let quant_forced = cdmpp_core::forced_quant_mode() != tensor::QuantMode::F32;
+    got.len() == want.len()
+        && got.iter().zip(want).all(|(&g, &w)| {
+            let (g, w): (f64, f64) = (g.into(), w.into());
+            if quant_forced {
+                (g - w).abs() <= 0.15 * w.abs().max(1.0)
+            } else {
+                g == w
+            }
+        })
+}
+
+fn freeze_close_rows<A: Copy + Into<f64>>(got: &[Vec<A>], want: &[Vec<A>]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(g, w)| freeze_close(g.as_slice(), w.as_slice()))
+}
+
 fn inputs(b: usize, l: usize, seed: u64) -> (Tensor, Tensor) {
     // Deterministic pseudo-random inputs spanning a wide value range.
     let gen = |i: usize, salt: u64| -> f32 {
@@ -100,7 +126,7 @@ proptest! {
         prop_assert!(shared.register_batch_class(b));
         let mut spec_runner = PlanRunner::new();
         let spec = shared.predict_planned(&mut spec_runner, &x, &dev).unwrap();
-        prop_assert_eq!(&spec, &planned, "specialized vs generic plan");
+        prop_assert!(freeze_close(&spec, &planned), "specialized vs generic plan");
         prop_assert_eq!(spec_runner.spec_exec_count(), 1, "class batch must route specialized");
         // An off-class batch size falls back to the generic plan and
         // still matches the tape.
@@ -108,7 +134,7 @@ proptest! {
         let (x2, dev2) = inputs(b2, l, seed ^ 0x5bd1);
         let off_class = shared.predict_planned(&mut spec_runner, &x2, &dev2).unwrap();
         let taped2 = p.predict_batch_taped(x2.clone(), dev2.clone()).unwrap();
-        prop_assert_eq!(&off_class, &taped2, "off-class fallback vs tape");
+        prop_assert!(freeze_close(&off_class, &taped2), "off-class fallback vs tape");
 
         // Fifth executor column: plans restored from snapshot bytes —
         // generic plan re-validated from its descriptor, specialized plan
@@ -133,13 +159,20 @@ proptest! {
             .predictor
             .predict_planned(&mut cold_runner, &x, &dev)
             .unwrap();
-        prop_assert_eq!(&from_file, &planned, "snapshot-restored specialized vs live plan");
+        // Frozen vs frozen: `capture` quantizes exactly like `share`, so
+        // the restored model matches the live frozen handle bitwise even
+        // under a forced quant mode.
+        prop_assert_eq!(&from_file, &spec, "snapshot-restored specialized vs live frozen plan");
         prop_assert_eq!(cold_runner.spec_exec_count(), 1, "class batch must route specialized");
         let from_file_off = loaded
             .predictor
             .predict_planned(&mut cold_runner, &x2, &dev2)
             .unwrap();
-        prop_assert_eq!(&from_file_off, &taped2, "snapshot-restored generic fallback vs tape");
+        prop_assert_eq!(
+            &from_file_off,
+            &off_class,
+            "snapshot-restored generic fallback vs live frozen fallback"
+        );
         prop_assert_eq!(loaded.predictor.plan_compile_count(), 0, "load must not record");
     }
 
@@ -163,7 +196,7 @@ proptest! {
             .chunks(d)
             .map(|row| row.iter().map(|&v| v as f64).collect())
             .collect();
-        prop_assert_eq!(planned, taped);
+        prop_assert!(freeze_close_rows(&planned, &taped), "frozen planned latents vs tape");
     }
 
     #[test]
@@ -188,7 +221,7 @@ proptest! {
             let (x, dev) = inputs(b, l, seeds[i]);
             let planned = shared.predict_planned(&mut runner, &x, &dev).unwrap();
             let taped = p.predict_batch_taped(x, dev).unwrap();
-            prop_assert_eq!(planned, taped);
+            prop_assert!(freeze_close(&planned, &taped), "frozen planned vs tape");
         }
         prop_assert_eq!(
             runner.alloc_count(),
@@ -212,7 +245,7 @@ proptest! {
             let (x, dev) = inputs(b, l, seed);
             let reused = shared.predict_with(&mut ctx, x.clone(), dev.clone()).unwrap();
             let taped = p.predict_batch_taped(x, dev).unwrap();
-            prop_assert_eq!(reused, taped);
+            prop_assert!(freeze_close(&reused, &taped), "frozen reused ctx vs tape");
         }
     }
 }
@@ -250,7 +283,10 @@ fn planned_serving_matches_infer_ctx_serving_with_and_without_pe() {
         // Training-side path: InferCtx. Frozen path: compiled plans.
         let via_ctx = model.predict_samples(&enc);
         let via_plan = model.freeze().predict_samples(&enc).unwrap();
-        assert_eq!(via_ctx, via_plan, "use_pe = {use_pe}");
+        assert!(
+            freeze_close(&via_ctx, &via_plan),
+            "use_pe = {use_pe}: {via_ctx:?} vs {via_plan:?}"
+        );
         assert!(via_plan.iter().all(|v| v.is_finite()));
     }
 }

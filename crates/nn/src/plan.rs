@@ -2001,6 +2001,7 @@ pub struct SpecializedPlan {
     inputs: Vec<(Vec<usize>, usize)>,
     outputs: Vec<(usize, usize, Vec<usize>)>,
     prepacked: usize,
+    quant_prepacked: usize,
     spans: usize,
 }
 
@@ -2048,6 +2049,19 @@ enum SOp {
     GemmPrepacked {
         a: SpecSrc,
         b: Arc<tensor::PackedB>,
+        m: usize,
+        bias: Option<SpecSrc>,
+        act: Activation,
+    },
+    /// Weight GEMM against quantized (i8/bf16) prepacked panels —
+    /// chosen when the frozen store carries a quantized encoding for the
+    /// parameter. Dequantization is fused into the kernel's B loads;
+    /// accumulation stays f32 and is bit-identical to
+    /// [`SOp::GemmPrepacked`] over the dequantized weights (which is
+    /// exactly what the store's f32 values hold).
+    GemmQuantPrepacked {
+        a: SpecSrc,
+        b: Arc<tensor::QuantizedPackedB>,
         m: usize,
         bias: Option<SpecSrc>,
         act: Activation,
@@ -2143,6 +2157,7 @@ enum SOp {
 #[derive(Default)]
 pub struct WeightPackCache {
     map: std::collections::HashMap<(usize, usize, usize), Arc<tensor::PackedB>>,
+    qmap: std::collections::HashMap<(usize, usize, usize), Arc<tensor::QuantizedPackedB>>,
 }
 
 impl WeightPackCache {
@@ -2153,12 +2168,19 @@ impl WeightPackCache {
 
     /// Distinct `(parameter, k, n)` panels packed so far.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.qmap.len()
     }
 
     /// Whether no panel has been packed yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.qmap.is_empty()
+    }
+
+    /// Bytes all cached panels occupy in memory (the serving-weights
+    /// footprint of the packed representation).
+    pub fn panel_bytes(&self) -> usize {
+        self.map.values().map(|p| p.panel_bytes()).sum::<usize>()
+            + self.qmap.values().map(|p| p.panel_bytes()).sum::<usize>()
     }
 
     fn get_or_pack(
@@ -2172,6 +2194,20 @@ impl WeightPackCache {
             self.map
                 .entry((id.index(), k, n))
                 .or_insert_with(|| Arc::new(tensor::PackedB::pack(data, k, n))),
+        )
+    }
+
+    fn get_or_pack_quant(
+        &mut self,
+        id: ParamId,
+        k: usize,
+        n: usize,
+        q: &tensor::QuantizedMatrix,
+    ) -> Arc<tensor::QuantizedPackedB> {
+        Arc::clone(
+            self.qmap
+                .entry((id.index(), k, n))
+                .or_insert_with(|| Arc::new(tensor::QuantizedPackedB::pack(q))),
         )
     }
 }
@@ -2241,6 +2277,7 @@ impl Plan {
         };
 
         let mut prepacked = 0usize;
+        let mut quant_prepacked = 0usize;
         let mut span_count = 0usize;
         let mut steps = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
@@ -2262,6 +2299,11 @@ impl Plan {
                     match bsrc {
                         // Weight operand + blocked-kernel shape: pack the
                         // panel once, now, instead of on every replay.
+                        // Quantized stores pack the i8/bf16 encoding
+                        // instead (below-threshold shapes fall through to
+                        // the generic f32 entry either way — the store's
+                        // values are the dequantized numbers, so both
+                        // entries compute identical results).
                         Src::Param(id) if tensor::gemm_prefers_packed(m, k, n) => {
                             let w = params.value(*id);
                             if w.numel() != k * n {
@@ -2271,13 +2313,27 @@ impl Plan {
                                     w.numel()
                                 )));
                             }
-                            prepacked += 1;
-                            SOp::GemmPrepacked {
-                                a: src_of(*a),
-                                b: cache.get_or_pack(*id, k, n, w.data()),
-                                m,
-                                bias,
-                                act: *act,
+                            match params.quant(*id) {
+                                Some(q) if q.k() == k && q.n() == n => {
+                                    quant_prepacked += 1;
+                                    SOp::GemmQuantPrepacked {
+                                        a: src_of(*a),
+                                        b: cache.get_or_pack_quant(*id, k, n, q),
+                                        m,
+                                        bias,
+                                        act: *act,
+                                    }
+                                }
+                                _ => {
+                                    prepacked += 1;
+                                    SOp::GemmPrepacked {
+                                        a: src_of(*a),
+                                        b: cache.get_or_pack(*id, k, n, w.data()),
+                                        m,
+                                        bias,
+                                        act: *act,
+                                    }
+                                }
                             }
                         }
                         _ => SOp::Gemm {
@@ -2493,6 +2549,7 @@ impl Plan {
             inputs,
             outputs,
             prepacked,
+            quant_prepacked,
             spans: span_count,
         })
     }
@@ -2534,6 +2591,11 @@ impl SpecializedPlan {
         self.prepacked
     }
 
+    /// Weight GEMMs resolved to the quantized (i8/bf16) prepacked kernel.
+    pub fn quant_prepacked_gemms(&self) -> usize {
+        self.quant_prepacked
+    }
+
     /// Block copies unrolled out of `split_heads` / `merge_heads` loops.
     pub fn unrolled_copies(&self) -> usize {
         self.spans
@@ -2552,6 +2614,7 @@ impl fmt::Debug for SpecializedPlan {
             .field("steps", &self.steps.len())
             .field("arena_len", &self.arena_len)
             .field("prepacked_gemms", &self.prepacked)
+            .field("quant_prepacked_gemms", &self.quant_prepacked)
             .finish()
     }
 }
@@ -2686,6 +2749,11 @@ impl<'r> SpecRun<'r> {
                 let av = self.read(*a, m * b.k());
                 let biasv = bias.map(|s| self.read(s, b.n()));
                 tensor::gemm_prepacked(*m, av, b, biasv, *act, o)?;
+            }
+            SOp::GemmQuantPrepacked { a, b, m, bias, act } => {
+                let av = self.read(*a, m * b.k());
+                let biasv = bias.map(|s| self.read(s, b.n()));
+                tensor::gemm_prepacked_quant(*m, av, b, biasv, *act, o)?;
             }
             SOp::Bmm {
                 a,
@@ -4712,6 +4780,45 @@ mod tests {
         assert_eq!(spec_big.prepacked_gemms(), 1, "{spec_big:?}");
         let spec_one = plan.specialize(&store, 1).unwrap();
         assert_eq!(spec_one.prepacked_gemms(), 0, "{spec_one:?}");
+        let mut generic = PlanExec::new(Arc::clone(&plan));
+        for (b, spec) in [(64usize, spec_big), (1, spec_one)] {
+            let mut sx = SpecExec::new(Arc::new(spec));
+            let x = Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.29).sin());
+            sx.run(&store, &[&x]).unwrap();
+            generic.run(&store, &[&x]).unwrap();
+            assert_eq!(sx.output(0), generic.output(0), "b={b}");
+        }
+    }
+
+    #[test]
+    fn quantized_store_specializes_to_quant_kernel_bit_identically() {
+        // Quantizing the store's weights must (a) route blocked weight
+        // GEMMs to the quantized prepacked kernel, (b) leave the
+        // below-threshold fold on the generic f32 entry, and (c) stay
+        // bit-identical to the generic interpreter over the same store —
+        // the store's f32 values are the dequantized numbers, so both
+        // entries see identical weights.
+        let (mut store, ids) = store_with(&[&[64, 48], &[48]]);
+        assert_eq!(store.quantize_weights(tensor::QuantKind::I8), 1);
+        assert!(store.has_quants());
+        let plan = Plan::compile(&store, |rec, b| {
+            let x = rec.constant(Tensor::from_fn(&[b, 64], |i| (i as f32 * 0.29).sin()));
+            let w = rec.param(&store, ids[0]);
+            let y = rec.matmul(x, w)?;
+            let bias = rec.param(&store, ids[1]);
+            let y = rec.add_row(y, bias)?;
+            let y = rec.relu(y)?;
+            Ok(vec![y])
+        })
+        .unwrap();
+        let plan = Arc::new(plan);
+        let mut cache = WeightPackCache::new();
+        let spec_big = plan.specialize_cached(&store, 64, &mut cache).unwrap();
+        assert_eq!(spec_big.quant_prepacked_gemms(), 1, "{spec_big:?}");
+        assert_eq!(spec_big.prepacked_gemms(), 0, "{spec_big:?}");
+        assert!(cache.panel_bytes() > 0);
+        let spec_one = plan.specialize_cached(&store, 1, &mut cache).unwrap();
+        assert_eq!(spec_one.quant_prepacked_gemms(), 0, "{spec_one:?}");
         let mut generic = PlanExec::new(Arc::clone(&plan));
         for (b, spec) in [(64usize, spec_big), (1, spec_one)] {
             let mut sx = SpecExec::new(Arc::new(spec));

@@ -12,9 +12,10 @@
 //! [`crate::kernels`], so the two paths produce bit-identical values.
 
 use crate::kernels::{layer_norm_fwd, merge_heads, slice_last, split_heads};
+use std::sync::Arc;
 use tensor::{
-    bmm, bmm_acc_into, bmm_into, matmul, matmul_t_acc_into, matmul_t_into, Result, Tensor,
-    TensorError,
+    bmm, bmm_acc_into, bmm_into, matmul, matmul_t_acc_into, matmul_t_into, QuantKind,
+    QuantizedMatrix, Result, Tensor, TensorError,
 };
 
 /// Handle to a node in a [`Graph`].
@@ -34,11 +35,22 @@ impl ParamId {
 }
 
 /// Storage for trainable parameters and their accumulated gradients.
+///
+/// A frozen store may additionally carry a *quantized twin* per rank-2
+/// parameter (the GEMM weight matrices): the canonical i8/bf16 encoding
+/// produced once at freeze time. When a parameter is quantized its f32
+/// `values` entry holds the **dequantized** numbers, so every executor —
+/// generic plans, below-threshold GEMMs, the taped forward — computes with
+/// exactly the values the fused quantized kernels see, and all frozen
+/// paths stay bit-identical to each other.
 #[derive(Debug, Default, Clone)]
 pub struct ParamStore {
     values: Vec<Tensor>,
     grads: Vec<Tensor>,
     names: Vec<String>,
+    /// Per-parameter quantized encodings (`None` = plain f32). Same length
+    /// as `values` on frozen quantized stores; empty on training stores.
+    quants: Vec<Option<Arc<QuantizedMatrix>>>,
 }
 
 impl ParamStore {
@@ -96,6 +108,68 @@ impl ParamStore {
         (0..self.values.len()).map(ParamId)
     }
 
+    /// The quantized encoding of a parameter, if one was installed at
+    /// freeze time.
+    pub fn quant(&self, id: ParamId) -> Option<&Arc<QuantizedMatrix>> {
+        self.quants.get(id.0).and_then(|q| q.as_ref())
+    }
+
+    /// Whether any parameter carries a quantized encoding.
+    pub fn has_quants(&self) -> bool {
+        self.quants.iter().any(|q| q.is_some())
+    }
+
+    /// Installs a pre-built quantized encoding for `id` and replaces the
+    /// parameter's f32 values with its dequantization (the snapshot-load
+    /// path: the file's blob is canonical, never re-quantized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding's `k * n` does not match the parameter's
+    /// element count.
+    pub fn set_quant(&mut self, id: ParamId, q: Arc<QuantizedMatrix>) {
+        assert_eq!(
+            q.k() * q.n(),
+            self.values[id.0].numel(),
+            "quantized encoding shape mismatch for param {}",
+            self.names[id.0]
+        );
+        let shape = self.values[id.0].shape().to_vec();
+        self.values[id.0] = Tensor::from_vec(q.dequantize(), &shape)
+            .expect("dequantized length matches parameter shape");
+        if self.quants.len() < self.values.len() {
+            self.quants.resize(self.values.len(), None);
+        }
+        self.quants[id.0] = Some(q);
+    }
+
+    /// Quantizes every rank-2 parameter (the GEMM weight matrices) to
+    /// `kind`, replacing each one's f32 values with the dequantized
+    /// numbers so all executors agree with the fused kernels bit for bit.
+    /// Rank-1 parameters (biases, norm gains) stay f32 — they are cheap
+    /// and precision-critical. Returns the number of tensors quantized;
+    /// already-quantized parameters are left untouched (quantization
+    /// happens once, at freeze — re-quantizing dequantized values is not
+    /// idempotent for i8).
+    pub fn quantize_weights(&mut self, kind: QuantKind) -> usize {
+        if self.quants.len() < self.values.len() {
+            self.quants.resize(self.values.len(), None);
+        }
+        let mut count = 0;
+        for i in 0..self.values.len() {
+            if self.quants[i].is_some() || self.values[i].shape().len() != 2 {
+                continue;
+            }
+            let (k, n) = (self.values[i].shape()[0], self.values[i].shape()[1]);
+            let q = QuantizedMatrix::quantize(self.values[i].data(), k, n, kind);
+            self.values[i] =
+                Tensor::from_vec(q.dequantize(), &[k, n]).expect("dequantize preserves numel");
+            self.quants[i] = Some(Arc::new(q));
+            count += 1;
+        }
+        count
+    }
+
     /// Clones parameter values and names only; gradient slots become empty
     /// placeholders. This is the freeze path for read-only inference
     /// sharing — a full clone would permanently carry a dead gradient
@@ -106,6 +180,7 @@ impl ParamStore {
             values: self.values.clone(),
             grads: self.values.iter().map(|_| Tensor::zeros(&[0])).collect(),
             names: self.names.clone(),
+            quants: self.quants.clone(),
         }
     }
 

@@ -44,6 +44,7 @@
 //! [`MatRef`] views — there is no materialized transpose anywhere.
 
 use crate::aligned::AVec;
+use crate::quant::{bf16_to_f32, QuantKind, QuantizedMatrix};
 use std::cell::RefCell;
 use std::sync::OnceLock;
 
@@ -171,6 +172,11 @@ thread_local! {
     /// Per-thread packing buffers: pool workers and long-lived serving
     /// threads reuse the same panels for every GEMM they ever run.
     static PACK: RefCell<(AVec, AVec)> = const { RefCell::new((AVec::new(), AVec::new())) };
+    /// Per-thread dequantized-slab scratch for the prepacked quant path:
+    /// each `kc x NR` quantized slab is expanded to f32 once per
+    /// (k-block, slab) and reused by every row strip, so the dequant cost
+    /// amortizes over `m / MR` tiles instead of repeating in each one.
+    static DEQ: RefCell<AVec> = const { RefCell::new(AVec::new()) };
 }
 
 /// The micro-kernel tier serving this process (see module docs).
@@ -261,6 +267,66 @@ trait Micro {
         acc: bool,
         ep: Epilogue,
     );
+
+    /// Dequantizing twin of `tile_direct` for i8 panels: `bslab` holds
+    /// `kc x NR` quantized values and `scales[j]` column `j`'s dequant
+    /// scale. Each value is widened exactly (int → f32) and multiplied by
+    /// its scale — one correctly-rounded f32 multiply — then fed to the
+    /// same fused multiply-add sequence as the f32 tile, so the result is
+    /// bit-identical to `tile_direct` over the dequantized slab.
+    ///
+    /// # Safety
+    ///
+    /// As `tile_direct`; additionally `scales` holds at least `NR`
+    /// elements.
+    unsafe fn tile_direct_i8(
+        kc: usize,
+        ar: &[&[f32]; MR_MAX],
+        bslab: &[i8],
+        scales: &[f32],
+    ) -> Tile;
+
+    /// Dequantizing twin of `tile_direct` for bf16 panels: each u16 is
+    /// widened to the f32 whose upper bits it is (`(h as u32) << 16`,
+    /// exact), then the f32 tile's FMA sequence runs unchanged.
+    ///
+    /// # Safety
+    ///
+    /// As `tile_direct`.
+    unsafe fn tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile;
+
+    /// Expands one quantized `kc x NR` i8 slab into f32 — per element the
+    /// exact value `tile_direct_i8` computes in registers (`q as f32`
+    /// widened exactly, then one correctly-rounded multiply by the
+    /// column's scale), materialized once so every row strip can reuse it
+    /// through the plain f32 `tile_direct`.
+    ///
+    /// # Safety
+    ///
+    /// ISA per the trait contract; `bslab` and `dst` hold at least
+    /// `kc * NR` elements, `scales` at least `NR`.
+    unsafe fn dequant_i8(kc: usize, bslab: &[i8], scales: &[f32], dst: &mut [f32]) {
+        for (drow, qrow) in dst[..kc * Self::NR]
+            .chunks_exact_mut(Self::NR)
+            .zip(bslab.chunks_exact(Self::NR))
+        {
+            for ((d, &q), &s) in drow.iter_mut().zip(qrow).zip(&scales[..Self::NR]) {
+                *d = q as f32 * s;
+            }
+        }
+    }
+
+    /// bf16 twin of [`Micro::dequant_i8`]: exact bit reinterpretation,
+    /// no scales.
+    ///
+    /// # Safety
+    ///
+    /// As `dequant_i8` (sans `scales`).
+    unsafe fn dequant_bf16(kc: usize, bslab: &[u16], dst: &mut [f32]) {
+        for (d, &h) in dst[..kc * Self::NR].iter_mut().zip(bslab) {
+            *d = f32::from_bits((h as u32) << 16);
+        }
+    }
 }
 
 /// A strided, read-only view of a row-major matrix (or its transpose —
@@ -673,6 +739,12 @@ impl PackedB {
     pub fn n(&self) -> usize {
         self.n
     }
+
+    /// Bytes the packed panels occupy in memory — the serving-footprint
+    /// column of the benches.
+    pub fn panel_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.len() * 4).sum()
+    }
 }
 
 impl std::fmt::Debug for PackedB {
@@ -791,6 +863,308 @@ fn write_back_row(crow: &mut [f32], trow: &[f32], j0: usize, store: bool, ep: Ep
         // then apply the epilogue once.
         for (j, (o, &v)) in crow.iter_mut().zip(trow).enumerate() {
             *o = ep.apply(j0 + j, *o + v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized prepacked panels.
+// ---------------------------------------------------------------------------
+
+/// Per-tier panel storage of a [`QuantizedPackedB`].
+enum QPanels {
+    /// i8 slabs plus per-column dequant scales expanded to the padded slab
+    /// width (`slabs * NR`; padding columns get scale 1.0 over value 0).
+    I8 {
+        blocks: Vec<Vec<i8>>,
+        scales: Vec<f32>,
+    },
+    /// bf16 slabs (no scales).
+    Bf16 { blocks: Vec<Vec<u16>> },
+}
+
+/// A [`QuantizedMatrix`] packed into the blocked kernel's slab layout —
+/// the quantized twin of [`PackedB`], half (bf16) or a quarter (i8) of
+/// its panel bytes.
+///
+/// Built once per frozen model from the *stored* quantized values (never
+/// by re-quantizing), so panels packed under any tier dequantize to the
+/// same numbers: the scale grouping lives in the matrix
+/// ([`crate::QUANT_GROUP`] columns), not the tier's slab width. Consumed
+/// by [`crate::gemm_prepacked_quant`], whose micro-kernels dequantize
+/// slab values into registers and accumulate in f32 — bit-identical to
+/// [`crate::gemm_prepacked`] over a [`PackedB`] of the dequantized
+/// matrix, on every tier.
+pub struct QuantizedPackedB {
+    k: usize,
+    n: usize,
+    tier: SimdTier,
+    panels: QPanels,
+}
+
+impl QuantizedPackedB {
+    /// Packs a quantized matrix into the active tier's slab layout.
+    pub fn pack(q: &QuantizedMatrix) -> QuantizedPackedB {
+        Self::pack_for_tier(q, active_tier())
+    }
+
+    /// [`QuantizedPackedB::pack`] with the tier pinned (bit-identity test
+    /// seam).
+    #[doc(hidden)]
+    pub fn pack_for_tier(q: &QuantizedMatrix, tier: SimdTier) -> QuantizedPackedB {
+        let nr = tier_nr(tier);
+        let (k, n) = (q.k(), q.n());
+        let slabs = n.div_ceil(nr);
+        let panels = match q.kind() {
+            QuantKind::I8 => {
+                let mut scales = vec![1.0f32; slabs * nr];
+                for (j, s) in scales.iter_mut().enumerate().take(n) {
+                    *s = q.scale_for_col(j);
+                }
+                QPanels::I8 {
+                    blocks: pack_q_blocks(k, n, nr, |i, j| q.data()[i * n + j] as i8),
+                    scales,
+                }
+            }
+            QuantKind::Bf16 => QPanels::Bf16 {
+                blocks: pack_q_blocks(k, n, nr, |i, j| {
+                    let e = 2 * (i * n + j);
+                    u16::from_le_bytes([q.data()[e], q.data()[e + 1]])
+                }),
+            },
+        };
+        QuantizedPackedB { k, n, tier, panels }
+    }
+
+    /// The contraction length this packing was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The output width this packing was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The storage format of the packed panels.
+    pub fn kind(&self) -> QuantKind {
+        match self.panels {
+            QPanels::I8 { .. } => QuantKind::I8,
+            QPanels::Bf16 { .. } => QuantKind::Bf16,
+        }
+    }
+
+    /// Bytes the packed panels (plus expanded scales) occupy in memory —
+    /// the serving-footprint column of the benches.
+    pub fn panel_bytes(&self) -> usize {
+        match &self.panels {
+            QPanels::I8 { blocks, scales } => {
+                blocks.iter().map(|b| b.len()).sum::<usize>() + scales.len() * 4
+            }
+            QPanels::Bf16 { blocks } => blocks.iter().map(|b| b.len() * 2).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantizedPackedB {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedPackedB")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .field("kind", &self.kind().name())
+            .field("tier", &self.tier.name())
+            .finish()
+    }
+}
+
+/// The slab width of a tier's tile (its `Micro::NR`).
+fn tier_nr(tier: SimdTier) -> usize {
+    match tier {
+        SimdTier::Scalar => 8,
+        SimdTier::Avx2Fma => 16,
+        SimdTier::Neon => 8,
+    }
+}
+
+/// Packs `k x n` quantized elements (fetched by `at`) into per-`KC`-block
+/// slab layouts: `ceil(n/nr)` slabs of `kc x nr`, zero-padded (the
+/// quantized encoding of 0.0 is 0 for both i8 and bf16).
+fn pack_q_blocks<T: Copy + Default>(
+    k: usize,
+    n: usize,
+    nr: usize,
+    at: impl Fn(usize, usize) -> T,
+) -> Vec<Vec<T>> {
+    let slabs = n.div_ceil(nr);
+    let mut blocks = Vec::with_capacity(k.div_ceil(KC).max(1));
+    let mut pc = 0;
+    loop {
+        let kc = KC.min(k - pc);
+        let mut buf = vec![T::default(); slabs * kc * nr];
+        for t in 0..slabs {
+            let j0 = t * nr;
+            let cols = nr.min(n - j0);
+            for p in 0..kc {
+                let d = &mut buf[t * kc * nr + p * nr..t * kc * nr + (p + 1) * nr];
+                for (cj, dj) in d.iter_mut().enumerate().take(cols) {
+                    *dj = at(pc + p, j0 + cj);
+                }
+            }
+        }
+        blocks.push(buf);
+        pc += kc;
+        if pc >= k {
+            break;
+        }
+    }
+    blocks
+}
+
+/// `C = ep(A · dequant(B))` against quantized prepacked panels — the
+/// quantized twin of [`gemm_prepacked_impl`], same loop nest, same
+/// write-back, dequantization fused into the micro-kernel's B loads.
+pub(crate) fn gemm_prepacked_quant_impl(
+    m: usize,
+    a: &[f32],
+    qb: &QuantizedPackedB,
+    c: &mut [f32],
+    ep: Epilogue,
+) {
+    match qb.tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the packing's tier was selected by runtime detection.
+        SimdTier::Avx2Fma => unsafe { gemm_prepacked_quant_t::<Avx2K>(m, a, qb, c, ep) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above.
+        SimdTier::Neon => unsafe { gemm_prepacked_quant_t::<NeonK>(m, a, qb, c, ep) },
+        // SAFETY: the scalar kernel has no ISA requirements.
+        _ => unsafe { gemm_prepacked_quant_t::<ScalarK>(m, a, qb, c, ep) },
+    }
+}
+
+/// # Safety
+///
+/// The running CPU must support `K`'s ISA, and `qb` must have been packed
+/// with `K`'s slab width.
+unsafe fn gemm_prepacked_quant_t<K: Micro>(
+    m: usize,
+    a: &[f32],
+    qb: &QuantizedPackedB,
+    c: &mut [f32],
+    ep: Epilogue,
+) {
+    let (k, n) = (qb.k, qb.n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for crow in c.chunks_exact_mut(n) {
+            for (j, o) in crow.iter_mut().enumerate() {
+                *o = ep.apply(j, 0.0);
+            }
+        }
+        return;
+    }
+    let slabs = n.div_ceil(K::NR);
+    let blocks = match &qb.panels {
+        QPanels::I8 { blocks, .. } => blocks.len(),
+        QPanels::Bf16 { blocks } => blocks.len(),
+    };
+    // Slabs reused by several row strips are expanded to f32 once into a
+    // per-thread scratch and fed to the plain f32 tile, so the dequant
+    // cost is paid per slab instead of per strip; single-strip calls keep
+    // the fused in-register dequant, which does less total work there.
+    // Both routes produce identical bits: the scratch holds exactly the
+    // per-element values the fused tiles compute (one correctly-rounded
+    // `q * scale` product for i8, an exact reinterpretation for bf16),
+    // and the FMA loop over them is the same f32 tile either way.
+    let amortize = m > 2 * K::MR;
+    let mut pc = 0usize;
+    for bi in 0..blocks {
+        let kc = KC.min(k - pc);
+        let store = bi == 0;
+        let ep_here = if pc + kc == k { ep } else { Epilogue::NONE };
+        for t in 0..slabs {
+            let j0 = t * K::NR;
+            let nr = K::NR.min(n - j0);
+            DEQ.with(|cell| {
+                let mut deq = cell.borrow_mut();
+                if amortize {
+                    deq.ensure_len(kc * K::NR);
+                    // SAFETY: ISA and slab width vouched by this fn's caller.
+                    unsafe {
+                        dequant_slab::<K>(&qb.panels, bi, t, j0, kc, deq.as_mut_slice());
+                    }
+                }
+                let mut i0 = 0usize;
+                while i0 < m {
+                    let mr = K::MR.min(m - i0);
+                    // Direct A access, as in the f32 prepacked path: edge
+                    // tiles re-read row 0; their results are discarded.
+                    let arow = |r: usize| {
+                        let row = i0 + if r < mr { r } else { 0 };
+                        &a[row * k + pc..row * k + pc + kc]
+                    };
+                    let ar: [&[f32]; MR_MAX] = std::array::from_fn(arow);
+                    // SAFETY: ISA vouched by caller; slab/scale/scratch
+                    // slices sized by the packer and `ensure_len` above;
+                    // A rows per `arow`.
+                    let tile = unsafe {
+                        if amortize {
+                            K::tile_direct(kc, &ar, deq.as_slice())
+                        } else {
+                            match &qb.panels {
+                                QPanels::I8 { blocks, scales } => {
+                                    let bslab = &blocks[bi][t * kc * K::NR..(t + 1) * kc * K::NR];
+                                    K::tile_direct_i8(kc, &ar, bslab, &scales[j0..j0 + K::NR])
+                                }
+                                QPanels::Bf16 { blocks } => {
+                                    let bslab = &blocks[bi][t * kc * K::NR..(t + 1) * kc * K::NR];
+                                    K::tile_direct_bf16(kc, &ar, bslab)
+                                }
+                            }
+                        }
+                    };
+                    for (r, trow) in tile.iter().take(mr).enumerate() {
+                        let start = (i0 + r) * n + j0;
+                        write_back_row(&mut c[start..start + nr], &trow[..nr], j0, store, ep_here);
+                    }
+                    i0 += mr;
+                }
+            });
+        }
+        pc += kc;
+    }
+}
+
+/// Expands the `(bi, t)` quantized `kc x NR` slab into `dst` as f32 —
+/// one correctly-rounded `q * scale` multiply per i8 element, an exact
+/// bit reinterpretation per bf16 element; exactly the values the fused
+/// dequant tiles compute in registers.
+///
+/// # Safety
+///
+/// The running CPU must support `K`'s ISA, and the panels must have been
+/// packed with `K`'s slab width.
+unsafe fn dequant_slab<K: Micro>(
+    panels: &QPanels,
+    bi: usize,
+    t: usize,
+    j0: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    let span = t * kc * K::NR..(t + 1) * kc * K::NR;
+    // SAFETY: ISA vouched by the caller; slab/scale slices sized by the
+    // packer, `dst` by the caller's `ensure_len`.
+    unsafe {
+        match panels {
+            QPanels::I8 { blocks, scales } => {
+                K::dequant_i8(kc, &blocks[bi][span], &scales[j0..j0 + K::NR], dst)
+            }
+            QPanels::Bf16 { blocks } => K::dequant_bf16(kc, &blocks[bi][span], dst),
         }
     }
 }
@@ -945,6 +1319,49 @@ impl Micro for ScalarK {
     ) {
         naive_body(m, n, k, a, b, c, acc, ep)
     }
+
+    #[inline(always)]
+    unsafe fn tile_direct_i8(
+        kc: usize,
+        ar: &[&[f32]; MR_MAX],
+        bslab: &[i8],
+        scales: &[f32],
+    ) -> Tile {
+        let mut acc = [[0.0f32; NR_MAX]; MR_MAX];
+        let mut bv = [0.0f32; NR_MAX];
+        for p in 0..kc {
+            let brow = &bslab[p * Self::NR..(p + 1) * Self::NR];
+            for ((d, &q), &s) in bv.iter_mut().zip(brow).zip(scales) {
+                *d = (q as f32) * s;
+            }
+            for (accrow, arow) in acc.iter_mut().zip(ar).take(Self::MR) {
+                let av = arow[p];
+                for (s, &bc) in accrow.iter_mut().zip(&bv[..Self::NR]) {
+                    *s = av.mul_add(bc, *s);
+                }
+            }
+        }
+        acc
+    }
+
+    #[inline(always)]
+    unsafe fn tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile {
+        let mut acc = [[0.0f32; NR_MAX]; MR_MAX];
+        let mut bv = [0.0f32; NR_MAX];
+        for p in 0..kc {
+            let brow = &bslab[p * Self::NR..(p + 1) * Self::NR];
+            for (d, &h) in bv.iter_mut().zip(brow) {
+                *d = bf16_to_f32(h);
+            }
+            for (accrow, arow) in acc.iter_mut().zip(ar).take(Self::MR) {
+                let av = arow[p];
+                for (s, &bc) in accrow.iter_mut().zip(&bv[..Self::NR]) {
+                    *s = av.mul_add(bc, *s);
+                }
+            }
+        }
+        acc
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -989,6 +1406,163 @@ impl Micro for Avx2K {
         // SAFETY: caller guarantees AVX2+FMA.
         unsafe { avx2_naive(m, n, k, a, b, c, acc, ep) }
     }
+
+    #[inline]
+    unsafe fn tile_direct_i8(
+        kc: usize,
+        ar: &[&[f32]; MR_MAX],
+        bslab: &[i8],
+        scales: &[f32],
+    ) -> Tile {
+        // SAFETY: caller guarantees AVX2+FMA and slice lengths.
+        unsafe { avx2_tile_direct_i8(kc, ar, bslab, scales) }
+    }
+
+    #[inline]
+    unsafe fn tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile {
+        // SAFETY: caller guarantees AVX2+FMA and slice lengths.
+        unsafe { avx2_tile_direct_bf16(kc, ar, bslab) }
+    }
+
+    #[inline]
+    unsafe fn dequant_i8(kc: usize, bslab: &[i8], scales: &[f32], dst: &mut [f32]) {
+        // SAFETY: caller guarantees AVX2+FMA and slice lengths.
+        unsafe { avx2_dequant_i8(kc, bslab, scales, dst) }
+    }
+
+    #[inline]
+    unsafe fn dequant_bf16(kc: usize, bslab: &[u16], dst: &mut [f32]) {
+        // SAFETY: caller guarantees AVX2+FMA and slice lengths.
+        unsafe { avx2_dequant_bf16(kc, bslab, dst) }
+    }
+}
+
+/// Slab-granular i8 dequant: the same widen + `_mm256_mul_ps` sequence as
+/// [`avx2_tile_direct_i8`], but stored to the f32 scratch instead of fed
+/// straight into FMAs — identical bits, paid once per slab.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_dequant_i8(kc: usize, bslab: &[i8], scales: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    debug_assert!(dst.len() >= kc * Avx2K::NR);
+    debug_assert!(scales.len() >= Avx2K::NR);
+    let bp = bslab.as_ptr();
+    let dp = dst.as_mut_ptr();
+    // SAFETY: `scales` holds at least NR = 16 elements.
+    let (s0, s1) = unsafe {
+        (
+            _mm256_loadu_ps(scales.as_ptr()),
+            _mm256_loadu_ps(scales.as_ptr().add(8)),
+        )
+    };
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slab/scratch contract.
+        unsafe {
+            let raw = _mm_loadu_si128(bp.add(p * 16) as *const __m128i);
+            let lo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+            let hi = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(raw)));
+            _mm256_storeu_ps(dp.add(p * 16), _mm256_mul_ps(lo, s0));
+            _mm256_storeu_ps(dp.add(p * 16 + 8), _mm256_mul_ps(hi, s1));
+        }
+    }
+}
+
+/// Slab-granular bf16 dequant: widen + shift into the f32 exponent
+/// position (exact), stored to the f32 scratch.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_dequant_bf16(kc: usize, bslab: &[u16], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    debug_assert!(dst.len() >= kc * Avx2K::NR);
+    let bp = bslab.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slab/scratch contract.
+        unsafe {
+            let r0 = _mm_loadu_si128(bp.add(p * 16) as *const __m128i);
+            let r1 = _mm_loadu_si128(bp.add(p * 16 + 8) as *const __m128i);
+            let b0 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(r0)));
+            let b1 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(r1)));
+            _mm256_storeu_ps(dp.add(p * 16), b0);
+            _mm256_storeu_ps(dp.add(p * 16 + 8), b1);
+        }
+    }
+}
+
+/// i8 dequant tile: 16 bytes load, sign-extend to two epi32 octets, exact
+/// int→float convert, one `_mm256_mul_ps` by the column scales (the same
+/// correctly-rounded multiply the scalar tier performs), then the f32
+/// tile's FMA loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_tile_direct_i8(
+    kc: usize,
+    ar: &[&[f32]; MR_MAX],
+    bslab: &[i8],
+    scales: &[f32],
+) -> Tile {
+    use std::arch::x86_64::*;
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    debug_assert!(scales.len() >= Avx2K::NR);
+    debug_assert!(ar.iter().take(Avx2K::MR).all(|r| r.len() >= kc));
+    let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 6] = std::array::from_fn(|r| ar[r].as_ptr());
+    // SAFETY: `scales` holds at least NR = 16 elements.
+    let (s0, s1) = unsafe {
+        (
+            _mm256_loadu_ps(scales.as_ptr()),
+            _mm256_loadu_ps(scales.as_ptr().add(8)),
+        )
+    };
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract.
+        let raw = unsafe { _mm_loadu_si128(bp.add(p * 16) as *const __m128i) };
+        let lo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        let hi = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(raw)));
+        let b0 = _mm256_mul_ps(lo, s0);
+        let b1 = _mm256_mul_ps(hi, s1);
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { _mm256_set1_ps(*apr.add(p)) };
+            accr[0] = _mm256_fmadd_ps(a, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(a, b1, accr[1]);
+        }
+    }
+    avx2_spill(&acc)
+}
+
+/// bf16 dequant tile: widen u16 lanes to u32, shift into the f32 exponent
+/// position (`(h as u32) << 16` — exact), reinterpret, FMA as usual.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile {
+    use std::arch::x86_64::*;
+    debug_assert!(bslab.len() >= kc * Avx2K::NR);
+    debug_assert!(ar.iter().take(Avx2K::MR).all(|r| r.len() >= kc));
+    let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 6] = std::array::from_fn(|r| ar[r].as_ptr());
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract (16 u16 per row).
+        let (r0, r1) = unsafe {
+            (
+                _mm_loadu_si128(bp.add(p * 16) as *const __m128i),
+                _mm_loadu_si128(bp.add(p * 16 + 8) as *const __m128i),
+            )
+        };
+        let b0 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(r0)));
+        let b1 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(r1)));
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { _mm256_set1_ps(*apr.add(p)) };
+            accr[0] = _mm256_fmadd_ps(a, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(a, b1, accr[1]);
+        }
+    }
+    avx2_spill(&acc)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -1119,6 +1693,153 @@ impl Micro for NeonK {
         // aarch64's baseline includes NEON+FMA: `mul_add` is native.
         naive_body(m, n, k, a, b, c, acc, ep)
     }
+
+    #[inline]
+    unsafe fn tile_direct_i8(
+        kc: usize,
+        ar: &[&[f32]; MR_MAX],
+        bslab: &[i8],
+        scales: &[f32],
+    ) -> Tile {
+        // SAFETY: caller guarantees NEON and slice lengths.
+        unsafe { neon_tile_direct_i8(kc, ar, bslab, scales) }
+    }
+
+    #[inline]
+    unsafe fn tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile {
+        // SAFETY: caller guarantees NEON and slice lengths.
+        unsafe { neon_tile_direct_bf16(kc, ar, bslab) }
+    }
+
+    #[inline]
+    unsafe fn dequant_i8(kc: usize, bslab: &[i8], scales: &[f32], dst: &mut [f32]) {
+        // SAFETY: caller guarantees NEON and slice lengths.
+        unsafe { neon_dequant_i8(kc, bslab, scales, dst) }
+    }
+
+    #[inline]
+    unsafe fn dequant_bf16(kc: usize, bslab: &[u16], dst: &mut [f32]) {
+        // SAFETY: caller guarantees NEON and slice lengths.
+        unsafe { neon_dequant_bf16(kc, bslab, dst) }
+    }
+}
+
+/// Slab-granular i8 dequant: the same widen + `vmulq_f32` sequence as
+/// [`neon_tile_direct_i8`], stored to the f32 scratch — identical bits,
+/// paid once per slab.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_dequant_i8(kc: usize, bslab: &[i8], scales: &[f32], dst: &mut [f32]) {
+    use std::arch::aarch64::*;
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    debug_assert!(dst.len() >= kc * NeonK::NR);
+    debug_assert!(scales.len() >= NeonK::NR);
+    let bp = bslab.as_ptr();
+    let dp = dst.as_mut_ptr();
+    // SAFETY: `scales` holds at least NR = 8 elements.
+    let (s0, s1) = unsafe {
+        (
+            vld1q_f32(scales.as_ptr()),
+            vld1q_f32(scales.as_ptr().add(4)),
+        )
+    };
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slab/scratch contract.
+        unsafe {
+            let wide = vmovl_s8(vld1_s8(bp.add(p * 8)));
+            let b0 = vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_low_s16(wide))), s0);
+            let b1 = vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_high_s16(wide))), s1);
+            vst1q_f32(dp.add(p * 8), b0);
+            vst1q_f32(dp.add(p * 8 + 4), b1);
+        }
+    }
+}
+
+/// Slab-granular bf16 dequant: widen + shift into the f32 exponent
+/// position (exact), stored to the f32 scratch.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_dequant_bf16(kc: usize, bslab: &[u16], dst: &mut [f32]) {
+    use std::arch::aarch64::*;
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    debug_assert!(dst.len() >= kc * NeonK::NR);
+    let bp = bslab.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for p in 0..kc {
+        // SAFETY: in-bounds per the slab/scratch contract.
+        unsafe {
+            let raw = vld1q_u16(bp.add(p * 8));
+            let b0 = vreinterpretq_f32_u32(vshlq_n_u32::<16>(vmovl_u16(vget_low_u16(raw))));
+            let b1 = vreinterpretq_f32_u32(vshlq_n_u32::<16>(vmovl_u16(vget_high_u16(raw))));
+            vst1q_f32(dp.add(p * 8), b0);
+            vst1q_f32(dp.add(p * 8 + 4), b1);
+        }
+    }
+}
+
+/// i8 dequant tile: widen 8 bytes to two s32 quads, exact int→float
+/// convert, one `vmulq_f32` by the column scales, then the f32 FMA loop.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_tile_direct_i8(
+    kc: usize,
+    ar: &[&[f32]; MR_MAX],
+    bslab: &[i8],
+    scales: &[f32],
+) -> Tile {
+    use std::arch::aarch64::*;
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    debug_assert!(scales.len() >= NeonK::NR);
+    debug_assert!(ar.iter().take(NeonK::MR).all(|r| r.len() >= kc));
+    let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 4] = std::array::from_fn(|r| ar[r].as_ptr());
+    // SAFETY: `scales` holds at least NR = 8 elements.
+    let (s0, s1) = unsafe {
+        (
+            vld1q_f32(scales.as_ptr()),
+            vld1q_f32(scales.as_ptr().add(4)),
+        )
+    };
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract (8 i8 per row).
+        let wide = unsafe { vmovl_s8(vld1_s8(bp.add(p * 8))) };
+        let b0 = vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_low_s16(wide))), s0);
+        let b1 = vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_high_s16(wide))), s1);
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { vdupq_n_f32(*apr.add(p)) };
+            accr[0] = vfmaq_f32(accr[0], a, b0);
+            accr[1] = vfmaq_f32(accr[1], a, b1);
+        }
+    }
+    neon_spill(&acc)
+}
+
+/// bf16 dequant tile: widen u16 lanes to u32, shift into the f32 exponent
+/// position (exact), reinterpret, FMA as usual.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn neon_tile_direct_bf16(kc: usize, ar: &[&[f32]; MR_MAX], bslab: &[u16]) -> Tile {
+    use std::arch::aarch64::*;
+    debug_assert!(bslab.len() >= kc * NeonK::NR);
+    debug_assert!(ar.iter().take(NeonK::MR).all(|r| r.len() >= kc));
+    let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
+    let bp = bslab.as_ptr();
+    let aptr: [*const f32; 4] = std::array::from_fn(|r| ar[r].as_ptr());
+    for p in 0..kc {
+        // SAFETY: in-bounds per the panel-size contract (8 u16 per row).
+        let raw = unsafe { vld1q_u16(bp.add(p * 8)) };
+        let b0 = vreinterpretq_f32_u32(vshlq_n_u32::<16>(vmovl_u16(vget_low_u16(raw))));
+        let b1 = vreinterpretq_f32_u32(vshlq_n_u32::<16>(vmovl_u16(vget_high_u16(raw))));
+        for (accr, &apr) in acc.iter_mut().zip(&aptr) {
+            // SAFETY: each row holds at least `kc` elements.
+            let a = unsafe { vdupq_n_f32(*apr.add(p)) };
+            accr[0] = vfmaq_f32(accr[0], a, b0);
+            accr[1] = vfmaq_f32(accr[1], a, b1);
+        }
+    }
+    neon_spill(&acc)
 }
 
 #[cfg(target_arch = "aarch64")]
@@ -1514,6 +2235,131 @@ mod tests {
             gemm_prepacked_impl(m, &av, &active_pack, &mut pre_a, Epilogue::NONE);
             assert_eq!(pre_o, pre_a, "{m}x{n}x{k}: prepacked tier mismatch");
         }
+    }
+
+    /// The quantized prepacked kernel is bit-identical to the f32 prepacked
+    /// kernel over the *dequantized* matrix: same per-element dequant op,
+    /// same FMA accumulation order, so the fused path may not drift by even
+    /// one ULP from dequantize-then-pack — for both storage kinds, across
+    /// epilogues, including the multi-k-block reassociation points.
+    #[test]
+    fn quant_prepacked_bit_identical_to_f32_over_dequantized() {
+        for &(m, n, k, tag) in &[
+            (1usize, 1usize, 1usize, "scalar"),
+            (5, 12, 7, "edge-nr"),
+            (6, 8, 3, "exact-tiles"),
+            (64, 48, 56, "blocked"),
+            (130, 33, 70, "ragged"),
+            (512, 32, 32, "predictor-shape"),
+            (9, 100, 600, "two-k-blocks"),
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            let bias: Vec<f32> = (0..n).map(|j| ((j as f32) * 0.61).cos()).collect();
+            for kind in [QuantKind::I8, QuantKind::Bf16] {
+                let q = QuantizedMatrix::quantize(&bv, k, n, kind);
+                let deq = q.dequantize();
+                let f32_pack = PackedB::pack(&deq, k, n);
+                let q_pack = QuantizedPackedB::pack(&q);
+                assert_eq!((q_pack.k(), q_pack.n(), q_pack.kind()), (k, n, kind));
+                for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
+                    for with_bias in [false, true] {
+                        let ep = Epilogue {
+                            scale: None,
+                            bias: with_bias.then_some(bias.as_slice()),
+                            act,
+                        };
+                        let mut want = vec![f32::NAN; m * n];
+                        gemm_prepacked_impl(m, &av, &f32_pack, &mut want, ep);
+                        let mut got = vec![f32::NAN; m * n];
+                        gemm_prepacked_quant_impl(m, &av, &q_pack, &mut got, ep);
+                        assert_eq!(
+                            got,
+                            want,
+                            "{tag} {}: act {act:?} bias {with_bias} must match the \
+                             f32 kernel over dequantized weights bit for bit",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantized panels packed under the active tier serve bit-identically
+    /// to panels packed under the scalar oracle: the scale grouping is
+    /// tier-independent, so repacking on a different host cannot change a
+    /// single output bit.
+    #[test]
+    fn quant_active_tier_is_bit_identical_to_scalar_oracle() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 12, 7),
+            (8, 32, 56),
+            (64, 48, 56),
+            (130, 33, 70),
+            (512, 96, 48),
+            (9, 100, 600),
+        ] {
+            let av = filled(m * k, 0.0);
+            let bv = filled(k * n, 1.0);
+            for kind in [QuantKind::I8, QuantKind::Bf16] {
+                let q = QuantizedMatrix::quantize(&bv, k, n, kind);
+                let oracle_pack = QuantizedPackedB::pack_for_tier(&q, SimdTier::Scalar);
+                let active_pack = QuantizedPackedB::pack_for_tier(&q, active_tier());
+                let mut pre_o = vec![f32::NAN; m * n];
+                let mut pre_a = vec![f32::NAN; m * n];
+                gemm_prepacked_quant_impl(m, &av, &oracle_pack, &mut pre_o, Epilogue::NONE);
+                gemm_prepacked_quant_impl(m, &av, &active_pack, &mut pre_a, Epilogue::NONE);
+                assert_eq!(
+                    pre_o,
+                    pre_a,
+                    "{m}x{n}x{k} {}: quant prepacked tier mismatch",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_prepacked_empty_product_applies_epilogue() {
+        let q = QuantizedMatrix::quantize(&[], 0, 3, QuantKind::I8);
+        let packed = QuantizedPackedB::pack(&q);
+        let bias = [1.5f32, -2.0, 0.25];
+        let mut c = vec![f32::NAN; 6];
+        gemm_prepacked_quant_impl(
+            2,
+            &[],
+            &packed,
+            &mut c,
+            Epilogue {
+                scale: None,
+                bias: Some(&bias),
+                act: Activation::Relu,
+            },
+        );
+        assert_eq!(c, vec![1.5, 0.0, 0.25, 1.5, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn quant_panel_bytes_shrink_with_kind() {
+        let (k, n) = (96, 64);
+        let bv = filled(k * n, 0.7);
+        let f32_pack = PackedB::pack(&bv, k, n);
+        let f32_bytes = f32_pack.panel_bytes();
+        let i8_pack = QuantizedPackedB::pack(&QuantizedMatrix::quantize(&bv, k, n, QuantKind::I8));
+        let bf16_pack =
+            QuantizedPackedB::pack(&QuantizedMatrix::quantize(&bv, k, n, QuantKind::Bf16));
+        assert!(
+            i8_pack.panel_bytes() * 3 < f32_bytes,
+            "i8 panels ({}) should be ~4x smaller than f32 ({f32_bytes})",
+            i8_pack.panel_bytes()
+        );
+        assert!(
+            bf16_pack.panel_bytes() * 2 <= f32_bytes,
+            "bf16 panels ({}) should be 2x smaller than f32 ({f32_bytes})",
+            bf16_pack.panel_bytes()
+        );
     }
 
     #[test]

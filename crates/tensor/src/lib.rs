@@ -15,15 +15,20 @@
 pub mod aligned;
 mod gemm;
 mod ops;
+mod quant;
 mod shape;
 
-pub use gemm::{active_tier, gemm_prefers_packed, kernel_tier_name, Activation, PackedB, SimdTier};
+pub use gemm::{
+    active_tier, gemm_prefers_packed, kernel_tier_name, Activation, PackedB, QuantizedPackedB,
+    SimdTier,
+};
 pub use ops::{
-    bmm, bmm_acc_into, bmm_ep_slices, bmm_into, bmm_slices, gemm_ep_slices, gemm_prepacked, matmul,
-    matmul_acc_into, matmul_into, matmul_t_acc_into, matmul_t_into,
+    bmm, bmm_acc_into, bmm_ep_slices, bmm_into, bmm_slices, gemm_ep_slices, gemm_prepacked,
+    gemm_prepacked_quant, matmul, matmul_acc_into, matmul_into, matmul_t_acc_into, matmul_t_into,
 };
 #[doc(hidden)]
 pub use ops::{gemm_slices_with_tier, matmul_into_with_pool};
+pub use quant::{bf16_to_f32, f32_to_bf16, QuantKind, QuantMode, QuantizedMatrix, QUANT_GROUP};
 pub use shape::Shape;
 
 use std::fmt;

@@ -15,7 +15,8 @@
 //! is ever materialized transposed.
 
 use crate::gemm::{
-    gemm, gemm_dispatch, gemm_prepacked_impl, Activation, Epilogue, MatRef, PackedB, SimdTier,
+    gemm, gemm_dispatch, gemm_prepacked_impl, gemm_prepacked_quant_impl, Activation, Epilogue,
+    MatRef, PackedB, QuantizedPackedB, SimdTier,
 };
 use crate::{ensure_len, Result, Tensor, TensorError};
 
@@ -451,6 +452,57 @@ pub fn gemm_prepacked(
         }
     }
     gemm_prepacked_impl(
+        m,
+        a,
+        b,
+        out,
+        Epilogue {
+            scale: None,
+            bias,
+            act,
+        },
+    );
+    Ok(())
+}
+
+/// `out = act(a · dequant(b) + bias)` against quantized prepacked panels —
+/// the [`crate::QuantizedPackedB`] twin of [`gemm_prepacked`], with
+/// dequantization fused into the micro-kernel's B loads and all
+/// accumulation in f32. Bit-identical to [`gemm_prepacked`] over a
+/// [`PackedB`] of the dequantized matrix, on every tier.
+pub fn gemm_prepacked_quant(
+    m: usize,
+    a: &[f32],
+    b: &QuantizedPackedB,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) -> Result<()> {
+    let (k, n) = (b.k(), b.n());
+    if a.len() != m * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_prepacked_quant",
+            lhs: vec![m, k, a.len()],
+            rhs: vec![k, n],
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::BadShape {
+            op: "gemm_prepacked_quant",
+            shape: vec![m, n],
+            len: out.len(),
+        });
+    }
+    if let Some(bv) = bias {
+        if bv.len() != n {
+            return Err(TensorError::BadShape {
+                op: "gemm_prepacked_quant",
+                shape: vec![n],
+                len: bv.len(),
+            });
+        }
+    }
+    gemm_prepacked_quant_impl(
         m,
         a,
         b,

@@ -17,10 +17,11 @@
 use cdmpp::core::{end_to_end_frozen, Snapshot};
 use cdmpp::prelude::*;
 use cdmpp::runtime::{end_to_end_opts, EngineConfig, InferenceEngine, SubmitOptions};
+use cdmpp::tensor::QuantMode;
 
 fn usage() -> ! {
     eprintln!("usage: cdmpp <network> <batch_size> <device>");
-    eprintln!("       cdmpp train <device> --save <snapshot> [--epochs N]");
+    eprintln!("       cdmpp train <device> --save <snapshot> [--epochs N] [--quant i8|bf16]");
     eprintln!(
         "       cdmpp serve --snapshot <snapshot> <network> <batch_size> <device> \
          [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]"
@@ -110,11 +111,12 @@ fn print_result(net: &Network, batch: u64, dev: &DeviceSpec, r: &cdmpp::core::E2
     );
 }
 
-/// `cdmpp train <device> --save <path> [--epochs N]`
+/// `cdmpp train <device> --save <path> [--epochs N] [--quant i8|bf16]`
 fn cmd_train(args: &[String]) -> ! {
     let mut device: Option<String> = None;
     let mut save: Option<String> = None;
     let mut epochs = 12usize;
+    let mut quant = QuantMode::F32;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -123,6 +125,15 @@ fn cmd_train(args: &[String]) -> ! {
                 epochs = match it.next().and_then(|v| v.parse().ok()) {
                     Some(e) if e >= 1 => e,
                     _ => usage(),
+                }
+            }
+            "--quant" => {
+                quant = match it.next().and_then(|v| QuantMode::parse(v)) {
+                    Some(m) => m,
+                    None => {
+                        eprintln!("--quant takes i8, bf16, or f32");
+                        usage();
+                    }
                 }
             }
             _ if device.is_none() => device = Some(a.clone()),
@@ -135,13 +146,19 @@ fn cmd_train(args: &[String]) -> ! {
     let dev = device_or_usage(&device);
     let model = train_model(&dev, epochs);
     // Ship the engine's default batch classes so `serve --snapshot`
-    // cold-starts with shape-final specialized plans too.
-    let snap = match Snapshot::capture_all(&model)
-        .map_err(|e| e.to_string())
-        .and_then(|s| {
-            s.with_batch_classes(&[1, cdmpp::core::DEFAULT_MAX_BATCH])
-                .map_err(|e| e.to_string())
-        }) {
+    // cold-starts with shape-final specialized plans too. `--quant`
+    // stores the weight matrices in the requested reduced precision;
+    // `serve`/`predict` auto-detect it from the file.
+    let snap = match Snapshot::capture_quantized(
+        &model,
+        &(1..=model.predictor.config().max_leaves).collect::<Vec<_>>(),
+        quant,
+    )
+    .map_err(|e| e.to_string())
+    .and_then(|s| {
+        s.with_batch_classes(&[1, cdmpp::core::DEFAULT_MAX_BATCH])
+            .map_err(|e| e.to_string())
+    }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("[cdmpp] compiling inference plans failed: {e}");
@@ -154,10 +171,11 @@ fn cmd_train(args: &[String]) -> ! {
         std::process::exit(1);
     }
     eprintln!(
-        "[cdmpp] wrote {save}: {} bytes, {} weight tensors, {} pre-compiled plans, \
-         {} batch specializations",
+        "[cdmpp] wrote {save}: {} bytes, {} weight tensors ({} storage), \
+         {} pre-compiled plans, {} batch specializations",
         bytes.len(),
         snap.params.len(),
+        quant.name(),
         snap.plans.len(),
         snap.spec_plans.len()
     );
@@ -181,8 +199,14 @@ fn parse_snapshot_args(args: &[String]) -> (String, Network, u64, DeviceSpec) {
 fn load_model(path: &str) -> InferenceModel {
     match InferenceModel::from_snapshot_file(path) {
         Ok(m) => {
+            let storage = match m.predictor.quant_kind() {
+                Some(kind) => kind.name(),
+                None => "f32",
+            };
             eprintln!(
-                "[cdmpp] loaded {path} (plan recordings performed: {})",
+                "[cdmpp] loaded {path} ({storage} weights, {} serving bytes, \
+                 plan recordings performed: {})",
+                m.predictor.serving_weights_bytes(),
                 m.predictor.plan_compile_count()
             );
             m
