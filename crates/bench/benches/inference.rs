@@ -15,8 +15,10 @@
 //! executors at predictor batch shapes, single-threaded serving-stream
 //! comparisons (InferCtx bucketing loop vs compiled-plan replay), an
 //! **engine scheduling** comparison (ragged vs stable-class vs padded
-//! chunking on a mixed-size request load through one worker), and the
-//! plan compiler's fusion counters.
+//! chunking on a mixed-size request load through one worker), an
+//! **adaptive batching** sweep (a concurrent trickle of small calls under
+//! batch windows of 0/1/4 ms, with traffic-aware class promotion), and
+//! the plan compiler's fusion counters.
 
 use baselines::{GbtConfig, GbtRegressor};
 use cdmpp_core::batch::{build_scaled_batch, group_by_leaf, EncodedSample, FeatScaler};
@@ -30,7 +32,7 @@ use learn::TransformKind;
 use nn::InferCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use runtime::{ChunkPolicy, EngineConfig, FaultPlan, InferenceEngine};
+use runtime::{BatchWindow, ChunkPolicy, EngineConfig, FaultPlan, InferenceEngine};
 use std::hint::black_box;
 use std::time::Instant;
 use tensor::Tensor;
@@ -371,6 +373,10 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
                 max_batch: 64,
                 policy,
                 faults: Some(FaultPlan::none()),
+                // Pin windowing/promotion off: these rows isolate the
+                // chunk policy, comparable across PRs and environments.
+                batch_window: Some(BatchWindow::off()),
+                promote_after: 0,
                 ..Default::default()
             },
         );
@@ -409,6 +415,89 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         engine.shutdown();
     }
 
+    // Adaptive batching: a trickle stream — three concurrent callers each
+    // submitting small 5-sample calls, far below class-fill rate for a
+    // 64-class engine — swept across batch windows. With the window off,
+    // every call dispatches its own below-class chunk immediately; with a
+    // window, concurrent partial chunks merge in the pending buffers and
+    // dispatch on fill or `max_delay`, so whole-call p99 is bounded by
+    // ~`max_delay` + one replay instead of scaling with dispatch count.
+    // The recurring 5-sample remainder also drives traffic-aware class
+    // promotion (threshold 8), visible in the promotions/promoted columns.
+    let calls: Vec<Vec<EncodedSample>> = (0..3)
+        .map(|t| {
+            (0..5)
+                .map(|i| enc[(t * 29 + i * 7) % enc.len()].clone())
+                .map(|mut s| {
+                    s.leaf_count = 4; // one leaf bucket -> calls can merge
+                    s.x.resize(4 * N_ENTRY, 0.2);
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let mut adaptive_rows = Vec::new();
+    for window_ms in [0u64, 1, 4] {
+        let engine = InferenceEngine::new(
+            model.freeze(),
+            EngineConfig {
+                workers: 2,
+                max_batch: 64,
+                policy: ChunkPolicy::Stable,
+                faults: Some(FaultPlan::none()),
+                batch_window: Some(BatchWindow::millis(window_ms)),
+                promote_after: 8,
+                ..Default::default()
+            },
+        );
+        // Warm plans/arenas outside the timed loop.
+        engine.predict_samples(&calls[0]).unwrap();
+        let mut lat: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = calls
+                .iter()
+                .map(|call| {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        (0..40)
+                            .map(|_| {
+                                let t0 = Instant::now();
+                                black_box(engine.predict_samples(black_box(call)).unwrap());
+                                t0.elapsed().as_nanos() as f64
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (lat[lat.len() / 2], lat[(lat.len() * 99).div_ceil(100) - 1]);
+        let stats = engine.stats();
+        let promoted = engine.promoted_classes();
+        eprintln!(
+            "adaptive[{window_ms}ms] p50={p50:.0}ns p99={p99:.0}ns promoted={promoted:?} {stats}"
+        );
+        adaptive_rows.push(format!(
+            "    {{\"max_delay_ms\": {window_ms}, \"calls\": {}, \"samples_per_call\": 5, \
+             \"call_p50_ns\": {p50:.0}, \"call_p99_ns\": {p99:.0}, \
+             \"window_fill_flushes\": {}, \"window_timer_flushes\": {}, \
+             \"promotions\": {}, \"promoted_classes\": [{}]}}",
+            lat.len(),
+            stats.window_fill_flushes,
+            stats.window_timer_flushes,
+            stats.promotions,
+            promoted
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        engine.shutdown();
+    }
+
     // The compiler's own counters for the densest shape served above.
     let stats = frozen.predictor.plan_for(8).unwrap().stats();
     let stats_json = format!(
@@ -432,13 +521,14 @@ fn emit_json(model: &TrainedModel, enc: &[EncodedSample]) {
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"inference_plan\",\n  \"host_cores\": {cores},\n  \
-         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan/spec replay by reference with a warmed arena. quantized_serving serves the plan stream from f32/bf16/i8 frozen weights (fused-dequant prepacked GEMMs, warmed pack cache); accuracy_delta_vs_f32 is the mean relative prediction error and is additionally asserted against the gate (i8 <= 0.05, bf16 <= 0.01) in cargo test. engine_scheduling drives one worker with a mixed-size request load under each chunk policy.\",\n  \
+         \"note\": \"single-thread executor comparison at predictor batch shapes (global pool pinned to 1 thread). taped/infer_ctx take tensors by value per their signatures; plan/spec replay by reference with a warmed arena. quantized_serving serves the plan stream from f32/bf16/i8 frozen weights (fused-dequant prepacked GEMMs, warmed pack cache); accuracy_delta_vs_f32 is the mean relative prediction error and is additionally asserted against the gate (i8 <= 0.05, bf16 <= 0.01) in cargo test. engine_scheduling drives one worker with a mixed-size request load under each chunk policy (batch window pinned off for comparability). adaptive_batching drives a concurrent trickle of small same-leaf calls (3 callers x 40 calls x 5 samples, max_batch 64) under batch windows of 0/1/4 ms with promotion threshold 8: with a window, concurrent partial chunks merge and whole-call p99 is bounded by ~max_delay + one replay; the recurring remainder size is promoted to a batch class at runtime (promotions/promoted_classes columns). all outputs remain bit-identical to serial.\",\n  \
          \"plan_stats_leaf8\": {stats_json},\n  \
-         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ],\n  \"quantized_serving\": [\n{}\n  ],\n  \"engine_scheduling\": [\n{}\n  ]\n}}\n",
+         \"batch\": [\n{}\n  ],\n  \"serving_stream\": [\n{}\n  ],\n  \"quantized_serving\": [\n{}\n  ],\n  \"engine_scheduling\": [\n{}\n  ],\n  \"adaptive_batching\": [\n{}\n  ]\n}}\n",
         batch_rows.join(",\n"),
         stream_rows.join(",\n"),
         quant_rows.join(",\n"),
-        engine_rows.join(",\n")
+        engine_rows.join(",\n"),
+        adaptive_rows.join(",\n")
     );
     let path = std::env::var("BENCH_INFERENCE_JSON").unwrap_or_else(|_| {
         format!(

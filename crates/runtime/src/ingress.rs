@@ -33,30 +33,59 @@ use crate::swap::Served;
 /// (post-dequeue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deadline {
-    at: Instant,
+    /// `None` = effectively never expires: a duration too large to add to
+    /// the current instant saturates here instead of panicking.
+    at: Option<Instant>,
 }
 
 impl Deadline {
-    /// A deadline `d` from now.
+    /// A deadline `d` from now. A duration too large to represent as an
+    /// absolute instant (e.g. `Duration::MAX` from a huge `--deadline-ms`)
+    /// saturates to a deadline that never expires.
     pub fn within(d: Duration) -> Deadline {
         Deadline {
-            at: Instant::now() + d,
+            at: Instant::now().checked_add(d),
         }
     }
 
     /// A deadline at an absolute instant.
     pub fn at(at: Instant) -> Deadline {
-        Deadline { at }
+        Deadline { at: Some(at) }
+    }
+
+    /// A deadline that never expires (what oversized durations saturate
+    /// to: the request is deadline-tracked but is never shed).
+    pub fn never() -> Deadline {
+        Deadline { at: None }
     }
 
     /// Whether the deadline has passed.
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+        self.at.is_some_and(|at| Instant::now() >= at)
     }
 
-    /// Time left before expiry (zero once expired).
+    /// Time left before expiry (zero once expired, `Duration::MAX` for a
+    /// deadline that never expires).
     pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
+        match self.at {
+            Some(at) => at.saturating_duration_since(Instant::now()),
+            None => Duration::MAX,
+        }
+    }
+
+    /// The absolute expiry instant (`None` = never expires).
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// The later of two deadlines — a never-expiring deadline dominates.
+    /// The window collector merges segments under the *latest* deadline so
+    /// a worker-side shed can never discard a segment that still had time.
+    pub(crate) fn later(self, other: Deadline) -> Deadline {
+        match (self.at, other.at) {
+            (Some(a), Some(b)) => Deadline { at: Some(a.max(b)) },
+            _ => Deadline { at: None },
+        }
     }
 }
 
@@ -103,6 +132,9 @@ pub(crate) enum ChunkError {
     /// A worker panicked while executing the chunk (caught; the worker
     /// respawned).
     Panicked,
+    /// The engine shut down while the chunk was pending in the batch
+    /// window (maps to `EngineError::WorkersUnavailable` for the call).
+    Shutdown,
 }
 
 pub(crate) type ChunkReply = (usize, Result<Vec<f32>, ChunkError>);
@@ -143,6 +175,27 @@ impl Drop for ReplyGuard {
     }
 }
 
+/// Where one executed chunk's predictions go: straight back to the one
+/// call that dispatched it, or split across the calls whose remainder
+/// segments the batch window merged into this chunk.
+pub(crate) enum JobReply {
+    /// A chunk owned by one call: the reply goes to its chunk tag.
+    Direct(ReplyGuard),
+    /// A window-merged chunk: predictions are split back per segment.
+    Window(crate::window::WindowReply),
+}
+
+impl JobReply {
+    /// Delivers the chunk's reply (fanning a merged chunk's predictions or
+    /// failure out to every segment it carried).
+    pub fn send(self, r: Result<Vec<f32>, ChunkError>) {
+        match self {
+            JobReply::Direct(g) => g.send(r),
+            JobReply::Window(w) => w.send(r),
+        }
+    }
+}
+
 /// One dense batch dispatched to a worker.
 pub(crate) struct Job {
     pub x: Tensor,
@@ -152,7 +205,7 @@ pub(crate) struct Job {
     /// The model generation captured at admission: in-flight chunks finish
     /// on the model they were admitted under, even across a hot swap.
     pub served: Arc<Served>,
-    pub reply: ReplyGuard,
+    pub reply: JobReply,
 }
 
 /// Admission failure, mapped to `EngineError` by the engine.
@@ -229,9 +282,13 @@ impl JobQueue {
                 Ok(())
             };
         }
-        let wait_until = match policy {
+        // Outer `None` = `Reject` (never wait); inner `None` = a `Block`
+        // timeout too large to represent as an instant, which saturates to
+        // "wait indefinitely" (still bounded by the request deadline and
+        // woken by close) instead of panicking on `Instant` overflow.
+        let wait_until: Option<Option<Instant>> = match policy {
             AdmissionPolicy::Reject => None,
-            AdmissionPolicy::Block { timeout } => Some(Instant::now() + timeout),
+            AdmissionPolicy::Block { timeout } => Some(Instant::now().checked_add(timeout)),
         };
         loop {
             if inner.closed {
@@ -240,31 +297,38 @@ impl JobQueue {
             if inner.q.len() < self.capacity {
                 return Ok(());
             }
-            let now = Instant::now();
             if deadline.is_some_and(|d| d.expired()) {
                 return Err(AdmitError::DeadlineExceeded);
             }
-            let Some(until) = wait_until else {
+            let Some(block_until) = wait_until else {
                 return Err(AdmitError::Overloaded {
                     depth: inner.q.len(),
                     capacity: self.capacity,
                 });
             };
-            let mut until = until;
-            if let Some(d) = deadline {
-                until = until.min(now + d.remaining());
+            let now = Instant::now();
+            if block_until.is_some_and(|t| t <= now) {
+                return Err(AdmitError::Overloaded {
+                    depth: inner.q.len(),
+                    capacity: self.capacity,
+                });
             }
-            let Some(wait) = until.checked_duration_since(now).filter(|w| !w.is_zero()) else {
-                return Err(AdmitError::Overloaded {
-                    depth: inner.q.len(),
-                    capacity: self.capacity,
-                });
+            // Wake at the earliest bound among the block timeout and the
+            // request deadline; with neither representable, wait until
+            // signalled (headroom or close).
+            let target = [block_until, deadline.and_then(|d| d.instant())]
+                .into_iter()
+                .flatten()
+                .min();
+            inner = match target {
+                Some(t) => {
+                    self.not_full
+                        .wait_timeout(inner, t.saturating_duration_since(now))
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+                None => self.not_full.wait(inner).unwrap_or_else(|p| p.into_inner()),
             };
-            let (guard, _) = self
-                .not_full
-                .wait_timeout(inner, wait)
-                .unwrap_or_else(|p| p.into_inner());
-            inner = guard;
         }
     }
 
@@ -292,9 +356,11 @@ impl JobQueue {
                 return Err((PushError::DeadlineExceeded, Box::new(job)));
             }
             // Bound each wait so deadline expiry is noticed promptly even
-            // if no worker signals.
+            // if no worker signals. A never-expiring deadline waits on the
+            // same heartbeat as no deadline (nothing to notice early).
             let wait = deadline
-                .map(|d| d.remaining())
+                .and_then(|d| d.instant())
+                .map(|at| at.saturating_duration_since(Instant::now()))
                 .filter(|w| !w.is_zero())
                 .unwrap_or(Duration::from_millis(50));
             let (guard, _) = self

@@ -35,6 +35,15 @@
 //!   whose size is a registered **batch class** (`1` and `max_batch`)
 //!   replay a batch-specialized fold, odd-size remainders fall back to the
 //!   batch-generic plan.
+//! * **Adaptive dispatch** ([`window`]): with a [`BatchWindow`] configured,
+//!   partially-filled chunks are held briefly and merged *across calls* of
+//!   the same `(generation, leaf count)` — a pending buffer dispatches the
+//!   moment it fills to the batch class or when its oldest sample has
+//!   waited `max_delay`, so a trickle stream's tail latency stays bounded
+//!   while full-class (specialized-plan) dispatch rates go up. Recurring
+//!   remainder sizes are **promoted** to batch classes at runtime
+//!   (`EngineConfig::promote_after`), registered + prewarmed off the hot
+//!   path. Results stay request-ordered and bitwise equal to serial.
 //! * The engine implements `cdmpp_core::CostModel`, so it drops into the
 //!   schedule search as a faster scorer; scoring failures shed candidates
 //!   to `INFINITY` ranks and count in [`EngineStats`] instead of aborting
@@ -57,15 +66,19 @@ mod ingress;
 mod stats;
 mod supervisor;
 mod swap;
+mod window;
 
 pub use faults::FaultPlan;
 pub use ingress::{AdmissionPolicy, Deadline, SubmitOptions};
 pub use stats::EngineStats;
+pub use swap::SnapshotWatcher;
+pub use window::BatchWindow;
 
 use faults::FaultSite;
-use ingress::{AdmitError, ChunkError, ChunkReply, Job, JobQueue, PushError, ReplyGuard};
+use ingress::{AdmitError, ChunkError, ChunkReply, Job, JobQueue, JobReply, PushError, ReplyGuard};
 use stats::StatsInner;
 use swap::Served;
+use window::Adaptive;
 
 /// Errors from the serving engine.
 #[derive(Debug)]
@@ -186,8 +199,17 @@ fn for_each_chunk(
         emit(i * mb, (i + 1) * mb, mb);
     }
     if rem > 0 {
+        // Widening arithmetic: `rem * 100` in `usize` overflows on
+        // adversarial lengths (rem near `usize::MAX`); and a fill
+        // threshold above 100 is clamped — it could never be met (the
+        // remainder is by definition below the class), so an unclamped
+        // value would silently disable padding.
         let dispatch = match policy {
-            ChunkPolicy::PadToClass { min_fill_pct } if rem * 100 >= min_fill_pct * mb => mb,
+            ChunkPolicy::PadToClass { min_fill_pct }
+                if (rem as u128) * 100 >= (min_fill_pct.min(100) as u128) * (mb as u128) =>
+            {
+                mb
+            }
             _ => rem,
         };
         emit(full * mb, len, dispatch);
@@ -219,6 +241,10 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 /// Default per-chunk re-dispatch budget after a caught worker panic.
 pub const DEFAULT_MAX_RETRIES: usize = 3;
 
+/// Default promotion threshold: a non-class dispatch size recurring this
+/// many times is promoted to a batch class (0 disables promotion).
+pub const DEFAULT_PROMOTE_AFTER: u64 = 32;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -248,6 +274,19 @@ pub struct EngineConfig {
     /// variable (empty plan when unset); tests pin `Some(plan)` to stay
     /// deterministic regardless of the environment.
     pub faults: Option<FaultPlan>,
+    /// Time-window batching knob. `None` reads the `CDMPP_BATCH_WINDOW_MS`
+    /// environment variable (off when unset); tests pin
+    /// `Some(BatchWindow::off())` or an explicit window to stay
+    /// deterministic. With a non-zero window, a partially-filled chunk is
+    /// held so later calls can merge into it — it dispatches on fill or
+    /// when its oldest sample has waited `max_delay`. Merging never
+    /// changes bits: every kernel computes batch rows independently.
+    pub batch_window: Option<BatchWindow>,
+    /// Promotion threshold: a non-class dispatch size recurring this many
+    /// times becomes a batch class (registered + prewarmed off the hot
+    /// path). `0` disables promotion; forced to `0` under
+    /// [`ChunkPolicy::Ragged`] (no class routing to promote into).
+    pub promote_after: u64,
 }
 
 impl Default for EngineConfig {
@@ -260,6 +299,8 @@ impl Default for EngineConfig {
             admission: AdmissionPolicy::Reject,
             max_retries: DEFAULT_MAX_RETRIES,
             faults: None,
+            batch_window: None,
+            promote_after: DEFAULT_PROMOTE_AFTER,
         }
     }
 }
@@ -309,6 +350,13 @@ pub struct InferenceEngine {
     /// Pooled dispatch scratch: concurrent `predict_samples` calls each
     /// take one set of index buffers and return it when done.
     scratch: Mutex<Vec<DispatchScratch>>,
+    /// The adaptive dispatch tier (window buffers + promotion histogram);
+    /// present when a window is configured or promotion is enabled.
+    adaptive: Option<Arc<Adaptive>>,
+    /// The collector thread driving the window timer and promotions;
+    /// joined (after `Adaptive::close`) before the queue closes, so the
+    /// timer provably never fires after shutdown.
+    adaptive_thread: Mutex<Option<JoinHandle<()>>>,
     stats: Arc<StatsInner>,
     faults: FaultPlan,
     cfg: EngineConfig,
@@ -324,6 +372,15 @@ impl InferenceEngine {
     pub fn new(model: InferenceModel, cfg: EngineConfig) -> Self {
         let stats = Arc::new(StatsInner::default());
         let mut cfg = cfg;
+        // A fill threshold above 100 can never be met; clamp it so
+        // `config()` reflects what actually runs.
+        if let ChunkPolicy::PadToClass { min_fill_pct } = &mut cfg.policy {
+            *min_fill_pct = (*min_fill_pct).min(100);
+        }
+        // Resolve the window once (tri-state like `faults`: `None` reads
+        // the environment) and pin the resolution into the config.
+        let window = cfg.batch_window.unwrap_or_else(BatchWindow::from_env);
+        cfg.batch_window = Some(window);
         if cfg.policy != ChunkPolicy::Ragged {
             let ok = model.predictor.register_batch_class(1)
                 && model.predictor.register_batch_class(cfg.max_batch.max(1));
@@ -338,6 +395,10 @@ impl InferenceEngine {
                 stats.class_demotions.fetch_add(1, Ordering::Relaxed);
                 cfg.policy = ChunkPolicy::Ragged;
             }
+        }
+        if cfg.policy == ChunkPolicy::Ragged {
+            // No class routing exists to promote into.
+            cfg.promote_after = 0;
         }
         let faults = cfg.faults.clone().unwrap_or_else(FaultPlan::from_env);
         let queue = JobQueue::new(cfg.queue_capacity);
@@ -360,6 +421,24 @@ impl InferenceEngine {
                 std::thread::spawn(move || supervisor::supervised_worker(ctx))
             })
             .collect();
+        // The adaptive tier exists when there is anything for it to do:
+        // a non-zero window (pending buffers + timer) or promotion (the
+        // collector thread also runs registrations off the hot path).
+        let (adaptive, adaptive_thread) = if !window.is_off() || cfg.promote_after > 0 {
+            let ad = Adaptive::new(
+                Arc::clone(&queue),
+                Arc::clone(&stats),
+                window,
+                cfg.max_batch,
+                cfg.policy,
+                cfg.promote_after,
+            );
+            let runner = Arc::clone(&ad);
+            let t = std::thread::spawn(move || runner.run());
+            (Some(ad), Some(t))
+        } else {
+            (None, None)
+        };
         InferenceEngine {
             served: RwLock::new(Arc::new(Served {
                 model: Arc::new(model),
@@ -368,6 +447,8 @@ impl InferenceEngine {
             queue,
             workers: Mutex::new(workers),
             scratch: Mutex::new(Vec::new()),
+            adaptive,
+            adaptive_thread: Mutex::new(adaptive_thread),
             stats,
             faults,
             cfg,
@@ -428,6 +509,26 @@ impl InferenceEngine {
     /// A snapshot of the engine's traffic/failure counters.
     pub fn stats(&self) -> EngineStats {
         self.stats.snapshot(self.queue.depth())
+    }
+
+    /// The remainder-size frequency histogram driving class promotion, as
+    /// `(dispatch size, occurrences)` pairs for every non-class size seen
+    /// at least once. Empty when promotion is disabled.
+    pub fn remainder_histogram(&self) -> Vec<(usize, u64)> {
+        self.adaptive
+            .as_ref()
+            .map(|a| a.remainder_histogram())
+            .unwrap_or_default()
+    }
+
+    /// Sizes promoted to batch classes at runtime by the traffic-aware
+    /// promotion path (re-prewarmed onto every swapped-in model so a hot
+    /// swap keeps the learned traffic shape).
+    pub fn promoted_classes(&self) -> Vec<usize> {
+        self.adaptive
+            .as_ref()
+            .map(|a| a.promoted())
+            .unwrap_or_default()
     }
 
     pub(crate) fn served(&self) -> Arc<Served> {
@@ -608,6 +709,12 @@ impl InferenceEngine {
             if results[tag].is_some() {
                 continue; // stale duplicate (defensive; guards prevent it)
             }
+            if matches!(res, Err(ChunkError::Shutdown)) {
+                // The engine shut down while this chunk waited in the
+                // batch window — the same call-level outcome as a closed
+                // queue at dispatch time.
+                return Err(EngineError::WorkersUnavailable);
+            }
             if matches!(res, Err(ChunkError::Panicked))
                 && attempts[tag] < self.cfg.max_retries
                 && !opts.deadline.is_some_and(|d| d.expired())
@@ -640,6 +747,7 @@ impl InferenceEngine {
                             ChunkError::Predict(pe) => EngineError::Predict(pe.clone()),
                             ChunkError::DeadlineExceeded => EngineError::DeadlineExceeded,
                             ChunkError::Panicked => EngineError::WorkerPanicked,
+                            ChunkError::Shutdown => EngineError::WorkersUnavailable,
                         });
                     }
                 }
@@ -667,18 +775,39 @@ impl InferenceEngine {
             return Ok(());
         }
         let (s, e, dispatch) = scratch.chunks[tag];
-        let batch = build_scaled_batch_idx(
-            enc,
-            &scratch.groups.order[s..e],
-            dispatch,
-            &served.model.scaler,
-        );
+        let idxs = &scratch.groups.order[s..e];
+        // Windowed routing: a below-class chunk goes to the adaptive
+        // collector *unpadded* (pad-to-class is re-decided at flush time,
+        // against the merged fill) so later calls can merge into it.
+        if let Some(ad) = &self.adaptive {
+            if ad.windowed() && e - s < self.cfg.max_batch {
+                let leaves = enc[idxs[0]].leaf_count;
+                let batch = build_scaled_batch_idx(enc, idxs, 0, &served.model.scaler);
+                return ad.submit(
+                    leaves,
+                    served,
+                    batch.x,
+                    batch.dev,
+                    e - s,
+                    reply,
+                    opts.deadline,
+                );
+            }
+        }
+        let batch = build_scaled_batch_idx(enc, idxs, dispatch, &served.model.scaler);
+        // A non-class direct dispatch is the promotion signal: a size that
+        // keeps replaying the batch-generic plan.
+        if dispatch != self.cfg.max_batch {
+            if let Some(ad) = &self.adaptive {
+                ad.record_remainder(dispatch, served);
+            }
+        }
         let job = Job {
             x: batch.x,
             dev: batch.dev,
             deadline: opts.deadline,
             served: Arc::clone(served),
-            reply,
+            reply: JobReply::Direct(reply),
         };
         match self.queue.push(job) {
             Ok(depth) => {
@@ -718,6 +847,18 @@ impl InferenceEngine {
     /// Requests arriving after (or racing) the shutdown surface
     /// [`EngineError::WorkersUnavailable`] instead of hanging.
     pub fn shutdown(&self) {
+        // Ordering matters: close the adaptive collector and JOIN it
+        // first — its final loop flushes every pending window buffer into
+        // the still-open queue (those samples complete normally), and
+        // once the join returns the window timer provably cannot fire
+        // again. Only then close the queue and drain the workers.
+        if let Some(ad) = &self.adaptive {
+            ad.close();
+        }
+        let collector = self.adaptive_thread.lock().ok().and_then(|mut t| t.take());
+        if let Some(t) = collector {
+            let _ = t.join();
+        }
         self.queue.close();
         let drained = match self.workers.lock() {
             Ok(mut w) => w.drain(..).collect::<Vec<_>>(),

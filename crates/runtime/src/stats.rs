@@ -21,6 +21,9 @@ pub(crate) struct StatsInner {
     pub swaps: AtomicU64,
     pub class_demotions: AtomicU64,
     pub score_sheds: AtomicU64,
+    pub window_fill_flushes: AtomicU64,
+    pub window_timer_flushes: AtomicU64,
+    pub promotions: AtomicU64,
     pub queue_depth_hw: AtomicU64,
 }
 
@@ -49,6 +52,9 @@ impl StatsInner {
             swaps: get(&self.swaps),
             class_demotions: get(&self.class_demotions),
             score_sheds: get(&self.score_sheds),
+            window_fill_flushes: get(&self.window_fill_flushes),
+            window_timer_flushes: get(&self.window_timer_flushes),
+            promotions: get(&self.promotions),
             queue_depth: queue_depth as u64,
             queue_depth_hw: get(&self.queue_depth_hw),
         }
@@ -83,6 +89,15 @@ pub struct EngineStats {
     /// Candidates shed to `f32::INFINITY` scores by the `CostModel` path
     /// because the engine returned an error for them.
     pub score_sheds: u64,
+    /// Window buffers dispatched because they filled to the batch class
+    /// (the merge the window exists to find).
+    pub window_fill_flushes: u64,
+    /// Window buffers dispatched by the `max_delay` timer (partially
+    /// filled — the latency bound doing its job).
+    pub window_timer_flushes: u64,
+    /// Remainder sizes promoted to batch classes at runtime by the
+    /// traffic-aware promotion path.
+    pub promotions: u64,
     /// Current submission-queue depth (chunks).
     pub queue_depth: u64,
     /// Highest queue depth observed since engine start.
@@ -95,7 +110,8 @@ impl std::fmt::Display for EngineStats {
             f,
             "admitted={} rejected={} deadline_sheds={} worker_panics={} \
              worker_restarts={} chunk_retries={} completed_chunks={} swaps={} \
-             class_demotions={} score_sheds={} queue_depth={} queue_depth_hw={}",
+             class_demotions={} score_sheds={} window_fill_flushes={} \
+             window_timer_flushes={} promotions={} queue_depth={} queue_depth_hw={}",
             self.admitted,
             self.rejected,
             self.deadline_sheds,
@@ -106,6 +122,9 @@ impl std::fmt::Display for EngineStats {
             self.swaps,
             self.class_demotions,
             self.score_sheds,
+            self.window_fill_flushes,
+            self.window_timer_flushes,
+            self.promotions,
             self.queue_depth,
             self.queue_depth_hw
         )

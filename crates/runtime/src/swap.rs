@@ -51,7 +51,15 @@ impl InferenceEngine {
     /// serve it to), and neither call can deadlock the other.
     pub fn swap_model(&self, model: InferenceModel) -> Result<u64, EngineError> {
         if self.config().policy != ChunkPolicy::Ragged {
-            let classes = [1, self.config().max_batch.max(1)];
+            // The stable classes, plus every class the promotion path
+            // learned from live traffic — a swap keeps the learned
+            // traffic shape instead of resetting to {1, max_batch}.
+            let mut classes = vec![1, self.config().max_batch.max(1)];
+            for b in self.promoted_classes() {
+                if !classes.contains(&b) {
+                    classes.push(b);
+                }
+            }
             model
                 .predictor
                 .prewarm_classes(&classes)
@@ -98,5 +106,63 @@ impl InferenceEngine {
     pub fn swap_snapshot_bytes(&self, bytes: &[u8]) -> Result<u64, EngineError> {
         let model = InferenceModel::from_snapshot_bytes(bytes).map_err(EngineError::Snapshot)?;
         self.swap_model(model)
+    }
+}
+
+/// Polls a snapshot file for changes and hot-swaps the engine when it is
+/// rewritten — the `serve --watch` loop, factored out so its edge cases
+/// are testable:
+///
+/// * change detection compares **`(mtime, len)`**, not mtime alone — a
+///   same-size-different-content rewrite within the filesystem's mtime
+///   granularity would otherwise be missed, and a length change with a
+///   clock-skewed mtime would too;
+/// * the watched state advances **only after a successful swap** — a
+///   half-written file that fails to decode is retried on the next poll
+///   (instead of being recorded as "seen" and the final write missed);
+/// * a transient `stat` failure (file briefly absent mid-rewrite) is a
+///   no-op, not a forgotten state — recovery with unchanged `(mtime, len)`
+///   does not re-trigger a swap.
+pub struct SnapshotWatcher {
+    path: std::path::PathBuf,
+    /// `(mtime, len)` of the last successfully swapped snapshot; `None`
+    /// until the first successful swap through this watcher.
+    state: Option<(std::time::SystemTime, u64)>,
+}
+
+impl SnapshotWatcher {
+    /// Watches `path`, treating its current `(mtime, len)` as already
+    /// served (the caller typically just loaded the engine from it).
+    pub fn new(path: impl Into<std::path::PathBuf>) -> SnapshotWatcher {
+        let path = path.into();
+        let state = Self::probe(&path);
+        SnapshotWatcher { path, state }
+    }
+
+    /// The watched path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn probe(path: &std::path::Path) -> Option<(std::time::SystemTime, u64)> {
+        let meta = std::fs::metadata(path).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    /// One poll: returns `None` when the file is unchanged (or
+    /// transiently unreadable), otherwise the result of attempting the
+    /// swap. On `Some(Err(_))` the watched state is **not** advanced — the
+    /// next poll retries, so a half-written file converges to a swap once
+    /// the writer finishes.
+    pub fn poll(&mut self, engine: &InferenceEngine) -> Option<Result<u64, EngineError>> {
+        let current = Self::probe(&self.path)?;
+        if Some(current) == self.state {
+            return None;
+        }
+        let res = engine.swap_snapshot(&self.path);
+        if res.is_ok() {
+            self.state = Some(current);
+        }
+        Some(res)
     }
 }

@@ -515,6 +515,54 @@ fn every_fault_and_policy_combination_resolves_cleanly() {
 }
 
 #[test]
+fn delay_faults_racing_the_batch_window_stay_bit_exact() {
+    // Injected replay latency (2ms every 3rd chunk) against a 1ms batch
+    // window: timer flushes race slowed workers, window merges race
+    // fill flushes, and concurrent callers' partial chunks interleave in
+    // the pending buffers. Every call must still come back bit-identical
+    // to the serial reference — delays reorder *when* merged chunks
+    // execute, never what they compute.
+    let model = frozen(TransformKind::None);
+    let enc = stream(21); // leaf mix -> several below-class partial chunks
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_window: Some(runtime::BatchWindow::millis(1)),
+            promote_after: 4,
+            faults: Some(FaultPlan::parse("delay@replay:ms=2,every=3").unwrap()),
+            ..Default::default()
+        },
+    );
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                for _ in 0..8 {
+                    assert_eq!(
+                        engine.predict_samples(&enc).unwrap(),
+                        want,
+                        "windowed results must match serial under delay faults"
+                    );
+                }
+            });
+        }
+    });
+    let s = engine.stats();
+    assert!(
+        s.window_fill_flushes + s.window_timer_flushes > 0,
+        "the window must actually have dispatched something: {s}"
+    );
+    // Teardown under the same faults: typed refusal, no hang.
+    engine.shutdown();
+    match engine.predict_samples(&enc) {
+        Err(EngineError::WorkersUnavailable) => {}
+        other => panic!("expected WorkersUnavailable after shutdown, got {other:?}"),
+    }
+}
+
+#[test]
 fn pre_expired_deadline_is_shed_before_admission() {
     let engine = engine_with(
         "",

@@ -15,7 +15,8 @@ use features::{N_DEVICE_FEATURES, N_ENTRY};
 use learn::TransformKind;
 use proptest::prelude::*;
 use runtime::{
-    plan_chunks, ChunkPolicy, EngineConfig, EngineError, FaultPlan, InferenceEngine, PlannedChunk,
+    plan_chunks, BatchWindow, ChunkPolicy, EngineConfig, EngineError, FaultPlan, InferenceEngine,
+    PlannedChunk,
 };
 
 fn frozen_model() -> cdmpp_core::InferenceModel {
@@ -250,6 +251,254 @@ fn planned_chunk_shapes_match_issue_contract() {
     assert_eq!(
         plan_chunks(19, 8, ChunkPolicy::Stable),
         plan_chunks(19, 8, ChunkPolicy::Ragged)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The windowed dispatcher under any arrival pattern: the stream is
+    /// split across concurrent callers whose partial chunks merge in the
+    /// batch window, and every caller must get back exactly the serial
+    /// reference predictions for its own slice — any window, any policy,
+    /// bitwise.
+    #[test]
+    fn windowed_dispatch_matches_serial_for_any_arrival_pattern(
+        leaves in proptest::collection::vec(1usize..=8, 3..30),
+        cuts in proptest::collection::vec(0usize..30, 2),
+        policy_idx in 0usize..3,
+        window_ms in prop_oneof![Just(0u64), Just(1), Just(4)],
+    ) {
+        let model = frozen_model();
+        let enc = stream_of(&leaves);
+        // Split into up to three call slices at arbitrary points.
+        let mut cut: Vec<usize> = cuts.iter().map(|&c| c % enc.len()).collect();
+        cut.sort_unstable();
+        let slices = [
+            &enc[..cut[0]],
+            &enc[cut[0]..cut[1]],
+            &enc[cut[1]..],
+        ];
+        let want: Vec<Vec<f64>> = slices
+            .iter()
+            .map(|s| model.predict_samples(s).unwrap())
+            .collect();
+        let engine = InferenceEngine::new(
+            model,
+            EngineConfig {
+                workers: 3,
+                max_batch: 8,
+                policy: policies()[policy_idx],
+                faults: Some(FaultPlan::none()),
+                batch_window: Some(BatchWindow::millis(window_ms)),
+                promote_after: 0,
+                ..Default::default()
+            },
+        );
+        // Concurrent callers: their partial chunks land in the window
+        // together and merge whenever generations + leaf counts line up.
+        let got: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|slice| {
+                    let engine = &engine;
+                    s.spawn(move || engine.predict_samples(slice).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        prop_assert_eq!(got, want, "window {}ms", window_ms);
+    }
+}
+
+/// Shutdown with samples still waiting in the batch window: the pending
+/// buffer is flushed and completes exactly (never dropped, never hung),
+/// the collector is joined so the window timer provably cannot fire
+/// afterwards, and later calls get `WorkersUnavailable`.
+#[test]
+fn window_timer_never_fires_after_shutdown_and_pending_work_completes() {
+    let model = frozen_model();
+    let enc = stream_of(&[5usize; 3]); // one partial chunk, far below max_batch
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            // A window so large its due time saturates: the buffer can
+            // only flush on fill or shutdown — so the call below is
+            // provably parked in the window until shutdown flushes it.
+            batch_window: Some(BatchWindow::millis(u64::MAX)),
+            promote_after: 0,
+            faults: Some(FaultPlan::none()),
+            ..Default::default()
+        },
+    );
+    std::thread::scope(|s| {
+        let caller = {
+            let engine = &engine;
+            let enc = &enc;
+            s.spawn(move || engine.predict_samples(enc))
+        };
+        // Wait until the call is admitted (its chunk is then in the
+        // window), then give the submit a moment to finish.
+        let t0 = std::time::Instant::now();
+        while engine.stats().admitted < 1 {
+            assert!(t0.elapsed().as_secs() < 5, "call never admitted");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            engine.stats().completed_chunks,
+            0,
+            "the partial chunk must be parked in the window, not dispatched"
+        );
+        engine.shutdown();
+        let got = caller.join().unwrap().unwrap();
+        assert_eq!(got, want, "shutdown-flushed window work must stay exact");
+    });
+    let timer_flushes = engine.stats().window_timer_flushes;
+    assert_eq!(timer_flushes, 0, "a saturated window never timer-fires");
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    assert_eq!(
+        engine.stats().window_timer_flushes,
+        timer_flushes,
+        "the joined collector cannot fire after shutdown"
+    );
+    match engine.predict_samples(&enc) {
+        Err(EngineError::WorkersUnavailable) => {}
+        other => panic!("expected WorkersUnavailable after shutdown, got {other:?}"),
+    }
+}
+
+/// Traffic-aware promotion: a recurring remainder size becomes a batch
+/// class (visible in the model's registry and `stats().promotions`), and
+/// results before, across, and after the promotion are bitwise identical
+/// to serial — promotion changes which plan replays, never the bits.
+#[test]
+fn promotion_of_recurring_remainder_never_changes_results() {
+    let model = frozen_model();
+    let enc = stream_of(&[4usize; 13]); // one full chunk + remainder 5
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            policy: ChunkPolicy::Stable,
+            batch_window: Some(BatchWindow::off()),
+            promote_after: 3,
+            faults: Some(FaultPlan::none()),
+            ..Default::default()
+        },
+    );
+    for _ in 0..3 {
+        assert_eq!(engine.predict_samples(&enc).unwrap(), want);
+    }
+    // Promotion runs on the collector thread; poll for it to land.
+    let t0 = std::time::Instant::now();
+    while !engine.model().predictor.is_batch_class(5) {
+        assert!(
+            t0.elapsed().as_secs() < 5,
+            "remainder size 5 was never promoted (histogram: {:?})",
+            engine.remainder_histogram()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(engine.stats().promotions >= 1);
+    assert!(engine.promoted_classes().contains(&5));
+    assert!(
+        engine
+            .remainder_histogram()
+            .iter()
+            .any(|&(size, n)| size == 5 && n >= 3),
+        "histogram must have counted the recurring remainder"
+    );
+    // Post-promotion calls replay the specialized fold for size 5 — and
+    // must still be bit-identical.
+    for _ in 0..3 {
+        assert_eq!(engine.predict_samples(&enc).unwrap(), want);
+    }
+}
+
+/// Promotion against a full class registry: the attempt is counted as a
+/// demotion (observable, never retried, never a dispatch stall) and
+/// serving stays exact on the generic plan.
+#[test]
+fn promotion_into_full_registry_counts_a_demotion() {
+    let model = frozen_model();
+    let enc = stream_of(&[4usize; 13]); // remainder size 5
+    let want = model.predict_samples(&enc).unwrap();
+    let engine = InferenceEngine::new(
+        model,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            policy: ChunkPolicy::Stable,
+            batch_window: Some(BatchWindow::off()),
+            promote_after: 2,
+            faults: Some(FaultPlan::none()),
+            ..Default::default()
+        },
+    );
+    // Fill the registry after construction ({1, 8} already occupy 2 slots).
+    let predictor = &engine.model().predictor;
+    while predictor.batch_classes().len() < cdmpp_core::MAX_BATCH_CLASSES {
+        assert!(predictor.register_batch_class(100 + predictor.batch_classes().len()));
+    }
+    for _ in 0..2 {
+        assert_eq!(engine.predict_samples(&enc).unwrap(), want);
+    }
+    let t0 = std::time::Instant::now();
+    while engine.stats().class_demotions < 1 {
+        assert!(
+            t0.elapsed().as_secs() < 5,
+            "failed promotion was never counted as a demotion"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(!engine.model().predictor.is_batch_class(5));
+    assert_eq!(engine.stats().promotions, 0);
+    assert_eq!(engine.predict_samples(&enc).unwrap(), want);
+}
+
+/// `min_fill_pct` hygiene: values above 100 are clamped (they could never
+/// be met — a remainder is by definition below the class), and the fill
+/// test uses widening arithmetic so adversarial lengths cannot overflow
+/// `rem * 100`.
+#[test]
+fn min_fill_pct_is_clamped_and_overflow_safe() {
+    // Adversarial length: rem = usize::MAX - 1 would overflow rem * 100
+    // in usize; with widening arithmetic the ~100% fill pads cleanly.
+    let chunks = plan_chunks(
+        usize::MAX - 1,
+        usize::MAX,
+        ChunkPolicy::PadToClass { min_fill_pct: 50 },
+    );
+    assert_eq!(chunks.len(), 1);
+    assert_eq!(chunks[0].dispatch, usize::MAX, "99.9% fill must pad");
+    // A threshold above 100 behaves exactly like 100 (never pads a
+    // partial remainder) instead of overflowing or silently diverging.
+    assert_eq!(
+        plan_chunks(19, 8, ChunkPolicy::PadToClass { min_fill_pct: 150 }),
+        plan_chunks(19, 8, ChunkPolicy::PadToClass { min_fill_pct: 100 }),
+    );
+    // The engine clamps the configured policy observably.
+    let engine = InferenceEngine::new(
+        frozen_model(),
+        EngineConfig {
+            workers: 1,
+            max_batch: 8,
+            policy: ChunkPolicy::PadToClass { min_fill_pct: 150 },
+            faults: Some(FaultPlan::none()),
+            batch_window: Some(BatchWindow::off()),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        engine.config().policy,
+        ChunkPolicy::PadToClass { min_fill_pct: 100 },
+        "config() must reflect the clamped threshold"
     );
 }
 

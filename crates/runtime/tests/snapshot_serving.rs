@@ -7,7 +7,7 @@ use cdmpp_core::batch::EncodedSample;
 use cdmpp_core::{pretrain, PredictorConfig, Snapshot, TrainConfig};
 use dataset::{Dataset, GenConfig, SplitIndices};
 use features::{N_DEVICE_FEATURES, N_ENTRY};
-use runtime::{EngineConfig, InferenceEngine};
+use runtime::{EngineConfig, EngineError, InferenceEngine, SnapshotWatcher};
 
 fn trained() -> cdmpp_core::TrainedModel {
     let ds = Dataset::generate_with_networks(
@@ -113,5 +113,85 @@ fn snapshot_file_round_trips_through_the_engine() {
     let want = model.freeze().predict_samples(&enc).unwrap();
     assert_eq!(got, want);
     assert_eq!(engine.model().predictor.plan_compile_count(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `serve --watch` edge cases, through [`SnapshotWatcher`]:
+///
+/// * a rewrite that only changes the file's **length** (mtime pinned to
+///   the old value, as same-granularity rewrites do) still triggers a
+///   swap — mtime-only comparison missed exactly this;
+/// * a **failed** swap (half-written/garbage file) does not advance the
+///   watched state, so the next poll retries instead of treating the
+///   final write as already seen;
+/// * a transient `stat` failure (file briefly absent mid-rewrite) is a
+///   no-op, and recovery with unchanged `(mtime, len)` does not
+///   re-trigger a swap.
+#[test]
+fn snapshot_watcher_catches_same_mtime_rewrites_and_retries_failures() {
+    let model = trained();
+    let dir = std::env::temp_dir().join(format!("cdmpp-watch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("watched.cdmppsnap");
+    model.save_snapshot(&path).unwrap();
+
+    let engine = InferenceEngine::from_snapshot_file(&path, EngineConfig::single_worker()).unwrap();
+    let mut watcher = SnapshotWatcher::new(&path);
+    assert_eq!(watcher.path(), path.as_path());
+
+    // Unchanged file: no swap.
+    assert!(watcher.poll(&engine).is_none());
+    assert_eq!(engine.generation(), 0);
+
+    // Garbage rewrite with the mtime pinned back to the original value:
+    // only the length differs, and the watcher must still notice. The
+    // swap fails typed — and must NOT advance the watched state.
+    let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+    std::fs::write(&path, b"half-written garbage").unwrap();
+    std::fs::File::options()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_modified(mtime)
+        .unwrap();
+    match watcher.poll(&engine) {
+        Some(Err(EngineError::Snapshot(_))) => {}
+        other => panic!("expected a failed swap on garbage, got {other:?}"),
+    }
+    assert_eq!(engine.generation(), 0, "failed swap leaves the old model");
+    // The failed file is retried, not recorded as seen.
+    match watcher.poll(&engine) {
+        Some(Err(EngineError::Snapshot(_))) => {}
+        other => panic!("expected the failed swap to retry, got {other:?}"),
+    }
+
+    // The writer finishes: the now-valid file converges to a swap.
+    model.save_snapshot(&path).unwrap();
+    match watcher.poll(&engine) {
+        Some(Ok(generation)) => assert_eq!(generation, 1),
+        other => panic!("expected a successful swap, got {other:?}"),
+    }
+    assert!(watcher.poll(&engine).is_none(), "swapped state is settled");
+
+    // Transient stat failure: the file vanishes mid-rewrite. Polls are
+    // no-ops — and after it reappears with the same (mtime, len), nothing
+    // re-triggers.
+    let meta = std::fs::metadata(&path).unwrap();
+    let (mtime, bytes) = (meta.modified().unwrap(), std::fs::read(&path).unwrap());
+    std::fs::remove_file(&path).unwrap();
+    assert!(watcher.poll(&engine).is_none(), "absent file is a no-op");
+    std::fs::write(&path, &bytes).unwrap();
+    std::fs::File::options()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_modified(mtime)
+        .unwrap();
+    assert!(
+        watcher.poll(&engine).is_none(),
+        "recovery with unchanged (mtime, len) must not re-swap"
+    );
+    assert_eq!(engine.generation(), 1);
+
     std::fs::remove_dir_all(&dir).ok();
 }

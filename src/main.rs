@@ -16,7 +16,9 @@
 
 use cdmpp::core::{end_to_end_frozen, Snapshot};
 use cdmpp::prelude::*;
-use cdmpp::runtime::{end_to_end_opts, EngineConfig, InferenceEngine, SubmitOptions};
+use cdmpp::runtime::{
+    end_to_end_opts, BatchWindow, EngineConfig, InferenceEngine, SnapshotWatcher, SubmitOptions,
+};
 use cdmpp::tensor::QuantMode;
 
 fn usage() -> ! {
@@ -24,7 +26,8 @@ fn usage() -> ! {
     eprintln!("       cdmpp train <device> --save <snapshot> [--epochs N] [--quant i8|bf16]");
     eprintln!(
         "       cdmpp serve --snapshot <snapshot> <network> <batch_size> <device> \
-         [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]"
+         [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N] \
+         [--batch-window-ms N] [--promote-after N]"
     );
     eprintln!("       cdmpp predict --snapshot <snapshot> <network> <batch_size> <device>");
     eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
@@ -218,28 +221,29 @@ fn load_model(path: &str) -> InferenceModel {
     }
 }
 
-/// Modification time of a file, if it exists.
-fn mtime(path: &str) -> Option<std::time::SystemTime> {
-    std::fs::metadata(path).and_then(|m| m.modified()).ok()
-}
-
 /// `cdmpp serve --snapshot <path> <network> <batch> <device>
-///  [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]`:
+///  [--queue-cap N] [--deadline-ms N] [--watch <snapshot>] [--iters N]
+///  [--batch-window-ms N] [--promote-after N]`:
 /// cold-start the concurrent engine from the checkpoint and serve
 /// predictions through the worker pool.
 ///
 /// `--queue-cap` bounds the submission queue (0 = unbounded),
 /// `--deadline-ms` gives each iteration a completion deadline (expired
 /// work is shed with a typed error instead of served late), `--watch`
-/// hot-swaps the engine onto `<snapshot>` whenever the file's
-/// modification time changes between iterations — zero downtime, no
-/// restart — and `--iters` serves that many iterations (default 1).
+/// hot-swaps the engine onto `<snapshot>` whenever the file changes
+/// between iterations — zero downtime, no restart — `--iters` serves that
+/// many iterations (default 1), `--batch-window-ms` holds partial chunks
+/// up to that long so concurrent traffic merges into full batch classes
+/// (0 = off, the default), and `--promote-after` promotes a remainder
+/// size recurring that many times to a batch class (0 = never).
 fn cmd_serve(args: &[String]) -> ! {
     let mut positional: Vec<String> = Vec::new();
     let mut queue_cap: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut watch: Option<String> = None;
     let mut iters = 1usize;
+    let mut window_ms: Option<u64> = None;
+    let mut promote_after: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -262,6 +266,18 @@ fn cmd_serve(args: &[String]) -> ! {
                     _ => usage(),
                 }
             }
+            "--batch-window-ms" => {
+                window_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => usage(),
+                }
+            }
+            "--promote-after" => {
+                promote_after = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => usage(),
+                }
+            }
             _ => positional.push(a.clone()),
         }
     }
@@ -271,26 +287,35 @@ fn cmd_serve(args: &[String]) -> ! {
     if let Some(cap) = queue_cap {
         cfg.queue_capacity = cap;
     }
+    if let Some(ms) = window_ms {
+        cfg.batch_window = Some(BatchWindow::millis(ms));
+    }
+    if let Some(n) = promote_after {
+        cfg.promote_after = n;
+    }
     let engine = InferenceEngine::new(model, cfg);
     eprintln!(
         "[cdmpp] serving with {} inference workers (zero training, zero recording)",
         engine.worker_count()
     );
-    let mut watched = watch.as_deref().and_then(mtime);
+    // The watcher compares (mtime, len) and advances its state only after
+    // a successful swap, so half-written files retry instead of being
+    // recorded as seen.
+    let mut watcher = watch.as_deref().map(SnapshotWatcher::new);
     let mut failures = 0usize;
     for i in 0..iters {
         // Watched-path hot swap: a new checkpoint published between
         // iterations cuts the engine over without dropping in-flight work.
-        if let Some(watch_path) = watch.as_deref() {
-            let now = mtime(watch_path);
-            if now.is_some() && now != watched {
-                watched = now;
-                match engine.swap_snapshot(watch_path) {
-                    Ok(generation) => {
-                        eprintln!("[cdmpp] hot-swapped onto {watch_path} (generation {generation})")
-                    }
-                    Err(e) => eprintln!("[cdmpp] hot swap of {watch_path} failed: {e}"),
+        if let Some(w) = watcher.as_mut() {
+            match w.poll(&engine) {
+                Some(Ok(generation)) => eprintln!(
+                    "[cdmpp] hot-swapped onto {} (generation {generation})",
+                    w.path().display()
+                ),
+                Some(Err(e)) => {
+                    eprintln!("[cdmpp] hot swap of {} failed: {e}", w.path().display())
                 }
+                None => {}
             }
         }
         let opts = match deadline_ms {
