@@ -1,0 +1,278 @@
+//! Schedule-search scoring at scale: the pre-PR serial cost-model path
+//! (`TrainedModel::score_batch` — allocating `encode_programs` plus the
+//! eager forward executor) versus the engine-backed [`EngineCostModel`]
+//! (pooled zero-alloc arena encode + compiled-plan replay through the
+//! serving engine, leaf bucketing and batch classes exercised), over the
+//! same ≥1024-candidate search round. A second section trains the
+//! CLI-scale cost model and runs a generational search with the oracle
+//! sweep enabled, reporting per-round regret against the devsim optimum.
+//!
+//! Writes `BENCH_search.json` at the workspace root (override with the
+//! `BENCH_SEARCH_JSON` env var); wired into the CI bench-smoke job so the
+//! numbers stay fresh.
+
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cdmpp_core::batch::FeatScaler;
+use cdmpp_core::{
+    generational_search, pretrain, CostModel, GenSearchConfig, Predictor, PredictorConfig,
+    TrainConfig, TrainedModel,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{Dataset, GenConfig, SplitIndices};
+use devsim::Simulator;
+use learn::TransformKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use runtime::{EngineConfig, EngineCostModel, InferenceEngine};
+use tir::{lower, sample_schedule, OpSpec, Schedule, TensorProgram};
+
+/// One search round's candidate volume (the acceptance floor is 1000).
+const CANDIDATES: usize = 1024;
+
+/// One round's worth of unique candidates: schedules sampled from three
+/// op shapes (heterogeneous leaf counts, like real search traffic),
+/// deduped by schedule identity exactly like the generational proposer.
+fn candidate_round(count: usize) -> Vec<TensorProgram> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let specs = [
+        OpSpec::Dense {
+            m: 256,
+            n: 256,
+            k: 256,
+        },
+        OpSpec::Softmax {
+            rows: 256,
+            cols: 256,
+        },
+        OpSpec::BatchMatmul {
+            b: 4,
+            m: 64,
+            n: 64,
+            k: 64,
+        },
+    ];
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    'outer: loop {
+        for (task, spec) in specs.iter().enumerate() {
+            let nest = spec.canonical_nest();
+            let s = sample_schedule(&nest, &mut rng);
+            if !seen.insert((task, s.identity_hash())) {
+                continue;
+            }
+            out.push(lower(&nest, &s).unwrap());
+            if out.len() == count {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+fn bench_search_throughput(c: &mut Criterion) {
+    let (iters, rounds) = match bench::scale() {
+        bench::Scale::Full => (15, 6),
+        bench::Scale::Mid => (9, 4),
+        bench::Scale::Quick => (7, 2),
+    };
+    let dev = devsim::t4();
+
+    // --- Scoring throughput: serial vs engine-backed, same candidates. ---
+    // Untrained weights: scoring cost is architecture-shaped, not
+    // weight-shaped, and skipping training keeps this section honest about
+    // measuring the scoring machinery (the quality section trains).
+    let model = TrainedModel {
+        predictor: Predictor::new(PredictorConfig::default()),
+        transform: TransformKind::None.fit(&[1.0, 2.0, 3.0]),
+        scaler: FeatScaler::identity(),
+        use_pe: true,
+        train_config: TrainConfig::default(),
+    };
+    let progs = candidate_round(CANDIDATES);
+    let refs: Vec<&TensorProgram> = progs.iter().collect();
+
+    // Search-tuned engine: bulk scoring wants whole leaf buckets per chunk
+    // (one queue handoff and one promoted specialized plan per bucket)
+    // rather than the serving default's latency-oriented 64-sample chunks.
+    // f32 pinned explicitly: the serial baseline serves f32 weights, and a
+    // forced CDMPP_QUANT would otherwise break the bitwise warmup check.
+    let engine = Arc::new(InferenceEngine::new(
+        model.freeze_quantized(tensor::QuantMode::F32),
+        EngineConfig {
+            max_batch: 512,
+            ..EngineConfig::default()
+        },
+    ));
+    let cost = EngineCostModel::new(Arc::clone(&engine), 0);
+
+    // Warm both paths (plan folding, arena growth), then check the engine
+    // path scores identically before timing it.
+    let want = model.score_batch(&refs, &dev);
+    let got = cost.score_batch(&refs, &dev);
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.to_bits(), g.to_bits(), "engine path must match serial");
+    }
+    // Warm past the runtime promotion threshold so recurring chunk sizes
+    // serve their promoted specialized plans, like a real search run.
+    for _ in 0..40 {
+        cost.score_batch(&refs, &dev);
+    }
+    let growth_warm = cost.arena_growth();
+
+    // Alternate back-to-back blocks of each path: within a block the
+    // measured path keeps its caches hot (a real search scores round after
+    // round through one cost model), while alternating blocks spreads
+    // machine-speed drift over both paths. The first round after a switch
+    // re-warms and is not timed.
+    const BLOCKS: usize = 3;
+    let t_before = cost.timings();
+    let predict_before = engine.stats().predict_ns;
+    let mut engine_rounds = 0u32;
+    let mut serial_t = Vec::with_capacity(BLOCKS * iters);
+    let mut engine_t = Vec::with_capacity(BLOCKS * iters);
+    for _ in 0..BLOCKS {
+        black_box(model.score_batch(black_box(&refs), &dev));
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(model.score_batch(black_box(&refs), &dev));
+            serial_t.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        black_box(cost.score_batch(black_box(&refs), &dev));
+        engine_rounds += 1;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(cost.score_batch(black_box(&refs), &dev));
+            engine_t.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        engine_rounds += iters as u32;
+    }
+    serial_t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    engine_t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let serial_ms = serial_t[serial_t.len() / 2];
+    let engine_ms = engine_t[engine_t.len() / 2];
+    let t_after = cost.timings();
+    let per_round = f64::from(engine_rounds) * 1e6;
+    let predict_ms = (engine.stats().predict_ns - predict_before) as f64 / per_round;
+    let encode_ms = (t_after.encode_ns - t_before.encode_ns) as f64 / per_round;
+    let dispatch_ms = (t_after.dispatch_ns - t_before.dispatch_ns) as f64 / per_round;
+    let arena_growth = cost.arena_growth() - growth_warm;
+    assert_eq!(
+        arena_growth, 0,
+        "steady-state scoring must not grow the arena"
+    );
+
+    let mut g = c.benchmark_group("search_scoring");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(CANDIDATES as u64));
+    g.bench_function("serial_score_batch", |b| {
+        b.iter(|| black_box(model.score_batch(black_box(&refs), &dev)))
+    });
+    g.bench_function("engine_score_batch", |b| {
+        b.iter(|| black_box(cost.score_batch(black_box(&refs), &dev)))
+    });
+    g.finish();
+
+    // --- Search quality: generational search with the oracle sweep. ---
+    let (spt, epochs) = match bench::scale() {
+        bench::Scale::Full => (24, 12),
+        bench::Scale::Mid => (12, 6),
+        bench::Scale::Quick => (4, 2),
+    };
+    let ds = Dataset::generate(GenConfig {
+        batch: 1,
+        schedules_per_task: spt,
+        devices: vec![dev.clone()],
+        seed: 0,
+        noise_sigma: 0.03,
+    });
+    let split = SplitIndices::for_device(&ds, &dev.name, &[], 0);
+    let (trained, _) = pretrain(
+        &ds,
+        &split.train,
+        &split.valid,
+        PredictorConfig::default(),
+        TrainConfig {
+            epochs,
+            lr: 1.5e-3,
+            ..Default::default()
+        },
+    );
+    let nest = OpSpec::Dense {
+        m: 128,
+        n: 128,
+        k: 128,
+    }
+    .canonical_nest();
+    let q_engine = Arc::new(InferenceEngine::new(
+        trained.freeze(),
+        EngineConfig::default(),
+    ));
+    let q_cost = EngineCostModel::new(Arc::clone(&q_engine), 0);
+    let cfg = GenSearchConfig {
+        rounds,
+        candidates_per_round: CANDIDATES,
+        oracle_regret: true,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let trace = generational_search(&nest, &dev, &q_cost, &cfg);
+    let search_s = t.elapsed().as_secs_f64();
+    let canonical = Simulator::new(dev.clone())
+        .latency_seconds(&lower(&nest, &Schedule::default()).expect("canonical lowers"));
+
+    let round_rows: Vec<String> = trace
+        .rounds
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            format!(
+                "    {{\"round\": {i}, \"unique\": {}, \"round_measured_ms\": {:.4}, \
+                 \"oracle_best_ms\": {:.4}, \"regret_pct\": {:.2}}}",
+                r.unique,
+                r.round_measured * 1e3,
+                r.oracle_best * 1e3,
+                r.regret * 100.0
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"search_throughput\",\n  \
+         \"scale\": \"{:?}\",\n  \"host_cores\": {},\n  \"engine_workers\": {},\n  \
+         \"note\": \"one {CANDIDATES}-candidate search round (3 tasks, heterogeneous leaf counts) scored by the pre-PR serial TrainedModel::score_batch (allocating encode + eager forward) vs the EngineCostModel (pooled zero-alloc arena encode + compiled-plan replay through the serving engine). encode/dispatch are the cost model's own breakdown of the engine round; predict is worker busy time inside dispatch. arena_growth is buffer-growth events across all timed rounds (0 = steady state allocated nothing; also asserted). the search section trains the CLI-scale cost model and runs a generational search with the oracle sweep: regret_pct is how far the model's measured pick trails the best candidate it was shown that round.\",\n  \
+         \"scoring\": {{\n    \"candidates\": {CANDIDATES},\n    \
+         \"serial_ms\": {serial_ms:.2},\n    \"serial_candidates_per_s\": {:.0},\n    \
+         \"engine_ms\": {engine_ms:.2},\n    \"engine_candidates_per_s\": {:.0},\n    \
+         \"speedup_vs_serial\": {:.2},\n    \
+         \"encode_ms\": {encode_ms:.2},\n    \"dispatch_ms\": {dispatch_ms:.2},\n    \
+         \"predict_ms\": {predict_ms:.2},\n    \"arena_growth\": {arena_growth}\n  }},\n  \
+         \"search\": {{\n    \"rounds\": {rounds},\n    \"candidates_per_round\": {CANDIDATES},\n    \
+         \"measurements\": {},\n    \"best_measured_ms\": {:.4},\n    \
+         \"canonical_ms\": {:.4},\n    \"speedup_vs_canonical\": {:.2},\n    \
+         \"search_wall_s\": {search_s:.1},\n    \"per_round\": [\n{}\n    ]\n  }}\n}}\n",
+        bench::scale(),
+        parallel::resolve_threads(0),
+        engine.worker_count(),
+        CANDIDATES as f64 / (serial_ms / 1e3),
+        CANDIDATES as f64 / (engine_ms / 1e3),
+        serial_ms / engine_ms.max(1e-9),
+        trace.measurements,
+        trace.best_measured * 1e3,
+        canonical * 1e3,
+        canonical / trace.best_measured.max(1e-12),
+        round_rows.join(",\n"),
+    );
+    let path = std::env::var("BENCH_SEARCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_search.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_search_throughput);
+criterion_main!(benches);

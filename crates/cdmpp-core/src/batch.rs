@@ -28,6 +28,97 @@ pub struct EncodedSample {
     pub y_raw: f64,
 }
 
+/// Read access to one encoded sample, however it is stored.
+///
+/// [`EncodedSample`] owns its feature row; [`SampleRef`] borrows it from an
+/// [`EncodeArena`](crate::e2e::EncodeArena) slab. Batch building and
+/// leaf-count grouping are generic over this trait so the serving engine's
+/// dispatch path works on either without copying features into owned
+/// samples first.
+pub trait SampleLike {
+    /// Index identifying the sample to its producer (dataset record index,
+    /// or position in an inference request).
+    fn record_idx(&self) -> usize;
+    /// Leaf count `L`.
+    fn leaf_count(&self) -> usize;
+    /// `[L × N_ENTRY]` features.
+    fn x(&self) -> &[f32];
+    /// Device feature row.
+    fn dev(&self) -> &[f32; N_DEVICE_FEATURES];
+    /// Raw latency label (seconds); 0 for pure-inference samples.
+    fn y_raw(&self) -> f64;
+}
+
+impl SampleLike for EncodedSample {
+    fn record_idx(&self) -> usize {
+        self.record_idx
+    }
+    fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+    fn x(&self) -> &[f32] {
+        &self.x
+    }
+    fn dev(&self) -> &[f32; N_DEVICE_FEATURES] {
+        &self.dev
+    }
+    fn y_raw(&self) -> f64 {
+        self.y_raw
+    }
+}
+
+impl<T: SampleLike + ?Sized> SampleLike for &T {
+    fn record_idx(&self) -> usize {
+        (**self).record_idx()
+    }
+    fn leaf_count(&self) -> usize {
+        (**self).leaf_count()
+    }
+    fn x(&self) -> &[f32] {
+        (**self).x()
+    }
+    fn dev(&self) -> &[f32; N_DEVICE_FEATURES] {
+        (**self).dev()
+    }
+    fn y_raw(&self) -> f64 {
+        (**self).y_raw()
+    }
+}
+
+/// A borrowed view of one encoded sample whose features live in an arena
+/// slab — what [`EncodeArena`](crate::e2e::EncodeArena) hands out.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRef<'a> {
+    /// Index of the sample within its producing request.
+    pub record_idx: usize,
+    /// Leaf count `L`.
+    pub leaf_count: usize,
+    /// `[L × N_ENTRY]` features, borrowed from the arena slab.
+    pub x: &'a [f32],
+    /// Device feature row.
+    pub dev: &'a [f32; N_DEVICE_FEATURES],
+    /// Raw latency label; 0 for inference-only samples.
+    pub y_raw: f64,
+}
+
+impl SampleLike for SampleRef<'_> {
+    fn record_idx(&self) -> usize {
+        self.record_idx
+    }
+    fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+    fn x(&self) -> &[f32] {
+        self.x
+    }
+    fn dev(&self) -> &[f32; N_DEVICE_FEATURES] {
+        self.dev
+    }
+    fn y_raw(&self) -> f64 {
+        self.y_raw
+    }
+}
+
 /// Encodes dataset records into samples.
 ///
 /// `use_pe` toggles positional encoding (the Fig 14a ablation).
@@ -224,17 +315,17 @@ pub struct LeafGroups {
 /// group — asserted against the map-based grouping in tests), but writing
 /// into reusable buffers so a serving hot path allocates nothing per
 /// request once warmed.
-pub fn group_by_leaf_into(samples: &[&EncodedSample], out: &mut LeafGroups) {
+pub fn group_by_leaf_into<S: SampleLike>(samples: &[S], out: &mut LeafGroups) {
     out.order.clear();
     out.spans.clear();
     out.order.extend(0..samples.len());
     out.order
-        .sort_unstable_by_key(|&i| (samples[i].leaf_count, i));
+        .sort_unstable_by_key(|&i| (samples[i].leaf_count(), i));
     let mut start = 0usize;
     while start < out.order.len() {
-        let leaf = samples[out.order[start]].leaf_count;
+        let leaf = samples[out.order[start]].leaf_count();
         let mut end = start + 1;
-        while end < out.order.len() && samples[out.order[end]].leaf_count == leaf {
+        while end < out.order.len() && samples[out.order[end]].leaf_count() == leaf {
             end += 1;
         }
         out.spans.push((leaf, start, end));
@@ -256,29 +347,29 @@ pub fn group_by_leaf_into(samples: &[&EncodedSample], out: &mut LeafGroups) {
 /// # Panics
 ///
 /// Panics if `idxs` is empty.
-pub fn build_scaled_batch_idx(
-    samples: &[&EncodedSample],
+pub fn build_scaled_batch_idx<S: SampleLike>(
+    samples: &[S],
     idxs: &[usize],
     pad_to: usize,
     scaler: &FeatScaler,
 ) -> Batch {
     let b = idxs.len().max(pad_to);
-    let l = samples[idxs[0]].leaf_count;
-    debug_assert!(idxs.iter().all(|&i| samples[i].leaf_count == l));
+    let l = samples[idxs[0]].leaf_count();
+    debug_assert!(idxs.iter().all(|&i| samples[i].leaf_count() == l));
     let mut xs = Vec::with_capacity(b * l * N_ENTRY);
     let mut devs = Vec::with_capacity(b * N_DEVICE_FEATURES);
     let mut y_raw = Vec::with_capacity(b);
     let mut record_idx = Vec::with_capacity(b);
     let last = *idxs.last().expect("non-empty chunk");
     for k in 0..b {
-        let s = samples[*idxs.get(k).unwrap_or(&last)];
-        xs.extend(s.x.iter().enumerate().map(|(j, &v)| {
+        let s = &samples[*idxs.get(k).unwrap_or(&last)];
+        xs.extend(s.x().iter().enumerate().map(|(j, &v)| {
             let col = j % N_ENTRY;
             (v - scaler.mean[col]) / scaler.std[col]
         }));
-        devs.extend_from_slice(&s.dev);
-        y_raw.push(s.y_raw);
-        record_idx.push(s.record_idx);
+        devs.extend_from_slice(s.dev());
+        y_raw.push(s.y_raw());
+        record_idx.push(s.record_idx());
     }
     Batch {
         leaf_count: l,

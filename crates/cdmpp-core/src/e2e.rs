@@ -4,12 +4,16 @@
 use std::collections::HashMap;
 
 use devsim::{DeviceSpec, Simulator};
-use features::{device_features, extract_compact_ast, N_DEVICE_FEATURES};
+use features::{
+    device_features, extract_compact_ast, extract_compact_ast_into_cached, CompactAst, Log1pTable,
+    PeTable, N_DEVICE_FEATURES, N_ENTRY,
+};
+use parallel::ThreadPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tir::{build_tasks, lower, sample_schedule, Network, TensorProgram};
 
-use crate::batch::EncodedSample;
+use crate::batch::{EncodedSample, SampleRef};
 use crate::replayer::{build_dfg, engine_count, replay};
 use crate::trainer::TrainedModel;
 
@@ -56,6 +60,201 @@ pub fn encode_programs(
             }
         })
         .collect()
+}
+
+/// Pooled output of batch feature encoding: one flat `f32` slab holding
+/// every sample's `[L × N_ENTRY]` row block plus a span table, instead of
+/// one owned `Vec<f32>` per sample.
+///
+/// Like the plan replayer's arena, growth is observable: every buffer
+/// expansion bumps [`growth_count`](Self::growth_count), and the search
+/// tests assert the counter stays flat once the arena has been warmed at a
+/// workload's high-water mark — the encode hot path is
+/// zero-steady-state-alloc.
+#[derive(Debug, Default)]
+pub struct EncodeArena {
+    /// Concatenated feature rows of all samples.
+    xs: Vec<f32>,
+    /// Per-sample `(float offset into xs, leaf count)`.
+    spans: Vec<(usize, usize)>,
+    /// Device feature row shared by every sample of the request.
+    dev: [f32; N_DEVICE_FEATURES],
+    /// Per-worker `CompactAst` scratch, reused across calls.
+    scratch: Vec<CompactAst>,
+    /// High-water capacities of each scratch entry's inner buffers.
+    scratch_caps: Vec<(usize, usize)>,
+    /// Per-worker memoized positional-encoding rows (one Θ each).
+    pe: Vec<PeTable>,
+    /// High-water row capacity of each PE table.
+    pe_caps: Vec<usize>,
+    /// Per-worker memoized `log1p` over extents/strides.
+    logs: Vec<Log1pTable>,
+    /// High-water entry capacity of each `log1p` table.
+    log_caps: Vec<usize>,
+    /// Buffer-growth events since construction.
+    growth: usize,
+}
+
+impl EncodeArena {
+    /// Creates an empty arena (all buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of encoded samples held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Leaf count of sample `i`.
+    pub fn leaf_count(&self, i: usize) -> usize {
+        self.spans[i].1
+    }
+
+    /// Feature row block of sample `i` (`[leaf_count * N_ENTRY]`).
+    pub fn x(&self, i: usize) -> &[f32] {
+        let (off, lc) = self.spans[i];
+        &self.xs[off..off + lc * N_ENTRY]
+    }
+
+    /// Borrowed sample view `i`, usable anywhere a
+    /// [`SampleLike`](crate::batch::SampleLike) is accepted.
+    pub fn sample(&self, i: usize) -> SampleRef<'_> {
+        SampleRef {
+            record_idx: i,
+            leaf_count: self.leaf_count(i),
+            x: self.x(i),
+            dev: &self.dev,
+            y_raw: 0.0,
+        }
+    }
+
+    /// Iterates all held samples in request order.
+    pub fn samples(&self) -> impl Iterator<Item = SampleRef<'_>> {
+        (0..self.len()).map(|i| self.sample(i))
+    }
+
+    /// Buffer-growth events since the arena was created. Flat across two
+    /// identical workloads ⇒ the second one allocated nothing here.
+    pub fn growth_count(&self) -> usize {
+        self.growth
+    }
+}
+
+/// Encodes standalone tensor programs into a pooled [`EncodeArena`],
+/// in parallel over `pool` — the schedule search's encode hot path.
+///
+/// Bit-identical to [`encode_programs`] for every program, any `use_pe`,
+/// and **any thread count**: each worker writes a disjoint, pre-computed
+/// byte range of the slab, so the partition never influences the values
+/// (the PR 2 determinism contract). A warmed arena performs no allocation;
+/// see [`EncodeArena::growth_count`].
+pub fn encode_programs_into(
+    programs: &[&TensorProgram],
+    dev: &DeviceSpec,
+    theta: f32,
+    use_pe: bool,
+    pool: &ThreadPool,
+    arena: &mut EncodeArena,
+) {
+    arena.dev = device_features(dev);
+    let n = programs.len();
+    // Serial pre-pass: leaf counts fix every sample's slab offset up front.
+    let spans_cap = arena.spans.capacity();
+    arena.spans.clear();
+    let mut offset = 0usize;
+    for p in programs {
+        let lc = p.leaf_count();
+        arena.spans.push((offset, lc));
+        offset += lc * N_ENTRY;
+    }
+    if arena.spans.capacity() > spans_cap {
+        arena.growth += 1;
+    }
+    let xs_cap = arena.xs.capacity();
+    arena.xs.clear();
+    arena.xs.resize(offset, 0.0);
+    if arena.xs.capacity() > xs_cap {
+        arena.growth += 1;
+    }
+    if n == 0 {
+        return;
+    }
+    let jobs = pool.threads().min(n).max(1);
+    while arena.scratch.len() < jobs {
+        arena.scratch.push(CompactAst::default());
+        arena.scratch_caps.push((0, 0));
+        arena.pe.push(PeTable::new());
+        arena.pe_caps.push(0);
+        arena.logs.push(Log1pTable::new());
+        arena.log_caps.push(0);
+        arena.growth += 1;
+    }
+    let per = n.div_ceil(jobs);
+    let spans = &arena.spans;
+    let mut rest: &mut [f32] = &mut arena.xs;
+    let mut scratch_iter = arena.scratch.iter_mut();
+    let mut pe_iter = arena.pe.iter_mut();
+    let mut log_iter = arena.logs.iter_mut();
+    pool.scope(|s| {
+        for j in 0..jobs {
+            let lo = j * per;
+            let hi = ((j + 1) * per).min(n);
+            if lo >= hi {
+                break;
+            }
+            let floats: usize = spans[lo..hi].iter().map(|&(_, lc)| lc * N_ENTRY).sum();
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(floats);
+            rest = tail;
+            let ast = scratch_iter.next().expect("scratch sized to jobs");
+            let pe = pe_iter.next().expect("pe tables sized to jobs");
+            let logs = log_iter.next().expect("log tables sized to jobs");
+            s.spawn(move || {
+                let mut cur = 0usize;
+                for &p in &programs[lo..hi] {
+                    extract_compact_ast_into_cached(p, ast, logs);
+                    let row = ast.n_leaves() * N_ENTRY;
+                    let dst = &mut mine[cur..cur + row];
+                    if use_pe {
+                        ast.encoded_flat_into_cached(theta, pe, dst);
+                    } else {
+                        ast.flat_into(dst);
+                    }
+                    cur += row;
+                }
+                debug_assert_eq!(cur, mine.len());
+            });
+        }
+    });
+    // Scratch `CompactAst`s and PE tables grow lazily inside the workers;
+    // surface that as arena growth so the zero-alloc assertion covers them.
+    for (ast, caps) in arena.scratch.iter().zip(arena.scratch_caps.iter_mut()) {
+        let now = (ast.leaf_vectors.capacity(), ast.ordering.capacity());
+        if now.0 > caps.0 || now.1 > caps.1 {
+            arena.growth += 1;
+            caps.0 = caps.0.max(now.0);
+            caps.1 = caps.1.max(now.1);
+        }
+    }
+    for (pe, cap) in arena.pe.iter().zip(arena.pe_caps.iter_mut()) {
+        let now = pe.capacity_rows();
+        if now > *cap {
+            arena.growth += 1;
+            *cap = now;
+        }
+    }
+    for (logs, cap) in arena.logs.iter().zip(arena.log_caps.iter_mut()) {
+        let now = logs.capacity();
+        if now > *cap {
+            arena.growth += 1;
+            *cap = now;
+        }
+    }
 }
 
 /// Per-task program selection for a network: one randomly sampled schedule
@@ -231,6 +430,119 @@ mod tests {
         let (_, a) = sample_network_programs(&net, 9);
         let (_, b) = sample_network_programs(&net, 9);
         assert_eq!(a, b);
+    }
+
+    fn candidate_programs(seed: u64, count: usize) -> Vec<TensorProgram> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs = [
+            tir::OpSpec::Dense {
+                m: 32,
+                n: 32,
+                k: 32,
+            },
+            tir::OpSpec::Softmax { rows: 32, cols: 64 },
+            tir::OpSpec::BatchMatmul {
+                b: 2,
+                m: 16,
+                n: 16,
+                k: 16,
+            },
+        ];
+        let mut out = Vec::new();
+        'outer: loop {
+            for spec in specs {
+                let nest = spec.canonical_nest();
+                let s = sample_schedule(&nest, &mut rng);
+                out.push(lower(&nest, &s).unwrap());
+                if out.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn arena_encoding_matches_owned_encoding_across_threads_and_pe() {
+        let programs = candidate_programs(17, 31);
+        let refs: Vec<&TensorProgram> = programs.iter().collect();
+        let dev = devsim::t4();
+        for use_pe in [true, false] {
+            let expect = encode_programs(&refs, &dev, features::DEFAULT_THETA, use_pe);
+            for threads in [1, 2, 3, 8] {
+                let pool = ThreadPool::new(threads);
+                let mut arena = EncodeArena::new();
+                encode_programs_into(
+                    &refs,
+                    &dev,
+                    features::DEFAULT_THETA,
+                    use_pe,
+                    &pool,
+                    &mut arena,
+                );
+                assert_eq!(arena.len(), expect.len());
+                for (i, e) in expect.iter().enumerate() {
+                    let s = arena.sample(i);
+                    assert_eq!(s.record_idx, e.record_idx);
+                    assert_eq!(s.leaf_count, e.leaf_count);
+                    assert_eq!(s.x, e.x.as_slice(), "use_pe={use_pe} threads={threads}");
+                    assert_eq!(s.dev, &e.dev);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_encoding_handles_empty_request() {
+        let pool = ThreadPool::new(2);
+        let mut arena = EncodeArena::new();
+        encode_programs_into(
+            &[],
+            &devsim::t4(),
+            features::DEFAULT_THETA,
+            true,
+            &pool,
+            &mut arena,
+        );
+        assert!(arena.is_empty());
+        assert_eq!(arena.samples().count(), 0);
+    }
+
+    #[test]
+    fn warmed_arena_does_not_grow() {
+        let programs = candidate_programs(5, 48);
+        let refs: Vec<&TensorProgram> = programs.iter().collect();
+        let dev = devsim::t4();
+        let pool = ThreadPool::new(4);
+        let mut arena = EncodeArena::new();
+        // Warmup establishes the high-water mark.
+        encode_programs_into(
+            &refs,
+            &dev,
+            features::DEFAULT_THETA,
+            true,
+            &pool,
+            &mut arena,
+        );
+        let warmed = arena.growth_count();
+        assert!(warmed > 0, "cold arena must have grown");
+        // Steady state: same-or-smaller workloads reuse every buffer.
+        for round in 0..10 {
+            let take = refs.len() - round % 3;
+            encode_programs_into(
+                &refs[..take],
+                &dev,
+                features::DEFAULT_THETA,
+                true,
+                &pool,
+                &mut arena,
+            );
+            assert_eq!(
+                arena.growth_count(),
+                warmed,
+                "steady-state encode must not allocate (round {round})"
+            );
+        }
     }
 
     #[test]

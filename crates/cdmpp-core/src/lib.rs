@@ -32,10 +32,11 @@ pub use autotune::{autotune, AutoTuneResult, Trial};
 pub use batch::{
     build_batch, build_scaled_batch, build_scaled_batch_idx, encode_records, group_by_leaf,
     group_by_leaf_into, group_by_leaf_refs, make_batches, Batch, EncodedSample, LeafGroups,
+    SampleLike, SampleRef,
 };
 pub use e2e::{
-    encode_programs, end_to_end, end_to_end_frozen, measured_end_to_end, replay_predictions,
-    sample_network_programs, E2eResult,
+    encode_programs, encode_programs_into, end_to_end, end_to_end_frozen, measured_end_to_end,
+    replay_predictions, sample_network_programs, E2eResult, EncodeArena,
 };
 pub use finetune::{finetune, latent_cmd, FineTuneConfig};
 pub use predictor::{
@@ -44,7 +45,10 @@ pub use predictor::{
 };
 pub use replayer::{build_dfg, engine_count, replay, replay_timeline, DfgNode, TimelineEntry};
 pub use sampler::select_tasks;
-pub use search::{search_schedule, CostModel, OracleCost, RandomCost, SearchConfig, SearchTrace};
+pub use search::{
+    generational_search, search_schedule, CostModel, GenRound, GenSearchConfig, GenSearchTrace,
+    OracleCost, ProposerMix, RandomCost, SearchConfig, SearchTrace,
+};
 pub use snapshot::{ParamTensor, PlanEntry, QuantTensor, Snapshot, SnapshotError, SpecPlanEntry};
 pub use trainer::{
     evaluate, pretrain, train_step, train_step_parallel, EvalMetrics, InferenceModel, LossKind,

@@ -7,7 +7,10 @@ pub mod device_feats;
 pub mod flat;
 pub mod pe;
 
-pub use compact::{extract_compact_ast, CompactAst, N_ENTRY};
+pub use compact::{
+    extract_compact_ast, extract_compact_ast_into, extract_compact_ast_into_cached, CompactAst,
+    Log1pTable, N_ENTRY,
+};
 pub use device_feats::{device_features, N_DEVICE_FEATURES};
 pub use flat::{flattened_features, habitat_features, tlp_features, N_FLAT, N_HABITAT, N_TLP};
-pub use pe::{positional_encoding, DEFAULT_THETA};
+pub use pe::{positional_encoding, PeTable, DEFAULT_THETA};

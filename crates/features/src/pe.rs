@@ -28,6 +28,57 @@ pub fn positional_encoding(v: u32, theta: f32) -> [f32; N_ENTRY] {
     out
 }
 
+/// Memoized positional-encoding rows for one Θ: row `v` holds exactly
+/// [`positional_encoding`]`(v, theta)`, computed once and replayed
+/// thereafter. A search round hits the same few dozen ordering values for
+/// every candidate, so the table removes the `N_ENTRY/2` `powf` plus
+/// `N_ENTRY` sin/cos per leaf that otherwise dominate encoding cost.
+/// Lookups are bit-identical to calling [`positional_encoding`] directly.
+#[derive(Debug, Default, Clone)]
+pub struct PeTable {
+    theta: f32,
+    /// Row-major `[v][N_ENTRY]` cache; row `v` starts at `v * N_ENTRY`.
+    rows: Vec<f32>,
+}
+
+impl PeTable {
+    /// Creates an empty table (rows fill on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows currently cached.
+    pub fn len(&self) -> usize {
+        self.rows.len() / N_ENTRY
+    }
+
+    /// Whether no rows are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cached capacity in rows — callers that promise zero steady-state
+    /// allocation (the encode arena) watch this for growth.
+    pub fn capacity_rows(&self) -> usize {
+        self.rows.capacity() / N_ENTRY
+    }
+
+    /// The PE row for ordering value `v` under `theta`, memoized.
+    /// Switching `theta` drops the cache (a table serves one Θ at a time).
+    pub fn row(&mut self, v: u32, theta: f32) -> &[f32] {
+        if theta != self.theta {
+            self.theta = theta;
+            self.rows.clear();
+        }
+        while self.len() <= v as usize {
+            let row = positional_encoding(self.len() as u32, self.theta);
+            self.rows.extend_from_slice(&row);
+        }
+        let off = v as usize * N_ENTRY;
+        &self.rows[off..off + N_ENTRY]
+    }
+}
+
 impl CompactAst {
     /// Leaf vectors with positional encoding added (the predictor's input).
     pub fn encoded(&self, theta: f32) -> Vec<[f32; N_ENTRY]> {
@@ -47,11 +98,49 @@ impl CompactAst {
 
     /// Flattened encoded features: `[n_leaves * N_ENTRY]` row-major.
     pub fn encoded_flat(&self, theta: f32) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.n_leaves() * N_ENTRY);
-        for row in self.encoded(theta) {
-            out.extend_from_slice(&row);
-        }
+        let mut out = vec![0.0; self.n_leaves() * N_ENTRY];
+        self.encoded_flat_into(theta, &mut out);
         out
+    }
+
+    /// Writes the flattened encoded features into a caller-provided slab —
+    /// the allocation-free path the encode arena uses. Bit-identical to
+    /// [`encoded_flat`](Self::encoded_flat).
+    ///
+    /// # Panics
+    /// If `out` is not exactly `n_leaves * N_ENTRY` long.
+    pub fn encoded_flat_into(&self, theta: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.n_leaves() * N_ENTRY);
+        for ((dst, vec), &ord) in out
+            .chunks_exact_mut(N_ENTRY)
+            .zip(self.leaf_vectors.iter())
+            .zip(self.ordering.iter())
+        {
+            let pe = positional_encoding(ord, theta);
+            for ((d, v), p) in dst.iter_mut().zip(vec.iter()).zip(pe.iter()) {
+                *d = v + p;
+            }
+        }
+    }
+
+    /// [`encoded_flat_into`](Self::encoded_flat_into) with the PE rows
+    /// served from a memoized [`PeTable`] — the encode arena's hot path.
+    /// Bit-identical to the uncached variant for any table state.
+    ///
+    /// # Panics
+    /// If `out` is not exactly `n_leaves * N_ENTRY` long.
+    pub fn encoded_flat_into_cached(&self, theta: f32, pe: &mut PeTable, out: &mut [f32]) {
+        assert_eq!(out.len(), self.n_leaves() * N_ENTRY);
+        for ((dst, vec), &ord) in out
+            .chunks_exact_mut(N_ENTRY)
+            .zip(self.leaf_vectors.iter())
+            .zip(self.ordering.iter())
+        {
+            let row = pe.row(ord, theta);
+            for ((d, v), p) in dst.iter_mut().zip(vec.iter()).zip(row.iter()) {
+                *d = v + p;
+            }
+        }
     }
 }
 
@@ -98,6 +187,55 @@ mod tests {
         let flat = ast.encoded_flat(DEFAULT_THETA);
         assert_eq!(flat.len(), 2 * N_ENTRY);
         assert_eq!(flat[0], enc[0][0]);
+    }
+
+    #[test]
+    fn encoded_flat_into_matches_encoded() {
+        let ast = CompactAst {
+            leaf_vectors: vec![[0.5; N_ENTRY], [0.25; N_ENTRY], [-1.5; N_ENTRY]],
+            ordering: vec![1, 4, 9],
+        };
+        let via_rows: Vec<f32> = ast
+            .encoded(DEFAULT_THETA)
+            .into_iter()
+            .flat_map(|r| r.into_iter())
+            .collect();
+        let mut slab = vec![f32::NAN; 3 * N_ENTRY];
+        ast.encoded_flat_into(DEFAULT_THETA, &mut slab);
+        assert_eq!(slab, via_rows);
+        assert_eq!(ast.encoded_flat(DEFAULT_THETA), via_rows);
+    }
+
+    #[test]
+    fn pe_table_rows_bit_identical_and_memoized() {
+        let mut table = PeTable::new();
+        // Out-of-order lookups, repeated values, then a theta switch.
+        for &v in &[9u32, 0, 3, 9, 17, 3] {
+            let want = positional_encoding(v, DEFAULT_THETA);
+            assert_eq!(table.row(v, DEFAULT_THETA), &want[..]);
+        }
+        assert_eq!(table.len(), 18);
+        let want = positional_encoding(5, 50.0);
+        assert_eq!(table.row(5, 50.0), &want[..]);
+        assert_eq!(table.len(), 6, "theta switch drops the old cache");
+    }
+
+    #[test]
+    fn encoded_flat_into_cached_matches_uncached() {
+        let ast = CompactAst {
+            leaf_vectors: vec![[0.5; N_ENTRY], [0.25; N_ENTRY], [-1.5; N_ENTRY]],
+            ordering: vec![1, 9, 4],
+        };
+        let mut want = vec![0.0; 3 * N_ENTRY];
+        ast.encoded_flat_into(DEFAULT_THETA, &mut want);
+        let mut table = PeTable::new();
+        let mut got = vec![f32::NAN; 3 * N_ENTRY];
+        ast.encoded_flat_into_cached(DEFAULT_THETA, &mut table, &mut got);
+        assert_eq!(got, want);
+        // Replay from the warmed table stays identical.
+        got.fill(f32::NAN);
+        ast.encoded_flat_into_cached(DEFAULT_THETA, &mut table, &mut got);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   lose a reply.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -236,6 +237,14 @@ pub(crate) struct JobQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Segments parked in batch-window pending buffers. They are queued
+    /// work the engine has accepted but not yet pushed, so *admission*
+    /// counts them toward capacity — otherwise a trickle flood hides an
+    /// unbounded backlog inside the window and `Overloaded` fires late.
+    /// `push` deliberately does NOT count them: window flushes push merged
+    /// buffers while their segments are still parked, and counting both
+    /// would deadlock the flush against its own backlog.
+    parked: AtomicUsize,
 }
 
 impl JobQueue {
@@ -248,6 +257,7 @@ impl JobQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            parked: AtomicUsize::new(0),
         })
     }
 
@@ -264,6 +274,26 @@ impl JobQueue {
     /// Current depth, in chunks.
     pub fn depth(&self) -> usize {
         self.lock().q.len()
+    }
+
+    /// Marks `n` segments as parked in a window pending buffer (they now
+    /// count toward admission headroom).
+    pub fn park(&self, n: usize) {
+        self.parked.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Releases `n` parked segments (a window buffer is flushing them into
+    /// the queue proper, or shedding them). Wakes blocked admitters.
+    pub fn unpark(&self, n: usize) {
+        if n > 0 {
+            self.parked.fetch_sub(n, Ordering::Relaxed);
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Segments currently parked in window pending buffers.
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::Relaxed)
     }
 
     /// Per-call admission control: succeeds while the queue has headroom.
@@ -294,7 +324,11 @@ impl JobQueue {
             if inner.closed {
                 return Err(AdmitError::Closed);
             }
-            if inner.q.len() < self.capacity {
+            // Admission headroom counts *parked* window segments as well
+            // as queued chunks: work accepted into a pending buffer is
+            // backlog exactly like a queued job, and a trickle flood that
+            // never fills a class must still trip `Overloaded` on time.
+            if inner.q.len() + self.parked() < self.capacity {
                 return Ok(());
             }
             if deadline.is_some_and(|d| d.expired()) {
@@ -302,14 +336,14 @@ impl JobQueue {
             }
             let Some(block_until) = wait_until else {
                 return Err(AdmitError::Overloaded {
-                    depth: inner.q.len(),
+                    depth: inner.q.len() + self.parked(),
                     capacity: self.capacity,
                 });
             };
             let now = Instant::now();
             if block_until.is_some_and(|t| t <= now) {
                 return Err(AdmitError::Overloaded {
-                    depth: inner.q.len(),
+                    depth: inner.q.len() + self.parked(),
                     capacity: self.capacity,
                 });
             }

@@ -54,11 +54,14 @@ use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use cdmpp_core::batch::{build_scaled_batch_idx, group_by_leaf_into, EncodedSample, LeafGroups};
-use cdmpp_core::e2e::encode_programs;
+use cdmpp_core::batch::{
+    build_scaled_batch_idx, group_by_leaf_into, EncodedSample, LeafGroups, SampleLike,
+};
+use cdmpp_core::e2e::{encode_programs, encode_programs_into, EncodeArena};
 use cdmpp_core::predictor::PredictError;
 use cdmpp_core::{CostModel, InferenceModel, TrainedModel};
 use devsim::DeviceSpec;
+use parallel::ThreadPool;
 use tir::TensorProgram;
 
 mod faults;
@@ -508,7 +511,7 @@ impl InferenceEngine {
 
     /// A snapshot of the engine's traffic/failure counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats.snapshot(self.queue.depth())
+        self.stats.snapshot(self.queue.depth(), self.queue.parked())
     }
 
     /// The remainder-size frequency histogram driving class promotion, as
@@ -557,11 +560,12 @@ impl InferenceEngine {
         self.predict_sample_refs(&refs)
     }
 
-    /// [`InferenceEngine::predict_samples`] over borrowed samples: callers
-    /// that filter or subset a request stream (like the `CostModel` path)
-    /// pass the survivors by reference instead of cloning each sample's
-    /// feature vector.
-    pub fn predict_sample_refs(&self, enc: &[&EncodedSample]) -> Result<Vec<f64>, EngineError> {
+    /// [`InferenceEngine::predict_samples`] over any [`SampleLike`] view:
+    /// callers that filter or subset a request stream (like the `CostModel`
+    /// path) pass the survivors by reference, and arena-encoded callers
+    /// (like [`EngineCostModel`]) pass borrowed [`cdmpp_core::SampleRef`]s
+    /// straight out of the encode slab — no sample clones either way.
+    pub fn predict_sample_refs<S: SampleLike>(&self, enc: &[S]) -> Result<Vec<f64>, EngineError> {
         let per = self.predict_sample_refs_opts(enc, &SubmitOptions::default())?;
         let mut out = Vec::with_capacity(per.len());
         for r in per {
@@ -586,10 +590,11 @@ impl InferenceEngine {
         self.predict_sample_refs_opts(&refs, opts)
     }
 
-    /// [`InferenceEngine::predict_samples_opts`] over borrowed samples.
-    pub fn predict_sample_refs_opts(
+    /// [`InferenceEngine::predict_samples_opts`] over any [`SampleLike`]
+    /// view (borrowed samples, arena [`cdmpp_core::SampleRef`]s, ...).
+    pub fn predict_sample_refs_opts<S: SampleLike>(
         &self,
-        enc: &[&EncodedSample],
+        enc: &[S],
         opts: &SubmitOptions,
     ) -> Result<Vec<Result<f64, EngineError>>, EngineError> {
         if enc.is_empty() {
@@ -603,9 +608,9 @@ impl InferenceEngine {
         // error immediately rather than a poisoned batch result.
         let max_leaves = served.model.predictor.config().max_leaves;
         for s in enc {
-            if s.leaf_count == 0 || s.leaf_count > max_leaves {
+            if s.leaf_count() == 0 || s.leaf_count() > max_leaves {
                 return Err(PredictError::LeafCountOutOfRange {
-                    leaves: s.leaf_count,
+                    leaves: s.leaf_count(),
                     max_leaves,
                 }
                 .into());
@@ -665,9 +670,9 @@ impl InferenceEngine {
     /// The fallible middle of [`InferenceEngine::predict_sample_refs_opts`]:
     /// plan chunks into `scratch`, dispatch, collect (retrying panicked
     /// chunks), scatter per-sample outcomes.
-    fn dispatch_and_collect(
+    fn dispatch_and_collect<S: SampleLike>(
         &self,
-        enc: &[&EncodedSample],
+        enc: &[S],
         served: &Arc<Served>,
         opts: &SubmitOptions,
         scratch: &mut DispatchScratch,
@@ -759,9 +764,9 @@ impl InferenceEngine {
     /// Builds and enqueues one chunk (or sheds it on an expired deadline).
     /// Every path delivers exactly one reply for `tag` through the
     /// channel. Returns `Err(())` only when the pool is closing.
-    fn send_chunk(
+    fn send_chunk<S: SampleLike>(
         &self,
-        enc: &[&EncodedSample],
+        enc: &[S],
         served: &Arc<Served>,
         opts: &SubmitOptions,
         scratch: &DispatchScratch,
@@ -781,7 +786,7 @@ impl InferenceEngine {
         // against the merged fill) so later calls can merge into it.
         if let Some(ad) = &self.adaptive {
             if ad.windowed() && e - s < self.cfg.max_batch {
-                let leaves = enc[idxs[0]].leaf_count;
+                let leaves = enc[idxs[0]].leaf_count();
                 let batch = build_scaled_batch_idx(enc, idxs, 0, &served.model.scaler);
                 return ad.submit(
                     leaves,
@@ -927,6 +932,152 @@ impl CostModel for InferenceEngine {
             }
             Err(_) => {
                 self.stats
+                    .score_sheds
+                    .fetch_add(valid_idx.len() as u64, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+/// Cumulative `EngineCostModel` timing breakdown, in nanoseconds, plus the
+/// number of candidates that received a finite score. `predict_ns` (worker
+/// busy time inside `dispatch_ns`) lives in [`EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreTimings {
+    /// Time spent encoding candidate programs into the pooled arena.
+    pub encode_ns: u64,
+    /// Wall time of engine dispatch (submit + worker replay + collect).
+    pub dispatch_ns: u64,
+    /// Candidates that came back with a finite score.
+    pub scored: u64,
+}
+
+/// The search-scale scoring front end: encodes candidate programs into a
+/// pooled [`EncodeArena`] (zero steady-state allocation) on a dedicated
+/// encode pool, then dispatches borrowed [`cdmpp_core::SampleRef`] views
+/// through a live [`InferenceEngine`] — leaf bucketing, batch classes, and
+/// window batching all exercised, no per-candidate sample clones.
+///
+/// Versus `impl CostModel for InferenceEngine` (which re-allocates a fresh
+/// `Vec<EncodedSample>` per round via `encode_programs`), this is the
+/// zero-alloc hot path the generational search runs on: the arena's slabs
+/// are reused round over round. One `EngineCostModel` serializes its own
+/// `score_batch` calls (the arena is a single scratch buffer); the engine
+/// underneath still fans each round's chunks across the worker pool.
+pub struct EngineCostModel {
+    engine: Arc<InferenceEngine>,
+    pool: ThreadPool,
+    arena: Mutex<EncodeArena>,
+    encode_ns: std::sync::atomic::AtomicU64,
+    dispatch_ns: std::sync::atomic::AtomicU64,
+    scored: std::sync::atomic::AtomicU64,
+}
+
+impl EngineCostModel {
+    /// Wraps `engine` with an encode pool of `encode_threads` threads
+    /// (0 = `PARALLEL_THREADS` / available parallelism, like the GEMM
+    /// layer). Encoding is bit-identical for any thread count.
+    pub fn new(engine: Arc<InferenceEngine>, encode_threads: usize) -> EngineCostModel {
+        EngineCostModel {
+            engine,
+            pool: ThreadPool::new(parallel::resolve_threads(encode_threads)),
+            arena: Mutex::new(EncodeArena::new()),
+            encode_ns: std::sync::atomic::AtomicU64::new(0),
+            dispatch_ns: std::sync::atomic::AtomicU64::new(0),
+            scored: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The engine this cost model scores through.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Cumulative encode/dispatch timing breakdown since construction.
+    pub fn timings(&self) -> ScoreTimings {
+        ScoreTimings {
+            encode_ns: self.encode_ns.load(Ordering::Relaxed),
+            dispatch_ns: self.dispatch_ns.load(Ordering::Relaxed),
+            scored: self.scored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Buffer-growth events inside the encode arena (0 growth across a
+    /// round = the round allocated nothing).
+    pub fn arena_growth(&self) -> usize {
+        self.arena
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .growth_count()
+    }
+}
+
+impl CostModel for EngineCostModel {
+    fn score(&self, prog: &TensorProgram, dev: &DeviceSpec) -> f64 {
+        self.score_batch(&[prog], dev)[0]
+    }
+
+    fn score_batch(&self, progs: &[&TensorProgram], dev: &DeviceSpec) -> Vec<f64> {
+        let served = self.engine.served();
+        let max_leaves = served.model.predictor.config().max_leaves;
+        let mut out = vec![f64::INFINITY; progs.len()];
+        if progs.is_empty() {
+            return out;
+        }
+        // The arena stays locked across the dispatch: the SampleRefs
+        // borrow its slab. Scoring through one EngineCostModel is
+        // serialized; parallelism lives in the encode pool and the
+        // engine's workers.
+        let mut arena = self.arena.lock().unwrap_or_else(|p| p.into_inner());
+        let t0 = std::time::Instant::now();
+        encode_programs_into(
+            progs,
+            dev,
+            served.model.predictor.config().theta,
+            served.model.use_pe,
+            &self.pool,
+            &mut arena,
+        );
+        self.encode_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Same per-candidate convention as the engine's own CostModel
+        // impl: invalid leaf counts (and engine-shed candidates) rank
+        // INFINITY, everything else gets a real score.
+        let valid_idx: Vec<usize> = (0..arena.len())
+            .filter(|&i| (1..=max_leaves).contains(&arena.leaf_count(i)))
+            .collect();
+        if valid_idx.is_empty() {
+            return out;
+        }
+        let valid: Vec<cdmpp_core::SampleRef<'_>> =
+            valid_idx.iter().map(|&i| arena.sample(i)).collect();
+        let t1 = std::time::Instant::now();
+        let res = self
+            .engine
+            .predict_sample_refs_opts(&valid, &SubmitOptions::default());
+        self.dispatch_ns
+            .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match res {
+            Ok(per) => {
+                for (&i, r) in valid_idx.iter().zip(per) {
+                    match r {
+                        Ok(p) => {
+                            out[i] = p;
+                            self.scored.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            self.engine
+                                .stats_inner()
+                                .score_sheds
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                self.engine
+                    .stats_inner()
                     .score_sheds
                     .fetch_add(valid_idx.len() as u64, Ordering::Relaxed);
             }

@@ -25,6 +25,7 @@ pub(crate) struct StatsInner {
     pub window_timer_flushes: AtomicU64,
     pub promotions: AtomicU64,
     pub queue_depth_hw: AtomicU64,
+    pub predict_ns: AtomicU64,
 }
 
 impl StatsInner {
@@ -39,7 +40,7 @@ impl StatsInner {
         self.worker_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn snapshot(&self, queue_depth: usize) -> EngineStats {
+    pub fn snapshot(&self, queue_depth: usize, parked: usize) -> EngineStats {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         EngineStats {
             admitted: get(&self.admitted),
@@ -57,6 +58,8 @@ impl StatsInner {
             promotions: get(&self.promotions),
             queue_depth: queue_depth as u64,
             queue_depth_hw: get(&self.queue_depth_hw),
+            parked: parked as u64,
+            predict_ns: get(&self.predict_ns),
         }
     }
 }
@@ -102,6 +105,12 @@ pub struct EngineStats {
     pub queue_depth: u64,
     /// Highest queue depth observed since engine start.
     pub queue_depth_hw: u64,
+    /// Samples currently parked in batch-window pending buffers (counted
+    /// toward admission headroom alongside `queue_depth`).
+    pub parked: u64,
+    /// Total worker-side predict time (the replay region, including
+    /// injected faults), in nanoseconds — the engine's busy time.
+    pub predict_ns: u64,
 }
 
 impl std::fmt::Display for EngineStats {
@@ -111,7 +120,8 @@ impl std::fmt::Display for EngineStats {
             "admitted={} rejected={} deadline_sheds={} worker_panics={} \
              worker_restarts={} chunk_retries={} completed_chunks={} swaps={} \
              class_demotions={} score_sheds={} window_fill_flushes={} \
-             window_timer_flushes={} promotions={} queue_depth={} queue_depth_hw={}",
+             window_timer_flushes={} promotions={} queue_depth={} \
+             queue_depth_hw={} parked={} predict_ns={}",
             self.admitted,
             self.rejected,
             self.deadline_sheds,
@@ -126,7 +136,9 @@ impl std::fmt::Display for EngineStats {
             self.window_timer_flushes,
             self.promotions,
             self.queue_depth,
-            self.queue_depth_hw
+            self.queue_depth_hw,
+            self.parked,
+            self.predict_ns
         )
     }
 }

@@ -99,6 +99,7 @@ fn process_job(ctx: &WorkerCtx, runner: &mut PlanRunner, job: Job) {
     // The supervised region: anything that unwinds out of plan replay is
     // caught here and converted into this one chunk's typed failure.
     let use_classes = ctx.use_classes;
+    let started = std::time::Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         if fired.panic {
             panic!("injected fault: panic@replay");
@@ -110,6 +111,10 @@ fn process_job(ctx: &WorkerCtx, runner: &mut PlanRunner, job: Job) {
             model.predictor.predict_planned_generic(runner, &x, &dev)
         }
     }));
+    ctx.stats.predict_ns.fetch_add(
+        started.elapsed().as_nanos() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
 
     match result {
         Ok(r) => {

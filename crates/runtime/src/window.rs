@@ -293,6 +293,10 @@ impl Adaptive {
             g.devs.extend_from_slice(dev.data());
             g.total += n;
             g.segs.push(Seg { reply, n, deadline });
+            // The segment is now backlog the engine has accepted but not
+            // yet queued: park it so admission still sees it. Every group
+            // leaves the window through `flush`, which unparks.
+            self.queue.park(1);
             if g.total == self.max_batch {
                 let full = inner.groups.swap_remove(gi);
                 flushes.push(full);
@@ -315,6 +319,9 @@ impl Adaptive {
     /// segments, applies `PadToClass` to the merged fill, records the
     /// final dispatch size in the promotion histogram, and pushes the job.
     fn flush(&self, mut g: PendingGroup) {
+        // The group's segments leave the pending buffer here on every path
+        // (dispatch, shed, closed queue), so this is the one unpark site.
+        self.queue.unpark(g.segs.len());
         // Shed segments whose deadline already expired — before execution,
         // same as the direct dispatch path — and drop their rows.
         if g.segs

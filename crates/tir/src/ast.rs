@@ -157,14 +157,36 @@ impl TensorProgram {
     /// The ordering vector: for each leaf (in pre-order), its position in
     /// the serialized traversal. This drives the positional encoding.
     pub fn ordering_vector(&self) -> Vec<u32> {
-        self.serialize_preorder()
-            .iter()
-            .enumerate()
-            .filter_map(|(pos, e)| match e {
-                SerEntry::Leaf(_) => Some(pos as u32),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.ordering_vector_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ordering_vector`](Self::ordering_vector):
+    /// clears `out` and refills it, reusing its capacity. Positions are
+    /// computed directly from the traversal shape — a loop occupies one
+    /// serialized slot, a leaf occupies two (entry + marker) — so no
+    /// intermediate [`SerEntry`] buffer is built.
+    pub fn ordering_vector_into(&self, out: &mut Vec<u32>) {
+        fn walk(n: &AstNode, pos: &mut u32, out: &mut Vec<u32>) {
+            match n {
+                AstNode::Loop { body, .. } => {
+                    *pos += 1;
+                    for c in body {
+                        walk(c, pos, out);
+                    }
+                }
+                AstNode::Leaf(_) => {
+                    out.push(*pos);
+                    *pos += 2;
+                }
+            }
+        }
+        out.clear();
+        let mut pos = 0;
+        for r in &self.roots {
+            walk(r, &mut pos, out);
+        }
     }
 
     /// Total iterations executed by the whole program (sum over leaves of
@@ -262,6 +284,32 @@ mod tests {
         let p = sample();
         // Leaf entries sit at serialized positions 1 and 4.
         assert_eq!(p.ordering_vector(), vec![1, 4]);
+    }
+
+    #[test]
+    fn ordering_vector_into_matches_serialization() {
+        // The direct position arithmetic must agree with the definition via
+        // serialize_preorder for arbitrary shapes, and reuse the buffer.
+        let flat = TensorProgram {
+            buffers: vec![],
+            roots: vec![leaf(ComputeKind::Init), leaf(ComputeKind::Mac)],
+        };
+        let nested = sample();
+        let mut buf = vec![99u32; 16];
+        for p in [&flat, &nested] {
+            let expect: Vec<u32> = p
+                .serialize_preorder()
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, e)| match e {
+                    SerEntry::Leaf(_) => Some(pos as u32),
+                    _ => None,
+                })
+                .collect();
+            p.ordering_vector_into(&mut buf);
+            assert_eq!(buf, expect);
+            assert_eq!(p.ordering_vector(), expect);
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod zoo;
 
 pub use ast::{AstNode, LoopKind, LoopVar, SerEntry, TensorProgram};
 pub use expr::{AxisId, Buffer, BufferId, ComputeKind, LeafStmt, MemAccess};
-pub use schedule::{lower, mutate_schedule, sample_schedule, Primitive, Schedule, ScheduleError};
+pub use schedule::{
+    crossover_schedule, lower, mutate_schedule, sample_schedule, Primitive, Schedule, ScheduleError,
+};
 pub use task::{AxisInfo, EwKind, Nest, OpSpec, Task};
 pub use zoo::{all_networks, build_tasks, layer_task_ids, LayerNode, Network, HOLD_OUT};

@@ -49,6 +49,42 @@ pub struct Schedule {
     pub primitives: Vec<Primitive>,
 }
 
+impl Schedule {
+    /// A stable 64-bit identity hash over the primitive sequence (FNV-1a).
+    ///
+    /// Two schedules with equal primitive lists hash equally; the search
+    /// uses this to dedup candidates within a round before encoding them,
+    /// confirming collisions with `PartialEq`.
+    pub fn identity_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut h = h;
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for p in &self.primitives {
+            h = match p {
+                Primitive::Split { axis, factor } => mix(mix(mix(h, 0), *axis as u64), *factor),
+                Primitive::Reorder { order } => {
+                    let mut h = mix(mix(h, 1), order.len() as u64);
+                    for &a in order {
+                        h = mix(h, a as u64);
+                    }
+                    h
+                }
+                Primitive::Annotate { axis, kind } => {
+                    mix(mix(mix(h, 2), *axis as u64), kind.code() as u64)
+                }
+            };
+        }
+        h
+    }
+}
+
 /// Errors from schedule application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -435,6 +471,65 @@ pub fn mutate_schedule(nest: &Nest, schedule: &Schedule, rng: &mut impl Rng) -> 
     }
 }
 
+/// Crossover by schedule stage: takes the *tiling* (all `Split`s) from one
+/// parent and grafts the other parent's *order and annotations* onto the
+/// resulting axis set. Deterministic — no randomness — so the generational
+/// search stays reproducible.
+///
+/// Because the two parents evolve the nest's axis set independently, the
+/// second parent's `Reorder` generally names axes that do not exist after
+/// the first parent's splits. The reorder is therefore projected as an
+/// order-crossover: axes shared between the two sets keep the relative
+/// order the second parent gave them, while axes unique to the first
+/// parent's tiling stay in their canonical slots. Annotations transfer
+/// wherever their axis survived; the rest are dropped.
+pub fn crossover_schedule(nest: &Nest, splits_from: &Schedule, rest_from: &Schedule) -> Schedule {
+    let mut out = Schedule::default();
+    let mut state = LowerState::new(nest);
+    for p in &splits_from.primitives {
+        if matches!(p, Primitive::Split { .. }) && state.apply(p).is_ok() {
+            out.primitives.push(p.clone());
+        }
+    }
+    // Project the second parent's reorder (its last one, if any) onto the
+    // current axis set via order-crossover.
+    let donor_order = rest_from.primitives.iter().rev().find_map(|p| match p {
+        Primitive::Reorder { order } => Some(order.as_slice()),
+        _ => None,
+    });
+    if let Some(donor) = donor_order {
+        let shared: Vec<AxisId> = donor
+            .iter()
+            .copied()
+            .filter(|a| state.axis(*a).is_some())
+            .collect();
+        if !shared.is_empty() {
+            let mut next_shared = shared.iter().copied();
+            let order: Vec<AxisId> = state
+                .order
+                .iter()
+                .map(|&a| {
+                    if shared.contains(&a) {
+                        next_shared.next().expect("one shared axis per slot")
+                    } else {
+                        a
+                    }
+                })
+                .collect();
+            let p = Primitive::Reorder { order };
+            if state.apply(&p).is_ok() {
+                out.primitives.push(p);
+            }
+        }
+    }
+    for p in &rest_from.primitives {
+        if matches!(p, Primitive::Annotate { .. }) && state.apply(p).is_ok() {
+            out.primitives.push(p.clone());
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,5 +794,123 @@ mod tests {
         assert_eq!(divisors(12, 64), vec![2, 3, 4, 6, 12]);
         assert_eq!(divisors(7, 64), vec![7]);
         assert!(divisors(1, 64).is_empty());
+    }
+
+    #[test]
+    fn identity_hash_separates_and_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nest = dense_nest();
+        let a = sample_schedule(&nest, &mut rng);
+        assert_eq!(a.identity_hash(), a.clone().identity_hash());
+        // Distinct schedules should (overwhelmingly) hash apart.
+        let mut hashes = std::collections::HashSet::new();
+        let mut schedules = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = sample_schedule(&nest, &mut rng);
+            schedules.insert(format!("{s:?}"));
+            hashes.insert(s.identity_hash());
+        }
+        assert_eq!(hashes.len(), schedules.len());
+        // Order of primitives matters (it is an identity, not a set hash).
+        let swapped = Schedule {
+            primitives: vec![
+                Primitive::Split { axis: 1, factor: 4 },
+                Primitive::Split { axis: 0, factor: 2 },
+            ],
+        };
+        let straight = Schedule {
+            primitives: vec![
+                Primitive::Split { axis: 0, factor: 2 },
+                Primitive::Split { axis: 1, factor: 4 },
+            ],
+        };
+        assert_ne!(swapped.identity_hash(), straight.identity_hash());
+    }
+
+    #[test]
+    fn crossover_always_lowers_and_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for spec in [
+            OpSpec::Dense {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            OpSpec::Conv2d {
+                n: 1,
+                cin: 16,
+                hw: 16,
+                cout: 32,
+                khw: 3,
+                stride: 1,
+            },
+            OpSpec::Softmax {
+                rows: 64,
+                cols: 128,
+            },
+        ] {
+            let nest = spec.canonical_nest();
+            for _ in 0..30 {
+                let a = sample_schedule(&nest, &mut rng);
+                let b = sample_schedule(&nest, &mut rng);
+                let c = crossover_schedule(&nest, &a, &b);
+                assert_eq!(c, crossover_schedule(&nest, &a, &b));
+                let p = lower(&nest, &c).expect("crossover lowers");
+                assert_eq!(p.leaf_count(), nest.leaves.len());
+                let diff = (p.total_iterations() - nest.total_iterations()).abs();
+                assert!(diff < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_takes_splits_from_first_parent() {
+        let nest = dense_nest();
+        let a = Schedule {
+            primitives: vec![Primitive::Split { axis: 0, factor: 4 }],
+        };
+        let b = Schedule {
+            primitives: vec![
+                Primitive::Split { axis: 1, factor: 8 },
+                Primitive::Reorder {
+                    order: vec![2, 3, 4, 0],
+                },
+            ],
+        };
+        let c = crossover_schedule(&nest, &a, &b);
+        let splits: Vec<&Primitive> = c
+            .primitives
+            .iter()
+            .filter(|p| matches!(p, Primitive::Split { .. }))
+            .collect();
+        assert_eq!(splits, vec![&Primitive::Split { axis: 0, factor: 4 }]);
+        lower(&nest, &c).unwrap();
+    }
+
+    #[test]
+    fn crossover_projects_shared_axis_order_from_second_parent() {
+        let nest = dense_nest();
+        // No splits anywhere: both parents share the full axis set, so the
+        // child's order must be exactly the donor's.
+        let a = Schedule::default();
+        let b = Schedule {
+            primitives: vec![
+                Primitive::Reorder {
+                    order: vec![2, 0, 1],
+                },
+                Primitive::Annotate {
+                    axis: 1,
+                    kind: LoopKind::Vectorize,
+                },
+            ],
+        };
+        let c = crossover_schedule(&nest, &a, &b);
+        assert!(c.primitives.contains(&Primitive::Reorder {
+            order: vec![2, 0, 1]
+        }));
+        assert!(c.primitives.contains(&Primitive::Annotate {
+            axis: 1,
+            kind: LoopKind::Vectorize,
+        }));
     }
 }

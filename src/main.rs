@@ -14,12 +14,14 @@
 //! with zero plan recording. The legacy positional form still trains on
 //! the fly and serves in the same process.
 
-use cdmpp::core::{end_to_end_frozen, Snapshot};
+use cdmpp::core::{end_to_end_frozen, generational_search, GenSearchConfig, Snapshot};
 use cdmpp::prelude::*;
 use cdmpp::runtime::{
-    end_to_end_opts, BatchWindow, EngineConfig, InferenceEngine, SnapshotWatcher, SubmitOptions,
+    end_to_end_opts, BatchWindow, EngineConfig, EngineCostModel, InferenceEngine, SnapshotWatcher,
+    SubmitOptions,
 };
 use cdmpp::tensor::QuantMode;
+use cdmpp::tir::{lower, Nest, OpSpec, Schedule};
 
 fn usage() -> ! {
     eprintln!("usage: cdmpp <network> <batch_size> <device>");
@@ -30,6 +32,10 @@ fn usage() -> ! {
          [--batch-window-ms N] [--promote-after N]"
     );
     eprintln!("       cdmpp predict --snapshot <snapshot> <network> <batch_size> <device>");
+    eprintln!(
+        "       cdmpp search <device> [--nest dense:MxNxK|bmm:BxMxNxK|softmax:RxC] \
+         [--rounds N] [--candidates N] [--snapshot <snapshot>] [--engine]"
+    );
     eprintln!("  networks: resnet50 resnet18 mobilenet_v2 bert_tiny bert_base vgg16 inception_v3 gpt2_small mlp_mixer");
     eprintln!(
         "  devices:  {}",
@@ -352,6 +358,126 @@ fn cmd_predict(args: &[String]) -> ! {
     }
 }
 
+/// Parses a task-nest spec: `dense:MxNxK`, `bmm:BxMxNxK`, `softmax:RxC`.
+fn parse_nest(spec: &str) -> Option<Nest> {
+    let (kind, dims) = spec.split_once(':')?;
+    let d: Vec<u64> = dims
+        .split('x')
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let op = match (kind, d.as_slice()) {
+        ("dense", &[m, n, k]) => OpSpec::Dense { m, n, k },
+        ("bmm", &[b, m, n, k]) => OpSpec::BatchMatmul { b, m, n, k },
+        ("softmax", &[rows, cols]) => OpSpec::Softmax { rows, cols },
+        _ => return None,
+    };
+    Some(op.canonical_nest())
+}
+
+/// `cdmpp search <device> [--nest <spec>] [--rounds N] [--candidates N]
+///  [--snapshot <snapshot>] [--engine]`: generational schedule search on
+/// one task nest, driven by the cost model — serially (`InferenceModel`
+/// scoring on the calling thread), or with `--engine` through the
+/// concurrent serving engine's zero-alloc scoring front end
+/// ([`EngineCostModel`]). Each round reports the search-quality regret of
+/// the model's pick against the in-round simulator optimum. Without
+/// `--snapshot`, a cost model is trained on the fly first.
+fn cmd_search(args: &[String]) -> ! {
+    let mut device: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut nest_spec = "dense:128x128x128".to_string();
+    let mut rounds = 6usize;
+    let mut candidates = 1024usize;
+    let mut engine_backed = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--snapshot" => snapshot = it.next().cloned().or_else(|| usage()),
+            "--nest" => nest_spec = it.next().cloned().unwrap_or_else(|| usage()),
+            "--rounds" => {
+                rounds = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                }
+            }
+            "--candidates" => {
+                candidates = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                }
+            }
+            "--engine" => engine_backed = true,
+            _ if device.is_none() => device = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(device) = device else { usage() };
+    let dev = device_or_usage(&device);
+    let Some(nest) = parse_nest(&nest_spec) else {
+        eprintln!(
+            "invalid --nest '{nest_spec}': expected dense:MxNxK, bmm:BxMxNxK, or softmax:RxC"
+        );
+        usage();
+    };
+    let model = match &snapshot {
+        Some(p) => load_model(p),
+        None => train_model(&dev, 12).into_frozen(),
+    };
+    let cfg = GenSearchConfig {
+        rounds,
+        candidates_per_round: candidates,
+        oracle_regret: true,
+        ..Default::default()
+    };
+    let canonical = Simulator::new(dev.clone())
+        .latency_seconds(&lower(&nest, &Schedule::default()).expect("canonical schedule lowers"));
+    let started = std::time::Instant::now();
+    let trace = if engine_backed {
+        let engine = std::sync::Arc::new(InferenceEngine::new(model, EngineConfig::default()));
+        let cost = EngineCostModel::new(std::sync::Arc::clone(&engine), 0);
+        let trace = generational_search(&nest, &dev, &cost, &cfg);
+        let t = cost.timings();
+        let s = engine.stats();
+        eprintln!(
+            "[cdmpp] engine scoring: {} candidates scored, encode {:.1} ms, \
+             dispatch {:.1} ms (worker busy {:.1} ms)",
+            t.scored,
+            t.encode_ns as f64 / 1e6,
+            t.dispatch_ns as f64 / 1e6,
+            s.predict_ns as f64 / 1e6
+        );
+        eprintln!("[cdmpp] engine stats: {s}");
+        trace
+    } else {
+        generational_search(&nest, &dev, &model, &cfg)
+    };
+    let wall = started.elapsed();
+    for (i, r) in trace.rounds.iter().enumerate() {
+        println!(
+            "round {i}: {} unique of {} proposed, best predicted {:.3e}, \
+             measured {:.4} ms, best so far {:.4} ms, regret {:.2}%",
+            r.unique,
+            r.proposed,
+            r.best_predicted,
+            r.round_measured * 1e3,
+            r.best_measured * 1e3,
+            r.regret * 100.0
+        );
+    }
+    println!(
+        "{nest_spec} on {}: best {:.4} ms vs canonical {:.4} ms ({:.2}x), \
+         {} simulator measurements, {:.2} s wall",
+        dev.name,
+        trace.best_measured * 1e3,
+        canonical * 1e3,
+        canonical / trace.best_measured,
+        trace.measurements,
+        wall.as_secs_f64()
+    );
+    std::process::exit(0);
+}
+
 /// Legacy flow: train on the fly, then serve in the same process.
 fn cmd_legacy(args: &[String]) -> ! {
     let [net_name, batch, device] = args else {
@@ -387,6 +513,7 @@ fn main() {
         Some("train") => cmd_train(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
         Some(_) if args.len() == 3 => cmd_legacy(&args),
         _ => usage(),
     }
